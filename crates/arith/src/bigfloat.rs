@@ -1,0 +1,360 @@
+//! Extended-range floating point: an `f64` mantissa with an `i64` exponent.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::BigNat;
+
+/// A nonnegative floating-point number `m · 2^e` with `m ∈ [1, 2)` (or `m = 0`).
+///
+/// The FPRAS stores per-state estimates `R(s)` that can reach `|Σ|^n`; with `n` in
+/// the thousands that overflows `f64`, whose exponent stops at ~2^1024. `BigFloat`
+/// keeps `f64` precision (~15 significant digits, far below the FPRAS's own
+/// statistical error) over an effectively unbounded exponent range.
+#[derive(Clone, Copy, Debug)]
+pub struct BigFloat {
+    mantissa: f64, // in [1, 2) or exactly 0.0
+    exponent: i64, // value = mantissa * 2^exponent
+}
+
+impl BigFloat {
+    /// The number zero.
+    pub fn zero() -> Self {
+        BigFloat {
+            mantissa: 0.0,
+            exponent: 0,
+        }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        BigFloat {
+            mantissa: 1.0,
+            exponent: 0,
+        }
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0.0
+    }
+
+    fn normalized(mantissa: f64, exponent: i64) -> Self {
+        if mantissa == 0.0 {
+            return Self::zero();
+        }
+        debug_assert!(
+            mantissa.is_finite() && mantissa > 0.0,
+            "BigFloat mantissa must be positive and finite, got {mantissa}"
+        );
+        let (frac, exp) = frexp(mantissa);
+        // frexp gives frac in [0.5, 1); shift to [1, 2).
+        BigFloat {
+            mantissa: frac * 2.0,
+            exponent: exponent + exp as i64 - 1,
+        }
+    }
+
+    /// Builds from an `f64`.
+    ///
+    /// # Panics
+    /// Panics if `v` is negative, NaN, or infinite.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "BigFloat::from_f64({v})");
+        Self::normalized(v, 0)
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// Builds from a [`BigNat`] (rounded to the top 64 bits).
+    pub fn from_bignat(n: &BigNat) -> Self {
+        let (mant, dropped) = n.top64();
+        if mant == 0 {
+            return Self::zero();
+        }
+        Self::normalized(mant as f64, dropped as i64)
+    }
+
+    /// The ratio `a / b` of two big naturals as a `BigFloat`.
+    ///
+    /// # Panics
+    /// Panics if `b` is zero.
+    pub fn ratio(a: &BigNat, b: &BigNat) -> Self {
+        assert!(!b.is_zero(), "BigFloat::ratio: division by zero");
+        if a.is_zero() {
+            return Self::zero();
+        }
+        Self::from_bignat(a).div(Self::from_bignat(b))
+    }
+
+    /// Addition.
+    #[allow(clippy::should_implement_trait)] // deliberate method form: BigFloat is Copy and chains fluently
+    pub fn add(self, other: BigFloat) -> BigFloat {
+        if self.is_zero() {
+            return other;
+        }
+        if other.is_zero() {
+            return self;
+        }
+        let (hi, lo) = if self.exponent >= other.exponent {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let diff = hi.exponent - lo.exponent;
+        if diff > 64 {
+            return hi; // lo is below one ulp of hi
+        }
+        let m = hi.mantissa + lo.mantissa * 2f64.powi(-(diff as i32));
+        Self::normalized(m, hi.exponent)
+    }
+
+    /// Subtraction clamped at zero (the FPRAS never needs signed values; a negative
+    /// intermediate can only arise from floating-point cancellation noise).
+    pub fn saturating_sub(self, other: BigFloat) -> BigFloat {
+        match self.partial_cmp_total(&other) {
+            Ordering::Greater => {
+                let diff = self.exponent - other.exponent;
+                if diff > 64 {
+                    return self;
+                }
+                let m = self.mantissa - other.mantissa * 2f64.powi(-(diff as i32));
+                if m <= 0.0 {
+                    Self::zero()
+                } else {
+                    Self::normalized(m, self.exponent)
+                }
+            }
+            _ => Self::zero(),
+        }
+    }
+
+    /// Multiplication.
+    #[allow(clippy::should_implement_trait)] // deliberate method form: BigFloat is Copy and chains fluently
+    pub fn mul(self, other: BigFloat) -> BigFloat {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        Self::normalized(self.mantissa * other.mantissa, self.exponent + other.exponent)
+    }
+
+    /// Multiplication by a plain `f64` in `[0, ∞)`.
+    pub fn mul_f64(self, v: f64) -> BigFloat {
+        assert!(v.is_finite() && v >= 0.0, "BigFloat::mul_f64({v})");
+        if self.is_zero() || v == 0.0 {
+            return Self::zero();
+        }
+        Self::normalized(self.mantissa * v, self.exponent)
+    }
+
+    /// Division.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    #[allow(clippy::should_implement_trait)] // deliberate method form: BigFloat is Copy and chains fluently
+    pub fn div(self, other: BigFloat) -> BigFloat {
+        assert!(!other.is_zero(), "BigFloat division by zero");
+        if self.is_zero() {
+            return Self::zero();
+        }
+        Self::normalized(self.mantissa / other.mantissa, self.exponent - other.exponent)
+    }
+
+    /// Total ordering (zero is the minimum; all values are nonnegative).
+    pub fn partial_cmp_total(&self, other: &BigFloat) -> Ordering {
+        match (self.is_zero(), other.is_zero()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => match self.exponent.cmp(&other.exponent) {
+                Ordering::Equal => self
+                    .mantissa
+                    .partial_cmp(&other.mantissa)
+                    .expect("mantissas are finite"),
+                o => o,
+            },
+        }
+    }
+
+    /// Conversion to `f64`; values past the exponent range become `inf` / `0.0`.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.exponent > 1023 {
+            return f64::INFINITY;
+        }
+        if self.exponent < -1070 {
+            return 0.0;
+        }
+        self.mantissa * 2f64.powi(self.exponent as i32)
+    }
+
+    /// Natural logarithm (`-inf` for zero).
+    pub fn ln(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        self.mantissa.ln() + self.exponent as f64 * std::f64::consts::LN_2
+    }
+
+    /// Base-10 logarithm (`-inf` for zero).
+    pub fn log10(&self) -> f64 {
+        self.ln() / std::f64::consts::LN_10
+    }
+
+    /// The ratio `self / other` as a plain `f64` (useful for probabilities).
+    pub fn ratio_f64(&self, other: &BigFloat) -> f64 {
+        self.div(*other).to_f64()
+    }
+}
+
+impl fmt::Display for BigFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let log10 = self.log10();
+        let mut dec_exp = log10.floor();
+        let mut lead = 10f64.powf(log10 - dec_exp);
+        // Floating-point floor can land one decade low (e.g. 10^100 → 9.99…e+99).
+        if lead >= 10.0 - 1e-9 {
+            lead /= 10.0;
+            dec_exp += 1.0;
+        }
+        if (-6.0..15.0).contains(&dec_exp) {
+            write!(f, "{}", self.to_f64())
+        } else {
+            write!(f, "{:.6}e{:+}", lead, dec_exp as i64)
+        }
+    }
+}
+
+/// Decomposes `v = f · 2^exp` with `f ∈ [0.5, 1)`.
+fn frexp(v: f64) -> (f64, i32) {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let bits = v.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: scale up into the normal range first.
+        let scaled = v * 2f64.powi(64);
+        let (f, e) = frexp(scaled);
+        return (f, e - 64);
+    }
+    let exp = raw_exp - 1022;
+    let mant = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+    (mant, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        if a == 0.0 || b == 0.0 {
+            return (a - b).abs() < 1e-12;
+        }
+        (a / b - 1.0).abs() < 1e-12
+    }
+
+    #[test]
+    fn frexp_roundtrip() {
+        for v in [1.0, 0.5, 3.75, 1e-300, 1e300, f64::MIN_POSITIVE / 4.0] {
+            let (m, e) = frexp(v);
+            assert!((0.5..1.0).contains(&m), "frexp({v}) mantissa {m}");
+            assert!(close(m * 2f64.powi(e), v));
+        }
+    }
+
+    #[test]
+    fn construction_and_roundtrip() {
+        for v in [0.0, 1.0, 2.0, 0.125, 123456.789, 1e300] {
+            assert!(close(BigFloat::from_f64(v).to_f64(), v), "roundtrip {v}");
+        }
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = BigFloat::from_f64(3.0);
+        let b = BigFloat::from_f64(4.5);
+        assert!(close(a.add(b).to_f64(), 7.5));
+        assert!(close(a.mul(b).to_f64(), 13.5));
+        assert!(close(a.mul_f64(2.0).to_f64(), 6.0));
+        assert!(a.add(BigFloat::zero()).to_f64() == 3.0);
+        assert!(BigFloat::zero().mul(a).is_zero());
+    }
+
+    #[test]
+    fn add_far_apart_exponents() {
+        let big = BigFloat::from_f64(1e300).mul(BigFloat::from_f64(1e300));
+        let tiny = BigFloat::one();
+        let sum = big.add(tiny);
+        assert_eq!(sum.partial_cmp_total(&big), Ordering::Equal);
+    }
+
+    #[test]
+    fn beyond_f64_range() {
+        // 2^5000 overflows f64 but must survive in BigFloat.
+        let mut x = BigFloat::one();
+        let two = BigFloat::from_f64(2.0);
+        for _ in 0..5000 {
+            x = x.mul(two);
+        }
+        assert_eq!(x.to_f64(), f64::INFINITY);
+        assert!(close(x.log10(), 5000.0 * 2f64.log10()));
+        // Dividing back down recovers 1.
+        for _ in 0..5000 {
+            x = x.div(two);
+        }
+        assert!(close(x.to_f64(), 1.0));
+    }
+
+    #[test]
+    fn from_bignat_small_and_large() {
+        assert!(close(BigFloat::from_bignat(&BigNat::from_u64(1000)).to_f64(), 1000.0));
+        let n = BigNat::pow_u64(7, 100); // 7^100 ~ 3.23e84
+        let bf = BigFloat::from_bignat(&n);
+        assert!(close(bf.log10(), 100.0 * 7f64.log10()));
+        assert!(BigFloat::from_bignat(&BigNat::zero()).is_zero());
+    }
+
+    #[test]
+    fn ratio_of_bignats() {
+        let a = BigNat::pow_u64(2, 300);
+        let b = BigNat::pow_u64(2, 299);
+        assert!(close(BigFloat::ratio(&a, &b).to_f64(), 2.0));
+        let r = BigFloat::ratio(&BigNat::from_u64(1), &BigNat::from_u64(3));
+        assert!(close(r.to_f64(), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn saturating_sub() {
+        let a = BigFloat::from_f64(10.0);
+        let b = BigFloat::from_f64(4.0);
+        assert!(close(a.saturating_sub(b).to_f64(), 6.0));
+        assert!(b.saturating_sub(a).is_zero());
+        assert!(a.saturating_sub(a).is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigFloat::from_f64(2.0);
+        let b = BigFloat::from_f64(3.0);
+        assert_eq!(a.partial_cmp_total(&b), Ordering::Less);
+        assert_eq!(b.partial_cmp_total(&a), Ordering::Greater);
+        assert_eq!(BigFloat::zero().partial_cmp_total(&BigFloat::zero()), Ordering::Equal);
+        assert_eq!(BigFloat::zero().partial_cmp_total(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BigFloat::zero().to_string(), "0");
+        let s = BigFloat::from_f64(2.0).to_string();
+        assert_eq!(s, "2");
+        let huge = BigFloat::from_bignat(&BigNat::pow_u64(10, 100));
+        assert!(huge.to_string().contains("e+100"), "{huge}");
+    }
+}

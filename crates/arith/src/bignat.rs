@@ -1,0 +1,624 @@
+//! Unsigned arbitrary-precision integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+use std::str::FromStr;
+
+use rand::Rng;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Stored as little-endian base-2^64 limbs with no trailing zero limbs, so the
+/// empty limb vector canonically represents zero. All arithmetic needed by the
+/// counting algorithms is implemented directly; full long division is deliberately
+/// omitted (the algorithms never divide two big numbers — ratios are taken through
+/// [`crate::BigFloat`], and decimal printing only needs a small divisor).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigNat {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigNat {
+    /// The number zero.
+    pub fn zero() -> Self {
+        BigNat { limbs: Vec::new() }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        BigNat { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigNat { limbs: vec![v] }
+        }
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigNat { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Number of bits in the binary representation (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The `i`-th bit (little-endian; bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&w) => (w >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`, in place.
+    pub fn add_assign_ref(&mut self, other: &BigNat) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+            if carry == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Adds a `u64` in place.
+    pub fn add_assign_u64(&mut self, v: u64) {
+        let mut carry = v;
+        for limb in self.limbs.iter_mut() {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            if !c {
+                return;
+            }
+            carry = 1;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self - other`, returning `None` on underflow.
+    pub fn checked_sub(&self, other: &BigNat) -> Option<BigNat> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigNat { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Multiplies by a `u64` in place.
+    pub fn mul_assign_u64(&mut self, v: u64) {
+        if v == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u64;
+        for limb in self.limbs.iter_mut() {
+            let prod = (*limb as u128) * (v as u128) + (carry as u128);
+            *limb = prod as u64;
+            carry = (prod >> 64) as u64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Schoolbook multiplication. Counting tables multiply big-by-small far more
+    /// often than big-by-big, so an asymptotically fancier algorithm would be noise.
+    pub fn mul_ref(&self, other: &BigNat) -> BigNat {
+        if self.is_zero() || other.is_zero() {
+            return BigNat::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry as u128;
+                out[i + j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        let mut n = BigNat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shifts left by `bits` bits (multiplication by a power of two).
+    pub fn shl_bits(&self, bits: usize) -> BigNat {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &w in &self.limbs {
+                out.push((w << bit_shift) | carry);
+                carry = w >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigNat { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `2^exp`.
+    pub fn pow2(exp: usize) -> BigNat {
+        BigNat::one().shl_bits(exp)
+    }
+
+    /// `base^exp` by repeated squaring (used by tests and workload generators).
+    pub fn pow_u64(base: u64, mut exp: u32) -> BigNat {
+        let mut result = BigNat::one();
+        let mut b = BigNat::from_u64(base);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.mul_ref(&b);
+            }
+            b = b.mul_ref(&b);
+            exp >>= 1;
+        }
+        result
+    }
+
+    /// Divides in place by a small divisor, returning the remainder.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&mut self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem = 0u64;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = ((rem as u128) << 64) | (*limb as u128);
+            *limb = (cur / d as u128) as u64;
+            rem = (cur % d as u128) as u64;
+        }
+        self.normalize();
+        rem
+    }
+
+    /// Returns `(w, d)` with the value ≈ `w · 2^d`, where `w` holds the top
+    /// (at most 64) bits rounded to nearest on the first dropped bit.
+    pub fn top64(&self) -> (u64, usize) {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return (0, 0);
+        }
+        if bits <= 64 {
+            return (self.limbs[0], 0);
+        }
+        // The window of bits [top, bits) spans at most two limbs.
+        let top = bits - 64;
+        let lo_limb = top / 64;
+        let off = top % 64;
+        let mut mant = self.limbs[lo_limb] >> off;
+        if off != 0 {
+            mant |= self.limbs[lo_limb + 1] << (64 - off);
+        }
+        if self.bit(top - 1) && mant != u64::MAX {
+            mant += 1;
+        }
+        (mant, top)
+    }
+
+    /// Best-effort conversion to `f64` (round-to-nearest on the top bits;
+    /// `f64::INFINITY` past the exponent range).
+    pub fn to_f64(&self) -> f64 {
+        let (mant, d) = self.top64();
+        (mant as f64) * 2f64.powi(d as i32)
+    }
+
+    /// Draws a uniformly random value in `[0, bound)` using rejection from raw bits,
+    /// so the distribution is exactly uniform.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn uniform_below<R: Rng + ?Sized>(bound: &BigNat, rng: &mut R) -> BigNat {
+        assert!(!bound.is_zero(), "uniform_below: bound must be positive");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - 64 * (limbs - 1); // 1..=64
+        let top_mask: u64 = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
+        loop {
+            let mut candidate = Vec::with_capacity(limbs);
+            for i in 0..limbs {
+                let mut w: u64 = rng.gen();
+                if i == limbs - 1 {
+                    w &= top_mask;
+                }
+                candidate.push(w);
+            }
+            let mut c = BigNat { limbs: candidate };
+            c.normalize();
+            if &c < bound {
+                return c;
+            }
+        }
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&BigNat> for &BigNat {
+    type Output = BigNat;
+    fn add(self, rhs: &BigNat) -> BigNat {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for BigNat {
+    type Output = BigNat;
+    fn add(mut self, rhs: BigNat) -> BigNat {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl AddAssign<&BigNat> for BigNat {
+    fn add_assign(&mut self, rhs: &BigNat) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub<&BigNat> for &BigNat {
+    type Output = BigNat;
+    /// # Panics
+    /// Panics on underflow; use [`BigNat::checked_sub`] to handle that case.
+    fn sub(self, rhs: &BigNat) -> BigNat {
+        self.checked_sub(rhs)
+            .expect("BigNat subtraction underflow")
+    }
+}
+
+impl Mul<&BigNat> for &BigNat {
+    type Output = BigNat;
+    fn mul(self, rhs: &BigNat) -> BigNat {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Sum for BigNat {
+    fn sum<I: Iterator<Item = BigNat>>(iter: I) -> BigNat {
+        let mut acc = BigNat::zero();
+        for x in iter {
+            acc.add_assign_ref(&x);
+        }
+        acc
+    }
+}
+
+impl<'a> Sum<&'a BigNat> for BigNat {
+    fn sum<I: Iterator<Item = &'a BigNat>>(iter: I) -> BigNat {
+        let mut acc = BigNat::zero();
+        for x in iter {
+            acc.add_assign_ref(x);
+        }
+        acc
+    }
+}
+
+impl From<u64> for BigNat {
+    fn from(v: u64) -> Self {
+        BigNat::from_u64(v)
+    }
+}
+
+impl From<usize> for BigNat {
+    fn from(v: usize) -> Self {
+        BigNat::from_u64(v as u64)
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel 19-digit chunks (10^19 is the largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut n = self.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !n.is_zero() {
+            chunks.push(n.div_rem_u64(CHUNK));
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigNat({self})")
+    }
+}
+
+/// Error parsing a decimal string into a [`BigNat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigNatError;
+
+impl fmt::Display for ParseBigNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid decimal digit in BigNat literal")
+    }
+}
+
+impl std::error::Error for ParseBigNatError {}
+
+impl FromStr for BigNat {
+    type Err = ParseBigNatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigNatError);
+        }
+        let mut n = BigNat::zero();
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigNatError)?;
+            n.mul_assign_u64(10);
+            n.add_assign_u64(d as u64);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigNat::zero().is_zero());
+        assert!(BigNat::one().is_one());
+        assert_eq!(BigNat::zero().to_string(), "0");
+        assert_eq!(BigNat::one().to_string(), "1");
+        assert_eq!(BigNat::zero().bit_len(), 0);
+        assert_eq!(BigNat::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigNat::from_u128(u128::MAX);
+        let one = BigNat::one();
+        let sum = &a + &one;
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn sub_roundtrip() {
+        let a = BigNat::from_u128(1 << 100);
+        let b = BigNat::from_u64(12345);
+        let d = &a - &b;
+        assert_eq!(&d + &b, a);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = BigNat::from_u64(5);
+        let b = BigNat::from_u64(6);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&a), Some(BigNat::one()));
+    }
+
+    #[test]
+    fn mul_known_value() {
+        // 2^64 * 2^64 = 2^128
+        let a = BigNat::pow2(64);
+        let sq = a.mul_ref(&a);
+        assert_eq!(sq, BigNat::pow2(128));
+        assert_eq!(BigNat::pow_u64(3, 40).to_string(), "12157665459056928801");
+    }
+
+    #[test]
+    fn mul_by_zero() {
+        let a = BigNat::from_u64(77);
+        assert!(a.mul_ref(&BigNat::zero()).is_zero());
+        let mut b = BigNat::from_u128(u128::MAX);
+        b.mul_assign_u64(0);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let n: BigNat = s.parse().unwrap();
+        assert_eq!(n.to_string(), s);
+        assert!("".parse::<BigNat>().is_err());
+        assert!("12x".parse::<BigNat>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigNat::pow2(70);
+        let b = BigNat::from_u64(u64::MAX);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_small_and_large() {
+        assert_eq!(BigNat::from_u64(42).to_f64(), 42.0);
+        let big = BigNat::pow2(100);
+        let f = big.to_f64();
+        assert!((f / 2f64.powi(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bits() {
+        let n = BigNat::from_u64(0b1011);
+        assert!(n.bit(0));
+        assert!(n.bit(1));
+        assert!(!n.bit(2));
+        assert!(n.bit(3));
+        assert!(!n.bit(64));
+        assert_eq!(n.bit_len(), 4);
+    }
+
+    #[test]
+    fn shl() {
+        let n = BigNat::from_u64(1);
+        assert_eq!(n.shl_bits(0), n);
+        assert_eq!(n.shl_bits(64).bit_len(), 65);
+        assert_eq!(BigNat::from_u64(3).shl_bits(130).to_string(), {
+            let mut x = BigNat::from_u64(3);
+            for _ in 0..130 {
+                x.mul_assign_u64(2);
+            }
+            x.to_string()
+        });
+        assert!(BigNat::zero().shl_bits(100).is_zero());
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let mut n: BigNat = "1000000000000000000000000000001".parse().unwrap();
+        let r = n.div_rem_u64(7);
+        // 10^30+1 = 7 * 142857142857142857142857142857 + 2
+        assert_eq!(r, 2);
+        assert_eq!(n.to_string(), "142857142857142857142857142857");
+    }
+
+    #[test]
+    fn uniform_below_in_range_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = BigNat::from_u64(5);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let x = BigNat::uniform_below(&bound, &mut rng);
+            let v = x.to_u64().unwrap() as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn uniform_below_big_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = BigNat::pow2(200);
+        for _ in 0..50 {
+            let x = BigNat::uniform_below(&bound, &mut rng);
+            assert!(x < bound);
+        }
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = [BigNat::from_u64(1), BigNat::from_u64(2), BigNat::from_u64(3)];
+        let s: BigNat = xs.iter().sum();
+        assert_eq!(s, BigNat::from_u64(6));
+    }
+}

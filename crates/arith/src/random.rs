@@ -1,0 +1,35 @@
+//! Small sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// Draws uniformly from `[0, bound)` for a `u64` bound via rejection, mirroring
+/// [`crate::BigNat::uniform_below`] for the common small case.
+///
+/// # Panics
+/// Panics if `bound` is zero.
+pub fn uniform_below_u64<R: Rng + ?Sized>(bound: u64, rng: &mut R) -> u64 {
+    assert!(bound > 0, "uniform_below_u64: bound must be positive");
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(uniform_below_u64(7, &mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        uniform_below_u64(0, &mut rng);
+    }
+}

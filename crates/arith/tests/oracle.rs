@@ -1,0 +1,122 @@
+//! Property tests validating `BigNat` against `num-bigint` as an oracle.
+
+use lsc_arith::{BigFloat, BigNat};
+use num_bigint::BigUint;
+use proptest::prelude::*;
+
+/// Strategy producing a random decimal string of up to ~40 digits (no leading zero
+/// unless the value is exactly "0") together with the two parsed representations.
+fn pair() -> impl Strategy<Value = (BigNat, BigUint)> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(|limbs| {
+        let mut ours = BigNat::zero();
+        let mut oracle = BigUint::from(0u64);
+        for &l in &limbs {
+            ours = ours.shl_bits(64);
+            ours.add_assign_u64(l);
+            oracle = (oracle << 64u32) + BigUint::from(l);
+        }
+        (ours, oracle)
+    })
+}
+
+fn to_oracle(n: &BigNat) -> BigUint {
+    n.to_string().parse().expect("BigNat Display emits decimal")
+}
+
+proptest! {
+    #[test]
+    fn display_matches_oracle((a, oa) in pair()) {
+        prop_assert_eq!(a.to_string(), oa.to_string());
+    }
+
+    #[test]
+    fn add_matches_oracle((a, oa) in pair(), (b, ob) in pair()) {
+        let sum = &a + &b;
+        prop_assert_eq!(to_oracle(&sum), oa + ob);
+    }
+
+    #[test]
+    fn sub_matches_oracle((a, oa) in pair(), (b, ob) in pair()) {
+        let (hi, lo, ohi, olo) = if a >= b { (&a, &b, &oa, &ob) } else { (&b, &a, &ob, &oa) };
+        let diff = hi - lo;
+        prop_assert_eq!(to_oracle(&diff), ohi - olo);
+    }
+
+    #[test]
+    fn mul_matches_oracle((a, oa) in pair(), (b, ob) in pair()) {
+        let prod = &a * &b;
+        prop_assert_eq!(to_oracle(&prod), oa * ob);
+    }
+
+    #[test]
+    fn mul_small_matches_oracle((a, oa) in pair(), k in any::<u64>()) {
+        let mut prod = a.clone();
+        prod.mul_assign_u64(k);
+        prop_assert_eq!(to_oracle(&prod), oa * BigUint::from(k));
+    }
+
+    #[test]
+    fn div_rem_small_matches_oracle((a, oa) in pair(), d in 1u64..) {
+        let mut q = a.clone();
+        let r = q.div_rem_u64(d);
+        prop_assert_eq!(to_oracle(&q), &oa / BigUint::from(d));
+        prop_assert_eq!(BigUint::from(r), oa % BigUint::from(d));
+    }
+
+    #[test]
+    fn cmp_matches_oracle((a, oa) in pair(), (b, ob) in pair()) {
+        prop_assert_eq!(a.cmp(&b), oa.cmp(&ob));
+    }
+
+    #[test]
+    fn shl_matches_oracle((a, oa) in pair(), s in 0usize..300) {
+        prop_assert_eq!(to_oracle(&a.shl_bits(s)), oa << s);
+    }
+
+    #[test]
+    fn parse_display_roundtrip((a, _) in pair()) {
+        let s = a.to_string();
+        let back: BigNat = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bit_len_matches_oracle((a, oa) in pair()) {
+        prop_assert_eq!(a.bit_len() as u64, oa.bits());
+    }
+
+    #[test]
+    fn to_f64_is_close((a, _) in pair()) {
+        // Relative error of the 64-bit window conversion is far below 1e-12.
+        let f = a.to_f64();
+        if a.is_zero() {
+            prop_assert_eq!(f, 0.0);
+        } else if f.is_finite() {
+            let log_est = f.ln();
+            let log_true = BigFloat::from_bignat(&a).ln();
+            prop_assert!((log_est - log_true).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bigfloat_tracks_products(xs in proptest::collection::vec(1u64..1_000_000, 1..40)) {
+        // Compare an extended-range product against exact big arithmetic in log space.
+        let mut bf = BigFloat::one();
+        let mut exact = BigNat::one();
+        for &x in &xs {
+            bf = bf.mul(BigFloat::from_u64(x));
+            exact.mul_assign_u64(x);
+        }
+        let exact_log = BigFloat::from_bignat(&exact).ln();
+        prop_assert!((bf.ln() - exact_log).abs() < 1e-9 * xs.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn uniform_below_yields_values_in_range((a, _) in pair(), seed in any::<u64>()) {
+        prop_assume!(!a.is_zero());
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = BigNat::uniform_below(&a, &mut rng);
+        prop_assert!(x < a);
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic finite automata.
+//!
+//! DFAs play the baseline role the paper assigns them in §6.1: counting the words
+//! of length `n` accepted by a DFA is a polynomial dynamic program ("one can simply
+//! compute the total number of paths"), and we use exactly that DP — through subset
+//! construction for small NFAs — as the ground-truth oracle the FPRAS is validated
+//! against in the experiments.
+
+use lsc_arith::BigNat;
+
+use crate::{Alphabet, StateId, Symbol};
+
+/// A (possibly partial) deterministic finite automaton.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    initial: StateId,
+    accepting: Vec<bool>,
+    /// `transitions[q][a]` = successor, or `None` (implicit dead state).
+    transitions: Vec<Vec<Option<StateId>>>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `num_states` states and no transitions.
+    pub fn new(alphabet: Alphabet, num_states: usize) -> Self {
+        let width = alphabet.len();
+        Dfa {
+            alphabet,
+            initial: 0,
+            accepting: vec![false; num_states],
+            transitions: vec![vec![None; width]; num_states],
+        }
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.num_states());
+        self.initial = q;
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_accepting(&mut self, q: StateId) {
+        self.accepting[q] = true;
+    }
+
+    /// True iff `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q]
+    }
+
+    /// Sets the transition `from --symbol--> to`.
+    pub fn set_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
+        assert!((symbol as usize) < self.alphabet.len());
+        assert!(to < self.num_states());
+        self.transitions[from][symbol as usize] = Some(to);
+    }
+
+    /// The successor of `q` on `symbol`, if defined.
+    pub fn step(&self, q: StateId, symbol: Symbol) -> Option<StateId> {
+        self.transitions[q][symbol as usize]
+    }
+
+    /// Does the DFA accept `word`?
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut q = self.initial;
+        for &a in word {
+            match self.step(q, a) {
+                Some(t) => q = t,
+                None => return false,
+            }
+        }
+        self.accepting[q]
+    }
+
+    /// Exact `|L_n|` by the classical dynamic program: in a DFA every accepted
+    /// word has exactly one run, so counting runs counts words (§6.1).
+    pub fn count_words(&self, n: usize) -> BigNat {
+        // ways[q] = number of words of length `remaining` accepted from q.
+        let mut ways: Vec<BigNat> = self
+            .accepting
+            .iter()
+            .map(|&acc| if acc { BigNat::one() } else { BigNat::zero() })
+            .collect();
+        for _ in 0..n {
+            let mut next: Vec<BigNat> = vec![BigNat::zero(); self.num_states()];
+            for (q, row) in self.transitions.iter().enumerate() {
+                let mut acc = BigNat::zero();
+                for succ in row.iter().flatten() {
+                    acc.add_assign_ref(&ways[*succ]);
+                }
+                next[q] = acc;
+            }
+            ways = next;
+        }
+        ways[self.initial].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over {0,1} accepting words with an even number of 1s.
+    fn even_ones() -> Dfa {
+        let mut d = Dfa::new(Alphabet::binary(), 2);
+        d.set_initial(0);
+        d.set_accepting(0);
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 0);
+        d
+    }
+
+    #[test]
+    fn accepts() {
+        let d = even_ones();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(d.accepts(&[0, 1, 0, 1]));
+        assert!(!d.accepts(&[1]));
+    }
+
+    #[test]
+    fn count_words_even_ones() {
+        let d = even_ones();
+        // Exactly half of all 2^n words have an even number of ones (n ≥ 1).
+        assert_eq!(d.count_words(0), BigNat::one());
+        for n in 1..10 {
+            assert_eq!(d.count_words(n), BigNat::pow2(n - 1), "n={n}");
+        }
+        // And it scales beyond u64 territory.
+        assert_eq!(d.count_words(200), BigNat::pow2(199));
+    }
+
+    #[test]
+    fn partial_dfa_dead_ends() {
+        // Accepts only "ab": missing transitions are dead.
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut d = Dfa::new(ab, 3);
+        d.set_initial(0);
+        d.set_transition(0, 0, 1);
+        d.set_transition(1, 1, 2);
+        d.set_accepting(2);
+        assert!(d.accepts(&[0, 1]));
+        assert!(!d.accepts(&[0, 0]));
+        assert_eq!(d.count_words(2), BigNat::one());
+        assert_eq!(d.count_words(3), BigNat::zero());
+    }
+}

@@ -1,0 +1,203 @@
+//! NFAs with ε-transitions, and ε-removal.
+//!
+//! ε-NFAs appear in two places in the paper: the Thompson compilation of regular
+//! expressions, and the configuration graph of an NL-transducer (Lemma 13), whose
+//! non-output moves are ε-edges. Both are normalized to ε-free [`Nfa`]s before any
+//! counting/enumeration/sampling algorithm runs, "in the standard way" (App. A.1).
+
+use crate::{Alphabet, Nfa, StateId, StateSet, Symbol};
+
+/// An NFA whose transitions may carry ε (`None`) instead of a symbol.
+#[derive(Clone, Debug)]
+pub struct EpsNfa {
+    alphabet: Alphabet,
+    initial: StateId,
+    accepting: Vec<bool>,
+    transitions: Vec<Vec<(Option<Symbol>, StateId)>>,
+}
+
+impl EpsNfa {
+    /// Creates an ε-NFA with `num_states` states, initial state 0.
+    pub fn new(alphabet: Alphabet, num_states: usize) -> Self {
+        EpsNfa {
+            alphabet,
+            initial: 0,
+            accepting: vec![false; num_states],
+            transitions: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a fresh state, returning its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.accepting.push(false);
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, q: StateId) {
+        assert!(q < self.num_states());
+        self.initial = q;
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_accepting(&mut self, q: StateId) {
+        self.accepting[q] = true;
+    }
+
+    /// Adds `from --symbol--> to`; `None` is an ε-move.
+    pub fn add_transition(&mut self, from: StateId, symbol: Option<Symbol>, to: StateId) {
+        if let Some(s) = symbol {
+            assert!(
+                (s as usize) < self.alphabet.len(),
+                "symbol {s} outside alphabet"
+            );
+        }
+        assert!(to < self.num_states());
+        self.transitions[from].push((symbol, to));
+    }
+
+    /// ε-closure of a single state (includes the state itself).
+    pub fn eps_closure(&self, q: StateId) -> StateSet {
+        let mut seen = StateSet::new(self.num_states());
+        seen.insert(q);
+        let mut stack = vec![q];
+        while let Some(p) = stack.pop() {
+            for &(sym, t) in &self.transitions[p] {
+                if sym.is_none() && seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Removes ε-transitions: the result accepts the same language.
+    ///
+    /// Construction: `q --a--> r` in the output iff some `p ∈ ε-closure(q)` has
+    /// `p --a--> r`; `q` accepts iff its closure touches an accepting state.
+    /// Run-counting note (used to certify Lemma 13): each run of the output maps
+    /// to at least one run of the input with the same label word, and distinct
+    /// output runs map to distinct input runs, so ε-removal never *increases*
+    /// ambiguity — an unambiguous ε-NFA yields an unambiguous NFA.
+    pub fn remove_epsilon(&self) -> Nfa {
+        let m = self.num_states();
+        let mut b = Nfa::builder(self.alphabet.clone(), m);
+        b.set_initial(self.initial);
+        for q in 0..m {
+            let closure = self.eps_closure(q);
+            if closure.iter().any(|p| self.accepting[p]) {
+                b.set_accepting(q);
+            }
+            for p in closure.iter() {
+                for &(sym, t) in &self.transitions[p] {
+                    if let Some(a) = sym {
+                        b.add_transition(q, a, t);
+                    }
+                }
+            }
+        }
+        b.build().trimmed()
+    }
+
+    /// Does the ε-NFA accept `word`? (Used only by tests; ε-removal first is the
+    /// production path.)
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.eps_closure(self.initial);
+        for &a in word {
+            let mut next = StateSet::new(self.num_states());
+            for q in cur.iter() {
+                for &(sym, t) in &self.transitions[q] {
+                    if sym == Some(a) {
+                        next.union_with(&self.eps_closure(t));
+                    }
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        let accepted = cur.iter().any(|q| self.accepting[q]);
+        accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ε-NFA for `a*b` with a gratuitous ε-chain.
+    fn sample() -> EpsNfa {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut e = EpsNfa::new(ab, 4);
+        e.set_initial(0);
+        e.add_transition(0, None, 1); // ε
+        e.add_transition(1, Some(0), 1); // a loop
+        e.add_transition(1, Some(1), 2); // b
+        e.add_transition(2, None, 3); // ε to accept
+        e.set_accepting(3);
+        e
+    }
+
+    #[test]
+    fn closure() {
+        let e = sample();
+        assert_eq!(e.eps_closure(0).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(e.eps_closure(2).iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn accepts_directly() {
+        let e = sample();
+        assert!(e.accepts(&[1])); // b
+        assert!(e.accepts(&[0, 0, 1])); // aab
+        assert!(!e.accepts(&[0]));
+        assert!(!e.accepts(&[]));
+    }
+
+    #[test]
+    fn removal_preserves_language() {
+        let e = sample();
+        let n = e.remove_epsilon();
+        for w in [
+            vec![],
+            vec![1],
+            vec![0, 1],
+            vec![0, 0, 1],
+            vec![1, 1],
+            vec![0],
+            vec![0, 1, 0],
+        ] {
+            assert_eq!(e.accepts(&w), n.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn removal_of_eps_cycle_terminates() {
+        let ab = Alphabet::binary();
+        let mut e = EpsNfa::new(ab, 2);
+        e.add_transition(0, None, 1);
+        e.add_transition(1, None, 0);
+        e.add_transition(0, Some(0), 1);
+        e.set_accepting(1);
+        let n = e.remove_epsilon();
+        assert!(n.accepts(&[0]));
+        assert!(n.accepts(&[])); // initial closure touches accepting
+    }
+}

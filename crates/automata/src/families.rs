@@ -1,0 +1,254 @@
+//! Automaton families used by tests, experiments, and benchmarks.
+//!
+//! The paper evaluates nothing empirically, so the reproduction defines its own
+//! workloads; each family here stresses a specific regime of the algorithms
+//! (see DESIGN.md §4 and EXPERIMENTS.md for which experiment uses which).
+
+use rand::Rng;
+
+use crate::regex::Regex;
+use crate::{Alphabet, Nfa};
+
+/// A uniformly random NFA: `m` states, each `(state, symbol)` pair gets each
+/// possible target independently with probability `density`, and each state
+/// accepts with probability `accept_prob` (the initial state is never made
+/// accepting, and at least one state always accepts).
+pub fn random_nfa<R: Rng + ?Sized>(
+    m: usize,
+    alphabet: Alphabet,
+    density: f64,
+    accept_prob: f64,
+    rng: &mut R,
+) -> Nfa {
+    assert!(m >= 1);
+    let mut b = Nfa::builder(alphabet.clone(), m);
+    b.set_initial(0);
+    for q in 0..m {
+        for a in 0..alphabet.len() as u32 {
+            for t in 0..m {
+                if rng.gen_bool(density) {
+                    b.add_transition(q, a, t);
+                }
+            }
+        }
+    }
+    let mut any = false;
+    for q in 1..m {
+        if rng.gen_bool(accept_prob) {
+            b.set_accepting(q);
+            any = true;
+        }
+    }
+    if !any {
+        b.set_accepting(m - 1);
+    }
+    b.build()
+}
+
+/// The classic determinization-blowup family `(0|1)* 1 (0|1)^{k-1}`:
+/// `k + 1` NFA states, `2^k` DFA states. Note it is *unambiguous* at every
+/// fixed word length (the marked `1` sits exactly `k` positions from the end),
+/// making it the canonical witness that UFAs beat DFAs exponentially — a
+/// workhorse for both the exact-UFA algorithms and FPRAS scaling runs.
+pub fn blowup_nfa(k: usize) -> Nfa {
+    assert!(k >= 1);
+    let ab = Alphabet::binary();
+    let mut b = Nfa::builder(ab, k + 1);
+    b.set_initial(0);
+    b.add_transition(0, 0, 0);
+    b.add_transition(0, 1, 0);
+    b.add_transition(0, 1, 1);
+    for i in 1..k {
+        b.add_transition(i, 0, i + 1);
+        b.add_transition(i, 1, i + 1);
+    }
+    b.set_accepting(k);
+    b.build()
+}
+
+/// An *ambiguity-gap* gadget for experiment E8 (§6.1's argument that the naive
+/// path-ratio estimator has exponential variance): the union of
+///
+/// * a thin branch accepting `0 · {0,1}^{n-1}` with exactly one run per word, and
+/// * a fat branch accepting `1 · {0,1}^{n-1}` where every word has `width^{n-1}`
+///   runs (all `width` copies of each chain state behave identically).
+///
+/// Both branches accept the same number of length-`n` words, but the runs are
+/// spread so unevenly that sampling paths uniformly almost never lands in the
+/// thin branch.
+pub fn ambiguity_gap_nfa(width: usize) -> Nfa {
+    assert!(width >= 2);
+    let ab = Alphabet::binary();
+    // States: 0 = start; 1 = thin loop; 2..2+width = fat copies.
+    let mut b = Nfa::builder(ab, 2 + width);
+    b.set_initial(0);
+    b.add_transition(0, 0, 1); // thin branch entry on 0
+    b.add_transition(1, 0, 1);
+    b.add_transition(1, 1, 1);
+    b.set_accepting(1);
+    for i in 0..width {
+        let fat = 2 + i;
+        b.add_transition(0, 1, fat); // fat branch entry on 1
+        for j in 0..width {
+            b.add_transition(fat, 0, 2 + j);
+            b.add_transition(fat, 1, 2 + j);
+        }
+        b.set_accepting(fat);
+    }
+    b.build()
+}
+
+/// A chain UFA accepting exactly one word `0^n` per length — the degenerate
+/// "single witness" case (useful for boundary tests).
+pub fn single_word_nfa(n: usize) -> Nfa {
+    let ab = Alphabet::binary();
+    let mut b = Nfa::builder(ab, n + 1);
+    b.set_initial(0);
+    for i in 0..n {
+        b.add_transition(i, 0, i + 1);
+    }
+    b.set_accepting(n);
+    b.build()
+}
+
+/// The complete automaton on one accepting state: `L_n = Σ^n`, the maximal
+/// count (`|Σ|^n`), for overflow and scaling tests.
+pub fn universal_nfa(alphabet: Alphabet) -> Nfa {
+    let mut b = Nfa::builder(alphabet.clone(), 1);
+    b.set_initial(0);
+    b.set_accepting(0);
+    for a in 0..alphabet.len() as u32 {
+        b.add_transition(0, a, 0);
+    }
+    b.build()
+}
+
+/// A random unambiguous NFA, produced by generating random *deterministic*
+/// transition functions and pruning: a DFA is trivially unambiguous, and
+/// `partial` knocks out a fraction of transitions to vary the shape.
+pub fn random_ufa<R: Rng + ?Sized>(
+    m: usize,
+    alphabet: Alphabet,
+    partial: f64,
+    rng: &mut R,
+) -> Nfa {
+    assert!(m >= 1);
+    let mut b = Nfa::builder(alphabet.clone(), m);
+    b.set_initial(0);
+    for q in 0..m {
+        for a in 0..alphabet.len() as u32 {
+            if rng.gen_bool(1.0 - partial) {
+                let t = rng.gen_range(0..m);
+                b.add_transition(q, a, t);
+            }
+        }
+    }
+    let mut any = false;
+    for q in 0..m {
+        if rng.gen_bool(0.3) {
+            b.set_accepting(q);
+            any = true;
+        }
+    }
+    if !any {
+        b.set_accepting(m - 1);
+    }
+    b.build()
+}
+
+/// Compiles one of a fixed set of "interesting" regex workloads by name; the
+/// experiment harness selects families by these names.
+pub fn regex_family(name: &str) -> Option<Nfa> {
+    let ab = Alphabet::binary();
+    let pattern = match name {
+        "contains-101" => "(0|1)*101(0|1)*",
+        "starts-ends-1" => "1(0|1)*1|1",
+        "parity-like" => "(0|1(0|1)*1)*",
+        "blocks-of-1" => "(0*11)*0*",
+        "third-from-end" => "(0|1)*1(0|1)(0|1)",
+        _ => return None,
+    };
+    Some(Regex::parse(pattern, &ab).unwrap().compile())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::is_unambiguous;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_nfa_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = random_nfa(12, Alphabet::binary(), 0.2, 0.3, &mut rng);
+        assert_eq!(n.num_states(), 12);
+        assert!(n.accepting_states().count() >= 1);
+    }
+
+    #[test]
+    fn blowup_family_counts() {
+        // |L_n| of (0|1)*1(0|1)^{k-1} for n ≥ k is 2^{n-1} (the k-th symbol
+        // from the end is 1, the rest free).
+        use crate::ops::determinize;
+        let n = blowup_nfa(4);
+        let d = determinize(&n);
+        assert_eq!(d.count_words(6).to_string(), (1u64 << 5).to_string());
+        // Unambiguous despite the exponential determinization gap: at fixed
+        // length the marked 1 position is forced.
+        assert!(is_unambiguous(&n));
+        assert!(d.num_states() >= 16);
+    }
+
+    #[test]
+    fn ambiguity_gap_structure() {
+        let n = ambiguity_gap_nfa(3);
+        // Accepts everything of length ≥ 1.
+        assert!(n.accepts(&[0, 1, 0]));
+        assert!(n.accepts(&[1, 1]));
+        assert!(!n.accepts(&[]));
+        assert!(!is_unambiguous(&n));
+        // Fat-branch words have many runs: count paths vs words at n=4.
+        use crate::unroll::UnrolledDag;
+        let dag = UnrolledDag::build(&n, 4);
+        let runs = dag.completion_counts()[dag.start().unwrap()].clone();
+        let words = crate::ops::determinize(&n).count_words(4);
+        assert_eq!(words.to_string(), "16");
+        assert!(runs > words);
+    }
+
+    #[test]
+    fn single_word_and_universal() {
+        let s = single_word_nfa(5);
+        assert!(s.accepts(&[0; 5]));
+        assert!(!s.accepts(&[0; 4]));
+        assert!(is_unambiguous(&s));
+        let u = universal_nfa(Alphabet::binary());
+        assert!(u.accepts(&[0, 1, 1, 0]));
+        assert!(is_unambiguous(&u));
+    }
+
+    #[test]
+    fn random_ufa_is_unambiguous() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..10u64 {
+            let mut r = StdRng::seed_from_u64(seed + rng.gen::<u64>());
+            let u = random_ufa(8, Alphabet::binary(), 0.2, &mut r);
+            assert!(is_unambiguous(&u), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn regex_families_compile() {
+        for name in [
+            "contains-101",
+            "starts-ends-1",
+            "parity-like",
+            "blocks-of-1",
+            "third-from-end",
+        ] {
+            assert!(regex_family(name).is_some(), "{name}");
+        }
+        assert!(regex_family("nope").is_none());
+    }
+}

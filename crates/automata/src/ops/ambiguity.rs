@@ -1,0 +1,119 @@
+//! Deciding unambiguity — the property defining `MEM-UFA` and `RelationUL`.
+
+use std::collections::HashMap;
+
+use crate::{Nfa, StateId};
+
+/// Is the NFA unambiguous (every accepted word has exactly one accepting run)?
+///
+/// Standard squaring argument: simulate two runs in lockstep over the trimmed
+/// automaton, tracking whether they have ever diverged. The NFA is ambiguous
+/// iff a pair of accepting states is reachable with the divergence flag set —
+/// then some word reaches two *distinct* accepting runs. Runs over pairs of
+/// trimmed states, so `O((m·|Σ|)²)` at worst but small in practice.
+pub fn is_unambiguous(n: &Nfa) -> bool {
+    let t = n.trimmed();
+    // Node = (p, q, diverged) with p ≤ q to halve the space (divergence is
+    // symmetric). Transitions must consider ordered successor pairs.
+    type Node = (StateId, StateId, bool);
+    let start: Node = (t.initial(), t.initial(), false);
+    let mut seen: HashMap<Node, ()> = HashMap::new();
+    seen.insert(start, ());
+    let mut stack = vec![start];
+    while let Some((p, q, div)) = stack.pop() {
+        if div && t.is_accepting(p) && t.is_accepting(q) {
+            return false;
+        }
+        for sym in 0..t.alphabet().len() as u32 {
+            for tp in t.step(p, sym) {
+                for tq in t.step(q, sym) {
+                    let diverged = div || tp != tq;
+                    let node = if tp <= tq {
+                        (tp, tq, diverged)
+                    } else {
+                        (tq, tp, diverged)
+                    };
+                    if seen.insert(node, ()).is_none() {
+                        stack.push(node);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    fn nfa_of(pattern: &str) -> Nfa {
+        Regex::parse(pattern, &Alphabet::from_chars(&['a', 'b']))
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn dfa_like_is_unambiguous() {
+        assert!(is_unambiguous(&nfa_of("ab*a")));
+        assert!(is_unambiguous(&nfa_of("(ab)*")));
+    }
+
+    #[test]
+    fn classic_ambiguous_pattern() {
+        // a* a* : every word a^k (k ≥ 1) has many split points.
+        assert!(!is_unambiguous(&nfa_of("a*a*a")));
+        // (a|b)*a(a|b)* is ambiguous on words with two a's.
+        assert!(!is_unambiguous(&nfa_of("(a|b)*a(a|b)*")));
+    }
+
+    #[test]
+    fn union_of_disjoint_branches_is_unambiguous() {
+        assert!(is_unambiguous(&nfa_of("aa|bb")));
+    }
+
+    #[test]
+    fn union_with_overlap_is_ambiguous() {
+        // 'aa' is matched by both branches.
+        assert!(!is_unambiguous(&nfa_of("aa|aa")));
+    }
+
+    #[test]
+    fn ambiguity_outside_trim_does_not_count() {
+        // Two runs that never reach acceptance must not flag ambiguity.
+        let ab = Alphabet::binary();
+        let mut b = Nfa::builder(ab, 4);
+        b.set_initial(0);
+        b.add_transition(0, 0, 1);
+        b.add_transition(0, 0, 2); // diverging pair 1,2 — but 2 is a dead end
+        b.add_transition(1, 1, 3);
+        b.set_accepting(3);
+        assert!(is_unambiguous(&b.build()));
+    }
+
+    #[test]
+    fn figure1_is_unambiguous() {
+        // The paper's Figure 1 automaton is presented as a UFA.
+        use crate::Alphabet;
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut b = Nfa::builder(ab, 7);
+        b.set_initial(0);
+        b.set_accepting(5);
+        for (f, s, t) in [
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 0, 3),
+            (2, 1, 4),
+            (2, 0, 6),
+            (3, 0, 5),
+            (3, 1, 5),
+            (4, 0, 5),
+            (6, 1, 6),
+        ] {
+            b.add_transition(f, s, t);
+        }
+        assert!(is_unambiguous(&b.build()));
+    }
+}

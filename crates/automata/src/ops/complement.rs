@@ -1,0 +1,104 @@
+//! Complementation and inclusion.
+
+use crate::ops::determinize;
+use crate::{Dfa, Nfa, StateId};
+
+/// A DFA for the complement language `Σ* ∖ L(n)`.
+///
+/// Determinizes, completes with an explicit dead state, and flips acceptance.
+/// Exponential in the worst case — like [`determinize`], a testing/oracle
+/// operation in this repository.
+pub fn complement(n: &Nfa) -> Dfa {
+    let d = determinize(n);
+    let m = d.num_states();
+    let width = d.alphabet().len();
+    // Completed copy: dead state id m.
+    let mut out = Dfa::new(d.alphabet().clone(), m + 1);
+    out.set_initial(d.initial());
+    for q in 0..m {
+        if !d.is_accepting(q) {
+            out.set_accepting(q);
+        }
+        for sym in 0..width as u32 {
+            out.set_transition(q, sym, d.step(q, sym).unwrap_or(m));
+        }
+    }
+    out.set_accepting(m);
+    for sym in 0..width as u32 {
+        out.set_transition(m, sym, m);
+    }
+    out
+}
+
+/// Is `L(a) ⊆ L(b)`? Decided by emptiness of `L(a) ∩ complement(L(b))`,
+/// walking the product of `a` with the complement DFA.
+pub fn is_subset(a: &Nfa, b: &Nfa) -> bool {
+    assert_eq!(
+        a.alphabet().len(),
+        b.alphabet().len(),
+        "inclusion requires equal alphabets"
+    );
+    let cb = complement(b);
+    // BFS over (a-state, cb-state); a counterexample is a reachable pair with
+    // both accepting.
+    let mut seen = std::collections::HashSet::new();
+    let start: (StateId, StateId) = (a.initial(), cb.initial());
+    seen.insert(start);
+    let mut stack = vec![start];
+    while let Some((qa, qb)) = stack.pop() {
+        if a.is_accepting(qa) && cb.is_accepting(qb) {
+            return false;
+        }
+        for &(sym, ta) in a.transitions_from(qa) {
+            let tb = cb.step(qb, sym).expect("complement DFA is complete");
+            if seen.insert((ta, tb)) {
+                stack.push((ta, tb));
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    fn nfa_of(pattern: &str) -> Nfa {
+        Regex::parse(pattern, &Alphabet::from_chars(&['a', 'b']))
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let n = nfa_of("(a|b)*abb");
+        let c = complement(&n);
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        for (w, in_l) in [("abb", true), ("aabb", true), ("ab", false), ("", false)] {
+            let word = crate::parse_word(w, &ab).unwrap();
+            assert_eq!(n.accepts(&word), in_l);
+            assert_eq!(c.accepts(&word), !in_l, "complement must flip {w:?}");
+        }
+    }
+
+    #[test]
+    fn subset_relations() {
+        assert!(is_subset(&nfa_of("ab"), &nfa_of("(a|b)*")));
+        assert!(is_subset(&nfa_of("a+"), &nfa_of("a*")));
+        assert!(!is_subset(&nfa_of("a*"), &nfa_of("a+"))); // ε breaks it
+        assert!(is_subset(&nfa_of("(ab)+"), &nfa_of("a(ba)*b")));
+        assert!(is_subset(&nfa_of("∅"), &nfa_of("a")));
+        assert!(!is_subset(&nfa_of("b"), &nfa_of("a")));
+    }
+
+    #[test]
+    fn mutual_inclusion_is_equivalence() {
+        use crate::ops::equivalent;
+        let x = nfa_of("(a|b)*");
+        let y = nfa_of("(a*b*)*");
+        assert!(is_subset(&x, &y) && is_subset(&y, &x));
+        assert!(equivalent(&x, &y));
+    }
+}

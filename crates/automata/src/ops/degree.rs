@@ -1,0 +1,513 @@
+//! Ambiguity-degree classification, after Weber & Seidl ("On the degree of
+//! ambiguity of finite automata", TCS 1991).
+//!
+//! The paper's dichotomy is coarse: `MEM-UFA` (unambiguous) gets exact
+//! counting, everything else gets the FPRAS. But the ambiguity of an NFA has
+//! finer structure that is decidable in polynomial time, and knowing it tells
+//! us *why* a family defeats the naive run-counting estimator of §6.1: the
+//! runs-per-word spread is `2^Θ(n)` exactly when the automaton has
+//! **exponential degree of ambiguity** (EDA). This module classifies a trim
+//! NFA into the Weber–Seidl hierarchy:
+//!
+//! * [`AmbiguityDegree::Unambiguous`] — every accepted word has one run;
+//! * [`AmbiguityDegree::Finite`] — ambiguity bounded by a constant ≥ 2;
+//! * [`AmbiguityDegree::Polynomial`] — ambiguity `Θ(n^d)` for a computed
+//!   degree `d ≥ 1`;
+//! * [`AmbiguityDegree::Exponential`] — ambiguity `2^Θ(n)`.
+//!
+//! The two decision criteria (both over the trimmed automaton, where every
+//! state is useful):
+//!
+//! * **EDA** holds iff some state `q` has two *distinct* runs `q →ᵛ q` on a
+//!   common word `v`; equivalently, some strongly connected component of the
+//!   pair graph `N × N` contains both a diagonal node `(q, q)` and a
+//!   non-diagonal node `(r, s)`, `r ≠ s`.
+//! * **IDA** holds iff there are states `p ≠ q` and a word `v` with
+//!   simultaneous runs `p →ᵛ p`, `p →ᵛ q`, `q →ᵛ q`; equivalently,
+//!   `(p, p, q)` reaches `(p, q, q)` in the triple product `N × N × N`.
+//!
+//! Not-IDA ⇒ finitely ambiguous; IDA but not EDA ⇒ polynomially ambiguous of
+//! degree equal to the longest chain of IDA pairs `(p₁,q₁), …, (p_d,q_d)`
+//! linked by reachability `q_i →* p_{i+1}`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{Nfa, StateId, StateSet};
+
+use super::is_unambiguous;
+
+/// Position of a trim NFA in the Weber–Seidl ambiguity hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmbiguityDegree {
+    /// At most one accepting run per word (the `MEM-UFA` condition).
+    Unambiguous,
+    /// Ambiguity bounded by a constant ≥ 2 (no IDA pattern).
+    Finite,
+    /// Ambiguity grows as `Θ(n^degree)` with `degree ≥ 1` (IDA without EDA).
+    Polynomial {
+        /// The longest chain of linked IDA patterns.
+        degree: usize,
+    },
+    /// Ambiguity grows as `2^Θ(n)` (EDA).
+    Exponential,
+}
+
+impl AmbiguityDegree {
+    /// True iff exact counting via the unambiguous dynamic program (§5.3.2)
+    /// is sound for this automaton.
+    pub fn supports_exact_counting(self) -> bool {
+        self == AmbiguityDegree::Unambiguous
+    }
+}
+
+/// Classifies `n` in the Weber–Seidl ambiguity hierarchy.
+///
+/// The classification is a property of the *useful* part of the automaton:
+/// ambiguity among runs that never reach acceptance does not count, exactly as
+/// in [`is_unambiguous`]. Runs in time polynomial in the trimmed size — the
+/// EDA check is an SCC pass over the `m²`-node pair graph, and each IDA
+/// candidate costs one search over (a reachable slice of) the `m³`-node triple
+/// product.
+pub fn ambiguity_degree(n: &Nfa) -> AmbiguityDegree {
+    let t = n.trimmed();
+    if t.accepting_states().next().is_none() {
+        return AmbiguityDegree::Unambiguous; // empty language
+    }
+    if is_unambiguous(&t) {
+        return AmbiguityDegree::Unambiguous;
+    }
+    let pairs = PairGraph::new(&t);
+    if pairs.has_eda() {
+        return AmbiguityDegree::Exponential;
+    }
+    let ida = ida_pairs(&t, &pairs);
+    if ida.is_empty() {
+        return AmbiguityDegree::Finite;
+    }
+    AmbiguityDegree::Polynomial { degree: longest_chain(&t, &ida) }
+}
+
+/// The pair graph `N × N`: node `(p, q)` steps to `(p', q')` when both
+/// coordinates step on a common symbol.
+struct PairGraph {
+    m: usize,
+    /// Strongly connected component index per node (Tarjan order), over
+    /// flattened pair ids `p * m + q`.
+    scc: Vec<usize>,
+    num_sccs: usize,
+    /// Per component: does it contain a cycle (≥ 2 nodes, or a self-loop)?
+    cyclic: Vec<bool>,
+}
+
+impl PairGraph {
+    fn new(t: &Nfa) -> PairGraph {
+        let m = t.num_states();
+        let mut adj = vec![Vec::new(); m * m];
+        for p in 0..m {
+            for q in 0..m {
+                let node = p * m + q;
+                for sym in 0..t.alphabet().len() as u32 {
+                    for tp in t.step(p, sym) {
+                        for tq in t.step(q, sym) {
+                            adj[node].push(tp * m + tq);
+                        }
+                    }
+                }
+                adj[node].sort_unstable();
+                adj[node].dedup();
+            }
+        }
+        let (scc, num_sccs) = tarjan_sccs(&adj);
+        let mut size = vec![0usize; num_sccs];
+        for &c in &scc {
+            size[c] += 1;
+        }
+        let mut cyclic: Vec<bool> = size.iter().map(|&s| s >= 2).collect();
+        for (u, row) in adj.iter().enumerate() {
+            if row.contains(&u) {
+                cyclic[scc[u]] = true;
+            }
+        }
+        PairGraph { m, scc, num_sccs, cyclic }
+    }
+
+    /// EDA iff some SCC holds a diagonal and a non-diagonal node.
+    fn has_eda(&self) -> bool {
+        let mut has_diag = vec![false; self.num_sccs];
+        let mut has_off = vec![false; self.num_sccs];
+        for p in 0..self.m {
+            for q in 0..self.m {
+                let c = self.scc[p * self.m + q];
+                if p == q {
+                    has_diag[c] = true;
+                } else {
+                    has_off[c] = true;
+                }
+            }
+        }
+        (0..self.num_sccs).any(|c| has_diag[c] && has_off[c])
+    }
+
+    /// Is `(p, q)` on a cycle of the pair graph (nontrivial SCC or self-loop)?
+    /// Necessary for the IDA pattern, which loops `(p, q) →ᵛ (p, q)`.
+    fn on_cycle(&self, p: StateId, q: StateId) -> bool {
+        self.cyclic[self.scc[p * self.m + q]]
+    }
+}
+
+/// Iterative Tarjan over an adjacency-list digraph. Returns the component
+/// index of each node and the number of components.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_comps = 0usize;
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = num_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_comps += 1;
+                }
+            }
+        }
+    }
+    (comp, num_comps)
+}
+
+/// All IDA pairs `(p, q)`, `p ≠ q`: a common word `v` loops at `p`, loops at
+/// `q`, and carries `p` to `q`. Searched as reachability `(p,p,q) →* (p,q,q)`
+/// in the triple product, restricted to candidates whose pair node `(p, q)`
+/// lies on a pair-graph cycle (a free necessary condition).
+fn ida_pairs(t: &Nfa, pairs: &PairGraph) -> Vec<(StateId, StateId)> {
+    let m = t.num_states();
+    let mut out = Vec::new();
+    for p in 0..m {
+        for q in 0..m {
+            if p != q && pairs.on_cycle(p, q) && triple_reaches(t, (p, p, q), (p, q, q)) {
+                out.push((p, q));
+            }
+        }
+    }
+    out
+}
+
+/// Breadth-first reachability in the on-the-fly triple product `N × N × N`.
+fn triple_reaches(t: &Nfa, from: (StateId, StateId, StateId), to: (StateId, StateId, StateId)) -> bool {
+    let mut seen: HashSet<(StateId, StateId, StateId)> = HashSet::new();
+    let mut frontier = vec![from];
+    seen.insert(from);
+    while let Some((a, b, c)) = frontier.pop() {
+        for sym in 0..t.alphabet().len() as u32 {
+            for ta in t.step(a, sym) {
+                for tb in t.step(b, sym) {
+                    for tc in t.step(c, sym) {
+                        let node = (ta, tb, tc);
+                        if node == to {
+                            return true;
+                        }
+                        if seen.insert(node) {
+                            frontier.push(node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The longest chain of IDA pairs linked by `q_i →* p_{i+1}` in `t`.
+///
+/// In a non-EDA automaton this chain digraph is acyclic: a cycle
+/// `(p₁,q₁) → … → (p₁,q₁)` would give `q₁ →* p₁`, and an IDA pattern whose
+/// exit reaches its own entry manufactures two distinct loops
+/// `p →ᵛᵛᵘ p` (switch to `q` after the first or the second `v`) — an EDA
+/// witness. We still guard against cycles defensively by computing the
+/// longest path over the SCC condensation, weighting each component by its
+/// size.
+fn longest_chain(t: &Nfa, ida: &[(StateId, StateId)]) -> usize {
+    let m = t.num_states();
+    // All-pairs reachability (reflexive) via one BFS per state.
+    let mut reach: Vec<StateSet> = Vec::with_capacity(m);
+    for s in 0..m {
+        let mut seen = StateSet::new(m);
+        seen.insert(s);
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &(_, v) in t.transitions_from(u) {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        reach.push(seen);
+    }
+    let k = ida.len();
+    let mut adj = vec![Vec::new(); k];
+    for (i, &(_, qi)) in ida.iter().enumerate() {
+        for (j, &(pj, _)) in ida.iter().enumerate() {
+            if i != j && reach[qi].contains(pj) {
+                adj[i].push(j);
+            }
+        }
+    }
+    let (comp, num_comps) = tarjan_sccs(&adj);
+    debug_assert!(
+        (0..num_comps).all(|c| comp.iter().filter(|&&x| x == c).count() == 1),
+        "IDA chain graph must be acyclic when EDA fails"
+    );
+    let mut weight = vec![0usize; num_comps];
+    for &c in &comp {
+        weight[c] += 1;
+    }
+    let mut cadj: Vec<HashSet<usize>> = vec![HashSet::new(); num_comps];
+    for (u, row) in adj.iter().enumerate() {
+        for &v in row {
+            if comp[u] != comp[v] {
+                cadj[comp[u]].insert(comp[v]);
+            }
+        }
+    }
+    // Longest path over the condensation. Tarjan emits components in reverse
+    // topological order, so iterate components ascending and relax incoming
+    // edges — equivalently process in reverse and relax outgoing.
+    let mut best = vec![0usize; num_comps];
+    for c in 0..num_comps {
+        // Edges go from later-indexed components to earlier ones in Tarjan
+        // numbering (reverse topological), so successors are already final.
+        let succ_best = cadj[c].iter().map(|&d| best[d]).max().unwrap_or(0);
+        best[c] = weight[c] + succ_best;
+    }
+    best.into_iter().max().unwrap_or(0)
+}
+
+/// A memoized run-count table: `counts[w]` = number of accepting runs of the
+/// trimmed automaton on word `w`. Exposed for tests and diagnostics; the
+/// production counting paths live in `lsc-core`.
+pub fn accepting_runs_on_word(n: &Nfa, word: &[u32]) -> u64 {
+    let m = n.num_states();
+    let mut cur: HashMap<StateId, u64> = HashMap::with_capacity(m);
+    cur.insert(n.initial(), 1);
+    for &sym in word {
+        let mut next: HashMap<StateId, u64> = HashMap::with_capacity(m);
+        for (&q, &c) in &cur {
+            for tq in n.step(q, sym) {
+                *next.entry(tq).or_insert(0) += c;
+            }
+        }
+        cur = next;
+    }
+    cur.into_iter().filter(|&(q, _)| n.is_accepting(q)).map(|(_, c)| c).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{ambiguity_gap_nfa, blowup_nfa};
+    use crate::{Alphabet, Nfa};
+
+    /// Max accepting-run count over all words of length `len` (brute force).
+    fn max_ambiguity(n: &Nfa, len: usize) -> u64 {
+        let sigma = n.alphabet().len() as u32;
+        let mut word = vec![0u32; len];
+        let mut best = 0;
+        loop {
+            best = best.max(accepting_runs_on_word(n, &word));
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == len {
+                    return best;
+                }
+                word[i] += 1;
+                if word[i] < sigma {
+                    break;
+                }
+                word[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// The chain of `stars` overlapping `a*`-blocks: states `0..=stars-1`,
+    /// `i -a-> i` and `i -a-> i+1`; accepting only the last state. Ambiguity
+    /// on `a^n` is `C(n, stars-1) = Θ(n^{stars-1})`.
+    fn star_chain(stars: usize) -> Nfa {
+        let ab = Alphabet::from_chars(&['a']);
+        let mut b = Nfa::builder(ab, stars);
+        b.set_initial(0);
+        b.set_accepting(stars - 1);
+        for i in 0..stars {
+            b.add_transition(i, 0, i);
+            if i + 1 < stars {
+                b.add_transition(i, 0, i + 1);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_language_is_unambiguous() {
+        let ab = Alphabet::binary();
+        let mut b = Nfa::builder(ab, 2);
+        b.set_initial(0);
+        b.add_transition(0, 0, 1); // no accepting states
+        assert_eq!(ambiguity_degree(&b.build()), AmbiguityDegree::Unambiguous);
+    }
+
+    #[test]
+    fn deterministic_is_unambiguous() {
+        let n = star_chain(1); // a single a-loop, accepting: a DFA
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Unambiguous);
+    }
+
+    #[test]
+    fn duplicated_branch_is_finitely_ambiguous() {
+        // Two disjoint copies of the same path: every word has exactly 2 runs.
+        let ab = Alphabet::binary();
+        let mut b = Nfa::builder(ab, 5);
+        b.set_initial(0);
+        for (f, s, t) in [(0, 0, 1), (1, 1, 2), (0, 0, 3), (3, 1, 4)] {
+            b.add_transition(f, s, t);
+        }
+        b.set_accepting(2);
+        b.set_accepting(4);
+        let n = b.build();
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Finite);
+        assert_eq!(accepting_runs_on_word(&n, &[0, 1]), 2);
+    }
+
+    #[test]
+    fn two_star_chain_is_linearly_ambiguous() {
+        let n = star_chain(2);
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 1 });
+        // Ambiguity on a^n is exactly n (switch point among positions 1..n).
+        assert_eq!(max_ambiguity(&n, 6), 6);
+        assert_eq!(max_ambiguity(&n, 9), 9);
+    }
+
+    #[test]
+    fn three_star_chain_is_quadratically_ambiguous() {
+        let n = star_chain(3);
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 2 });
+        // Ambiguity on a^n is C(n, 2).
+        assert_eq!(max_ambiguity(&n, 6), 15);
+        assert_eq!(max_ambiguity(&n, 8), 28);
+    }
+
+    #[test]
+    fn four_star_chain_is_cubically_ambiguous() {
+        let n = star_chain(4);
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 3 });
+        assert_eq!(max_ambiguity(&n, 6), 20); // C(6, 3)
+    }
+
+    #[test]
+    fn double_loop_is_exponentially_ambiguous() {
+        // 0 -a-> 0 and 0 -a-> 1 -a-> 0: two distinct loops at 0 on `aa`.
+        let ab = Alphabet::from_chars(&['a']);
+        let mut b = Nfa::builder(ab, 2);
+        b.set_initial(0);
+        b.set_accepting(0);
+        b.add_transition(0, 0, 0);
+        b.add_transition(0, 0, 1);
+        b.add_transition(1, 0, 0);
+        let n = b.build();
+        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Exponential);
+        // Run counts on a^n follow a Fibonacci-like recurrence: strictly
+        // super-polynomial growth (doubling ratio ≥ 1.6).
+        let (a6, a12) = (max_ambiguity(&n, 6), max_ambiguity(&n, 12));
+        assert!(a12 as f64 > (a6 as f64).powf(1.8), "a6={a6}, a12={a12}");
+    }
+
+    #[test]
+    fn ambiguity_gap_family_is_exponential() {
+        // The family built to break the naive §6.1 estimator has runs-per-word
+        // spread 2^Θ(n) — it must sit in the EDA class.
+        assert_eq!(ambiguity_degree(&ambiguity_gap_nfa(4)), AmbiguityDegree::Exponential);
+    }
+
+    #[test]
+    fn blowup_family_is_unambiguous() {
+        // The DFA-blowup family is a reverse-determinism gadget; each word
+        // has one accepting run.
+        assert_eq!(ambiguity_degree(&blowup_nfa(5)), AmbiguityDegree::Unambiguous);
+    }
+
+    #[test]
+    fn dead_ambiguity_does_not_count() {
+        // Duplicate runs that never accept are ignored, matching
+        // `is_unambiguous`.
+        let ab = Alphabet::binary();
+        let mut b = Nfa::builder(ab, 4);
+        b.set_initial(0);
+        b.add_transition(0, 0, 1);
+        b.add_transition(0, 0, 2); // 2 is a dead end
+        b.add_transition(1, 1, 3);
+        b.set_accepting(3);
+        assert_eq!(ambiguity_degree(&b.build()), AmbiguityDegree::Unambiguous);
+    }
+
+    #[test]
+    fn classification_is_trim_invariant() {
+        // Adding unreachable junk must not change the class.
+        let base = star_chain(3);
+        let ab = base.alphabet().clone();
+        let mut b = Nfa::builder(ab, base.num_states() + 2);
+        b.set_initial(base.initial());
+        for q in 0..base.num_states() {
+            if base.is_accepting(q) {
+                b.set_accepting(q);
+            }
+            for &(s, t) in base.transitions_from(q) {
+                b.add_transition(q, s, t);
+            }
+        }
+        // Junk: an ambiguous blob among states m, m+1 with no way in.
+        let m = base.num_states();
+        b.add_transition(m, 0, m);
+        b.add_transition(m, 0, m + 1);
+        b.add_transition(m + 1, 0, m);
+        assert_eq!(ambiguity_degree(&b.build()), ambiguity_degree(&base));
+    }
+}

@@ -1,0 +1,117 @@
+//! Subset construction.
+
+use std::collections::HashMap;
+
+use crate::{Dfa, Nfa, StateId};
+
+/// Determinizes an NFA by the subset construction.
+///
+/// Worst-case exponential, which is exactly why the paper needs an FPRAS — but
+/// indispensable here as the exact-count oracle for small instances (the DP of
+/// §6.1 is correct on DFAs). Only reachable subsets are materialized and the
+/// empty subset is left implicit (partial DFA).
+pub fn determinize(n: &Nfa) -> Dfa {
+    determinize_capped(n, usize::MAX).expect("uncapped determinization cannot abort")
+}
+
+/// [`determinize`], but gives up once more than `max_states` subsets have been
+/// materialized, returning `None`.
+///
+/// This is the safety valve behind the counting router in `lsc-core`: an
+/// ambiguous NFA whose subset construction stays small can be counted exactly,
+/// and the cap bounds the time spent discovering that it does not.
+pub fn determinize_capped(n: &Nfa, max_states: usize) -> Option<Dfa> {
+    let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut subsets: Vec<Vec<StateId>> = Vec::new();
+    let start = vec![n.initial()];
+    index.insert(start.clone(), 0);
+    subsets.push(start);
+    let mut edges: Vec<(StateId, u32, StateId)> = Vec::new();
+    let mut i = 0;
+    while i < subsets.len() {
+        if subsets.len() > max_states {
+            return None;
+        }
+        for sym in 0..n.alphabet().len() as u32 {
+            let mut next: Vec<StateId> = Vec::new();
+            for &q in &subsets[i] {
+                next.extend(n.step(q, sym));
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                continue;
+            }
+            let id = *index.entry(next.clone()).or_insert_with(|| {
+                subsets.push(next);
+                subsets.len() - 1
+            });
+            edges.push((i, sym, id));
+        }
+        i += 1;
+    }
+    if subsets.len() > max_states {
+        return None;
+    }
+    let mut d = Dfa::new(n.alphabet().clone(), subsets.len());
+    d.set_initial(0);
+    for (id, subset) in subsets.iter().enumerate() {
+        if subset.iter().any(|&q| n.is_accepting(q)) {
+            d.set_accepting(id);
+        }
+    }
+    for (f, s, t) in edges {
+        d.set_transition(f, s, t);
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    #[test]
+    fn dfa_equals_nfa_on_small_words() {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let n = Regex::parse("(a|b)*a(a|b)", &ab).unwrap().compile();
+        let d = determinize(&n);
+        // Exhaustively compare on all words up to length 6.
+        for len in 0..=6usize {
+            for code in 0..(1usize << len) {
+                let w: Vec<u32> = (0..len).map(|i| ((code >> i) & 1) as u32).collect();
+                assert_eq!(n.accepts(&w), d.accepts(&w), "word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blowup_family_is_exponential() {
+        // (a|b)*a(a|b)^{k-1} needs ≥ 2^{k-1} DFA states.
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab).unwrap().compile();
+        let d = determinize(&n);
+        assert!(d.num_states() >= 16, "got {}", d.num_states());
+    }
+
+    #[test]
+    fn capped_determinization_aborts_on_blowup() {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab).unwrap().compile();
+        assert!(determinize_capped(&n, 8).is_none());
+        let d = determinize_capped(&n, 1 << 12).unwrap();
+        assert!(d.num_states() >= 16);
+    }
+
+    #[test]
+    fn capped_determinization_exact_at_the_boundary() {
+        // Cap equal to the true subset count must succeed.
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let n = Regex::parse("(ab)*", &ab).unwrap().compile();
+        let full = determinize(&n);
+        let capped = determinize_capped(&n, full.num_states()).unwrap();
+        assert_eq!(capped.num_states(), full.num_states());
+        assert!(determinize_capped(&n, full.num_states() - 1).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Language equivalence of NFAs.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ops::determinize;
+use crate::{Dfa, Nfa, StateId};
+
+/// Do two NFAs accept exactly the same language?
+///
+/// Determinizes both and walks the synchronous product of the (partial) DFAs,
+/// treating the missing transition as an implicit dead state; the languages
+/// differ iff some reachable pair disagrees on acceptance. Worst-case
+/// exponential (it inherits subset construction), so this is a *testing*
+/// oracle — exactly the role it plays in this repository (validating the
+/// regex compilers and the Lemma 13 round trips against each other).
+pub fn equivalent(a: &Nfa, b: &Nfa) -> bool {
+    assert_eq!(
+        a.alphabet().len(),
+        b.alphabet().len(),
+        "equivalence requires equal alphabets"
+    );
+    let da = determinize(a);
+    let db = determinize(b);
+    // Pair states: Option<StateId> with None = dead.
+    type Pair = (Option<StateId>, Option<StateId>);
+    let accepts = |d: &Dfa, q: Option<StateId>| q.is_some_and(|q| d.is_accepting(q));
+    let start: Pair = (Some(da.initial()), Some(db.initial()));
+    let mut seen: HashMap<Pair, ()> = HashMap::new();
+    let mut queue: VecDeque<Pair> = VecDeque::new();
+    seen.insert(start, ());
+    queue.push_back(start);
+    while let Some((qa, qb)) = queue.pop_front() {
+        if accepts(&da, qa) != accepts(&db, qb) {
+            return false;
+        }
+        for sym in 0..a.alphabet().len() as u32 {
+            let ta = qa.and_then(|q| da.step(q, sym));
+            let tb = qb.and_then(|q| db.step(q, sym));
+            if ta.is_none() && tb.is_none() {
+                continue;
+            }
+            let next = (ta, tb);
+            if seen.insert(next, ()).is_none() {
+                queue.push_back(next);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    fn nfa_of(pattern: &str) -> Nfa {
+        Regex::parse(pattern, &Alphabet::from_chars(&['a', 'b']))
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn equal_languages() {
+        assert!(equivalent(&nfa_of("(a|b)*"), &nfa_of("(a*b*)*")));
+        assert!(equivalent(&nfa_of("aa*"), &nfa_of("a+")));
+        assert!(equivalent(&nfa_of("(ab)*a"), &nfa_of("a(ba)*")));
+        assert!(equivalent(&nfa_of("∅"), &nfa_of("a∅")));
+    }
+
+    #[test]
+    fn different_languages() {
+        assert!(!equivalent(&nfa_of("a*"), &nfa_of("a+")));
+        assert!(!equivalent(&nfa_of("(a|b)*a"), &nfa_of("(a|b)*b")));
+        assert!(!equivalent(&nfa_of("ab"), &nfa_of("ba")));
+        assert!(!equivalent(&nfa_of("∅"), &nfa_of("ε")));
+    }
+}

@@ -1,0 +1,169 @@
+//! DFA minimization by Moore's partition refinement.
+
+use crate::{Dfa, StateId};
+
+/// Minimizes a (partial) DFA: merges language-equivalent states, keeping only
+/// reachable ones. Moore's `O(m²·|Σ|)` refinement — ample for our oracle DFAs,
+/// which the subset construction already made the bottleneck.
+///
+/// Used to keep the exponential test oracles small and by experiments that
+/// report UFA-vs-DFA succinctness gaps.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let width = dfa.alphabet().len();
+    // Reachable states first; the implicit dead state stays implicit.
+    let m = dfa.num_states();
+    let mut reach = vec![false; m];
+    let mut stack = vec![dfa.initial()];
+    reach[dfa.initial()] = true;
+    while let Some(q) = stack.pop() {
+        for sym in 0..width as u32 {
+            if let Some(t) = dfa.step(q, sym) {
+                if !reach[t] {
+                    reach[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    // Partition ids: start from accepting / non-accepting (dead ≡ a virtual
+    // non-accepting class, represented as usize::MAX).
+    let mut class: Vec<usize> = (0..m)
+        .map(|q| if dfa.is_accepting(q) { 1 } else { 0 })
+        .collect();
+    loop {
+        // Signature of a state: (class, class of each successor).
+        let sig = |q: StateId, class: &[usize]| {
+            let mut s = Vec::with_capacity(width + 1);
+            s.push(class[q]);
+            for sym in 0..width as u32 {
+                s.push(match dfa.step(q, sym) {
+                    Some(t) => class[t],
+                    None => usize::MAX,
+                });
+            }
+            s
+        };
+        let mut next_ids: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
+        let mut next_class = vec![0usize; m];
+        for q in 0..m {
+            if !reach[q] {
+                continue;
+            }
+            let s = sig(q, &class);
+            let fresh = next_ids.len();
+            let id = *next_ids.entry(s).or_insert(fresh);
+            next_class[q] = id;
+        }
+        if (0..m).filter(|&q| reach[q]).all(|q| {
+            (0..m)
+                .filter(|&p| reach[p])
+                .all(|p| (class[p] == class[q]) == (next_class[p] == next_class[q]))
+        }) {
+            break;
+        }
+        class = next_class;
+    }
+    // Build the quotient.
+    let mut rep: std::collections::HashMap<usize, StateId> = std::collections::HashMap::new();
+    let mut order: Vec<StateId> = Vec::new();
+    for q in 0..m {
+        if reach[q] {
+            rep.entry(class[q]).or_insert_with(|| {
+                order.push(q);
+                order.len() - 1
+            });
+        }
+    }
+    let mut out = Dfa::new(dfa.alphabet().clone(), order.len());
+    out.set_initial(rep[&class[dfa.initial()]]);
+    for (new_id, &q) in order.iter().enumerate() {
+        if dfa.is_accepting(q) {
+            out.set_accepting(new_id);
+        }
+        for sym in 0..width as u32 {
+            if let Some(t) = dfa.step(q, sym) {
+                if reach[t] {
+                    out.set_transition(new_id, sym, rep[&class[t]]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{determinize, equivalent};
+    use crate::regex::Regex;
+    use crate::{Alphabet, Nfa};
+
+    fn dfa_of(pattern: &str) -> (Nfa, Dfa) {
+        let n = Regex::parse(pattern, &Alphabet::from_chars(&['a', 'b']))
+            .unwrap()
+            .compile();
+        let d = determinize(&n);
+        (n, d)
+    }
+
+    /// Re-wrap a DFA as an NFA for the equivalence oracle.
+    fn as_nfa(d: &Dfa) -> Nfa {
+        let mut b = Nfa::builder(d.alphabet().clone(), d.num_states());
+        b.set_initial(d.initial());
+        for q in 0..d.num_states() {
+            if d.is_accepting(q) {
+                b.set_accepting(q);
+            }
+            for sym in 0..d.alphabet().len() as u32 {
+                if let Some(t) = d.step(q, sym) {
+                    b.add_transition(q, sym, t);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn preserves_language_and_shrinks() {
+        for pattern in ["(a|b)*abb", "a*b*", "(ab|ba)*", "(a|b)(a|b)(a|b)"] {
+            let (n, d) = dfa_of(pattern);
+            let m = minimize(&d);
+            assert!(m.num_states() <= d.num_states(), "{pattern}");
+            assert!(equivalent(&n, &as_nfa(&m)), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn minimal_is_fixed_point() {
+        let (_, d) = dfa_of("(a|b)*abb");
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+    }
+
+    #[test]
+    fn blowup_family_minimal_dfa_is_exponential() {
+        // The canonical UFA-vs-DFA gap survives minimization: the minimal DFA
+        // for (0|1)*1(0|1)^{k-1} needs 2^k states (k+1 for the NFA).
+        use crate::families::blowup_nfa;
+        let k = 6;
+        let d = minimize(&determinize(&blowup_nfa(k)));
+        assert!(d.num_states() >= 1 << k, "got {}", d.num_states());
+    }
+
+    #[test]
+    fn merges_duplicate_states() {
+        // Two parallel identical branches collapse to one.
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut d = Dfa::new(ab, 4);
+        d.set_initial(0);
+        d.set_transition(0, 0, 1);
+        d.set_transition(0, 1, 2);
+        d.set_transition(1, 0, 3);
+        d.set_transition(2, 0, 3);
+        d.set_accepting(3);
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 3, "states 1 and 2 are equivalent");
+    }
+}

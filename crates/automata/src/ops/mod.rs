@@ -1,0 +1,23 @@
+//! Classic automaton constructions: product, union, reverse, subset
+//! construction, the unambiguity check that certifies UFAs, and the
+//! Weber–Seidl ambiguity-degree classifier.
+
+mod ambiguity;
+mod complement;
+mod degree;
+mod determinize;
+mod equivalence;
+mod minimize;
+mod product;
+mod reverse;
+mod union;
+
+pub use ambiguity::is_unambiguous;
+pub use complement::{complement, is_subset};
+pub use degree::{accepting_runs_on_word, ambiguity_degree, AmbiguityDegree};
+pub use determinize::{determinize, determinize_capped};
+pub use equivalence::equivalent;
+pub use minimize::minimize;
+pub use product::product;
+pub use reverse::reverse;
+pub use union::union;

@@ -1,0 +1,84 @@
+//! Synchronous product (language intersection).
+
+use std::collections::HashMap;
+
+use crate::{Nfa, StateId};
+
+/// The product automaton accepting `L(a) ∩ L(b)`.
+///
+/// Only pairs reachable from `(initial, initial)` are materialized, so the
+/// output is usually much smaller than `m_a · m_b`. Both inputs must share an
+/// alphabet size; symbol identity is assumed to line up.
+pub fn product(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(
+        a.alphabet().len(),
+        b.alphabet().len(),
+        "product requires equal alphabets"
+    );
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let push = |index: &mut HashMap<(StateId, StateId), StateId>,
+                    pairs: &mut Vec<(StateId, StateId)>,
+                    p: (StateId, StateId)| {
+        *index.entry(p).or_insert_with(|| {
+            pairs.push(p);
+            pairs.len() - 1
+        })
+    };
+    let start = push(&mut index, &mut pairs, (a.initial(), b.initial()));
+    let mut edges: Vec<(StateId, u32, StateId)> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let (pa, pb) = pairs[i];
+        for &(sym, ta) in a.transitions_from(pa) {
+            for tb in b.step(pb, sym) {
+                let t = push(&mut index, &mut pairs, (ta, tb));
+                edges.push((i, sym, t));
+            }
+        }
+        i += 1;
+    }
+    let mut builder = Nfa::builder(a.alphabet().clone(), pairs.len());
+    builder.set_initial(start);
+    for (i, &(pa, pb)) in pairs.iter().enumerate() {
+        if a.is_accepting(pa) && b.is_accepting(pb) {
+            builder.set_accepting(i);
+        }
+    }
+    for (f, s, t) in edges {
+        builder.add_transition(f, s, t);
+    }
+    builder.build().trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    fn nfa_of(pattern: &str) -> Nfa {
+        Regex::parse(pattern, &Alphabet::from_chars(&['a', 'b']))
+            .unwrap()
+            .compile()
+    }
+
+    #[test]
+    fn intersection_language() {
+        // (a|b)*a ∩ a(a|b)* = words starting and ending with a.
+        let p = product(&nfa_of("(a|b)*a"), &nfa_of("a(a|b)*"));
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        for (w, expect) in [("a", true), ("aba", true), ("ab", false), ("ba", false), ("", false)] {
+            let word = crate::parse_word(w, &ab).unwrap();
+            assert_eq!(p.accepts(&word), expect, "word {w}");
+        }
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let p = product(&nfa_of("aa*"), &nfa_of("bb*"));
+        for w in [vec![], vec![0], vec![1], vec![0, 1]] {
+            assert!(!p.accepts(&w));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Language reversal.
+
+use crate::Nfa;
+
+/// An NFA accepting the reversals of `L(n)`.
+///
+/// Edges are flipped; a fresh initial state takes over from the (possibly many)
+/// accepting states by copying their flipped out-edges, and accepts iff the
+/// original initial state was accepting (so ε stays in the language iff it was).
+/// The old initial state becomes the unique accepting state.
+pub fn reverse(n: &Nfa) -> Nfa {
+    let m = n.num_states();
+    let fresh = m;
+    let mut b = Nfa::builder(n.alphabet().clone(), m + 1);
+    b.set_initial(fresh);
+    b.set_accepting(n.initial());
+    // Flipped edges.
+    for q in 0..m {
+        for &(s, t) in n.transitions_from(q) {
+            b.add_transition(t, s, q);
+        }
+    }
+    // The fresh start mirrors every accepting state's flipped out-edges,
+    // i.e. the original *incoming* edges of accepting states.
+    for q in 0..m {
+        for &(s, t) in n.transitions_from(q) {
+            if n.is_accepting(t) {
+                b.add_transition(fresh, s, q);
+            }
+        }
+    }
+    if n.is_accepting(n.initial()) {
+        b.set_accepting(fresh);
+    }
+    b.build().trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    #[test]
+    fn reverse_language() {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        // L = a·b* ; reverse = b*·a
+        let n = Regex::parse("ab*", &ab).unwrap().compile();
+        let r = reverse(&n);
+        for (w, expect) in [("a", true), ("ba", true), ("bba", true), ("ab", false), ("", false)] {
+            let word = crate::parse_word(w, &ab).unwrap();
+            assert_eq!(r.accepts(&word), expect, "word {w}");
+        }
+    }
+
+    #[test]
+    fn reverse_keeps_epsilon() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("(01)*", &ab).unwrap().compile();
+        let r = reverse(&n);
+        assert!(r.accepts(&[]));
+        assert!(r.accepts(&[1, 0]));
+        assert!(!r.accepts(&[0, 1]));
+    }
+}

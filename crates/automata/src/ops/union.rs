@@ -1,0 +1,66 @@
+//! Language union by disjoint copies plus a fresh start state.
+
+use crate::Nfa;
+
+/// An NFA accepting `L(a) ∪ L(b)`.
+///
+/// A fresh initial state copies the outgoing transitions of both originals'
+/// initial states (ε-free union). It accepts iff either original initial state
+/// accepted, preserving membership of the empty word.
+pub fn union(a: &Nfa, b: &Nfa) -> Nfa {
+    assert_eq!(
+        a.alphabet().len(),
+        b.alphabet().len(),
+        "union requires equal alphabets"
+    );
+    let ma = a.num_states();
+    let mb = b.num_states();
+    let fresh = ma + mb;
+    let mut builder = Nfa::builder(a.alphabet().clone(), ma + mb + 1);
+    builder.set_initial(fresh);
+    for q in 0..ma {
+        if a.is_accepting(q) {
+            builder.set_accepting(q);
+        }
+        for &(s, t) in a.transitions_from(q) {
+            builder.add_transition(q, s, t);
+        }
+    }
+    for q in 0..mb {
+        if b.is_accepting(q) {
+            builder.set_accepting(ma + q);
+        }
+        for &(s, t) in b.transitions_from(q) {
+            builder.add_transition(ma + q, s, ma + t);
+        }
+    }
+    for &(s, t) in a.transitions_from(a.initial()) {
+        builder.add_transition(fresh, s, t);
+    }
+    for &(s, t) in b.transitions_from(b.initial()) {
+        builder.add_transition(fresh, s, ma + t);
+    }
+    if a.is_accepting(a.initial()) || b.is_accepting(b.initial()) {
+        builder.set_accepting(fresh);
+    }
+    builder.build().trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    #[test]
+    fn union_language() {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let x = Regex::parse("aa", &ab).unwrap().compile();
+        let y = Regex::parse("b*", &ab).unwrap().compile();
+        let u = union(&x, &y);
+        for (w, expect) in [("aa", true), ("", true), ("bbb", true), ("ab", false), ("a", false)] {
+            let word = crate::parse_word(w, &ab).unwrap();
+            assert_eq!(u.accepts(&word), expect, "word {w}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Thompson construction.
+
+use crate::{Alphabet, EpsNfa, Nfa, StateId};
+
+use super::Regex;
+
+/// Compiles a regex AST to a trimmed ε-free NFA.
+///
+/// Standard Thompson construction (one (start, accept) fragment per node,
+/// stitched with ε-edges) followed by ε-removal and trimming.
+pub fn compile(ast: &Regex, alphabet: &Alphabet) -> Nfa {
+    let mut e = EpsNfa::new(alphabet.clone(), 0);
+    let start = e.add_state();
+    let accept = e.add_state();
+    e.set_initial(start);
+    e.set_accepting(accept);
+    fragment(ast, &mut e, start, accept);
+    e.remove_epsilon()
+}
+
+/// Wires `ast` between the existing states `from` and `to`.
+fn fragment(ast: &Regex, e: &mut EpsNfa, from: StateId, to: StateId) {
+    match ast {
+        Regex::Empty => {}
+        Regex::Epsilon => e.add_transition(from, None, to),
+        Regex::Literal(s) => e.add_transition(from, Some(*s), to),
+        Regex::AnySymbol => {
+            for s in 0..e.alphabet().len() as u32 {
+                e.add_transition(from, Some(s), to);
+            }
+        }
+        Regex::Concat(parts) => {
+            let mut cur = from;
+            for (i, p) in parts.iter().enumerate() {
+                let next = if i + 1 == parts.len() { to } else { e.add_state() };
+                fragment(p, e, cur, next);
+                cur = next;
+            }
+            if parts.is_empty() {
+                e.add_transition(from, None, to);
+            }
+        }
+        Regex::Alt(parts) => {
+            for p in parts {
+                fragment(p, e, from, to);
+            }
+        }
+        Regex::Star(inner) => {
+            let hub = e.add_state();
+            e.add_transition(from, None, hub);
+            e.add_transition(hub, None, to);
+            fragment(inner, e, hub, hub);
+        }
+        Regex::Plus(inner) => {
+            // inner · inner*
+            let mid = e.add_state();
+            fragment(inner, e, from, mid);
+            e.add_transition(mid, None, to);
+            fragment(inner, e, mid, mid);
+        }
+        Regex::Opt(inner) => {
+            e.add_transition(from, None, to);
+            fragment(inner, e, from, to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_word, Alphabet};
+
+    fn check(pattern: &str, accepted: &[&str], rejected: &[&str]) {
+        let ab = Alphabet::from_chars(&['a', 'b', 'c']);
+        let n = Regex::parse(pattern, &ab).unwrap().compile();
+        for w in accepted {
+            let word = parse_word(w, &ab).unwrap();
+            assert!(n.accepts(&word), "{pattern} should accept {w:?}");
+        }
+        for w in rejected {
+            let word = parse_word(w, &ab).unwrap();
+            assert!(!n.accepts(&word), "{pattern} should reject {w:?}");
+        }
+    }
+
+    #[test]
+    fn literals() {
+        check("a", &["a"], &["", "b", "aa"]);
+        check("abc", &["abc"], &["ab", "abcc"]);
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        check("a|b", &["a", "b"], &["c", "ab", ""]);
+        check("(ab|c)*", &["", "ab", "cab", "abc", "cc"], &["a", "ba"]);
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        check("a*", &["", "a", "aaaa"], &["b", "ab"]);
+        check("a+", &["a", "aa"], &[""]);
+        check("a?b", &["b", "ab"], &["aab", ""]);
+    }
+
+    #[test]
+    fn any_symbol() {
+        check(".", &["a", "b", "c"], &["", "ab"]);
+        check("a.c", &["abc", "aac", "acc"], &["ac", "abb"]);
+    }
+
+    #[test]
+    fn empty_language() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("∅", &ab).unwrap().compile();
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[0]));
+    }
+
+    #[test]
+    fn nested_stars_terminate_and_are_correct() {
+        check("(a*b*)*", &["", "a", "b", "abab", "bbaa"], &["c"]);
+    }
+
+    #[test]
+    fn compiled_automaton_is_trim() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("0(0|1)*1", &ab).unwrap().compile();
+        // Every state lies on an accepting path after trimming.
+        let reach = n.reachable();
+        let coreach = n.coreachable();
+        for q in 0..n.num_states() {
+            assert!(reach.contains(q) && coreach.contains(q), "state {q} not trim");
+        }
+    }
+}

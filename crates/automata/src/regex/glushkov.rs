@@ -1,0 +1,225 @@
+//! The Glushkov (position) automaton — an independent regex compiler.
+//!
+//! Compared to Thompson + ε-removal, the Glushkov construction is ε-free by
+//! design with exactly one state per literal occurrence (plus the start).
+//! Having two independent compilers lets the test suite cross-validate them
+//! by full language equivalence on random patterns — the same
+//! belt-and-braces pattern the arith crate uses against `num-bigint`.
+
+use crate::{Alphabet, Nfa, Symbol};
+
+use super::Regex;
+
+/// A literal position: the set of symbols it can read (singleton for a plain
+/// literal, the full alphabet for `.`).
+struct Position {
+    symbols: Vec<Symbol>,
+}
+
+struct Builder {
+    positions: Vec<Position>,
+    /// `follow[p]` = positions that may immediately follow `p`.
+    follow: Vec<Vec<usize>>,
+}
+
+/// Result of the recursive analysis of one subexpression.
+struct Facts {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+impl Builder {
+    fn add_position(&mut self, symbols: Vec<Symbol>) -> usize {
+        self.positions.push(Position { symbols });
+        self.follow.push(Vec::new());
+        self.positions.len() - 1
+    }
+
+    fn link(&mut self, from: &[usize], to: &[usize]) {
+        for &p in from {
+            for &r in to {
+                if !self.follow[p].contains(&r) {
+                    self.follow[p].push(r);
+                }
+            }
+        }
+    }
+
+    fn analyze(&mut self, ast: &Regex, alphabet: &Alphabet) -> Facts {
+        match ast {
+            Regex::Empty => Facts {
+                nullable: false,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Epsilon => Facts {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
+            Regex::Literal(s) => {
+                let p = self.add_position(vec![*s]);
+                Facts {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Regex::AnySymbol => {
+                let p = self.add_position((0..alphabet.len() as Symbol).collect());
+                Facts {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Regex::Concat(parts) => {
+                let mut acc = Facts {
+                    nullable: true,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let f = self.analyze(part, alphabet);
+                    self.link(&acc.last, &f.first);
+                    if acc.nullable {
+                        acc.first.extend_from_slice(&f.first);
+                    }
+                    if f.nullable {
+                        acc.last.extend_from_slice(&f.last);
+                    } else {
+                        acc.last = f.last;
+                    }
+                    acc.nullable &= f.nullable;
+                }
+                acc
+            }
+            Regex::Alt(parts) => {
+                let mut acc = Facts {
+                    nullable: false,
+                    first: vec![],
+                    last: vec![],
+                };
+                for part in parts {
+                    let f = self.analyze(part, alphabet);
+                    acc.nullable |= f.nullable;
+                    acc.first.extend_from_slice(&f.first);
+                    acc.last.extend_from_slice(&f.last);
+                }
+                acc
+            }
+            Regex::Star(inner) => {
+                let f = self.analyze(inner, alphabet);
+                self.link(&f.last, &f.first);
+                Facts {
+                    nullable: true,
+                    first: f.first,
+                    last: f.last,
+                }
+            }
+            Regex::Plus(inner) => {
+                let f = self.analyze(inner, alphabet);
+                self.link(&f.last, &f.first);
+                Facts {
+                    nullable: f.nullable,
+                    first: f.first,
+                    last: f.last,
+                }
+            }
+            Regex::Opt(inner) => {
+                let f = self.analyze(inner, alphabet);
+                Facts {
+                    nullable: true,
+                    first: f.first,
+                    last: f.last,
+                }
+            }
+        }
+    }
+}
+
+/// Compiles a regex AST to its Glushkov automaton (trimmed).
+pub fn compile_glushkov(ast: &Regex, alphabet: &Alphabet) -> Nfa {
+    let mut builder = Builder {
+        positions: Vec::new(),
+        follow: Vec::new(),
+    };
+    let facts = builder.analyze(ast, alphabet);
+    // State 0 = start; position p = state p + 1.
+    let n = builder.positions.len();
+    let mut b = Nfa::builder(alphabet.clone(), n + 1);
+    b.set_initial(0);
+    if facts.nullable {
+        b.set_accepting(0);
+    }
+    for &p in &facts.last {
+        b.set_accepting(p + 1);
+    }
+    for &p in &facts.first {
+        for &s in &builder.positions[p].symbols {
+            b.add_transition(0, s, p + 1);
+        }
+    }
+    for (p, follows) in builder.follow.iter().enumerate() {
+        for &r in follows {
+            for &s in &builder.positions[r].symbols {
+                b.add_transition(p + 1, s, r + 1);
+            }
+        }
+    }
+    b.build().trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::equivalent;
+    use crate::parse_word;
+
+    fn both(pattern: &str) -> (Nfa, Nfa) {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let r = Regex::parse(pattern, &ab).unwrap();
+        let thompson = r.compile();
+        let glushkov = compile_glushkov(r.ast(), &ab);
+        (thompson, glushkov)
+    }
+
+    #[test]
+    fn agrees_with_thompson() {
+        for pattern in [
+            "a",
+            "",
+            "∅",
+            "ab",
+            "a|b",
+            "a*",
+            "a+",
+            "b?",
+            "(a|b)*abb",
+            "(a*b*)*",
+            "a(b|ab)*b?",
+            ".(a|.)*",
+            "(ab|ba)+",
+        ] {
+            let (t, g) = both(pattern);
+            assert!(equivalent(&t, &g), "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn state_count_is_positions_plus_one_before_trim() {
+        // (a|b)*abb has 5 literal occurrences → ≤ 6 states after trimming.
+        let (_, g) = both("(a|b)*abb");
+        assert!(g.num_states() <= 6, "got {}", g.num_states());
+    }
+
+    #[test]
+    fn membership_spot_checks() {
+        let (_, g) = both("(a|b)*abb");
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        assert!(g.accepts(&parse_word("abb", &ab).unwrap()));
+        assert!(g.accepts(&parse_word("babb", &ab).unwrap()));
+        assert!(!g.accepts(&parse_word("ab", &ab).unwrap()));
+    }
+}

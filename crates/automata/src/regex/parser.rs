@@ -1,0 +1,197 @@
+//! Recursive-descent regex parser.
+
+use std::fmt;
+
+use crate::Alphabet;
+
+use super::Regex;
+
+/// A regex parse failure, with the byte offset of the offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the pattern.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+}
+
+/// Parses `pattern` into a [`Regex`] over `alphabet`.
+///
+/// Grammar: `alt := concat ('|' concat)*`, `concat := repeat*`,
+/// `repeat := atom ('*'|'+'|'?')*`, `atom := literal | '.' | '(' alt ')'`.
+/// An empty alternative denotes ε (so `a|` is `a|ε`).
+pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Regex, ParseError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        alphabet,
+    };
+    let r = p.alt()?;
+    match p.peek() {
+        None => Ok(r),
+        Some((at, c)) => Err(ParseError {
+            position: at,
+            message: format!("unexpected character {c:?}"),
+        }),
+    }
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<(usize, char)> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = vec![self.concat()?];
+        while let Some((_, '|')) = self.peek() {
+            self.bump();
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Regex::Alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some((_, '|')) | Some((_, ')')) => break,
+                _ => parts.push(self.repeat()?),
+            }
+        }
+        Ok(match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.pop().unwrap(),
+            _ => Regex::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some((_, '*')) => {
+                    self.bump();
+                    r = Regex::Star(Box::new(r));
+                }
+                Some((_, '+')) => {
+                    self.bump();
+                    r = Regex::Plus(Box::new(r));
+                }
+                Some((_, '?')) => {
+                    self.bump();
+                    r = Regex::Opt(Box::new(r));
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.bump() {
+            None => Err(ParseError {
+                position: self.chars.last().map_or(0, |&(i, _)| i + 1),
+                message: "unexpected end of pattern".into(),
+            }),
+            Some((_, '(')) => {
+                let inner = self.alt()?;
+                match self.bump() {
+                    Some((_, ')')) => Ok(inner),
+                    other => Err(ParseError {
+                        position: other.map_or(self.chars.len(), |(i, _)| i),
+                        message: "expected ')'".into(),
+                    }),
+                }
+            }
+            Some((_, '.')) => Ok(Regex::AnySymbol),
+            Some((_, 'ε')) => Ok(Regex::Epsilon),
+            Some((_, '∅')) => Ok(Regex::Empty),
+            Some((at, c)) => match self.alphabet.symbol_of(c) {
+                Some(s) => Ok(Regex::Literal(s)),
+                None => Err(ParseError {
+                    position: at,
+                    message: format!("character {c:?} is not in the alphabet"),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(&['a', 'b'])
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert_eq!(parse("ab", &ab()).unwrap(), Regex::Concat(vec![Regex::Literal(0), Regex::Literal(1)]));
+        assert_eq!(parse("a", &ab()).unwrap(), Regex::Literal(0));
+        assert_eq!(parse("", &ab()).unwrap(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn precedence() {
+        // a|bc* parses as a | (b (c*)) — using alphabet {a,b,c}.
+        let abc = Alphabet::from_chars(&['a', 'b', 'c']);
+        let r = parse("a|bc*", &abc).unwrap();
+        assert_eq!(
+            r,
+            Regex::Alt(vec![
+                Regex::Literal(0),
+                Regex::Concat(vec![Regex::Literal(1), Regex::Star(Box::new(Regex::Literal(2)))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn nested_groups_and_postfix_stacking() {
+        let r = parse("(a|b)*?", &ab()).unwrap();
+        assert!(matches!(r, Regex::Opt(inner) if matches!(*inner, Regex::Star(_))));
+    }
+
+    #[test]
+    fn empty_alternative_is_epsilon() {
+        assert_eq!(
+            parse("a|", &ab()).unwrap(),
+            Regex::Alt(vec![Regex::Literal(0), Regex::Epsilon])
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("c", &ab()).is_err());
+        assert!(parse("(a", &ab()).is_err());
+        assert!(parse("a)", &ab()).is_err());
+        let e = parse("ax", &ab()).unwrap_err();
+        assert_eq!(e.position, 1);
+        assert!(e.to_string().contains("not in the alphabet"));
+    }
+}

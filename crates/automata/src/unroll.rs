@@ -1,0 +1,381 @@
+//! The unrolled layered DAG `N_unroll` of §6.2 / Lemma 15.
+//!
+//! Given an NFA `N` with `m` states and a target length `n`, the unrolling has a
+//! vertex for every (layer `t`, NFA state `q`) pair that lies on some accepting
+//! path — layer `t` holds the states reachable after reading exactly `t` symbols
+//! that can still reach an accepting state at layer `n`. Every word of `L_n(N)`
+//! corresponds to at least one labeled start→accepting path (exactly one when `N`
+//! is unambiguous), which is what all three algorithm families run on:
+//!
+//! * counting (§5.3.2, §6): dynamic programs and sketches per vertex;
+//! * enumeration (Algorithm 1): ordered DFS over out-edges;
+//! * sampling (§5.3.3, Algorithm 4): backward walks over in-edges.
+//!
+//! Pruning both unreachable and non-co-reachable vertices is safe for all of
+//! them: any start→`v` path only visits vertices that can reach `v`, so the
+//! string sets `U(v)` of §6.2 are untouched for surviving vertices, and vertices
+//! off all accepting paths contribute to no answer (the paper prunes the same
+//! way: step 3 of Algorithm 5 and the final step of Lemma 15).
+
+use lsc_arith::BigNat;
+
+use crate::{Nfa, StateId, StateSet, Symbol, Word};
+
+/// A vertex of the unrolled DAG.
+pub type NodeId = usize;
+
+/// The unrolled, pruned, layered DAG of an NFA at a fixed word length.
+#[derive(Clone, Debug)]
+pub struct UnrolledDag {
+    n: usize,
+    alphabet_size: usize,
+    /// `(layer, nfa_state)` per node, layer-major order.
+    nodes: Vec<(usize, StateId)>,
+    /// Node ids per layer `0..=n`.
+    layers: Vec<Vec<NodeId>>,
+    /// `(0, initial)`, if it survived pruning.
+    start: Option<NodeId>,
+    /// Layer-`n` nodes whose NFA state accepts.
+    accepting: Vec<NodeId>,
+    out_edges: Vec<Vec<(Symbol, NodeId)>>,
+    in_edges: Vec<Vec<(Symbol, NodeId)>>,
+    /// `(layer, state) → node` lookup: `index[layer * m + state]`.
+    index: Vec<Option<NodeId>>,
+    m: usize,
+}
+
+impl UnrolledDag {
+    /// Unrolls `nfa` to depth `n` and prunes vertices off accepting paths.
+    pub fn build(nfa: &Nfa, n: usize) -> UnrolledDag {
+        let m = nfa.num_states();
+        // Forward pass: states reachable after exactly t symbols.
+        let mut forward: Vec<StateSet> = Vec::with_capacity(n + 1);
+        let mut cur = StateSet::new(m);
+        cur.insert(nfa.initial());
+        forward.push(cur.clone());
+        for _ in 0..n {
+            let mut next = StateSet::new(m);
+            for q in cur.iter() {
+                for &(_, t) in nfa.transitions_from(q) {
+                    next.insert(t);
+                }
+            }
+            forward.push(next.clone());
+            cur = next;
+        }
+        // Backward pass: states at layer t that can still reach acceptance.
+        let mut viable: Vec<StateSet> = vec![StateSet::new(m); n + 1];
+        for q in forward[n].iter() {
+            if nfa.is_accepting(q) {
+                viable[n].insert(q);
+            }
+        }
+        for t in (0..n).rev() {
+            let (head, tail) = viable.split_at_mut(t + 1);
+            let cur_layer = &mut head[t];
+            let next_layer = &tail[0];
+            for q in forward[t].iter() {
+                if nfa
+                    .transitions_from(q)
+                    .iter()
+                    .any(|&(_, s)| next_layer.contains(s))
+                {
+                    cur_layer.insert(q);
+                }
+            }
+        }
+        // Materialize kept nodes layer by layer.
+        let mut nodes = Vec::new();
+        let mut layers = vec![Vec::new(); n + 1];
+        let mut index = vec![None; (n + 1) * m];
+        for (t, layer_set) in viable.iter().enumerate() {
+            for q in layer_set.iter() {
+                let id = nodes.len();
+                nodes.push((t, q));
+                layers[t].push(id);
+                index[t * m + q] = Some(id);
+            }
+        }
+        let mut out_edges: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); nodes.len()];
+        let mut in_edges: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); nodes.len()];
+        for (id, &(t, q)) in nodes.iter().enumerate() {
+            if t == n {
+                continue;
+            }
+            for &(a, s) in nfa.transitions_from(q) {
+                if let Some(succ) = index[(t + 1) * m + s] {
+                    out_edges[id].push((a, succ));
+                    in_edges[succ].push((a, id));
+                }
+            }
+        }
+        for row in out_edges.iter_mut().chain(in_edges.iter_mut()) {
+            row.sort_unstable();
+        }
+        let start = index[nfa.initial()];
+        let accepting = layers[n].clone();
+        UnrolledDag {
+            n,
+            alphabet_size: nfa.alphabet().len(),
+            nodes,
+            layers,
+            start,
+            accepting,
+            out_edges,
+            in_edges,
+            index,
+            m,
+        }
+    }
+
+    /// The target word length `n`.
+    pub fn word_length(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the underlying alphabet.
+    pub fn alphabet_size(&self) -> usize {
+        self.alphabet_size
+    }
+
+    /// Number of surviving vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of surviving edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// True iff `L_n(N) = ∅` (no start vertex survived, or no accepting vertex).
+    pub fn is_empty(&self) -> bool {
+        self.start.is_none() || self.accepting.is_empty()
+    }
+
+    /// The start vertex `(0, initial)`, unless the language is empty.
+    pub fn start(&self) -> Option<NodeId> {
+        self.start
+    }
+
+    /// Accepting vertices (all in layer `n`).
+    pub fn accepting(&self) -> &[NodeId] {
+        &self.accepting
+    }
+
+    /// Vertices of a layer, in NFA-state order.
+    pub fn layer(&self, t: usize) -> &[NodeId] {
+        &self.layers[t]
+    }
+
+    /// The `(layer, state)` pair of a vertex.
+    pub fn node_info(&self, v: NodeId) -> (usize, StateId) {
+        self.nodes[v]
+    }
+
+    /// Looks up the vertex for `(layer, state)`, if it survived pruning.
+    pub fn node_at(&self, layer: usize, state: StateId) -> Option<NodeId> {
+        self.index.get(layer * self.m + state).copied().flatten()
+    }
+
+    /// Out-edges of `v`, sorted by `(symbol, target)` — the fixed total order
+    /// Algorithm 1 requires on each `V(q)`.
+    pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out_edges[v]
+    }
+
+    /// In-edges of `v`, sorted by `(symbol, source)` — the per-symbol
+    /// predecessor partitions `T_b` of Algorithm 4.
+    pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.in_edges[v]
+    }
+
+    /// Number of labeled paths from each vertex to an accepting vertex.
+    ///
+    /// For an unambiguous NFA this equals `|{y : y completes v}|` — the count
+    /// table behind exact counting (§5.3.2) and the table sampler (§5.3.3).
+    pub fn completion_counts(&self) -> Vec<BigNat> {
+        let mut counts = vec![BigNat::zero(); self.nodes.len()];
+        for &v in &self.accepting {
+            counts[v] = BigNat::one();
+        }
+        for t in (0..self.n).rev() {
+            for &v in &self.layers[t] {
+                let mut acc = BigNat::zero();
+                for &(_, succ) in &self.out_edges[v] {
+                    acc.add_assign_ref(&counts[succ]);
+                }
+                counts[v] = acc;
+            }
+        }
+        counts
+    }
+
+    /// Number of labeled paths from the start vertex to each vertex
+    /// (= `|U(v)|` run-counts; equals `|U(v)|` string-counts iff unambiguous).
+    pub fn prefix_counts(&self) -> Vec<BigNat> {
+        let mut counts = vec![BigNat::zero(); self.nodes.len()];
+        if let Some(s) = self.start {
+            counts[s] = BigNat::one();
+        }
+        for t in 0..self.n {
+            for &v in &self.layers[t] {
+                if counts[v].is_zero() {
+                    continue;
+                }
+                for &(_, succ) in &self.out_edges[v] {
+                    let c = counts[v].clone();
+                    counts[succ].add_assign_ref(&c);
+                }
+            }
+        }
+        counts
+    }
+
+    /// The label word of a start→accepting path given as vertex choices, for
+    /// debugging and tests.
+    pub fn path_word(&self, path: &[NodeId]) -> Option<Word> {
+        let mut word = Vec::with_capacity(path.len().saturating_sub(1));
+        for win in path.windows(2) {
+            let (v, w) = (win[0], win[1]);
+            let &(sym, _) = self.out_edges[v].iter().find(|&&(_, t)| t == w)?;
+            word.push(sym);
+        }
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::Alphabet;
+
+    /// The paper's Figure 1 automaton.
+    fn figure1() -> Nfa {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut b = Nfa::builder(ab, 7);
+        b.set_initial(0);
+        b.set_accepting(5);
+        for (f, s, t) in [
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 0, 3),
+            (2, 1, 4),
+            (2, 0, 6),
+            (3, 0, 5),
+            (3, 1, 5),
+            (4, 0, 5),
+            (6, 1, 6),
+        ] {
+            b.add_transition(f, s, t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure2_shape() {
+        // Unrolling Figure 1 at n=3 gives exactly the DAG of Figure 2:
+        // 6 vertices, layers {q0},{q1,q2},{q3,q4},{qF}.
+        let dag = UnrolledDag::build(&figure1(), 3);
+        assert_eq!(dag.num_nodes(), 6);
+        assert_eq!(dag.layer(0).len(), 1);
+        assert_eq!(dag.layer(1).len(), 2);
+        assert_eq!(dag.layer(2).len(), 2);
+        assert_eq!(dag.layer(3).len(), 1);
+        assert_eq!(dag.accepting().len(), 1);
+        // q5 (state 6) never appears.
+        for v in 0..dag.num_nodes() {
+            assert_ne!(dag.node_info(v).1, 6);
+        }
+        // Figure 2 has 7 edges.
+        assert_eq!(dag.num_edges(), 7);
+    }
+
+    #[test]
+    fn figure2_counts() {
+        let dag = UnrolledDag::build(&figure1(), 3);
+        let completions = dag.completion_counts();
+        // L_3 = {aaa, aab, bba}: 3 paths from start.
+        assert_eq!(completions[dag.start().unwrap()], BigNat::from_u64(3));
+        let prefixes = dag.prefix_counts();
+        assert_eq!(prefixes[dag.accepting()[0]], BigNat::from_u64(3));
+    }
+
+    #[test]
+    fn empty_language() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("00", &ab).unwrap().compile();
+        let dag = UnrolledDag::build(&n, 3); // no length-3 words
+        assert!(dag.is_empty());
+        assert_eq!(dag.num_nodes(), 0);
+    }
+
+    #[test]
+    fn length_zero() {
+        let ab = Alphabet::binary();
+        let star = Regex::parse("0*", &ab).unwrap().compile();
+        let dag = UnrolledDag::build(&star, 0);
+        assert!(!dag.is_empty());
+        assert_eq!(dag.num_nodes(), 1);
+        assert_eq!(dag.accepting(), &[dag.start().unwrap()]);
+        assert_eq!(dag.completion_counts()[dag.start().unwrap()], BigNat::one());
+    }
+
+    #[test]
+    fn node_lookup_consistency() {
+        let dag = UnrolledDag::build(&figure1(), 3);
+        for v in 0..dag.num_nodes() {
+            let (t, q) = dag.node_info(v);
+            assert_eq!(dag.node_at(t, q), Some(v));
+        }
+        assert_eq!(dag.node_at(1, 6), None, "pruned state is absent");
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let dag = UnrolledDag::build(&figure1(), 3);
+        let mut out_pairs: Vec<(NodeId, Symbol, NodeId)> = Vec::new();
+        let mut in_pairs: Vec<(NodeId, Symbol, NodeId)> = Vec::new();
+        for v in 0..dag.num_nodes() {
+            for &(s, w) in dag.out_edges(v) {
+                out_pairs.push((v, s, w));
+            }
+            for &(s, u) in dag.in_edges(v) {
+                in_pairs.push((u, s, v));
+            }
+        }
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn counts_on_ambiguous_nfa_count_runs_not_words() {
+        // a·a* ∪ a*·a : the word "aa" has 2 accepting runs.
+        let ab = Alphabet::from_chars(&['a']);
+        let r1 = Regex::parse("aa*", &ab).unwrap().compile();
+        let r2 = Regex::parse("a*a", &ab).unwrap().compile();
+        let u = crate::ops::union(&r1, &r2);
+        let dag = UnrolledDag::build(&u, 2);
+        let runs = &dag.completion_counts()[dag.start().unwrap()];
+        assert!(
+            *runs > BigNat::one(),
+            "path DP over an ambiguous NFA overcounts: {runs}"
+        );
+    }
+
+    #[test]
+    fn path_word_reads_labels() {
+        let dag = UnrolledDag::build(&figure1(), 3);
+        let start = dag.start().unwrap();
+        // Follow the first out-edge greedily: a, a, a.
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some(&(_, next)) = dag.out_edges(cur).first() {
+            path.push(next);
+            cur = next;
+        }
+        assert_eq!(dag.path_word(&path), Some(vec![0, 0, 0]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the automata algebra: operations are validated against
+//! word-level semantics on random inputs, and the two regex compilers against
+//! each other.
+
+use lsc_automata::families::random_nfa;
+use lsc_automata::ops::{determinize, equivalent, minimize, product, reverse, union};
+use lsc_automata::regex::{compile_glushkov, Regex};
+use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nfa_from_seed(seed: u64) -> Nfa {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_nfa(5, Alphabet::binary(), 0.3, 0.4, &mut rng)
+}
+
+fn words_up_to(width: u32, max_len: usize) -> Vec<Word> {
+    let mut all = vec![vec![]];
+    let mut frontier = vec![Word::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in frontier {
+            for s in 0..width {
+                let mut w2 = w.clone();
+                w2.push(s);
+                all.push(w2.clone());
+                next.push(w2);
+            }
+        }
+        frontier = next;
+    }
+    all
+}
+
+/// A small random regex AST.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Literal(0)),
+        Just(Regex::Literal(1)),
+        Just(Regex::AnySymbol),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::Concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn union_is_word_level_or(sa in 0u64..300, sb in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let b = nfa_from_seed(sb);
+        let u = union(&a, &b);
+        for w in words_up_to(2, 5) {
+            prop_assert_eq!(u.accepts(&w), a.accepts(&w) || b.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn product_is_word_level_and(sa in 0u64..300, sb in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let b = nfa_from_seed(sb);
+        let p = product(&a, &b);
+        for w in words_up_to(2, 5) {
+            prop_assert_eq!(p.accepts(&w), a.accepts(&w) && b.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn reverse_is_word_level_reversal(sa in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let r = reverse(&a);
+        for w in words_up_to(2, 5) {
+            let rev: Word = w.iter().rev().copied().collect();
+            prop_assert_eq!(r.accepts(&rev), a.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn determinize_preserves_membership(sa in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let d = determinize(&a);
+        for w in words_up_to(2, 5) {
+            prop_assert_eq!(d.accepts(&w), a.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_counts(sa in 0u64..300, n in 0usize..7) {
+        let a = nfa_from_seed(sa);
+        let d = determinize(&a);
+        let m = minimize(&d);
+        prop_assert!(m.num_states() <= d.num_states());
+        prop_assert_eq!(m.count_words(n), d.count_words(n));
+    }
+
+    #[test]
+    fn thompson_equals_glushkov(ast in regex_strategy()) {
+        let ab = Alphabet::binary();
+        let pattern = ast.to_pattern(&ab);
+        let parsed = Regex::parse(&pattern, &ab).expect("printer emits parseable syntax");
+        let thompson = parsed.compile();
+        let glushkov = compile_glushkov(parsed.ast(), &ab);
+        prop_assert!(equivalent(&thompson, &glushkov), "pattern {}", pattern);
+    }
+
+    #[test]
+    fn trim_preserves_language(sa in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let t = a.trimmed();
+        for w in words_up_to(2, 5) {
+            prop_assert_eq!(t.accepts(&w), a.accepts(&w), "word {:?}", w);
+        }
+    }
+
+    #[test]
+    fn single_accepting_preserves_fixed_lengths(sa in 0u64..300) {
+        let a = nfa_from_seed(sa);
+        let s = a.with_single_accepting();
+        prop_assert!(s.accepting_states().count() <= 1);
+        for w in words_up_to(2, 5) {
+            if !w.is_empty() {
+                prop_assert_eq!(s.accepts(&w), a.accepts(&w), "word {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_reach_sets_match_membership(sa in 0u64..300, code in 0u32..64) {
+        let a = nfa_from_seed(sa);
+        let w: Word = (0..6).map(|i| ((code >> i) & 1) as Symbol).collect();
+        let sets = a.prefix_reach_sets(&w);
+        prop_assert_eq!(sets.len(), 7);
+        let accepted = sets[6].iter().any(|q| a.is_accepting(q));
+        prop_assert_eq!(accepted, a.accepts(&w));
+    }
+}

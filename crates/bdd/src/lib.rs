@@ -1,0 +1,29 @@
+//! Ordered binary decision diagrams as `RelationUL` / `RelationNL` problems
+//! (paper §4.3).
+//!
+//! `EVAL-OBDD = {(D, σ) : D(σ) = 1}`: each satisfying assignment follows
+//! exactly one root→`1` path, so OBDDs drop into `RelationUL` and Corollary 9
+//! gives constant-delay enumeration, exact counting, and exact uniform
+//! sampling of models. Nondeterministic OBDDs (nOBDDs, \[ACMS18\]) lose the
+//! single-witness property; `EVAL-nOBDD` lands in `RelationNL` and Corollary
+//! 10 — FPRAS + PLVUG, new results at the time of the paper.
+//!
+//! Contents:
+//!
+//! * [`BddManager`] — a reduced-OBDD package: hash-consed nodes, `apply` with
+//!   memoization, negation, formula building. This is the substrate the §4.3
+//!   application assumes.
+//! * [`obdd_to_ufa`] — the reduction to MEM-UFA: a layered automaton over
+//!   `{0,1}` whose length-`n` words are the models (skipped variables expand
+//!   to free transitions).
+//! * [`NObdd`] / [`nobdd_to_nfa`] — nondeterministic OBDDs with ⊔-nodes and
+//!   their (generally ambiguous) NFA reduction.
+
+mod manager;
+mod nobdd;
+mod quantify;
+mod to_automaton;
+
+pub use manager::{BddManager, BddRef};
+pub use nobdd::{nobdd_to_nfa, NObdd, NObddNode};
+pub use to_automaton::obdd_to_ufa;

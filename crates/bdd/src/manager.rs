@@ -1,0 +1,393 @@
+//! A reduced-OBDD package: hash-consed nodes and memoized `apply`.
+
+use std::collections::HashMap;
+
+use lsc_arith::BigNat;
+
+/// Reference to a BDD node. `0` and `1` are the terminals; everything else
+/// indexes the manager's node table.
+pub type BddRef = usize;
+
+const FALSE: BddRef = 0;
+const TRUE: BddRef = 1;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// A manager for *reduced* ordered BDDs over variables `x_0 < x_1 < … <
+/// x_{n-1}`: no node with `lo == hi`, no two structurally equal nodes
+/// (enforced by the unique table). Reducedness makes equality checks O(1) and
+/// keeps the §4.3 reductions small.
+///
+/// ```
+/// use lsc_bdd::BddManager;
+///
+/// let mut m = BddManager::new(3);
+/// let x0 = m.var(0);
+/// let x2 = m.var(2);
+/// let f = m.and(x0, x2);          // x0 ∧ x2 over 3 variables
+/// assert!(m.eval(f, 0b101));
+/// assert_eq!(m.count_models(f).to_u64(), Some(2)); // x1 free
+/// ```
+pub struct BddManager {
+    num_vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, BddRef>,
+    apply_cache: HashMap<(Op, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+}
+
+impl BddManager {
+    /// A manager over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars <= 128, "eval uses u128 assignments");
+        // Slots 0/1 are placeholders for the terminals; never dereferenced.
+        let sentinel = Node {
+            var: u32::MAX,
+            lo: 0,
+            hi: 0,
+        };
+        BddManager {
+            num_vars,
+            nodes: vec![sentinel, sentinel],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constant-false BDD.
+    pub fn const_false(&self) -> BddRef {
+        FALSE
+    }
+
+    /// The constant-true BDD.
+    pub fn const_true(&self) -> BddRef {
+        TRUE
+    }
+
+    /// The single-variable BDD `x_i`.
+    pub fn var(&mut self, i: usize) -> BddRef {
+        assert!(i < self.num_vars);
+        self.mk(i as u32, FALSE, TRUE)
+    }
+
+    /// The literal `¬x_i`.
+    pub fn nvar(&mut self, i: usize) -> BddRef {
+        assert!(i < self.num_vars);
+        self.mk(i as u32, TRUE, FALSE)
+    }
+
+    /// The variable index of a node (`None` for terminals).
+    pub fn var_of(&self, f: BddRef) -> Option<u32> {
+        if f <= TRUE {
+            None
+        } else {
+            Some(self.nodes[f].var)
+        }
+    }
+
+    /// The `(lo, hi)` children (`None` for terminals).
+    pub fn children(&self, f: BddRef) -> Option<(BddRef, BddRef)> {
+        if f <= TRUE {
+            None
+        } else {
+            Some((self.nodes[f].lo, self.nodes[f].hi))
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo; // reduction rule 1: redundant test
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r; // reduction rule 2: hash consing
+        }
+        let r = self.nodes.len();
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    fn top_var(&self, f: BddRef, g: BddRef) -> u32 {
+        let vf = self.var_of(f).unwrap_or(u32::MAX);
+        let vg = self.var_of(g).unwrap_or(u32::MAX);
+        vf.min(vg)
+    }
+
+    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        match self.var_of(f) {
+            Some(v) if v == var => {
+                let n = self.nodes[f];
+                (n.lo, n.hi)
+            }
+            _ => (f, f),
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: BddRef, g: BddRef) -> BddRef {
+        // Terminal short-circuits.
+        match op {
+            Op::And => {
+                if f == FALSE || g == FALSE {
+                    return FALSE;
+                }
+                if f == TRUE {
+                    return g;
+                }
+                if g == TRUE {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == TRUE || g == TRUE {
+                    return TRUE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE {
+                    return f;
+                }
+                if f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return FALSE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE {
+                    return f;
+                }
+            }
+        }
+        let key = (op, f.min(g), f.max(g));
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let var = self.top_var(f, g);
+        let (flo, fhi) = self.cofactors(f, var);
+        let (glo, ghi) = self.cofactors(g, var);
+        let lo = self.apply(op, flo, glo);
+        let hi = self.apply(op, fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        if f == FALSE {
+            return TRUE;
+        }
+        if f == TRUE {
+            return FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f];
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// Evaluates `f` on an assignment (bit `i` = value of `x_i`) — the
+    /// `D(σ)` of §4.3.
+    pub fn eval(&self, f: BddRef, assignment: u128) -> bool {
+        let mut cur = f;
+        while cur > TRUE {
+            let n = self.nodes[cur];
+            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+
+    /// Number of reachable nodes (including terminals) — the OBDD size.
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = vec![f];
+        let mut stack = vec![f];
+        while let Some(u) = stack.pop() {
+            if let Some((lo, hi)) = self.children(u) {
+                for c in [lo, hi] {
+                    if !seen.contains(&c) {
+                        seen.push(c);
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Native model counting over all `num_vars` variables (the standard BDD
+    /// DP, used as the oracle for the MEM-UFA pipeline).
+    pub fn count_models(&self, f: BddRef) -> BigNat {
+        let n = self.num_vars as u32;
+        let mut memo: HashMap<BddRef, BigNat> = HashMap::new();
+        // count(u) = models over variables [var(u), n); terminals sit at level n.
+        fn level(mgr: &BddManager, u: BddRef, n: u32) -> u32 {
+            mgr.var_of(u).unwrap_or(n)
+        }
+        fn go(mgr: &BddManager, u: BddRef, n: u32, memo: &mut HashMap<BddRef, BigNat>) -> BigNat {
+            if u == TRUE {
+                return BigNat::one();
+            }
+            if u == FALSE {
+                return BigNat::zero();
+            }
+            if let Some(c) = memo.get(&u) {
+                return c.clone();
+            }
+            let node = mgr.nodes[u];
+            let mut total = BigNat::zero();
+            for child in [node.lo, node.hi] {
+                let sub = go(mgr, child, n, memo);
+                let gap = level(mgr, child, n) - node.var - 1;
+                total.add_assign_ref(&sub.shl_bits(gap as usize));
+            }
+            memo.insert(u, total.clone());
+            total
+        }
+        let base = go(self, f, n, &mut memo);
+        // Free variables above the root.
+        base.shl_bits(level(self, f, n) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut m = BddManager::new(3);
+        let x0 = m.var(0);
+        assert!(m.eval(x0, 0b001));
+        assert!(!m.eval(x0, 0b110));
+        let nx1 = m.nvar(1);
+        assert!(m.eval(nx1, 0b000));
+        assert!(!m.eval(nx1, 0b010));
+        assert!(m.eval(m.const_true(), 0));
+        assert!(!m.eval(m.const_false(), 0));
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(0);
+        assert_eq!(a, b);
+        let c1 = m.and(a, b);
+        assert_eq!(c1, a, "x ∧ x = x");
+    }
+
+    #[test]
+    fn truth_tables_via_apply() {
+        let mut m = BddManager::new(3);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let x2 = m.var(2);
+        let t1 = m.and(x0, x1);
+        let f = m.or(t1, x2); // x0∧x1 ∨ x2
+        for a in 0..8u128 {
+            let expect = (a & 1 == 1 && a >> 1 & 1 == 1) || a >> 2 & 1 == 1;
+            assert_eq!(m.eval(f, a), expect, "assignment {a:03b}");
+        }
+        let g = m.not(f);
+        for a in 0..8u128 {
+            assert_eq!(m.eval(g, a), !m.eval(f, a));
+        }
+        let h = m.xor(x0, x1);
+        for a in 0..4u128 {
+            assert_eq!(m.eval(h, a), (a & 1 == 1) != (a >> 1 & 1 == 1));
+        }
+    }
+
+    #[test]
+    fn count_models_matches_truth_table() {
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0);
+        let x2 = m.var(2);
+        let nx3 = m.nvar(3);
+        let t = m.and(x0, x2);
+        let f = m.or(t, nx3);
+        let mut expected = 0u64;
+        for a in 0..16u128 {
+            if m.eval(f, a) {
+                expected += 1;
+            }
+        }
+        assert_eq!(m.count_models(f).to_u64(), Some(expected));
+        // Skipped variables are counted: x0 alone over 4 vars has 8 models.
+        assert_eq!(m.count_models(x0).to_u64(), Some(8));
+        assert_eq!(m.count_models(m.const_true()).to_u64(), Some(16));
+        assert_eq!(m.count_models(m.const_false()).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let mut m = BddManager::new(3);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.xor(x0, x1);
+        let nn = {
+            let n1 = m.not(f);
+            m.not(n1)
+        };
+        assert_eq!(nn, f, "hash consing makes ¬¬f literally f");
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes() {
+        let mut m = BddManager::new(2);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.and(x0, x1);
+        // Nodes: x0-node, x1-node, two terminals.
+        assert_eq!(m.size(f), 4);
+        assert_eq!(m.size(m.const_true()), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Restriction, if-then-else, and existential quantification — the remaining
+//! classic BDD-package operations (Bryant's toolkit the §4.3 application
+//! presumes available).
+
+use std::collections::HashMap;
+
+use crate::{BddManager, BddRef};
+
+impl BddManager {
+    /// `f[x_var := value]`: the cofactor of `f`.
+    pub fn restrict(&mut self, f: BddRef, var: usize, value: bool) -> BddRef {
+        assert!(var < self.num_vars());
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var as u32, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: BddRef,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        let Some(v) = self.var_of(f) else {
+            return f; // terminal
+        };
+        if v > var {
+            return f; // f does not depend on var
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.children(f).expect("decision node");
+        let r = if v == var {
+            if value {
+                hi
+            } else {
+                lo
+            }
+        } else {
+            let nlo = self.restrict_rec(lo, var, value, memo);
+            let nhi = self.restrict_rec(hi, var, value, memo);
+            self.mk_pub(v, nlo, nhi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// `if f then g else h` — the ternary connective `(f∧g) ∨ (¬f∧h)`.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        let fg = self.and(f, g);
+        let nf = self.not(f);
+        let nfh = self.and(nf, h);
+        self.or(fg, nfh)
+    }
+
+    /// `∃x_var. f = f[x:=0] ∨ f[x:=1]`.
+    pub fn exists(&mut self, f: BddRef, var: usize) -> BddRef {
+        let lo = self.restrict(f, var, false);
+        let hi = self.restrict(f, var, true);
+        self.or(lo, hi)
+    }
+
+    /// `∀x_var. f = f[x:=0] ∧ f[x:=1]`.
+    pub fn forall(&mut self, f: BddRef, var: usize) -> BddRef {
+        let lo = self.restrict(f, var, false);
+        let hi = self.restrict(f, var, true);
+        self.and(lo, hi)
+    }
+
+    /// Internal `mk` exposed for the restrict recursion (keeps reduction
+    /// invariants).
+    fn mk_pub(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        // Reuse mk through a tiny apply: ite(x_var, hi, lo) preserves
+        // canonicity without widening the private surface.
+        let x = self.var(var as usize);
+        self.ite(x, hi, lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restrict_truth_table() {
+        let mut m = BddManager::new(3);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.xor(x0, x1);
+        let f0 = m.restrict(f, 0, false);
+        let f1 = m.restrict(f, 0, true);
+        assert_eq!(f0, x1, "xor(0, x1) = x1");
+        let nx1 = m.not(x1);
+        assert_eq!(f1, nx1, "xor(1, x1) = ¬x1");
+        // Restricting an absent variable is the identity.
+        assert_eq!(m.restrict(f, 2, true), f);
+    }
+
+    #[test]
+    fn ite_is_mux() {
+        let mut m = BddManager::new(3);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let x2 = m.var(2);
+        let f = m.ite(x0, x1, x2);
+        for a in 0..8u128 {
+            let expect = if a & 1 == 1 { a >> 1 & 1 == 1 } else { a >> 2 & 1 == 1 };
+            assert_eq!(m.eval(f, a), expect, "assignment {a:03b}");
+        }
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut m = BddManager::new(2);
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.and(x0, x1);
+        // ∃x0. x0∧x1 = x1 ; ∀x0. x0∧x1 = ⊥.
+        assert_eq!(m.exists(f, 0), x1);
+        assert_eq!(m.forall(f, 0), m.const_false());
+        let g = m.or(x0, x1);
+        // ∀x0. x0∨x1 = x1.
+        assert_eq!(m.forall(g, 0), x1);
+        assert_eq!(m.exists(g, 0), m.const_true());
+    }
+
+    #[test]
+    fn quantification_model_counts() {
+        // |models(∃x. f)| ≥ |models(f)| / 2 and quantified var is free.
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0);
+        let x2 = m.var(2);
+        let f = m.and(x0, x2);
+        let e = m.exists(f, 0);
+        assert_eq!(m.count_models(e).to_u64(), Some(8)); // x2 ∧ free x0,x1,x3
+    }
+}

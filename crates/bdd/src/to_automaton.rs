@@ -1,0 +1,157 @@
+//! The §4.3 reduction: OBDD → MEM-UFA.
+
+use std::collections::HashMap;
+
+use lsc_automata::{Alphabet, Nfa};
+
+use crate::{BddManager, BddRef};
+
+/// Compiles the OBDD rooted at `f` into an automaton over `{0,1}` whose
+/// length-`n` words (`n` = the manager's variable count) are exactly the
+/// satisfying assignments, read `x_0, x_1, …` in variable order.
+///
+/// Automaton states are `(BDD node, level)` pairs: at level `ℓ`, a node
+/// testing `x_ℓ` branches on the read bit; a node testing a later variable
+/// (or the `1`-terminal) lets both bits pass — the "skipped variable"
+/// expansion §4.3 mentions. Every assignment follows exactly one path, so the
+/// result is deterministic, hence unambiguous: `EVAL-OBDD ∈ RelationUL` made
+/// concrete.
+pub fn obdd_to_ufa(manager: &BddManager, f: BddRef) -> Nfa {
+    let n = manager.num_vars();
+    let mut ids: HashMap<(BddRef, usize), usize> = HashMap::new();
+    let mut order: Vec<(BddRef, usize)> = Vec::new();
+    let mut edges: Vec<(usize, u32, usize)> = Vec::new();
+    let mut accepting: Vec<usize> = Vec::new();
+
+    let intern =
+        |key: (BddRef, usize), order: &mut Vec<(BddRef, usize)>, ids: &mut HashMap<_, usize>| {
+            *ids.entry(key).or_insert_with(|| {
+                order.push(key);
+                order.len() - 1
+            })
+        };
+    let root = intern((f, 0), &mut order, &mut ids);
+    debug_assert_eq!(root, 0);
+    let mut head = 0;
+    while head < order.len() {
+        let (node, level) = order[head];
+        let id = head;
+        head += 1;
+        if node == manager.const_false() {
+            continue; // dead end; trimming would drop it anyway
+        }
+        if level == n {
+            if node == manager.const_true() {
+                accepting.push(id);
+            }
+            continue;
+        }
+        match manager.var_of(node) {
+            Some(v) if v as usize == level => {
+                let (lo, hi) = manager.children(node).expect("decision node");
+                let lo_id = intern((lo, level + 1), &mut order, &mut ids);
+                edges.push((id, 0, lo_id));
+                let hi_id = intern((hi, level + 1), &mut order, &mut ids);
+                edges.push((id, 1, hi_id));
+            }
+            _ => {
+                // Skipped variable (node tests a later var, or is the
+                // 1-terminal): both bit values continue to the same node.
+                let next = intern((node, level + 1), &mut order, &mut ids);
+                edges.push((id, 0, next));
+                edges.push((id, 1, next));
+            }
+        }
+    }
+    let mut b = Nfa::builder(Alphabet::binary(), order.len());
+    b.set_initial(0);
+    for a in accepting {
+        b.set_accepting(a);
+    }
+    for (from, sym, to) in edges {
+        b.add_transition(from, sym, to);
+    }
+    b.build().trimmed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::ops::is_unambiguous;
+    use lsc_core::MemNfa;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assignment_of(word: &[u32]) -> u128 {
+        word.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))
+    }
+
+    #[test]
+    fn ufa_language_is_model_set() {
+        let mut m = BddManager::new(4);
+        let x0 = m.var(0);
+        let x2 = m.var(2);
+        let t = m.and(x0, x2);
+        let nx3 = m.nvar(3);
+        let f = m.or(t, nx3);
+        let nfa = obdd_to_ufa(&m, f);
+        assert!(is_unambiguous(&nfa), "OBDD reduction is a UFA (Cor. 9)");
+        let inst = MemNfa::new(nfa, 4);
+        assert_eq!(
+            inst.count_exact().unwrap(),
+            m.count_models(f),
+            "MEM-UFA count equals native BDD count"
+        );
+        for w in inst.enumerate_constant_delay().unwrap() {
+            assert!(m.eval(f, assignment_of(&w)));
+        }
+    }
+
+    #[test]
+    fn terminals() {
+        let m = BddManager::new(3);
+        let t = obdd_to_ufa(&m, m.const_true());
+        assert_eq!(MemNfa::new(t, 3).count_exact().unwrap().to_u64(), Some(8));
+        let f = obdd_to_ufa(&m, m.const_false());
+        assert!(!MemNfa::new(f, 3).exists_witness());
+    }
+
+    #[test]
+    fn random_dnf_bdds_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..8 {
+            let formula = lsc_dnf::random_dnf(8, 4, 3, &mut rng);
+            let mut m = BddManager::new(8);
+            // Build the BDD by OR-ing term conjunctions.
+            let mut f = m.const_false();
+            for term in formula.terms() {
+                let mut t = m.const_true();
+                for v in 0..8 {
+                    let bit = 1u128 << v;
+                    if term.pos() & bit != 0 {
+                        let lit = m.var(v);
+                        t = m.and(t, lit);
+                    } else if term.neg() & bit != 0 {
+                        let lit = m.nvar(v);
+                        t = m.and(t, lit);
+                    }
+                }
+                f = m.or(f, t);
+            }
+            let truth = formula.count_models_brute_force();
+            assert_eq!(m.count_models(f), truth, "native count, formula {formula}");
+            let inst = MemNfa::new(obdd_to_ufa(&m, f), 8);
+            assert_eq!(inst.count_exact().unwrap(), truth, "UFA count, formula {formula}");
+            // Uniform sampling produces models.
+            if !truth.is_zero() {
+                let sampler = inst.uniform_sampler().unwrap();
+                for _ in 0..20 {
+                    let w = sampler.sample(&mut rng).unwrap();
+                    assert!(m.eval(f, assignment_of(&w)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! E9 timing: the §4 application pipelines end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bdd::{obdd_to_ufa, BddManager};
+use lsc_core::fpras::FprasParams;
+use lsc_core::MemNfa;
+use lsc_dnf::{karp_luby, random_dnf, to_nfa};
+use lsc_graphdb::{yottabyte_graph, RpqInstance};
+use lsc_spanners::{block_spanner, SpannerInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rpq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications/e9a-rpq");
+    group.sample_size(10);
+    for n in [20usize, 40] {
+        group.bench_function(BenchmarkId::new("yotta5-count-fpras", n), |b| {
+            let inst = RpqInstance::new(yottabyte_graph(5), "a*", n, 0, 0);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| inst.count_paths_approx(FprasParams::quick(), &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn dnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications/e9b-dnf");
+    group.sample_size(10);
+    let mut frng = StdRng::seed_from_u64(2);
+    let formula = random_dnf(20, 8, 4, &mut frng);
+    group.bench_function("generic-fpras", |b| {
+        let inst = MemNfa::new(to_nfa(&formula), 20);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| inst.count_approx(FprasParams::quick(), &mut rng).unwrap());
+    });
+    group.bench_function("karp-luby-100k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| karp_luby(&formula, 100_000, &mut rng));
+    });
+    group.finish();
+}
+
+fn bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications/e9c-obdd");
+    let vars = 14;
+    let mut m = BddManager::new(vars);
+    let mut f = m.var(0);
+    for i in 1..vars {
+        let v = m.var(i);
+        f = if i % 2 == 0 { m.or(f, v) } else { m.and(f, v) };
+    }
+    group.bench_function("native-count", |b| {
+        b.iter(|| m.count_models(f));
+    });
+    group.bench_function("mem-ufa-count", |b| {
+        let inst = MemNfa::new(obdd_to_ufa(&m, f), vars);
+        b.iter(|| inst.count_exact().unwrap());
+    });
+    group.finish();
+}
+
+fn spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications/e9d-spanners");
+    let alphabet = lsc_automata::Alphabet::from_chars(&['a', 'b']);
+    for reps in [2usize, 8] {
+        let doc = "aabaaabab".repeat(reps);
+        group.bench_function(BenchmarkId::new("count-exact", doc.len()), |b| {
+            b.iter(|| {
+                SpannerInstance::new(block_spanner(&alphabet, 'a'), &doc)
+                    .count_exact()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rpq, dnf, bdd, spanner);
+criterion_main!(benches);

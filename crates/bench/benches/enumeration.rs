@@ -1,0 +1,39 @@
+//! E4/E5 timing: enumeration delay, constant vs polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_automata::families::blowup_nfa;
+use lsc_automata::regex::Regex;
+use lsc_automata::Alphabet;
+use lsc_core::enumerate::{ConstantDelayEnumerator, PolyDelayEnumerator};
+
+fn constant_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration/e4-constant-delay");
+    // Time to list the first 10k witnesses after preprocessing.
+    for k in [4usize, 8] {
+        let nfa = blowup_nfa(k);
+        group.bench_function(BenchmarkId::new("blowup", k), |b| {
+            b.iter(|| {
+                ConstantDelayEnumerator::new(&nfa, 24)
+                    .unwrap()
+                    .take(10_000)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn poly_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration/e5-poly-delay");
+    let ab = Alphabet::binary();
+    let nfa = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+    for n in [12usize, 16] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| PolyDelayEnumerator::new(&nfa, n).take(10_000).count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, constant_delay, poly_delay);
+criterion_main!(benches);

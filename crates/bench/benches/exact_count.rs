@@ -1,0 +1,33 @@
+//! E3 timing: exact counting for MEM-UFA vs the determinization oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_automata::families::blowup_nfa;
+use lsc_core::count::exact::{count_nfa_via_determinization, count_ufa};
+
+fn ufa_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/e3-ufa-count");
+    let nfa = blowup_nfa(10);
+    for n in [64usize, 256, 1024] {
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| count_ufa(&nfa, n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn oracle_count(c: &mut Criterion) {
+    // The exponential baseline the FPRAS replaces: note how fast it degrades
+    // in the blowup parameter (2^k subset states).
+    let mut group = c.benchmark_group("exact/determinization-oracle");
+    group.sample_size(10);
+    for k in [6usize, 10, 14] {
+        let nfa = blowup_nfa(k);
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| count_nfa_via_determinization(&nfa, 2 * k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ufa_count, oracle_count);
+criterion_main!(benches);

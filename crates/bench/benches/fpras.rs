@@ -1,0 +1,48 @@
+//! E1/E2 timing: the #NFA FPRAS across families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::workloads;
+use lsc_core::fpras::{approx_count, FprasParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fpras_accuracy_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras/e1-families");
+    group.sample_size(10);
+    for w in workloads::accuracy_suite() {
+        group.bench_function(BenchmarkId::from_parameter(w.name), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| approx_count(&w.nfa, w.n, FprasParams::quick(), &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn fpras_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras/e2-scaling-n");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let w = workloads::scaling_by_n(n);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| approx_count(&w.nfa, w.n, FprasParams::quick(), &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn fpras_scaling_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras/e2-scaling-m");
+    group.sample_size(10);
+    for m in [4usize, 8, 16] {
+        let w = workloads::scaling_by_m(m);
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| approx_count(&w.nfa, w.n, FprasParams::quick(), &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fpras_accuracy_suite, fpras_scaling_n, fpras_scaling_m);
+criterion_main!(benches);

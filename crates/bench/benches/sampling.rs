@@ -1,0 +1,44 @@
+//! E6/E7 timing: the uniform generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa};
+use lsc_core::fpras::FprasParams;
+use lsc_core::sample::{psi_chain_sample, Plvug, TableSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn exact_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/e6-exact-ufa");
+    let nfa = blowup_nfa(5);
+    let n = 20;
+    let table = TableSampler::new(&nfa, n).unwrap();
+    group.bench_function("table-per-sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| table.sample(&mut rng).unwrap());
+    });
+    group.sample_size(10);
+    group.bench_function("psi-chain-per-sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| psi_chain_sample(&nfa, n, &mut rng).unwrap().unwrap());
+    });
+    group.finish();
+}
+
+fn plvug(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/e7-plvug");
+    group.sample_size(10);
+    let nfa = ambiguity_gap_nfa(3);
+    let n = 10;
+    let mut rng = StdRng::seed_from_u64(3);
+    let generator = Plvug::prepare(&nfa, n, FprasParams::quick(), &mut rng).unwrap();
+    group.bench_function(BenchmarkId::new("generate-with-retries", n), |b| {
+        b.iter(|| generator.generate(&mut rng));
+    });
+    group.bench_function("preprocessing", |b| {
+        b.iter(|| Plvug::prepare(&nfa, n, FprasParams::quick(), &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exact_samplers, plvug);
+criterion_main!(benches);

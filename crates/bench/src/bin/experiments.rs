@@ -1,0 +1,51 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p lsc-bench --release --bin experiments            # everything
+//! cargo run -p lsc-bench --release --bin experiments e1 e8 b3   # a subset
+//! ```
+
+use lsc_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        exp::run_all();
+        return;
+    }
+    for arg in &args {
+        match arg.to_lowercase().as_str() {
+            "f1" | "figures" => exp::run_f1(),
+            "e1" => exp::run_e1(),
+            "e2" => exp::run_e2(),
+            "e3" => exp::run_e3(),
+            "e4" => exp::run_e4(),
+            "e5" => exp::run_e5(),
+            "e6" => exp::run_e6(),
+            "e7" => exp::run_e7(),
+            "e8" => exp::run_e8(),
+            "e9a" => exp::run_e9a(),
+            "e9b" => exp::run_e9b(),
+            "e9c" => exp::run_e9c(),
+            "e9d" => exp::run_e9d(),
+            "e10" => exp::run_e10(),
+            "e11" => exp::run_e11(),
+            "e12" => exp::run_e12(),
+            "e13" => exp::run_e13(),
+            "e9" => {
+                exp::run_e9a();
+                exp::run_e9b();
+                exp::run_e9c();
+                exp::run_e9d();
+            }
+            "ablations" | "b" => exp::run_ablations(),
+            "all" => exp::run_all(),
+            other => {
+                eprintln!("unknown experiment id {other:?}");
+                eprintln!("known: f1 e1 e2 e3 e4 e5 e6 e7 e8 e9[a-d] e10 e11 e12 e13 ablations all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

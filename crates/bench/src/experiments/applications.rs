@@ -1,0 +1,170 @@
+//! E9a–E9d: the §4 application experiments.
+
+use std::time::Instant;
+
+use lsc_bdd::{nobdd_to_nfa, obdd_to_ufa, BddManager, NObdd, NObddNode};
+use lsc_core::fpras::FprasParams;
+use lsc_core::MemNfa;
+use lsc_dnf::{karp_luby, random_dnf, to_nfa};
+use lsc_graphdb::{yottabyte_graph, RpqInstance};
+use lsc_spanners::{block_spanner, SpannerInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{dur, f3};
+use crate::Table;
+
+/// E9a — RPQ path counting and sampling (Corollary 8 / the \[ACP12\] blowup).
+pub fn run_e9a() {
+    println!("## E9a — regular path queries (Corollary 8)\n");
+    let mut rng = StdRng::seed_from_u64(0xE9A);
+    let mut table = Table::new(&["graph", "query", "length", "exact", "FPRAS", "time (FPRAS)"]);
+    for n in [20usize, 30] {
+        let inst = RpqInstance::new(yottabyte_graph(5), "a*", n, 0, 0);
+        let truth = inst.count_paths_oracle();
+        let start = Instant::now();
+        let est = inst
+            .count_paths_approx(FprasParams::quick(), &mut rng)
+            .unwrap();
+        let elapsed = start.elapsed();
+        table.row(&[
+            "yotta(5)".into(),
+            "a*".into(),
+            n.to_string(),
+            truth.to_string(),
+            f3(est.to_f64()),
+            dur(elapsed),
+        ]);
+    }
+    // Beyond any oracle: the count dwarfs u64.
+    let n = 250;
+    let inst = RpqInstance::new(yottabyte_graph(5), "a*", n, 0, 0);
+    let start = Instant::now();
+    let est = inst
+        .count_paths_approx(FprasParams::quick(), &mut rng)
+        .unwrap();
+    let elapsed = start.elapsed();
+    table.row(&[
+        "yotta(5)".into(),
+        "a*".into(),
+        n.to_string(),
+        "≈ 10^75 (beyond oracle)".into(),
+        format!("10^{:.1}", est.log10()),
+        dur(elapsed),
+    ]);
+    table.print();
+    let paths = inst.sample_paths(2, FprasParams::quick(), &mut rng).unwrap();
+    println!("\nuniform sample paths exist at n=250: drew {} of length 250\n", paths.len());
+}
+
+/// E9b — #DNF: generic FPRAS vs Karp–Luby vs brute force (§3, \[KL83\]).
+pub fn run_e9b() {
+    println!("## E9b — SAT-DNF counting (§3 + [KL83] baseline)\n");
+    let mut rng = StdRng::seed_from_u64(0xE9B);
+    let mut table = Table::new(&["formula", "exact", "generic FPRAS", "Karp–Luby", "FPRAS/KL"]);
+    for seed in 0..3u64 {
+        let mut frng = StdRng::seed_from_u64(seed);
+        let f = random_dnf(16, 8, 4, &mut frng);
+        let truth = f.count_models_brute_force().to_f64();
+        let inst = MemNfa::new(to_nfa(&f), 16);
+        let est = inst
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        let kl = karp_luby(&f, 100_000, &mut rng).to_f64();
+        table.row(&[
+            format!("random(16,8,4)#{seed}"),
+            f3(truth),
+            f3(est),
+            f3(kl),
+            format!("{:.3}", est / kl),
+        ]);
+    }
+    // 60 variables: no oracle; the two approximators must agree.
+    let mut frng = StdRng::seed_from_u64(0xF);
+    let f = random_dnf(60, 10, 5, &mut frng);
+    let inst = MemNfa::new(to_nfa(&f), 60);
+    let est = inst
+        .count_approx(FprasParams::quick(), &mut rng)
+        .unwrap()
+        .to_f64();
+    let kl = karp_luby(&f, 200_000, &mut rng).to_f64();
+    table.row(&[
+        "random(60,10,5)".into(),
+        "—".into(),
+        f3(est),
+        f3(kl),
+        format!("{:.3}", est / kl),
+    ]);
+    table.print();
+    println!();
+}
+
+/// E9c — OBDD / nOBDD pipelines (Corollaries 9–10).
+pub fn run_e9c() {
+    println!("## E9c — OBDD and nOBDD evaluation (Corollaries 9–10)\n");
+    let mut rng = StdRng::seed_from_u64(0xE9C);
+    // OBDD: 12-variable alternating chain.
+    let vars = 12;
+    let mut m = BddManager::new(vars);
+    let mut f = m.var(0);
+    for i in 1..vars {
+        let v = m.var(i);
+        f = if i % 2 == 0 { m.or(f, v) } else { m.and(f, v) };
+    }
+    let native = m.count_models(f);
+    let inst = MemNfa::new(obdd_to_ufa(&m, f), vars);
+    let exact = inst.count_exact().unwrap();
+    let enumerated = inst.enumerate_constant_delay().unwrap().count();
+    let mut table = Table::new(&["pipeline", "value"]);
+    table.row(&["OBDD native DP count".into(), native.to_string()]);
+    table.row(&["MEM-UFA exact count".into(), exact.to_string()]);
+    table.row(&["constant-delay enumeration".into(), enumerated.to_string()]);
+    let sampler = inst.uniform_sampler().unwrap();
+    let w = sampler.sample(&mut rng).unwrap();
+    table.row(&["one uniform model".into(), format!("{w:?}")]);
+    // nOBDD: the overlapping union (ambiguous).
+    let nodes = vec![
+        NObddNode::Terminal(false),
+        NObddNode::Terminal(true),
+        NObddNode::Decision { var: 0, lo: 0, hi: 1 },
+        NObddNode::Decision { var: 1, lo: 0, hi: 1 },
+        NObddNode::Decision { var: 2, lo: 0, hi: 1 },
+        NObddNode::Decision { var: 3, lo: 0, hi: 1 },
+        NObddNode::Union(vec![2, 3, 4, 5]),
+    ];
+    let nobdd = NObdd::new(4, nodes, 6);
+    let ninst = MemNfa::new(nobdd_to_nfa(&nobdd), 4);
+    let est = ninst.count_approx(FprasParams::quick(), &mut rng).unwrap();
+    table.row(&[
+        "nOBDD (x0∨x1∨x2∨x3) FPRAS".into(),
+        format!("{} (truth {})", f3(est.to_f64()), nobdd.count_models_brute_force()),
+    ]);
+    table.print();
+    println!();
+}
+
+/// E9d — document spanners (Corollaries 6–7).
+pub fn run_e9d() {
+    println!("## E9d — document spanners (Corollaries 6–7)\n");
+    let mut rng = StdRng::seed_from_u64(0xE9D);
+    let alphabet = lsc_automata::Alphabet::from_chars(&['a', 'b']);
+    let mut table = Table::new(&["document length", "mappings (exact)", "FPRAS", "time (exact)", "unambiguous"]);
+    for reps in [1usize, 2, 4] {
+        let doc: String = "aabaaabab".repeat(reps);
+        let inst = SpannerInstance::new(block_spanner(&alphabet, 'a'), &doc);
+        let start = Instant::now();
+        let exact = inst.count_exact().expect("block spanner is unambiguous");
+        let elapsed = start.elapsed();
+        let est = inst.count_approx(FprasParams::quick(), &mut rng).unwrap();
+        table.row(&[
+            doc.len().to_string(),
+            exact.to_string(),
+            f3(est.to_f64()),
+            dur(elapsed),
+            inst.is_unambiguous().to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+}

@@ -1,0 +1,35 @@
+//! Experiment implementations (see DESIGN.md §4 for the index).
+
+mod ablations;
+mod applications;
+mod core_exps;
+mod extensions;
+mod figures;
+
+pub use ablations::run_ablations;
+pub use applications::{run_e9a, run_e9b, run_e9c, run_e9d};
+pub use core_exps::{run_e1, run_e2, run_e3, run_e4, run_e5, run_e6, run_e7, run_e8};
+pub use extensions::{run_e10, run_e11, run_e12, run_e13};
+pub use figures::run_f1;
+
+/// Runs every experiment in order.
+pub fn run_all() {
+    run_f1();
+    run_e1();
+    run_e2();
+    run_e3();
+    run_e4();
+    run_e5();
+    run_e6();
+    run_e7();
+    run_e8();
+    run_e9a();
+    run_e9b();
+    run_e9c();
+    run_e9d();
+    run_e10();
+    run_e11();
+    run_e12();
+    run_e13();
+    run_ablations();
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for the reproduction: named workloads, a markdown table
+//! printer, and the experiment implementations behind the `experiments`
+//! binary and the Criterion benches.
+//!
+//! Every experiment ID (E1–E9d, B1–B7, F1) is documented in DESIGN.md §4 and
+//! reported in EXPERIMENTS.md; `cargo run -p lsc-bench --release --bin
+//! experiments` regenerates all of them.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;

@@ -1,0 +1,118 @@
+//! Exact counting.
+//!
+//! §5.3.2 of the paper: for an *unambiguous* NFA, the number of accepting runs
+//! of length `k` equals the number of accepted words of length `k`, and run
+//! counting is a `#L` function computable by a polynomial dynamic program. We
+//! run that DP directly on the unrolled DAG. For general NFAs the same DP
+//! counts *runs* (an overcount), so the exact word count goes through the
+//! subset construction — exponential in the worst case, which is precisely the
+//! gap the FPRAS closes.
+
+use lsc_arith::BigNat;
+use lsc_automata::ops::{determinize, is_unambiguous};
+use lsc_automata::unroll::UnrolledDag;
+use lsc_automata::Nfa;
+
+/// Exact `|L_n(N)|` for an unambiguous `N`, in time `O(n · |δ|)` big-number
+/// operations (Proposition 14, counting part).
+///
+/// # Errors
+/// Returns [`NotUnambiguousError`] if `N` is ambiguous (checked up front;
+/// counting runs of an ambiguous NFA would overcount words).
+pub fn count_ufa(nfa: &Nfa, n: usize) -> Result<BigNat, NotUnambiguousError> {
+    if !is_unambiguous(nfa) {
+        return Err(NotUnambiguousError);
+    }
+    Ok(count_runs(nfa, n))
+}
+
+/// The number of *accepting runs* of length `n` — the raw `#L` dynamic
+/// program. Equals the word count exactly when the automaton is unambiguous.
+pub fn count_runs(nfa: &Nfa, n: usize) -> BigNat {
+    let dag = UnrolledDag::build(nfa, n);
+    count_runs_on(&dag)
+}
+
+/// [`count_runs`] on a pre-built DAG.
+pub fn count_runs_on(dag: &UnrolledDag) -> BigNat {
+    match dag.start() {
+        None => BigNat::zero(),
+        Some(s) => dag.completion_counts()[s].clone(),
+    }
+}
+
+/// Ground-truth `|L_n(N)|` for *any* NFA via the subset construction.
+///
+/// Worst-case exponential in `N`'s size; this is the oracle the experiments
+/// compare the FPRAS against, not a production path.
+pub fn count_nfa_via_determinization(nfa: &Nfa, n: usize) -> BigNat {
+    determinize(nfa).count_words(n)
+}
+
+/// Error: the automaton passed to a UFA-only routine is ambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotUnambiguousError;
+
+impl std::fmt::Display for NotUnambiguousError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("automaton is ambiguous; exact UFA counting would overcount")
+    }
+}
+
+impl std::error::Error for NotUnambiguousError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::{blowup_nfa, single_word_nfa, universal_nfa};
+    use lsc_automata::regex::Regex;
+    use lsc_automata::Alphabet;
+
+    #[test]
+    fn ufa_count_matches_oracle_on_blowup() {
+        let n = blowup_nfa(5);
+        for len in 0..12 {
+            assert_eq!(
+                count_ufa(&n, len).unwrap(),
+                count_nfa_via_determinization(&n, len),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn ufa_count_scales_past_u64() {
+        let u = universal_nfa(Alphabet::binary());
+        assert_eq!(count_ufa(&u, 200).unwrap(), BigNat::pow2(200));
+        let s = single_word_nfa(100);
+        assert_eq!(count_ufa(&s, 100).unwrap(), BigNat::one());
+        assert_eq!(count_ufa(&s, 99).unwrap(), BigNat::zero());
+    }
+
+    #[test]
+    fn ambiguous_rejected() {
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+        assert_eq!(count_ufa(&amb, 4), Err(NotUnambiguousError));
+        // ...but run counting still works, and strictly overcounts words.
+        let runs = count_runs(&amb, 4);
+        let words = count_nfa_via_determinization(&amb, 4);
+        assert_eq!(words, BigNat::from_u64(15)); // all but 0000
+        assert!(runs > words);
+    }
+
+    #[test]
+    fn empty_language_counts_zero() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("01", &ab).unwrap().compile();
+        assert_eq!(count_runs(&n, 5), BigNat::zero());
+        assert_eq!(count_nfa_via_determinization(&n, 5), BigNat::zero());
+    }
+
+    #[test]
+    fn epsilon_instance() {
+        let ab = Alphabet::binary();
+        let star = Regex::parse("(0|1)*", &ab).unwrap().compile();
+        assert_eq!(count_ufa(&star, 0).unwrap(), BigNat::one());
+    }
+}

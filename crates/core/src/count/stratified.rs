@@ -1,0 +1,265 @@
+//! Stratified exact counting and sampling for MEM-UFA: witnesses refined by
+//! the number of occurrences of a marked symbol.
+//!
+//! The §4.2 application motivates this refinement: for a regular path query
+//! one often wants not just `|paths of length n|` but the histogram over how
+//! many edges carry a given label (cost, hazard, back-edge, …). For an
+//! unambiguous automaton the §5.3.2 dynamic program extends to a
+//! two-dimensional table indexed by `(remaining length, occurrences so far)`
+//! without losing exactness: runs still biject with words, stratum by
+//! stratum. The same table drives an exact uniform sampler *conditioned on a
+//! stratum* — uniform generation from `{w ∈ L_n(N) : #σ(w) = k}` — in the
+//! style of §5.3.3.
+
+use lsc_arith::BigNat;
+use lsc_automata::ops::is_unambiguous;
+use lsc_automata::{Nfa, StateId, Symbol, Word};
+use rand::Rng;
+
+use crate::count::exact::NotUnambiguousError;
+
+/// The two-dimensional completion table of a stratified count.
+///
+/// `table[t][q][k]` = number of accepting runs from state `q` with `t`
+/// symbols left to read, exactly `k` of which are the marked symbol. For an
+/// unambiguous automaton these are word counts per stratum.
+#[derive(Debug)]
+pub struct StratifiedCount {
+    nfa: Nfa,
+    marked: Symbol,
+    n: usize,
+    /// `table[t][q][k]`, `t ∈ 0..=n`, `k ∈ 0..=t` (rows are truncated to
+    /// `t + 1` strata: no more marks than symbols).
+    table: Vec<Vec<Vec<BigNat>>>,
+}
+
+impl StratifiedCount {
+    /// Builds the table for witnesses of length `n` stratified by
+    /// occurrences of `marked`.
+    ///
+    /// `O(n² · |δ|)` big-number additions.
+    ///
+    /// # Errors
+    /// [`NotUnambiguousError`] if the automaton is ambiguous (the counts
+    /// would be run counts, not word counts).
+    ///
+    /// # Panics
+    /// Panics if `marked` is outside the automaton's alphabet.
+    pub fn build(nfa: &Nfa, n: usize, marked: Symbol) -> Result<StratifiedCount, NotUnambiguousError> {
+        assert!(
+            (marked as usize) < nfa.alphabet().len(),
+            "marked symbol {marked} outside alphabet"
+        );
+        if !is_unambiguous(nfa) {
+            return Err(NotUnambiguousError);
+        }
+        let m = nfa.num_states();
+        let mut table: Vec<Vec<Vec<BigNat>>> = Vec::with_capacity(n + 1);
+        // t = 0: one empty completion from accepting states, zero marks.
+        table.push(
+            (0..m)
+                .map(|q| vec![if nfa.is_accepting(q) { BigNat::one() } else { BigNat::zero() }])
+                .collect(),
+        );
+        for t in 1..=n {
+            let mut layer = vec![vec![BigNat::zero(); t + 1]; m];
+            for (q, row) in layer.iter_mut().enumerate() {
+                for &(a, next) in nfa.transitions_from(q) {
+                    let offset = usize::from(a == marked);
+                    let prev = &table[t - 1][next];
+                    for (k, cnt) in prev.iter().enumerate() {
+                        if !cnt.is_zero() {
+                            row[k + offset].add_assign_ref(cnt);
+                        }
+                    }
+                }
+            }
+            table.push(layer);
+        }
+        Ok(StratifiedCount { nfa: nfa.clone(), marked, n, table })
+    }
+
+    /// The witness length `n`.
+    pub fn length(&self) -> usize {
+        self.n
+    }
+
+    /// The marked symbol.
+    pub fn marked(&self) -> Symbol {
+        self.marked
+    }
+
+    /// `|{w ∈ L_n(N) : #marked(w) = k}|`.
+    pub fn count_with(&self, k: usize) -> BigNat {
+        if k > self.n {
+            return BigNat::zero();
+        }
+        self.table[self.n][self.nfa.initial()]
+            .get(k)
+            .cloned()
+            .unwrap_or_else(BigNat::zero)
+    }
+
+    /// The full histogram `k ↦ |{w : #marked(w) = k}|` for `k ∈ 0..=n`.
+    pub fn histogram(&self) -> Vec<BigNat> {
+        (0..=self.n).map(|k| self.count_with(k)).collect()
+    }
+
+    /// The total `|L_n(N)|` (the histogram's sum; equals the §5.3.2 count).
+    pub fn total(&self) -> BigNat {
+        let mut acc = BigNat::zero();
+        for c in self.histogram() {
+            acc.add_assign_ref(&c);
+        }
+        acc
+    }
+
+    /// Draws a uniform witness from the stratum `{w ∈ L_n(N) : #marked(w) = k}`;
+    /// `None` if the stratum is empty.
+    ///
+    /// Exactly uniform: each step draws a transition with probability
+    /// proportional to its completion count within the remaining stratum,
+    /// with exact `BigNat` arithmetic throughout.
+    pub fn sample_with<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Option<Word> {
+        let total = self.count_with(k);
+        if total.is_zero() {
+            return None;
+        }
+        let mut word = Vec::with_capacity(self.n);
+        let mut state: StateId = self.nfa.initial();
+        let mut marks = k;
+        for t in (1..=self.n).rev() {
+            let mut r = BigNat::uniform_below(&self.table[t][state][marks], rng);
+            let mut chosen = None;
+            for &(a, next) in self.nfa.transitions_from(state) {
+                let offset = usize::from(a == self.marked);
+                if offset > marks {
+                    continue;
+                }
+                let weight = self.table[t - 1][next]
+                    .get(marks - offset)
+                    .cloned()
+                    .unwrap_or_else(BigNat::zero);
+                if weight.is_zero() {
+                    continue;
+                }
+                match r.checked_sub(&weight) {
+                    Some(rest) => r = rest,
+                    None => {
+                        chosen = Some((a, next, offset));
+                        break;
+                    }
+                }
+            }
+            let (a, next, offset) = chosen.expect("weights sum to the cell count");
+            word.push(a);
+            state = next;
+            marks -= offset;
+        }
+        debug_assert_eq!(marks, 0);
+        debug_assert!(self.nfa.is_accepting(state));
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::exact::count_ufa;
+    use lsc_automata::families::{blowup_nfa, universal_nfa};
+    use lsc_automata::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut c: u128 = 1;
+        for i in 0..k.min(n - k) as u128 {
+            c = c * (n as u128 - i) / (i + 1);
+        }
+        c as u64
+    }
+
+    #[test]
+    fn universal_histogram_is_binomial() {
+        let u = universal_nfa(Alphabet::binary());
+        let s = StratifiedCount::build(&u, 10, 1).unwrap();
+        for k in 0..=10usize {
+            assert_eq!(
+                s.count_with(k).to_u64(),
+                Some(binomial(10, k as u64)),
+                "stratum {k}"
+            );
+        }
+        assert_eq!(s.total().to_u64(), Some(1024));
+        assert_eq!(s.count_with(11).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn histogram_sums_to_the_flat_count() {
+        let n = blowup_nfa(5);
+        let len = 12;
+        let s = StratifiedCount::build(&n, len, 0).unwrap();
+        assert_eq!(s.total(), count_ufa(&n, len).unwrap());
+    }
+
+    #[test]
+    fn ambiguous_automata_are_rejected() {
+        use lsc_automata::regex::Regex;
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+        assert_eq!(
+            StratifiedCount::build(&amb, 5, 1).unwrap_err(),
+            NotUnambiguousError
+        );
+    }
+
+    #[test]
+    fn stratum_samples_have_the_right_mark_count() {
+        let n = blowup_nfa(4);
+        let len = 10;
+        let s = StratifiedCount::build(&n, len, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(71);
+        for k in 0..=len {
+            let stratum = s.count_with(k);
+            match s.sample_with(k, &mut rng) {
+                Some(w) => {
+                    assert!(!stratum.is_zero());
+                    assert_eq!(w.len(), len);
+                    assert_eq!(w.iter().filter(|&&a| a == 1).count(), k, "stratum {k}");
+                    assert!(n.accepts(&w), "sampled non-witness");
+                }
+                None => assert!(stratum.is_zero(), "stratum {k} nonempty but sample failed"),
+            }
+        }
+    }
+
+    #[test]
+    fn stratum_sampling_is_uniform() {
+        use crate::sample::SampleStats;
+        // Universal automaton, stratum k=2 at n=6: C(6,2) = 15 words.
+        let u = universal_nfa(Alphabet::binary());
+        let s = StratifiedCount::build(&u, 6, 1).unwrap();
+        assert_eq!(s.count_with(2).to_u64(), Some(15));
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut stats = SampleStats::new();
+        for _ in 0..3000 {
+            stats.record(s.sample_with(2, &mut rng).unwrap());
+        }
+        assert_eq!(stats.distinct(), 15);
+        assert!(stats.looks_uniform(15), "chi² = {}", stats.chi_square(15));
+    }
+
+    #[test]
+    fn empty_stratum_yields_none() {
+        // The single-word automaton 0^n has an empty k=1 stratum for mark 1.
+        let n = lsc_automata::families::single_word_nfa(6);
+        let s = StratifiedCount::build(&n, 6, 1).unwrap();
+        assert_eq!(s.count_with(0).to_u64(), Some(1));
+        let mut rng = StdRng::seed_from_u64(73);
+        assert!(s.sample_with(1, &mut rng).is_none());
+        assert!(s.sample_with(0, &mut rng).is_some());
+    }
+}

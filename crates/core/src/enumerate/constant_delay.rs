@@ -1,0 +1,271 @@
+//! Algorithm 1: constant-delay enumeration over the unrolled DAG.
+//!
+//! The enumerator keeps the list of *decision points* of the current
+//! start→accepting path — the DAG vertices with more than one out-edge,
+//! together with the edge index taken (the paper's `list` of
+//! `(q, (a, q'))` entries). Producing the next word:
+//!
+//! 1. retire exhausted decisions from the tail (paper step 7),
+//! 2. advance the last surviving decision to its successor edge (step 8),
+//! 3. replay the walk from the start, consuming stored decisions and taking
+//!    the minimal edge (recording a new decision) past them (step 3).
+//!
+//! Every step is O(1) on a RAM, and the replay is `|output|` steps, so the
+//! delay is `c·|output|`, independent of the automaton — the paper's
+//! constant-delay notion. On an unambiguous automaton paths ↔ words, so words
+//! are enumerated without repetition (Lemma 15); on an ambiguous one the same
+//! iterator enumerates *runs* (exposed as [`ConstantDelayEnumerator::paths`]).
+
+use lsc_automata::ops::is_unambiguous;
+use lsc_automata::unroll::{NodeId, UnrolledDag};
+use lsc_automata::{Nfa, Word};
+
+use crate::count::exact::NotUnambiguousError;
+
+/// The constant-delay enumerator (Algorithm 1). Create with
+/// [`ConstantDelayEnumerator::new`] (checked, UFA-only) or
+/// [`ConstantDelayEnumerator::paths`] (any NFA; yields one word per *path*).
+pub struct ConstantDelayEnumerator {
+    dag: UnrolledDag,
+    /// `(vertex, edge index)` for each branching vertex on the current path.
+    decisions: Vec<(NodeId, usize)>,
+    started: bool,
+    done: bool,
+    /// Abstract RAM steps spent producing the most recent output (for the
+    /// delay experiment E4).
+    last_delay_steps: u64,
+}
+
+impl ConstantDelayEnumerator {
+    /// Preprocessing phase for an unambiguous automaton: builds the DAG of
+    /// Lemma 15 in polynomial time.
+    ///
+    /// # Errors
+    /// Rejects ambiguous automata (their path enumeration would repeat words);
+    /// use [`ConstantDelayEnumerator::paths`] for run enumeration instead.
+    pub fn new(nfa: &Nfa, n: usize) -> Result<Self, NotUnambiguousError> {
+        if !is_unambiguous(nfa) {
+            return Err(NotUnambiguousError);
+        }
+        Ok(Self::paths(nfa, n))
+    }
+
+    /// Path enumeration over any NFA (one output per accepting run).
+    pub fn paths(nfa: &Nfa, n: usize) -> Self {
+        ConstantDelayEnumerator {
+            dag: UnrolledDag::build(nfa, n),
+            decisions: Vec::new(),
+            started: false,
+            done: false,
+            last_delay_steps: 0,
+        }
+    }
+
+    /// Abstract steps spent on the most recent `next()` call. Experiment E4
+    /// plots this against the automaton size to exhibit input-independence.
+    pub fn last_delay_steps(&self) -> u64 {
+        self.last_delay_steps
+    }
+
+    /// The underlying DAG (preprocessing output).
+    pub fn dag(&self) -> &UnrolledDag {
+        &self.dag
+    }
+
+    /// Replays the stored decisions from the start vertex, extending with
+    /// minimal edges (recording fresh decisions) once they are exhausted.
+    fn replay(&mut self) -> Word {
+        let n = self.dag.word_length();
+        let mut word = Vec::with_capacity(n);
+        let mut cur = self.dag.start().expect("nonempty dag");
+        let mut ptr = 0;
+        for _ in 0..n {
+            let edges = self.dag.out_edges(cur);
+            // Only branching vertices appear in the decision list; single-exit
+            // vertices are walked through silently.
+            let idx = if edges.len() == 1 {
+                0
+            } else if ptr < self.decisions.len() {
+                debug_assert_eq!(self.decisions[ptr].0, cur, "decisions replay in path order");
+                let i = self.decisions[ptr].1;
+                ptr += 1;
+                i
+            } else {
+                self.decisions.push((cur, 0));
+                ptr = self.decisions.len();
+                0
+            };
+            let (symbol, next) = edges[idx];
+            word.push(symbol);
+            cur = next;
+            self.last_delay_steps += 1;
+        }
+        word
+    }
+}
+
+impl Iterator for ConstantDelayEnumerator {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        self.last_delay_steps = 0;
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.dag.is_empty() {
+                self.done = true;
+                return None;
+            }
+            return Some(self.replay());
+        }
+        // Retire exhausted decisions (paper step 7), then advance the last one.
+        loop {
+            self.last_delay_steps += 1;
+            match self.decisions.last_mut() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some((v, idx)) => {
+                    if *idx + 1 < self.dag.out_edges(*v).len() {
+                        *idx += 1;
+                        break;
+                    }
+                    self.decisions.pop();
+                }
+            }
+        }
+        Some(self.replay())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::{blowup_nfa, single_word_nfa, universal_nfa};
+    use lsc_automata::regex::Regex;
+    use lsc_automata::{format_word, Alphabet, Nfa};
+
+    fn figure1() -> Nfa {
+        let ab = Alphabet::from_chars(&['a', 'b']);
+        let mut b = Nfa::builder(ab, 7);
+        b.set_initial(0);
+        b.set_accepting(5);
+        for (f, s, t) in [
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 0, 3),
+            (2, 1, 4),
+            (2, 0, 6),
+            (3, 0, 5),
+            (3, 1, 5),
+            (4, 0, 5),
+            (6, 1, 6),
+        ] {
+            b.add_transition(f, s, t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_enumeration_order() {
+        // §5.3.1 walks this example: aaa, then aab, then the b-branch (bba).
+        let n = figure1();
+        let ab = n.alphabet().clone();
+        let words: Vec<String> = ConstantDelayEnumerator::new(&n, 3)
+            .unwrap()
+            .map(|w| format_word(&w, &ab))
+            .collect();
+        assert_eq!(words, vec!["aaa", "aab", "bba"]);
+    }
+
+    #[test]
+    fn enumerates_all_without_repetition() {
+        let n = blowup_nfa(3);
+        let len = 9;
+        let words: Vec<Word> = ConstantDelayEnumerator::new(&n, len).unwrap().collect();
+        let expected = crate::count::exact::count_nfa_via_determinization(&n, len);
+        assert_eq!(words.len() as u64, expected.to_u64().unwrap());
+        let mut dedup = words.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), words.len(), "no repetitions");
+        for w in &words {
+            assert!(n.accepts(w));
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_nothing() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("01", &ab).unwrap().compile();
+        let mut e = ConstantDelayEnumerator::new(&n, 5).unwrap();
+        assert_eq!(e.next(), None);
+        assert_eq!(e.next(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn single_word() {
+        let n = single_word_nfa(6);
+        let words: Vec<Word> = ConstantDelayEnumerator::new(&n, 6).unwrap().collect();
+        assert_eq!(words, vec![vec![0; 6]]);
+    }
+
+    #[test]
+    fn ambiguous_rejected_but_paths_work() {
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+        assert!(ConstantDelayEnumerator::new(&amb, 4).is_err());
+        // Path enumeration yields one output per run: more than the word count.
+        let runs = ConstantDelayEnumerator::paths(&amb, 4).count();
+        assert!(runs > 15);
+    }
+
+    #[test]
+    fn delay_is_linear_in_output_not_input() {
+        // Same language (Σ^n) at wildly different automaton sizes: the
+        // measured per-output steps must not grow with m.
+        let len = 12;
+        let mut delays = Vec::new();
+        for copies in [1usize, 4, 8] {
+            // `copies` redundant states, all equivalent to the single state of
+            // the universal automaton — but only reachable ones survive, so
+            // inflate with a reachable deterministic chain feeding a loop.
+            let ab = Alphabet::binary();
+            let mut b = Nfa::builder(ab, copies + 1);
+            b.set_initial(0);
+            // Build an unambiguous automaton: chain 0→1→...→copies, loop at end.
+            for i in 0..copies {
+                b.add_transition(i, 0, i + 1);
+                b.add_transition(i, 1, i + 1);
+            }
+            b.add_transition(copies, 0, copies);
+            b.add_transition(copies, 1, copies);
+            b.set_accepting(copies);
+            let n = b.build();
+            let mut e = ConstantDelayEnumerator::new(&n, len).unwrap();
+            let mut max_delay = 0;
+            while e.next().is_some() {
+                max_delay = max_delay.max(e.last_delay_steps());
+            }
+            delays.push(max_delay);
+        }
+        let spread = *delays.iter().max().unwrap() as f64 / *delays.iter().min().unwrap() as f64;
+        assert!(
+            spread < 1.5,
+            "delay should be independent of automaton size: {delays:?}"
+        );
+    }
+
+    #[test]
+    fn enumeration_matches_universal_language() {
+        let u = universal_nfa(Alphabet::binary());
+        let words: Vec<Word> = ConstantDelayEnumerator::new(&u, 3).unwrap().collect();
+        assert_eq!(words.len(), 8);
+        // Lexicographic by the fixed edge order.
+        assert_eq!(words[0], vec![0, 0, 0]);
+        assert_eq!(words[7], vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Enumerating witnesses: `ENUM(R)`.
+//!
+//! * [`constant_delay`] — Algorithm 1: after polynomial preprocessing (the
+//!   unrolled DAG of Lemma 15), outputs are produced with delay `O(|output|)`,
+//!   independent of the input size — the paper's constant-delay notion
+//!   (§2.3). Exact enumeration of *words* requires an unambiguous automaton.
+//! * [`poly_delay`] — polynomial-delay enumeration for arbitrary NFAs, the
+//!   flashlight search enabled by self-reducibility plus a polynomial-time
+//!   emptiness check ([Sch09, Thm 4.9], invoked by the paper for Theorem 16).
+
+pub mod constant_delay;
+pub mod poly_delay;
+
+pub use constant_delay::ConstantDelayEnumerator;
+pub use poly_delay::PolyDelayEnumerator;

@@ -1,0 +1,228 @@
+//! Polynomial-delay enumeration for arbitrary NFAs (Theorem 16, first part).
+//!
+//! The paper derives this from self-reducibility plus a polynomial-time
+//! emptiness check, citing [Sch09, Thm 4.9] — the classic *flashlight* (binary
+//! partition) search. Concretely: grow a prefix symbol by symbol, descending
+//! into symbol `a` only if some witness extends the current prefix through `a`.
+//! The viability oracle is free after preprocessing: the prefix's reachable
+//! state set, intersected with the unrolled DAG's layer (which already encodes
+//! "can still reach acceptance"), is nonempty iff an extension exists.
+//!
+//! Unlike Algorithm 1, duplicates cannot arise even on ambiguous automata — the
+//! search tree is over *prefixes*, not runs — at the cost of `O(|Σ|·m²)` work
+//! per symbol, i.e. polynomial (not constant) delay.
+
+use lsc_automata::unroll::UnrolledDag;
+use lsc_automata::{Nfa, StateSet, Symbol, Word};
+
+/// Flashlight enumerator over all witnesses of `(N, 0^n)`, in lexicographic
+/// symbol order, without repetition, for arbitrary (ambiguous) NFAs.
+pub struct PolyDelayEnumerator {
+    nfa: Nfa,
+    dag: UnrolledDag,
+    /// DFS stack: `stack[t]` = (reachable-and-viable states after `prefix[..t]`,
+    /// next symbol to try at depth `t`).
+    stack: Vec<(StateSet, Symbol)>,
+    prefix: Word,
+    started: bool,
+    done: bool,
+    /// Abstract steps for the most recent output (experiment E5).
+    last_delay_steps: u64,
+}
+
+impl PolyDelayEnumerator {
+    /// Preprocessing: the unrolled DAG (viability tables).
+    pub fn new(nfa: &Nfa, n: usize) -> Self {
+        let dag = UnrolledDag::build(nfa, n);
+        PolyDelayEnumerator {
+            nfa: nfa.clone(),
+            dag,
+            stack: Vec::new(),
+            prefix: Vec::new(),
+            started: false,
+            done: false,
+            last_delay_steps: 0,
+        }
+    }
+
+    /// Abstract steps spent on the most recent `next()` call.
+    pub fn last_delay_steps(&self) -> u64 {
+        self.last_delay_steps
+    }
+
+    /// States reachable on `symbol` from `from` that are still viable at
+    /// layer `t` (i.e. appear in the pruned DAG).
+    fn viable_step(&mut self, from: &StateSet, symbol: Symbol, t: usize) -> StateSet {
+        let mut next = StateSet::new(self.nfa.num_states());
+        for q in from.iter() {
+            self.last_delay_steps += 1;
+            for s in self.nfa.step(q, symbol) {
+                if self.dag.node_at(t, s).is_some() {
+                    next.insert(s);
+                }
+            }
+        }
+        next
+    }
+
+    /// Descends greedily (smallest viable symbol first) until the prefix has
+    /// full length, then emits it. Precondition: top of stack is viable.
+    fn descend(&mut self) -> Word {
+        let n = self.dag.word_length();
+        while self.prefix.len() < n {
+            let t = self.prefix.len();
+            let (states, mut sym) = self.stack.last().map(|(s, y)| (s.clone(), *y)).unwrap();
+            let width = self.nfa.alphabet().len() as Symbol;
+            let mut moved = false;
+            while sym < width {
+                self.last_delay_steps += 1;
+                let next = self.viable_step(&states, sym, t + 1);
+                if !next.is_empty() {
+                    self.stack.last_mut().unwrap().1 = sym + 1;
+                    self.stack.push((next, 0));
+                    self.prefix.push(sym);
+                    moved = true;
+                    break;
+                }
+                sym += 1;
+            }
+            debug_assert!(
+                moved,
+                "a viable prefix always extends (layers are co-reachable)"
+            );
+            if !moved {
+                break;
+            }
+        }
+        self.prefix.clone()
+    }
+
+    /// Backtracks to the deepest level with an untried viable symbol; returns
+    /// false when the search is exhausted.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some(&(ref states, sym)) = self.stack.last() else {
+                return false;
+            };
+            let t = self.prefix.len();
+            let width = self.nfa.alphabet().len() as Symbol;
+            let states = states.clone();
+            let mut s = sym;
+            while s < width {
+                self.last_delay_steps += 1;
+                let next = self.viable_step(&states, s, t + 1);
+                if !next.is_empty() {
+                    self.stack.last_mut().unwrap().1 = s + 1;
+                    self.stack.push((next, 0));
+                    self.prefix.push(s);
+                    return true;
+                }
+                s += 1;
+            }
+            self.stack.last_mut().unwrap().1 = width;
+            self.stack.pop();
+            if self.prefix.pop().is_none() {
+                return false;
+            }
+        }
+    }
+}
+
+impl Iterator for PolyDelayEnumerator {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        self.last_delay_steps = 0;
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.dag.is_empty() {
+                self.done = true;
+                return None;
+            }
+            let mut init = StateSet::new(self.nfa.num_states());
+            init.insert(self.nfa.initial());
+            self.stack.push((init, 0));
+            return Some(self.descend());
+        }
+        // Pop the completed witness level, then backtrack and descend.
+        self.stack.pop();
+        self.prefix.pop();
+        if !self.backtrack() {
+            self.done = true;
+            return None;
+        }
+        Some(self.descend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::exact::count_nfa_via_determinization;
+    use lsc_automata::families::ambiguity_gap_nfa;
+    use lsc_automata::regex::Regex;
+    use lsc_automata::Alphabet;
+
+    fn all_words_of(nfa: &Nfa, n: usize) -> Vec<Word> {
+        PolyDelayEnumerator::new(nfa, n).collect()
+    }
+
+    #[test]
+    fn enumerates_ambiguous_without_repetition() {
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+        let words = all_words_of(&amb, 5);
+        assert_eq!(words.len(), 31); // 2^5 - 1
+        let mut sorted = words.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 31, "no repetitions");
+        assert_eq!(sorted, words, "lexicographic order");
+        for w in &words {
+            assert!(amb.accepts(w));
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_gap_family() {
+        let n = ambiguity_gap_nfa(3);
+        for len in 0..7 {
+            let words = all_words_of(&n, len);
+            let truth = count_nfa_via_determinization(&n, len);
+            assert_eq!(words.len() as u64, truth.to_u64().unwrap(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn empty_language() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("01", &ab).unwrap().compile();
+        let mut e = PolyDelayEnumerator::new(&n, 7);
+        assert_eq!(e.next(), None);
+        assert_eq!(e.next(), None);
+    }
+
+    #[test]
+    fn length_zero() {
+        let ab = Alphabet::binary();
+        let star = Regex::parse("(0|1)*", &ab).unwrap().compile();
+        let words = all_words_of(&star, 0);
+        assert_eq!(words, vec![Vec::<Symbol>::new()]);
+    }
+
+    #[test]
+    fn delay_instrumentation_reports() {
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1", &ab).unwrap().compile();
+        let mut e = PolyDelayEnumerator::new(&amb, 6);
+        let mut total = 0;
+        while e.next().is_some() {
+            assert!(e.last_delay_steps() > 0);
+            total += e.last_delay_steps();
+        }
+        assert!(total > 0);
+    }
+}

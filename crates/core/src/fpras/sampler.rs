@@ -1,0 +1,160 @@
+//! Algorithm 4: `Sample(T, w, φ)` — the backward rejection sampler.
+//!
+//! Walks the unrolled DAG from a target set `T` back toward the start vertex,
+//! choosing at each level the *last* symbol of the remaining prefix with
+//! probability proportional to the estimated partition sizes `W̃_b`, while
+//! accumulating `φ ← φ / p_b`. At the start vertex the built word is returned
+//! with probability `φ` — the Jerrum–Valiant–Vazirani rejection step that turns
+//! the approximately-correct walk distribution into an *exactly* uniform one
+//! conditioned on success (Proposition 18 / Fact 1).
+
+use lsc_arith::BigFloat;
+use lsc_automata::unroll::{NodeId, UnrolledDag};
+use lsc_automata::{Nfa, Symbol, Word};
+use rand::Rng;
+
+use super::sketch::{estimate_union, reach_of, SampleEntry, VertexData};
+
+/// Read-only view of the sketches the sampler consults.
+pub(crate) struct SampleCtx<'a> {
+    pub dag: &'a UnrolledDag,
+    pub data: &'a [Option<VertexData>],
+    pub nfa: &'a Nfa,
+    /// Ablation B6: recompute reach sets instead of using the cached ones.
+    pub recompute_membership: bool,
+}
+
+impl SampleCtx<'_> {
+    fn state_of(&self, v: NodeId) -> usize {
+        self.dag.node_info(v).1
+    }
+
+    /// `x ∈ U(s)` for the NFA state of `s` — cached or recomputed (B6).
+    pub(crate) fn member_of(&self, entry: &SampleEntry, state: usize) -> bool {
+        if self.recompute_membership {
+            reach_of(self.nfa, &entry.word).contains(state)
+        } else {
+            entry.reach.contains(state)
+        }
+    }
+
+    /// Predecessor partitions of `⋃ T` grouped by symbol, each sorted and
+    /// deduplicated (`T_b` of Algorithm 4 step 3; `T_0 ∩ T_1` may overlap).
+    fn partitions(&self, members: &[NodeId]) -> Vec<(Symbol, Vec<NodeId>)> {
+        let mut grouped: Vec<(Symbol, Vec<NodeId>)> = Vec::new();
+        for &v in members {
+            for &(a, u) in self.dag.in_edges(v) {
+                match grouped.binary_search_by_key(&a, |&(s, _)| s) {
+                    Ok(i) => grouped[i].1.push(u),
+                    Err(i) => grouped.insert(i, (a, vec![u])),
+                }
+            }
+        }
+        for (_, t) in &mut grouped {
+            t.sort_unstable();
+            t.dedup();
+        }
+        grouped
+    }
+}
+
+/// One invocation of `Sample(T₀, ε, φ₀)` where `T₀` lives in layer `layer0`.
+///
+/// Returns the sampled word (uniform over `⋃_{s∈T₀} U(s)` conditioned on
+/// success, under the Proposition 18 assumptions) or `None` for a rejection.
+///
+/// Two call shapes cover the whole paper:
+/// * `T₀ = {v}` — drawing the sketch samples `X(v)` (Algorithm 5 step 5(c));
+/// * `T₀ =` accepting vertices at layer `n` — drawing a uniform witness at the
+///   virtual final vertex (the PLVUG of Corollary 23). The paper routes this
+///   through an explicit `s_final` vertex with a pseudo-symbol edge; starting
+///   the recursion at the accepting set is the same computation without the
+///   cosmetic extra symbol.
+pub(crate) fn sample_once<R: Rng + ?Sized>(
+    ctx: &SampleCtx<'_>,
+    t0: &[NodeId],
+    layer0: usize,
+    phi0: BigFloat,
+    rng: &mut R,
+) -> Option<Word> {
+    sample_inner(ctx, t0, layer0, phi0, true, rng)
+}
+
+/// Ablation B1: the same walk *without* the final rejection step — the output
+/// distribution is then only approximately uniform, with bias driven by the
+/// estimate errors (this is exactly what the \[JVV86\] rejection corrects).
+pub(crate) fn sample_once_no_rejection<R: Rng + ?Sized>(
+    ctx: &SampleCtx<'_>,
+    t0: &[NodeId],
+    layer0: usize,
+    rng: &mut R,
+) -> Option<Word> {
+    sample_inner(ctx, t0, layer0, BigFloat::one(), false, rng)
+}
+
+fn sample_inner<R: Rng + ?Sized>(
+    ctx: &SampleCtx<'_>,
+    t0: &[NodeId],
+    layer0: usize,
+    phi0: BigFloat,
+    rejection: bool,
+    rng: &mut R,
+) -> Option<Word> {
+    let mut members: Vec<NodeId> = t0.to_vec();
+    let mut layer = layer0;
+    let mut phi = phi0;
+    let mut rev: Word = Vec::with_capacity(layer0);
+    loop {
+        // Step 1: fail unless φ ∈ (0, 1].
+        if rejection
+            && (phi.is_zero()
+                || phi.partial_cmp_total(&BigFloat::one()) == std::cmp::Ordering::Greater)
+        {
+            return None;
+        }
+        // Step 2: at the start vertex, accept the built word with probability φ.
+        if layer == 0 {
+            debug_assert_eq!(members.len(), 1, "layer 0 holds only the start vertex");
+            if !rejection || rng.gen::<f64>() < phi.to_f64() {
+                rev.reverse();
+                return Some(rev);
+            }
+            return None;
+        }
+        // Step 3: partition predecessors by symbol and weigh each by W̃_b.
+        let partitions = ctx.partitions(&members);
+        let mut weights: Vec<BigFloat> = Vec::with_capacity(partitions.len());
+        let mut total = BigFloat::zero();
+        for (_, part) in &partitions {
+            let w = estimate_union(part, ctx.data, |v| ctx.state_of(v), |e, q| ctx.member_of(e, q));
+            total = total.add(w);
+            weights.push(w);
+        }
+        if total.is_zero() {
+            return None;
+        }
+        // Choose partition b with probability p_b = W̃_b / ΣW̃. The f64
+        // probabilities used for selection are also the ones divided into φ,
+        // keeping the acceptance probability algebraically exact.
+        let probs: Vec<f64> = weights.iter().map(|w| w.ratio_f64(&total)).collect();
+        let draw: f64 = rng.gen();
+        let mut chosen = None;
+        let mut cumulative = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            cumulative += p;
+            if draw < cumulative && p > 0.0 {
+                chosen = Some(i);
+                break;
+            }
+        }
+        // Float rounding can leave `cumulative` a hair below 1: fall back to
+        // the last positive-probability partition.
+        let chosen = chosen.or_else(|| (0..probs.len()).rev().find(|&i| probs[i] > 0.0))?;
+        let p = probs[chosen];
+        phi = phi.mul_f64(1.0 / p);
+        let (symbol, part) = partitions.into_iter().nth(chosen).expect("index in range");
+        rev.push(symbol);
+        members = part;
+        layer -= 1;
+    }
+}

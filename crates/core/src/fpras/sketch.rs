@@ -1,0 +1,172 @@
+//! Per-vertex sketches `(R(s), X(s))` and the union estimator `W̃`.
+
+use lsc_arith::BigFloat;
+use lsc_automata::unroll::NodeId;
+use lsc_automata::{StateSet, Word};
+
+/// One stored witness sample: the word plus the set of NFA states reachable
+/// reading it.
+///
+/// The reach set is the key implementation optimization over the paper's
+/// complexity sketch (DESIGN.md §3.4): every membership test `x ∈ U(s')` the
+/// estimator needs — "is there a start→`s'` path labeled `x`?" — becomes a
+/// single bit lookup `state(s') ∈ reach(x)`, instead of a fresh breadth-first
+/// search per (sample, vertex) pair.
+#[derive(Clone, Debug)]
+pub struct SampleEntry {
+    /// The sampled element of `U(s)` (length = layer of `s`).
+    pub word: Word,
+    /// NFA states reachable from the initial state reading `word`.
+    pub reach: StateSet,
+}
+
+/// The sketch stored for one DAG vertex.
+#[derive(Clone, Debug)]
+pub struct VertexData {
+    /// True iff `samples` is exactly `U(s)` (deduplicated), the base case of
+    /// §6.4 for vertices with `|U(s)| ≤ k`.
+    pub exact: bool,
+    /// `R(s)`: the estimate of `|U(s)|` (exact when `exact` is set).
+    pub r: BigFloat,
+    /// `X(s)`: either all of `U(s)` (exact) or a multiset of `k` near-uniform
+    /// samples.
+    pub samples: Vec<SampleEntry>,
+}
+
+impl VertexData {
+    /// An exact vertex: `X(s) = U(s)`, `R(s) = |U(s)|`.
+    pub fn exact(samples: Vec<SampleEntry>) -> Self {
+        VertexData {
+            exact: true,
+            r: BigFloat::from_u64(samples.len() as u64),
+            samples,
+        }
+    }
+}
+
+/// The union estimator of §6.4:
+///
+/// ```text
+/// W̃ = Σ_{s ∈ T} R(s) · |X(s) ∖ ⋃_{s' ∈ T, s' ≺ s} U(s')| / |X(s)|
+/// ```
+///
+/// `T` is given as DAG vertices (all in one layer) with `≺` = vertex-id order;
+/// `data` must hold sketches for each. The inner membership `x ∈ U(s')` is
+/// delegated to `member_of(entry, state(s'))` so the caller chooses between
+/// the cached reach-set bit (default) and a from-scratch recomputation
+/// (ablation B6).
+pub fn estimate_union(
+    members: &[NodeId],
+    data: &[Option<VertexData>],
+    state_of: impl Fn(NodeId) -> usize,
+    member_of: impl Fn(&SampleEntry, usize) -> bool,
+) -> BigFloat {
+    let mut total = BigFloat::zero();
+    for (i, &u) in members.iter().enumerate() {
+        let d = data[u]
+            .as_ref()
+            .expect("estimate_union: predecessor sketch missing");
+        if d.samples.is_empty() {
+            // |U(s)| = 0 cannot happen for vertices of the pruned DAG, but an
+            // empty sketch contributes nothing either way.
+            continue;
+        }
+        let fresh = d
+            .samples
+            .iter()
+            .filter(|entry| {
+                !members[..i]
+                    .iter()
+                    .any(|&earlier| member_of(entry, state_of(earlier)))
+            })
+            .count();
+        let ratio = fresh as f64 / d.samples.len() as f64;
+        total = total.add(d.r.mul_f64(ratio));
+    }
+    total
+}
+
+/// States reachable from the initial state reading `word` — the membership
+/// primitive (`x ∈ U(s^t_q)` iff `q ∈ reach_of(nfa, x)` for `|x| = t`).
+pub fn reach_of(nfa: &lsc_automata::Nfa, word: &[lsc_automata::Symbol]) -> StateSet {
+    let mut cur = StateSet::new(nfa.num_states());
+    cur.insert(nfa.initial());
+    let mut next = StateSet::new(nfa.num_states());
+    for &a in word {
+        nfa.step_set(&cur, a, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(word: Word, reach_states: &[usize], m: usize) -> SampleEntry {
+        let mut reach = StateSet::new(m);
+        for &s in reach_states {
+            reach.insert(s);
+        }
+        SampleEntry { word, reach }
+    }
+
+    #[test]
+    fn no_overlap_sums_plainly() {
+        // Two vertices with disjoint U's: W̃ = R(a) + R(b).
+        let m = 4;
+        let data = vec![
+            Some(VertexData::exact(vec![entry(vec![0], &[0], m)])),
+            Some(VertexData::exact(vec![entry(vec![1], &[1], m)])),
+        ];
+        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        assert!((w.to_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_overlap_counts_once() {
+        // Vertex 1's every sample also lies in U(vertex 0): only vertex 0's
+        // mass contributes beyond the first.
+        let m = 4;
+        let data = vec![
+            Some(VertexData::exact(vec![entry(vec![0], &[0], m)])),
+            Some(VertexData::exact(vec![entry(vec![0], &[0, 1], m)])),
+        ];
+        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        assert!((w.to_f64() - 1.0).abs() < 1e-12, "w = {w}");
+    }
+
+    #[test]
+    fn partial_overlap_uses_sample_ratio() {
+        // Vertex 1 has R = 10 and half its samples covered by vertex 0.
+        let m = 4;
+        let v0 = VertexData::exact(vec![entry(vec![0], &[0], m)]);
+        let mut v1 = VertexData::exact(vec![
+            entry(vec![0], &[0, 1], m), // in U(v0)
+            entry(vec![1], &[1], m),    // fresh
+        ]);
+        v1.exact = false;
+        v1.r = BigFloat::from_u64(10);
+        let data = vec![Some(v0), Some(v1)];
+        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        assert!((w.to_f64() - 6.0).abs() < 1e-12, "1 + 10·(1/2) = 6, got {w}");
+    }
+
+    #[test]
+    fn order_matters_as_specified() {
+        // ≺ is the member order: swapping changes which vertex absorbs overlap
+        // but not the total when sketches are exact.
+        let m = 4;
+        let data = vec![
+            Some(VertexData::exact(vec![entry(vec![0], &[0, 1], m)])),
+            Some(VertexData::exact(vec![
+                entry(vec![0], &[0, 1], m),
+                entry(vec![1], &[1], m),
+            ])),
+        ];
+        let w01 = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q)).to_f64();
+        let w10 = estimate_union(&[1, 0], &data, |v| v, |e, q| e.reach.contains(q)).to_f64();
+        assert!((w01 - 2.0).abs() < 1e-12);
+        assert!((w10 - 2.0).abs() < 1e-12);
+    }
+}

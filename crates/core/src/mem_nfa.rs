@@ -1,0 +1,246 @@
+//! The complete problems MEM-NFA and MEM-UFA as a user-facing instance type.
+//!
+//! Proposition 12: MEM-NFA is complete for `RelationNL` and MEM-UFA for
+//! `RelationUL` under witness-preserving reductions — polynomial-time maps `f`
+//! with `W_R(x) = W_S(f(x))`. Such reductions transport *all* the good
+//! properties untouched (Proposition 11): enumeration delay, counting
+//! algorithms, and generators apply verbatim to the image instance. So every
+//! application crate in this repository reduces its problem to a [`MemNfa`]
+//! and calls the methods below; there is deliberately no other entry point.
+
+use lsc_arith::{BigFloat, BigNat};
+use lsc_automata::ops::is_unambiguous;
+use lsc_automata::unroll::UnrolledDag;
+use lsc_automata::Nfa;
+use rand::Rng;
+use std::sync::OnceLock;
+
+use crate::count::exact::{self, NotUnambiguousError};
+use crate::count::router::{self, RoutedCount, RouterConfig};
+use crate::enumerate::{ConstantDelayEnumerator, PolyDelayEnumerator};
+use crate::fpras::{run_fpras, FprasError, FprasParams, FprasState};
+use crate::sample::{Plvug, TableSampler};
+
+/// An instance `(N, 0^n)` of MEM-NFA: witnesses are the words of `L_n(N)`.
+///
+/// If the automaton is unambiguous this is a MEM-UFA instance and the
+/// Theorem 5 toolbox (exact counting, constant delay, exact sampling) applies;
+/// otherwise the Theorem 2 toolbox (FPRAS, polynomial delay, PLVUG) does.
+/// [`MemNfa::is_unambiguous`] decides which, and is cached.
+///
+/// ```
+/// use lsc_automata::{families, Alphabet};
+/// use lsc_core::MemNfa;
+///
+/// // (0|1)*1(0|1)^4 at length 9 — unambiguous, so everything is exact.
+/// let inst = MemNfa::new(families::blowup_nfa(5), 9);
+/// assert!(inst.is_unambiguous());
+/// let count = inst.count_exact().unwrap();
+/// assert_eq!(count.to_u64(), Some(256)); // 2^8 words
+/// assert_eq!(inst.enumerate_constant_delay().unwrap().count(), 256);
+/// ```
+pub struct MemNfa {
+    nfa: Nfa,
+    length: usize,
+    unambiguous: OnceLock<bool>,
+}
+
+impl MemNfa {
+    /// Wraps an instance.
+    pub fn new(nfa: Nfa, length: usize) -> Self {
+        MemNfa {
+            nfa,
+            length,
+            unambiguous: OnceLock::new(),
+        }
+    }
+
+    /// The automaton `N`.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The witness length `n` (the paper's unary `0^n`).
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Is this a MEM-UFA instance? Cached after the first call.
+    pub fn is_unambiguous(&self) -> bool {
+        *self.unambiguous.get_or_init(|| is_unambiguous(&self.nfa))
+    }
+
+    /// The membership test `(x, y) ∈ R` of the p-relation (§2.1): polynomial
+    /// time, as required.
+    pub fn check_witness(&self, word: &[u32]) -> bool {
+        word.len() == self.length && self.nfa.accepts(word)
+    }
+
+    /// Does any witness exist? (The existence problem used by \[Sch09\]'s
+    /// flashlight argument; polynomial via the pruned unrolling.)
+    pub fn exists_witness(&self) -> bool {
+        !UnrolledDag::build(&self.nfa, self.length).is_empty()
+    }
+
+    // ---- COUNT ----
+
+    /// Exact `|W|` in polynomial time — Theorem 5, MEM-UFA only.
+    ///
+    /// # Errors
+    /// [`NotUnambiguousError`] on ambiguous instances.
+    pub fn count_exact(&self) -> Result<BigNat, NotUnambiguousError> {
+        if !self.is_unambiguous() {
+            return Err(NotUnambiguousError);
+        }
+        Ok(exact::count_runs(&self.nfa, self.length))
+    }
+
+    /// Ground-truth `|W|` by determinization — exponential worst case, test
+    /// oracle only.
+    pub fn count_oracle(&self) -> BigNat {
+        exact::count_nfa_via_determinization(&self.nfa, self.length)
+    }
+
+    /// FPRAS estimate of `|W|` — Theorem 2 / Theorem 22.
+    ///
+    /// # Errors
+    /// Propagates the (vanishing-probability) FPRAS failure events.
+    pub fn count_approx<R: Rng + ?Sized>(
+        &self,
+        params: FprasParams,
+        rng: &mut R,
+    ) -> Result<BigFloat, FprasError> {
+        crate::fpras::approx_count(&self.nfa, self.length, params, rng)
+    }
+
+    /// Runs Algorithm 5 and keeps the full sketch state (count + sample from
+    /// one preprocessing pass).
+    ///
+    /// # Errors
+    /// Propagates the FPRAS failure events.
+    pub fn fpras_state<R: Rng + ?Sized>(
+        &self,
+        params: FprasParams,
+        rng: &mut R,
+    ) -> Result<FprasState, FprasError> {
+        run_fpras(&self.nfa, self.length, params, rng)
+    }
+
+    /// Routed `|W|`: exact where exactness is affordable, FPRAS otherwise
+    /// (see [`crate::count::router`]). The report says which route fired.
+    ///
+    /// # Errors
+    /// Propagates the FPRAS failure events when the FPRAS route fires.
+    pub fn count_routed<R: Rng + ?Sized>(
+        &self,
+        config: &RouterConfig,
+        rng: &mut R,
+    ) -> Result<RoutedCount, FprasError> {
+        router::count_routed(&self.nfa, self.length, config, rng)
+    }
+
+    // ---- ENUM ----
+
+    /// Constant-delay enumeration — Theorem 5, MEM-UFA only.
+    ///
+    /// # Errors
+    /// [`NotUnambiguousError`] on ambiguous instances.
+    pub fn enumerate_constant_delay(
+        &self,
+    ) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
+        ConstantDelayEnumerator::new(&self.nfa, self.length)
+    }
+
+    /// Polynomial-delay enumeration — Theorem 2, any instance.
+    pub fn enumerate(&self) -> PolyDelayEnumerator {
+        PolyDelayEnumerator::new(&self.nfa, self.length)
+    }
+
+    // ---- GEN ----
+
+    /// Exact uniform sampler — Theorem 5, MEM-UFA only. Returns a reusable
+    /// sampler (one table, many draws).
+    ///
+    /// # Errors
+    /// [`NotUnambiguousError`] on ambiguous instances.
+    pub fn uniform_sampler(&self) -> Result<TableSampler, NotUnambiguousError> {
+        TableSampler::new(&self.nfa, self.length)
+    }
+
+    /// Las Vegas uniform generator — Theorem 2 / Corollary 23, any instance.
+    ///
+    /// # Errors
+    /// Propagates the FPRAS failure events from preprocessing.
+    pub fn las_vegas_generator<R: Rng + ?Sized>(
+        &self,
+        params: FprasParams,
+        rng: &mut R,
+    ) -> Result<Plvug, FprasError> {
+        Plvug::prepare(&self.nfa, self.length, params, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::blowup_nfa;
+    use lsc_automata::regex::Regex;
+    use lsc_automata::{Alphabet, Word};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ufa_toolbox_end_to_end() {
+        let inst = MemNfa::new(blowup_nfa(3), 8);
+        assert!(inst.is_unambiguous());
+        assert!(inst.exists_witness());
+        let count = inst.count_exact().unwrap();
+        assert_eq!(count, inst.count_oracle());
+        let words: Vec<Word> = inst.enumerate_constant_delay().unwrap().collect();
+        assert_eq!(words.len() as u64, count.to_u64().unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = inst.uniform_sampler().unwrap();
+        let w = sampler.sample(&mut rng).unwrap();
+        assert!(inst.check_witness(&w));
+    }
+
+    #[test]
+    fn nfa_toolbox_end_to_end() {
+        let ab = Alphabet::binary();
+        let nfa = Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile();
+        let inst = MemNfa::new(nfa, 7);
+        assert!(!inst.is_unambiguous());
+        assert!(inst.count_exact().is_err());
+        assert!(inst.enumerate_constant_delay().is_err());
+        assert!(inst.uniform_sampler().is_err());
+        let truth = inst.count_oracle().to_f64();
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = inst.count_approx(FprasParams::quick(), &mut rng).unwrap();
+        assert!((est.to_f64() - truth).abs() / truth < 0.2);
+        let words: Vec<Word> = inst.enumerate().collect();
+        assert_eq!(words.len() as u64, truth as u64);
+        let gen = inst
+            .las_vegas_generator(FprasParams::quick(), &mut rng)
+            .unwrap();
+        let w = gen.generate(&mut rng).witness().expect("witness");
+        assert!(inst.check_witness(&w));
+    }
+
+    #[test]
+    fn witness_checks() {
+        let inst = MemNfa::new(blowup_nfa(2), 4);
+        assert!(inst.check_witness(&[0, 0, 1, 0]));
+        assert!(!inst.check_witness(&[0, 0, 1])); // wrong length
+        assert!(!inst.check_witness(&[0, 0, 0, 0])); // not in language
+    }
+
+    #[test]
+    fn empty_instance() {
+        let ab = Alphabet::binary();
+        let nfa = Regex::parse("000", &ab).unwrap().compile();
+        let inst = MemNfa::new(nfa, 2);
+        assert!(!inst.exists_witness());
+        assert!(inst.count_exact().unwrap().is_zero());
+        assert_eq!(inst.enumerate().count(), 0);
+    }
+}

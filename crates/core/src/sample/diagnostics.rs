@@ -1,0 +1,143 @@
+//! Statistical diagnostics for generators: the uniformity checks used by the
+//! test suite and the experiment harness (E6/E7/B1).
+
+use std::collections::HashMap;
+
+use lsc_automata::Word;
+
+/// Frequency counts of drawn witnesses.
+#[derive(Default, Debug)]
+pub struct SampleStats {
+    counts: HashMap<Word, usize>,
+    draws: usize,
+}
+
+impl SampleStats {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one draw.
+    pub fn record(&mut self, witness: Word) {
+        *self.counts.entry(witness).or_default() += 1;
+        self.draws += 1;
+    }
+
+    /// Number of draws recorded.
+    pub fn draws(&self) -> usize {
+        self.draws
+    }
+
+    /// Number of distinct witnesses observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Pearson's chi-square statistic against the uniform distribution over a
+    /// known support size (unobserved witnesses contribute their full
+    /// expected count).
+    ///
+    /// # Panics
+    /// Panics if no draws were recorded or `support` is smaller than the
+    /// number of distinct observations.
+    pub fn chi_square(&self, support: usize) -> f64 {
+        assert!(self.draws > 0, "no draws recorded");
+        assert!(
+            support >= self.counts.len(),
+            "support {} < {} distinct observations",
+            support,
+            self.counts.len()
+        );
+        let expected = self.draws as f64 / support as f64;
+        let mut stat: f64 = self
+            .counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        stat += (support - self.counts.len()) as f64 * expected;
+        stat
+    }
+
+    /// Does the tally pass a (coarse, ~99.9%) uniformity test? Uses the
+    /// normal approximation `df + 3·√(2·df)` to the chi-square quantile,
+    /// adequate for the df range of these experiments.
+    pub fn looks_uniform(&self, support: usize) -> bool {
+        self.chi_square(support) < chi_square_threshold((support - 1) as f64)
+    }
+
+    /// An empirical estimate of the total-variation distance to uniform:
+    /// `½ Σ_w |p̂(w) − 1/support|`. Biased upward for draws ≪ support; use on
+    /// small supports with many draws.
+    pub fn total_variation(&self, support: usize) -> f64 {
+        let uniform = 1.0 / support as f64;
+        let observed: f64 = self
+            .counts
+            .values()
+            .map(|&c| (c as f64 / self.draws as f64 - uniform).abs())
+            .sum();
+        let unobserved = (support - self.counts.len()) as f64 * uniform;
+        (observed + unobserved) / 2.0
+    }
+}
+
+/// The coarse 99.9% chi-square quantile via the normal approximation.
+pub fn chi_square_threshold(df: f64) -> f64 {
+    df + 3.0 * (2.0 * df).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_draws_pass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SampleStats::new();
+        for _ in 0..32_000 {
+            stats.record(vec![rng.gen_range(0..32u32)]);
+        }
+        assert_eq!(stats.draws(), 32_000);
+        assert_eq!(stats.distinct(), 32);
+        assert!(stats.looks_uniform(32));
+        assert!(stats.total_variation(32) < 0.05);
+    }
+
+    #[test]
+    fn skewed_draws_fail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stats = SampleStats::new();
+        for _ in 0..32_000 {
+            // Value 0 drawn 4x as often as it should be.
+            let v = if rng.gen_bool(0.2) { 0 } else { rng.gen_range(0..32u32) };
+            stats.record(vec![v]);
+        }
+        assert!(!stats.looks_uniform(32));
+        assert!(stats.total_variation(32) > 0.1);
+    }
+
+    #[test]
+    fn missing_support_counts_against() {
+        let mut stats = SampleStats::new();
+        for i in 0..16u32 {
+            for _ in 0..100 {
+                stats.record(vec![i]);
+            }
+        }
+        // Uniform over 16 but the declared support is 32: fails.
+        assert!(stats.looks_uniform(16));
+        assert!(!stats.looks_uniform(32));
+        assert!((stats.total_variation(32) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no draws")]
+    fn empty_tally_panics() {
+        SampleStats::new().chi_square(4);
+    }
+}

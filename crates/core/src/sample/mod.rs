@@ -1,0 +1,16 @@
+//! Uniform generation of witnesses: `GEN(R)`.
+//!
+//! * [`ufa_exact`] — exact uniform generation for MEM-UFA in polynomial time
+//!   (Theorem 5 / §5.3.3): both the paper-literal sampler that walks the
+//!   self-reduction chain `ψ` recomputing counts at every step, and the
+//!   equivalent (much faster) sampler over one precomputed count table.
+//! * [`nfa_plvug`] — the polynomial-time Las Vegas uniform generator for
+//!   MEM-NFA (Theorem 2 / Corollary 23), built on the FPRAS sketches.
+
+pub mod diagnostics;
+pub mod nfa_plvug;
+pub mod ufa_exact;
+
+pub use diagnostics::{chi_square_threshold, SampleStats};
+pub use nfa_plvug::{GenOutcome, Plvug};
+pub use ufa_exact::{psi_chain_sample, TableSampler};

@@ -1,0 +1,221 @@
+//! Exact uniform generation for unambiguous NFAs (paper §5.3.3).
+//!
+//! Two equivalent implementations:
+//!
+//! * [`TableSampler`] — one backward count table over the unrolled DAG; each
+//!   sample walks forward choosing edges with probability proportional to
+//!   completion counts. Since a UFA's words correspond one-to-one to paths,
+//!   path-weighted sampling is exactly uniform over `L_n(N)`.
+//! * [`psi_chain_sample`] — the paper's own procedure, verbatim: at each of
+//!   the `k` steps, build the derived automata `ψ((N', 0^{k'}), a)` for every
+//!   symbol `a`, *recount* their witness sets with the polynomial-time
+//!   counting algorithm, and pick `a` with probability `A(N_a, k'−1) / Σ_b
+//!   A(N_b, k'−1)` (§5.3.3 step 2). Asymptotically slower by a factor ~`n`
+//!   per sample (rebuild + recount per step); ablation B7 measures the gap.
+//!
+//! Both use exact big-integer arithmetic and [`lsc_arith::BigNat::uniform_below`]
+//! rejection sampling, so output probabilities are *exactly* `1/|W|` — no
+//! floating-point approximation anywhere.
+
+use lsc_arith::BigNat;
+use lsc_automata::ops::is_unambiguous;
+use lsc_automata::unroll::UnrolledDag;
+use lsc_automata::{Nfa, Word};
+use rand::Rng;
+
+use crate::count::exact::{count_runs, NotUnambiguousError};
+use crate::count::naive::sample_uniform_path;
+use crate::self_reduce::psi;
+
+/// Exact uniform sampler over `L_n(N)` for unambiguous `N`, driven by one
+/// precomputed completion-count table.
+pub struct TableSampler {
+    dag: UnrolledDag,
+    completions: Vec<BigNat>,
+}
+
+impl TableSampler {
+    /// Builds the table (`O(n·|δ|)` big-number additions).
+    ///
+    /// # Errors
+    /// Rejects ambiguous automata: path-uniform sampling would then be biased
+    /// toward words with many runs — exactly the §6.1 pitfall.
+    pub fn new(nfa: &Nfa, n: usize) -> Result<Self, NotUnambiguousError> {
+        if !is_unambiguous(nfa) {
+            return Err(NotUnambiguousError);
+        }
+        Ok(Self::over_paths(nfa, n))
+    }
+
+    /// Path-uniform sampler for *any* NFA (uniform over accepting runs, not
+    /// words) — the primitive behind the naive estimator of §6.1.
+    pub fn over_paths(nfa: &Nfa, n: usize) -> Self {
+        let dag = UnrolledDag::build(nfa, n);
+        let completions = dag.completion_counts();
+        TableSampler { dag, completions }
+    }
+
+    /// Exact witness count `|L_n(N)|` (total paths from the start vertex).
+    pub fn count(&self) -> BigNat {
+        match self.dag.start() {
+            None => BigNat::zero(),
+            Some(s) => self.completions[s].clone(),
+        }
+    }
+
+    /// Draws one uniform witness; `None` iff the witness set is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Word> {
+        if self.dag.is_empty() {
+            return None;
+        }
+        Some(sample_uniform_path(&self.dag, &self.completions, rng))
+    }
+}
+
+/// The paper-literal uniform generator (§5.3.3): self-reduction chain with a
+/// fresh exact count at every step. Returns `None` iff `L_n(N) = ∅`.
+///
+/// # Errors
+/// Rejects ambiguous automata up front (the §5.3.3 analysis needs `A(N, k)` to
+/// count words, which the run-counting DP only does for UFAs).
+pub fn psi_chain_sample<R: Rng + ?Sized>(
+    nfa: &Nfa,
+    n: usize,
+    rng: &mut R,
+) -> Result<Option<Word>, NotUnambiguousError> {
+    if !is_unambiguous(nfa) {
+        return Err(NotUnambiguousError);
+    }
+    if count_runs(nfa, n).is_zero() {
+        return Ok(None);
+    }
+    let width = nfa.alphabet().len() as u32;
+    let mut current = nfa.clone();
+    let mut word = Vec::with_capacity(n);
+    for remaining in (1..=n).rev() {
+        // Step 2(a)–(b): derive ψ(N', a) for every symbol and recount.
+        // (ψ preserves unambiguity — §5.2, re-verified in self_reduce tests —
+        // so the run DP counts words.)
+        let mut derived: Vec<(u32, Nfa, BigNat)> = Vec::with_capacity(width as usize);
+        let mut total = BigNat::zero();
+        for a in 0..width {
+            let na = psi(&current, a);
+            let count = count_runs(&na, remaining - 1);
+            total.add_assign_ref(&count);
+            derived.push((a, na, count));
+        }
+        debug_assert!(!total.is_zero(), "nonempty residual language");
+        // Step 2(c): pick a symbol with probability A(N_a)/Σ A(N_b), exactly.
+        let mut draw = BigNat::uniform_below(&total, rng);
+        let mut pick = None;
+        for (a, na, count) in derived {
+            match draw.checked_sub(&count) {
+                Some(rest) => draw = rest,
+                None => {
+                    pick = Some((a, na));
+                    break;
+                }
+            }
+        }
+        let (a, na) = pick.expect("counts sum to total");
+        word.push(a);
+        current = na;
+    }
+    Ok(Some(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::{blowup_nfa, single_word_nfa};
+    use lsc_automata::regex::Regex;
+    use lsc_automata::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Chi-square-style uniformity check: every witness observed, with counts
+    /// within `tol`× of the expected mean.
+    fn check_uniform(counts: &HashMap<Word, usize>, support: usize, draws: usize, tol: f64) {
+        assert_eq!(counts.len(), support, "all witnesses must be reachable");
+        let mean = draws as f64 / support as f64;
+        for (w, &c) in counts {
+            let ratio = c as f64 / mean;
+            assert!(
+                (1.0 - tol..1.0 + tol).contains(&ratio),
+                "word {w:?} frequency off: {c} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_sampler_uniform_on_blowup() {
+        let n = blowup_nfa(3);
+        let len = 6;
+        let sampler = TableSampler::new(&n, len).unwrap();
+        let support = sampler.count().to_u64().unwrap() as usize;
+        assert_eq!(support, 32);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 32_000;
+        let mut counts: HashMap<Word, usize> = HashMap::new();
+        for _ in 0..draws {
+            let w = sampler.sample(&mut rng).unwrap();
+            assert!(n.accepts(&w));
+            *counts.entry(w).or_default() += 1;
+        }
+        check_uniform(&counts, support, draws, 0.15);
+    }
+
+    #[test]
+    fn psi_chain_matches_table_distribution() {
+        let ab = Alphabet::binary();
+        let n = Regex::parse("(01|10|11)*", &ab).unwrap().compile();
+        assert!(is_unambiguous(&n));
+        let len = 4;
+        let mut rng = StdRng::seed_from_u64(11);
+        let table = TableSampler::new(&n, len).unwrap();
+        let support = table.count().to_u64().unwrap() as usize;
+        let draws = 9000;
+        let mut counts_table: HashMap<Word, usize> = HashMap::new();
+        let mut counts_psi: HashMap<Word, usize> = HashMap::new();
+        for _ in 0..draws {
+            *counts_table.entry(table.sample(&mut rng).unwrap()).or_default() += 1;
+            let w = psi_chain_sample(&n, len, &mut rng).unwrap().unwrap();
+            assert!(n.accepts(&w), "ψ-chain emitted non-witness {w:?}");
+            *counts_psi.entry(w).or_default() += 1;
+        }
+        check_uniform(&counts_table, support, draws, 0.25);
+        check_uniform(&counts_psi, support, draws, 0.25);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = single_word_nfa(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TableSampler::new(&s, 5).unwrap();
+        assert_eq!(t.sample(&mut rng), Some(vec![0; 5]));
+        assert_eq!(psi_chain_sample(&s, 5, &mut rng).unwrap(), Some(vec![0; 5]));
+        // Empty witness set.
+        let t0 = TableSampler::new(&s, 4).unwrap();
+        assert_eq!(t0.sample(&mut rng), None);
+        assert_eq!(psi_chain_sample(&s, 4, &mut rng).unwrap(), None);
+        // Length zero: the empty word iff the initial state accepts.
+        let ab = Alphabet::binary();
+        let star = Regex::parse("0*", &ab).unwrap().compile();
+        let tz = TableSampler::new(&star, 0).unwrap();
+        assert_eq!(tz.sample(&mut rng), Some(vec![]));
+        assert_eq!(psi_chain_sample(&star, 0, &mut rng).unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn ambiguous_rejected() {
+        let ab = Alphabet::binary();
+        let amb = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(TableSampler::new(&amb, 4).is_err());
+        assert!(psi_chain_sample(&amb, 4, &mut rng).is_err());
+        // over_paths still works, uniform over runs.
+        let paths = TableSampler::over_paths(&amb, 4);
+        assert!(paths.sample(&mut rng).is_some());
+    }
+}

@@ -1,0 +1,292 @@
+//! Self-reducibility of MEM-NFA / MEM-UFA (paper §5.2).
+//!
+//! The paper equips `MEM-NFA` with the self-reduction structure of \[Sch09\]:
+//! functions `ℓ, σ, ψ` such that witnesses of `(N, 0^k)` factor as a first
+//! symbol `a` followed by a witness of the *derived* instance
+//! `ψ((N, 0^k), a) = (N', 0^{k-1})`, where `N'` merges the layer
+//! `Q_a = {q : (q₀, a, q) ∈ δ}` into a fresh initial state. This is the engine
+//! behind the paper-literal uniform generator (§5.3.3) and behind polynomial-
+//! delay enumeration via [Sch09, Thm 4.9].
+//!
+//! Properties proved in §5.2 and re-checked by the tests here:
+//! * (1) `ℓ((N, 0^k)) = k` — witnesses have exactly length `k`;
+//! * (5) `|ψ(x, a)| ≤ |x|` — the derived automaton never grows;
+//! * (6) `ℓ(ψ(x, a)) = max(ℓ(x) − 1, 0)`;
+//! * (8) `(x, a∘y) ∈ MEM-NFA  ⇔  (ψ(x, a), y) ∈ MEM-NFA`;
+//! * plus: `ψ` preserves unambiguity (so the structure restricts to MEM-UFA).
+
+use lsc_automata::{Nfa, StateId, Symbol};
+
+/// `σ((N, 0^k))`: how many leading symbols a self-reduction step strips.
+pub fn sigma(k: usize) -> usize {
+    usize::from(k > 0)
+}
+
+/// `ℓ((N, 0^k))`: the witness length — just `k` for well-formed instances.
+pub fn ell(k: usize) -> usize {
+    k
+}
+
+/// `ψ((N, 0^k), a)`: the derived automaton whose length-`k−1` language is
+/// `{y : a∘y ∈ L_k(N)}`.
+///
+/// ## Erratum in the paper's construction
+///
+/// §5.2 builds `N'` by *merging* the layer `Q_a` into a single state `q₀'`
+/// everywhere — rewriting every transition endpoint in `Q_a` to `q₀'`. That
+/// merge is unsound: entering `q₀'` through one member of `Q_a` and leaving
+/// through another stitches together run fragments that no run of `N`
+/// realizes, so the derived automaton can *over-accept*. Concrete
+/// counterexample (`psi_merged_construction_is_unsound` below): for the
+/// 4-state automaton of `(0|1)*1(0|1)(0|1)` and `a = 1`, the merged `N'`
+/// accepts `1000` although `11000 ∉ L_5(N)` — the glued run uses `(0,0,0)` to
+/// loop at `q₀'` and `(1,0,2)` to leave it, mixing members `0` and `1` of
+/// `Q_1`. (The paper proves the forward run-mapping direction and declares
+/// the converse "analogous"; it is not.)
+///
+/// ## Construction used here
+///
+/// The standard sound derivative: keep all original states, add a fresh
+/// initial state `q₀'` whose out-transitions are the *union* of the
+/// out-transitions of `Q_a`, accepting iff `Q_a` touches a final state. The
+/// fresh state is only ever visited at time 0, so no cross-member gluing can
+/// occur. A previously added fresh initial has no in-edges and becomes
+/// unreachable after the next derivative, so `psi` trims unreachable states
+/// and the instance size stays `≤ |N| + 1` across arbitrarily long
+/// ψ-chains — preserving the polynomial bound self-reducibility needs (the
+/// paper's condition (5) holds up to one extra state).
+///
+/// For `k = 0` the paper sets `ψ(x, w) = x`; callers handle that identity
+/// case (there is no symbol to strip), so `psi` itself assumes `k ≥ 1`.
+pub fn psi(nfa: &Nfa, a: Symbol) -> Nfa {
+    let m = nfa.num_states();
+    // Fresh initial state q₀' gets id m; originals keep their ids.
+    let mut b = Nfa::builder(nfa.alphabet().clone(), m + 1);
+    b.set_initial(m);
+    let mut qa_accepts = false;
+    for q in 0..m {
+        if nfa.is_accepting(q) {
+            b.set_accepting(q);
+        }
+        for &(sym, t) in nfa.transitions_from(q) {
+            b.add_transition(q, sym, t);
+        }
+    }
+    for q in nfa.step(nfa.initial(), a) {
+        qa_accepts |= nfa.is_accepting(q);
+        for &(sym, t) in nfa.transitions_from(q) {
+            b.add_transition(m, sym, t);
+        }
+    }
+    if qa_accepts {
+        b.set_accepting(m);
+    }
+    // Keep reachable states only (drops the previous fresh initial, bounding
+    // ψ-chain growth), but deliberately not co-reachability: trimming dead-end
+    // states would be fine too, but reachability alone already gives the size
+    // bound and keeps this closer to a pure construction.
+    reachable_only(&b.build())
+}
+
+/// Restriction to reachable states (unlike [`Nfa::trimmed`], keeps dead ends).
+fn reachable_only(nfa: &Nfa) -> Nfa {
+    let reach = nfa.reachable();
+    let mut remap: Vec<Option<StateId>> = vec![None; nfa.num_states()];
+    let mut count = 0;
+    for q in reach.iter() {
+        remap[q] = Some(count);
+        count += 1;
+    }
+    let mut b = Nfa::builder(nfa.alphabet().clone(), count);
+    b.set_initial(remap[nfa.initial()].expect("initial is reachable"));
+    for q in reach.iter() {
+        let qi = remap[q].expect("reachable");
+        if nfa.is_accepting(q) {
+            b.set_accepting(qi);
+        }
+        for &(sym, t) in nfa.transitions_from(q) {
+            if let Some(ti) = remap[t] {
+                b.add_transition(qi, sym, ti);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::{blowup_nfa, random_nfa};
+    use lsc_automata::ops::is_unambiguous;
+    use lsc_automata::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// All words of length `len` over an alphabet of `width` symbols.
+    fn all_words(width: usize, len: usize) -> Vec<Vec<Symbol>> {
+        let mut out = vec![vec![]];
+        for _ in 0..len {
+            out = out
+                .into_iter()
+                .flat_map(|w| {
+                    (0..width as Symbol).map(move |s| {
+                        let mut w2 = w.clone();
+                        w2.push(s);
+                        w2
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// Property 8: a∘y ∈ L_k(N) iff y ∈ L_{k-1}(ψ(N, a)).
+    fn check_property8(nfa: &Nfa, k: usize) {
+        let width = nfa.alphabet().len();
+        for a in 0..width as Symbol {
+            let derived = psi(nfa, a);
+            assert!(
+                derived.num_states() <= nfa.num_states() + 1,
+                "property 5 (sound variant): ψ grows by at most the fresh initial"
+            );
+            for y in all_words(width, k - 1) {
+                let mut ay = vec![a];
+                ay.extend_from_slice(&y);
+                assert_eq!(
+                    nfa.accepts(&ay),
+                    derived.accepts(&y),
+                    "property 8 failed: N {} a={a} y={y:?}",
+                    nfa.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property8_on_blowup_family() {
+        check_property8(&blowup_nfa(3), 5);
+    }
+
+    #[test]
+    fn property8_on_random_nfas() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let n = random_nfa(6, Alphabet::binary(), 0.25, 0.4, &mut rng);
+            check_property8(&n, 4);
+        }
+    }
+
+    #[test]
+    fn psi_chain_strips_prefix() {
+        // Stripping symbols one at a time tracks residual languages.
+        let n = blowup_nfa(2); // (0|1)*1(0|1): second-to-last symbol must be 1
+        let k = 4;
+        let word = [1, 0, 1, 1];
+        assert!(n.accepts(&word));
+        let mut cur = n.clone();
+        for (i, &a) in word.iter().enumerate() {
+            cur = psi(&cur, a);
+            assert!(
+                cur.accepts(&word[i + 1..]),
+                "residual after {} symbols must accept the suffix",
+                i + 1
+            );
+        }
+        // After consuming everything, the residual accepts ε.
+        assert!(cur.accepts(&[]));
+        assert_eq!(ell(k), 4);
+        assert_eq!(sigma(k), 1);
+        assert_eq!(sigma(0), 0);
+    }
+
+    #[test]
+    fn psi_preserves_unambiguity() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut checked = 0;
+        for _ in 0..40 {
+            let n = lsc_automata::families::random_ufa(7, Alphabet::binary(), 0.2, &mut rng);
+            assert!(is_unambiguous(&n));
+            for a in 0..2 {
+                let d = psi(&n, a);
+                // ψ of a UFA can only be certified unambiguous after trimming
+                // relative to some length; the §5.2 argument shows accepting
+                // runs are preserved one-to-one, so the check must pass.
+                assert!(is_unambiguous(&d), "ψ broke unambiguity");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    /// The erratum witness: the paper's merged `Q_w → q₀'` construction
+    /// over-accepts. We build the merged automaton exactly as §5.2 specifies
+    /// and exhibit a word it accepts whose extension `N` rejects; the sound
+    /// `psi` used in this crate gets the same word right.
+    #[test]
+    fn psi_merged_construction_is_unsound() {
+        let n = blowup_nfa(3); // (0|1)*1(0|1)(0|1), unique final state, no ε
+        let a = 1;
+        // Q_1 = {0, 1}: targets of (q0, 1, ·).
+        let qa: Vec<usize> = n.step(n.initial(), a).collect();
+        assert_eq!(qa, vec![0, 1]);
+        // Merged construction, literally: states {q0'} ∪ (Q ∖ Q_1) with every
+        // endpoint in Q_1 rewritten to q0'.
+        let m = n.num_states();
+        let in_qa = |q: usize| qa.contains(&q);
+        let image = |q: usize| if in_qa(q) { 0 } else { q }; // 0 is q0' (old 0 ∈ Q_1 here)
+        let mut b = Nfa::builder(n.alphabet().clone(), m);
+        b.set_initial(0);
+        for q in 0..m {
+            if n.is_accepting(q) {
+                b.set_accepting(image(q));
+            }
+            for &(sym, t) in n.transitions_from(q) {
+                b.add_transition(image(q), sym, image(t));
+            }
+        }
+        let merged = b.build();
+        // The glued run q0' -1-> q0' -0-> q0' -0-> 2 -0-> 3 accepts 1000...
+        let y = [1, 0, 0, 0];
+        assert!(merged.accepts(&y), "merged construction accepts 1000");
+        // ...but 1∘1000 = 11000 is NOT in L_5(N) (third symbol from the end is 0).
+        let mut ay = vec![a];
+        ay.extend_from_slice(&y);
+        assert!(!n.accepts(&ay), "N rejects 11000");
+        // The sound derivative agrees with N.
+        let sound = psi(&n, a);
+        assert!(!sound.accepts(&y), "sound ψ rejects 1000");
+    }
+
+    #[test]
+    fn psi_chain_size_stays_bounded() {
+        // Repeated derivatives must not accumulate states (the fresh initial
+        // of step i is unreachable at step i+1 and gets trimmed).
+        let n = blowup_nfa(4);
+        let bound = n.num_states() + 1;
+        let mut cur = n.clone();
+        for step in 0..12 {
+            cur = psi(&cur, (step % 2) as Symbol);
+            assert!(
+                cur.num_states() <= bound,
+                "step {step}: {} states > bound {bound}",
+                cur.num_states()
+            );
+        }
+    }
+
+    #[test]
+    fn psi_on_empty_qa() {
+        // If the initial state has no a-transitions, Q_a = ∅ and the derived
+        // automaton accepts nothing of any length (fresh q₀' is isolated).
+        let ab = Alphabet::binary();
+        let mut b = Nfa::builder(ab, 2);
+        b.set_initial(0);
+        b.add_transition(0, 0, 1);
+        b.set_accepting(1);
+        let n = b.build();
+        let d = psi(&n, 1);
+        assert!(!d.accepts(&[]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1]));
+    }
+}

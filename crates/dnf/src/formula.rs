@@ -1,0 +1,255 @@
+//! DNF formulas as bit-mask term lists.
+
+use std::fmt;
+use std::str::FromStr;
+
+use lsc_arith::BigNat;
+
+/// One conjunctive term: positive and negative literal masks (bit `i` =
+/// variable `x_i`). A term with overlapping masks is unsatisfiable — exactly
+/// the "complementary literals" case the paper's transducer rejects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DnfTerm {
+    pos: u128,
+    neg: u128,
+}
+
+impl DnfTerm {
+    /// Builds a term from literal masks.
+    pub fn new(pos: u128, neg: u128) -> Self {
+        DnfTerm { pos, neg }
+    }
+
+    /// Positive-literal mask.
+    pub fn pos(&self) -> u128 {
+        self.pos
+    }
+
+    /// Negative-literal mask.
+    pub fn neg(&self) -> u128 {
+        self.neg
+    }
+
+    /// Satisfiable iff no variable occurs both positively and negatively.
+    pub fn is_satisfiable(&self) -> bool {
+        self.pos & self.neg == 0
+    }
+
+    /// Number of literals.
+    pub fn num_literals(&self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Does the assignment (bit `i` = value of `x_i`) satisfy this term?
+    pub fn satisfied_by(&self, assignment: u128) -> bool {
+        assignment & self.pos == self.pos && assignment & self.neg == 0
+    }
+}
+
+/// A propositional formula in disjunctive normal form over variables
+/// `x_0..x_{n-1}`, `n ≤ 128`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnfFormula {
+    num_vars: usize,
+    terms: Vec<DnfTerm>,
+}
+
+impl DnfFormula {
+    /// Builds a formula.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 128` or a term mentions a variable ≥ `num_vars`.
+    pub fn new(num_vars: usize, terms: Vec<DnfTerm>) -> Self {
+        assert!(num_vars <= 128, "bit-mask representation holds ≤128 vars");
+        let range_mask = if num_vars == 128 {
+            u128::MAX
+        } else {
+            (1u128 << num_vars) - 1
+        };
+        for t in &terms {
+            assert!(
+                (t.pos() | t.neg()) & !range_mask == 0,
+                "term mentions out-of-range variable"
+            );
+        }
+        DnfFormula { num_vars, terms }
+    }
+
+    /// Number of variables `n` (witnesses have length `n`).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[DnfTerm] {
+        &self.terms
+    }
+
+    /// Evaluates the formula on an assignment.
+    pub fn eval(&self, assignment: u128) -> bool {
+        self.terms.iter().any(|t| t.satisfied_by(assignment))
+    }
+
+    /// Brute-force model count — the oracle for testing, `O(2^n)`, capped to
+    /// keep accidents polite.
+    ///
+    /// # Panics
+    /// Panics if `num_vars > 24`.
+    pub fn count_models_brute_force(&self) -> BigNat {
+        assert!(self.num_vars <= 24, "brute force only for small formulas");
+        let mut count = 0u64;
+        for a in 0..(1u128 << self.num_vars) {
+            if self.eval(a) {
+                count += 1;
+            }
+        }
+        BigNat::from_u64(count)
+    }
+
+    /// `Σ_i 2^{n - |lits_i|}`: the union-bound weight used by Karp–Luby
+    /// (counts satisfying assignments per term, with multiplicity).
+    pub fn term_weight_total(&self) -> BigNat {
+        let mut total = BigNat::zero();
+        for t in &self.terms {
+            if t.is_satisfiable() {
+                total.add_assign_ref(&BigNat::pow2(
+                    self.num_vars - t.num_literals() as usize,
+                ));
+            }
+        }
+        total
+    }
+}
+
+/// Parse error for the `x1 & !x2 | x3` syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfParseError(pub String);
+
+impl fmt::Display for DnfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DNF parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DnfParseError {}
+
+impl FromStr for DnfFormula {
+    type Err = DnfParseError;
+
+    /// Parses `x0 & !x1 | x2` style DNF: terms separated by `|`, literals by
+    /// `&`, negation `!`, variables `x<i>`. The variable count is one past the
+    /// largest index mentioned.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut terms = Vec::new();
+        let mut max_var = 0usize;
+        for term_src in s.split('|') {
+            let mut pos = 0u128;
+            let mut neg = 0u128;
+            for lit_src in term_src.split('&') {
+                let lit = lit_src.trim();
+                if lit.is_empty() {
+                    return Err(DnfParseError(format!("empty literal in {term_src:?}")));
+                }
+                let (negated, name) = match lit.strip_prefix('!') {
+                    Some(rest) => (true, rest.trim()),
+                    None => (false, lit),
+                };
+                let idx: usize = name
+                    .strip_prefix('x')
+                    .ok_or_else(|| DnfParseError(format!("expected x<i>, got {lit:?}")))?
+                    .parse()
+                    .map_err(|_| DnfParseError(format!("bad variable index in {lit:?}")))?;
+                if idx >= 128 {
+                    return Err(DnfParseError(format!("variable index {idx} ≥ 128")));
+                }
+                max_var = max_var.max(idx + 1);
+                if negated {
+                    neg |= 1 << idx;
+                } else {
+                    pos |= 1 << idx;
+                }
+            }
+            terms.push(DnfTerm::new(pos, neg));
+        }
+        Ok(DnfFormula::new(max_var, terms))
+    }
+}
+
+impl fmt::Display for DnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let mut first = true;
+            for v in 0..self.num_vars {
+                let bit = 1u128 << v;
+                if t.pos() & bit != 0 || t.neg() & bit != 0 {
+                    if !first {
+                        write!(f, " & ")?;
+                    }
+                    first = false;
+                    if t.neg() & bit != 0 {
+                        write!(f, "!")?;
+                    }
+                    write!(f, "x{v}")?;
+                }
+            }
+            if first {
+                write!(f, "⊤")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_eval_roundtrip() {
+        let f: DnfFormula = "x0 & !x1 | x2".parse().unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.terms().len(), 2);
+        assert!(f.eval(0b001)); // x0=1, x1=0
+        assert!(f.eval(0b100)); // x2=1
+        assert!(!f.eval(0b011)); // x0=1 but x1=1, x2=0
+        assert!(!f.eval(0b000));
+        let printed = f.to_string();
+        let back: DnfFormula = printed.parse().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn brute_force_count() {
+        let f: DnfFormula = "x0 & !x1 | x2".parse().unwrap();
+        // x0&!x1: assignments {100? no: x0=1,x1=0,x2 free} = 2; x2: 4; overlap {101} 1 → 5.
+        assert_eq!(f.count_models_brute_force().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn unsatisfiable_term() {
+        let t = DnfTerm::new(0b1, 0b1);
+        assert!(!t.is_satisfiable());
+        assert!(!t.satisfied_by(0b1));
+        assert!(!t.satisfied_by(0b0));
+        let f = DnfFormula::new(1, vec![t]);
+        assert_eq!(f.count_models_brute_force().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn term_weights() {
+        let f: DnfFormula = "x0 | x1 & x2".parse().unwrap();
+        // 2^{3-1} + 2^{3-2} = 4 + 2 = 6.
+        assert_eq!(f.term_weight_total().to_u64(), Some(6));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("y0".parse::<DnfFormula>().is_err());
+        assert!("x0 & ".parse::<DnfFormula>().is_err());
+        assert!("x200".parse::<DnfFormula>().is_err());
+        assert!("x0 & !x999".parse::<DnfFormula>().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! The Karp–Luby #DNF FPRAS \[KL83\] — the independent baseline.
+//!
+//! The paper cites \[KL83\] as the reason one can still hope for an FPRAS for
+//! every `RelationNL` counting problem after noting `COUNT(SAT-DNF)` is
+//! `#P`-complete. Experiment E9b runs this classical estimator head-to-head
+//! with the generic #NFA FPRAS applied to the [`crate::to_nfa`] reduction.
+//!
+//! Coverage form of the estimator: let `U = Σ_i 2^{n-|lits_i|}` (satisfying
+//! assignments per term, with multiplicity). Sample a term `i` with
+//! probability proportional to its weight, then a uniform assignment `σ`
+//! satisfying term `i`; the trial succeeds if `i` is the *first* term `σ`
+//! satisfies. The success probability is exactly `#models / U`, so the scaled
+//! empirical mean is unbiased, and `U ≤ #terms · #models` keeps the variance
+//! polynomial.
+
+use lsc_arith::{BigFloat, BigNat};
+use rand::Rng;
+
+use crate::DnfFormula;
+
+/// Karp–Luby estimate of the model count from `trials` coverage samples.
+///
+/// Returns zero iff the formula has no satisfiable term.
+pub fn karp_luby<R: Rng + ?Sized>(
+    formula: &DnfFormula,
+    trials: usize,
+    rng: &mut R,
+) -> BigFloat {
+    assert!(trials > 0);
+    let n = formula.num_vars();
+    let weights: Vec<BigNat> = formula
+        .terms()
+        .iter()
+        .map(|t| {
+            if t.is_satisfiable() {
+                BigNat::pow2(n - t.num_literals() as usize)
+            } else {
+                BigNat::zero()
+            }
+        })
+        .collect();
+    let total: BigNat = weights.iter().sum();
+    if total.is_zero() {
+        return BigFloat::zero();
+    }
+    let mut hits = 0usize;
+    for _ in 0..trials {
+        // Term ∝ weight, exactly.
+        let mut draw = BigNat::uniform_below(&total, rng);
+        let mut term_idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            match draw.checked_sub(w) {
+                Some(rest) => draw = rest,
+                None => {
+                    term_idx = i;
+                    break;
+                }
+            }
+        }
+        let term = &formula.terms()[term_idx];
+        // Uniform assignment satisfying the term: free bits random.
+        let forced = term.pos();
+        let fixed = term.pos() | term.neg();
+        let mut assignment = forced;
+        for v in 0..n {
+            let bit = 1u128 << v;
+            if fixed & bit == 0 && rng.gen_bool(0.5) {
+                assignment |= bit;
+            }
+        }
+        // Coverage test: is `term_idx` the first satisfying term?
+        let first = formula
+            .terms()
+            .iter()
+            .position(|t| t.satisfied_by(assignment))
+            .expect("sampled assignment satisfies its own term");
+        if first == term_idx {
+            hits += 1;
+        }
+    }
+    BigFloat::from_bignat(&total).mul_f64(hits as f64 / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accurate_on_small_formulas() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for seed in 0..5u64 {
+            let mut frng = StdRng::seed_from_u64(seed);
+            let f = crate::random_dnf(10, 6, 3, &mut frng);
+            let truth = f.count_models_brute_force().to_f64();
+            if truth == 0.0 {
+                continue;
+            }
+            let est = karp_luby(&f, 20_000, &mut rng).to_f64();
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.1, "formula {f}: est {est}, truth {truth}");
+        }
+    }
+
+    #[test]
+    fn unsat_formula_is_zero() {
+        let f: DnfFormula = "x0 & !x0".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(karp_luby(&f, 100, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn single_term_is_exact_in_expectation() {
+        // With one term every trial hits, so the estimate equals the weight.
+        let f: DnfFormula = "x0 & x2".parse().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = karp_luby(&f, 500, &mut rng).to_f64();
+        assert_eq!(est, 2.0); // 2^{3-2}
+    }
+
+    #[test]
+    fn scales_past_brute_force() {
+        // 40 variables: brute force is out of reach; sanity-check the estimate
+        // against the inclusion-exclusion bound for disjoint terms.
+        let f: DnfFormula = "x0 & x1 | !x0 & x39".parse().unwrap();
+        let truth = 2f64.powi(38) + 2f64.powi(38);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = karp_luby(&f, 20_000, &mut rng).to_f64();
+        assert!((est - truth).abs() / truth < 0.05, "est {est}, truth {truth}");
+    }
+}

@@ -1,0 +1,57 @@
+//! SAT-DNF: the paper's motivating `RelationNL` problem (§3).
+//!
+//! `SAT-DNF = {(φ, σ) : φ in DNF, σ a truth assignment, σ(φ) = 1}`. The paper
+//! uses it twice: as the warm-up example of a relation accepted by an
+//! NL-transducer, and as the first `#P`-complete counting problem in the
+//! class. This crate provides:
+//!
+//! * [`DnfFormula`] — formulas up to 128 variables (term literals as bit
+//!   masks), with a parser, evaluation, and a brute-force oracle counter;
+//! * [`to_nfa`] — the §3 reduction in automaton form: a union of per-term
+//!   chain automata emitting assignments bit by bit (forced bits fixed, free
+//!   bits branching), so `W(φ) = L_n(N_φ)` and the whole MEM-NFA toolbox
+//!   applies;
+//! * [`SatDnfTransducer`] — the same reduction written as the paper's actual
+//!   NL-transducer and compiled through Lemma 13 (they must agree — tested);
+//! * [`karp_luby`] — the classical \[KL83\] FPRAS for #DNF, the independent
+//!   baseline experiment E9b compares our generic #NFA FPRAS against.
+
+mod exact;
+mod formula;
+mod karp_luby;
+mod reduction;
+
+pub use exact::count_models_inclusion_exclusion;
+pub use formula::{DnfFormula, DnfParseError, DnfTerm};
+pub use karp_luby::karp_luby;
+pub use reduction::{to_nfa, SatDnfTransducer};
+
+/// Generates a random DNF formula: `terms` terms over `vars` variables, each
+/// term with `lits` distinct literals of random polarity.
+pub fn random_dnf<R: rand::Rng + ?Sized>(
+    vars: usize,
+    terms: usize,
+    lits: usize,
+    rng: &mut R,
+) -> DnfFormula {
+    assert!(lits <= vars && vars <= 128);
+    let mut out = Vec::with_capacity(terms);
+    for _ in 0..terms {
+        let mut pos = 0u128;
+        let mut neg = 0u128;
+        let mut chosen = Vec::new();
+        while chosen.len() < lits {
+            let v = rng.gen_range(0..vars);
+            if !chosen.contains(&v) {
+                chosen.push(v);
+                if rng.gen_bool(0.5) {
+                    pos |= 1 << v;
+                } else {
+                    neg |= 1 << v;
+                }
+            }
+        }
+        out.push(DnfTerm::new(pos, neg));
+    }
+    DnfFormula::new(vars, out)
+}

@@ -1,0 +1,194 @@
+//! Length-indexed derivation counting.
+//!
+//! For a CNF grammar, `D[A][ℓ]` — the number of parse trees rooted at `A`
+//! whose yield has length `ℓ` — satisfies the convolution recurrence
+//!
+//! ```text
+//! D[A][1] = #{a : A → a}
+//! D[A][ℓ] = Σ_{A→BC} Σ_{i=1}^{ℓ-1} D[B][i] · D[C][ℓ-i]      (ℓ ≥ 2)
+//! ```
+//!
+//! computable in `O(|P| · n²)` big-number operations. `D[S][n]` counts
+//! **trees**, not words: it equals `|L_n(G)|` exactly when the grammar is
+//! unambiguous — the same collapse the paper uses for UFAs in §5.3.2, where
+//! the `#L` run-counting DP counts words because each word has one run. For
+//! ambiguous grammars the table still drives uniform *tree* sampling
+//! ([`crate::sample`]), and the regular fragment can be routed to the #NFA
+//! FPRAS instead ([`crate::regular`]); the general ambiguous case is exactly
+//! the [GJK+97] problem that remains open beyond quasi-polynomial time.
+
+use lsc_arith::BigNat;
+
+use crate::cnf::Cnf;
+use crate::grammar::NonTerminalId;
+
+/// The derivation-count table `D[A][ℓ]` for `ℓ ≤ n`.
+#[derive(Clone, Debug)]
+pub struct DerivationTable {
+    cnf: Cnf,
+    n: usize,
+    /// `counts[ℓ][A]`, for `ℓ` in `0..=n` (row 0 is all zeros; ε-trees are
+    /// tracked by [`Cnf::empty_in_language`]).
+    counts: Vec<Vec<BigNat>>,
+}
+
+impl DerivationTable {
+    /// Builds the table up to yield length `n`.
+    pub fn build(cnf: &Cnf, n: usize) -> DerivationTable {
+        let v = cnf.num_nonterminals();
+        let mut counts: Vec<Vec<BigNat>> = Vec::with_capacity(n + 1);
+        counts.push(vec![BigNat::zero(); v]);
+        if n >= 1 {
+            let mut row = vec![BigNat::zero(); v];
+            for (nt, slot) in row.iter_mut().enumerate() {
+                *slot = BigNat::from_u64(cnf.term_rules(nt).len() as u64);
+            }
+            counts.push(row);
+        }
+        for len in 2..=n {
+            let mut row = vec![BigNat::zero(); v];
+            for (nt, slot) in row.iter_mut().enumerate() {
+                let mut acc = BigNat::zero();
+                for &(b, c) in cnf.bin_rules(nt) {
+                    for i in 1..len {
+                        let left = &counts[i][b];
+                        if left.is_zero() {
+                            continue;
+                        }
+                        let right = &counts[len - i][c];
+                        if right.is_zero() {
+                            continue;
+                        }
+                        acc.add_assign_ref(&left.mul_ref(right));
+                    }
+                }
+                *slot = acc;
+            }
+            counts.push(row);
+        }
+        DerivationTable { cnf: cnf.clone(), n, counts }
+    }
+
+    /// The grammar the table was built from.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// The maximum tabulated length.
+    pub fn max_len(&self) -> usize {
+        self.n
+    }
+
+    /// `D[nt][len]`: parse trees rooted at `nt` with yield length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len > n` or `nt` is out of range.
+    pub fn trees(&self, nt: NonTerminalId, len: usize) -> &BigNat {
+        &self.counts[len][nt]
+    }
+
+    /// Parse trees from the start symbol with yield length `len` (with the
+    /// ε-tree counted as 1 at `len = 0` when ε is in the language).
+    ///
+    /// Equals `|L_len(G)|` exactly when the grammar is unambiguous (checkable
+    /// up to a bound with [`crate::cyk::ambiguity_witness_up_to`]).
+    pub fn derivations(&self, len: usize) -> BigNat {
+        if len == 0 {
+            return if self.cnf.empty_in_language() { BigNat::one() } else { BigNat::zero() };
+        }
+        self.counts[len][self.cnf.start()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cyk::{cyk_accepts, next_word};
+    use crate::grammar::Cfg;
+    use lsc_automata::Symbol;
+
+    fn table_of(text: &str, n: usize) -> DerivationTable {
+        DerivationTable::build(&Cnf::from_cfg(&Cfg::parse(text).unwrap()), n)
+    }
+
+    /// Oracle: count words of length `len` by exhaustive CYK membership.
+    fn brute_word_count(cnf: &Cnf, len: usize) -> u64 {
+        if len == 0 {
+            return cnf.empty_in_language() as u64;
+        }
+        let sigma = cnf.alphabet().len() as Symbol;
+        let mut word = vec![0 as Symbol; len];
+        let mut count = 0;
+        loop {
+            if cyk_accepts(cnf, &word) {
+                count += 1;
+            }
+            if !next_word(&mut word, sigma) {
+                return count;
+            }
+        }
+    }
+
+    #[test]
+    fn dyck_counts_are_catalan() {
+        let t = table_of("S -> ( S ) S | eps", 16);
+        let catalan = [1u64, 1, 2, 5, 14, 42, 132, 429, 1430];
+        for (k, &c) in catalan.iter().enumerate() {
+            assert_eq!(t.derivations(2 * k).to_u64(), Some(c), "length {}", 2 * k);
+            if 2 * k < 16 {
+                assert_eq!(t.derivations(2 * k + 1).to_u64(), Some(0), "odd length");
+            }
+        }
+    }
+
+    #[test]
+    fn palindrome_counts_are_powers_of_two() {
+        let t = table_of("S -> 0 S 0 | 1 S 1 | 0 | 1 | eps", 12);
+        for n in 0..=12usize {
+            let expect = 1u64 << n.div_ceil(2);
+            assert_eq!(t.derivations(n).to_u64(), Some(expect), "length {n}");
+        }
+    }
+
+    #[test]
+    fn unambiguous_counts_match_brute_force() {
+        let text = "E -> E + T | T\nT -> T * F | F\nF -> ( E ) | x\n";
+        let cnf = Cnf::from_cfg(&Cfg::parse(text).unwrap());
+        let t = DerivationTable::build(&cnf, 6);
+        for len in 0..=6usize {
+            assert_eq!(
+                t.derivations(len).to_u64().unwrap(),
+                brute_word_count(&cnf, len),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn ambiguous_counts_exceed_word_counts() {
+        // S -> S S | a derives a^n with Catalan(n-1) trees but only one word
+        // per length: trees ≫ words for n ≥ 3, the CFG analogue of
+        // runs ≫ words for ambiguous NFAs.
+        let cnf = Cnf::from_cfg(&Cfg::parse("S -> S S | a").unwrap());
+        let t = DerivationTable::build(&cnf, 8);
+        assert_eq!(t.derivations(8).to_u64(), Some(429)); // Catalan(7)
+        assert_eq!(brute_word_count(&cnf, 8), 1);
+    }
+
+    #[test]
+    fn counts_grow_past_u64() {
+        // Palindromes at length 160: 2^80 words.
+        let t = table_of("S -> 0 S 0 | 1 S 1 | 0 | 1 | eps", 160);
+        let d = t.derivations(160);
+        assert_eq!(d.to_u64(), None);
+        assert_eq!(d, lsc_arith::BigNat::pow2(80));
+    }
+
+    #[test]
+    fn empty_language_counts_zero_everywhere() {
+        let t = table_of("S -> a S", 6);
+        for len in 0..=6 {
+            assert!(t.derivations(len).is_zero());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! CYK recognition and parse-tree counting.
+//!
+//! Membership is the p-relation check of §2.1 for the grammar analogue of
+//! MEM-NFA, and the *tree count* per word is the grammar analogue of the
+//! runs-per-word count for NFAs: a grammar is unambiguous exactly when every
+//! accepted word has tree count 1, and the counting DP of [`crate::count`]
+//! counts words (rather than trees) exactly in that case — the same
+//! runs-vs-words gap that separates MEM-UFA from MEM-NFA in the paper.
+
+use lsc_arith::BigNat;
+use lsc_automata::Symbol;
+
+use crate::cnf::Cnf;
+
+/// CYK membership: is `word` in the language of `cnf`?
+pub fn cyk_accepts(cnf: &Cnf, word: &[Symbol]) -> bool {
+    if word.is_empty() {
+        return cnf.empty_in_language();
+    }
+    !cyk_tree_count(cnf, word).is_zero()
+}
+
+/// Number of distinct parse trees of `word` (0 when not in the language, and
+/// 1 for the empty word when ε is in the language).
+pub fn cyk_tree_count(cnf: &Cnf, word: &[Symbol]) -> BigNat {
+    if word.is_empty() {
+        return if cnf.empty_in_language() { BigNat::one() } else { BigNat::zero() };
+    }
+    let n = word.len();
+    let v = cnf.num_nonterminals();
+    // chart[len-1][i][A] = #trees deriving word[i .. i+len] from A.
+    let mut chart: Vec<Vec<Vec<BigNat>>> = Vec::with_capacity(n);
+    let mut base = vec![vec![BigNat::zero(); v]; n];
+    for (i, &a) in word.iter().enumerate() {
+        for (nt, slot) in base[i].iter_mut().enumerate() {
+            if cnf.term_rules(nt).contains(&a) {
+                *slot = BigNat::one();
+            }
+        }
+    }
+    chart.push(base);
+    for len in 2..=n {
+        let mut row = vec![vec![BigNat::zero(); v]; n - len + 1];
+        for (i, cell) in row.iter_mut().enumerate() {
+            for (nt, slot) in cell.iter_mut().enumerate() {
+                let mut acc = BigNat::zero();
+                for &(b, c) in cnf.bin_rules(nt) {
+                    for split in 1..len {
+                        let left = &chart[split - 1][i][b];
+                        if left.is_zero() {
+                            continue;
+                        }
+                        let right = &chart[len - split - 1][i + split][c];
+                        if right.is_zero() {
+                            continue;
+                        }
+                        acc.add_assign_ref(&left.mul_ref(right));
+                    }
+                }
+                *slot = acc;
+            }
+        }
+        chart.push(row);
+    }
+    chart[n - 1][0][cnf.start()].clone()
+}
+
+/// Searches every word of length ≤ `max_len` for one with ≥ 2 parse trees.
+///
+/// Returns the first ambiguous word (in length-then-lexicographic order)
+/// with its tree count, or `None` if the grammar is unambiguous on all words
+/// up to the bound. CFG ambiguity is undecidable in general, so this is a
+/// *semi*-check: exhaustive and exact below the bound, silent above it. Cost
+/// is `O(|Σ|^max_len)` CYK runs — a test-and-diagnostics tool, not a
+/// production path.
+pub fn ambiguity_witness_up_to(cnf: &Cnf, max_len: usize) -> Option<(Vec<Symbol>, BigNat)> {
+    let sigma = cnf.alphabet().len() as Symbol;
+    let two = BigNat::from_u64(2);
+    for len in 1..=max_len {
+        let mut word = vec![0 as Symbol; len];
+        loop {
+            let trees = cyk_tree_count(cnf, &word);
+            if trees >= two {
+                return Some((word, trees));
+            }
+            if !next_word(&mut word, sigma) {
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Odometer increment (least-significant position first). Returns `false`
+/// when the word wraps around to all zeros — i.e. all words were visited.
+pub(crate) fn next_word(word: &mut [Symbol], sigma: Symbol) -> bool {
+    for slot in word.iter_mut() {
+        *slot += 1;
+        if *slot < sigma {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Cfg;
+
+    fn cnf_of(text: &str) -> Cnf {
+        Cnf::from_cfg(&Cfg::parse(text).unwrap())
+    }
+
+    #[test]
+    fn dyck_tree_counts_are_zero_or_one() {
+        let cnf = cnf_of("S -> ( S ) S | eps");
+        // ()() and (()) each have exactly one tree; )( has none.
+        assert_eq!(cyk_tree_count(&cnf, &[0, 1, 0, 1]).to_u64(), Some(1));
+        assert_eq!(cyk_tree_count(&cnf, &[0, 0, 1, 1]).to_u64(), Some(1));
+        assert_eq!(cyk_tree_count(&cnf, &[1, 0]).to_u64(), Some(0));
+        assert_eq!(cyk_tree_count(&cnf, &[]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn ambiguous_arithmetic_has_two_trees() {
+        // x+x*x parses as (x+x)*x association or x+(x*x).
+        let cnf = cnf_of("E -> E + E | E * E | ( E ) | x");
+        let ab = cnf.alphabet().clone();
+        let w: Vec<Symbol> = "x+x*x"
+            .chars()
+            .map(|c| ab.symbol_of(c).unwrap())
+            .collect();
+        assert_eq!(cyk_tree_count(&cnf, &w).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn unambiguous_arithmetic_has_single_trees() {
+        let cnf = cnf_of(
+            "E -> E + T | T\n\
+             T -> T * F | F\n\
+             F -> ( E ) | x\n",
+        );
+        let ab = cnf.alphabet().clone();
+        for text in ["x", "x+x", "x*x", "x+x*x", "(x+x)*x", "x*(x+x)", "((x))"] {
+            let w: Vec<Symbol> = text.chars().map(|c| ab.symbol_of(c).unwrap()).collect();
+            assert_eq!(cyk_tree_count(&cnf, &w).to_u64(), Some(1), "word {text}");
+        }
+        for text in ["+", "x+", "()", "x x"] {
+            let w: Vec<Symbol> = text
+                .chars()
+                .filter(|c| *c != ' ')
+                .map(|c| ab.symbol_of(c).unwrap())
+                .collect();
+            assert!(!cyk_accepts(&cnf, &w), "word {text}");
+        }
+    }
+
+    #[test]
+    fn ambiguity_witness_found_for_ambiguous_grammar() {
+        let cnf = cnf_of("S -> S S | a");
+        // `aaa` has two trees ((aa)a and a(aa)).
+        let (w, trees) = ambiguity_witness_up_to(&cnf, 4).unwrap();
+        assert_eq!(w, vec![0, 0, 0]);
+        assert_eq!(trees.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn ambiguity_witness_absent_for_unambiguous_grammar() {
+        let cnf = cnf_of("S -> ( S ) S | eps");
+        assert!(ambiguity_witness_up_to(&cnf, 8).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Grammar families for tests, experiments, and benchmarks.
+//!
+//! Each family pins a known combinatorial identity (Catalan numbers, powers
+//! of two, Motzkin-like counts), so exact counting, sampling, and the CNF
+//! pipeline can all be validated against closed forms.
+
+use rand::Rng;
+
+use lsc_automata::families::random_nfa;
+use lsc_automata::Alphabet;
+
+use crate::grammar::Cfg;
+use crate::regular::nfa_to_right_linear;
+
+/// Dyck words over `( )`: `S → ( S ) S | ε`. Unambiguous;
+/// `|L_{2k}| = Catalan(k)`.
+pub fn dyck() -> Cfg {
+    Cfg::parse("S -> ( S ) S | eps").expect("static grammar parses")
+}
+
+/// Binary palindromes: `S → 0S0 | 1S1 | 0 | 1 | ε`. Unambiguous;
+/// `|L_n| = 2^{⌈n/2⌉}`.
+pub fn binary_palindromes() -> Cfg {
+    Cfg::parse("S -> 0 S 0 | 1 S 1 | 0 | 1 | eps").expect("static grammar parses")
+}
+
+/// The classic unambiguous arithmetic-expression grammar over
+/// `{ +, *, (, ), x }` with precedence encoded in the levels.
+pub fn arithmetic_expressions() -> Cfg {
+    Cfg::parse(
+        "E -> E + T | T\n\
+         T -> T * F | F\n\
+         F -> ( E ) | x\n",
+    )
+    .expect("static grammar parses")
+}
+
+/// The ambiguous arithmetic-expression grammar `E → E+E | E*E | (E) | x` —
+/// same language as [`arithmetic_expressions`], exponentially many parse
+/// trees per word (the CFG analogue of the paper's ambiguity-gap NFA family).
+pub fn ambiguous_arithmetic() -> Cfg {
+    Cfg::parse("E -> E + E | E * E | ( E ) | x").expect("static grammar parses")
+}
+
+/// A random right-linear grammar, produced by sampling a random NFA and
+/// transcribing it ([`nfa_to_right_linear`]); the grammar inherits the
+/// automaton's ambiguity structure.
+pub fn random_right_linear<R: Rng + ?Sized>(
+    states: usize,
+    alphabet: Alphabet,
+    density: f64,
+    accept_prob: f64,
+    rng: &mut R,
+) -> Cfg {
+    nfa_to_right_linear(&random_nfa(states, alphabet, density, accept_prob, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use crate::count::DerivationTable;
+    use crate::cyk::ambiguity_witness_up_to;
+    use crate::regular::is_right_linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dyck_is_unambiguous_up_to_10() {
+        assert!(ambiguity_witness_up_to(&Cnf::from_cfg(&dyck()), 10).is_none());
+    }
+
+    #[test]
+    fn palindromes_are_unambiguous_up_to_10() {
+        assert!(ambiguity_witness_up_to(&Cnf::from_cfg(&binary_palindromes()), 10).is_none());
+    }
+
+    #[test]
+    fn expression_grammar_is_unambiguous_up_to_7() {
+        assert!(ambiguity_witness_up_to(&Cnf::from_cfg(&arithmetic_expressions()), 7).is_none());
+    }
+
+    #[test]
+    fn ambiguous_arithmetic_is_ambiguous() {
+        let (w, trees) = ambiguity_witness_up_to(&Cnf::from_cfg(&ambiguous_arithmetic()), 5)
+            .expect("x+x*x is an ambiguity witness");
+        assert_eq!(w.len(), 5);
+        assert!(trees.to_u64().unwrap() >= 2);
+    }
+
+    #[test]
+    fn both_arithmetic_grammars_define_the_same_language_sizes() {
+        // Same language ⇒ the *unambiguous* grammar's derivation counts are
+        // the word counts; the ambiguous one overcounts (strictly, from the
+        // first ambiguous length on).
+        let amb = DerivationTable::build(&Cnf::from_cfg(&ambiguous_arithmetic()), 7);
+        let una = DerivationTable::build(&Cnf::from_cfg(&arithmetic_expressions()), 7);
+        for len in 0..=4usize {
+            assert_eq!(amb.derivations(len), una.derivations(len), "length {len}");
+        }
+        for len in [5usize, 7] {
+            assert!(amb.derivations(len) > una.derivations(len), "length {len}");
+        }
+    }
+
+    #[test]
+    fn random_right_linear_is_right_linear() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let g = random_right_linear(6, Alphabet::binary(), 0.3, 0.5, &mut rng);
+            assert!(is_right_linear(&g));
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Context-free grammars over the shared [`Alphabet`] type.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lsc_automata::{Alphabet, Symbol};
+
+/// Index of a nonterminal in a grammar's nonterminal table.
+pub type NonTerminalId = usize;
+
+/// One symbol of a production body: a terminal of the alphabet or a
+/// nonterminal of the grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GSym {
+    /// A terminal symbol.
+    T(Symbol),
+    /// A nonterminal reference.
+    N(NonTerminalId),
+}
+
+/// A production `lhs → body` (empty `body` = ε-production).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Production {
+    /// The left-hand-side nonterminal.
+    pub lhs: NonTerminalId,
+    /// The (possibly empty) body.
+    pub body: Vec<GSym>,
+}
+
+/// A context-free grammar `G = (V, Σ, P, S)`.
+///
+/// The relation `MEM-CFG = {((G, 0^n), w) | w ∈ L(G), |w| = n}` is the
+/// context-free analogue of the paper's `MEM-NFA`. Its counting problem is
+/// the classic word-counting problem for CFGs, for which only
+/// quasi-polynomial randomized approximation is known in general
+/// \[GJK+97\] — the paper's FPRAS covers exactly the *regular* fragment
+/// (see [`crate::regular`]), while the *unambiguous* fragment has exact
+/// polynomial counting and sampling (see [`crate::count`],
+/// [`crate::sample`]), mirroring the paper's UFA story.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    alphabet: Alphabet,
+    nonterminals: Vec<String>,
+    start: NonTerminalId,
+    productions: Vec<Production>,
+    by_lhs: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds a grammar from parts. Productions are deduplicated; duplicate
+    /// productions would silently inflate derivation counts.
+    ///
+    /// # Panics
+    /// Panics if `start` or any production symbol is out of range.
+    pub fn new(
+        alphabet: Alphabet,
+        nonterminals: Vec<String>,
+        start: NonTerminalId,
+        mut productions: Vec<Production>,
+    ) -> Cfg {
+        assert!(start < nonterminals.len(), "start nonterminal out of range");
+        for p in &productions {
+            assert!(p.lhs < nonterminals.len(), "production lhs out of range");
+            for s in &p.body {
+                match *s {
+                    GSym::T(t) => assert!(
+                        (t as usize) < alphabet.len(),
+                        "terminal {t} outside alphabet of size {}",
+                        alphabet.len()
+                    ),
+                    GSym::N(n) => {
+                        assert!(n < nonterminals.len(), "nonterminal {n} out of range")
+                    }
+                }
+            }
+        }
+        productions.sort_by(|a, b| (a.lhs, &a.body).cmp(&(b.lhs, &b.body)));
+        productions.dedup();
+        let mut by_lhs = vec![Vec::new(); nonterminals.len()];
+        for (i, p) in productions.iter().enumerate() {
+            by_lhs[p.lhs].push(i);
+        }
+        Cfg { alphabet, nonterminals, start, productions, by_lhs }
+    }
+
+    /// The terminal alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Nonterminal names, indexed by [`NonTerminalId`].
+    pub fn nonterminals(&self) -> &[String] {
+        &self.nonterminals
+    }
+
+    /// Number of nonterminals.
+    pub fn num_nonterminals(&self) -> usize {
+        self.nonterminals.len()
+    }
+
+    /// The start nonterminal.
+    pub fn start(&self) -> NonTerminalId {
+        self.start
+    }
+
+    /// All productions, sorted by `(lhs, body)`.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Indices into [`Cfg::productions`] with the given left-hand side.
+    pub fn productions_of(&self, nt: NonTerminalId) -> impl Iterator<Item = &Production> + '_ {
+        self.by_lhs[nt].iter().map(|&i| &self.productions[i])
+    }
+
+    /// Nonterminals that derive at least one terminal string (the
+    /// "generating" symbols of the classic useless-symbol analysis).
+    pub fn generating(&self) -> Vec<bool> {
+        let mut gen = vec![false; self.nonterminals.len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.productions {
+                if gen[p.lhs] {
+                    continue;
+                }
+                let ok = p.body.iter().all(|s| match *s {
+                    GSym::T(_) => true,
+                    GSym::N(n) => gen[n],
+                });
+                if ok {
+                    gen[p.lhs] = true;
+                    changed = true;
+                }
+            }
+        }
+        gen
+    }
+
+    /// Nonterminals reachable from the start symbol.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut reach = vec![false; self.nonterminals.len()];
+        reach[self.start] = true;
+        let mut stack = vec![self.start];
+        while let Some(a) = stack.pop() {
+            for &i in &self.by_lhs[a] {
+                for s in &self.productions[i].body {
+                    if let GSym::N(n) = *s {
+                        if !reach[n] {
+                            reach[n] = true;
+                            stack.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        reach
+    }
+
+    /// Is the language empty? (The start symbol generates nothing.)
+    pub fn is_empty_language(&self) -> bool {
+        !self.generating()[self.start]
+    }
+
+    /// Removes nonterminals that are unreachable or non-generating, and all
+    /// productions touching them. The start symbol is always kept (possibly
+    /// with no productions, if the language is empty).
+    pub fn trimmed(&self) -> Cfg {
+        let gen = self.generating();
+        let reach = self.reachable();
+        let keep: Vec<bool> = (0..self.nonterminals.len())
+            .map(|i| (gen[i] && reach[i]) || i == self.start)
+            .collect();
+        let mut remap = vec![usize::MAX; self.nonterminals.len()];
+        let mut names = Vec::new();
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = names.len();
+                names.push(self.nonterminals[i].clone());
+            }
+        }
+        let productions = self
+            .productions
+            .iter()
+            .filter(|p| {
+                keep[p.lhs]
+                    && p.body.iter().all(|s| match *s {
+                        GSym::T(_) => true,
+                        GSym::N(n) => keep[n] && gen[n],
+                    })
+            })
+            .map(|p| Production {
+                lhs: remap[p.lhs],
+                body: p
+                    .body
+                    .iter()
+                    .map(|s| match *s {
+                        GSym::T(t) => GSym::T(t),
+                        GSym::N(n) => GSym::N(remap[n]),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Cfg::new(self.alphabet.clone(), names, remap[self.start], productions)
+    }
+
+    /// Parses the textual grammar format:
+    ///
+    /// ```text
+    /// # Dyck words over ().
+    /// S -> ( S ) S | eps
+    /// ```
+    ///
+    /// One rule per line, `|` separates alternatives, tokens are separated by
+    /// whitespace. A token is a nonterminal iff it appears on some left-hand
+    /// side; every other token must be a single character, which becomes a
+    /// terminal of the alphabet (collected in sorted order). `eps` (or `ε`)
+    /// denotes the empty body. The start symbol is the first left-hand side.
+    /// Lines starting with `#` and blank lines are ignored.
+    ///
+    /// # Errors
+    /// Returns [`ParseGrammarError`] on malformed input.
+    pub fn parse(text: &str) -> Result<Cfg, ParseGrammarError> {
+        let mut rules: Vec<(String, Vec<Vec<String>>)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (lhs, rhs) = line.split_once("->").ok_or(ParseGrammarError {
+                line: lineno + 1,
+                kind: ParseGrammarErrorKind::MissingArrow,
+            })?;
+            let lhs = lhs.trim();
+            if lhs.is_empty() || lhs.split_whitespace().count() != 1 {
+                return Err(ParseGrammarError {
+                    line: lineno + 1,
+                    kind: ParseGrammarErrorKind::BadLhs,
+                });
+            }
+            let alternatives = rhs
+                .split('|')
+                .map(|alt| alt.split_whitespace().map(str::to_owned).collect::<Vec<_>>())
+                .collect::<Vec<_>>();
+            rules.push((lhs.to_owned(), alternatives));
+        }
+        if rules.is_empty() {
+            return Err(ParseGrammarError { line: 0, kind: ParseGrammarErrorKind::NoRules });
+        }
+        // Pass 1: nonterminals are exactly the LHS names, in order of first
+        // appearance.
+        let mut nt_index: HashMap<&str, NonTerminalId> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        for (lhs, _) in &rules {
+            if !nt_index.contains_key(lhs.as_str()) {
+                nt_index.insert(lhs, names.len());
+                names.push(lhs.clone());
+            }
+        }
+        // Pass 2: collect terminals (single-char tokens that are not
+        // nonterminals and not `eps`).
+        let mut term_chars: Vec<char> = Vec::new();
+        for (_, alts) in &rules {
+            for alt in alts {
+                for tok in alt {
+                    if nt_index.contains_key(tok.as_str()) || tok == "eps" || tok == "ε" {
+                        continue;
+                    }
+                    let mut chars = tok.chars();
+                    match (chars.next(), chars.next()) {
+                        (Some(c), None) => term_chars.push(c),
+                        _ => {
+                            return Err(ParseGrammarError {
+                                line: 0,
+                                kind: ParseGrammarErrorKind::BadTerminal(tok.clone()),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        term_chars.sort_unstable();
+        term_chars.dedup();
+        let alphabet = Alphabet::from_chars(&term_chars);
+        // Pass 3: build productions.
+        let mut productions = Vec::new();
+        for (lhs, alts) in &rules {
+            let lhs_id = nt_index[lhs.as_str()];
+            for alt in alts {
+                let mut body = Vec::new();
+                let mut is_eps = false;
+                for tok in alt {
+                    if tok == "eps" || tok == "ε" {
+                        is_eps = true;
+                        continue;
+                    }
+                    if let Some(&n) = nt_index.get(tok.as_str()) {
+                        body.push(GSym::N(n));
+                    } else {
+                        let c = tok.chars().next().expect("validated above");
+                        let sym = alphabet.symbol_of(c).expect("collected above");
+                        body.push(GSym::T(sym));
+                    }
+                }
+                if is_eps && !body.is_empty() {
+                    return Err(ParseGrammarError {
+                        line: 0,
+                        kind: ParseGrammarErrorKind::EpsInNonEmptyBody,
+                    });
+                }
+                productions.push(Production { lhs: lhs_id, body });
+            }
+        }
+        Ok(Cfg::new(alphabet, names, 0, productions))
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (nt, name) in self.nonterminals.iter().enumerate() {
+            let alts: Vec<String> = self
+                .productions_of(nt)
+                .map(|p| {
+                    if p.body.is_empty() {
+                        "ε".to_owned()
+                    } else {
+                        p.body
+                            .iter()
+                            .map(|s| match *s {
+                                GSym::T(t) => self.alphabet.name(t),
+                                GSym::N(n) => self.nonterminals[n].clone(),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    }
+                })
+                .collect();
+            if !alts.is_empty() {
+                writeln!(f, "{} -> {}", name, alts.join(" | "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A grammar-text parse error with its (1-based) line when known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseGrammarError {
+    /// 1-based line number; 0 when the error is not tied to a line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseGrammarErrorKind,
+}
+
+/// The ways grammar text can be malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseGrammarErrorKind {
+    /// A rule line without `->`.
+    MissingArrow,
+    /// The left-hand side is not a single token.
+    BadLhs,
+    /// No rules at all.
+    NoRules,
+    /// A terminal token longer than one character.
+    BadTerminal(String),
+    /// `eps` mixed with other symbols in one alternative.
+    EpsInNonEmptyBody,
+}
+
+impl fmt::Display for ParseGrammarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseGrammarErrorKind::MissingArrow => {
+                write!(f, "line {}: rule is missing '->'", self.line)
+            }
+            ParseGrammarErrorKind::BadLhs => {
+                write!(f, "line {}: left-hand side must be a single token", self.line)
+            }
+            ParseGrammarErrorKind::NoRules => f.write_str("grammar has no rules"),
+            ParseGrammarErrorKind::BadTerminal(t) => {
+                write!(f, "terminal token {t:?} must be a single character")
+            }
+            ParseGrammarErrorKind::EpsInNonEmptyBody => {
+                f.write_str("'eps' cannot be mixed with other symbols in one alternative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGrammarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) const DYCK: &str = "S -> ( S ) S | eps";
+
+    #[test]
+    fn parse_dyck() {
+        let g = Cfg::parse(DYCK).unwrap();
+        assert_eq!(g.num_nonterminals(), 1);
+        assert_eq!(g.alphabet().len(), 2);
+        assert_eq!(g.productions().len(), 2);
+        let rendered = g.to_string();
+        assert!(rendered.contains("S ->"), "got {rendered}");
+    }
+
+    #[test]
+    fn parse_multiline_with_comments() {
+        let g = Cfg::parse(
+            "# classic unambiguous expression grammar\n\
+             E -> E + T | T\n\
+             T -> T * F | F\n\
+             F -> ( E ) | x\n",
+        )
+        .unwrap();
+        assert_eq!(g.num_nonterminals(), 3);
+        assert_eq!(g.start(), 0);
+        assert_eq!(g.alphabet().len(), 5); // ( ) * + x
+        assert_eq!(g.productions().len(), 6);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            Cfg::parse("S ( S )").unwrap_err().kind,
+            ParseGrammarErrorKind::MissingArrow
+        );
+        assert_eq!(Cfg::parse("").unwrap_err().kind, ParseGrammarErrorKind::NoRules);
+        assert_eq!(
+            Cfg::parse("S -> ab S").unwrap_err().kind,
+            ParseGrammarErrorKind::BadTerminal("ab".into())
+        );
+        assert_eq!(
+            Cfg::parse("S -> eps S").unwrap_err().kind,
+            ParseGrammarErrorKind::EpsInNonEmptyBody
+        );
+    }
+
+    #[test]
+    fn duplicate_productions_are_merged() {
+        let g = Cfg::parse("S -> a | a | a S").unwrap();
+        assert_eq!(g.productions().len(), 2);
+    }
+
+    #[test]
+    fn generating_and_reachable_analysis() {
+        // B is reachable but not generating; C is generating but unreachable.
+        let g = Cfg::parse(
+            "S -> a S | B | a\n\
+             B -> a B\n\
+             C -> a\n",
+        )
+        .unwrap();
+        let gen = g.generating();
+        let reach = g.reachable();
+        assert!(gen[0] && !gen[1] && gen[2]);
+        assert!(reach[0] && reach[1] && !reach[2]);
+        let t = g.trimmed();
+        assert_eq!(t.num_nonterminals(), 1);
+        assert_eq!(t.productions().len(), 2); // S -> a S | a
+        assert!(!t.is_empty_language());
+    }
+
+    #[test]
+    fn empty_language_detected() {
+        let g = Cfg::parse("S -> a S").unwrap();
+        assert!(g.is_empty_language());
+        let t = g.trimmed();
+        assert_eq!(t.num_nonterminals(), 1); // start survives
+        assert!(t.is_empty_language());
+    }
+}

@@ -1,0 +1,56 @@
+//! Context-free grammars for the logspace-classes reproduction.
+//!
+//! The paper situates its #NFA FPRAS against the corresponding problem for
+//! context-free languages: counting and sampling words of a CFG, where only
+//! a *quasi-polynomial* randomized scheme is known \[GJK+97\]. This crate
+//! makes that contrast executable by implementing the grammar side of the
+//! story from scratch:
+//!
+//! * [`Cfg`] — grammars over the shared automata [`Alphabet`](lsc_automata::Alphabet),
+//!   with a text format, useless-symbol analysis, and trimming;
+//! * [`Cnf`] — Chomsky normal form, the substrate for all counting
+//!   ([`cnf`]);
+//! * [`cyk`] — recognition and exact parse-tree counting per word
+//!   (the grammar analogue of runs-per-word for NFAs);
+//! * [`count`] — the `O(|P|·n²)` derivation-counting DP: exact word counts
+//!   for **unambiguous** grammars, mirroring the paper's exact `#L` counting
+//!   for UFAs (§5.3.2);
+//! * [`sample`] — exact uniform generation of parse trees (words, when
+//!   unambiguous), mirroring §5.3.3;
+//! * [`regular`] — the right-linear fragment bridged to [`MemNfa`](lsc_core::MemNfa)
+//!   with a run/tree bijection, so **ambiguous but regular** grammars inherit
+//!   the paper's FPRAS, polynomial-delay enumeration, and Las Vegas sampling;
+//! * [`families`] — grammars with known closed-form counts (Dyck/Catalan,
+//!   palindromes, expression grammars) for validation and benchmarks.
+//!
+//! The three-way split — exact (unambiguous), FPRAS (regular), open
+//! (general ambiguous CFG) — is the crate's thesis, and experiment E10
+//! (`lsc-bench`) reports it as a table.
+//!
+//! ```
+//! use lsc_grammar::{families, Cnf, DerivationTable, TreeSampler};
+//!
+//! // Dyck words of length 8: |L_8| = Catalan(4) = 14, counted exactly and
+//! // sampled exactly uniformly (the grammar is unambiguous).
+//! let cnf = Cnf::from_cfg(&families::dyck());
+//! let table = DerivationTable::build(&cnf, 8);
+//! assert_eq!(table.derivations(8).to_u64(), Some(14));
+//!
+//! let sampler = TreeSampler::new(&table, 8);
+//! let word = sampler.sample(&mut rand::thread_rng()).unwrap();
+//! assert_eq!(word.len(), 8);
+//! assert!(lsc_grammar::cyk::cyk_accepts(&cnf, &word));
+//! ```
+
+pub mod cnf;
+pub mod count;
+pub mod cyk;
+pub mod families;
+mod grammar;
+pub mod regular;
+pub mod sample;
+
+pub use cnf::Cnf;
+pub use count::DerivationTable;
+pub use grammar::{Cfg, GSym, NonTerminalId, ParseGrammarError, ParseGrammarErrorKind, Production};
+pub use sample::TreeSampler;

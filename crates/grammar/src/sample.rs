@@ -1,0 +1,214 @@
+//! Uniform generation of parse trees (and, for unambiguous grammars, words).
+//!
+//! This is the grammar analogue of the paper's §5.3.3 generator for MEM-UFA:
+//! walk the counting table top-down, choosing each production and split point
+//! with probability proportional to the number of completions, so every parse
+//! tree of yield length `n` is produced with probability `1 / D[S][n]`. All
+//! bucket arithmetic is exact (`BigNat` draws via rejection from raw bits),
+//! so the distribution is *exactly* uniform, not uniform-up-to-float-error —
+//! matching the paper's insistence on exact uniformity for the UFA case.
+//!
+//! For an unambiguous grammar, trees are in bijection with words and the
+//! sampler is an exact uniform word generator. For an ambiguous grammar it
+//! remains exactly uniform over trees, which skews toward ambiguous words —
+//! the same skew that makes naive run-sampling useless for NFAs (§6.1); the
+//! test suite demonstrates the skew on `S → SS | a`-style grammars.
+
+use lsc_arith::BigNat;
+use lsc_automata::{Symbol, Word};
+use rand::Rng;
+
+use crate::count::DerivationTable;
+use crate::grammar::NonTerminalId;
+
+/// Exact uniform sampler over parse trees of a fixed yield length.
+pub struct TreeSampler<'t> {
+    table: &'t DerivationTable,
+    len: usize,
+    total: BigNat,
+}
+
+impl<'t> TreeSampler<'t> {
+    /// Prepares a sampler for yield length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the table's tabulated range.
+    pub fn new(table: &'t DerivationTable, len: usize) -> TreeSampler<'t> {
+        assert!(len <= table.max_len(), "length {len} beyond table range {}", table.max_len());
+        TreeSampler { table, len, total: table.derivations(len) }
+    }
+
+    /// The number of trees being sampled over (`D[S][len]`).
+    pub fn support(&self) -> &BigNat {
+        &self.total
+    }
+
+    /// Draws one word, the yield of a uniformly random parse tree of length
+    /// `len`; `None` if there are no such trees.
+    ///
+    /// Exactly uniform over *trees*; over *words* iff the grammar is
+    /// unambiguous.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Word> {
+        if self.total.is_zero() {
+            return None;
+        }
+        let mut word = Vec::with_capacity(self.len);
+        if self.len == 0 {
+            return Some(word); // ε-tree: total is nonzero, so ε ∈ L.
+        }
+        self.descend(self.table.cnf().start(), self.len, &mut word, rng);
+        debug_assert_eq!(word.len(), self.len);
+        Some(word)
+    }
+
+    /// Expands `nt` into a uniformly chosen tree with yield length `len`,
+    /// appending terminals to `word` left to right.
+    fn descend<R: Rng + ?Sized>(
+        &self,
+        nt: NonTerminalId,
+        len: usize,
+        word: &mut Vec<Symbol>,
+        rng: &mut R,
+    ) {
+        let cnf = self.table.cnf();
+        if len == 1 {
+            // Terminal rules all weigh 1: a uniform index suffices.
+            let rules = cnf.term_rules(nt);
+            debug_assert!(!rules.is_empty(), "descended into a zero-count cell");
+            let i = lsc_arith::uniform_below_u64(rules.len() as u64, rng) as usize;
+            word.push(rules[i]);
+            return;
+        }
+        // Draw a bucket index below D[nt][len], then walk (rule, split)
+        // buckets of weight D[B][i]·D[C][len-i] until it lands.
+        let total = self.table.trees(nt, len);
+        debug_assert!(!total.is_zero(), "descended into a zero-count cell");
+        let mut r = BigNat::uniform_below(total, rng);
+        for &(b, c) in cnf.bin_rules(nt) {
+            for i in 1..len {
+                let left = self.table.trees(b, i);
+                if left.is_zero() {
+                    continue;
+                }
+                let right = self.table.trees(c, len - i);
+                if right.is_zero() {
+                    continue;
+                }
+                let weight = left.mul_ref(right);
+                match r.checked_sub(&weight) {
+                    Some(rest) => r = rest,
+                    None => {
+                        self.descend(b, i, word, rng);
+                        self.descend(c, len - i, word, rng);
+                        return;
+                    }
+                }
+            }
+        }
+        unreachable!("bucket walk exhausted weights below the cell total");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+    use crate::cyk::{cyk_accepts, cyk_tree_count};
+    use crate::grammar::Cfg;
+    use lsc_core::sample::SampleStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table_of(text: &str, n: usize) -> DerivationTable {
+        DerivationTable::build(&Cnf::from_cfg(&Cfg::parse(text).unwrap()), n)
+    }
+
+    #[test]
+    fn samples_are_members_of_the_language() {
+        let t = table_of("S -> ( S ) S | eps", 12);
+        let s = TreeSampler::new(&t, 12);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let w = s.sample(&mut rng).unwrap();
+            assert_eq!(w.len(), 12);
+            assert!(cyk_accepts(t.cnf(), &w), "sampled non-member {w:?}");
+        }
+    }
+
+    #[test]
+    fn dyck_sampling_is_uniform() {
+        // Length 8: Catalan(4) = 14 words, each with one tree. Chi-square
+        // over the full support.
+        let t = table_of("S -> ( S ) S | eps", 8);
+        let s = TreeSampler::new(&t, 8);
+        assert_eq!(s.support().to_u64(), Some(14));
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut stats = SampleStats::new();
+        for _ in 0..2800 {
+            stats.record(s.sample(&mut rng).unwrap());
+        }
+        assert_eq!(stats.distinct(), 14);
+        assert!(stats.looks_uniform(14), "chi² = {}", stats.chi_square(14));
+    }
+
+    #[test]
+    fn palindrome_sampling_is_uniform() {
+        let t = table_of("S -> 0 S 0 | 1 S 1 | 0 | 1 | eps", 7);
+        let s = TreeSampler::new(&t, 7);
+        assert_eq!(s.support().to_u64(), Some(16)); // 2^4
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut stats = SampleStats::new();
+        for _ in 0..3200 {
+            stats.record(s.sample(&mut rng).unwrap());
+        }
+        assert_eq!(stats.distinct(), 16);
+        assert!(stats.looks_uniform(16), "chi² = {}", stats.chi_square(16));
+    }
+
+    #[test]
+    fn ambiguous_grammar_skews_toward_ambiguous_words() {
+        // L(G) at length 3 for G: S -> S S | a | b has words over {a,b}³,
+        // but words are weighted by tree count (2 trees each at length 3,
+        // uniformly — so actually uniform here). Use a grammar where counts
+        // differ per word: S -> S S | a | b b. At length 4: the word a⁴ has
+        // 5 trees (Catalan over 4 leaves), while b⁴ (= (bb)(bb)) has 1.
+        let t = table_of("S -> S S | a | b b", 4);
+        let s = TreeSampler::new(&t, 4);
+        let cnf = t.cnf();
+        let a = cnf.alphabet().symbol_of('a').unwrap();
+        let b = cnf.alphabet().symbol_of('b').unwrap();
+        let aaaa = vec![a, a, a, a];
+        let bbbb = vec![b, b, b, b];
+        assert_eq!(cyk_tree_count(cnf, &aaaa).to_u64(), Some(5));
+        assert_eq!(cyk_tree_count(cnf, &bbbb).to_u64(), Some(1));
+        let mut rng = StdRng::seed_from_u64(14);
+        let (mut na, mut nb) = (0u32, 0u32);
+        for _ in 0..4000 {
+            let w = s.sample(&mut rng).unwrap();
+            if w == aaaa {
+                na += 1;
+            } else if w == bbbb {
+                nb += 1;
+            }
+        }
+        // Tree-uniform ⇒ a⁴ appears ~5× as often as b⁴.
+        assert!(na > 3 * nb, "na={na}, nb={nb}");
+        assert!(nb > 0, "b⁴ must still appear");
+    }
+
+    #[test]
+    fn empty_support_yields_none() {
+        let t = table_of("S -> ( S ) S | eps", 5);
+        let s = TreeSampler::new(&t, 5); // odd length: no Dyck words
+        let mut rng = StdRng::seed_from_u64(15);
+        assert!(s.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn epsilon_sampling() {
+        let t = table_of("S -> ( S ) S | eps", 4);
+        let s = TreeSampler::new(&t, 0);
+        let mut rng = StdRng::seed_from_u64(16);
+        assert_eq!(s.sample(&mut rng).unwrap(), Vec::<Symbol>::new());
+    }
+}

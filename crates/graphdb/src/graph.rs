@@ -1,0 +1,110 @@
+//! Labeled graph databases.
+
+use lsc_automata::{Alphabet, Symbol};
+
+/// A node identifier.
+pub type NodeId = usize;
+
+/// An edge identifier (index into the edge table — also the symbol the
+/// product automaton reads).
+pub type EdgeId = usize;
+
+/// A graph database `G = (V, E)` with `E ⊆ V × Σ × V` (§4.2).
+#[derive(Clone, Debug)]
+pub struct LabeledGraph {
+    num_nodes: usize,
+    alphabet: Alphabet,
+    edges: Vec<(NodeId, Symbol, NodeId)>,
+    /// Outgoing edge ids per node.
+    out: Vec<Vec<EdgeId>>,
+}
+
+impl LabeledGraph {
+    /// An empty graph on `num_nodes` nodes with edge labels from `alphabet`.
+    pub fn new(num_nodes: usize, alphabet: Alphabet) -> Self {
+        LabeledGraph {
+            num_nodes,
+            alphabet,
+            edges: Vec::new(),
+            out: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Adds a labeled edge, returning its id. Parallel edges (same endpoints,
+    /// same label) are allowed and remain distinct paths, as in multigraph
+    /// semantics.
+    pub fn add_edge(&mut self, from: NodeId, label: Symbol, to: NodeId) -> EdgeId {
+        assert!(from < self.num_nodes && to < self.num_nodes);
+        assert!((label as usize) < self.alphabet.len());
+        let id = self.edges.len();
+        self.edges.push((from, label, to));
+        self.out[from].push(id);
+        id
+    }
+
+    /// The `(from, label, to)` triple of an edge.
+    pub fn edge(&self, id: EdgeId) -> (NodeId, Symbol, NodeId) {
+        self.edges[id]
+    }
+
+    /// Outgoing edge ids of a node.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out[node]
+    }
+
+    /// The label word along a sequence of edge ids, or `None` if the edges do
+    /// not form a path starting at `from`.
+    pub fn label_word(&self, from: NodeId, edge_ids: &[EdgeId]) -> Option<Vec<Symbol>> {
+        let mut cur = from;
+        let mut word = Vec::with_capacity(edge_ids.len());
+        for &e in edge_ids {
+            let (u, l, v) = self.edge(e);
+            if u != cur {
+                return None;
+            }
+            word.push(l);
+            cur = v;
+        }
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = LabeledGraph::new(3, Alphabet::lowercase(2));
+        let e0 = g.add_edge(0, 0, 1); // a
+        let e1 = g.add_edge(1, 1, 2); // b
+        let e2 = g.add_edge(0, 0, 1); // parallel a
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge(e1), (1, 1, 2));
+        assert_eq!(g.out_edges(0), &[e0, e2]);
+        assert_eq!(g.label_word(0, &[e0, e1]), Some(vec![0, 1]));
+        assert_eq!(g.label_word(1, &[e0]), None, "edge must start at cursor");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_endpoint_panics() {
+        let mut g = LabeledGraph::new(2, Alphabet::lowercase(1));
+        g.add_edge(0, 0, 5);
+    }
+}

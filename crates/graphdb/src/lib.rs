@@ -1,0 +1,55 @@
+//! Regular path queries over graph databases, reduced to MEM-NFA (paper §4.2).
+//!
+//! `EVAL-RPQ = {((Q, 0^n, G, u, v), π) : π ∈ ⟦Q⟧_n(G, u, v)}` — witnesses are
+//! the *paths* of length exactly `n` from `u` to `v` whose label word matches
+//! the query's regular expression. Corollary 8: counting such paths admits an
+//! FPRAS and sampling a PLVUG, in combined complexity — previously open, and
+//! the practical payoff of the paper's framework for property-path semantics
+//! (the SPARQL "counting beyond a yottabyte" problem of \[ACP12\]).
+//!
+//! The reduction must keep witnesses as paths, not label words (many paths can
+//! share a word), so the product automaton `G × A_R` reads **edge identifiers**:
+//! a word over the edge alphabet *is* a path, and `W(x) = L_n(N_x)` on the
+//! nose. Everything else is [`lsc_core::MemNfa`] machinery.
+
+mod graph;
+mod pairs;
+mod rpq;
+
+pub use graph::{EdgeId, LabeledGraph, NodeId};
+pub use pairs::{grid_graph, rpq_pairs};
+pub use rpq::{RpqInstance, RpqPath};
+
+use rand::Rng;
+
+/// A uniformly random labeled multigraph: `nodes` nodes, `edges` edges with
+/// endpoints and labels drawn uniformly.
+pub fn random_graph<R: Rng + ?Sized>(
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+    rng: &mut R,
+) -> LabeledGraph {
+    assert!(nodes > 0 && labels > 0 && labels <= 26);
+    let mut g = LabeledGraph::new(nodes, lsc_automata::Alphabet::lowercase(labels));
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        let l = rng.gen_range(0..labels) as u32;
+        g.add_edge(u, l, v);
+    }
+    g
+}
+
+/// The \[ACP12\]-style blowup instance: a tiny graph on which the number of
+/// paths explodes — `nodes` states in a cycle, every node also carrying a
+/// self-loop, all labeled `a`. Path counts of length `n` from node 0 to
+/// itself grow exponentially in `n`.
+pub fn yottabyte_graph(nodes: usize) -> LabeledGraph {
+    let mut g = LabeledGraph::new(nodes, lsc_automata::Alphabet::lowercase(1));
+    for u in 0..nodes {
+        g.add_edge(u, 0, (u + 1) % nodes);
+        g.add_edge(u, 0, u);
+    }
+    g
+}

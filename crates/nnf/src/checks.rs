@@ -1,0 +1,186 @@
+//! Structural property checks: decomposability, determinism, smoothness.
+//!
+//! A circuit is **d-DNNF** when every `And` is decomposable (children over
+//! pairwise disjoint variables) and every `Or` is deterministic (children
+//! pairwise logically inconsistent). Decomposability and smoothness are
+//! syntactic and checked exactly in one pass. Determinism is semantic and
+//! coNP-hard in general, so [`determinism_violation`] is a *bounded* exact
+//! check: it brute-forces each `Or` over the union of its children's
+//! variables and reports [`CheckOutcome::TooLarge`] past a caller-chosen
+//! width — honest about what was and was not verified, the same discipline
+//! the paper applies to its own corner cases (§5.2).
+
+use crate::circuit::{NnfCircuit, NnfNode, NodeId};
+
+/// Finds an `And` node whose children share a variable, if any.
+pub fn decomposability_violation(c: &NnfCircuit) -> Option<NodeId> {
+    for id in c.ids() {
+        if let NnfNode::And(children) = c.node(id) {
+            for (i, &a) in children.iter().enumerate() {
+                for &b in &children[i + 1..] {
+                    if !c.vars(a).is_disjoint(c.vars(b)) {
+                        return Some(id);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Finds an `Or` node with a child mentioning fewer variables than the gate
+/// (a smoothness violation), if any.
+pub fn smoothness_violation(c: &NnfCircuit) -> Option<NodeId> {
+    for id in c.ids() {
+        if let NnfNode::Or(children) = c.node(id) {
+            let gate_vars = c.vars(id);
+            if children.iter().any(|&ch| c.vars(ch).len() != gate_vars.len()) {
+                return Some(id);
+            }
+        }
+    }
+    None
+}
+
+/// Result of the bounded determinism check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Every `Or` node was verified deterministic.
+    Holds,
+    /// This `Or` node has two children satisfiable together.
+    Violated(NodeId),
+    /// This `Or` node spans more variables than the brute-force budget.
+    TooLarge(NodeId),
+}
+
+/// Checks that every `Or` node's children are pairwise inconsistent, by
+/// brute force over the (union) variables of each child pair, up to
+/// `max_vars` variables per pair (`2^max_vars` evaluations each).
+pub fn determinism_violation(c: &NnfCircuit, max_vars: usize) -> CheckOutcome {
+    // Partial evaluation: node truth under an assignment of the pair's
+    // variables only. Sound because eval of a node reads only vars(node),
+    // and both children's varsets are inside the assigned set.
+    for id in c.ids() {
+        if let NnfNode::Or(children) = c.node(id) {
+            for (i, &a) in children.iter().enumerate() {
+                for &b in &children[i + 1..] {
+                    let mut vars: Vec<u32> = c.vars(a).iter().collect();
+                    for v in c.vars(b).iter() {
+                        if !c.vars(a).contains(v) {
+                            vars.push(v);
+                        }
+                    }
+                    if vars.len() > max_vars {
+                        return CheckOutcome::TooLarge(id);
+                    }
+                    if pair_consistent(c, a, b, &vars) {
+                        return CheckOutcome::Violated(id);
+                    }
+                }
+            }
+        }
+    }
+    CheckOutcome::Holds
+}
+
+/// Is there an assignment of `vars` satisfying both `a` and `b`?
+fn pair_consistent(c: &NnfCircuit, a: NodeId, b: NodeId, vars: &[u32]) -> bool {
+    let mut assignment = vec![false; c.num_vars()];
+    for code in 0..(1u64 << vars.len()) {
+        for (bit, &v) in vars.iter().enumerate() {
+            assignment[v as usize] = code >> bit & 1 == 1;
+        }
+        if eval_node(c, a, &assignment) && eval_node(c, b, &assignment) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Evaluates a single node (not the root) on a full assignment.
+pub(crate) fn eval_node(c: &NnfCircuit, id: NodeId, assignment: &[bool]) -> bool {
+    // Memo-free recursion is fine here: circuits in the brute-force checks
+    // are small by the max_vars budget.
+    match c.node(id) {
+        NnfNode::True => true,
+        NnfNode::False => false,
+        NnfNode::Lit { var, positive } => assignment[*var as usize] == *positive,
+        NnfNode::And(cs) => cs.iter().all(|&ch| eval_node(c, ch, assignment)),
+        NnfNode::Or(cs) => cs.iter().any(|&ch| eval_node(c, ch, assignment)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NnfBuilder;
+
+    fn xor() -> NnfCircuit {
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let n1 = b.lit(1, false);
+        let a = b.and(vec![x0, n1]);
+        let c = b.and(vec![n0, x1]);
+        let root = b.or(vec![a, c]);
+        b.build(root)
+    }
+
+    #[test]
+    fn xor_is_d_dnnf_and_smooth() {
+        let c = xor();
+        assert_eq!(decomposability_violation(&c), None);
+        assert_eq!(determinism_violation(&c, 8), CheckOutcome::Holds);
+        assert_eq!(smoothness_violation(&c), None);
+    }
+
+    #[test]
+    fn shared_variable_breaks_decomposability() {
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let also_x0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let inner = b.and(vec![also_x0, x1]);
+        let bad = b.and(vec![x0, inner]);
+        let c = b.build(bad);
+        assert_eq!(decomposability_violation(&c), Some(bad));
+    }
+
+    #[test]
+    fn overlapping_children_break_determinism() {
+        // x0 ∨ x1 is satisfiable at (1,1) by both children.
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let x1 = b.lit(1, true);
+        let root = b.or(vec![x0, x1]);
+        let c = b.build(root);
+        assert_eq!(determinism_violation(&c, 8), CheckOutcome::Violated(root));
+    }
+
+    #[test]
+    fn unsmooth_or_detected() {
+        // x0 ∨ (¬x0 ∧ x1): deterministic but not smooth (left child misses x1).
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![x0, right]);
+        let c = b.build(root);
+        assert_eq!(determinism_violation(&c, 8), CheckOutcome::Holds);
+        assert_eq!(smoothness_violation(&c), Some(root));
+    }
+
+    #[test]
+    fn oversized_pair_reports_too_large() {
+        let mut b = NnfBuilder::new(40);
+        let lits: Vec<_> = (0..20).map(|v| b.lit(v, true)).collect();
+        let left = b.and(lits);
+        let lits2: Vec<_> = (20..40).map(|v| b.lit(v, true)).collect();
+        let right = b.and(lits2);
+        let root = b.or(vec![left, right]);
+        let c = b.build(root);
+        assert_eq!(determinism_violation(&c, 16), CheckOutcome::TooLarge(root));
+    }
+}

@@ -1,0 +1,282 @@
+//! NNF circuits in negation normal form, as a DAG of shared nodes.
+
+use crate::varset::VarSet;
+
+/// Index of a node in a circuit's node table.
+pub type NodeId = usize;
+
+/// One node of an NNF circuit. Negation appears only at the literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NnfNode {
+    /// The constant ⊤ (an empty conjunction).
+    True,
+    /// The constant ⊥ (an empty disjunction).
+    False,
+    /// A literal `x` or `¬x`.
+    Lit {
+        /// The variable index.
+        var: u32,
+        /// `true` for `x`, `false` for `¬x`.
+        positive: bool,
+    },
+    /// A conjunction of child nodes.
+    And(Vec<NodeId>),
+    /// A disjunction of child nodes.
+    Or(Vec<NodeId>),
+}
+
+/// An NNF circuit over Boolean variables `0..num_vars`.
+///
+/// Nodes are stored in topological order (children strictly precede parents,
+/// enforced by [`NnfBuilder`]), so every bottom-up pass is a single scan.
+/// The per-node variable sets are precomputed: they are what the
+/// decomposability and determinism notions of the d-DNNF literature
+/// \[ABJM17\] quantify over, and what the counting/sampling passes use to
+/// lift child counts over unmentioned ("free") variables.
+#[derive(Clone, Debug)]
+pub struct NnfCircuit {
+    num_vars: usize,
+    nodes: Vec<NnfNode>,
+    varsets: Vec<VarSet>,
+    root: NodeId,
+}
+
+impl NnfCircuit {
+    /// Number of declared variables (models are assignments to all of them).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node table entry for `id`.
+    pub fn node(&self, id: NodeId) -> &NnfNode {
+        &self.nodes[id]
+    }
+
+    /// The set of variables mentioned at or below `id`.
+    pub fn vars(&self, id: NodeId) -> &VarSet {
+        &self.varsets[id]
+    }
+
+    /// All node ids in topological (children-first) order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes.len()
+    }
+
+    /// Evaluates the circuit on a full assignment (`assignment[v]` = value of
+    /// variable `v`).
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment arity mismatch");
+        let mut val = vec![false; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            val[id] = match node {
+                NnfNode::True => true,
+                NnfNode::False => false,
+                NnfNode::Lit { var, positive } => assignment[*var as usize] == *positive,
+                NnfNode::And(cs) => cs.iter().all(|&c| val[c]),
+                NnfNode::Or(cs) => cs.iter().any(|&c| val[c]),
+            };
+        }
+        val[self.root]
+    }
+}
+
+/// Incremental construction of an [`NnfCircuit`].
+///
+/// Children must be created before their parents, which makes the node table
+/// topologically sorted by construction. Light structural simplification is
+/// applied: `⊤`/`⊥` are unit/absorbing for `And`/`Or`, empty gates collapse
+/// to constants, and single-child gates collapse to the child.
+pub struct NnfBuilder {
+    num_vars: usize,
+    nodes: Vec<NnfNode>,
+    varsets: Vec<VarSet>,
+    true_id: NodeId,
+    false_id: NodeId,
+}
+
+impl NnfBuilder {
+    /// Starts a circuit over `num_vars` variables.
+    pub fn new(num_vars: usize) -> NnfBuilder {
+        let mut b = NnfBuilder {
+            num_vars,
+            nodes: Vec::new(),
+            varsets: Vec::new(),
+            true_id: 0,
+            false_id: 0,
+        };
+        b.true_id = b.push(NnfNode::True, VarSet::empty(num_vars));
+        b.false_id = b.push(NnfNode::False, VarSet::empty(num_vars));
+        b
+    }
+
+    fn push(&mut self, node: NnfNode, vars: VarSet) -> NodeId {
+        self.nodes.push(node);
+        self.varsets.push(vars);
+        self.nodes.len() - 1
+    }
+
+    /// The constant ⊤.
+    pub fn true_node(&self) -> NodeId {
+        self.true_id
+    }
+
+    /// The constant ⊥.
+    pub fn false_node(&self) -> NodeId {
+        self.false_id
+    }
+
+    /// The literal `var` (positive) or `¬var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn lit(&mut self, var: u32, positive: bool) -> NodeId {
+        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        let mut vs = VarSet::empty(self.num_vars);
+        vs.insert(var);
+        self.push(NnfNode::Lit { var, positive }, vs)
+    }
+
+    /// A conjunction. `⊥` children collapse the gate; `⊤` children are
+    /// dropped; empty/singleton gates simplify.
+    pub fn and(&mut self, children: Vec<NodeId>) -> NodeId {
+        let mut kept = Vec::with_capacity(children.len());
+        for c in children {
+            assert!(c < self.nodes.len(), "child {c} not yet built");
+            match self.nodes[c] {
+                NnfNode::False => return self.false_id,
+                NnfNode::True => {}
+                _ => kept.push(c),
+            }
+        }
+        match kept.len() {
+            0 => self.true_id,
+            1 => kept[0],
+            _ => {
+                let mut vs = VarSet::empty(self.num_vars);
+                for &c in &kept {
+                    vs.union_with(&self.varsets[c]);
+                }
+                self.push(NnfNode::And(kept), vs)
+            }
+        }
+    }
+
+    /// A disjunction. `⊤` children collapse the gate; `⊥` children are
+    /// dropped; empty/singleton gates simplify.
+    pub fn or(&mut self, children: Vec<NodeId>) -> NodeId {
+        let mut kept = Vec::with_capacity(children.len());
+        for c in children {
+            assert!(c < self.nodes.len(), "child {c} not yet built");
+            match self.nodes[c] {
+                NnfNode::True => return self.true_id,
+                NnfNode::False => {}
+                _ => kept.push(c),
+            }
+        }
+        match kept.len() {
+            0 => self.false_id,
+            1 => kept[0],
+            _ => {
+                let mut vs = VarSet::empty(self.num_vars);
+                for &c in &kept {
+                    vs.union_with(&self.varsets[c]);
+                }
+                self.push(NnfNode::Or(kept), vs)
+            }
+        }
+    }
+
+    /// Finalizes the circuit with `root` as its output.
+    ///
+    /// # Panics
+    /// Panics if `root` was not built by this builder.
+    pub fn build(self, root: NodeId) -> NnfCircuit {
+        assert!(root < self.nodes.len(), "root {root} not yet built");
+        NnfCircuit {
+            num_vars: self.num_vars,
+            nodes: self.nodes,
+            varsets: self.varsets,
+            root,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (x0 ∧ ¬x1) ∨ (¬x0 ∧ x1) — XOR as a deterministic, decomposable
+    /// circuit. Used across the crate's tests.
+    pub(crate) fn xor_circuit() -> NnfCircuit {
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let n1 = b.lit(1, false);
+        let a = b.and(vec![x0, n1]);
+        let c = b.and(vec![n0, x1]);
+        let root = b.or(vec![a, c]);
+        b.build(root)
+    }
+
+    #[test]
+    fn eval_xor() {
+        let c = xor_circuit();
+        assert!(!c.eval(&[false, false]));
+        assert!(c.eval(&[true, false]));
+        assert!(c.eval(&[false, true]));
+        assert!(!c.eval(&[true, true]));
+    }
+
+    #[test]
+    fn varsets_propagate() {
+        let c = xor_circuit();
+        assert_eq!(c.vars(c.root()).len(), 2);
+    }
+
+    #[test]
+    fn simplifications() {
+        let mut b = NnfBuilder::new(2);
+        let x = b.lit(0, true);
+        let t = b.true_node();
+        let f = b.false_node();
+        assert_eq!(b.and(vec![x, t]), x, "⊤ is a unit for ∧");
+        assert_eq!(b.and(vec![x, f]), b.false_node(), "⊥ absorbs ∧");
+        assert_eq!(b.or(vec![x, f]), x, "⊥ is a unit for ∨");
+        assert_eq!(b.or(vec![x, t]), b.true_node(), "⊤ absorbs ∨");
+        assert_eq!(b.and(vec![]), b.true_node(), "empty ∧ is ⊤");
+        assert_eq!(b.or(vec![]), b.false_node(), "empty ∨ is ⊥");
+    }
+
+    #[test]
+    fn topological_by_construction() {
+        let c = xor_circuit();
+        for id in c.ids() {
+            match c.node(id) {
+                NnfNode::And(cs) | NnfNode::Or(cs) => {
+                    assert!(cs.iter().all(|&ch| ch < id), "node {id} has a forward edge");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        NnfBuilder::new(1).lit(3, true);
+    }
+}

@@ -1,0 +1,204 @@
+//! Model counting over d-DNNF circuits.
+//!
+//! One bottom-up pass: literals and `⊤` count 1 over their own variables,
+//! decomposable `And` multiplies (its children's variable sets partition the
+//! gate's), deterministic `Or` adds after *lifting* each child over the
+//! variables of the gate it does not mention (factor `2^missing` — the
+//! arithmetic form of smoothing, without materializing the smoothed
+//! circuit). The root count is lifted to all `num_vars` variables.
+//!
+//! This is the knowledge-compilation counterpart of the paper's §5.3.2:
+//! exact counting in polynomial time whenever every `Or` has the
+//! single-witness (deterministic) property — exactly as exact #NFA counting
+//! needs the single-run (unambiguous) property. Without determinism, the sum
+//! overcounts models reachable through several children, the same failure
+//! mode as counting runs of an ambiguous NFA.
+
+use lsc_arith::BigNat;
+
+use crate::checks::decomposability_violation;
+use crate::circuit::{NnfCircuit, NnfNode, NodeId};
+
+/// Error: the circuit is not decomposable, so multiplication at `And` nodes
+/// is unsound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotDecomposableError {
+    /// The offending `And` node.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for NotDecomposableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "And node {} has children sharing a variable", self.node)
+    }
+}
+
+impl std::error::Error for NotDecomposableError {}
+
+/// The per-node model counts of a circuit (each over the node's own
+/// variable set).
+#[derive(Clone, Debug)]
+pub struct CountTable {
+    counts: Vec<BigNat>,
+}
+
+impl CountTable {
+    /// Runs the counting pass.
+    ///
+    /// Correct (equals `|models|`) when the circuit is decomposable *and*
+    /// deterministic; decomposability is checked here (cheap, syntactic),
+    /// determinism is the caller's obligation (see
+    /// [`crate::checks::determinism_violation`] for a bounded verifier) —
+    /// without it the result is an overcount, not garbage.
+    ///
+    /// # Errors
+    /// [`NotDecomposableError`] if some `And` shares variables.
+    pub fn build(c: &NnfCircuit) -> Result<CountTable, NotDecomposableError> {
+        if let Some(node) = decomposability_violation(c) {
+            return Err(NotDecomposableError { node });
+        }
+        let mut counts = Vec::with_capacity(c.num_nodes());
+        for id in c.ids() {
+            let count = match c.node(id) {
+                NnfNode::True => BigNat::one(),
+                NnfNode::False => BigNat::zero(),
+                NnfNode::Lit { .. } => BigNat::one(),
+                NnfNode::And(children) => {
+                    let mut acc = BigNat::one();
+                    for &ch in children {
+                        acc = acc.mul_ref(&counts[ch]);
+                    }
+                    acc
+                }
+                NnfNode::Or(children) => {
+                    let gate_width = c.vars(id).len();
+                    let mut acc = BigNat::zero();
+                    for &ch in children {
+                        let missing = gate_width - c.vars(ch).len();
+                        acc.add_assign_ref(&counts[ch].shl_bits(missing));
+                    }
+                    acc
+                }
+            };
+            counts.push(count);
+        }
+        Ok(CountTable { counts })
+    }
+
+    /// The count of node `id`, over `vars(id)` only.
+    pub fn node_count(&self, id: NodeId) -> &BigNat {
+        &self.counts[id]
+    }
+
+    /// The model count of the whole circuit over all declared variables.
+    pub fn models(&self, c: &NnfCircuit) -> BigNat {
+        let missing = c.num_vars() - c.vars(c.root()).len();
+        self.counts[c.root()].shl_bits(missing)
+    }
+}
+
+/// Convenience wrapper: count the models of `c` over all declared variables.
+///
+/// # Errors
+/// [`NotDecomposableError`] if some `And` shares variables.
+pub fn count_models(c: &NnfCircuit) -> Result<BigNat, NotDecomposableError> {
+    Ok(CountTable::build(c)?.models(c))
+}
+
+/// Brute-force model counting by evaluating all `2^num_vars` assignments —
+/// the test oracle (usable up to ~24 variables).
+pub fn count_models_brute(c: &NnfCircuit) -> u64 {
+    let n = c.num_vars();
+    assert!(n <= 24, "brute-force counting is for small tests only");
+    let mut count = 0;
+    let mut assignment = vec![false; n];
+    for code in 0..(1u64 << n) {
+        for (bit, slot) in assignment.iter_mut().enumerate() {
+            *slot = code >> bit & 1 == 1;
+        }
+        if c.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NnfBuilder;
+
+    #[test]
+    fn xor_counts_two() {
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let n1 = b.lit(1, false);
+        let a = b.and(vec![x0, n1]);
+        let c = b.and(vec![n0, x1]);
+        let root = b.or(vec![a, c]);
+        let circ = b.build(root);
+        assert_eq!(count_models(&circ).unwrap().to_u64(), Some(2));
+        assert_eq!(count_models_brute(&circ), 2);
+    }
+
+    #[test]
+    fn free_variables_multiply() {
+        // Root = x0 over 5 declared variables: 2^4 models.
+        let mut b = NnfBuilder::new(5);
+        let root = b.lit(0, true);
+        let c = b.build(root);
+        assert_eq!(count_models(&c).unwrap().to_u64(), Some(16));
+        assert_eq!(count_models_brute(&c), 16);
+    }
+
+    #[test]
+    fn unsmooth_or_counts_correctly_via_lifting() {
+        // x0 ∨ (¬x0 ∧ x1): 2 models with x0=1 plus 1 model with x0=0,x1=1.
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![x0, right]);
+        let c = b.build(root);
+        assert_eq!(count_models(&c).unwrap().to_u64(), Some(3));
+        assert_eq!(count_models_brute(&c), 3);
+    }
+
+    #[test]
+    fn constants_count() {
+        let b = NnfBuilder::new(3);
+        let t = b.true_node();
+        let c = b.build(t);
+        assert_eq!(count_models(&c).unwrap().to_u64(), Some(8));
+        let b = NnfBuilder::new(3);
+        let f = b.false_node();
+        let c = b.build(f);
+        assert_eq!(count_models(&c).unwrap().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn non_decomposable_is_rejected() {
+        let mut b = NnfBuilder::new(1);
+        let x = b.lit(0, true);
+        let nx = b.lit(0, false);
+        let bad = b.and(vec![x, nx]);
+        let c = b.build(bad);
+        assert_eq!(count_models(&c).unwrap_err(), NotDecomposableError { node: bad });
+    }
+
+    #[test]
+    fn nondeterministic_or_overcounts() {
+        // x0 ∨ x1 without determinism: true count 3, circuit count 4 —
+        // pinned as documentation of the failure mode.
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let x1 = b.lit(1, true);
+        let root = b.or(vec![x0, x1]);
+        let c = b.build(root);
+        assert_eq!(count_models(&c).unwrap().to_u64(), Some(4));
+        assert_eq!(count_models_brute(&c), 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! d-DNNF knowledge compilation for the logspace-classes reproduction.
+//!
+//! The paper's §3 situates `RelationUL` against circuit classes: "if a
+//! problem is definable by a d-DNNF circuit, then the solutions of an
+//! instance can be listed with linear preprocessing and constant delay"
+//! \[ABJM17\]. This crate makes the circuit side executable:
+//!
+//! * [`NnfCircuit`] / [`NnfBuilder`] — negation-normal-form circuit DAGs;
+//! * [`checks`] — decomposability and smoothness (exact, syntactic) and a
+//!   bounded-exact determinism verifier;
+//! * [`count`] — exact model counting in one bottom-up pass, with free-
+//!   variable lifting in place of explicit smoothing;
+//! * [`transform`] — the smoothing transformation itself;
+//! * [`sample`] — exact uniform model generation (BigNat-weighted descent);
+//! * [`enumerate`] — model enumeration by lazy iterator composition;
+//! * [`compile`] — the OBDD → d-DNNF transcription, closing the triangle
+//!   with the paper's §4.3 OBDD → UFA reduction;
+//! * [`queries`] — conditioning, weighted model counting (probabilistic-
+//!   database semantics), and minimum-cardinality analysis.
+//!
+//! The structural analogies to the paper are deliberate and pinned by tests:
+//! **determinism is to circuits what unambiguity is to automata** — exact
+//! counting/sampling/enumeration hold exactly when each model (witness) is
+//! produced by one `Or`-branch (run), and every algorithm here degrades the
+//! same way the NFA algorithms do when that property is dropped.
+//!
+//! ```
+//! use lsc_nnf::{count_models, ModelSampler, NnfBuilder};
+//!
+//! // (x0 ∧ ¬x1) ∨ (¬x0 ∧ x1): XOR as a deterministic, decomposable circuit.
+//! let mut b = NnfBuilder::new(2);
+//! let (x0, n0) = (b.lit(0, true), b.lit(0, false));
+//! let (x1, n1) = (b.lit(1, true), b.lit(1, false));
+//! let left = b.and(vec![x0, n1]);
+//! let right = b.and(vec![n0, x1]);
+//! let root = b.or(vec![left, right]);
+//! let circuit = b.build(root);
+//!
+//! assert_eq!(count_models(&circuit).unwrap().to_u64(), Some(2));
+//! let sampler = ModelSampler::new(&circuit).unwrap();
+//! let model = sampler.sample(&mut rand::thread_rng()).unwrap();
+//! assert!(circuit.eval(&model));
+//! ```
+
+pub mod checks;
+mod circuit;
+pub mod compile;
+pub mod count;
+pub mod enumerate;
+pub mod queries;
+pub mod sample;
+pub mod transform;
+mod varset;
+
+pub use circuit::{NnfBuilder, NnfCircuit, NnfNode, NodeId};
+pub use count::{count_models, CountTable, NotDecomposableError};
+pub use enumerate::ModelEnumerator;
+pub use sample::ModelSampler;
+pub use varset::VarSet;

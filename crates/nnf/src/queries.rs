@@ -1,0 +1,395 @@
+//! Tractable d-DNNF queries beyond plain model counting: conditioning,
+//! weighted model counting, and minimum-cardinality analysis.
+//!
+//! These are the queries that make d-DNNF the workhorse of probabilistic
+//! databases and configuration reasoning: each is one bottom-up pass over
+//! the circuit, with the same "lift over unmentioned variables" discipline
+//! as [`crate::count`]. They are the circuit counterparts of what the
+//! paper's relation framework would phrase as weighted `COUNT(R)` and
+//! argmin-selection over `W_R(x)`.
+
+use lsc_arith::{BigFloat, BigNat};
+
+use crate::checks::decomposability_violation;
+use crate::circuit::{NnfBuilder, NnfCircuit, NnfNode, NodeId};
+use crate::count::NotDecomposableError;
+
+/// Restricts a circuit to a fixed value of one variable: every literal of
+/// `var` is replaced by the matching constant.
+///
+/// The result mentions `var` nowhere (so its counts halve relative to the
+/// original, as the variable is now free), and decomposability, determinism,
+/// and the node count are preserved up to the builder's constant folding.
+pub fn condition(c: &NnfCircuit, var: u32, value: bool) -> NnfCircuit {
+    assert!((var as usize) < c.num_vars(), "variable {var} out of range");
+    let mut b = NnfBuilder::new(c.num_vars());
+    let mut map: Vec<NodeId> = Vec::with_capacity(c.num_nodes());
+    for id in c.ids() {
+        let new_id = match c.node(id) {
+            NnfNode::True => b.true_node(),
+            NnfNode::False => b.false_node(),
+            NnfNode::Lit { var: v, positive } if *v == var => {
+                if *positive == value {
+                    b.true_node()
+                } else {
+                    b.false_node()
+                }
+            }
+            NnfNode::Lit { var: v, positive } => b.lit(*v, *positive),
+            NnfNode::And(children) => {
+                let mapped = children.iter().map(|&ch| map[ch]).collect();
+                b.and(mapped)
+            }
+            NnfNode::Or(children) => {
+                let mapped = children.iter().map(|&ch| map[ch]).collect();
+                b.or(mapped)
+            }
+        };
+        map.push(new_id);
+    }
+    b.build(map[c.root()])
+}
+
+/// Per-literal weights for weighted model counting.
+///
+/// The weight of a model is the product of its literals' weights; the WMC is
+/// the sum over models. With all weights 1 this is plain model counting;
+/// with `w(x) + w(¬x) = 1` per variable it is the probability that a random
+/// independent assignment satisfies the circuit.
+#[derive(Clone, Debug)]
+pub struct LiteralWeights {
+    pos: Vec<BigFloat>,
+    neg: Vec<BigFloat>,
+}
+
+impl LiteralWeights {
+    /// All weights 1: WMC degenerates to model counting.
+    pub fn uniform(num_vars: usize) -> LiteralWeights {
+        LiteralWeights {
+            pos: vec![BigFloat::one(); num_vars],
+            neg: vec![BigFloat::one(); num_vars],
+        }
+    }
+
+    /// Probability semantics: variable `v` is true with probability `p[v]`,
+    /// independently.
+    ///
+    /// # Panics
+    /// Panics if some probability is outside `[0, 1]`.
+    pub fn probabilities(p: &[f64]) -> LiteralWeights {
+        assert!(
+            p.iter().all(|&x| (0.0..=1.0).contains(&x)),
+            "probabilities must lie in [0, 1]"
+        );
+        LiteralWeights {
+            pos: p.iter().map(|&x| BigFloat::from_f64(x)).collect(),
+            neg: p.iter().map(|&x| BigFloat::from_f64(1.0 - x)).collect(),
+        }
+    }
+
+    /// Sets the weights of both literals of `var`.
+    pub fn set(&mut self, var: u32, positive: f64, negative: f64) {
+        self.pos[var as usize] = BigFloat::from_f64(positive);
+        self.neg[var as usize] = BigFloat::from_f64(negative);
+    }
+
+    /// The lift factor of an unmentioned variable: `w(x) + w(¬x)`.
+    fn free_factor(&self, var: u32) -> BigFloat {
+        self.pos[var as usize].add(self.neg[var as usize])
+    }
+}
+
+/// Weighted model counting over a d-DNNF circuit.
+///
+/// One bottom-up pass; a variable the circuit (or an `Or` child) does not
+/// mention contributes its free factor `w(x) + w(¬x)`. Correctness needs
+/// decomposability (checked) and determinism (the caller's obligation, as in
+/// [`crate::count`]).
+///
+/// # Errors
+/// [`NotDecomposableError`] if some `And` shares variables.
+///
+/// # Panics
+/// Panics if the weight vectors do not cover the circuit's variables.
+pub fn weighted_count(
+    c: &NnfCircuit,
+    weights: &LiteralWeights,
+) -> Result<BigFloat, NotDecomposableError> {
+    assert_eq!(weights.pos.len(), c.num_vars(), "weight arity mismatch");
+    if let Some(node) = decomposability_violation(c) {
+        return Err(NotDecomposableError { node });
+    }
+    let mut table: Vec<BigFloat> = Vec::with_capacity(c.num_nodes());
+    for id in c.ids() {
+        let value = match c.node(id) {
+            NnfNode::True => BigFloat::one(),
+            NnfNode::False => BigFloat::zero(),
+            NnfNode::Lit { var, positive } => {
+                if *positive {
+                    weights.pos[*var as usize]
+                } else {
+                    weights.neg[*var as usize]
+                }
+            }
+            NnfNode::And(children) => {
+                let mut acc = BigFloat::one();
+                for &ch in children {
+                    acc = acc.mul(table[ch]);
+                }
+                acc
+            }
+            NnfNode::Or(children) => {
+                let gate_vars = c.vars(id);
+                let mut acc = BigFloat::zero();
+                for &ch in children {
+                    let mut lifted = table[ch];
+                    for v in c.vars(ch).missing_from(gate_vars) {
+                        lifted = lifted.mul(weights.free_factor(v));
+                    }
+                    acc = acc.add(lifted);
+                }
+                acc
+            }
+        };
+        table.push(value);
+    }
+    let mut total = table[c.root()];
+    let root_vars = c.vars(c.root());
+    for v in 0..c.num_vars() as u32 {
+        if !root_vars.contains(v) {
+            total = total.mul(weights.free_factor(v));
+        }
+    }
+    Ok(total)
+}
+
+/// The minimum number of `true` variables over all models, with the exact
+/// count of models attaining it; `None` if the circuit is unsatisfiable.
+///
+/// Per node, the pair `(min, count)` composes as: sum of minima and product
+/// of counts at `And`; the least lifted minimum at `Or`, with counts of tied
+/// children added (sound under determinism). Unmentioned variables
+/// contribute 0 to the minimum (set them false), uniquely — so lifting never
+/// changes a count.
+///
+/// # Errors
+/// [`NotDecomposableError`] if some `And` shares variables.
+pub fn min_cardinality(
+    c: &NnfCircuit,
+) -> Result<Option<(usize, BigNat)>, NotDecomposableError> {
+    if let Some(node) = decomposability_violation(c) {
+        return Err(NotDecomposableError { node });
+    }
+    // None = unsatisfiable subcircuit.
+    let mut table: Vec<Option<(usize, BigNat)>> = Vec::with_capacity(c.num_nodes());
+    for id in c.ids() {
+        let value: Option<(usize, BigNat)> = match c.node(id) {
+            NnfNode::True => Some((0, BigNat::one())),
+            NnfNode::False => None,
+            NnfNode::Lit { positive, .. } => Some((usize::from(*positive), BigNat::one())),
+            NnfNode::And(children) => {
+                let mut min = 0usize;
+                let mut count = BigNat::one();
+                let mut ok = true;
+                for &ch in children {
+                    match &table[ch] {
+                        Some((m, cnt)) => {
+                            min += m;
+                            count = count.mul_ref(cnt);
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok.then_some((min, count))
+            }
+            NnfNode::Or(children) => {
+                let mut best: Option<(usize, BigNat)> = None;
+                for &ch in children {
+                    // Missing variables are set false in a minimum model, so
+                    // the child's (min, count) lifts unchanged.
+                    let Some((m, cnt)) = &table[ch] else { continue };
+                    match &mut best {
+                        None => best = Some((*m, cnt.clone())),
+                        Some((bm, bc)) => {
+                            if m < bm {
+                                best = Some((*m, cnt.clone()));
+                            } else if m == bm {
+                                bc.add_assign_ref(cnt);
+                            }
+                        }
+                    }
+                }
+                best
+            }
+        };
+        table.push(value);
+    }
+    // Root-level lift: free variables are false in minimum models, uniquely.
+    Ok(table[c.root()].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{determinism_violation, CheckOutcome};
+    use crate::circuit::NnfBuilder;
+    use crate::count::{count_models, count_models_brute};
+
+    /// x0 ∨ (¬x0 ∧ x1) over 3 vars (x2 free): models 110?, 1?? patterns — 6
+    /// total.
+    fn circuit() -> NnfCircuit {
+        let mut b = NnfBuilder::new(3);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![x0, right]);
+        b.build(root)
+    }
+
+    #[test]
+    fn conditioning_splits_the_count() {
+        let c = circuit();
+        let total = count_models(&c).unwrap().to_u64().unwrap();
+        let on_true = condition(&c, 0, true);
+        let on_false = condition(&c, 0, false);
+        // Conditioned circuits treat var 0 as free, so halve their counts to
+        // recover the restricted model counts.
+        let t = count_models(&on_true).unwrap().to_u64().unwrap() / 2;
+        let f = count_models(&on_false).unwrap().to_u64().unwrap() / 2;
+        assert_eq!(t + f, total);
+        assert_eq!(t, 4); // x0=1: x1, x2 free
+        assert_eq!(f, 2); // x0=0: x1 forced, x2 free
+        assert_eq!(determinism_violation(&on_true, 8), CheckOutcome::Holds);
+    }
+
+    #[test]
+    fn conditioning_matches_brute_force() {
+        let c = circuit();
+        let cond = condition(&c, 1, false);
+        // Brute force over the original with x1 pinned to false.
+        let mut expected = 0;
+        for code in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 == 1).collect();
+            if !assignment[1] && c.eval(&assignment) {
+                expected += 1;
+            }
+        }
+        assert_eq!(count_models_brute(&cond) / 2, expected);
+    }
+
+    #[test]
+    fn uniform_weights_recover_model_counting() {
+        let c = circuit();
+        let wmc = weighted_count(&c, &LiteralWeights::uniform(3)).unwrap();
+        assert_eq!(wmc.to_f64(), count_models(&c).unwrap().to_f64());
+    }
+
+    #[test]
+    fn probability_semantics_matches_brute_force() {
+        let c = circuit();
+        let p = [0.3, 0.9, 0.5];
+        let wmc = weighted_count(&c, &LiteralWeights::probabilities(&p)).unwrap();
+        // Brute-force probability.
+        let mut prob = 0.0;
+        for code in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 == 1).collect();
+            if c.eval(&assignment) {
+                let mut w = 1.0;
+                for (i, &bit) in assignment.iter().enumerate() {
+                    w *= if bit { p[i] } else { 1.0 - p[i] };
+                }
+                prob += w;
+            }
+        }
+        assert!((wmc.to_f64() - prob).abs() < 1e-12, "wmc {} vs {prob}", wmc.to_f64());
+    }
+
+    #[test]
+    fn wmc_is_consistent_with_conditioning() {
+        // Law of total probability: WMC = p·WMC(x=1) + (1-p)·WMC(x=0), where
+        // the conditioned WMC pins the variable's weights to (1, 0) / (0, 1).
+        let c = circuit();
+        let p = [0.25, 0.6, 0.8];
+        let total = weighted_count(&c, &LiteralWeights::probabilities(&p)).unwrap();
+        let mut w_true = LiteralWeights::probabilities(&p);
+        w_true.set(0, 1.0, 0.0);
+        let mut w_false = LiteralWeights::probabilities(&p);
+        w_false.set(0, 0.0, 1.0);
+        let combined = weighted_count(&condition(&c, 0, true), &w_true)
+            .unwrap()
+            .mul_f64(p[0])
+            .add(
+                weighted_count(&condition(&c, 0, false), &w_false)
+                    .unwrap()
+                    .mul_f64(1.0 - p[0]),
+            );
+        assert!(
+            (total.to_f64() - combined.to_f64()).abs() < 1e-12,
+            "{} vs {}",
+            total.to_f64(),
+            combined.to_f64()
+        );
+    }
+
+    #[test]
+    fn min_cardinality_finds_the_lightest_models() {
+        let c = circuit();
+        // Lightest models: 100 (via the x0 branch) and 010 (via ¬x0 ∧ x1) —
+        // cardinality 1, two witnesses. Cross-checked by brute force.
+        let (min, count) = min_cardinality(&c).unwrap().expect("satisfiable");
+        assert_eq!(min, 1);
+        assert_eq!(count.to_u64(), Some(2));
+        let mut brute_min = usize::MAX;
+        let mut brute_count = 0u64;
+        for code in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 == 1).collect();
+            if c.eval(&assignment) {
+                let card = assignment.iter().filter(|&&b| b).count();
+                match card.cmp(&brute_min) {
+                    std::cmp::Ordering::Less => {
+                        brute_min = card;
+                        brute_count = 1;
+                    }
+                    std::cmp::Ordering::Equal => brute_count += 1,
+                    std::cmp::Ordering::Greater => {}
+                }
+            }
+        }
+        assert_eq!((min, count.to_u64().unwrap()), (brute_min, brute_count));
+    }
+
+    #[test]
+    fn min_cardinality_counts_ties() {
+        // XOR: both models (10, 01) have cardinality 1.
+        let mut b = NnfBuilder::new(2);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let n1 = b.lit(1, false);
+        let a = b.and(vec![x0, n1]);
+        let c2 = b.and(vec![n0, x1]);
+        let root = b.or(vec![a, c2]);
+        let c = b.build(root);
+        let (min, count) = min_cardinality(&c).unwrap().expect("satisfiable");
+        assert_eq!(min, 1);
+        assert_eq!(count.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn min_cardinality_of_constants() {
+        let b = NnfBuilder::new(4);
+        let t = b.true_node();
+        let c = b.build(t);
+        let (min, count) = min_cardinality(&c).unwrap().expect("tautology");
+        assert_eq!(min, 0);
+        assert_eq!(count.to_u64(), Some(1), "all-false is the unique minimum");
+        let b = NnfBuilder::new(4);
+        let f = b.false_node();
+        let c = b.build(f);
+        assert_eq!(min_cardinality(&c).unwrap(), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! Exact uniform sampling of models.
+//!
+//! Top-down descent weighted by the [`CountTable`]:
+//! at a deterministic `Or`, pick a child with probability proportional to its
+//! lifted count and fill the child's missing variables uniformly; at a
+//! decomposable `And`, recurse into every child (their variables partition
+//! the gate's); variables the root never mentions are filled uniformly. All
+//! weights are exact `BigNat`s drawn by rejection from raw bits, so the
+//! distribution is exactly uniform — the d-DNNF counterpart of the paper's
+//! exact generator for MEM-UFA (§5.3.3), with determinism playing the role
+//! of unambiguity.
+
+use lsc_arith::BigNat;
+use rand::Rng;
+
+use crate::circuit::{NnfCircuit, NnfNode, NodeId};
+use crate::count::{CountTable, NotDecomposableError};
+
+/// Exact uniform model sampler for a d-DNNF circuit.
+pub struct ModelSampler<'c> {
+    circuit: &'c NnfCircuit,
+    table: CountTable,
+    total: BigNat,
+}
+
+impl<'c> ModelSampler<'c> {
+    /// Builds the sampler (one counting pass).
+    ///
+    /// Uniformity additionally requires determinism, which is the caller's
+    /// obligation (see [`crate::checks::determinism_violation`]).
+    ///
+    /// # Errors
+    /// [`NotDecomposableError`] if some `And` shares variables.
+    pub fn new(circuit: &'c NnfCircuit) -> Result<ModelSampler<'c>, NotDecomposableError> {
+        let table = CountTable::build(circuit)?;
+        let total = table.models(circuit);
+        Ok(ModelSampler { circuit, table, total })
+    }
+
+    /// The number of models being sampled over.
+    pub fn support(&self) -> &BigNat {
+        &self.total
+    }
+
+    /// Draws one model uniformly; `None` if the circuit is unsatisfiable.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<bool>> {
+        if self.total.is_zero() {
+            return None;
+        }
+        let n = self.circuit.num_vars();
+        // Start with uniform noise: every variable not pinned by the descent
+        // is free, and pre-filling with fair coins handles all "missing
+        // variable" lifts (root gap and per-Or gaps) in one stroke.
+        let mut model: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        self.descend(self.circuit.root(), &mut model, rng);
+        debug_assert!(self.circuit.eval(&model), "sampled a non-model");
+        Some(model)
+    }
+
+    fn descend<R: Rng + ?Sized>(&self, id: NodeId, model: &mut [bool], rng: &mut R) {
+        match self.circuit.node(id) {
+            NnfNode::True | NnfNode::False => {}
+            NnfNode::Lit { var, positive } => model[*var as usize] = *positive,
+            NnfNode::And(children) => {
+                for &ch in children {
+                    self.descend(ch, model, rng);
+                }
+            }
+            NnfNode::Or(children) => {
+                let gate_width = self.circuit.vars(id).len();
+                // Lifted child weights sum to the gate count.
+                let mut r = BigNat::uniform_below(self.table.node_count(id), rng);
+                for &ch in children {
+                    let missing = gate_width - self.circuit.vars(ch).len();
+                    let weight = self.table.node_count(ch).shl_bits(missing);
+                    match r.checked_sub(&weight) {
+                        Some(rest) => r = rest,
+                        None => {
+                            // The pre-filled coins already cover the child's
+                            // missing variables uniformly.
+                            self.descend(ch, model, rng);
+                            return;
+                        }
+                    }
+                }
+                unreachable!("child weights sum to the gate count");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NnfBuilder;
+    use crate::count::count_models_brute;
+    use lsc_core::sample::SampleStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// x0 ∨ (¬x0 ∧ x1) over 3 vars (x2 free): 6 models.
+    fn circuit() -> NnfCircuit {
+        let mut b = NnfBuilder::new(3);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![x0, right]);
+        b.build(root)
+    }
+
+    #[test]
+    fn samples_are_models() {
+        let c = circuit();
+        let s = ModelSampler::new(&c).unwrap();
+        assert_eq!(s.support().to_u64(), Some(6));
+        assert_eq!(count_models_brute(&c), 6);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..200 {
+            let m = s.sample(&mut rng).unwrap();
+            assert!(c.eval(&m), "non-model {m:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_uniform() {
+        let c = circuit();
+        let s = ModelSampler::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut stats = SampleStats::new();
+        for _ in 0..3000 {
+            let m = s.sample(&mut rng).unwrap();
+            stats.record(m.iter().map(|&b| b as u32).collect());
+        }
+        assert_eq!(stats.distinct(), 6);
+        assert!(stats.looks_uniform(6), "chi² = {}", stats.chi_square(6));
+    }
+
+    #[test]
+    fn unsat_circuit_yields_none() {
+        let b = NnfBuilder::new(2);
+        let f = b.false_node();
+        let c = b.build(f);
+        let s = ModelSampler::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        assert!(s.sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn tautology_sampling_covers_the_cube() {
+        let b = NnfBuilder::new(2);
+        let t = b.true_node();
+        let c = b.build(t);
+        let s = ModelSampler::new(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut stats = SampleStats::new();
+        for _ in 0..2000 {
+            stats.record(s.sample(&mut rng).unwrap().iter().map(|&b| b as u32).collect());
+        }
+        assert_eq!(stats.distinct(), 4);
+        assert!(stats.looks_uniform(4), "chi² = {}", stats.chi_square(4));
+    }
+}

@@ -1,0 +1,113 @@
+//! Circuit transformations: smoothing.
+
+use crate::circuit::{NnfBuilder, NnfCircuit, NnfNode, NodeId};
+
+/// Returns an equivalent circuit in which every `Or` child mentions exactly
+/// the gate's variables, and the root mentions all declared variables.
+///
+/// Each missing variable `v` is supplied by conjoining the tautology gadget
+/// `(v ∨ ¬v)` — the textbook smoothing construction. Smoothing preserves
+/// models, decomposability, and determinism, and grows the circuit by at
+/// most `O(missing · num_vars)` gadget nodes (gadgets are shared per
+/// variable). Smooth circuits make enumeration uniform-shaped: every model
+/// of a node assigns exactly `vars(node)`.
+pub fn smoothed(c: &NnfCircuit) -> NnfCircuit {
+    let n = c.num_vars();
+    let mut b = NnfBuilder::new(n);
+    // One shared (v ∨ ¬v) gadget per variable, created on demand.
+    let mut gadget: Vec<Option<NodeId>> = vec![None; n];
+    let mut map: Vec<NodeId> = Vec::with_capacity(c.num_nodes());
+    for id in c.ids() {
+        let new_id = match c.node(id) {
+            NnfNode::True => b.true_node(),
+            NnfNode::False => b.false_node(),
+            NnfNode::Lit { var, positive } => b.lit(*var, *positive),
+            NnfNode::And(children) => {
+                let mapped = children.iter().map(|&ch| map[ch]).collect();
+                b.and(mapped)
+            }
+            NnfNode::Or(children) => {
+                let gate_vars = c.vars(id);
+                let mut mapped = Vec::with_capacity(children.len());
+                for &ch in children {
+                    let mut parts = vec![map[ch]];
+                    for v in c.vars(ch).missing_from(gate_vars) {
+                        parts.push(free_gadget(&mut b, &mut gadget, v));
+                    }
+                    mapped.push(b.and(parts));
+                }
+                b.or(mapped)
+            }
+        };
+        map.push(new_id);
+    }
+    // Lift the root over any variables it does not mention.
+    let root_vars = c.vars(c.root());
+    let mut parts = vec![map[c.root()]];
+    for v in 0..n as u32 {
+        if !root_vars.contains(v) {
+            parts.push(free_gadget(&mut b, &mut gadget, v));
+        }
+    }
+    let root = b.and(parts);
+    b.build(root)
+}
+
+fn free_gadget(b: &mut NnfBuilder, cache: &mut [Option<NodeId>], v: u32) -> NodeId {
+    if let Some(g) = cache[v as usize] {
+        return g;
+    }
+    let pos = b.lit(v, true);
+    let neg = b.lit(v, false);
+    let g = b.or(vec![pos, neg]);
+    cache[v as usize] = Some(g);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{
+        decomposability_violation, determinism_violation, smoothness_violation, CheckOutcome,
+    };
+    use crate::circuit::NnfBuilder;
+    use crate::count::{count_models, count_models_brute};
+
+    fn unsmooth() -> NnfCircuit {
+        // x0 ∨ (¬x0 ∧ x1), over 3 declared variables (x2 never mentioned).
+        let mut b = NnfBuilder::new(3);
+        let x0 = b.lit(0, true);
+        let n0 = b.lit(0, false);
+        let x1 = b.lit(1, true);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![x0, right]);
+        b.build(root)
+    }
+
+    #[test]
+    fn smoothing_fixes_smoothness_and_preserves_everything() {
+        let c = unsmooth();
+        assert!(smoothness_violation(&c).is_some());
+        let s = smoothed(&c);
+        assert_eq!(smoothness_violation(&s), None);
+        assert_eq!(decomposability_violation(&s), None);
+        assert_eq!(determinism_violation(&s, 8), CheckOutcome::Holds);
+        // Same models, now mentioning every variable at the root.
+        assert_eq!(count_models(&c).unwrap(), count_models(&s).unwrap());
+        assert_eq!(count_models_brute(&c), count_models_brute(&s));
+        assert_eq!(s.vars(s.root()).len(), 3);
+        // Semantics agree pointwise.
+        for code in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&assignment), s.eval(&assignment), "assignment {code:03b}");
+        }
+    }
+
+    #[test]
+    fn smoothing_is_idempotent_on_smooth_circuits() {
+        let s = smoothed(&unsmooth());
+        let s2 = smoothed(&s);
+        assert_eq!(count_models(&s).unwrap(), count_models(&s2).unwrap());
+        assert_eq!(smoothness_violation(&s2), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Compact variable sets (bitsets over `u64` blocks).
+
+/// A set of Boolean variables `0..capacity`, stored as a bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarSet {
+    blocks: Vec<u64>,
+}
+
+impl VarSet {
+    /// The empty set with room for `capacity` variables.
+    pub fn empty(capacity: usize) -> VarSet {
+        VarSet { blocks: vec![0; capacity.div_ceil(64)] }
+    }
+
+    /// Inserts `var`.
+    pub fn insert(&mut self, var: u32) {
+        self.blocks[var as usize / 64] |= 1 << (var % 64);
+    }
+
+    /// True iff `var` is present.
+    pub fn contains(&self, var: u32) -> bool {
+        self.blocks
+            .get(var as usize / 64)
+            .is_some_and(|b| b & (1 << (var % 64)) != 0)
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Adds every variable of `other`.
+    pub fn union_with(&mut self, other: &VarSet) {
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// True iff the sets share no variable.
+    pub fn is_disjoint(&self, other: &VarSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates the variables in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &b)| {
+            (0..64u32).filter(move |j| b & (1 << j) != 0).map(move |j| i as u32 * 64 + j)
+        })
+    }
+
+    /// The variables of `other` that are missing from `self`, in increasing
+    /// order.
+    pub fn missing_from(&self, other: &VarSet) -> Vec<u32> {
+        other.iter().filter(|&v| !self.contains(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_algebra() {
+        let mut a = VarSet::empty(130);
+        a.insert(0);
+        a.insert(64);
+        a.insert(129);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(64) && !a.contains(63));
+        let mut b = VarSet::empty(130);
+        b.insert(63);
+        assert!(a.is_disjoint(&b));
+        b.insert(129);
+        assert!(!a.is_disjoint(&b));
+        assert!(!b.is_subset(&a));
+        b.union_with(&a);
+        assert!(a.is_subset(&b));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert_eq!(a.missing_from(&b), vec![63]);
+    }
+
+    #[test]
+    fn empty_properties() {
+        let e = VarSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Extended variable-set automata (eVAs).
+
+use lsc_automata::{Alphabet, StateSet, Symbol};
+
+use crate::Marker;
+
+/// A set of markers fired simultaneously, as a bitmask (bit `2v` = `x_v⊢`,
+/// bit `2v+1` = `⊣x_v`). The empty set is represented by `0` and never
+/// appears on an explicit transition (the paper requires `S ≠ ∅`; an empty
+/// `X_i` means "no variable transition taken").
+pub type MarkerSet = u32;
+
+/// An extended VA `A = (Q, q₀, F, δ)` over a document alphabet, with letter
+/// transitions `(q, a, q')` and variable-set transitions `(q, S, q')` (§4.1).
+#[derive(Clone, Debug)]
+pub struct Eva {
+    num_states: usize,
+    num_vars: usize,
+    alphabet: Alphabet,
+    initial: usize,
+    finals: Vec<bool>,
+    letters: Vec<Vec<(Symbol, usize)>>,
+    varsets: Vec<Vec<(MarkerSet, usize)>>,
+}
+
+impl Eva {
+    /// An eVA with `num_states` states and `num_vars` capture variables.
+    pub fn new(num_states: usize, num_vars: usize, alphabet: Alphabet) -> Self {
+        assert!(num_vars <= 16, "marker sets are u32 bitmasks");
+        Eva {
+            num_states,
+            num_vars,
+            alphabet,
+            initial: 0,
+            finals: vec![false; num_states],
+            letters: vec![Vec::new(); num_states],
+            varsets: vec![Vec::new(); num_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of capture variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The document alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, q: usize) {
+        assert!(q < self.num_states);
+        self.initial = q;
+    }
+
+    /// Marks a final state.
+    pub fn set_final(&mut self, q: usize) {
+        self.finals[q] = true;
+    }
+
+    /// Is `q` final?
+    pub fn is_final(&self, q: usize) -> bool {
+        self.finals[q]
+    }
+
+    /// Adds a letter transition `q --a--> q'`.
+    pub fn add_letter(&mut self, q: usize, a: Symbol, to: usize) {
+        assert!((a as usize) < self.alphabet.len() && q < self.num_states && to < self.num_states);
+        self.letters[q].push((a, to));
+    }
+
+    /// Adds a variable-set transition `q --S--> q'` for a nonempty marker set.
+    pub fn add_varset(&mut self, q: usize, markers: &[Marker], to: usize) {
+        assert!(!markers.is_empty(), "variable-set transitions need S ≠ ∅");
+        let mut mask: MarkerSet = 0;
+        for m in markers {
+            match *m {
+                Marker::Open(v) | Marker::Close(v) => {
+                    assert!(v < self.num_vars, "marker for out-of-range variable")
+                }
+            }
+            mask |= 1 << m.bit();
+        }
+        self.varsets[q].push((mask, to));
+    }
+
+    /// Letter transitions from `q`.
+    pub fn letters_from(&self, q: usize) -> &[(Symbol, usize)] {
+        &self.letters[q]
+    }
+
+    /// Variable-set transitions from `q`.
+    pub fn varsets_from(&self, q: usize) -> &[(MarkerSet, usize)] {
+        &self.varsets[q]
+    }
+
+    /// All distinct nonempty marker sets on transitions.
+    pub fn used_marker_sets(&self) -> Vec<MarkerSet> {
+        let mut sets: Vec<MarkerSet> = self
+            .varsets
+            .iter()
+            .flat_map(|row| row.iter().map(|&(s, _)| s))
+            .collect();
+        sets.sort_unstable();
+        sets.dedup();
+        sets
+    }
+
+    /// Is the eVA *functional* — is every accepting run valid (each variable
+    /// opened exactly once, then closed exactly once)?
+    ///
+    /// \[FRU+18\]'s precondition for polynomial evaluation, and the paper's
+    /// hypothesis in Corollaries 6–7. Decided by exploring the product of the
+    /// state space with per-variable status (unopened/open/closed): the eVA is
+    /// functional iff no final state is reachable with an inconsistent or
+    /// incomplete status. Exponential in the number of *variables* only
+    /// (`3^V · |Q|`), which matches the usual parameter regime (few
+    /// variables, large documents).
+    pub fn is_functional(&self) -> bool {
+        // Status encoding: 2 bits per variable — 0 unopened, 1 open, 2 closed.
+        let status_of = |st: u64, v: usize| (st >> (2 * v)) & 3;
+        let apply = |st: u64, mask: MarkerSet| -> Option<u64> {
+            let mut out = st;
+            for v in 0..self.num_vars {
+                let open = mask >> (2 * v) & 1 == 1;
+                let close = mask >> (2 * v + 1) & 1 == 1;
+                match (open, close, status_of(st, v)) {
+                    (false, false, _) => {}
+                    (true, false, 0) => out = (out & !(3 << (2 * v))) | (1 << (2 * v)),
+                    (false, true, 1) => out = (out & !(3 << (2 * v))) | (2 << (2 * v)),
+                    // Open and close in the same set: the empty span [i, i).
+                    (true, true, 0) => out = (out & !(3 << (2 * v))) | (2 << (2 * v)),
+                    _ => return None, // reopened / closed twice / closed unopened
+                }
+            }
+            Some(out)
+        };
+        let all_closed: u64 = (0..self.num_vars).map(|v| 2u64 << (2 * v)).sum();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![(self.initial, 0u64)];
+        seen.insert((self.initial, 0u64));
+        while let Some((q, st)) = stack.pop() {
+            if self.finals[q] && st != all_closed {
+                // Some document realizes this as an invalid accepting run.
+                return false;
+            }
+            for &(_, to) in &self.letters[q] {
+                if seen.insert((to, st)) {
+                    stack.push((to, st));
+                }
+            }
+            for &(mask, to) in &self.varsets[q] {
+                // A marker misuse on a path that still reaches a final state
+                // would only break validity if the run accepts; but any
+                // misused transition can be extended to an accepting run only
+                // through states we keep exploring — a `None` here kills this
+                // branch, and acceptance through it is impossible anyway
+                // (the run would be invalid at the final state *if* the
+                // status were representable). Treat misuse as reaching final
+                // states invalidly: conservatively explore a poisoned status.
+                match apply(st, mask) {
+                    Some(st2) => {
+                        if seen.insert((to, st2)) {
+                            stack.push((to, st2));
+                        }
+                    }
+                    None => {
+                        // Poison: if any final state is reachable from `to`,
+                        // some accepting run is invalid.
+                        if self.reaches_final(to) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Can any final state be reached from `q` (through any transitions)?
+    fn reaches_final(&self, q: usize) -> bool {
+        let mut seen = StateSet::new(self.num_states);
+        let mut stack = vec![q];
+        seen.insert(q);
+        while let Some(p) = stack.pop() {
+            if self.finals[p] {
+                return true;
+            }
+            for &(_, to) in &self.letters[p] {
+                if seen.insert(to) {
+                    stack.push(to);
+                }
+            }
+            for &(_, to) in &self.varsets[p] {
+                if seen.insert(to) {
+                    stack.push(to);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(&['a', 'b'])
+    }
+
+    #[test]
+    fn block_spanner_is_functional() {
+        let eva = crate::block_spanner(&ab(), 'a');
+        assert!(eva.is_functional());
+        assert_eq!(eva.used_marker_sets(), vec![0b01, 0b10]);
+    }
+
+    #[test]
+    fn missing_close_is_not_functional() {
+        // Opens x but can accept without closing.
+        let mut eva = Eva::new(2, 1, ab());
+        eva.set_initial(0);
+        eva.set_final(1);
+        eva.add_varset(0, &[Marker::Open(0)], 1);
+        eva.add_letter(1, 0, 1);
+        assert!(!eva.is_functional());
+    }
+
+    #[test]
+    fn double_open_is_not_functional() {
+        let mut eva = Eva::new(3, 1, ab());
+        eva.set_initial(0);
+        eva.set_final(2);
+        eva.add_varset(0, &[Marker::Open(0)], 1);
+        eva.add_varset(1, &[Marker::Open(0)], 1); // reopen!
+        eva.add_varset(1, &[Marker::Close(0)], 2);
+        assert!(!eva.is_functional());
+    }
+
+    #[test]
+    fn open_close_same_position_ok() {
+        // Empty spans are valid: open and close in one marker set.
+        let mut eva = Eva::new(2, 1, ab());
+        eva.set_initial(0);
+        eva.set_final(1);
+        eva.add_varset(0, &[Marker::Open(0), Marker::Close(0)], 1);
+        eva.add_letter(1, 0, 1);
+        eva.add_letter(1, 1, 1);
+        assert!(eva.is_functional());
+    }
+
+    #[test]
+    fn misuse_on_dead_branch_is_still_functional() {
+        // A double-open path that can never reach a final state is harmless.
+        let mut eva = Eva::new(4, 1, ab());
+        eva.set_initial(0);
+        eva.set_final(3);
+        eva.add_varset(0, &[Marker::Open(0)], 1);
+        eva.add_varset(1, &[Marker::Close(0)], 3);
+        eva.add_varset(1, &[Marker::Open(0)], 2); // dead end
+        assert!(eva.is_functional());
+    }
+}

@@ -1,0 +1,385 @@
+//! Spanner expressions: a combinator front end for building eVAs.
+//!
+//! The paper's §4.1 pipeline starts from an eVA; writing one transition by
+//! transition is painful beyond toy examples, so this module provides the
+//! regex-with-capture-variables surface syntax of the spanner literature
+//! ("regex formulas" / variable-set regex of \[FKRV15\]): sequence, alternation,
+//! iteration, and `x{ e }` capture. Compilation goes through a
+//! Thompson-style automaton with ε-moves and marker moves, ε-removal, and a
+//! *marker-chain collapse* so that between two letters at most one
+//! variable-set transition fires — the alternation shape the paper's run
+//! definition requires.
+//!
+//! Functionality is *not* guaranteed by construction (e.g. starring a capture
+//! opens the variable repeatedly): [`crate::SpannerInstance::new`] still
+//! checks it, exactly as the paper restricts to functional eVAs.
+
+use lsc_automata::{Alphabet, StateSet, Symbol};
+
+use crate::{Eva, Marker, MarkerSet};
+
+/// A spanner expression over a document alphabet.
+///
+/// ```
+/// use lsc_automata::Alphabet;
+/// use lsc_spanners::{SpannerExpr, SpannerInstance};
+///
+/// // .* x{ a+ } .* — capture any nonempty block of a's.
+/// let ab = Alphabet::from_chars(&['a', 'b']);
+/// let expr = SpannerExpr::Seq(vec![
+///     SpannerExpr::skip(),
+///     SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+///     SpannerExpr::skip(),
+/// ]);
+/// let instance = SpannerInstance::new(expr.compile(&ab), "aba");
+/// assert_eq!(instance.count_exact().unwrap().to_u64(), Some(2)); // [0,1) and [2,3)
+/// ```
+#[derive(Clone, Debug)]
+pub enum SpannerExpr {
+    /// Match one specific document symbol.
+    Letter(Symbol),
+    /// Match any single document symbol.
+    AnyLetter,
+    /// Concatenation.
+    Seq(Vec<SpannerExpr>),
+    /// Alternation.
+    Alt(Vec<SpannerExpr>),
+    /// Zero or more repetitions.
+    Star(Box<SpannerExpr>),
+    /// One or more repetitions.
+    Plus(Box<SpannerExpr>),
+    /// Zero or one.
+    Opt(Box<SpannerExpr>),
+    /// `x_v { e }`: open variable `v`, match `e`, close `v`.
+    Capture(usize, Box<SpannerExpr>),
+}
+
+impl SpannerExpr {
+    /// Convenience: the expression matching a literal string.
+    pub fn literal(s: &str, alphabet: &Alphabet) -> SpannerExpr {
+        SpannerExpr::Seq(
+            s.chars()
+                .map(|c| {
+                    SpannerExpr::Letter(
+                        alphabet.symbol_of(c).expect("literal char in alphabet"),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Convenience: `.*` — skip any amount of document.
+    pub fn skip() -> SpannerExpr {
+        SpannerExpr::Star(Box::new(SpannerExpr::AnyLetter))
+    }
+
+    /// Largest variable index mentioned, if any.
+    fn max_var(&self) -> Option<usize> {
+        match self {
+            SpannerExpr::Letter(_) | SpannerExpr::AnyLetter => None,
+            SpannerExpr::Seq(parts) | SpannerExpr::Alt(parts) => {
+                parts.iter().filter_map(|p| p.max_var()).max()
+            }
+            SpannerExpr::Star(inner) | SpannerExpr::Plus(inner) | SpannerExpr::Opt(inner) => {
+                inner.max_var()
+            }
+            SpannerExpr::Capture(v, inner) => Some(
+                inner.max_var().map_or(*v, |i| i.max(*v)),
+            ),
+        }
+    }
+
+    /// Compiles to an eVA over `alphabet` (variables `0..=max_var`).
+    pub fn compile(&self, alphabet: &Alphabet) -> Eva {
+        let num_vars = self.max_var().map_or(0, |v| v + 1);
+        let mut raw = RawAutomaton {
+            edges: Vec::new(),
+            num_states: 2,
+        };
+        raw.fragment(self, 0, 1);
+        raw.into_eva(alphabet.clone(), num_vars)
+    }
+}
+
+/// Edge labels of the intermediate automaton.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RawLabel {
+    Eps,
+    Letter(Symbol),
+    AnyLetter,
+    Markers(MarkerSet),
+}
+
+struct RawAutomaton {
+    edges: Vec<(usize, RawLabel, usize)>,
+    num_states: usize,
+}
+
+impl RawAutomaton {
+    fn fresh(&mut self) -> usize {
+        self.num_states += 1;
+        self.num_states - 1
+    }
+
+    fn fragment(&mut self, e: &SpannerExpr, from: usize, to: usize) {
+        match e {
+            SpannerExpr::Letter(s) => self.edges.push((from, RawLabel::Letter(*s), to)),
+            SpannerExpr::AnyLetter => self.edges.push((from, RawLabel::AnyLetter, to)),
+            SpannerExpr::Seq(parts) => {
+                if parts.is_empty() {
+                    self.edges.push((from, RawLabel::Eps, to));
+                    return;
+                }
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { to } else { self.fresh() };
+                    self.fragment(p, cur, next);
+                    cur = next;
+                }
+            }
+            SpannerExpr::Alt(parts) => {
+                for p in parts {
+                    self.fragment(p, from, to);
+                }
+            }
+            SpannerExpr::Star(inner) => {
+                let hub = self.fresh();
+                self.edges.push((from, RawLabel::Eps, hub));
+                self.edges.push((hub, RawLabel::Eps, to));
+                self.fragment(inner, hub, hub);
+            }
+            SpannerExpr::Plus(inner) => {
+                let mid = self.fresh();
+                self.fragment(inner, from, mid);
+                self.edges.push((mid, RawLabel::Eps, to));
+                self.fragment(inner, mid, mid);
+            }
+            SpannerExpr::Opt(inner) => {
+                self.edges.push((from, RawLabel::Eps, to));
+                self.fragment(inner, from, to);
+            }
+            SpannerExpr::Capture(v, inner) => {
+                let s1 = self.fresh();
+                let s2 = self.fresh();
+                let open: MarkerSet = 1 << Marker::Open(*v).bit();
+                let close: MarkerSet = 1 << Marker::Close(*v).bit();
+                self.edges.push((from, RawLabel::Markers(open), s1));
+                self.fragment(inner, s1, s2);
+                self.edges.push((s2, RawLabel::Markers(close), to));
+            }
+        }
+    }
+
+    /// ε-closure of one state.
+    fn eps_closure(&self, q: usize) -> StateSet {
+        let mut seen = StateSet::new(self.num_states);
+        seen.insert(q);
+        let mut stack = vec![q];
+        while let Some(p) = stack.pop() {
+            for &(f, l, t) in &self.edges {
+                if f == p && l == RawLabel::Eps && seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Finalizes: ε-removal, then marker-chain collapse so at most one
+    /// variable-set transition separates two letters.
+    fn into_eva(self, alphabet: Alphabet, num_vars: usize) -> Eva {
+        // 1. ε-removal into (letter | marker) edges with closure at source;
+        //    acceptance: state 1 (the global accept) through closures.
+        let closures: Vec<StateSet> = (0..self.num_states).map(|q| self.eps_closure(q)).collect();
+        let mut letters: Vec<(usize, Symbol, usize)> = Vec::new();
+        let mut markers: Vec<(usize, MarkerSet, usize)> = Vec::new();
+        let mut accepting = vec![false; self.num_states];
+        for q in 0..self.num_states {
+            if closures[q].contains(1) {
+                accepting[q] = true;
+            }
+            for p in closures[q].iter() {
+                for &(f, l, t) in &self.edges {
+                    if f != p {
+                        continue;
+                    }
+                    match l {
+                        RawLabel::Eps => {}
+                        RawLabel::Letter(s) => letters.push((q, s, t)),
+                        RawLabel::AnyLetter => {
+                            for s in 0..alphabet.len() as Symbol {
+                                letters.push((q, s, t));
+                            }
+                        }
+                        RawLabel::Markers(m) => markers.push((q, m, t)),
+                    }
+                }
+            }
+        }
+        // 2. Marker-chain collapse: all marker-paths q ⇒ q' with unioned
+        //    masks (skipping paths that repeat a marker — those runs are
+        //    invalid regardless). Depth-first over (state, mask) pairs.
+        let mut collapsed: Vec<(usize, MarkerSet, usize)> = Vec::new();
+        for q in 0..self.num_states {
+            let mut stack: Vec<(usize, MarkerSet)> = vec![(q, 0)];
+            let mut seen: Vec<(usize, MarkerSet)> = vec![(q, 0)];
+            while let Some((p, mask)) = stack.pop() {
+                if mask != 0 && p != q {
+                    collapsed.push((q, mask, p));
+                }
+                for &(f, m, t) in &markers {
+                    if f != p || m & mask != 0 {
+                        continue; // not from here, or repeats a marker
+                    }
+                    let next = (t, mask | m);
+                    if !seen.contains(&next) {
+                        seen.push(next);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        collapsed.sort_unstable();
+        collapsed.dedup();
+        // 3. Assemble the eVA. Acceptance through trailing markers is the
+        //    product's job; here a state is final iff accepting, and marker
+        //    edges into accepting states are kept.
+        let mut eva = Eva::new(self.num_states, num_vars, alphabet);
+        eva.set_initial(0);
+        for (q, acc) in accepting.iter().enumerate() {
+            if *acc {
+                eva.set_final(q);
+            }
+        }
+        letters.sort_unstable();
+        letters.dedup();
+        for (q, s, t) in letters {
+            eva.add_letter(q, s, t);
+        }
+        for (q, mask, t) in collapsed {
+            let ms: Vec<Marker> = (0..num_vars)
+                .flat_map(|v| {
+                    let mut out = Vec::new();
+                    if mask >> (2 * v) & 1 == 1 {
+                        out.push(Marker::Open(v));
+                    }
+                    if mask >> (2 * v + 1) & 1 == 1 {
+                        out.push(Marker::Close(v));
+                    }
+                    out
+                })
+                .collect();
+            eva.add_varset(q, &ms, t);
+        }
+        eva
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Span, SpannerInstance};
+    use lsc_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::from_chars(&['a', 'b'])
+    }
+
+    /// `.* x{a+} .*` — the block spanner, written as an expression.
+    fn block_expr() -> SpannerExpr {
+        SpannerExpr::Seq(vec![
+            SpannerExpr::skip(),
+            SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::skip(),
+        ])
+    }
+
+    #[test]
+    fn block_expression_matches_handwritten_spanner() {
+        let doc = "aabaaab";
+        let from_expr = SpannerInstance::new(block_expr().compile(&ab()), doc);
+        let handwritten = SpannerInstance::new(crate::block_spanner(&ab(), 'a'), doc);
+        let mut a: Vec<Span> = from_expr.mappings().map(|m| m.spans[0]).collect();
+        let mut b: Vec<Span> = handwritten.mappings().map(|m| m.spans[0]).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_variable_extraction() {
+        // x{a+} b y{a+}: two a-blocks separated by exactly one b.
+        let expr = SpannerExpr::Seq(vec![
+            SpannerExpr::skip(),
+            SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::Letter(1),
+            SpannerExpr::Capture(1, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::skip(),
+        ]);
+        let eva = expr.compile(&ab());
+        assert_eq!(eva.num_vars(), 2);
+        let inst = SpannerInstance::new(eva, "aabaa");
+        let mappings: Vec<_> = inst.mappings().collect();
+        // x-blocks ending at position 2, y-blocks starting at 3:
+        // x ∈ {[0,2), [1,2)}, y ∈ {[3,4), [3,5)} → 4 mappings.
+        assert_eq!(mappings.len(), 4);
+        for m in &mappings {
+            assert!(m.spans[0].end == 2 && m.spans[1].start == 3, "{}", m.display());
+        }
+    }
+
+    #[test]
+    fn empty_capture_is_an_empty_span() {
+        // x{ε} at any position: n+1 mappings on a document of length n.
+        let expr = SpannerExpr::Seq(vec![
+            SpannerExpr::skip(),
+            SpannerExpr::Capture(0, Box::new(SpannerExpr::Seq(vec![]))),
+            SpannerExpr::skip(),
+        ]);
+        let inst = SpannerInstance::new(expr.compile(&ab()), "aba");
+        let mut spans: Vec<Span> = inst.mappings().map(|m| m.spans[0]).collect();
+        spans.sort();
+        assert_eq!(
+            spans,
+            (0..=3).map(|i| Span::new(i, i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacent_captures_share_a_position() {
+        // x{a} y{a}: close x and open y fire in one marker set.
+        let expr = SpannerExpr::Seq(vec![
+            SpannerExpr::Capture(0, Box::new(SpannerExpr::Letter(0))),
+            SpannerExpr::Capture(1, Box::new(SpannerExpr::Letter(0))),
+        ]);
+        let inst = SpannerInstance::new(expr.compile(&ab()), "aa");
+        let mappings: Vec<_> = inst.mappings().collect();
+        assert_eq!(mappings.len(), 1);
+        assert_eq!(mappings[0].spans[0], Span::new(0, 1));
+        assert_eq!(mappings[0].spans[1], Span::new(1, 2));
+    }
+
+    #[test]
+    fn starred_capture_is_not_functional() {
+        // (x{a})* reopens x: the instance constructor must reject it.
+        let expr = SpannerExpr::Star(Box::new(SpannerExpr::Capture(
+            0,
+            Box::new(SpannerExpr::Letter(0)),
+        )));
+        let eva = expr.compile(&ab());
+        assert!(!eva.is_functional());
+    }
+
+    #[test]
+    fn literal_and_skip_helpers() {
+        let expr = SpannerExpr::Seq(vec![
+            SpannerExpr::skip(),
+            SpannerExpr::Capture(0, Box::new(SpannerExpr::literal("ab", &ab()))),
+            SpannerExpr::skip(),
+        ]);
+        let inst = SpannerInstance::new(expr.compile(&ab()), "abab");
+        let mut spans: Vec<Span> = inst.mappings().map(|m| m.spans[0]).collect();
+        spans.sort();
+        assert_eq!(spans, vec![Span::new(0, 2), Span::new(2, 4)]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Document spanners: the information-extraction application of the paper
+//! (§4.1).
+//!
+//! `EVAL-eVA = {((A, d), µ) : A a functional eVA, d a document, µ ∈ ⟦A⟧(d)}`.
+//! Witnesses are *mappings* assigning a span of the document to each capture
+//! variable. Corollary 6 gives an FPRAS and a PLVUG for counting/sampling the
+//! mappings of a functional eVA (both new results at the time); Corollary 7
+//! upgrades unambiguous eVAs to the full `RelationUL` toolbox — exact
+//! counting, constant-delay enumeration, exact uniform sampling.
+//!
+//! The reduction encodes a mapping as the sequence of *marker sets* fired at
+//! document positions `0..=n` (the `X_i` of the paper's run definition); with
+//! all variables total, mapping ↔ marker word is a bijection, so the product
+//! of the eVA with the document is a MEM-NFA instance whose length-`(n+1)`
+//! language is exactly `⟦A⟧(d)`.
+//!
+//! * [`Eva`] — extended variable-set automata with letter and variable-set
+//!   transitions, plus the functionality and validity checks of \[FRU+18\];
+//! * [`SpannerInstance`] — the document product, mapping decode, and the
+//!   count/enumerate/sample pipelines;
+//! * [`Span`], [`Mapping`], [`Marker`] — the data model.
+
+mod eva;
+mod expr;
+mod product;
+mod span;
+
+pub use eva::{Eva, MarkerSet};
+pub use expr::SpannerExpr;
+pub use product::SpannerInstance;
+pub use span::{Mapping, Marker, Span};
+
+use lsc_automata::Alphabet;
+
+/// A ready-made example spanner: one variable `x` capturing every occurrence
+/// of `pattern_char`-blocks — concretely, `x` spans any maximal-or-not run of
+/// consecutive `pattern_char` symbols (nonempty). Unambiguous: a mapping
+/// determines its run.
+pub fn block_spanner(alphabet: &Alphabet, pattern_char: char) -> Eva {
+    let sym = alphabet
+        .symbol_of(pattern_char)
+        .expect("pattern char must be in the alphabet");
+    // States: 0 scan-before, 1 inside-x, 2 scan-after.
+    let mut eva = Eva::new(3, 1, alphabet.clone());
+    eva.set_initial(0);
+    eva.set_final(2);
+    for a in alphabet.symbols() {
+        eva.add_letter(0, a, 0);
+        eva.add_letter(2, a, 2);
+    }
+    eva.add_letter(1, sym, 1);
+    eva.add_varset(0, &[Marker::Open(0)], 1);
+    eva.add_varset(1, &[Marker::Close(0)], 2);
+    eva
+}

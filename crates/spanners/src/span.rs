@@ -1,0 +1,122 @@
+//! Spans, mappings, and markers.
+
+use std::fmt;
+
+/// A span `[start, end)` of a document, 0-based (the paper writes `[i, j⟩`
+/// 1-based; we keep Rust slice conventions). `start == end` is the empty span
+/// at a position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Inclusive start position.
+    pub start: usize,
+    /// Exclusive end position.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "span [{start}, {end}) is inverted");
+        Span { start, end }
+    }
+
+    /// The spanned substring of a document.
+    pub fn content<'d>(&self, document: &'d str) -> &'d str {
+        &document[self.start..self.end]
+    }
+
+    /// Span length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True iff the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A mapping `µ`: one span per variable (the paper's mappings are total on
+/// the variable set).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mapping {
+    /// `spans[v]` is the span of variable `v`.
+    pub spans: Vec<Span>,
+}
+
+impl Mapping {
+    /// Renders as `x0 ↦ [1, 3), x1 ↦ [0, 0)`.
+    pub fn display(&self) -> String {
+        self.spans
+            .iter()
+            .enumerate()
+            .map(|(v, s)| format!("x{v} ↦ {s}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A variable marker: `x⊢` (open) or `⊣x` (close).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Marker {
+    /// `x⊢`: variable `.0` opens here.
+    Open(usize),
+    /// `⊣x`: variable `.0` closes here.
+    Close(usize),
+}
+
+impl Marker {
+    /// Bit index in a marker-set mask: open = `2v`, close = `2v + 1`.
+    pub fn bit(&self) -> u32 {
+        match *self {
+            Marker::Open(v) => 2 * v as u32,
+            Marker::Close(v) => 2 * v as u32 + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.content("abcdefg"), "cde");
+        assert_eq!(s.to_string(), "[2, 5)");
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_span_panics() {
+        Span::new(4, 2);
+    }
+
+    #[test]
+    fn marker_bits() {
+        assert_eq!(Marker::Open(0).bit(), 0);
+        assert_eq!(Marker::Close(0).bit(), 1);
+        assert_eq!(Marker::Open(3).bit(), 6);
+        assert_eq!(Marker::Close(3).bit(), 7);
+    }
+
+    #[test]
+    fn mapping_display() {
+        let m = Mapping {
+            spans: vec![Span::new(1, 3), Span::new(0, 0)],
+        };
+        assert_eq!(m.display(), "x0 ↦ [1, 3), x1 ↦ [0, 0)");
+    }
+}

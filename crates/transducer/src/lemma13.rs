@@ -1,0 +1,208 @@
+//! Lemma 13: an NL-transducer's run space on a fixed input is an NFA.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use lsc_automata::{Alphabet, EpsNfa, Nfa, Symbol};
+
+/// An NL-transducer on a fixed input, presented by its configuration graph.
+///
+/// A configuration packages everything the machine state depends on — control
+/// state, input-head position, and the O(log n) work tape, which Appendix A.1
+/// bounds by `|Q| · n · f(n) · |Γ|^{f(n)} = poly(n)` configurations. Rather
+/// than fixing one tape encoding, implementors choose any `Config` type whose
+/// reachable set is polynomial; [`configuration_nfa`] enforces the bound with
+/// an explicit budget and fails loudly if a "transducer" turns out not to be
+/// logspace-like.
+pub trait TransducerProgram {
+    /// The configuration type (control state + heads + work memory).
+    type Config: Clone + Eq + Hash;
+
+    /// The output alphabet Σ.
+    fn alphabet(&self) -> Alphabet;
+
+    /// The initial configuration on this input.
+    fn initial(&self) -> Self::Config;
+
+    /// Is this an accepting (halting) configuration?
+    fn is_accepting(&self, config: &Self::Config) -> bool;
+
+    /// All one-step successors, each optionally writing one output symbol
+    /// (`None` = silent move → ε-transition in the configuration NFA).
+    fn successors(&self, config: &Self::Config) -> Vec<(Option<Symbol>, Self::Config)>;
+}
+
+/// The configuration budget was exhausted: the program explored more
+/// configurations than the declared polynomial bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigBudgetExceeded {
+    /// The budget that was exceeded.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for ConfigBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "configuration graph exceeded budget of {} configurations (not logspace-like?)",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for ConfigBudgetExceeded {}
+
+/// Lemma 13: compiles the reachable configuration graph into an ε-free,
+/// trimmed NFA `N_x` with `L(N_x) = M(x)` (the transducer's output set).
+///
+/// Breadth-first from the initial configuration; every discovered
+/// configuration becomes a state, every move a (possibly ε) transition. The
+/// unambiguity claim of Lemma 13 carries over: if the machine is a
+/// UL-transducer (one accepting run per output), distinct runs of `N_x` map to
+/// distinct machine runs, so `N_x` is an unambiguous NFA — certified for
+/// concrete programs by `lsc_automata::ops::is_unambiguous` in the tests.
+///
+/// # Errors
+/// [`ConfigBudgetExceeded`] if more than `budget` configurations are reachable.
+pub fn configuration_nfa<P: TransducerProgram>(
+    program: &P,
+    budget: usize,
+) -> Result<Nfa, ConfigBudgetExceeded> {
+    let alphabet = program.alphabet();
+    let mut eps = EpsNfa::new(alphabet, 0);
+    let mut ids: HashMap<P::Config, usize> = HashMap::new();
+    let mut queue: Vec<P::Config> = Vec::new();
+
+    let init = program.initial();
+    let init_id = eps.add_state();
+    eps.set_initial(init_id);
+    ids.insert(init.clone(), init_id);
+    queue.push(init);
+
+    let mut head = 0;
+    while head < queue.len() {
+        let config = queue[head].clone();
+        let id = ids[&config];
+        head += 1;
+        if program.is_accepting(&config) {
+            eps.set_accepting(id);
+        }
+        for (out, succ) in program.successors(&config) {
+            let succ_id = match ids.get(&succ) {
+                Some(&i) => i,
+                None => {
+                    if ids.len() >= budget {
+                        return Err(ConfigBudgetExceeded { budget });
+                    }
+                    let i = eps.add_state();
+                    ids.insert(succ.clone(), i);
+                    queue.push(succ);
+                    i
+                }
+            };
+            eps.add_transition(id, out, succ_id);
+        }
+    }
+    Ok(eps.remove_epsilon())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy UL-transducer emitting all words of {0,1}^n with even parity:
+    /// config = (position, parity), branching on each emitted bit, accepting
+    /// only even parity at the end.
+    struct EvenParity {
+        n: usize,
+    }
+
+    impl TransducerProgram for EvenParity {
+        type Config = (usize, bool);
+
+        fn alphabet(&self) -> Alphabet {
+            Alphabet::binary()
+        }
+
+        fn initial(&self) -> Self::Config {
+            (0, false)
+        }
+
+        fn is_accepting(&self, &(pos, parity): &Self::Config) -> bool {
+            pos == self.n && !parity
+        }
+
+        fn successors(&self, &(pos, parity): &Self::Config) -> Vec<(Option<Symbol>, Self::Config)> {
+            if pos == self.n {
+                return vec![];
+            }
+            vec![
+                (Some(0), (pos + 1, parity)),
+                (Some(1), (pos + 1, !parity)),
+            ]
+        }
+    }
+
+    #[test]
+    fn even_parity_configuration_nfa() {
+        let program = EvenParity { n: 6 };
+        let nfa = configuration_nfa(&program, 1000).unwrap();
+        assert!(lsc_automata::ops::is_unambiguous(&nfa), "UL-transducer → UFA");
+        let count = lsc_core::count::exact::count_ufa(&nfa, 6).unwrap();
+        assert_eq!(count.to_u64(), Some(32)); // half of 2^6
+        assert!(nfa.accepts(&[0, 0, 1, 1, 0, 0]));
+        assert!(!nfa.accepts(&[1, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let program = EvenParity { n: 1000 };
+        let Err(err) = configuration_nfa(&program, 10) else {
+            panic!("expected budget error");
+        };
+        assert_eq!(err, ConfigBudgetExceeded { budget: 10 });
+    }
+
+    /// A transducer with silent moves: emits 0^n but walks through 2 silent
+    /// configs per emission — exercises ε-removal.
+    struct SilentChain {
+        n: usize,
+    }
+
+    impl TransducerProgram for SilentChain {
+        type Config = (usize, u8);
+
+        fn alphabet(&self) -> Alphabet {
+            Alphabet::binary()
+        }
+
+        fn initial(&self) -> Self::Config {
+            (0, 0)
+        }
+
+        fn is_accepting(&self, &(pos, phase): &Self::Config) -> bool {
+            pos == self.n && phase == 0
+        }
+
+        fn successors(&self, &(pos, phase): &Self::Config) -> Vec<(Option<Symbol>, Self::Config)> {
+            if pos == self.n {
+                return vec![];
+            }
+            match phase {
+                0 => vec![(None, (pos, 1))],
+                1 => vec![(None, (pos, 2))],
+                _ => vec![(Some(0), (pos + 1, 0))],
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_moves_are_compiled_away() {
+        let nfa = configuration_nfa(&SilentChain { n: 4 }, 1000).unwrap();
+        assert!(nfa.accepts(&[0, 0, 0, 0]));
+        assert!(!nfa.accepts(&[0, 0, 0]));
+        assert!(!nfa.accepts(&[0, 1, 0, 0]));
+        let count = lsc_core::count::exact::count_ufa(&nfa, 4).unwrap();
+        assert!(count.is_one());
+    }
+}

@@ -1,0 +1,33 @@
+//! NL-transducers and the Lemma 13 compilation into NFAs.
+//!
+//! The paper's two classes are defined through nondeterministic logspace
+//! transducers: `RelationNL` (Definition 1) and its unambiguous restriction
+//! `RelationUL` (Definition 4). The pivotal Lemma 13 observes that on a fixed
+//! input `x`, a logspace machine has only polynomially many configurations, so
+//! its run space *is* a polynomial-size NFA `N_x` with `W_R(x) = L(N_x)` —
+//! output-producing moves become labeled transitions, silent moves become
+//! ε-transitions, and ε-removal normalizes the result.
+//!
+//! This crate realizes that compilation generically:
+//!
+//! * [`TransducerProgram`] — an NL-transducer presented by its configuration
+//!   graph: an initial configuration, nondeterministic successors (optionally
+//!   emitting one output symbol), and accepting configurations. The logspace
+//!   bound corresponds to the *promise* that only polynomially many
+//!   configurations are reachable, enforced at compile time by an explicit
+//!   budget.
+//! * [`configuration_nfa`] — Lemma 13: breadth-first exploration of reachable
+//!   configurations into an ε-NFA, ε-removal, trimming.
+//! * [`programs`] — concrete machines: the MEM-NFA membership transducer of
+//!   §5.3.2 and a SUBSET-SUM witness transducer showing how a classic
+//!   pseudo-polynomial counting problem drops into `RelationUL`.
+//!
+//! Downstream crates add more machines (`lsc-dnf` implements the SAT-DNF
+//! transducer of §3).
+
+mod lemma13;
+pub mod programs;
+mod spanl;
+
+pub use lemma13::{configuration_nfa, ConfigBudgetExceeded, TransducerProgram};
+pub use spanl::{SpanLError, SpanLFunction};

@@ -1,0 +1,151 @@
+//! SpanL functions and Corollary 3: *every function in SpanL admits an FPRAS*.
+//!
+//! `f ∈ SpanL` iff `f(x) = |M(x)|` for an NL-transducer `M` — the number of
+//! *distinct* outputs over all accepting runs (\[ÁJ93\]). The class contains
+//! `#P`-complete functions (`#NFA` itself is SpanL-complete), was known to be
+//! hard exactly, and the paper's welcome corollary is that all of it is
+//! approximable. The proof is one line on top of this crate: compile the
+//! configuration graph (Lemma 13), then run the #NFA FPRAS on the result.
+//!
+//! This module packages that line as [`SpanLFunction`].
+
+use lsc_arith::BigFloat;
+use lsc_core::fpras::{approx_count, FprasError, FprasParams};
+use lsc_core::MemNfa;
+use rand::Rng;
+
+use crate::{configuration_nfa, ConfigBudgetExceeded, TransducerProgram};
+
+/// Errors of the SpanL evaluation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanLError {
+    /// The transducer exceeded its configuration budget (not logspace-like).
+    Budget(ConfigBudgetExceeded),
+    /// The FPRAS reported a failure event.
+    Fpras(FprasError),
+    /// The transducer's outputs are not all of one length.
+    ///
+    /// The paper normalizes witnesses to a common length by padding (§2.1);
+    /// this implementation requires the transducer to do that padding itself
+    /// and reports the offending pair of lengths otherwise.
+    MixedOutputLengths(usize, usize),
+}
+
+impl std::fmt::Display for SpanLError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpanLError::Budget(e) => write!(f, "{e}"),
+            SpanLError::Fpras(e) => write!(f, "{e}"),
+            SpanLError::MixedOutputLengths(a, b) => write!(
+                f,
+                "SpanL transducer emitted outputs of lengths {a} and {b}; pad to a common length"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpanLError {}
+
+/// A SpanL function presented by its transducer on a fixed input, with the
+/// output length `ℓ` of the underlying p-relation.
+pub struct SpanLFunction {
+    instance: MemNfa,
+}
+
+impl SpanLFunction {
+    /// Compiles the transducer (Lemma 13) and validates the fixed-length
+    /// promise by inspecting the configuration NFA's accepting layers.
+    ///
+    /// # Errors
+    /// [`SpanLError::Budget`] if the configuration graph is super-polynomial;
+    /// [`SpanLError::MixedOutputLengths`] if outputs have differing lengths.
+    pub fn compile<P: TransducerProgram>(
+        program: &P,
+        output_length: usize,
+        budget: usize,
+    ) -> Result<Self, SpanLError> {
+        let nfa = configuration_nfa(program, budget).map_err(SpanLError::Budget)?;
+        // The unrolled DAG at a *wrong* length accepting anything would mean
+        // mixed lengths; check one shorter and one longer slice cheaply.
+        for probe in [output_length.saturating_sub(1), output_length + 1] {
+            if probe != output_length && !lsc_automata::unroll::UnrolledDag::build(&nfa, probe).is_empty()
+            {
+                return Err(SpanLError::MixedOutputLengths(output_length, probe));
+            }
+        }
+        Ok(SpanLFunction {
+            instance: MemNfa::new(nfa, output_length),
+        })
+    }
+
+    /// The underlying MEM-NFA instance.
+    pub fn mem_nfa(&self) -> &MemNfa {
+        &self.instance
+    }
+
+    /// Corollary 3: an FPRAS estimate of `f(x) = |M(x)|`.
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events.
+    pub fn approximate<R: Rng + ?Sized>(
+        &self,
+        params: FprasParams,
+        rng: &mut R,
+    ) -> Result<BigFloat, FprasError> {
+        approx_count(self.instance.nfa(), self.instance.length(), params, rng)
+    }
+
+    /// The exact value, when the compiled automaton happens to be unambiguous
+    /// (the function is then in the `#L`-style easy fragment — Theorem 5).
+    pub fn exact(&self) -> Option<lsc_arith::BigNat> {
+        self.instance.count_exact().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{NfaMembership, SubsetSum};
+    use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spanl_of_membership_transducer_is_sharp_nfa() {
+        // f(N, 0^k) = |L_k(N)| — the SpanL-complete #NFA function itself.
+        let nfa = ambiguity_gap_nfa(3);
+        let k = 10;
+        let f = SpanLFunction::compile(&NfaMembership::new(&nfa, k), k, 100_000).unwrap();
+        let truth = lsc_core::count::exact::count_nfa_via_determinization(&nfa, k).to_f64();
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = f.approximate(FprasParams::quick(), &mut rng).unwrap().to_f64();
+        assert!((est - truth).abs() / truth < 0.2, "est {est}, truth {truth}");
+    }
+
+    #[test]
+    fn unambiguous_fragment_is_exact() {
+        let f = SpanLFunction::compile(&SubsetSum::new(vec![1, 2, 3, 4], 5), 4, 10_000).unwrap();
+        // Subsets of {1,2,3,4} summing to 5: {1,4}, {2,3} → 2.
+        assert_eq!(f.exact().unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn mixed_lengths_rejected() {
+        // The membership transducer at k=5 only emits length-5 outputs, so
+        // declaring length 4 must fail the probe.
+        let nfa = blowup_nfa(2);
+        let err = SpanLFunction::compile(&NfaMembership::new(&nfa, 5), 4, 10_000)
+            .err()
+            .expect("mixed lengths");
+        assert!(matches!(err, SpanLError::MixedOutputLengths(4, 5)));
+    }
+
+    #[test]
+    fn budget_error_propagates() {
+        let nfa = blowup_nfa(2);
+        let err = SpanLFunction::compile(&NfaMembership::new(&nfa, 500), 500, 5)
+            .err()
+            .expect("budget");
+        assert!(matches!(err, SpanLError::Budget(_)));
+    }
+}

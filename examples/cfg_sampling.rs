@@ -1,0 +1,60 @@
+//! Context-free counting and sampling: the exact / FPRAS / open trichotomy.
+//!
+//! The paper's FPRAS covers #NFA — and therefore the *regular* fragment of
+//! context-free counting. For *unambiguous* CFGs, exact counting and exact
+//! uniform sampling are polynomial (the grammar mirror of Theorem 5). For
+//! general ambiguous CFGs, only quasi-polynomial schemes are known [GJK+97].
+//! This example walks all three cells of that table.
+//!
+//! Run with: `cargo run --release --example cfg_sampling`
+
+use logspace_repro::grammar::regular::to_mem_nfa;
+use logspace_repro::grammar::{families, Cnf, DerivationTable, TreeSampler};
+use logspace_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(97);
+
+    // ── Cell 1: unambiguous CFG ⇒ exact counting + exact uniform sampling.
+    let dyck = families::dyck();
+    println!("grammar (unambiguous):\n{dyck}");
+    let cnf = Cnf::from_cfg(&dyck);
+    let table = DerivationTable::build(&cnf, 24);
+    println!("|L_2k| for k = 0..8 (Catalan numbers):");
+    let counts: Vec<String> = (0..=8).map(|k| table.derivations(2 * k).to_string()).collect();
+    println!("  {}", counts.join(", "));
+
+    let sampler = TreeSampler::new(&table, 20);
+    println!("three uniform Dyck words of length 20 (support {}):", sampler.support());
+    let render = |w: &[u32]| -> String {
+        w.iter().map(|&s| dyck.alphabet().name(s)).collect()
+    };
+    for _ in 0..3 {
+        let w = sampler.sample(&mut rng).expect("support is nonempty");
+        println!("  {}", render(&w));
+    }
+
+    // ── Cell 2: ambiguous but regular ⇒ the paper's #NFA FPRAS applies.
+    // a*a* as a right-linear grammar: every word a^n has n+1 derivations,
+    // so derivation counting overcounts — but the NFA route counts words.
+    let regular = logspace_repro::grammar::Cfg::parse("S -> a S | a A | eps\nA -> a A | eps").unwrap();
+    let n = 30;
+    let derivations = DerivationTable::build(&Cnf::from_cfg(&regular), n).derivations(n);
+    let inst = to_mem_nfa(&regular, n).expect("grammar is right-linear");
+    let estimate = inst.count_approx(FprasParams::quick(), &mut rng).unwrap();
+    println!("\nambiguous regular grammar a*a* at n = {n}:");
+    println!("  derivation count (overcounts words): {derivations}");
+    println!("  #NFA FPRAS word-count estimate:      {estimate}  (truth: 1)");
+
+    // ── Cell 3: ambiguous, non-regular ⇒ derivation counts are an upper
+    // bound only; making them words is the open [GJK+97] problem.
+    let amb = families::ambiguous_arithmetic();
+    let una = families::arithmetic_expressions();
+    let amb_t = DerivationTable::build(&Cnf::from_cfg(&amb), 9);
+    let una_t = DerivationTable::build(&Cnf::from_cfg(&una), 9);
+    println!("\nexpression grammars at length 9 (same language!):");
+    println!("  ambiguous grammar derivations:   {}", amb_t.derivations(9));
+    println!("  unambiguous grammar derivations: {} (= exact word count)", una_t.derivations(9));
+}

@@ -1,0 +1,63 @@
+//! The §5.2 erratum, demonstrated end to end.
+//!
+//! The paper's self-reduction `ψ((N, 0^k), w)` merges the layer
+//! `Q_w = {q : (q₀, w, q) ∈ δ}` into a single state *everywhere*. This
+//! example builds that merged automaton exactly as §5.2 specifies, exhibits a
+//! word it accepts that it must not, and shows the sound derivative this
+//! repository uses instead. See DESIGN.md §2b and
+//! `crates/core/src/self_reduce.rs` for the analysis.
+//!
+//! Run with: `cargo run --release --example erratum`
+
+use logspace_repro::core::self_reduce::psi;
+use logspace_repro::prelude::*;
+use lsc_automata::families::blowup_nfa;
+
+fn main() {
+    // N = the UFA for (0|1)*1(0|1)(0|1): unique final state, no ε-moves —
+    // exactly the class §5.2 works with. Witnesses of (N, 0^5) are the
+    // length-5 words whose 3rd symbol from the end is 1.
+    let n = blowup_nfa(3);
+    println!("N: {}", n.describe());
+    let w = 1u32; // strip the first symbol w = 1
+    let qa: Vec<usize> = n.step(n.initial(), w).collect();
+    println!("Q_1 = {qa:?}  (states one 1-step from the initial state)\n");
+
+    // --- The paper's construction: merge Q_1 into a fresh initial state. ---
+    let m = n.num_states();
+    let in_qa = |q: usize| qa.contains(&q);
+    let image = |q: usize| if in_qa(q) { 0 } else { q };
+    let mut b = Nfa::builder(n.alphabet().clone(), m);
+    b.set_initial(0);
+    for q in 0..m {
+        if n.is_accepting(q) {
+            b.set_accepting(image(q));
+        }
+        for &(sym, t) in n.transitions_from(q) {
+            b.add_transition(image(q), sym, image(t));
+        }
+    }
+    let merged = b.build();
+
+    // --- The sound derivative used by this repository. ---
+    let sound = psi(&n, w);
+
+    // The witness of unsoundness: y = 1000.
+    let y = [1, 0, 0, 0];
+    let mut wy = vec![w];
+    wy.extend_from_slice(&y);
+    println!("does N accept w∘y = 11000?        {}", n.accepts(&wy));
+    println!("does merged ψ accept y = 1000?    {}  ← over-acceptance (the erratum)", merged.accepts(&y));
+    println!("does sound  ψ accept y = 1000?    {}", sound.accepts(&y));
+
+    // Witness-set sizes tell the same story: the derivative's language at
+    // length 4 must have exactly as many words as N has witnesses starting
+    // with 1 at length 5.
+    let n_inst = MemNfa::new(n.clone(), 5);
+    let starting_with_1 = n_inst.enumerate().filter(|word| word[0] == 1).count();
+    let merged_count = MemNfa::new(merged, 4).count_oracle();
+    let sound_count = MemNfa::new(sound, 4).count_oracle();
+    println!("\n|{{y : 1∘y ∈ L_5(N)}}|  = {starting_with_1}");
+    println!("|L_4(merged ψ)|       = {merged_count}  ← too big");
+    println!("|L_4(sound ψ)|        = {sound_count}");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the three problems (ENUM / COUNT / GEN) on one regex language.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use logspace_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2019);
+
+    // The language: binary words containing the substring 101, at length 14.
+    let alphabet = Alphabet::binary();
+    let nfa = Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile();
+    let n = 14;
+    let instance = MemNfa::new(nfa, n);
+    println!("instance: words of length {n} matching (0|1)*101(0|1)*");
+    println!("automaton: {} states, unambiguous: {}", instance.nfa().num_states(), instance.is_unambiguous());
+
+    // COUNT — the instance is ambiguous, so Theorem 5's exact counter refuses
+    // and Theorem 2's FPRAS steps in.
+    assert!(instance.count_exact().is_err());
+    let estimate = instance
+        .count_approx(FprasParams::with_accuracy(n, 0.05), &mut rng)
+        .expect("FPRAS failure events have vanishing probability");
+    let truth = instance.count_oracle(); // exponential-time oracle, fine at this size
+    println!("COUNT: FPRAS ≈ {estimate}, exact = {truth}");
+
+    // ENUM — polynomial delay, no repetitions; print the first few.
+    let first: Vec<String> = instance
+        .enumerate()
+        .take(5)
+        .map(|w| lsc_automata::format_word(&w, &alphabet))
+        .collect();
+    println!("ENUM (first 5 of {truth}): {first:?}");
+
+    // GEN — Las Vegas uniform generation (Corollary 23).
+    let generator = instance
+        .las_vegas_generator(FprasParams::quick(), &mut rng)
+        .unwrap();
+    print!("GEN (5 uniform samples):");
+    for _ in 0..5 {
+        let w = generator.generate(&mut rng).witness().expect("retries exhausted");
+        assert!(instance.check_witness(&w));
+        print!(" {}", lsc_automata::format_word(&w, &alphabet));
+    }
+    println!();
+
+    // The same toolbox on an unambiguous instance — everything exact.
+    let ufa = lsc_automata::families::blowup_nfa(6);
+    let exact_instance = MemNfa::new(ufa, 40);
+    let count = exact_instance.count_exact().unwrap();
+    println!("\nUFA instance ((0|1)*1(0|1)^5 at n=40): exact count = {count}");
+    let sampler = exact_instance.uniform_sampler().unwrap();
+    let w = sampler.sample(&mut rng).unwrap();
+    println!("exact uniform sample: {}", lsc_automata::format_word(&w, &alphabet));
+    let first_three: Vec<String> = exact_instance
+        .enumerate_constant_delay()
+        .unwrap()
+        .take(3)
+        .map(|w| lsc_automata::format_word(&w, &alphabet))
+        .collect();
+    println!("constant-delay enumeration, first 3: {first_three:?}");
+}

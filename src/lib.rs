@@ -1,0 +1,85 @@
+//! # logspace-repro
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > Marcelo Arenas, Luis Alberto Croquevielle, Rajesh Jayaram, Cristian
+//! > Riveros. *Efficient Logspace Classes for Enumeration, Counting, and
+//! > Uniform Generation.* PODS 2019 (arXiv:1906.09226).
+//!
+//! The paper defines two relation classes by nondeterministic logspace
+//! transducers — `RelationNL` and its unambiguous restriction `RelationUL` —
+//! and shows both have remarkably good algorithmic properties for the three
+//! fundamental query-answering problems:
+//!
+//! | | `ENUM` | `COUNT` | `GEN` |
+//! |---|---|---|---|
+//! | `RelationUL` | constant delay | exact, in P | exact uniform, in P |
+//! | `RelationNL` | polynomial delay | **FPRAS** | Las Vegas uniform |
+//!
+//! The bolded cell is the headline: **#NFA admits an FPRAS** (previously open;
+//! it follows that every SpanL function does). Everything routes through the
+//! complete problems `MEM-NFA` / `MEM-UFA` ([`prelude::MemNfa`]), and the applications
+//! of §4 — document spanners, regular path queries, (n)OBDDs — are thin
+//! witness-preserving reductions onto them.
+//!
+//! ## Crate map
+//!
+//! * [`arith`] — big naturals and extended-range floats (substrate).
+//! * [`automata`] — NFAs, regexes, the unrolled DAG (substrate).
+//! * [`transducer`] — NL-transducers and the Lemma 13 compilation.
+//! * [`core`] — the paper's algorithms: exact counting, the #NFA FPRAS,
+//!   constant/polynomial-delay enumeration, exact/Las-Vegas uniform sampling.
+//! * [`dnf`], [`graphdb`], [`bdd`], [`spanners`] — the §3/§4 applications.
+//! * [`grammar`] — context-free grammars: exact counting/sampling for the
+//!   unambiguous fragment, FPRAS routing for the regular fragment (the
+//!   \[GJK+97\] contrast the paper draws in §1).
+//! * [`nnf`] — d-DNNF knowledge compilation (the \[ABJM17\] contrast drawn
+//!   in §3): circuit-level counting, enumeration, and sampling.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use logspace_repro::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Words of length 12 over {0,1} containing the substring 101.
+//! let alphabet = Alphabet::binary();
+//! let nfa = Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile();
+//! let instance = MemNfa::new(nfa, 12);
+//!
+//! // COUNT: the instance is ambiguous, so use the FPRAS...
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let estimate = instance.count_approx(FprasParams::quick(), &mut rng).unwrap();
+//! // ...and compare with the exponential-time oracle on this small case.
+//! let truth = instance.count_oracle();
+//! assert!((estimate.to_f64() - truth.to_f64()).abs() / truth.to_f64() < 0.2);
+//!
+//! // ENUM: polynomial delay, no repetitions.
+//! assert_eq!(instance.enumerate().count() as u64, truth.to_u64().unwrap());
+//!
+//! // GEN: Las Vegas uniform generation.
+//! let generator = instance.las_vegas_generator(FprasParams::quick(), &mut rng).unwrap();
+//! let witness = generator.generate(&mut rng).witness().unwrap();
+//! assert!(instance.check_witness(&witness));
+//! ```
+
+pub use lsc_arith as arith;
+pub use lsc_automata as automata;
+pub use lsc_bdd as bdd;
+pub use lsc_core as core;
+pub use lsc_dnf as dnf;
+pub use lsc_grammar as grammar;
+pub use lsc_graphdb as graphdb;
+pub use lsc_nnf as nnf;
+pub use lsc_spanners as spanners;
+pub use lsc_transducer as transducer;
+
+/// The most common imports, for examples and downstream users.
+pub mod prelude {
+    pub use lsc_arith::{BigFloat, BigNat};
+    pub use lsc_automata::regex::Regex;
+    pub use lsc_automata::{Alphabet, Nfa, Word};
+    pub use lsc_core::fpras::FprasParams;
+    pub use lsc_core::sample::GenOutcome;
+    pub use lsc_core::MemNfa;
+}

@@ -1,0 +1,100 @@
+//! Failure injection: the error paths of the randomized algorithms must
+//! surface as typed errors, never as wrong answers.
+
+use logspace_repro::prelude::*;
+use lsc_automata::families;
+use lsc_core::fpras::{run_fpras, FprasError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A hostile configuration — one retry, huge rejection constant — must either
+/// succeed or report `SamplingFailed`, never return a bogus estimate
+/// silently.
+#[test]
+fn starved_retry_budget_reports_sampling_failure() {
+    let nfa = families::ambiguity_gap_nfa(3);
+    let mut params = FprasParams::quick();
+    params.attempts = 1;
+    // A rejection constant > 1 drives φ out of (0,1] immediately: every
+    // attempt fails, and the built-in attempts floor (40/c) stays tiny.
+    params.rejection_constant = 40.0;
+    let mut rng = StdRng::seed_from_u64(1);
+    match run_fpras(&nfa, 10, params, &mut rng) {
+        Err(FprasError::SamplingFailed { layer, .. }) => {
+            assert!(layer <= 10);
+        }
+        Err(other) => panic!("unexpected error {other:?}"),
+        Ok(state) => {
+            // Only legitimate if no vertex needed sampling at all.
+            let (_, sampled) = state.vertex_stats();
+            assert_eq!(sampled, 0, "sampled vertices cannot succeed with 0 retries");
+        }
+    }
+}
+
+/// Tiny k with exact handling off exercises the all-sampled path end to end;
+/// the estimate degrades gracefully rather than failing.
+#[test]
+fn tiny_k_still_produces_an_estimate() {
+    let nfa = families::ambiguity_gap_nfa(3);
+    let mut params = FprasParams::quick().without_exact_handling();
+    params.k = 2;
+    let truth = MemNfa::new(nfa.clone(), 8).count_oracle().to_f64();
+    let mut rng = StdRng::seed_from_u64(2);
+    let state = run_fpras(&nfa, 8, params, &mut rng).expect("should not fail outright");
+    let est = state.estimate().to_f64();
+    assert!(est > 0.0);
+    // Loose sanity bound: within a factor of 4 even at k = 2.
+    assert!(est / truth < 4.0 && truth / est < 4.0, "est {est}, truth {truth}");
+}
+
+/// Error types render readable messages (library-consumer surface).
+#[test]
+fn error_display_is_informative() {
+    let e = FprasError::SamplingFailed { layer: 3, state: 7 };
+    assert!(e.to_string().contains("retry budget"));
+    assert!(e.to_string().contains("s^3_7"));
+    let z = FprasError::ZeroEstimate { layer: 1, state: 0 };
+    assert!(z.to_string().contains("R(s^1_0)"));
+}
+
+/// The ψ-chain and table samplers reject ambiguous automata with a typed
+/// error rather than emitting biased samples.
+#[test]
+fn ambiguity_is_rejected_not_mis_sampled() {
+    let alphabet = Alphabet::binary();
+    let amb = Regex::parse("(0|1)*1(0|1)*", &alphabet).unwrap().compile();
+    let inst = MemNfa::new(amb, 6);
+    assert!(inst.count_exact().is_err());
+    assert!(inst.uniform_sampler().is_err());
+    assert!(inst.enumerate_constant_delay().is_err());
+}
+
+/// Zero-length and empty-language corners across the whole facade.
+#[test]
+fn degenerate_instances_are_total() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // Empty language at every length.
+    let alphabet = Alphabet::binary();
+    let empty = Regex::parse("∅", &alphabet).unwrap().compile();
+    for n in [0usize, 1, 5] {
+        let inst = MemNfa::new(empty.clone(), n);
+        assert!(!inst.exists_witness());
+        assert_eq!(inst.count_exact().unwrap().to_u64(), Some(0));
+        assert!(inst
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .is_zero());
+        assert_eq!(inst.enumerate().count(), 0);
+        let gen = inst.las_vegas_generator(FprasParams::quick(), &mut rng).unwrap();
+        assert_eq!(gen.generate(&mut rng), GenOutcome::Empty);
+    }
+    // The ε witness at length 0.
+    let star = Regex::parse("(0|1)*", &alphabet).unwrap().compile();
+    let inst = MemNfa::new(star, 0);
+    assert!(inst.exists_witness());
+    assert_eq!(inst.count_exact().unwrap().to_u64(), Some(1));
+    assert_eq!(inst.enumerate().collect::<Vec<_>>(), vec![Vec::<u32>::new()]);
+    let sampler = inst.uniform_sampler().unwrap();
+    assert_eq!(sampler.sample(&mut rng), Some(vec![]));
+}

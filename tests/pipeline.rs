@@ -1,0 +1,187 @@
+//! Cross-crate end-to-end tests: every §3/§4 application through the full
+//! MEM-NFA toolbox, with exact oracles where they exist.
+
+use logspace_repro::prelude::*;
+use logspace_repro::transducer::{configuration_nfa, programs::NfaMembership};
+use lsc_automata::families;
+use lsc_automata::ops::is_unambiguous;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// FPRAS vs determinization oracle across heterogeneous NFA families.
+#[test]
+fn fpras_tracks_oracle_across_families() {
+    let mut rng = StdRng::seed_from_u64(1000);
+    let mut cases: Vec<(String, lsc_automata::Nfa, usize)> = vec![
+        ("blowup(5)".into(), families::blowup_nfa(5), 12),
+        ("gap(3)".into(), families::ambiguity_gap_nfa(3), 10),
+        ("universal".into(), families::universal_nfa(Alphabet::binary()), 20),
+    ];
+    for name in ["contains-101", "starts-ends-1", "parity-like", "blocks-of-1"] {
+        cases.push((name.into(), families::regex_family(name).unwrap(), 12));
+    }
+    for seed in 0..4u64 {
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let nfa = families::random_nfa(7, Alphabet::binary(), 0.25, 0.4, &mut gen_rng);
+        cases.push((format!("random-{seed}"), nfa, 10));
+    }
+    for (name, nfa, n) in cases {
+        let inst = MemNfa::new(nfa, n);
+        let truth = inst.count_oracle().to_f64();
+        let est = inst
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        if truth == 0.0 {
+            assert_eq!(est, 0.0, "{name}: empty language must estimate 0");
+        } else {
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.2, "{name}: rel err {err:.3} (est {est}, truth {truth})");
+        }
+    }
+}
+
+/// The three enumeration routes agree wherever they all apply.
+#[test]
+fn enumeration_routes_agree() {
+    for k in 2..5 {
+        let nfa = families::blowup_nfa(k);
+        let n = 2 * k;
+        let inst = MemNfa::new(nfa.clone(), n);
+        let mut constant: Vec<Word> = inst.enumerate_constant_delay().unwrap().collect();
+        let mut poly: Vec<Word> = inst.enumerate().collect();
+        constant.sort();
+        poly.sort();
+        assert_eq!(constant, poly, "k={k}");
+        assert_eq!(
+            constant.len() as u64,
+            inst.count_oracle().to_u64().unwrap(),
+            "k={k}"
+        );
+    }
+}
+
+/// Lemma 13 round-trip composed with the FPRAS: approximate counting through
+/// the transducer pipeline stays accurate.
+#[test]
+fn transducer_pipeline_counts() {
+    let mut rng = StdRng::seed_from_u64(2000);
+    let base = families::regex_family("contains-101").unwrap();
+    let n = 10;
+    let compiled = configuration_nfa(&NfaMembership::new(&base, n), 100_000).unwrap();
+    let inst = MemNfa::new(compiled, n);
+    let truth = inst.count_oracle().to_f64();
+    let est = inst
+        .count_approx(FprasParams::quick(), &mut rng)
+        .unwrap()
+        .to_f64();
+    assert!((est - truth).abs() / truth < 0.2, "est {est}, truth {truth}");
+}
+
+/// DNF: generic FPRAS, Karp–Luby, and brute force triangulate.
+#[test]
+fn dnf_three_way_agreement() {
+    use logspace_repro::dnf::{karp_luby, random_dnf, to_nfa};
+    let mut rng = StdRng::seed_from_u64(3000);
+    for seed in 0..3u64 {
+        let mut frng = StdRng::seed_from_u64(seed);
+        let f = random_dnf(12, 6, 4, &mut frng);
+        let truth = f.count_models_brute_force().to_f64();
+        if truth == 0.0 {
+            continue;
+        }
+        let generic = MemNfa::new(to_nfa(&f), 12)
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        let kl = karp_luby(&f, 40_000, &mut rng).to_f64();
+        assert!((generic - truth).abs() / truth < 0.2, "formula {f}");
+        assert!((kl - truth).abs() / truth < 0.1, "formula {f}");
+    }
+}
+
+/// BDD pipeline: model counts agree between the native DP, the UFA reduction,
+/// and (on the ambiguous nOBDD side) the FPRAS.
+#[test]
+fn bdd_pipeline_counts() {
+    use logspace_repro::bdd::{obdd_to_ufa, BddManager};
+    let mut m = BddManager::new(10);
+    // Chain of alternating ops over 10 vars.
+    let mut f = m.var(0);
+    for i in 1..10 {
+        let v = m.var(i);
+        f = if i % 2 == 0 { m.or(f, v) } else { m.and(f, v) };
+    }
+    let native = m.count_models(f);
+    let inst = MemNfa::new(obdd_to_ufa(&m, f), 10);
+    assert_eq!(inst.count_exact().unwrap(), native);
+    assert_eq!(inst.count_oracle(), native);
+}
+
+/// Spanners: mapping counts via all three counting routes.
+#[test]
+fn spanner_pipeline_counts() {
+    use logspace_repro::spanners::{block_spanner, SpannerInstance};
+    let mut rng = StdRng::seed_from_u64(4000);
+    let alphabet = Alphabet::from_chars(&['a', 'b']);
+    for doc in ["", "b", "a", "aab", "aabaaab", "aaaaaaaaab"] {
+        let inst = SpannerInstance::new(block_spanner(&alphabet, 'a'), doc);
+        let oracle = inst.count_oracle();
+        assert_eq!(
+            inst.count_exact().unwrap(),
+            oracle,
+            "doc {doc:?}: exact vs oracle"
+        );
+        let est = inst.count_approx(FprasParams::quick(), &mut rng).unwrap();
+        let t = oracle.to_f64();
+        if t == 0.0 {
+            assert!(est.is_zero());
+        } else {
+            assert!((est.to_f64() - t).abs() / t < 0.2, "doc {doc:?}");
+        }
+        assert_eq!(inst.mappings().count() as u64, oracle.to_u64().unwrap());
+    }
+}
+
+/// RPQ: exact path counts survive the edge-alphabet reduction.
+#[test]
+fn rpq_pipeline_counts() {
+    use logspace_repro::graphdb::{random_graph, RpqInstance};
+    let mut rng = StdRng::seed_from_u64(5000);
+    for seed in 0..3u64 {
+        let mut grng = StdRng::seed_from_u64(seed);
+        let g = random_graph(5, 12, 2, &mut grng);
+        let inst = RpqInstance::new(g, "(a|b)*a", 5, 0, 1);
+        let truth = inst.count_paths_oracle();
+        assert_eq!(
+            inst.enumerate_paths().count() as u64,
+            truth.to_u64().unwrap(),
+            "seed {seed}"
+        );
+        let est = inst
+            .count_paths_approx(FprasParams::quick(), &mut rng)
+            .unwrap();
+        let t = truth.to_f64();
+        if t > 0.0 {
+            assert!((est.to_f64() - t).abs() / t < 0.2, "seed {seed}");
+        }
+    }
+}
+
+/// UFA instances: exact counting, FPRAS, and enumeration must coincide, and
+/// the blowup family keeps the gap to DFAs visible.
+#[test]
+fn ufa_exact_equals_fpras_on_unambiguous() {
+    let mut rng = StdRng::seed_from_u64(6000);
+    for k in 2..6 {
+        let nfa = families::blowup_nfa(k);
+        assert!(is_unambiguous(&nfa));
+        let inst = MemNfa::new(nfa, 2 * k + 1);
+        let exact = inst.count_exact().unwrap().to_f64();
+        let est = inst
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        assert!((est - exact).abs() / exact < 0.2, "k={k}");
+    }
+}

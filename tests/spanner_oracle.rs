@@ -1,0 +1,94 @@
+//! Cross-validation of the spanner pipeline: for single-capture programs
+//! `.* x{R} .*`, the mapping set must be exactly the set of spans whose
+//! content matches `R` — computable independently with the automata crate.
+
+use logspace_repro::spanners::{SpannerExpr, SpannerInstance};
+use lsc_automata::regex::Regex;
+use logspace_repro::spanners::Span;
+use lsc_automata::{parse_word, Alphabet};
+use proptest::prelude::*;
+
+fn ab() -> Alphabet {
+    Alphabet::from_chars(&['a', 'b'])
+}
+
+/// Random small regex pattern strings over {a, b}.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("ab".to_string()),
+        Just("a+".to_string()),
+        Just("a*b".to_string()),
+        Just("(a|b)b".to_string()),
+        Just("a(a|b)*".to_string()),
+        Just("(ab)+".to_string()),
+        Just("a?b?".to_string()),
+        Just("(a|bb)*".to_string()),
+    ]
+}
+
+/// Random documents over {a, b} up to length 7.
+fn document_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 0..8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Translates a plain regex AST into a capture-free spanner expression.
+fn regex_to_expr(ast: &lsc_automata::regex::Regex) -> SpannerExpr {
+    use lsc_automata::regex::Regex as R;
+    match ast {
+        R::Empty => SpannerExpr::Alt(vec![]), // matches nothing
+        R::Epsilon => SpannerExpr::Seq(vec![]),
+        R::Literal(s) => SpannerExpr::Letter(*s),
+        R::AnySymbol => SpannerExpr::AnyLetter,
+        R::Concat(parts) => SpannerExpr::Seq(parts.iter().map(regex_to_expr).collect()),
+        R::Alt(parts) => SpannerExpr::Alt(parts.iter().map(regex_to_expr).collect()),
+        R::Star(inner) => SpannerExpr::Star(Box::new(regex_to_expr(inner))),
+        R::Plus(inner) => SpannerExpr::Plus(Box::new(regex_to_expr(inner))),
+        R::Opt(inner) => SpannerExpr::Opt(Box::new(regex_to_expr(inner))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn capture_spans_are_exactly_matching_substrings(
+        pattern in pattern_strategy(),
+        document in document_strategy(),
+    ) {
+        let alphabet = ab();
+        let parsed = Regex::parse(&pattern, &alphabet).unwrap();
+        // Independent oracle: spans whose content the regex NFA accepts.
+        let nfa = parsed.compile();
+        let n = document.len();
+        let mut expected: Vec<Span> = Vec::new();
+        for i in 0..=n {
+            for j in i..=n {
+                let content = parse_word(&document[i..j], &alphabet).unwrap();
+                if nfa.accepts(&content) {
+                    expected.push(Span::new(i, j));
+                }
+            }
+        }
+        expected.sort();
+        // Pipeline under test: .* x{R} .* over the document.
+        let expr = SpannerExpr::Seq(vec![
+            SpannerExpr::skip(),
+            SpannerExpr::Capture(0, Box::new(regex_to_expr(parsed.ast()))),
+            SpannerExpr::skip(),
+        ]);
+        let eva = expr.compile(&alphabet);
+        prop_assume!(eva.is_functional()); // Empty-language captures are not functional.
+        let instance = SpannerInstance::new(eva, &document);
+        let mut got: Vec<Span> = instance.mappings().map(|m| m.spans[0]).collect();
+        got.sort();
+        prop_assert_eq!(&got, &expected, "pattern {} doc {:?}", pattern, document);
+        // And the oracle count agrees with the counting routes.
+        prop_assert_eq!(
+            instance.count_oracle().to_u64().unwrap() as usize,
+            expected.len()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Statistical validation of the generators: exact uniformity for MEM-UFA
+//! (§5.3.3) and Las Vegas uniformity for MEM-NFA (Corollary 23).
+
+use logspace_repro::prelude::*;
+use lsc_automata::families;
+use lsc_core::sample::{psi_chain_sample, GenOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Pearson chi-square statistic against the uniform distribution.
+fn chi_square(counts: &HashMap<Word, usize>, support: usize, draws: usize) -> f64 {
+    let expected = draws as f64 / support as f64;
+    let mut stat = 0.0;
+    for &c in counts.values() {
+        let d = c as f64 - expected;
+        stat += d * d / expected;
+    }
+    // Unobserved witnesses contribute their full expectation.
+    stat += (support - counts.len()) as f64 * expected;
+    stat
+}
+
+/// 99.9%-ish chi-square threshold via the normal approximation
+/// (df + 3·sqrt(2·df) covers q=0.999 for the df range used here).
+fn chi_threshold(df: f64) -> f64 {
+    df + 3.0 * (2.0 * df).sqrt()
+}
+
+#[test]
+fn table_sampler_is_uniform() {
+    let nfa = families::blowup_nfa(3);
+    let inst = MemNfa::new(nfa, 7);
+    let support = inst.count_exact().unwrap().to_u64().unwrap() as usize; // 64
+    let sampler = inst.uniform_sampler().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let draws = 64_000;
+    let mut counts: HashMap<Word, usize> = HashMap::new();
+    for _ in 0..draws {
+        *counts.entry(sampler.sample(&mut rng).unwrap()).or_default() += 1;
+    }
+    assert_eq!(counts.len(), support, "full support reached");
+    let stat = chi_square(&counts, support, draws);
+    assert!(
+        stat < chi_threshold((support - 1) as f64),
+        "chi-square {stat} over df {}",
+        support - 1
+    );
+}
+
+#[test]
+fn psi_chain_sampler_is_uniform() {
+    let nfa = families::blowup_nfa(2);
+    let n = 5;
+    let support = MemNfa::new(nfa.clone(), n)
+        .count_exact()
+        .unwrap()
+        .to_u64()
+        .unwrap() as usize; // 16
+    let mut rng = StdRng::seed_from_u64(2);
+    let draws = 8_000;
+    let mut counts: HashMap<Word, usize> = HashMap::new();
+    for _ in 0..draws {
+        let w = psi_chain_sample(&nfa, n, &mut rng).unwrap().unwrap();
+        *counts.entry(w).or_default() += 1;
+    }
+    assert_eq!(counts.len(), support);
+    let stat = chi_square(&counts, support, draws);
+    assert!(stat < chi_threshold((support - 1) as f64), "chi-square {stat}");
+}
+
+#[test]
+fn plvug_is_uniform_conditioned_on_success() {
+    // Ambiguous instance: (0|1)*11(0|1)* at n = 6 → 2^6 - fib-ish support.
+    let alphabet = Alphabet::binary();
+    let nfa = Regex::parse("(0|1)*11(0|1)*", &alphabet).unwrap().compile();
+    let inst = MemNfa::new(nfa, 6);
+    let support = inst.count_oracle().to_u64().unwrap() as usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let generator = inst
+        .las_vegas_generator(FprasParams::quick(), &mut rng)
+        .unwrap();
+    let draws = 30_000;
+    let mut counts: HashMap<Word, usize> = HashMap::new();
+    let mut produced = 0;
+    for _ in 0..draws {
+        if let GenOutcome::Witness(w) = generator.generate(&mut rng) {
+            assert!(inst.check_witness(&w));
+            *counts.entry(w).or_default() += 1;
+            produced += 1;
+        }
+    }
+    assert_eq!(produced, draws, "retried generation should not fail");
+    assert_eq!(counts.len(), support);
+    let stat = chi_square(&counts, support, produced);
+    assert!(
+        stat < chi_threshold((support - 1) as f64),
+        "chi-square {stat} over df {}",
+        support - 1
+    );
+}
+
+#[test]
+fn plvug_single_attempt_failure_is_bounded() {
+    // The PLVUG definition demands failure < 1/2 after retries; a single
+    // attempt must succeed with probability ≈ the rejection constant
+    // (Proposition 18 bounds it below e⁻⁵ under paper constants; our default
+    // e⁻² sits far above that floor).
+    let nfa = families::ambiguity_gap_nfa(3);
+    let inst = MemNfa::new(nfa, 9);
+    let mut rng = StdRng::seed_from_u64(4);
+    let generator = inst
+        .las_vegas_generator(FprasParams::quick(), &mut rng)
+        .unwrap();
+    let trials = 3_000;
+    let ok = (0..trials)
+        .filter(|_| matches!(generator.generate_once(&mut rng), GenOutcome::Witness(_)))
+        .count();
+    let rate = ok as f64 / trials as f64;
+    assert!(rate > (-5.0f64).exp(), "success rate {rate} below the e⁻⁵ floor");
+}
+
+#[test]
+fn diagnostics_module_agrees_with_local_checks() {
+    // The public SampleStats API must reach the same verdicts as the local
+    // chi-square helpers used above.
+    use lsc_core::sample::SampleStats;
+    let nfa = families::blowup_nfa(3);
+    let inst = MemNfa::new(nfa, 7);
+    let support = inst.count_exact().unwrap().to_u64().unwrap() as usize;
+    let sampler = inst.uniform_sampler().unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut stats = SampleStats::new();
+    for _ in 0..32_000 {
+        stats.record(sampler.sample(&mut rng).unwrap());
+    }
+    assert_eq!(stats.draws(), 32_000);
+    assert_eq!(stats.distinct(), support);
+    assert!(stats.looks_uniform(support));
+    assert!(stats.total_variation(support) < 0.05);
+}
+
+#[test]
+fn generators_agree_on_support() {
+    // ψ-chain, table, and PLVUG must all cover exactly the witness set.
+    let nfa = families::blowup_nfa(2);
+    let n = 4;
+    let inst = MemNfa::new(nfa.clone(), n);
+    let mut expected: Vec<Word> = inst.enumerate().collect();
+    expected.sort();
+    let mut rng = StdRng::seed_from_u64(5);
+    let sampler = inst.uniform_sampler().unwrap();
+    let generator = inst
+        .las_vegas_generator(FprasParams::quick(), &mut rng)
+        .unwrap();
+    let mut seen_table: Vec<Word> = Vec::new();
+    let mut seen_psi: Vec<Word> = Vec::new();
+    let mut seen_plvug: Vec<Word> = Vec::new();
+    for _ in 0..2000 {
+        seen_table.push(sampler.sample(&mut rng).unwrap());
+        seen_psi.push(psi_chain_sample(&nfa, n, &mut rng).unwrap().unwrap());
+        if let GenOutcome::Witness(w) = generator.generate(&mut rng) {
+            seen_plvug.push(w);
+        }
+    }
+    for (name, mut seen) in [
+        ("table", seen_table),
+        ("psi", seen_psi),
+        ("plvug", seen_plvug),
+    ] {
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen, expected, "{name} support mismatch");
+    }
+}
