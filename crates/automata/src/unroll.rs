@@ -25,6 +25,13 @@ use crate::{Nfa, StateId, StateSet, Symbol, Word};
 pub type NodeId = usize;
 
 /// The unrolled, pruned, layered DAG of an NFA at a fixed word length.
+///
+/// Edges are stored in CSR (compressed sparse row) form: one flat
+/// `(Symbol, NodeId)` array per direction plus per-node offsets, instead of a
+/// `Vec<Vec<…>>` of per-node heap allocations. Node ids are assigned in
+/// layer-major order and edges of a node are contiguous and sorted, so the
+/// FPRAS sampler's backward walks and the enumeration DFS read adjacency
+/// lists as sequential cache lines.
 #[derive(Clone, Debug)]
 pub struct UnrolledDag {
     n: usize,
@@ -37,8 +44,14 @@ pub struct UnrolledDag {
     start: Option<NodeId>,
     /// Layer-`n` nodes whose NFA state accepts.
     accepting: Vec<NodeId>,
-    out_edges: Vec<Vec<(Symbol, NodeId)>>,
-    in_edges: Vec<Vec<(Symbol, NodeId)>>,
+    /// Flat out-edge array; node `v` owns `out_flat[out_off[v]..out_off[v+1]]`,
+    /// sorted by `(symbol, target)`.
+    out_flat: Vec<(Symbol, NodeId)>,
+    out_off: Vec<usize>,
+    /// Flat in-edge array; node `v` owns `in_flat[in_off[v]..in_off[v+1]]`,
+    /// sorted by `(symbol, source)`.
+    in_flat: Vec<(Symbol, NodeId)>,
+    in_off: Vec<usize>,
     /// `(layer, state) → node` lookup: `index[layer * m + state]`.
     index: Vec<Option<NodeId>>,
     m: usize,
@@ -96,21 +109,46 @@ impl UnrolledDag {
                 index[t * m + q] = Some(id);
             }
         }
-        let mut out_edges: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); nodes.len()];
-        let mut in_edges: Vec<Vec<(Symbol, NodeId)>> = vec![Vec::new(); nodes.len()];
+        // CSR edge arrays: count degrees, prefix-sum into offsets, then fill
+        // with per-node write cursors and sort each node's segment.
+        let mut out_off = vec![0usize; nodes.len() + 1];
+        let mut in_off = vec![0usize; nodes.len() + 1];
+        for (id, &(t, q)) in nodes.iter().enumerate() {
+            if t == n {
+                continue;
+            }
+            for &(_, s) in nfa.transitions_from(q) {
+                if let Some(succ) = index[(t + 1) * m + s] {
+                    out_off[id + 1] += 1;
+                    in_off[succ + 1] += 1;
+                }
+            }
+        }
+        for i in 1..out_off.len() {
+            out_off[i] += out_off[i - 1];
+            in_off[i] += in_off[i - 1];
+        }
+        let num_edges = *out_off.last().unwrap_or(&0);
+        let mut out_flat = vec![(0 as Symbol, 0 as NodeId); num_edges];
+        let mut in_flat = vec![(0 as Symbol, 0 as NodeId); num_edges];
+        let mut out_cur = out_off.clone();
+        let mut in_cur = in_off.clone();
         for (id, &(t, q)) in nodes.iter().enumerate() {
             if t == n {
                 continue;
             }
             for &(a, s) in nfa.transitions_from(q) {
                 if let Some(succ) = index[(t + 1) * m + s] {
-                    out_edges[id].push((a, succ));
-                    in_edges[succ].push((a, id));
+                    out_flat[out_cur[id]] = (a, succ);
+                    out_cur[id] += 1;
+                    in_flat[in_cur[succ]] = (a, id);
+                    in_cur[succ] += 1;
                 }
             }
         }
-        for row in out_edges.iter_mut().chain(in_edges.iter_mut()) {
-            row.sort_unstable();
+        for v in 0..nodes.len() {
+            out_flat[out_off[v]..out_off[v + 1]].sort_unstable();
+            in_flat[in_off[v]..in_off[v + 1]].sort_unstable();
         }
         let start = index[nfa.initial()];
         let accepting = layers[n].clone();
@@ -121,8 +159,10 @@ impl UnrolledDag {
             layers,
             start,
             accepting,
-            out_edges,
-            in_edges,
+            out_flat,
+            out_off,
+            in_flat,
+            in_off,
             index,
             m,
         }
@@ -145,7 +185,7 @@ impl UnrolledDag {
 
     /// Number of surviving edges.
     pub fn num_edges(&self) -> usize {
-        self.out_edges.iter().map(Vec::len).sum()
+        self.out_flat.len()
     }
 
     /// True iff `L_n(N) = ∅` (no start vertex survived, or no accepting vertex).
@@ -179,15 +219,17 @@ impl UnrolledDag {
     }
 
     /// Out-edges of `v`, sorted by `(symbol, target)` — the fixed total order
-    /// Algorithm 1 requires on each `V(q)`.
+    /// Algorithm 1 requires on each `V(q)`. A contiguous slice of the CSR
+    /// edge array.
     pub fn out_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.out_edges[v]
+        &self.out_flat[self.out_off[v]..self.out_off[v + 1]]
     }
 
     /// In-edges of `v`, sorted by `(symbol, source)` — the per-symbol
-    /// predecessor partitions `T_b` of Algorithm 4.
+    /// predecessor partitions `T_b` of Algorithm 4. A contiguous slice of the
+    /// CSR edge array.
     pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.in_edges[v]
+        &self.in_flat[self.in_off[v]..self.in_off[v + 1]]
     }
 
     /// Number of labeled paths from each vertex to an accepting vertex.
@@ -202,7 +244,7 @@ impl UnrolledDag {
         for t in (0..self.n).rev() {
             for &v in &self.layers[t] {
                 let mut acc = BigNat::zero();
-                for &(_, succ) in &self.out_edges[v] {
+                for &(_, succ) in self.out_edges(v) {
                     acc.add_assign_ref(&counts[succ]);
                 }
                 counts[v] = acc;
@@ -223,7 +265,8 @@ impl UnrolledDag {
                 if counts[v].is_zero() {
                     continue;
                 }
-                for &(_, succ) in &self.out_edges[v] {
+                for i in self.out_off[v]..self.out_off[v + 1] {
+                    let succ = self.out_flat[i].1;
                     let c = counts[v].clone();
                     counts[succ].add_assign_ref(&c);
                 }
@@ -238,7 +281,7 @@ impl UnrolledDag {
         let mut word = Vec::with_capacity(path.len().saturating_sub(1));
         for win in path.windows(2) {
             let (v, w) = (win[0], win[1]);
-            let &(sym, _) = self.out_edges[v].iter().find(|&&(_, t)| t == w)?;
+            let &(sym, _) = self.out_edges(v).iter().find(|&&(_, t)| t == w)?;
             word.push(sym);
         }
         Some(word)

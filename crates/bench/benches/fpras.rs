@@ -44,5 +44,32 @@ fn fpras_scaling_m(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fpras_accuracy_suite, fpras_scaling_n, fpras_scaling_m);
+/// E3: the optimized hot path (prefix-mask estimator + weight memo cache +
+/// CSR DAG) against the seed baseline (quadratic scan, no memoization) on
+/// the fixed `BENCH_fpras.json` trajectory instance. `scripts/bench.sh`
+/// turns the two timings into the recorded speedup.
+fn fpras_opt_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras/e3-opt-vs-baseline");
+    group.sample_size(10);
+    let w = workloads::speedup_instance();
+    for (name, params) in [
+        ("optimized", FprasParams::quick()),
+        ("no-weight-cache", FprasParams::quick().without_weight_cache()),
+        ("baseline", FprasParams::quick().baseline()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| approx_count(&w.nfa, w.n, params, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fpras_accuracy_suite,
+    fpras_scaling_n,
+    fpras_scaling_m,
+    fpras_opt_vs_baseline
+);
 criterion_main!(benches);

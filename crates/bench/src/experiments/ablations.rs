@@ -1,4 +1,4 @@
-//! B1–B7: ablations of the design choices DESIGN.md calls out.
+//! B1–B9: ablations of the design choices DESIGN.md calls out.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -26,6 +26,7 @@ pub fn run_ablations() {
     run_b6();
     run_b7();
     run_b8();
+    run_b9();
 }
 
 fn chi_square(counts: &HashMap<Word, usize>, support: usize, draws: usize) -> f64 {
@@ -278,6 +279,36 @@ fn run_b8() {
          per-vertex seeding keeps the output bit-identical at every thread count)\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+}
+
+/// B9 — the FPRAS hot-path optimizations (DESIGN.md §3.5–3.6): the weight
+/// memo cache and the linear prefix-mask estimator, against the seed's
+/// recompute-everything quadratic path. All variants are value-preserving,
+/// so the estimates are asserted bit-identical while the wall clock diverges.
+fn run_b9() {
+    println!("## B9 — weight memo cache + linear union estimator vs seed hot path\n");
+    let w = workloads::speedup_instance();
+    let mut table = Table::new(&["hot path", "time/run", "estimate (identical by construction)"]);
+    let mut reference: Option<f64> = None;
+    for (name, params) in [
+        ("memoized + prefix mask (ours)", FprasParams::quick()),
+        ("no weight cache", FprasParams::quick().without_weight_cache()),
+        ("quadratic estimator", FprasParams::quick().with_quadratic_estimator()),
+        ("seed baseline (both off)", FprasParams::quick().baseline()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xB9);
+        let start = Instant::now();
+        let state = run_fpras(&w.nfa, w.n, params, &mut rng).unwrap();
+        let elapsed = start.elapsed();
+        let est = state.estimate().to_f64();
+        match reference {
+            None => reference = Some(est),
+            Some(r) => assert_eq!(est, r, "hot-path variants must be value-preserving"),
+        }
+        table.row(&[name.into(), dur(elapsed), f3(est)]);
+    }
+    table.print();
+    println!();
 }
 
 /// B7 — table sampler vs the paper-literal ψ-chain sampler.

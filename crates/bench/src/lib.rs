@@ -2,7 +2,7 @@
 //! printer, and the experiment implementations behind the `experiments`
 //! binary and the Criterion benches.
 //!
-//! Every experiment ID (E1–E9d, B1–B7, F1) is documented in DESIGN.md §4 and
+//! Every experiment ID (E1–E13, B1–B9, F1) is documented in DESIGN.md §4 and
 //! reported in EXPERIMENTS.md; `cargo run -p lsc-bench --release --bin
 //! experiments` regenerates all of them.
 

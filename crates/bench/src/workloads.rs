@@ -87,3 +87,16 @@ pub fn scaling_by_m(m: usize) -> Workload {
         n: 24,
     }
 }
+
+/// The fixed instance the `BENCH_fpras.json` speedup trajectory is measured
+/// on: an overlap-heavy language (every witness is reachable at several
+/// states, so the union estimates genuinely sample) at a length where the
+/// backward sampler dominates the wall clock. Fixed family + fixed `k`
+/// across PRs, so snapshot-to-snapshot ratios are meaningful.
+pub fn speedup_instance() -> Workload {
+    Workload {
+        name: "contains-101@24",
+        nfa: families::regex_family("contains-101").unwrap(),
+        n: 24,
+    }
+}

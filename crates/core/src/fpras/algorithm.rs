@@ -13,8 +13,8 @@ use lsc_automata::{Nfa, StateSet, Word};
 use rand::Rng;
 
 use super::params::FprasParams;
-use super::sampler::{sample_once, sample_once_no_rejection, SampleCtx};
-use super::sketch::{estimate_union, reach_of, SampleEntry, VertexData};
+use super::sampler::{sample_once, sample_once_no_rejection, SampleCtx, SamplerScratch};
+use super::sketch::{reach_of, SampleEntry, VertexData};
 
 /// Failure events of Algorithm 5 (both output "0" in the paper; we surface
 /// them as errors so callers can distinguish them from a genuinely empty
@@ -107,23 +107,16 @@ impl FprasState {
     /// final vertex. `None` is a *rejection* (retry), not emptiness — check
     /// [`FprasState::is_empty_language`] first.
     pub fn sample_witness<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Word> {
-        if self.dag.is_empty() {
-            return None;
-        }
-        let phi0 = BigFloat::from_f64(self.params.rejection_constant).div(self.final_r);
-        let ctx = SampleCtx {
-            dag: &self.dag,
-            data: &self.data,
-            nfa: &self.nfa,
-            recompute_membership: self.params.recompute_membership,
-        };
-        sample_once(
-            &ctx,
-            self.dag.accepting(),
-            self.dag.word_length(),
-            phi0,
-            rng,
-        )
+        // One walk visits every member set at most once (each lives in a
+        // distinct layer), so a per-call memo cache could only be built and
+        // dropped — run the one-shot draw uncached. Value-preserving either
+        // way; only [`FprasState::witness_sampler`] reuse makes caching pay.
+        self.witness_sampler_with_cache(false).sample(rng)
+    }
+
+    /// The sampler view over this state's sketches.
+    fn sample_ctx(&self) -> SampleCtx<'_> {
+        SampleCtx::new(&self.dag, &self.data, &self.nfa, &self.params)
     }
 
     /// Ablation B1: sampling with the final \[JVV86\] rejection step disabled.
@@ -134,13 +127,44 @@ impl FprasState {
         if self.dag.is_empty() {
             return None;
         }
-        let ctx = SampleCtx {
-            dag: &self.dag,
-            data: &self.data,
-            nfa: &self.nfa,
-            recompute_membership: self.params.recompute_membership,
+        let mut ctx = self.sample_ctx();
+        ctx.weight_cache = false; // one-shot walk: see sample_witness
+        let mut scratch = SamplerScratch::for_ctx(&ctx);
+        sample_once_no_rejection(
+            &ctx,
+            &mut scratch,
+            self.dag.accepting(),
+            self.dag.word_length(),
+            rng,
+        )
+    }
+
+    /// A reusable witness sampler that keeps one [`SamplerScratch`] — and
+    /// with it one weight memo cache — alive across draws. For workloads that
+    /// draw many witnesses (the GEN query under load), this amortizes the
+    /// per-level union estimates down to hash lookups after the first few
+    /// walks; [`FprasState::sample_witness`] builds and drops the scratch
+    /// every call.
+    pub fn witness_sampler(&self) -> WitnessSampler<'_> {
+        self.witness_sampler_with_cache(self.params.weight_cache)
+    }
+
+    fn witness_sampler_with_cache(&self, use_cache: bool) -> WitnessSampler<'_> {
+        let ctx = self.sample_ctx();
+        let scratch = SamplerScratch::for_ctx(&ctx);
+        // φ₀ = c / R(s_final) is invariant for this state's lifetime. An
+        // empty language has R = 0 and never walks, so any φ₀ serves.
+        let phi0 = if self.final_r.is_zero() {
+            BigFloat::zero()
+        } else {
+            BigFloat::from_f64(self.params.rejection_constant).div(self.final_r)
         };
-        sample_once_no_rejection(&ctx, self.dag.accepting(), self.dag.word_length(), rng)
+        WitnessSampler {
+            state: self,
+            scratch,
+            phi0,
+            use_cache,
+        }
     }
 
     /// Ablation B2: the final estimate *without* the intersection correction —
@@ -155,6 +179,36 @@ impl FprasState {
             }
         }
         total
+    }
+}
+
+/// Amortized repeated witness sampling over a built [`FprasState`]: see
+/// [`FprasState::witness_sampler`]. Draws are distributed identically to
+/// [`FprasState::sample_witness`] (the cache changes no computed value).
+pub struct WitnessSampler<'a> {
+    state: &'a FprasState,
+    scratch: SamplerScratch,
+    phi0: BigFloat,
+    use_cache: bool,
+}
+
+impl WitnessSampler<'_> {
+    /// One Las-Vegas attempt: `None` is a rejection (retry), not emptiness.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Word> {
+        let state = self.state;
+        if state.dag.is_empty() {
+            return None;
+        }
+        let mut ctx = state.sample_ctx();
+        ctx.weight_cache = ctx.weight_cache && self.use_cache;
+        sample_once(
+            &ctx,
+            &mut self.scratch,
+            state.dag.accepting(),
+            state.dag.word_length(),
+            self.phi0,
+            rng,
+        )
     }
 }
 
@@ -227,7 +281,15 @@ pub fn run_fpras<R: Rng + ?Sized>(
     // Within one layer, vertices are independent: estimates and samples read
     // only strictly earlier layers, so the per-vertex work parallelizes with
     // plain scoped threads (each vertex gets its own seed drawn up front, so
-    // results are bit-identical at any thread count).
+    // results are bit-identical at any thread count). Each worker owns one
+    // `SamplerScratch` — and with it one weight cache, kept thread-local so
+    // no cross-thread coordination can perturb determinism — carried across
+    // all layers: cache entries for a member set at layer ℓ read only layer
+    // ℓ-1 sketches, which never change once written, so entries stay valid
+    // for the whole run.
+    let mut workers: Vec<SamplerScratch> = (0..params.threads.max(1))
+        .map(|_| SamplerScratch::new(nfa.num_states(), dag.alphabet_size()))
+        .collect();
     for t in 1..=n {
         let pending: Vec<NodeId> = dag
             .layer(t)
@@ -241,10 +303,11 @@ pub fn run_fpras<R: Rng + ?Sized>(
         let seeds: Vec<u64> = pending.iter().map(|_| rng.gen()).collect();
         let threads = params.threads.clamp(1, pending.len());
         let results: Vec<Result<VertexData, FprasError>> = if threads == 1 {
+            let scratch = &mut workers[0];
             pending
                 .iter()
                 .zip(&seeds)
-                .map(|(&v, &seed)| build_vertex(&dag, &data, nfa, &params, t, v, seed))
+                .map(|(&v, &seed)| build_vertex(&dag, &data, nfa, &params, scratch, t, v, seed))
                 .collect()
         } else {
             let mut results: Vec<Option<Result<VertexData, FprasError>>> =
@@ -254,15 +317,17 @@ pub fn run_fpras<R: Rng + ?Sized>(
                 let data_ref = &data;
                 let dag_ref = &dag;
                 let params_ref = &params;
-                for ((vs, ss), out) in pending
+                for (((vs, ss), out), scratch) in pending
                     .chunks(chunk)
                     .zip(seeds.chunks(chunk))
                     .zip(results.chunks_mut(chunk))
+                    .zip(workers.iter_mut())
                 {
                     scope.spawn(move || {
                         for ((&v, &seed), slot) in vs.iter().zip(ss).zip(out) {
-                            *slot =
-                                Some(build_vertex(dag_ref, data_ref, nfa, params_ref, t, v, seed));
+                            *slot = Some(build_vertex(
+                                dag_ref, data_ref, nfa, params_ref, scratch, t, v, seed,
+                            ));
                         }
                     });
                 }
@@ -275,13 +340,12 @@ pub fn run_fpras<R: Rng + ?Sized>(
     }
 
     // The virtual final vertex: its single predecessor partition is the
-    // accepting set, so R(s_final) is one union estimate.
-    let final_r = estimate_union(
-        dag.accepting(),
-        &data,
-        |v| dag.node_info(v).1,
-        |e, q| membership(nfa, params.recompute_membership, e, q),
-    );
+    // accepting set, so R(s_final) is one union estimate — through the same
+    // ctx dispatch as every per-vertex estimate.
+    let final_r = {
+        let ctx = SampleCtx::new(&dag, &data, nfa, &params);
+        workers[0].estimate(&ctx, dag.accepting())
+    };
     Ok(FprasState {
         nfa: nfa.clone(),
         dag,
@@ -292,12 +356,15 @@ pub fn run_fpras<R: Rng + ?Sized>(
 }
 
 /// One vertex of step 5: estimate `R(v)` and draw the `k` samples of `X(v)`,
-/// reading only strictly earlier layers of `data`.
+/// reading only strictly earlier layers of `data`. `scratch` (with its
+/// weight cache) is owned by the calling worker and reused across vertices.
+#[allow(clippy::too_many_arguments)]
 fn build_vertex(
     dag: &UnrolledDag,
     data: &[Option<VertexData>],
     nfa: &Nfa,
     params: &FprasParams,
+    scratch: &mut SamplerScratch,
     t: usize,
     v: NodeId,
     seed: u64,
@@ -305,7 +372,8 @@ fn build_vertex(
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let state = dag.node_info(v).1;
-    let r = estimate_vertex(dag, data, v, nfa, params.recompute_membership);
+    let ctx = SampleCtx::new(dag, data, nfa, params);
+    let r = estimate_vertex(&ctx, scratch, v);
     if r.is_zero() {
         return Err(FprasError::ZeroEstimate { layer: t, state });
     }
@@ -317,17 +385,11 @@ fn build_vertex(
     let attempts = params
         .attempts
         .max((40.0 / params.rejection_constant).ceil() as usize);
-    let ctx = SampleCtx {
-        dag,
-        data,
-        nfa,
-        recompute_membership: params.recompute_membership,
-    };
     let mut samples: Vec<SampleEntry> = Vec::with_capacity(params.k);
     while samples.len() < params.k {
         let mut drawn = None;
         for _ in 0..attempts {
-            if let Some(word) = sample_once(&ctx, &[v], t, phi0, &mut rng) {
+            if let Some(word) = sample_once(&ctx, scratch, &[v], t, phi0, &mut rng) {
                 drawn = Some(word);
                 break;
             }
@@ -345,42 +407,23 @@ fn build_vertex(
     })
 }
 
-/// Membership dispatch shared by the estimator call sites (cached reach set,
-/// or ablation B6's recomputation).
-fn membership(nfa: &Nfa, recompute: bool, entry: &SampleEntry, state: usize) -> bool {
-    if recompute {
-        reach_of(nfa, &entry.word).contains(state)
-    } else {
-        entry.reach.contains(state)
-    }
-}
-
 /// `R(v) = Σ_b W̃_b(v)` over the per-symbol predecessor partitions.
-fn estimate_vertex(
-    dag: &UnrolledDag,
-    data: &[Option<VertexData>],
-    v: NodeId,
-    nfa: &Nfa,
-    recompute: bool,
-) -> BigFloat {
+fn estimate_vertex(ctx: &SampleCtx<'_>, scratch: &mut SamplerScratch, v: NodeId) -> BigFloat {
     let mut r = BigFloat::zero();
-    let in_edges = dag.in_edges(v);
+    let in_edges = ctx.dag.in_edges(v);
+    let mut part: Vec<NodeId> = Vec::new();
     let mut i = 0;
     while i < in_edges.len() {
         let symbol = in_edges[i].0;
-        let mut part: Vec<NodeId> = Vec::new();
+        part.clear();
+        // `in_edges` is sorted by (symbol, source): each symbol run is
+        // already ascending, so only duplicates need removing.
         while i < in_edges.len() && in_edges[i].0 == symbol {
             part.push(in_edges[i].1);
             i += 1;
         }
-        part.sort_unstable();
         part.dedup();
-        r = r.add(estimate_union(
-            &part,
-            data,
-            |u| dag.node_info(u).1,
-            |e, q| membership(nfa, recompute, e, q),
-        ));
+        r = r.add(scratch.estimate(ctx, &part));
     }
     r
 }

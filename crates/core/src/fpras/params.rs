@@ -36,6 +36,18 @@ pub struct FprasParams {
     /// within a layer are independent, and per-vertex seeds are drawn up
     /// front, so the result is identical at any thread count.
     pub threads: usize,
+    /// Ablation B9 (default `true`): memoize per-member-set partition
+    /// groupings and selection probabilities across the `k × attempts`
+    /// sampler walks of each worker (DESIGN.md §3.6). Disabling recomputes
+    /// the union estimates at every level of every walk — the seed's
+    /// behavior. Caching is per worker and changes no computed value, so
+    /// estimates and samples are bit-identical either way.
+    pub weight_cache: bool,
+    /// Ablation B9 (default `false`): use the seed's quadratic
+    /// membership scan in the union estimator instead of the linear
+    /// prefix-mask scan. Bit-identical output, quadratically more membership
+    /// tests — the pre-optimization baseline for the bench trajectory.
+    pub quadratic_estimator: bool,
 }
 
 impl FprasParams {
@@ -53,6 +65,8 @@ impl FprasParams {
             exact_handling: true,
             recompute_membership: false,
             threads: 1,
+            weight_cache: true,
+            quadratic_estimator: false,
         }
     }
 
@@ -65,6 +79,8 @@ impl FprasParams {
             exact_handling: true,
             recompute_membership: false,
             threads: 1,
+            weight_cache: true,
+            quadratic_estimator: false,
         }
     }
 
@@ -85,6 +101,26 @@ impl FprasParams {
     pub fn with_recomputed_membership(mut self) -> Self {
         self.recompute_membership = true;
         self
+    }
+
+    /// Ablation B9: disable the per-worker weight memo cache.
+    pub fn without_weight_cache(mut self) -> Self {
+        self.weight_cache = false;
+        self
+    }
+
+    /// Ablation B9: use the seed's quadratic membership scan in the union
+    /// estimator.
+    pub fn with_quadratic_estimator(mut self) -> Self {
+        self.quadratic_estimator = true;
+        self
+    }
+
+    /// The full pre-optimization hot path (quadratic estimator, no weight
+    /// cache): the baseline the `BENCH_fpras.json` speedups are measured
+    /// against, and the oracle side of the equivalence property tests.
+    pub fn baseline(self) -> Self {
+        self.without_weight_cache().with_quadratic_estimator()
     }
 
     /// The paper-faithful rejection constant `e⁻⁴` (Proposition 18), for runs

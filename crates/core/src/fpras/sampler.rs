@@ -7,13 +7,36 @@
 //! with probability `φ` — the Jerrum–Valiant–Vazirani rejection step that turns
 //! the approximately-correct walk distribution into an *exactly* uniform one
 //! conditioned on success (Proposition 18 / Fact 1).
+//!
+//! # Hot-path layout (DESIGN.md §3.6)
+//!
+//! Algorithm 5 invokes this sampler `k × attempts` times per DAG vertex, and
+//! every invocation from the same vertex walks the same member sets through
+//! the same layers. Two structures exploit that:
+//!
+//! * [`WeightCache`] memoizes, per member set, the per-symbol predecessor
+//!   partitions and the selection probabilities `p_b = W̃_b / ΣW̃` — after the
+//!   first walk touches a member set, subsequent walks through it reduce to a
+//!   hash lookup plus one RNG draw. The cache is *per worker* (one per scoped
+//!   thread chunk in `algorithm.rs`), never shared, so the determinism
+//!   guarantee — same master seed ⇒ bit-identical output at any thread
+//!   count — is preserved: cached values are pure functions of earlier-layer
+//!   sketches, which are frozen before any walk can read them.
+//! * [`SamplerScratch`] owns every buffer the walk needs (member-set
+//!   double-buffer, per-symbol grouping buckets, weight/probability vectors,
+//!   the estimator's prefix mask), so the steady-state walk allocates only
+//!   the returned word.
 
 use lsc_arith::BigFloat;
 use lsc_automata::unroll::{NodeId, UnrolledDag};
-use lsc_automata::{Nfa, Symbol, Word};
+use lsc_automata::{Nfa, StateSet, Symbol, Word};
 use rand::Rng;
+use std::collections::HashMap;
 
-use super::sketch::{estimate_union, reach_of, SampleEntry, VertexData};
+use super::params::FprasParams;
+use super::sketch::{
+    estimate_union_quadratic, estimate_union_with_mask, reach_of, SampleEntry, VertexData,
+};
 
 /// Read-only view of the sketches the sampler consults.
 pub(crate) struct SampleCtx<'a> {
@@ -22,6 +45,32 @@ pub(crate) struct SampleCtx<'a> {
     pub nfa: &'a Nfa,
     /// Ablation B6: recompute reach sets instead of using the cached ones.
     pub recompute_membership: bool,
+    /// Ablation B9 (seed baseline): quadratic membership scan in the
+    /// estimator instead of the prefix mask.
+    pub quadratic_estimator: bool,
+    /// Ablation B9: memoize partition weights across walks (default on).
+    pub weight_cache: bool,
+}
+
+impl<'a> SampleCtx<'a> {
+    /// The single place the `FprasParams` knobs are threaded into a sampler
+    /// view — every estimate site (per-vertex, final vertex, witness draws)
+    /// must dispatch identically.
+    pub(crate) fn new(
+        dag: &'a UnrolledDag,
+        data: &'a [Option<VertexData>],
+        nfa: &'a Nfa,
+        params: &FprasParams,
+    ) -> Self {
+        SampleCtx {
+            dag,
+            data,
+            nfa,
+            recompute_membership: params.recompute_membership,
+            quadratic_estimator: params.quadratic_estimator,
+            weight_cache: params.weight_cache,
+        }
+    }
 }
 
 impl SampleCtx<'_> {
@@ -29,7 +78,8 @@ impl SampleCtx<'_> {
         self.dag.node_info(v).1
     }
 
-    /// `x ∈ U(s)` for the NFA state of `s` — cached or recomputed (B6).
+    /// `x ∈ U(s)` for the NFA state of `s` — cached or recomputed (B6). Used
+    /// by the quadratic estimator path.
     pub(crate) fn member_of(&self, entry: &SampleEntry, state: usize) -> bool {
         if self.recompute_membership {
             reach_of(self.nfa, &entry.word).contains(state)
@@ -38,24 +88,201 @@ impl SampleCtx<'_> {
         }
     }
 
-    /// Predecessor partitions of `⋃ T` grouped by symbol, each sorted and
-    /// deduplicated (`T_b` of Algorithm 4 step 3; `T_0 ∩ T_1` may overlap).
-    fn partitions(&self, members: &[NodeId]) -> Vec<(Symbol, Vec<NodeId>)> {
-        let mut grouped: Vec<(Symbol, Vec<NodeId>)> = Vec::new();
-        for &v in members {
-            for &(a, u) in self.dag.in_edges(v) {
-                match grouped.binary_search_by_key(&a, |&(s, _)| s) {
-                    Ok(i) => grouped[i].1.push(u),
-                    Err(i) => grouped.insert(i, (a, vec![u])),
-                }
-            }
+    /// `x ∈ U(s')` for *some* earlier member whose state is in `mask` —
+    /// cached or recomputed (B6). Used by the linear estimator path.
+    pub(crate) fn covered(&self, entry: &SampleEntry, mask: &StateSet) -> bool {
+        if self.recompute_membership {
+            !reach_of(self.nfa, &entry.word).is_disjoint(mask)
+        } else {
+            !entry.reach.is_disjoint(mask)
         }
-        for (_, t) in &mut grouped {
-            t.sort_unstable();
-            t.dedup();
-        }
-        grouped
     }
+
+    /// `W̃` over `members`, dispatching between the linear prefix-mask
+    /// estimator and the quadratic baseline (B9). Both produce bit-identical
+    /// values; only the membership-test count differs.
+    pub(crate) fn estimate(&self, members: &[NodeId], mask: &mut StateSet) -> BigFloat {
+        if self.quadratic_estimator {
+            estimate_union_quadratic(
+                members,
+                self.data,
+                |v| self.state_of(v),
+                |e, q| self.member_of(e, q),
+            )
+        } else {
+            estimate_union_with_mask(
+                members,
+                self.data,
+                mask,
+                |v| self.state_of(v),
+                |e, m| self.covered(e, m),
+            )
+        }
+    }
+}
+
+/// One memoized walk level: the per-symbol predecessor partitions `T_b` of a
+/// member set, with their selection probabilities.
+struct CacheEntry {
+    /// `(symbol, T_b)` in ascending symbol order, each sorted and deduped.
+    partitions: Vec<(Symbol, Vec<NodeId>)>,
+    /// `p_b = W̃_b / ΣW̃`, aligned with `partitions`.
+    probs: Vec<f64>,
+    /// `ΣW̃ = 0`: the walk dies here (cached too — it is just as deterministic).
+    dead: bool,
+}
+
+/// Memo of [`CacheEntry`]s keyed by member set (sorted vertex ids; layer is
+/// implied since vertex ids are globally unique). Sound for as long as the
+/// sketches the entries read stay frozen — i.e. for a whole Algorithm 5 run,
+/// because entries for a member set at layer `ℓ` read only layer `ℓ-1`
+/// sketches, which are complete before any walk can reach them.
+#[derive(Default)]
+pub(crate) struct WeightCache {
+    map: HashMap<Vec<NodeId>, CacheEntry>,
+    /// Approximate resident bytes of stored keys and entries, maintained so
+    /// the cap bounds memory rather than entry count (entries vary from a
+    /// few dozen bytes to KBs on wide member sets).
+    approx_bytes: usize,
+}
+
+impl WeightCache {
+    /// Insertion stops at this approximate resident size so a long-lived
+    /// sampler (a GEN workload drawing millions of witnesses) cannot grow
+    /// memory without bound on automata whose walks keep visiting fresh
+    /// member sets. Uncached levels are recomputed — values are identical
+    /// either way, so the cap cannot perturb determinism.
+    const MAX_BYTES: usize = 256 << 20;
+
+    /// Rough resident size of one key/entry pair (vector contents plus a
+    /// fixed allowance for the map slot and vector headers).
+    fn entry_bytes(key: &[NodeId], entry: &CacheEntry) -> usize {
+        let partition_bytes: usize = entry
+            .partitions
+            .iter()
+            .map(|(_, p)| 32 + p.len() * std::mem::size_of::<NodeId>())
+            .sum();
+        96 + key.len() * std::mem::size_of::<NodeId>()
+            + partition_bytes
+            + entry.probs.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Reusable buffers for the backward walk: one per worker, threaded through
+/// every `sample_*` call so the steady-state walk performs no allocation.
+pub(crate) struct SamplerScratch {
+    /// Current member set `T` (double-buffered with `next_members`).
+    members: Vec<NodeId>,
+    next_members: Vec<NodeId>,
+    /// Prefix mask for the linear union estimator.
+    mask: StateSet,
+    /// Per-symbol predecessor buckets, indexed by symbol; `touched` lists the
+    /// nonempty ones (ascending after sort). Pre-sized from the alphabet so
+    /// grouping is O(edges), replacing the seed's `binary_search` +
+    /// `Vec::insert` (O(|Σ|) shifts per edge) grouping.
+    buckets: Vec<Vec<NodeId>>,
+    touched: Vec<Symbol>,
+    weights: Vec<BigFloat>,
+    probs: Vec<f64>,
+    cache: WeightCache,
+}
+
+impl SamplerScratch {
+    pub(crate) fn new(num_states: usize, alphabet_size: usize) -> Self {
+        SamplerScratch {
+            members: Vec::new(),
+            next_members: Vec::new(),
+            mask: StateSet::new(num_states),
+            buckets: vec![Vec::new(); alphabet_size],
+            touched: Vec::new(),
+            weights: Vec::new(),
+            probs: Vec::new(),
+            cache: WeightCache::default(),
+        }
+    }
+
+    /// Scratch sized for `ctx` (mask over the NFA states, one bucket per
+    /// alphabet symbol).
+    pub(crate) fn for_ctx(ctx: &SampleCtx<'_>) -> Self {
+        SamplerScratch::new(ctx.nfa.num_states(), ctx.dag.alphabet_size())
+    }
+
+    /// `W̃` over `members` using this scratch's mask.
+    pub(crate) fn estimate(&mut self, ctx: &SampleCtx<'_>, members: &[NodeId]) -> BigFloat {
+        ctx.estimate(members, &mut self.mask)
+    }
+}
+
+/// Groups the predecessors of `members` by symbol into `buckets`, recording
+/// nonempty symbols in `touched` (ascending). Each bucket is sorted and
+/// deduplicated — the partitions `T_b` of Algorithm 4 step 3.
+fn group_predecessors(
+    ctx: &SampleCtx<'_>,
+    members: &[NodeId],
+    buckets: &mut [Vec<NodeId>],
+    touched: &mut Vec<Symbol>,
+) {
+    for &a in touched.iter() {
+        buckets[a as usize].clear();
+    }
+    touched.clear();
+    for &v in members {
+        for &(a, u) in ctx.dag.in_edges(v) {
+            let bucket = &mut buckets[a as usize];
+            if bucket.is_empty() {
+                touched.push(a);
+            }
+            bucket.push(u);
+        }
+    }
+    touched.sort_unstable();
+    for &a in touched.iter() {
+        let bucket = &mut buckets[a as usize];
+        bucket.sort_unstable();
+        bucket.dedup();
+    }
+}
+
+/// Computes the selection probabilities for the grouped partitions into
+/// `probs`; returns `false` if every partition weight is zero (walk dies).
+/// Weight and total accumulation run in ascending symbol order — the same
+/// order as the seed implementation, keeping the floats bit-identical.
+fn level_probs(
+    ctx: &SampleCtx<'_>,
+    buckets: &[Vec<NodeId>],
+    touched: &[Symbol],
+    mask: &mut StateSet,
+    weights: &mut Vec<BigFloat>,
+    probs: &mut Vec<f64>,
+) -> bool {
+    weights.clear();
+    let mut total = BigFloat::zero();
+    for &a in touched {
+        let w = ctx.estimate(&buckets[a as usize], mask);
+        total = total.add(w);
+        weights.push(w);
+    }
+    if total.is_zero() {
+        return false;
+    }
+    probs.clear();
+    probs.extend(weights.iter().map(|w| w.ratio_f64(&total)));
+    true
+}
+
+/// Draws a partition index with the cumulative scan the seed used (one
+/// `f64` per level; float rounding can leave the cumulative a hair below 1,
+/// in which case the last positive-probability partition wins).
+fn choose_partition<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> Option<usize> {
+    let draw: f64 = rng.gen();
+    let mut cumulative = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        cumulative += p;
+        if draw < cumulative && p > 0.0 {
+            return Some(i);
+        }
+    }
+    (0..probs.len()).rev().find(|&i| probs[i] > 0.0)
 }
 
 /// One invocation of `Sample(T₀, ε, φ₀)` where `T₀` lives in layer `layer0`.
@@ -72,12 +299,13 @@ impl SampleCtx<'_> {
 ///   cosmetic extra symbol.
 pub(crate) fn sample_once<R: Rng + ?Sized>(
     ctx: &SampleCtx<'_>,
+    scratch: &mut SamplerScratch,
     t0: &[NodeId],
     layer0: usize,
     phi0: BigFloat,
     rng: &mut R,
 ) -> Option<Word> {
-    sample_inner(ctx, t0, layer0, phi0, true, rng)
+    sample_inner(ctx, scratch, t0, layer0, phi0, true, rng)
 }
 
 /// Ablation B1: the same walk *without* the final rejection step — the output
@@ -85,22 +313,35 @@ pub(crate) fn sample_once<R: Rng + ?Sized>(
 /// estimate errors (this is exactly what the \[JVV86\] rejection corrects).
 pub(crate) fn sample_once_no_rejection<R: Rng + ?Sized>(
     ctx: &SampleCtx<'_>,
+    scratch: &mut SamplerScratch,
     t0: &[NodeId],
     layer0: usize,
     rng: &mut R,
 ) -> Option<Word> {
-    sample_inner(ctx, t0, layer0, BigFloat::one(), false, rng)
+    sample_inner(ctx, scratch, t0, layer0, BigFloat::one(), false, rng)
 }
 
 fn sample_inner<R: Rng + ?Sized>(
     ctx: &SampleCtx<'_>,
+    scratch: &mut SamplerScratch,
     t0: &[NodeId],
     layer0: usize,
     phi0: BigFloat,
     rejection: bool,
     rng: &mut R,
 ) -> Option<Word> {
-    let mut members: Vec<NodeId> = t0.to_vec();
+    let SamplerScratch {
+        members,
+        next_members,
+        mask,
+        buckets,
+        touched,
+        weights,
+        probs,
+        cache,
+    } = scratch;
+    members.clear();
+    members.extend_from_slice(t0);
     let mut layer = layer0;
     let mut phi = phi0;
     let mut rev: Word = Vec::with_capacity(layer0);
@@ -121,40 +362,67 @@ fn sample_inner<R: Rng + ?Sized>(
             }
             return None;
         }
-        // Step 3: partition predecessors by symbol and weigh each by W̃_b.
-        let partitions = ctx.partitions(&members);
-        let mut weights: Vec<BigFloat> = Vec::with_capacity(partitions.len());
-        let mut total = BigFloat::zero();
-        for (_, part) in &partitions {
-            let w = estimate_union(part, ctx.data, |v| ctx.state_of(v), |e, q| ctx.member_of(e, q));
-            total = total.add(w);
-            weights.push(w);
-        }
-        if total.is_zero() {
-            return None;
-        }
+        // Step 3: partition predecessors by symbol and weigh each by W̃_b —
+        // memoized per member set, or recomputed per level under the B9
+        // ablation. Both paths produce bit-identical partitions and
+        // probabilities and consume the RNG identically (one draw per live
+        // level, none on dead levels).
+        let (symbol, p) = 'level: {
+            if ctx.weight_cache {
+                if let Some(entry) = cache.map.get(members.as_slice()) {
+                    if entry.dead {
+                        return None;
+                    }
+                    let chosen = choose_partition(&entry.probs, rng)?;
+                    let (a, part) = &entry.partitions[chosen];
+                    next_members.clear();
+                    next_members.extend_from_slice(part);
+                    break 'level (*a, entry.probs[chosen]);
+                }
+            }
+            // Miss (or cache disabled): compute the level in scratch.
+            group_predecessors(ctx, members, buckets, touched);
+            let live = level_probs(ctx, buckets, touched, mask, weights, probs);
+            if ctx.weight_cache && cache.approx_bytes < WeightCache::MAX_BYTES {
+                // Dead levels store empty partition/prob vectors: `probs`
+                // still holds the previous level's values when `level_probs`
+                // bails early, and a dead entry must not carry them. At the
+                // cap, skip the entry construction entirely — the clones
+                // would only be dropped.
+                let entry = if live {
+                    CacheEntry {
+                        partitions: touched
+                            .iter()
+                            .map(|&a| (a, buckets[a as usize].clone()))
+                            .collect(),
+                        probs: probs.clone(),
+                        dead: false,
+                    }
+                } else {
+                    CacheEntry {
+                        partitions: Vec::new(),
+                        probs: Vec::new(),
+                        dead: true,
+                    }
+                };
+                cache.approx_bytes += WeightCache::entry_bytes(members, &entry);
+                cache.map.insert(members.clone(), entry);
+            }
+            if !live {
+                return None;
+            }
+            let chosen = choose_partition(probs, rng)?;
+            let a = touched[chosen];
+            next_members.clear();
+            next_members.extend_from_slice(&buckets[a as usize]);
+            (a, probs[chosen])
+        };
         // Choose partition b with probability p_b = W̃_b / ΣW̃. The f64
         // probabilities used for selection are also the ones divided into φ,
         // keeping the acceptance probability algebraically exact.
-        let probs: Vec<f64> = weights.iter().map(|w| w.ratio_f64(&total)).collect();
-        let draw: f64 = rng.gen();
-        let mut chosen = None;
-        let mut cumulative = 0.0;
-        for (i, &p) in probs.iter().enumerate() {
-            cumulative += p;
-            if draw < cumulative && p > 0.0 {
-                chosen = Some(i);
-                break;
-            }
-        }
-        // Float rounding can leave `cumulative` a hair below 1: fall back to
-        // the last positive-probability partition.
-        let chosen = chosen.or_else(|| (0..probs.len()).rev().find(|&i| probs[i] > 0.0))?;
-        let p = probs[chosen];
         phi = phi.mul_f64(1.0 / p);
-        let (symbol, part) = partitions.into_iter().nth(chosen).expect("index in range");
         rev.push(symbol);
-        members = part;
+        std::mem::swap(members, next_members);
         layer -= 1;
     }
 }

@@ -51,11 +51,56 @@ impl VertexData {
 /// ```
 ///
 /// `T` is given as DAG vertices (all in one layer) with `≺` = vertex-id order;
-/// `data` must hold sketches for each. The inner membership `x ∈ U(s')` is
-/// delegated to `member_of(entry, state(s'))` so the caller chooses between
-/// the cached reach-set bit (default) and a from-scratch recomputation
-/// (ablation B6).
-pub fn estimate_union(
+/// `data` must hold sketches for each. The membership scan is *linear*: a
+/// prefix mask accumulates the NFA states of the members already processed,
+/// and a sample `x` is covered by some earlier `U(s')` iff `reach(x)`
+/// intersects the mask — one `O(m/64)` bitset test instead of re-testing
+/// every earlier member (DESIGN.md §3.5). The intersection test is delegated
+/// to `covered(entry, mask)` so the caller chooses between the cached
+/// reach-set (default) and a from-scratch recomputation (ablation B6).
+///
+/// The caller owns the scratch mask (cleared on entry, capacity = NFA state
+/// count), so the sampler's inner loop allocates nothing.
+pub fn estimate_union_with_mask(
+    members: &[NodeId],
+    data: &[Option<VertexData>],
+    mask: &mut StateSet,
+    state_of: impl Fn(NodeId) -> usize,
+    covered: impl Fn(&SampleEntry, &StateSet) -> bool,
+) -> BigFloat {
+    mask.clear();
+    let mut total = BigFloat::zero();
+    for (i, &u) in members.iter().enumerate() {
+        let d = data[u]
+            .as_ref()
+            .expect("estimate_union: predecessor sketch missing");
+        if !d.samples.is_empty() {
+            // `mask` holds exactly the states of the strictly-earlier members,
+            // so `reach(x) ∩ mask = ∅` ⟺ `x ∉ U(s')` for every `s' ≺ u`. The
+            // first member has an empty mask: every sample is fresh without a
+            // scan — the common singleton-partition case costs no tests at
+            // all, matching the naive scan's short-circuit.
+            let fresh = if i == 0 {
+                d.samples.len()
+            } else {
+                d.samples.iter().filter(|e| !covered(e, mask)).count()
+            };
+            let ratio = fresh as f64 / d.samples.len() as f64;
+            total = total.add(d.r.mul_f64(ratio));
+        }
+        // Empty sketches (|U| = 0 cannot happen on a pruned DAG) contribute no
+        // mass but still shade later members, exactly like the naive scan.
+        mask.insert(state_of(u));
+    }
+    total
+}
+
+/// The seed implementation of the estimator: a quadratic per-sample scan over
+/// all earlier members. Kept verbatim as (a) the oracle for the equivalence
+/// property tests and (b) the pre-optimization baseline behind ablation B9
+/// ([`crate::fpras::FprasParams::quadratic_estimator`]) that the
+/// `BENCH_fpras.json` speedup trajectory is measured against.
+pub fn estimate_union_quadratic(
     members: &[NodeId],
     data: &[Option<VertexData>],
     state_of: impl Fn(NodeId) -> usize,
@@ -67,8 +112,6 @@ pub fn estimate_union(
             .as_ref()
             .expect("estimate_union: predecessor sketch missing");
         if d.samples.is_empty() {
-            // |U(s)| = 0 cannot happen for vertices of the pruned DAG, but an
-            // empty sketch contributes nothing either way.
             continue;
         }
         let fresh = d
@@ -103,6 +146,13 @@ pub fn reach_of(nfa: &lsc_automata::Nfa, word: &[lsc_automata::Symbol]) -> State
 mod tests {
     use super::*;
 
+    /// Test shim: the estimator with a freshly allocated mask and the
+    /// default cached-reach-set coverage predicate.
+    fn estimate_union(members: &[NodeId], data: &[Option<VertexData>], m: usize) -> BigFloat {
+        let mut mask = StateSet::new(m);
+        estimate_union_with_mask(members, data, &mut mask, |v| v, |e, k| !e.reach.is_disjoint(k))
+    }
+
     fn entry(word: Word, reach_states: &[usize], m: usize) -> SampleEntry {
         let mut reach = StateSet::new(m);
         for &s in reach_states {
@@ -119,7 +169,7 @@ mod tests {
             Some(VertexData::exact(vec![entry(vec![0], &[0], m)])),
             Some(VertexData::exact(vec![entry(vec![1], &[1], m)])),
         ];
-        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        let w = estimate_union(&[0, 1], &data, m);
         assert!((w.to_f64() - 2.0).abs() < 1e-12);
     }
 
@@ -132,7 +182,7 @@ mod tests {
             Some(VertexData::exact(vec![entry(vec![0], &[0], m)])),
             Some(VertexData::exact(vec![entry(vec![0], &[0, 1], m)])),
         ];
-        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        let w = estimate_union(&[0, 1], &data, m);
         assert!((w.to_f64() - 1.0).abs() < 1e-12, "w = {w}");
     }
 
@@ -148,7 +198,7 @@ mod tests {
         v1.exact = false;
         v1.r = BigFloat::from_u64(10);
         let data = vec![Some(v0), Some(v1)];
-        let w = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q));
+        let w = estimate_union(&[0, 1], &data, m);
         assert!((w.to_f64() - 6.0).abs() < 1e-12, "1 + 10·(1/2) = 6, got {w}");
     }
 
@@ -164,8 +214,8 @@ mod tests {
                 entry(vec![1], &[1], m),
             ])),
         ];
-        let w01 = estimate_union(&[0, 1], &data, |v| v, |e, q| e.reach.contains(q)).to_f64();
-        let w10 = estimate_union(&[1, 0], &data, |v| v, |e, q| e.reach.contains(q)).to_f64();
+        let w01 = estimate_union(&[0, 1], &data, m).to_f64();
+        let w10 = estimate_union(&[1, 0], &data, m).to_f64();
         assert!((w01 - 2.0).abs() < 1e-12);
         assert!((w10 - 2.0).abs() < 1e-12);
     }

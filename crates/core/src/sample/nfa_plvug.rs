@@ -90,13 +90,16 @@ impl Plvug {
     }
 
     /// Generation with retries: fails only if all [`Plvug::retries`] attempts
-    /// reject.
+    /// reject. One `witness_sampler` — and with it one weight memo cache — is
+    /// shared across the attempts, so rejected walks amortize the union
+    /// estimates for the retries that follow.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> GenOutcome {
         if self.state.is_empty_language() {
             return GenOutcome::Empty;
         }
+        let mut sampler = self.state.witness_sampler();
         for _ in 0..self.retries {
-            if let Some(w) = self.state.sample_witness(rng) {
+            if let Some(w) = sampler.sample(rng) {
                 return GenOutcome::Witness(w);
             }
         }

@@ -1,0 +1,137 @@
+//! Equivalence tests for the FPRAS hot-path optimizations.
+//!
+//! The linear prefix-mask union estimator, the per-worker weight memo cache,
+//! and the CSR DAG layout are all *value-preserving* rewrites of the seed
+//! implementation: for a fixed master seed they must produce **bit-identical**
+//! estimates and witness streams to the naive path (quadratic membership
+//! scan, no memoization), at every thread count. These tests pin that
+//! contract across several NFA families.
+
+use lsc_arith::BigFloat;
+use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa, universal_nfa};
+use lsc_automata::regex::Regex;
+use lsc_automata::{Alphabet, Nfa};
+use lsc_core::fpras::{run_fpras, FprasParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+
+/// The NFA families the equivalence contract is checked on: ambiguous,
+/// unambiguous-after-blowup, universal, and an overlap-heavy regex language.
+fn families() -> Vec<(&'static str, Nfa, usize)> {
+    let ab = Alphabet::binary();
+    vec![
+        ("ambiguity-gap", ambiguity_gap_nfa(4), 10),
+        ("blowup", blowup_nfa(5), 12),
+        ("universal", universal_nfa(Alphabet::binary()), 8),
+        (
+            "contains-101",
+            Regex::parse("(0|1)*101(0|1)*", &ab).unwrap().compile(),
+            11,
+        ),
+    ]
+}
+
+fn bit_identical(a: &BigFloat, b: &BigFloat) -> bool {
+    a.partial_cmp_total(b) == Ordering::Equal
+}
+
+/// Every optimization knob × thread count produces the same estimate as the
+/// seed baseline for the same master seed.
+#[test]
+fn estimates_bit_identical_across_configs_and_threads() {
+    for (name, nfa, n) in families() {
+        // Small k so real sampling happens (not just exact handling).
+        let mut quick = FprasParams::quick();
+        quick.k = 16;
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(0xE0_45u64);
+            run_fpras(&nfa, n, quick.baseline(), &mut rng)
+                .unwrap()
+                .estimate()
+        };
+        let variants: Vec<(&str, FprasParams)> = vec![
+            ("optimized", quick),
+            ("no-cache", quick.without_weight_cache()),
+            ("quadratic", quick.with_quadratic_estimator()),
+            ("baseline", quick.baseline()),
+        ];
+        for (vname, params) in variants {
+            for threads in [1usize, 2, 4] {
+                let mut rng = StdRng::seed_from_u64(0xE0_45u64);
+                let est = run_fpras(&nfa, n, params.with_threads(threads), &mut rng)
+                    .unwrap()
+                    .estimate();
+                assert!(
+                    bit_identical(&est, &reference),
+                    "{name}/{vname}/threads={threads}: {est} != {reference}"
+                );
+            }
+        }
+    }
+}
+
+/// The witness streams (including rejections) are identical between the
+/// optimized and baseline samplers for the same master seed and draw seed.
+#[test]
+fn witness_streams_bit_identical() {
+    for (name, nfa, n) in families() {
+        let mut quick = FprasParams::quick();
+        quick.k = 16;
+        let fast = {
+            let mut rng = StdRng::seed_from_u64(7);
+            run_fpras(&nfa, n, quick, &mut rng).unwrap()
+        };
+        let naive = {
+            let mut rng = StdRng::seed_from_u64(7);
+            run_fpras(&nfa, n, quick.baseline(), &mut rng).unwrap()
+        };
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        for i in 0..100 {
+            let a = fast.sample_witness(&mut rng_a);
+            let b = naive.sample_witness(&mut rng_b);
+            assert_eq!(a, b, "{name}: draw {i} diverged");
+        }
+    }
+}
+
+/// The amortized `WitnessSampler` draws exactly the stream that repeated
+/// `sample_witness` calls produce (the long-lived cache changes no value).
+#[test]
+fn witness_sampler_matches_per_call_sampling() {
+    for (name, nfa, n) in families() {
+        let mut quick = FprasParams::quick();
+        quick.k = 16;
+        let mut rng = StdRng::seed_from_u64(13);
+        let state = run_fpras(&nfa, n, quick, &mut rng).unwrap();
+        let mut sampler = state.witness_sampler();
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        for i in 0..60 {
+            let a = sampler.sample(&mut rng_a);
+            let b = state.sample_witness(&mut rng_b);
+            assert_eq!(a, b, "{name}: draw {i} diverged");
+        }
+    }
+}
+
+/// B6 (recomputed membership) composed with the new estimator still matches:
+/// recomputing the reach set and intersecting with the prefix mask is the
+/// same predicate as the cached bitset test.
+#[test]
+fn recomputed_membership_matches_cached_under_mask() {
+    for (name, nfa, n) in families() {
+        let mut quick = FprasParams::quick();
+        quick.k = 16;
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        let cached = run_fpras(&nfa, n, quick, &mut rng_a).unwrap();
+        let recomputed =
+            run_fpras(&nfa, n, quick.with_recomputed_membership(), &mut rng_b).unwrap();
+        assert!(
+            bit_identical(&cached.estimate(), &recomputed.estimate()),
+            "{name}: B6 diverged from cached-membership path"
+        );
+    }
+}

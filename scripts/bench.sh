@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the criterion FPRAS benches and appends a machine-readable snapshot to
+# BENCH_fpras.json, so every PR leaves a perf-trajectory data point.
+#
+# Usage: scripts/bench.sh [extra criterion filter args]
+#
+# The snapshot records every fpras/* benchmark (mean/median ns) plus the
+# headline `speedup` of the optimized hot path over the seed baseline on the
+# fixed trajectory instance (workloads::speedup_instance — contains-101 at
+# n=24, k=64; see DESIGN.md §4).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: the bench binary's CWD is the bench package dir, not the
+# workspace root.
+export LSC_CRITERION_DIR="${LSC_CRITERION_DIR:-$(pwd)/target/lsc-criterion}"
+rm -rf "$LSC_CRITERION_DIR"
+
+cargo bench -p lsc-bench --bench fpras -- "$@"
+
+python3 - <<'PY'
+import json, os, subprocess, time
+
+out_dir = os.environ["LSC_CRITERION_DIR"]
+results = []
+for root, _, files in os.walk(out_dir):
+    for f in sorted(files):
+        if f.endswith(".json"):
+            with open(os.path.join(root, f)) as fh:
+                results.append(json.load(fh))
+results.sort(key=lambda r: (r["group"], r["id"]))
+
+def mean_of(group, ident):
+    for r in results:
+        if r["group"] == group and r["id"] == ident:
+            return r["mean_ns"]
+    return None
+
+baseline = mean_of("fpras/e3-opt-vs-baseline", "baseline")
+optimized = mean_of("fpras/e3-opt-vs-baseline", "optimized")
+speedup = round(baseline / optimized, 2) if baseline and optimized else None
+
+rev = "unknown"
+try:
+    rev = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+except Exception:
+    pass
+
+snapshot = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git_rev": rev,
+    "instance": "contains-101@24 (k=64, FprasParams::quick)",
+    "speedup_vs_seed_baseline": speedup,
+    "benchmarks": results,
+}
+
+path = "BENCH_fpras.json"
+history = []
+if os.path.exists(path):
+    with open(path) as fh:
+        history = json.load(fh)
+history.append(snapshot)
+with open(path, "w") as fh:
+    json.dump(history, fh, indent=1)
+    fh.write("\n")
+
+print(f"\nBENCH_fpras.json: appended snapshot #{len(history)}"
+      f" (speedup vs seed baseline: {speedup}x)")
+PY

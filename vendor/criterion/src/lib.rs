@@ -1,0 +1,364 @@
+//! Minimal offline stand-in for the crates.io `criterion` crate.
+//!
+//! Covers the surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `BenchmarkGroup::
+//! {sample_size, bench_function, bench_with_input, finish}`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box` — with a deliberately simple measurement
+//! model: a short warm-up, then `sample_size` timed samples where each sample
+//! runs enough iterations to exceed a minimum duration.
+//!
+//! Besides the human-readable report lines, every benchmark writes a JSON
+//! snapshot to `$LSC_CRITERION_DIR` (default `target/lsc-criterion/`) as
+//! `<group>/<id>.json` so tooling (`scripts/bench.sh`) can build machine-
+//! readable trajectories like `BENCH_fpras.json` without scraping stdout.
+//!
+//! Environment knobs:
+//! * `LSC_CRITERION_DIR` — JSON output directory;
+//! * `LSC_CRITERION_SAMPLES` — override every group's sample count (CI);
+//! * first non-flag CLI argument — substring filter on `group/id`.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target minimum wall time for one timed sample; iterations are batched
+/// until a sample exceeds it, so nanosecond-scale closures still measure.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+/// Hard per-benchmark budget: sampling stops early (with however many
+/// samples were collected, minimum one) once this much time has elapsed.
+const BENCH_TIME_BUDGET: Duration = Duration::from_secs(15);
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already names the function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times (ns), one entry per sample.
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration nanosecond timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few unmeasured runs (also lets lazy statics settle).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
+        {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Calibrate the batch size so one sample spans MIN_SAMPLE_TIME.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed();
+        let batch = if one >= MIN_SAMPLE_TIME {
+            1
+        } else {
+            (MIN_SAMPLE_TIME.as_nanos() / one.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let bench_start = Instant::now();
+        self.times_ns.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            self.times_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            if bench_start.elapsed() > BENCH_TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    group: String,
+    id: String,
+    samples: usize,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    stddev_ns: f64,
+}
+
+impl Report {
+    fn from_times(group: &str, id: &str, times: &[f64]) -> Report {
+        let mut sorted = times.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len().max(1) as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        Report {
+            group: group.to_string(),
+            id: id.to_string(),
+            samples: sorted.len(),
+            mean_ns: mean,
+            median_ns: sorted.get(sorted.len() / 2).copied().unwrap_or(0.0),
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            stddev_ns: var.sqrt(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"samples\":{},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"stddev_ns\":{:.1}}}",
+            escape(&self.group),
+            escape(&self.id),
+            self.samples,
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.stddev_ns
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+            c
+        } else {
+            '_'
+        })
+        .collect()
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark manager (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    out_dir: PathBuf,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // cargo bench passes `--bench`; treat the first non-flag arg as a
+        // substring filter, like real criterion.
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        let out_dir = std::env::var("LSC_CRITERION_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/lsc-criterion"));
+        let sample_override = std::env::var("LSC_CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Criterion {
+            filter,
+            out_dir,
+            sample_override,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// A standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one("", &id.id, 20, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        id: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_override.unwrap_or(sample_size),
+            times_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.times_ns.is_empty() {
+            println!("{full:<50} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let report = Report::from_times(group, id, &bencher.times_ns);
+        println!(
+            "{full:<50} time: [{} ± {}]  (median {}, {} samples)",
+            human_time(report.mean_ns),
+            human_time(report.stddev_ns),
+            human_time(report.median_ns),
+            report.samples
+        );
+        let dir = self.out_dir.join(sanitize(group));
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(dir.join(format!("{}.json", sanitize(id))), report.json());
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and a sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// No-op compatibility shim (real criterion tunes target time).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let (name, samples) = (self.name.clone(), self.sample_size);
+        self.c.run_one(&name, &id.id, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report-flushing no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let dir = std::env::temp_dir().join("lsc-criterion-selftest");
+        std::env::set_var("LSC_CRITERION_DIR", &dir);
+        let mut c = Criterion {
+            filter: None,
+            out_dir: dir.clone(),
+            sample_override: Some(5),
+        };
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        group.finish();
+        let json = fs::read_to_string(dir.join("selftest").join("spin.json")).unwrap();
+        assert!(json.contains("\"mean_ns\""), "json: {json}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,345 @@
+//! Minimal offline stand-in for the crates.io `num-bigint` crate.
+//!
+//! Only [`BigUint`] is provided, with the operations the arith oracle tests
+//! use: construction from `u64`, `+ - * / % <<`, ordering, decimal
+//! `Display`/`FromStr`, and [`BigUint::bits`]. The implementation is base-2³²
+//! schoolbook arithmetic — deliberately simple and *independent* of
+//! `lsc-arith`'s base-2⁶⁴ code, so it still functions as an oracle.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Rem, Shl, Sub};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer (little-endian base-2³² limbs,
+/// no trailing zero limbs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    fn trim(mut self) -> Self {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        self
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64 - 1) * 32 + (32 - top.leading_zeros() as u64),
+        }
+    }
+
+    fn bit(&self, i: u64) -> bool {
+        let (limb, off) = ((i / 32) as usize, i % 32);
+        self.limbs.get(limb).is_some_and(|&l| l >> off & 1 == 1)
+    }
+
+    fn add_ref(&self, other: &BigUint) -> BigUint {
+        let mut limbs = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as u64;
+            let sum = a + b + carry;
+            limbs.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        BigUint { limbs }.trim()
+    }
+
+    /// `self - other`; panics on underflow (mirrors `num-bigint`).
+    fn sub_ref(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *other.limbs.get(i).unwrap_or(&0) as i64;
+            let mut d = a - b - borrow;
+            borrow = 0;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            }
+            limbs.push(d as u32);
+        }
+        BigUint { limbs }.trim()
+    }
+
+    fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::default();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = limbs[i + j] as u64 + a as u64 * b as u64 + carry;
+                limbs[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = limbs[k] as u64 + carry;
+                limbs[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        BigUint { limbs }.trim()
+    }
+
+    fn shl_bits(&self, s: u64) -> BigUint {
+        if self.is_zero() {
+            return BigUint::default();
+        }
+        let (limb_shift, bit_shift) = ((s / 32) as usize, (s % 32) as u32);
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint { limbs }.trim()
+    }
+
+    /// Binary long division: `(quotient, remainder)`.
+    fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        if self < divisor {
+            return (BigUint::default(), self.clone());
+        }
+        let mut quotient = BigUint::default();
+        let mut remainder = BigUint::default();
+        for i in (0..self.bits()).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder = remainder.add_ref(&BigUint::from(1u64));
+            }
+            if remainder >= *divisor {
+                remainder = remainder.sub_ref(divisor);
+                quotient = quotient.shl_bits(1).add_ref(&BigUint::from(1u64));
+            } else {
+                quotient = quotient.shl_bits(1);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Divides in place by a small value, returning the remainder (used by
+    /// the decimal printer).
+    fn div_rem_small(&mut self, d: u32) -> u32 {
+        let mut rem = 0u64;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *limb as u64;
+            *limb = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        rem as u32
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        }
+        .trim()
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint { limbs: vec![v] }.trim()
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $imp:ident) => {
+        impl $trait for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$imp(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$imp(rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$imp(&rhs)
+            }
+        }
+        impl $trait<&BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                self.$imp(rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Sub, sub, sub_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl BigUint {
+    fn div_impl(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+    fn rem_impl(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+forward_binop!(Div, div, div_impl);
+forward_binop!(Rem, rem, rem_impl);
+
+macro_rules! impl_shl {
+    ($($t:ty),*) => {$(
+        impl Shl<$t> for BigUint {
+            type Output = BigUint;
+            fn shl(self, s: $t) -> BigUint {
+                self.shl_bits(s as u64)
+            }
+        }
+        impl Shl<$t> for &BigUint {
+            type Output = BigUint;
+            fn shl(self, s: $t) -> BigUint {
+                self.shl_bits(s as u64)
+            }
+        }
+    )*};
+}
+impl_shl!(u32, u64, usize);
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            chunks.push(cur.div_rem_small(1_000_000_000));
+        }
+        let mut out = chunks.pop().expect("nonzero has a chunk").to_string();
+        for c in chunks.iter().rev() {
+            out.push_str(&format!("{c:09}"));
+        }
+        write!(f, "{out}")
+    }
+}
+
+/// Error parsing a decimal string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal digit in BigUint literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigIntError);
+        }
+        let mut acc = BigUint::default();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigIntError)?;
+            acc = acc.mul_ref(&ten).add_ref(&BigUint::from(d as u64));
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = BigUint::from(u64::MAX) << 64u32;
+        let b = BigUint::from(12345u64);
+        let sum = &a + &b;
+        assert!(sum > a);
+        assert_eq!(&sum - &b, a);
+        let prod = &a * &b;
+        assert_eq!(&prod / b.clone(), a);
+        assert_eq!(&prod % b, BigUint::from(0u64));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let big: BigUint = "123456789012345678901234567890".parse().unwrap();
+        assert_eq!(big.to_string(), "123456789012345678901234567890");
+        assert_eq!(BigUint::from(0u64).to_string(), "0");
+        assert_eq!("0".parse::<BigUint>().unwrap(), BigUint::from(0u64));
+    }
+
+    #[test]
+    fn bits_matches_u64() {
+        for v in [0u64, 1, 2, 3, 255, 256, u64::MAX] {
+            assert_eq!(BigUint::from(v).bits(), 64 - v.leading_zeros() as u64);
+        }
+        assert_eq!((BigUint::from(1u64) << 100usize).bits(), 101);
+    }
+
+    #[test]
+    fn cmp_is_value_order() {
+        let a = BigUint::from(5u64) << 32u32;
+        let b = BigUint::from(u64::MAX >> 32);
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert_eq!(a.cmp(&a.clone()), Ordering::Equal);
+    }
+}

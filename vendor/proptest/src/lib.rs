@@ -1,0 +1,531 @@
+//! Minimal offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the generate-and-check core the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! [`Just`], integer-range and [`any`] strategies, [`collection::vec`],
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*!` / `prop_assume!`
+//! macros. **No shrinking**: a failing case reports its case index and the
+//! deterministic per-case seed instead of a minimized input (re-run with the
+//! printed seed to reproduce).
+//!
+//! Case generation is fully deterministic: case `i` of test `f` draws from
+//! `StdRng::seed_from_u64(hash(f) ⊕ i)`, so CI failures reproduce locally.
+
+use std::ops::{Range, RangeFrom};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — retry with fresh ones.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy: Clone + 'static {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: applies `expand` to the strategy `depth` times,
+    /// so generated structures nest at most `depth` levels above the leaves.
+    /// `_desired_size` and `_expected_branch` are accepted for crates.io
+    /// signature compatibility but unused by this simple expansion model.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf strategy back in so depths vary per case.
+            strat = Union {
+                arms: vec![leaf.clone(), expand(strat).boxed()],
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheap `Rc` clone).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// A union of the given arms; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy (subset of `Arbitrary`).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical full-domain strategy.
+    fn any_strategy() -> BoxedStrategy<Self>;
+}
+
+/// Full-domain draw helper behind [`any`].
+pub struct AnyOf<T>(fn(&mut TestRng) -> T);
+
+impl<T> Clone for AnyOf<T> {
+    fn clone(&self) -> Self {
+        AnyOf(self.0)
+    }
+}
+
+impl<T: 'static> Strategy for AnyOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $f:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn any_strategy() -> BoxedStrategy<$t> {
+                AnyOf::<$t>($f).boxed()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    u8 => |rng| rng.gen::<u32>() as u8,
+    u16 => |rng| rng.gen::<u32>() as u16,
+    u32 => |rng| rng.gen(),
+    u64 => |rng| rng.gen(),
+    usize => |rng| rng.gen(),
+    i32 => |rng| rng.gen::<u32>() as i32,
+    i64 => |rng| rng.gen::<u64>() as i64,
+    bool => |rng| rng.gen(),
+    f64 => |rng| rng.gen(),
+}
+
+/// The full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::any_strategy()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `vec(element, len_range)`: a vector with length drawn from the range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and driver.
+
+    use super::*;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Give-up threshold for consecutive `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test seed from its name.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Runs the generate-and-check loop for one test. `run_case` generates
+    /// inputs from the RNG and runs the body.
+    pub fn run(name: &str, config: &Config, mut run_case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| name_seed(name));
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9E3779B97F4A7C15);
+            attempt += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match run_case(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!("proptest '{name}': too many prop_assume! rejections ({rejects})");
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {case} (PROPTEST_SEED={seed}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Re-export alias matching crates.io proptest.
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    //! The glob import the tests use.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Re-export so `proptest::collection::vec` resolves under glob import too.
+    pub use crate::collection;
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a proptest body, failing the case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}: {:?} != {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, r, file!(), line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}: {:?} != {:?} — {} ({}:{})",
+                stringify!($left), stringify!($right), l, r,
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}: both {:?} ({}:{})",
+                stringify!($left), stringify!($right), l, file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (inputs retried) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// The test-declaration macro: wraps each `fn name(pat in strategy, ...)`
+/// into a `#[test]` running the deterministic generate-and-check loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    $(let $pat = $crate::Strategy::generate(&$strat, rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 5usize.., (a, b) in (0u32..4).prop_map(|v| (v, v + 1))) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y >= 5);
+            prop_assert_eq!(a + 1, b);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(any::<u64>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1u32), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_retry(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn recursive_strategies_bound_depth(t in Just(Tree::Leaf(0)).prop_recursive(3, 16, 3, |inner| {
+            collection::vec(inner, 1..3).prop_map(Tree::Node)
+        })) {
+            prop_assert!(depth(&t) <= 3, "depth {}", depth(&t));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(crate::any::<u64>(), 0..6);
+        let mut r1 = crate::TestRng::seed_from_u64(9);
+        let mut r2 = crate::TestRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}
