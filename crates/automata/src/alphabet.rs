@@ -81,6 +81,12 @@ impl Alphabet {
     pub fn symbol_of(&self, c: char) -> Option<Symbol> {
         self.index.get(&c).copied()
     }
+
+    /// The display character of a symbol, if it has one (anonymous `sized`
+    /// alphabets do not).
+    pub fn char_of(&self, s: Symbol) -> Option<char> {
+        self.chars.get(s as usize).copied().flatten()
+    }
 }
 
 impl fmt::Display for Alphabet {

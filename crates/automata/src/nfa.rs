@@ -222,6 +222,51 @@ impl Nfa {
         b.build()
     }
 
+    /// A structural fingerprint of the automaton: a 64-bit FNV-1a hash over
+    /// the alphabet, initial state, accepting set, and the full sorted
+    /// transition table. Two automata with the same fingerprint are (with
+    /// overwhelming probability) structurally identical, which is what the
+    /// engine's prepared-instance cache keys on — together with the state and
+    /// transition counts as cheap collision insurance
+    /// (`lsc_core::engine::Engine`).
+    ///
+    /// The hash is stable across runs and platforms: it folds in only
+    /// explicitly ordered `usize`/`u32` data, never addresses or hash-map
+    /// iteration order.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.alphabet.len() as u64);
+        for a in 0..self.alphabet.len() {
+            // Display names distinguish alphabets of equal width (anonymous
+            // symbols hash as a sentinel).
+            mix(self.alphabet.char_of(a as Symbol).map_or(u64::MAX, u64::from));
+        }
+        mix(self.num_states() as u64);
+        mix(self.initial as u64);
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                mix(q as u64);
+            }
+        }
+        mix(u64::MAX); // domain separator between accepting set and edges
+        for row in &self.transitions {
+            mix(row.len() as u64);
+            for &(a, t) in row {
+                mix(u64::from(a));
+                mix(t as u64);
+            }
+        }
+        h
+    }
+
     /// Renders the automaton in a compact single-line form for debugging.
     pub fn describe(&self) -> String {
         format!(
@@ -416,6 +461,28 @@ mod tests {
         assert_eq!(n.step(3, 1).collect::<Vec<_>>(), vec![5]);
         assert_eq!(n.step(5, 0).count(), 0);
         assert_eq!(n.num_transitions(), 9);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let n = figure1();
+        // Stable across clones and re-builds of the same structure.
+        assert_eq!(n.fingerprint(), n.clone().fingerprint());
+        assert_eq!(n.fingerprint(), figure1().fingerprint());
+        // Sensitive to every component.
+        let mut b = Nfa::builder(n.alphabet().clone(), 7);
+        b.set_initial(1); // different initial
+        b.set_accepting(5);
+        for &(f, s, t) in &[(0, 0, 1), (0, 1, 2), (1, 0, 3)] {
+            b.add_transition(f, s as Symbol, t);
+        }
+        assert_ne!(n.fingerprint(), b.build().fingerprint());
+        let trimmed = n.trimmed();
+        assert_ne!(n.fingerprint(), trimmed.fingerprint(), "state count folded in");
+        // Alphabets of equal width but different characters differ.
+        let a1 = Nfa::builder(Alphabet::binary(), 1).build();
+        let a2 = Nfa::builder(Alphabet::from_chars(&['a', 'b']), 1).build();
+        assert_ne!(a1.fingerprint(), a2.fingerprint());
     }
 
     #[test]

@@ -188,6 +188,22 @@ impl UnrolledDag {
         self.out_flat.len()
     }
 
+    /// Rough heap footprint of the DAG in bytes (nodes, CSR edge arrays,
+    /// layer lists, and the `(layer, state)` index) — the sizing input for
+    /// byte-capped caches of prepared instances.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * size_of::<(usize, StateId)>()
+            + (self.out_flat.len() + self.in_flat.len()) * size_of::<(Symbol, NodeId)>()
+            + (self.out_off.len() + self.in_off.len()) * size_of::<usize>()
+            + self.index.len() * size_of::<Option<NodeId>>()
+            + self
+                .layers
+                .iter()
+                .map(|l| l.len() * size_of::<NodeId>())
+                .sum::<usize>()
+    }
+
     /// True iff `L_n(N) = ∅` (no start vertex survived, or no accepting vertex).
     pub fn is_empty(&self) -> bool {
         self.start.is_none() || self.accepting.is_empty()

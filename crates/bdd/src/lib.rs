@@ -25,5 +25,5 @@ mod quantify;
 mod to_automaton;
 
 pub use manager::{BddManager, BddRef};
-pub use nobdd::{nobdd_to_nfa, NObdd, NObddNode};
+pub use nobdd::{nobdd_to_mem_nfa, nobdd_to_nfa, NObdd, NObddNode};
 pub use to_automaton::obdd_to_ufa;

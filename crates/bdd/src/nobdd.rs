@@ -176,6 +176,16 @@ pub fn nobdd_to_nfa(d: &NObdd) -> Nfa {
     eps.remove_epsilon()
 }
 
+/// Packages an nOBDD as a compiled [`MemNfa`](lsc_core::MemNfa) instance at
+/// witness length `num_vars`: the prepared entry point for repeated
+/// `EVAL-nOBDD` queries (Corollary 10's FPRAS + PLVUG toolbox). The instance
+/// caches the unrolled DAG and the ambiguity classification, so counting,
+/// enumerating, and sampling the model set reuse one reduction instead of
+/// re-running `nobdd_to_nfa` per call.
+pub fn nobdd_to_mem_nfa(d: &NObdd) -> lsc_core::MemNfa {
+    lsc_core::MemNfa::new(nobdd_to_nfa(d), d.num_vars())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +249,25 @@ mod tests {
             .unwrap();
         let w = gen.generate(&mut rng).witness().unwrap();
         assert!(inst.check_witness(&w));
+    }
+
+    #[test]
+    fn prepared_nobdd_instance_reuses_one_reduction() {
+        use std::sync::Arc;
+        let d = union_of_vars();
+        let inst = nobdd_to_mem_nfa(&d);
+        let dag = Arc::as_ptr(inst.prepared().dag());
+        assert_eq!(inst.enumerate().count(), 7);
+        let mut rng = StdRng::seed_from_u64(12);
+        let routed = inst
+            .count_routed(&lsc_core::engine::RouterConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(routed.estimate.to_f64(), 7.0);
+        assert_eq!(
+            Arc::as_ptr(inst.prepared().dag()),
+            dag,
+            "COUNT and ENUM share the prepared reduction"
+        );
     }
 
     #[test]

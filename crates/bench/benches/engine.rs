@@ -1,0 +1,135 @@
+//! E14: the prepared-instance engine under repeated traffic — warm
+//! (one engine, cached artifact) vs cold (a fresh `MemNfa` per call, the
+//! pre-engine serving pattern). `scripts/bench.sh` turns the group means
+//! into the `BENCH_engine.json` warm-vs-cold speedups.
+//!
+//! Both sides do the same kind and amount of *answering* work per query; only
+//! the amount of recompilation differs. On the exact route the answers are
+//! identical outright. On the FPRAS route the cold side threads one rng
+//! through 8 full sketch builds while the warm side serves all 8 from one
+//! engine-seeded sketch — equally-valid estimates from differently-seeded
+//! runs, not bit-equal numbers. (The bit-identity contract the equivalence
+//! suite pins is warm engine vs cold *engine* under one seed policy.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::workloads;
+use lsc_core::engine::{Engine, EngineConfig, QueryKind, QueryRequest, RouterConfig};
+use lsc_core::fpras::FprasParams;
+use lsc_core::MemNfa;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Repeated queries per measured iteration — the "same automaton, served
+/// many times" workload the engine exists for.
+const QUERIES: usize = 8;
+
+/// UFA exact route: cold rebuilds the ambiguity check + DAG + completion
+/// table per query; warm pays them once.
+fn engine_warm_vs_cold_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/e14-warm-vs-cold-exact");
+    group.sample_size(10);
+    let w = workloads::engine_ufa_instance();
+    group.bench_function(BenchmarkId::from_parameter("cold-memnfa"), |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for _ in 0..QUERIES {
+                let inst = MemNfa::new(w.nfa.clone(), w.n);
+                bits ^= inst.count_exact().unwrap().bit_len();
+            }
+            bits
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("warm-engine"), |b| {
+        let requests: Vec<QueryRequest> = (0..QUERIES)
+            .map(|i| QueryRequest {
+                nfa: w.nfa.clone(),
+                length: w.n,
+                kind: QueryKind::CountExact,
+                seed: i as u64,
+            })
+            .collect();
+        b.iter(|| {
+            let engine = Engine::with_defaults();
+            engine.query_batch(&requests)
+        });
+    });
+    group.finish();
+}
+
+/// FPRAS route (determinization probe disabled): cold runs Algorithm 5 per
+/// query; warm builds one seed-keyed sketch and serves every query from it.
+fn engine_warm_vs_cold_fpras(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/e14-warm-vs-cold-fpras");
+    group.sample_size(10);
+    let w = workloads::engine_fpras_instance();
+    let router = RouterConfig {
+        determinization_cap: 0,
+        classify_ambiguity: false,
+        fpras: FprasParams::quick(),
+    };
+    group.bench_function(BenchmarkId::from_parameter("cold-memnfa"), |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut acc = 0.0f64;
+            for _ in 0..QUERIES {
+                let inst = MemNfa::new(w.nfa.clone(), w.n);
+                acc += inst.count_routed(&router, &mut rng).unwrap().estimate.to_f64();
+            }
+            acc
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("warm-engine"), |b| {
+        let requests: Vec<QueryRequest> = (0..QUERIES)
+            .map(|i| QueryRequest {
+                nfa: w.nfa.clone(),
+                length: w.n,
+                kind: QueryKind::Count,
+                seed: i as u64,
+            })
+            .collect();
+        let config = EngineConfig { router, ..EngineConfig::default() };
+        b.iter(|| {
+            let engine = Engine::new(config);
+            engine.query_batch(&requests)
+        });
+    });
+    group.finish();
+}
+
+/// Mixed COUNT/ENUM/GEN traffic against one instance through a warm engine —
+/// the all-three-problems-from-one-artifact serving shape.
+fn engine_mixed_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/e14-mixed");
+    group.sample_size(10);
+    let w = workloads::engine_ufa_instance();
+    let requests: Vec<QueryRequest> = (0..QUERIES)
+        .map(|i| QueryRequest {
+            nfa: w.nfa.clone(),
+            length: w.n,
+            kind: match i % 3 {
+                0 => QueryKind::CountExact,
+                1 => QueryKind::Enumerate { limit: 64 },
+                _ => QueryKind::Sample { count: 16 },
+            },
+            seed: i as u64,
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            let config = EngineConfig { threads, ..EngineConfig::default() };
+            b.iter(|| {
+                let engine = Engine::new(config);
+                engine.query_batch(&requests)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_warm_vs_cold_exact,
+    engine_warm_vs_cold_fpras,
+    engine_mixed_traffic
+);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsc_automata::ops::ambiguity_degree;
 use lsc_automata::{families as nfa_families, Alphabet, Nfa};
 use lsc_bdd::BddManager;
-use lsc_core::count::router::{count_routed, RouterConfig};
+use lsc_core::engine::{count_routed, RouterConfig};
 use lsc_grammar::{families as cfg_families, Cnf, DerivationTable, TreeSampler};
 use lsc_nnf::compile::from_obdd;
 use lsc_nnf::{count_models, ModelEnumerator};

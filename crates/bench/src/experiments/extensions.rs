@@ -6,7 +6,7 @@ use std::time::Instant;
 use lsc_automata::ops::{ambiguity_degree, AmbiguityDegree};
 use lsc_automata::{families as nfa_families, Alphabet, Nfa};
 use lsc_bdd::{obdd_to_ufa, BddManager, BddRef};
-use lsc_core::count::router::{count_routed, CountRoute, RouterConfig};
+use lsc_core::engine::{count_routed, CountRoute, RouterConfig};
 use lsc_core::fpras::FprasParams;
 use lsc_core::sample::SampleStats;
 use lsc_core::MemNfa;

@@ -100,3 +100,27 @@ pub fn speedup_instance() -> Workload {
         n: 24,
     }
 }
+
+/// The fixed instance the `BENCH_engine.json` warm-vs-cold trajectory is
+/// measured on (UFA exact route): unambiguous, with enough states and length
+/// that the per-call preprocessing — ambiguity check, unrolling, completion
+/// table — dominates serving one exact count. Fixed across PRs.
+pub fn engine_ufa_instance() -> Workload {
+    Workload {
+        name: "blowup(10)@40",
+        nfa: families::blowup_nfa(10),
+        n: 40,
+    }
+}
+
+/// The `BENCH_engine.json` FPRAS-route counterpart: ambiguous, probed with
+/// `determinization_cap = 0` so the routed count genuinely runs Algorithm 5 —
+/// cold pays one full sketch per query, warm serves every query from one
+/// cached sketch.
+pub fn engine_fpras_instance() -> Workload {
+    Workload {
+        name: "contains-101@20",
+        nfa: families::regex_family("contains-101").unwrap(),
+        n: 20,
+    }
+}

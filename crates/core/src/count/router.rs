@@ -1,211 +1,9 @@
-//! Ambiguity-aware counting router.
+//! Deprecated location of the ambiguity-aware counting router.
 //!
-//! The paper's theorems split cleanly: unambiguous instances get exact
-//! polynomial counting (Theorem 5), everything else gets the FPRAS
-//! (Theorem 22). A production system should not ask the caller to know which
-//! side of the split an automaton falls on — this module decides at runtime,
-//! spending bounded effort on the cheap exact routes before paying for
-//! randomized approximation:
-//!
-//! 1. **Unambiguous** (`MEM-UFA`): the `#L` dynamic program of §5.3.2 —
-//!    exact, polynomial, deterministic.
-//! 2. **Small subset construction**: an ambiguous NFA whose determinization
-//!    stays under a state cap is counted exactly on the DFA. The cap bounds
-//!    the time wasted probing instances that do blow up (the `blowup`
-//!    family needs `2^k` subsets by design).
-//! 3. **FPRAS**: the general case — `(1 ± δ)`-approximation with
-//!    probability ≥ 3/4 (Theorem 22).
-//!
-//! The returned report says which route fired, where the automaton sits in
-//! the Weber–Seidl ambiguity hierarchy, and both the exact count (when one
-//! was computed) and a `BigFloat` estimate (always).
+//! The router was folded into the engine ([`crate::engine`]) so that the
+//! ambiguity probe, the capped determinization, and the per-route tables are
+//! cached on a [`crate::engine::PreparedInstance`] instead of being re-derived
+//! on every request. The vocabulary types and the one-shot entry point
+//! re-export from there; new code should import from `crate::engine`.
 
-use lsc_arith::{BigFloat, BigNat};
-use lsc_automata::ops::{ambiguity_degree, determinize_capped, is_unambiguous, AmbiguityDegree};
-use lsc_automata::Nfa;
-use rand::Rng;
-
-use crate::count::exact::count_runs;
-use crate::fpras::{approx_count, FprasError, FprasParams};
-
-/// Which counting algorithm the router selected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CountRoute {
-    /// The automaton is unambiguous: the exact `#L` dynamic program (§5.3.2).
-    ExactUnambiguous,
-    /// The subset construction stayed under the cap: exact DFA counting.
-    ExactDeterminized {
-        /// States of the determinized automaton.
-        dfa_states: usize,
-    },
-    /// General case: the #NFA FPRAS (Theorem 22).
-    Fpras,
-}
-
-/// Router tuning knobs.
-#[derive(Clone, Copy, Debug)]
-pub struct RouterConfig {
-    /// Abort determinization past this many subsets (route 2). `0` disables
-    /// the determinization probe entirely.
-    pub determinization_cap: usize,
-    /// FPRAS parameters for route 3.
-    pub fpras: FprasParams,
-    /// Also classify the automaton in the Weber–Seidl hierarchy (an extra
-    /// `O(m²)`–`O(m³)` diagnostic; disable for very large automata).
-    pub classify_ambiguity: bool,
-}
-
-impl Default for RouterConfig {
-    fn default() -> Self {
-        RouterConfig {
-            determinization_cap: 4096,
-            fpras: FprasParams::quick(),
-            classify_ambiguity: true,
-        }
-    }
-}
-
-/// The routed count: provenance plus the number itself.
-#[derive(Clone, Debug)]
-pub struct RoutedCount {
-    /// The algorithm that produced the answer.
-    pub route: CountRoute,
-    /// Weber–Seidl classification, if requested in [`RouterConfig`].
-    pub degree: Option<AmbiguityDegree>,
-    /// The exact count, when an exact route fired.
-    pub exact: Option<BigNat>,
-    /// The count as a `BigFloat`: exact (up to float conversion) on exact
-    /// routes, the FPRAS estimate otherwise.
-    pub estimate: BigFloat,
-}
-
-impl RoutedCount {
-    /// True iff the reported number is exact rather than an estimate.
-    pub fn is_exact(&self) -> bool {
-        self.exact.is_some()
-    }
-}
-
-/// Counts `|L_n(N)|`, choosing the cheapest sound algorithm.
-///
-/// # Errors
-/// Propagates [`FprasError`] when the FPRAS route fires and its (vanishing
-/// probability) internal failure events occur; exact routes cannot fail.
-pub fn count_routed<R: Rng + ?Sized>(
-    nfa: &Nfa,
-    n: usize,
-    config: &RouterConfig,
-    rng: &mut R,
-) -> Result<RoutedCount, FprasError> {
-    let degree = config.classify_ambiguity.then(|| ambiguity_degree(nfa));
-    let unambiguous = match degree {
-        Some(d) => d == AmbiguityDegree::Unambiguous,
-        None => is_unambiguous(nfa),
-    };
-    if unambiguous {
-        let exact = count_runs(nfa, n);
-        return Ok(RoutedCount {
-            route: CountRoute::ExactUnambiguous,
-            degree,
-            estimate: BigFloat::from_bignat(&exact),
-            exact: Some(exact),
-        });
-    }
-    if config.determinization_cap > 0 {
-        if let Some(dfa) = determinize_capped(nfa, config.determinization_cap) {
-            let exact = dfa.count_words(n);
-            return Ok(RoutedCount {
-                route: CountRoute::ExactDeterminized { dfa_states: dfa.num_states() },
-                degree,
-                estimate: BigFloat::from_bignat(&exact),
-                exact: Some(exact),
-            });
-        }
-    }
-    let estimate = approx_count(nfa, n, config.fpras, rng)?;
-    Ok(RoutedCount { route: CountRoute::Fpras, degree, exact: None, estimate })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::count::exact::count_nfa_via_determinization;
-    use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa, universal_nfa};
-    use lsc_automata::regex::Regex;
-    use lsc_automata::Alphabet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(929)
-    }
-
-    #[test]
-    fn unambiguous_goes_exact() {
-        let n = blowup_nfa(6);
-        let r = count_routed(&n, 14, &RouterConfig::default(), &mut rng()).unwrap();
-        assert_eq!(r.route, CountRoute::ExactUnambiguous);
-        assert_eq!(r.degree, Some(AmbiguityDegree::Unambiguous));
-        assert_eq!(r.exact.unwrap(), count_nfa_via_determinization(&n, 14));
-    }
-
-    #[test]
-    fn small_ambiguous_goes_determinized() {
-        // a*a*-style ambiguity with a tiny DFA: route 2 fires.
-        let ab = Alphabet::from_chars(&['a', 'b']);
-        let n = Regex::parse("(a|b)*a(a|b)*", &ab).unwrap().compile();
-        let r = count_routed(&n, 10, &RouterConfig::default(), &mut rng()).unwrap();
-        match r.route {
-            CountRoute::ExactDeterminized { dfa_states } => assert!(dfa_states <= 8),
-            other => panic!("expected determinized route, got {other:?}"),
-        }
-        assert_eq!(r.exact.unwrap(), count_nfa_via_determinization(&n, 10));
-        assert!(!r.degree.unwrap().supports_exact_counting());
-    }
-
-    #[test]
-    fn capped_blowup_falls_back_to_fpras() {
-        // Ambiguous + a cap below the subset-construction size (the gap
-        // family determinizes to 3 subsets): route 3 fires, and the estimate
-        // is close to the exact oracle.
-        let n = ambiguity_gap_nfa(5);
-        let len = 12;
-        let config = RouterConfig { determinization_cap: 2, ..RouterConfig::default() };
-        let r = count_routed(&n, len, &config, &mut rng()).unwrap();
-        assert_eq!(r.route, CountRoute::Fpras);
-        assert_eq!(r.degree, Some(AmbiguityDegree::Exponential));
-        assert!(r.exact.is_none());
-        let truth = count_nfa_via_determinization(&n, len).to_f64();
-        let err = (r.estimate.to_f64() - truth).abs() / truth;
-        assert!(err < 0.15, "estimate {} vs truth {truth}", r.estimate);
-    }
-
-    #[test]
-    fn cap_zero_disables_the_probe() {
-        let ab = Alphabet::from_chars(&['a', 'b']);
-        let n = Regex::parse("(a|b)*a(a|b)*", &ab).unwrap().compile();
-        let config = RouterConfig { determinization_cap: 0, ..RouterConfig::default() };
-        let r = count_routed(&n, 8, &config, &mut rng()).unwrap();
-        assert_eq!(r.route, CountRoute::Fpras);
-    }
-
-    #[test]
-    fn classification_can_be_skipped() {
-        let n = universal_nfa(Alphabet::binary());
-        let config = RouterConfig { classify_ambiguity: false, ..RouterConfig::default() };
-        let r = count_routed(&n, 16, &config, &mut rng()).unwrap();
-        assert_eq!(r.route, CountRoute::ExactUnambiguous);
-        assert_eq!(r.degree, None);
-        assert_eq!(r.exact.unwrap().to_f64(), 65536.0);
-    }
-
-    #[test]
-    fn empty_language_routes_exact_zero() {
-        let ab = Alphabet::binary();
-        let n = Regex::parse("01", &ab).unwrap().compile();
-        let r = count_routed(&n, 7, &RouterConfig::default(), &mut rng()).unwrap();
-        assert!(r.is_exact());
-        assert!(r.exact.unwrap().is_zero());
-        assert!(r.estimate.is_zero());
-    }
-}
+pub use crate::engine::{count_routed, CountRoute, RoutedCount, RouterConfig};

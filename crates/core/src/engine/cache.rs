@@ -1,0 +1,603 @@
+//! The query engine: a fingerprint-keyed, byte-capped LRU cache of
+//! [`PreparedInstance`]s plus a batched request API.
+//!
+//! A production deployment sees the same automata over and over (the same
+//! RPQ against a slowly-changing graph, the same spanner over many
+//! documents, the same DNF reduction re-counted under different lengths).
+//! The engine makes the repeat traffic cheap: the first request on an
+//! instance pays the preprocessing, every later request — from any thread —
+//! serves from the cached artifact.
+//!
+//! **Determinism.** Batch responses are bit-identical at any `threads`
+//! setting and across warm/cold caches:
+//!
+//! * instance resolution (and with it the `cache_hit` flag) happens in a
+//!   single-threaded pass before the fan-out, so flags never depend on
+//!   thread interleaving;
+//! * each request owns its randomness (`QueryRequest::seed`), so execution
+//!   order cannot leak between requests;
+//! * engine-owned randomness (the cached FPRAS sketch) is seeded from
+//!   `config.seed` mixed with the instance fingerprint — a pure function of
+//!   the configuration and the instance, never of arrival order.
+//!
+//! The fan-out itself reuses the thread-chunk scheme of the FPRAS sampling
+//! pass: requests are split into contiguous chunks, one scoped thread per
+//! chunk, each writing into its own slice of the result vector.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lsc_arith::BigNat;
+use lsc_automata::{Nfa, Word};
+
+use crate::count::exact::NotUnambiguousError;
+use crate::engine::prepared::PreparedInstance;
+use crate::engine::router::{RoutedCount, RouterConfig};
+use crate::fpras::FprasError;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Routing policy for `COUNT` requests (and the FPRAS parameters used by
+    /// the ambiguous `GEN` route).
+    pub router: RouterConfig,
+    /// Byte cap on the instance cache (approximate accounting; the
+    /// most-recently-used entry is never evicted, so one oversized instance
+    /// still serves).
+    pub cache_bytes: usize,
+    /// Worker threads for batched dispatch (responses are identical at any
+    /// setting).
+    pub threads: usize,
+    /// Master seed for engine-owned randomness (the cached FPRAS sketches).
+    pub seed: u64,
+    /// Las Vegas attempts per requested witness on the ambiguous `GEN` route.
+    pub retries: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            router: RouterConfig::default(),
+            cache_bytes: 256 << 20,
+            threads: 1,
+            seed: 0x10_65C0,
+            retries: 256,
+        }
+    }
+}
+
+/// One query against one instance. `seed` feeds the randomized kinds
+/// (`Count` on the FPRAS route is seeded by the engine instead — see the
+/// module docs — so equal requests give equal answers regardless of order).
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The automaton `N`.
+    pub nfa: Nfa,
+    /// The witness length `n`.
+    pub length: usize,
+    /// Which of the paper's three problems to answer.
+    pub kind: QueryKind,
+    /// Request-owned randomness for `Sample`.
+    pub seed: u64,
+}
+
+/// The problem to answer, in the paper's `COUNT` / `ENUM` / `GEN` taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Routed `COUNT`: exact where exactness is affordable, FPRAS otherwise.
+    Count,
+    /// Exact `COUNT` (Theorem 5) — errors on ambiguous instances.
+    CountExact,
+    /// `ENUM`: constant delay on UFA instances, polynomial delay otherwise,
+    /// truncated to `limit` witnesses.
+    Enumerate {
+        /// Maximum number of witnesses to return.
+        limit: usize,
+    },
+    /// `GEN`: `count` uniform witnesses (exact on UFA instances, Las Vegas
+    /// otherwise).
+    Sample {
+        /// Number of witnesses requested.
+        count: usize,
+    },
+}
+
+/// A successful query answer.
+#[derive(Clone, Debug)]
+pub enum QueryOutput {
+    /// `Count`: the routed count with provenance.
+    Count(RoutedCount),
+    /// `CountExact`: the exact witness count.
+    Exact(BigNat),
+    /// `Enumerate` / `Sample`: the witnesses.
+    Words(Vec<Word>),
+}
+
+/// Why a query failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// `CountExact` on an ambiguous instance.
+    NotUnambiguous,
+    /// An FPRAS failure event (vanishing probability) on a randomized route.
+    Fpras(FprasError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotUnambiguous => NotUnambiguousError.fmt(f),
+            QueryError::Fpras(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<FprasError> for QueryError {
+    fn from(e: FprasError) -> Self {
+        QueryError::Fpras(e)
+    }
+}
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The answer, or why there is none.
+    pub output: Result<QueryOutput, QueryError>,
+    /// Whether the instance was already cached when this request was
+    /// resolved. Resolution runs in request order, so within one batch a
+    /// duplicate of an earlier request reports a hit even if the batch as a
+    /// whole arrived cold.
+    pub cache_hit: bool,
+}
+
+/// Cache counters, for observability and the cache-behavior tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests that found their instance in the cache.
+    pub hits: u64,
+    /// Requests that had to insert a fresh instance.
+    pub misses: u64,
+    /// Instances evicted by the byte cap.
+    pub evictions: u64,
+    /// Instances currently cached.
+    pub entries: usize,
+    /// Approximate bytes currently cached.
+    pub bytes: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct InstanceKey {
+    fingerprint: u64,
+    states: usize,
+    transitions: usize,
+    length: usize,
+}
+
+impl InstanceKey {
+    fn of(nfa: &Nfa, length: usize) -> Self {
+        InstanceKey {
+            fingerprint: nfa.fingerprint(),
+            states: nfa.num_states(),
+            transitions: nfa.num_transitions(),
+            length,
+        }
+    }
+}
+
+struct Entry {
+    inst: Arc<PreparedInstance>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// One request's resolved instance: the shared artifact, whether it was
+/// already cached, and the cache key (computed once, reused by the
+/// post-execution byte refresh).
+struct Resolved {
+    inst: Arc<PreparedInstance>,
+    cache_hit: bool,
+    key: InstanceKey,
+}
+
+struct CacheInner {
+    entries: HashMap<InstanceKey, Entry>,
+    total_bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+/// The prepared-instance query engine. See the module docs.
+pub struct Engine {
+    config: EngineConfig,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+                tick: 0,
+                evictions: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> EngineStats {
+        let inner = self.inner.lock().expect("engine cache poisoned");
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.total_bytes,
+        }
+    }
+
+    /// The prepared instance for `(nfa, length)`: served from the cache when
+    /// present, inserted (lazily, nothing materialized yet) otherwise.
+    /// Application crates can hold the returned `Arc` directly for their own
+    /// repeated-query paths.
+    pub fn prepared(&self, nfa: &Nfa, length: usize) -> Arc<PreparedInstance> {
+        self.lookup_or_insert(nfa, length).inst
+    }
+
+    fn lookup_or_insert(&self, nfa: &Nfa, length: usize) -> Resolved {
+        let key = InstanceKey::of(nfa, length);
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let touched = inner.entries.get_mut(&key).map(|entry| {
+            entry.last_used = tick;
+            // Re-measure on every touch (cheap — per-table sizes are
+            // memoized) so tables materialized through a directly-held
+            // `Arc` from [`Engine::prepared`] are accounted for too.
+            let fresh = entry.inst.approx_bytes();
+            let old = std::mem::replace(&mut entry.bytes, fresh);
+            (entry.inst.clone(), fresh, old)
+        });
+        if let Some((inst, fresh, old)) = touched {
+            inner.total_bytes = (inner.total_bytes + fresh).saturating_sub(old);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.evict_locked(&mut inner);
+            return Resolved { inst, cache_hit: true, key };
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let inst = Arc::new(PreparedInstance::new(nfa.clone(), length));
+        let bytes = inst.approx_bytes();
+        inner.total_bytes += bytes;
+        inner.entries.insert(
+            key,
+            Entry {
+                inst: inst.clone(),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.evict_locked(&mut inner);
+        Resolved { inst, cache_hit: false, key }
+    }
+
+    /// Re-measures the given instances (their lazy tables may have grown
+    /// during execution) and evicts least-recently-used entries until the
+    /// byte cap holds again. Keys come from the resolution pass — no
+    /// re-fingerprinting here.
+    fn refresh_bytes(&self, touched: &[Resolved]) {
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        let mut delta: isize = 0;
+        for r in touched {
+            let fresh = r.inst.approx_bytes();
+            if let Some(entry) = inner.entries.get_mut(&r.key) {
+                if Arc::ptr_eq(&entry.inst, &r.inst) {
+                    delta += fresh as isize - entry.bytes as isize;
+                    entry.bytes = fresh;
+                }
+            }
+        }
+        inner.total_bytes = inner.total_bytes.saturating_add_signed(delta);
+        self.evict_locked(&mut inner);
+    }
+
+    fn evict_locked(&self, inner: &mut CacheInner) {
+        while inner.total_bytes > self.config.cache_bytes && inner.entries.len() > 1 {
+            let newest = inner
+                .entries
+                .values()
+                .map(|e| e.last_used)
+                .max()
+                .expect("nonempty");
+            let Some((&victim, _)) = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.last_used != newest)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let entry = inner.entries.remove(&victim).expect("victim present");
+            inner.total_bytes -= entry.bytes;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Engine-owned seed for an instance's cached FPRAS sketch: a pure
+    /// function of the configuration and the fingerprint.
+    fn sketch_seed(&self, inst: &PreparedInstance) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ inst.fingerprint()
+    }
+
+    fn execute(
+        &self,
+        inst: &PreparedInstance,
+        kind: QueryKind,
+        seed: u64,
+    ) -> Result<QueryOutput, QueryError> {
+        match kind {
+            QueryKind::Count => Ok(QueryOutput::Count(
+                inst.count_routed_cached(&self.config.router, self.sketch_seed(inst))?,
+            )),
+            QueryKind::CountExact => inst
+                .count_exact()
+                .map(QueryOutput::Exact)
+                .map_err(|NotUnambiguousError| QueryError::NotUnambiguous),
+            QueryKind::Enumerate { limit } => {
+                let words: Vec<Word> = if inst.is_unambiguous() {
+                    inst.enumerate_constant_delay()
+                        .expect("checked unambiguous")
+                        .take(limit)
+                        .collect()
+                } else {
+                    inst.enumerate().take(limit).collect()
+                };
+                Ok(QueryOutput::Words(words))
+            }
+            QueryKind::Sample { count } => Ok(QueryOutput::Words(inst.sample_witnesses(
+                count,
+                self.config.retries,
+                self.config.router.fpras,
+                self.sketch_seed(inst),
+                seed,
+            )?)),
+        }
+    }
+
+    /// Answers one request.
+    pub fn query(&self, request: &QueryRequest) -> QueryResponse {
+        self.query_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Answers a batch, fanning execution across `config.threads` workers
+    /// (chunked like the FPRAS sampling pass; see the module docs for why the
+    /// responses are identical at any thread count).
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1, single-threaded: resolve every instance (and the hit
+        // flags) deterministically.
+        let resolved: Vec<Resolved> = requests
+            .iter()
+            .map(|r| self.lookup_or_insert(&r.nfa, r.length))
+            .collect();
+        // Phase 2: execute, chunked across scoped threads.
+        let threads = self.config.threads.clamp(1, requests.len());
+        let outputs: Vec<Result<QueryOutput, QueryError>> = if threads == 1 {
+            requests
+                .iter()
+                .zip(&resolved)
+                .map(|(r, res)| self.execute(&res.inst, r.kind, r.seed))
+                .collect()
+        } else {
+            let mut slots: Vec<Option<Result<QueryOutput, QueryError>>> =
+                (0..requests.len()).map(|_| None).collect();
+            let chunk = requests.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for ((reqs, insts), out) in requests
+                    .chunks(chunk)
+                    .zip(resolved.chunks(chunk))
+                    .zip(slots.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for ((r, res), slot) in reqs.iter().zip(insts).zip(out) {
+                            *slot = Some(self.execute(&res.inst, r.kind, r.seed));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("thread filled slot"))
+                .collect()
+        };
+        // Phase 3, single-threaded: account for whatever the queries
+        // materialized, and enforce the byte cap.
+        self.refresh_bytes(&resolved);
+        outputs
+            .into_iter()
+            .zip(resolved)
+            .map(|(output, res)| QueryResponse { output, cache_hit: res.cache_hit })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa};
+    use lsc_automata::regex::Regex;
+    use lsc_automata::Alphabet;
+
+    fn exact_count_request(k: usize, n: usize) -> QueryRequest {
+        QueryRequest {
+            nfa: blowup_nfa(k),
+            length: n,
+            kind: QueryKind::CountExact,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn warm_requests_hit_the_cache() {
+        let engine = Engine::with_defaults();
+        let r = exact_count_request(4, 10);
+        let cold = engine.query(&r);
+        assert!(!cold.cache_hit);
+        let warm = engine.query(&r);
+        assert!(warm.cache_hit);
+        let (Ok(QueryOutput::Exact(a)), Ok(QueryOutput::Exact(b))) = (cold.output, warm.output)
+        else {
+            panic!("exact counts expected");
+        };
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn byte_cap_evicts_least_recently_used() {
+        // A cap small enough that two warmed instances cannot coexist.
+        let config = EngineConfig {
+            cache_bytes: 1, // everything over budget: keep only the newest
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config);
+        let a = exact_count_request(4, 10);
+        let b = exact_count_request(5, 12);
+        engine.query(&a);
+        engine.query(&b); // evicts a
+        assert_eq!(engine.stats().entries, 1);
+        assert!(engine.stats().evictions >= 1);
+        let again = engine.query(&a); // must be a fresh miss
+        assert!(!again.cache_hit, "evicted instance cannot hit");
+        // A generous cap keeps both.
+        let engine = Engine::with_defaults();
+        engine.query(&a);
+        engine.query(&b);
+        assert_eq!(engine.stats().entries, 2);
+        assert!(engine.query(&a).cache_hit);
+        assert_eq!(engine.stats().evictions, 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_materialized_tables() {
+        let engine = Engine::with_defaults();
+        let r = exact_count_request(6, 20);
+        engine.prepared(&r.nfa, r.length); // lazy insert: base-size estimate
+        let before = engine.stats().bytes;
+        engine.query(&r); // materializes the DAG + completion table
+        assert!(
+            engine.stats().bytes > before,
+            "post-query refresh must record the grown tables"
+        );
+    }
+
+    #[test]
+    fn directly_held_arcs_are_accounted_on_next_touch() {
+        // Tables materialized through an Arc from Engine::prepared (the
+        // app-crate usage path) bypass query_batch's refresh; the next cache
+        // touch must pick the growth up.
+        let engine = Engine::with_defaults();
+        let r = exact_count_request(6, 20);
+        let inst = engine.prepared(&r.nfa, r.length);
+        let before = engine.stats().bytes;
+        let _ = inst.count_exact().unwrap();
+        let _ = engine.prepared(&r.nfa, r.length);
+        assert!(
+            engine.stats().bytes > before,
+            "hit-path re-measure must record tables built through the Arc"
+        );
+    }
+
+    #[test]
+    fn batch_marks_duplicate_instances_as_hits() {
+        let engine = Engine::with_defaults();
+        let reqs = vec![
+            exact_count_request(4, 10),
+            exact_count_request(5, 10),
+            exact_count_request(4, 10), // same instance as #0
+        ];
+        let responses = engine.query_batch(&reqs);
+        assert_eq!(
+            responses.iter().map(|r| r.cache_hit).collect::<Vec<_>>(),
+            vec![false, false, true]
+        );
+    }
+
+    #[test]
+    fn all_three_problems_serve_from_one_instance() {
+        let ab = Alphabet::binary();
+        let nfa = Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile();
+        let engine = Engine::with_defaults();
+        let base = QueryRequest {
+            nfa: nfa.clone(),
+            length: 7,
+            kind: QueryKind::Count,
+            seed: 1,
+        };
+        let reqs = vec![
+            base.clone(),
+            QueryRequest { kind: QueryKind::Enumerate { limit: usize::MAX }, ..base.clone() },
+            QueryRequest { kind: QueryKind::Sample { count: 5 }, seed: 2, ..base.clone() },
+        ];
+        let responses = engine.query_batch(&reqs);
+        let Ok(QueryOutput::Count(count)) = &responses[0].output else {
+            panic!("count expected")
+        };
+        let Ok(QueryOutput::Words(words)) = &responses[1].output else {
+            panic!("words expected")
+        };
+        let Ok(QueryOutput::Words(samples)) = &responses[2].output else {
+            panic!("samples expected")
+        };
+        // One instance resolved three times.
+        assert_eq!(engine.stats().misses, 1);
+        assert_eq!(engine.stats().hits, 2);
+        if let Some(exact) = &count.exact {
+            assert_eq!(words.len() as u64, exact.to_u64().unwrap());
+        }
+        for w in samples {
+            assert!(nfa.accepts(w));
+        }
+    }
+
+    #[test]
+    fn exact_count_on_ambiguous_reports_error() {
+        let engine = Engine::with_defaults();
+        let r = QueryRequest {
+            nfa: ambiguity_gap_nfa(3),
+            length: 8,
+            kind: QueryKind::CountExact,
+            seed: 0,
+        };
+        assert_eq!(
+            engine.query(&r).output.unwrap_err(),
+            QueryError::NotUnambiguous
+        );
+    }
+}

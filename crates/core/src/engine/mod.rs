@@ -1,0 +1,36 @@
+//! The prepared-instance query engine: compile once, serve `ENUM` / `COUNT` /
+//! `GEN` from a shared cached artifact.
+//!
+//! The paper routes every application through the complete problems
+//! `MEM-NFA` / `MEM-UFA` (Proposition 12), so one instance type funnels all
+//! the traffic — and under repeated traffic, per-call recompilation (of the
+//! unrolled DAG, the ambiguity classification, the counting tables, the
+//! FPRAS sketches) dominates the cost of actually answering. This module
+//! implements the preprocessing/serving split the enumeration-complexity
+//! literature takes as primitive:
+//!
+//! * [`PreparedInstance`] — the compile-once artifact: fingerprint, CSR
+//!   unrolled DAG, ambiguity classification, determinization probe, and the
+//!   lazily-materialized per-problem tables (exact DP counts, FPRAS sketch).
+//! * [`Engine`] — a fingerprint-keyed, byte-capped LRU cache of prepared
+//!   instances plus the batched [`QueryRequest`] / [`QueryResponse`] API,
+//!   with deterministic multi-threaded dispatch.
+//! * [`count_routed`] and the route vocabulary ([`CountRoute`],
+//!   [`RouterConfig`], [`RoutedCount`]) — the ambiguity-aware counting
+//!   router, folded in from the former standalone `count::router` so routing
+//!   decisions are cached per instance rather than re-probed per request.
+//!
+//! [`crate::MemNfa`] is a thin convenience wrapper over one private
+//! [`PreparedInstance`]; the engine is the same machinery with sharing
+//! across instances and requests.
+
+mod cache;
+mod prepared;
+mod router;
+
+pub use cache::{
+    Engine, EngineConfig, EngineStats, QueryError, QueryKind, QueryOutput, QueryRequest,
+    QueryResponse,
+};
+pub use prepared::PreparedInstance;
+pub use router::{count_routed, CountRoute, RoutedCount, RouterConfig};

@@ -16,6 +16,8 @@
 //! are enumerated without repetition (Lemma 15); on an ambiguous one the same
 //! iterator enumerates *runs* (exposed as [`ConstantDelayEnumerator::paths`]).
 
+use std::sync::Arc;
+
 use lsc_automata::ops::is_unambiguous;
 use lsc_automata::unroll::{NodeId, UnrolledDag};
 use lsc_automata::{Nfa, Word};
@@ -23,10 +25,11 @@ use lsc_automata::{Nfa, Word};
 use crate::count::exact::NotUnambiguousError;
 
 /// The constant-delay enumerator (Algorithm 1). Create with
-/// [`ConstantDelayEnumerator::new`] (checked, UFA-only) or
-/// [`ConstantDelayEnumerator::paths`] (any NFA; yields one word per *path*).
+/// [`ConstantDelayEnumerator::new`] (checked, UFA-only),
+/// [`ConstantDelayEnumerator::paths`] (any NFA; yields one word per *path*),
+/// or [`ConstantDelayEnumerator::from_dag`] (shared preprocessing artifact).
 pub struct ConstantDelayEnumerator {
-    dag: UnrolledDag,
+    dag: Arc<UnrolledDag>,
     /// `(vertex, edge index)` for each branching vertex on the current path.
     decisions: Vec<(NodeId, usize)>,
     started: bool,
@@ -52,8 +55,19 @@ impl ConstantDelayEnumerator {
 
     /// Path enumeration over any NFA (one output per accepting run).
     pub fn paths(nfa: &Nfa, n: usize) -> Self {
+        Self::from_dag(Arc::new(UnrolledDag::build(nfa, n)))
+    }
+
+    /// Path enumeration over a pre-built (shared) unrolled DAG — the engine's
+    /// warm path: the preprocessing artifact of Lemma 15 is computed once per
+    /// prepared instance and every enumerator clones only the `Arc`. The
+    /// iteration order and outputs are identical to
+    /// [`ConstantDelayEnumerator::paths`] on the same automaton and length.
+    /// Word-level (repetition-free) enumeration still requires the DAG to
+    /// come from an unambiguous automaton, which the caller asserts.
+    pub fn from_dag(dag: Arc<UnrolledDag>) -> Self {
         ConstantDelayEnumerator {
-            dag: UnrolledDag::build(nfa, n),
+            dag,
             decisions: Vec::new(),
             started: false,
             done: false,

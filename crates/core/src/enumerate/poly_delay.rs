@@ -12,14 +12,16 @@
 //! search tree is over *prefixes*, not runs — at the cost of `O(|Σ|·m²)` work
 //! per symbol, i.e. polynomial (not constant) delay.
 
+use std::sync::Arc;
+
 use lsc_automata::unroll::UnrolledDag;
 use lsc_automata::{Nfa, StateSet, Symbol, Word};
 
 /// Flashlight enumerator over all witnesses of `(N, 0^n)`, in lexicographic
 /// symbol order, without repetition, for arbitrary (ambiguous) NFAs.
 pub struct PolyDelayEnumerator {
-    nfa: Nfa,
-    dag: UnrolledDag,
+    nfa: Arc<Nfa>,
+    dag: Arc<UnrolledDag>,
     /// DFS stack: `stack[t]` = (reachable-and-viable states after `prefix[..t]`,
     /// next symbol to try at depth `t`).
     stack: Vec<(StateSet, Symbol)>,
@@ -33,9 +35,17 @@ pub struct PolyDelayEnumerator {
 impl PolyDelayEnumerator {
     /// Preprocessing: the unrolled DAG (viability tables).
     pub fn new(nfa: &Nfa, n: usize) -> Self {
-        let dag = UnrolledDag::build(nfa, n);
+        let dag = Arc::new(UnrolledDag::build(nfa, n));
+        Self::from_parts(Arc::new(nfa.clone()), dag)
+    }
+
+    /// Enumeration over a pre-built (shared) automaton and unrolled DAG — the
+    /// engine's warm path; outputs and order are identical to
+    /// [`PolyDelayEnumerator::new`] on the same inputs. The DAG must be the
+    /// unrolling of `nfa` at the target length.
+    pub fn from_parts(nfa: Arc<Nfa>, dag: Arc<UnrolledDag>) -> Self {
         PolyDelayEnumerator {
-            nfa: nfa.clone(),
+            nfa,
             dag,
             stack: Vec::new(),
             prefix: Vec::new(),

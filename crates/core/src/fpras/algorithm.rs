@@ -7,6 +7,8 @@
 //! Algorithm 4 (step 5). The final answer is the estimate at the virtual final
 //! vertex, whose "predecessors" are the accepting vertices of layer `n`.
 
+use std::sync::Arc;
+
 use lsc_arith::BigFloat;
 use lsc_automata::unroll::{NodeId, UnrolledDag};
 use lsc_automata::{Nfa, StateSet, Word};
@@ -55,12 +57,19 @@ impl std::error::Error for FprasError {}
 
 /// The completed sketch structure: estimates and samples for every vertex,
 /// ready to answer `COUNT` (estimate) and `GEN` (uniform sampling) queries.
+///
+/// The automaton and DAG are held behind [`Arc`]s so a prepared instance
+/// ([`crate::engine::PreparedInstance`]) can share one unrolling between the
+/// sketch, the enumerators, and the exact tables without cloning.
 pub struct FprasState {
-    nfa: Nfa,
-    dag: UnrolledDag,
+    nfa: Arc<Nfa>,
+    dag: Arc<UnrolledDag>,
     params: FprasParams,
     data: Vec<Option<VertexData>>,
     final_r: BigFloat,
+    /// Memoized [`FprasState::approx_bytes`] — the sketch is immutable after
+    /// construction, so the sample walk is paid at most once.
+    bytes: std::sync::OnceLock<usize>,
 }
 
 impl FprasState {
@@ -88,6 +97,26 @@ impl FprasState {
     /// estimate).
     pub fn is_empty_language(&self) -> bool {
         self.dag.is_empty()
+    }
+
+    /// Rough heap footprint of the sketch structure (samples + reach sets +
+    /// shared DAG), for the engine's byte-capped instance cache. An estimate,
+    /// not an exact allocation count; measured once and memoized (the state
+    /// is immutable), so repeated calls are O(1).
+    pub fn approx_bytes(&self) -> usize {
+        *self.bytes.get_or_init(|| {
+            let reach_bytes = self.nfa.num_states().div_ceil(8);
+            let mut bytes = self.dag.approx_bytes();
+            for d in self.data.iter().flatten() {
+                bytes += std::mem::size_of::<VertexData>();
+                for s in &d.samples {
+                    bytes += std::mem::size_of::<SampleEntry>()
+                        + s.word.len() * std::mem::size_of::<lsc_automata::Symbol>()
+                        + reach_bytes;
+                }
+            }
+            bytes
+        })
     }
 
     /// `(exactly handled, sampled)` vertex counts — the base-case coverage
@@ -224,21 +253,42 @@ pub fn run_fpras<R: Rng + ?Sized>(
     params: FprasParams,
     rng: &mut R,
 ) -> Result<FprasState, FprasError> {
-    let dag = UnrolledDag::build(nfa, n);
+    let dag = Arc::new(UnrolledDag::build(nfa, n));
+    run_fpras_on(Arc::new(nfa.clone()), dag, params, rng)
+}
+
+/// [`run_fpras`] over a pre-built (shared) unrolled DAG — the engine's warm
+/// path: `prepare` pays for the unrolling once, and the sketch, enumerators,
+/// and exact tables all read the same `Arc`. The DAG must be the unrolling of
+/// `nfa` at the target length; the computation (and hence every estimate and
+/// sample, bit for bit) is identical to [`run_fpras`], which builds a fresh
+/// DAG from the same inputs.
+///
+/// # Errors
+/// Returns the failure events of steps 5(b)/5(c), exactly as [`run_fpras`].
+pub fn run_fpras_on<R: Rng + ?Sized>(
+    nfa: Arc<Nfa>,
+    dag: Arc<UnrolledDag>,
+    params: FprasParams,
+    rng: &mut R,
+) -> Result<FprasState, FprasError> {
+    let n = dag.word_length();
     let mut data: Vec<Option<VertexData>> = vec![None; dag.num_nodes()];
     if dag.is_empty() {
         return Ok(FprasState {
-            nfa: nfa.clone(),
+            nfa,
             dag,
             params,
             data,
             final_r: BigFloat::zero(),
+            bytes: std::sync::OnceLock::new(),
         });
     }
 
     // Step 4 — exactly handled vertices, in layer order. The start vertex has
     // U = {ε}; a later vertex is exact if all its predecessors are and the
     // deduplicated union of their extended words stays ≤ k.
+    let nfa_ref: &Nfa = &nfa;
     let start = dag.start().expect("nonempty dag has a start");
     let mut eps_reach = StateSet::new(nfa.num_states());
     eps_reach.insert(nfa.initial());
@@ -307,7 +357,7 @@ pub fn run_fpras<R: Rng + ?Sized>(
             pending
                 .iter()
                 .zip(&seeds)
-                .map(|(&v, &seed)| build_vertex(&dag, &data, nfa, &params, scratch, t, v, seed))
+                .map(|(&v, &seed)| build_vertex(&dag, &data, nfa_ref, &params, scratch, t, v, seed))
                 .collect()
         } else {
             let mut results: Vec<Option<Result<VertexData, FprasError>>> =
@@ -326,7 +376,7 @@ pub fn run_fpras<R: Rng + ?Sized>(
                     scope.spawn(move || {
                         for ((&v, &seed), slot) in vs.iter().zip(ss).zip(out) {
                             *slot = Some(build_vertex(
-                                dag_ref, data_ref, nfa, params_ref, scratch, t, v, seed,
+                                dag_ref, data_ref, nfa_ref, params_ref, scratch, t, v, seed,
                             ));
                         }
                     });
@@ -343,15 +393,16 @@ pub fn run_fpras<R: Rng + ?Sized>(
     // accepting set, so R(s_final) is one union estimate — through the same
     // ctx dispatch as every per-vertex estimate.
     let final_r = {
-        let ctx = SampleCtx::new(&dag, &data, nfa, &params);
+        let ctx = SampleCtx::new(&dag, &data, nfa_ref, &params);
         workers[0].estimate(&ctx, dag.accepting())
     };
     Ok(FprasState {
-        nfa: nfa.clone(),
+        nfa,
         dag,
         params,
         data,
         final_r,
+        bytes: std::sync::OnceLock::new(),
     })
 }
 

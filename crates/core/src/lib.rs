@@ -21,8 +21,18 @@
 //! The self-reducibility structure of §5.2 lives in [`self_reduce`], and the
 //! naive Monte-Carlo estimator the paper dismisses in §6.1 is kept as a baseline
 //! in [`count::naive`].
+//!
+//! For repeated traffic, [`engine`] provides the compile-once serving layer:
+//! a [`PreparedInstance`] caches the unrolled DAG, the ambiguity
+//! classification, and the per-problem tables behind one artifact (a
+//! [`MemNfa`] wraps exactly one of these), and an [`Engine`] keys prepared
+//! instances by structural fingerprint in a byte-capped LRU cache with a
+//! batched, deterministically-parallel request API. The ambiguity-aware
+//! counting router lives there too ([`engine::count_routed`]), with routing
+//! decisions cached per instance.
 
 pub mod count;
+pub mod engine;
 pub mod enumerate;
 pub mod fpras;
 mod mem_nfa;
@@ -30,4 +40,5 @@ pub mod sample;
 pub mod self_reduce;
 
 pub use count::exact::NotUnambiguousError;
+pub use engine::{Engine, PreparedInstance};
 pub use mem_nfa::MemNfa;

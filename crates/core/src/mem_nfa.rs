@@ -7,18 +7,22 @@
 //! algorithms, and generators apply verbatim to the image instance. So every
 //! application crate in this repository reduces its problem to a [`MemNfa`]
 //! and calls the methods below; there is deliberately no other entry point.
+//!
+//! A `MemNfa` is a thin wrapper over one private
+//! [`PreparedInstance`](crate::engine::PreparedInstance): the unrolled DAG,
+//! the ambiguity classification, and the exact tables are compiled on first
+//! use and shared by every later call on the same value — so holding a
+//! `MemNfa` across queries is the single-instance version of what
+//! [`crate::engine::Engine`] does across many instances.
 
 use lsc_arith::{BigFloat, BigNat};
-use lsc_automata::ops::is_unambiguous;
-use lsc_automata::unroll::UnrolledDag;
 use lsc_automata::Nfa;
 use rand::Rng;
-use std::sync::OnceLock;
 
 use crate::count::exact::{self, NotUnambiguousError};
-use crate::count::router::{self, RoutedCount, RouterConfig};
+use crate::engine::{PreparedInstance, RoutedCount, RouterConfig};
 use crate::enumerate::{ConstantDelayEnumerator, PolyDelayEnumerator};
-use crate::fpras::{run_fpras, FprasError, FprasParams, FprasState};
+use crate::fpras::{FprasError, FprasParams, FprasState};
 use crate::sample::{Plvug, TableSampler};
 
 /// An instance `(N, 0^n)` of MEM-NFA: witnesses are the words of `L_n(N)`.
@@ -26,7 +30,9 @@ use crate::sample::{Plvug, TableSampler};
 /// If the automaton is unambiguous this is a MEM-UFA instance and the
 /// Theorem 5 toolbox (exact counting, constant delay, exact sampling) applies;
 /// otherwise the Theorem 2 toolbox (FPRAS, polynomial delay, PLVUG) does.
-/// [`MemNfa::is_unambiguous`] decides which, and is cached.
+/// [`MemNfa::is_unambiguous`] decides which, and is cached — as are the
+/// unrolled DAG and the exact count tables, so repeated calls on one instance
+/// pay the preprocessing once.
 ///
 /// ```
 /// use lsc_automata::{families, Alphabet};
@@ -40,68 +46,70 @@ use crate::sample::{Plvug, TableSampler};
 /// assert_eq!(inst.enumerate_constant_delay().unwrap().count(), 256);
 /// ```
 pub struct MemNfa {
-    nfa: Nfa,
-    length: usize,
-    unambiguous: OnceLock<bool>,
+    prepared: PreparedInstance,
 }
 
 impl MemNfa {
-    /// Wraps an instance.
+    /// Wraps an instance (nothing is compiled until the first query).
     pub fn new(nfa: Nfa, length: usize) -> Self {
         MemNfa {
-            nfa,
-            length,
-            unambiguous: OnceLock::new(),
+            prepared: PreparedInstance::new(nfa, length),
         }
+    }
+
+    /// The underlying prepared instance, for engine-style access (shared
+    /// tables, cached routing, seeded sampling).
+    pub fn prepared(&self) -> &PreparedInstance {
+        &self.prepared
     }
 
     /// The automaton `N`.
     pub fn nfa(&self) -> &Nfa {
-        &self.nfa
+        self.prepared.nfa()
     }
 
     /// The witness length `n` (the paper's unary `0^n`).
     pub fn length(&self) -> usize {
-        self.length
+        self.prepared.length()
     }
 
     /// Is this a MEM-UFA instance? Cached after the first call.
     pub fn is_unambiguous(&self) -> bool {
-        *self.unambiguous.get_or_init(|| is_unambiguous(&self.nfa))
+        self.prepared.is_unambiguous()
     }
 
     /// The membership test `(x, y) ∈ R` of the p-relation (§2.1): polynomial
     /// time, as required.
     pub fn check_witness(&self, word: &[u32]) -> bool {
-        word.len() == self.length && self.nfa.accepts(word)
+        self.prepared.check_witness(word)
     }
 
     /// Does any witness exist? (The existence problem used by \[Sch09\]'s
-    /// flashlight argument; polynomial via the pruned unrolling.)
+    /// flashlight argument; polynomial via the pruned unrolling, which is
+    /// cached.)
     pub fn exists_witness(&self) -> bool {
-        !UnrolledDag::build(&self.nfa, self.length).is_empty()
+        self.prepared.exists_witness()
     }
 
     // ---- COUNT ----
 
-    /// Exact `|W|` in polynomial time — Theorem 5, MEM-UFA only.
+    /// Exact `|W|` in polynomial time — Theorem 5, MEM-UFA only. Served from
+    /// the cached completion table after the first call.
     ///
     /// # Errors
     /// [`NotUnambiguousError`] on ambiguous instances.
     pub fn count_exact(&self) -> Result<BigNat, NotUnambiguousError> {
-        if !self.is_unambiguous() {
-            return Err(NotUnambiguousError);
-        }
-        Ok(exact::count_runs(&self.nfa, self.length))
+        self.prepared.count_exact()
     }
 
     /// Ground-truth `|W|` by determinization — exponential worst case, test
     /// oracle only.
     pub fn count_oracle(&self) -> BigNat {
-        exact::count_nfa_via_determinization(&self.nfa, self.length)
+        exact::count_nfa_via_determinization(self.nfa(), self.length())
     }
 
-    /// FPRAS estimate of `|W|` — Theorem 2 / Theorem 22.
+    /// FPRAS estimate of `|W|` — Theorem 2 / Theorem 22. The caller owns the
+    /// randomness; only the unrolled DAG is shared with other calls.
     ///
     /// # Errors
     /// Propagates the (vanishing-probability) FPRAS failure events.
@@ -110,7 +118,7 @@ impl MemNfa {
         params: FprasParams,
         rng: &mut R,
     ) -> Result<BigFloat, FprasError> {
-        crate::fpras::approx_count(&self.nfa, self.length, params, rng)
+        self.prepared.run_fpras(params, rng).map(|s| s.estimate())
     }
 
     /// Runs Algorithm 5 and keeps the full sketch state (count + sample from
@@ -123,11 +131,13 @@ impl MemNfa {
         params: FprasParams,
         rng: &mut R,
     ) -> Result<FprasState, FprasError> {
-        run_fpras(&self.nfa, self.length, params, rng)
+        self.prepared.run_fpras(params, rng)
     }
 
     /// Routed `|W|`: exact where exactness is affordable, FPRAS otherwise
-    /// (see [`crate::count::router`]). The report says which route fired.
+    /// (see [`crate::engine`]). The report says which route fired. The
+    /// ambiguity probe and determinization are cached on this instance, so
+    /// repeated routed counts re-decide nothing.
     ///
     /// # Errors
     /// Propagates the FPRAS failure events when the FPRAS route fires.
@@ -136,35 +146,37 @@ impl MemNfa {
         config: &RouterConfig,
         rng: &mut R,
     ) -> Result<RoutedCount, FprasError> {
-        router::count_routed(&self.nfa, self.length, config, rng)
+        self.prepared.count_routed(config, rng)
     }
 
     // ---- ENUM ----
 
-    /// Constant-delay enumeration — Theorem 5, MEM-UFA only.
+    /// Constant-delay enumeration — Theorem 5, MEM-UFA only. Shares the
+    /// cached DAG.
     ///
     /// # Errors
     /// [`NotUnambiguousError`] on ambiguous instances.
     pub fn enumerate_constant_delay(
         &self,
     ) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
-        ConstantDelayEnumerator::new(&self.nfa, self.length)
+        self.prepared.enumerate_constant_delay()
     }
 
-    /// Polynomial-delay enumeration — Theorem 2, any instance.
+    /// Polynomial-delay enumeration — Theorem 2, any instance. Shares the
+    /// cached DAG.
     pub fn enumerate(&self) -> PolyDelayEnumerator {
-        PolyDelayEnumerator::new(&self.nfa, self.length)
+        self.prepared.enumerate()
     }
 
     // ---- GEN ----
 
     /// Exact uniform sampler — Theorem 5, MEM-UFA only. Returns a reusable
-    /// sampler (one table, many draws).
+    /// sampler sharing the cached count table (one table, many draws).
     ///
     /// # Errors
     /// [`NotUnambiguousError`] on ambiguous instances.
     pub fn uniform_sampler(&self) -> Result<TableSampler, NotUnambiguousError> {
-        TableSampler::new(&self.nfa, self.length)
+        self.prepared.uniform_sampler()
     }
 
     /// Las Vegas uniform generator — Theorem 2 / Corollary 23, any instance.
@@ -176,7 +188,7 @@ impl MemNfa {
         params: FprasParams,
         rng: &mut R,
     ) -> Result<Plvug, FprasError> {
-        Plvug::prepare(&self.nfa, self.length, params, rng)
+        self.prepared.run_fpras(params, rng).map(Plvug::from_state)
     }
 }
 
@@ -242,5 +254,19 @@ mod tests {
         assert!(!inst.exists_witness());
         assert!(inst.count_exact().unwrap().is_zero());
         assert_eq!(inst.enumerate().count(), 0);
+    }
+
+    #[test]
+    fn repeated_calls_share_the_artifact() {
+        use std::sync::Arc;
+        let inst = MemNfa::new(blowup_nfa(4), 10);
+        let dag = Arc::as_ptr(inst.prepared().dag());
+        let _ = inst.count_exact().unwrap();
+        let _ = inst.enumerate_constant_delay().unwrap().count();
+        assert_eq!(
+            Arc::as_ptr(inst.prepared().dag()),
+            dag,
+            "one unrolling serves every query"
+        );
     }
 }

@@ -17,6 +17,8 @@
 //! rejection sampling, so output probabilities are *exactly* `1/|W|` — no
 //! floating-point approximation anywhere.
 
+use std::sync::Arc;
+
 use lsc_arith::BigNat;
 use lsc_automata::ops::is_unambiguous;
 use lsc_automata::unroll::UnrolledDag;
@@ -30,8 +32,8 @@ use crate::self_reduce::psi;
 /// Exact uniform sampler over `L_n(N)` for unambiguous `N`, driven by one
 /// precomputed completion-count table.
 pub struct TableSampler {
-    dag: UnrolledDag,
-    completions: Vec<BigNat>,
+    dag: Arc<UnrolledDag>,
+    completions: Arc<Vec<BigNat>>,
 }
 
 impl TableSampler {
@@ -50,8 +52,21 @@ impl TableSampler {
     /// Path-uniform sampler for *any* NFA (uniform over accepting runs, not
     /// words) — the primitive behind the naive estimator of §6.1.
     pub fn over_paths(nfa: &Nfa, n: usize) -> Self {
-        let dag = UnrolledDag::build(nfa, n);
-        let completions = dag.completion_counts();
+        let dag = Arc::new(UnrolledDag::build(nfa, n));
+        let completions = Arc::new(dag.completion_counts());
+        TableSampler { dag, completions }
+    }
+
+    /// A sampler over a pre-built (shared) DAG and completion-count table —
+    /// the engine's warm path: `prepare` materializes both once, and every
+    /// sampler clones only the `Arc`s. `completions` must be
+    /// [`UnrolledDag::completion_counts`] of `dag`; draws are distributed (and,
+    /// for a fixed rng stream, bit-for-bit) identical to
+    /// [`TableSampler::over_paths`] on the same instance. Word-uniformity
+    /// (rather than run-uniformity) still requires the DAG of an unambiguous
+    /// automaton, which the caller asserts.
+    pub fn from_parts(dag: Arc<UnrolledDag>, completions: Arc<Vec<BigNat>>) -> Self {
+        debug_assert_eq!(dag.num_nodes(), completions.len());
         TableSampler { dag, completions }
     }
 

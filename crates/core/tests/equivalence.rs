@@ -1,17 +1,25 @@
-//! Equivalence tests for the FPRAS hot-path optimizations.
+//! Equivalence tests for the FPRAS hot-path optimizations and the
+//! prepared-instance engine.
 //!
 //! The linear prefix-mask union estimator, the per-worker weight memo cache,
 //! and the CSR DAG layout are all *value-preserving* rewrites of the seed
 //! implementation: for a fixed master seed they must produce **bit-identical**
 //! estimates and witness streams to the naive path (quadratic membership
-//! scan, no memoization), at every thread count. These tests pin that
-//! contract across several NFA families.
+//! scan, no memoization), at every thread count. The same contract extends to
+//! the engine: warm (cached) answers must be bit-identical to cold one-shot
+//! answers for `COUNT` (exact and FPRAS), `ENUM` order, and `GEN` witness
+//! streams, at every batch thread count. These tests pin both contracts
+//! across several NFA families.
 
 use lsc_arith::BigFloat;
 use lsc_automata::families::{ambiguity_gap_nfa, blowup_nfa, universal_nfa};
 use lsc_automata::regex::Regex;
 use lsc_automata::{Alphabet, Nfa};
+use lsc_core::engine::{
+    Engine, EngineConfig, QueryKind, QueryOutput, QueryRequest, QueryResponse, RouterConfig,
+};
 use lsc_core::fpras::{run_fpras, FprasParams};
+use lsc_core::MemNfa;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
@@ -112,6 +120,167 @@ fn witness_sampler_matches_per_call_sampling() {
             let a = sampler.sample(&mut rng_a);
             let b = state.sample_witness(&mut rng_b);
             assert_eq!(a, b, "{name}: draw {i} diverged");
+        }
+    }
+}
+
+// ---- Engine-path equivalence -----------------------------------------------
+
+/// The engine configuration the equivalence contract is checked under: the
+/// determinization probe disabled so ambiguous families genuinely exercise
+/// the cached FPRAS sketch, and a small `k` so real sampling happens.
+fn engine_config(threads: usize) -> EngineConfig {
+    let mut fpras = FprasParams::quick();
+    fpras.k = 16;
+    EngineConfig {
+        router: RouterConfig {
+            determinization_cap: 0,
+            fpras,
+            classify_ambiguity: false,
+        },
+        threads,
+        ..EngineConfig::default()
+    }
+}
+
+/// One COUNT + one ENUM + one GEN request per family, with fixed per-request
+/// seeds.
+fn engine_requests(nfa: &Nfa, n: usize) -> Vec<QueryRequest> {
+    vec![
+        QueryRequest { nfa: nfa.clone(), length: n, kind: QueryKind::Count, seed: 0xC0 },
+        QueryRequest {
+            nfa: nfa.clone(),
+            length: n,
+            kind: QueryKind::Enumerate { limit: usize::MAX },
+            seed: 0xC1,
+        },
+        QueryRequest {
+            nfa: nfa.clone(),
+            length: n,
+            kind: QueryKind::Sample { count: 25 },
+            seed: 0xC2,
+        },
+    ]
+}
+
+/// Bit-level equality of two query responses' outputs (`cache_hit` flags are
+/// allowed to differ — warm vs cold is the point).
+fn assert_same_output(context: &str, a: &QueryResponse, b: &QueryResponse) {
+    match (&a.output, &b.output) {
+        (Ok(QueryOutput::Count(x)), Ok(QueryOutput::Count(y))) => {
+            assert_eq!(x.route, y.route, "{context}: route diverged");
+            assert_eq!(x.exact, y.exact, "{context}: exact count diverged");
+            assert!(
+                bit_identical(&x.estimate, &y.estimate),
+                "{context}: estimate {} != {}",
+                x.estimate,
+                y.estimate
+            );
+        }
+        (Ok(QueryOutput::Exact(x)), Ok(QueryOutput::Exact(y))) => {
+            assert_eq!(x, y, "{context}: exact count diverged");
+        }
+        (Ok(QueryOutput::Words(x)), Ok(QueryOutput::Words(y))) => {
+            assert_eq!(x, y, "{context}: witness stream diverged");
+        }
+        (Err(x), Err(y)) => assert_eq!(x, y, "{context}: errors diverged"),
+        _ => panic!("{context}: output shapes diverged"),
+    }
+}
+
+/// Warm (cached) engine answers are bit-identical to cold one-shot answers —
+/// COUNT (exact route on UFA families, FPRAS route on ambiguous ones), ENUM
+/// order, and GEN witness streams — at 1, 2, and 4 batch threads.
+#[test]
+fn engine_warm_answers_bit_identical_to_cold_at_any_thread_count() {
+    for (name, nfa, n) in families() {
+        let requests = engine_requests(&nfa, n);
+        // Cold reference: a fresh engine per request, single-threaded.
+        let cold: Vec<QueryResponse> = requests
+            .iter()
+            .map(|r| Engine::new(engine_config(1)).query(r))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(engine_config(threads));
+            let first = engine.query_batch(&requests);
+            let warm = engine.query_batch(&requests);
+            for (i, ((c, f), w)) in cold.iter().zip(&first).zip(&warm).enumerate() {
+                let ctx = format!("{name}/threads={threads}/request={i}");
+                assert_same_output(&format!("{ctx}/first"), c, f);
+                assert_same_output(&format!("{ctx}/warm"), c, w);
+            }
+            assert!(
+                warm.iter().all(|r| r.cache_hit),
+                "{name}/threads={threads}: second batch must be fully warm"
+            );
+        }
+    }
+}
+
+/// The engine's answers agree with the direct `MemNfa` toolbox on the
+/// deterministic problems: exact counts and enumeration order.
+#[test]
+fn engine_agrees_with_memnfa_toolbox() {
+    for (name, nfa, n) in families() {
+        let engine = Engine::new(engine_config(1));
+        let inst = MemNfa::new(nfa.clone(), n);
+        let count = engine.query(&QueryRequest {
+            nfa: nfa.clone(),
+            length: n,
+            kind: QueryKind::Count,
+            seed: 1,
+        });
+        if let Ok(QueryOutput::Count(routed)) = &count.output {
+            if let Some(exact) = &routed.exact {
+                assert_eq!(
+                    *exact,
+                    inst.count_exact().unwrap(),
+                    "{name}: engine exact count != MemNfa"
+                );
+            }
+        } else {
+            panic!("{name}: count failed");
+        }
+        let enumerated = engine.query(&QueryRequest {
+            nfa: nfa.clone(),
+            length: n,
+            kind: QueryKind::Enumerate { limit: usize::MAX },
+            seed: 2,
+        });
+        let Ok(QueryOutput::Words(words)) = &enumerated.output else {
+            panic!("{name}: enumeration failed");
+        };
+        let direct: Vec<_> = if inst.is_unambiguous() {
+            inst.enumerate_constant_delay().unwrap().collect()
+        } else {
+            inst.enumerate().collect()
+        };
+        assert_eq!(*words, direct, "{name}: enumeration order diverged");
+    }
+}
+
+/// GEN through the engine is deterministic in the request seed and identical
+/// between a cold and a warm engine, draw for draw.
+#[test]
+fn engine_witness_streams_reproduce_across_engines() {
+    for (name, nfa, n) in families() {
+        let request = QueryRequest {
+            nfa: nfa.clone(),
+            length: n,
+            kind: QueryKind::Sample { count: 40 },
+            seed: 0xFEED,
+        };
+        let a = Engine::new(engine_config(1)).query(&request);
+        let engine = Engine::new(engine_config(2));
+        // Warm the instance through other kinds first, then sample.
+        engine.query_batch(&engine_requests(&nfa, n));
+        let b = engine.query(&request);
+        assert_same_output(&format!("{name}/gen-stream"), &a, &b);
+        let Ok(QueryOutput::Words(words)) = &a.output else {
+            panic!("{name}: sampling failed");
+        };
+        for w in words {
+            assert!(nfa.accepts(w), "{name}: sampled non-witness");
         }
     }
 }

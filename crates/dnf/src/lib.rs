@@ -24,7 +24,7 @@ mod reduction;
 pub use exact::count_models_inclusion_exclusion;
 pub use formula::{DnfFormula, DnfParseError, DnfTerm};
 pub use karp_luby::karp_luby;
-pub use reduction::{to_nfa, SatDnfTransducer};
+pub use reduction::{to_mem_nfa, to_nfa, SatDnfTransducer};
 
 /// Generates a random DNF formula: `terms` terms over `vars` variables, each
 /// term with `lits` distinct literals of random polarity.

@@ -1,6 +1,7 @@
 //! SAT-DNF → MEM-NFA, two ways: the direct automaton and the §3 transducer.
 
 use lsc_automata::{Alphabet, Nfa, Symbol};
+use lsc_core::MemNfa;
 use lsc_transducer::TransducerProgram;
 
 use crate::DnfFormula;
@@ -52,6 +53,17 @@ pub fn to_nfa(formula: &DnfFormula) -> Nfa {
         }
     }
     b.build().trimmed()
+}
+
+/// Packages a formula as a compiled [`MemNfa`] instance: witnesses of length
+/// `num_vars` over `{0,1}` are exactly the satisfying assignments. This is
+/// the prepared entry point for repeated queries on one formula — the
+/// instance caches its unrolled DAG and ambiguity classification, so
+/// counting, enumerating, and sampling the model set all share one
+/// compilation instead of re-reducing per call (and an [`lsc_core::Engine`]
+/// dedupes across formulas by fingerprint).
+pub fn to_mem_nfa(formula: &DnfFormula) -> MemNfa {
+    MemNfa::new(to_nfa(formula), formula.num_vars())
 }
 
 /// The SAT-DNF NL-transducer exactly as §3 describes it: nondeterministically
@@ -187,6 +199,28 @@ mod tests {
                 "formula {f}"
             );
         }
+    }
+
+    #[test]
+    fn prepared_instance_serves_all_three_problems() {
+        // One reduction, one compiled artifact: COUNT, ENUM, and GEN answers
+        // all come off the same prepared instance.
+        use std::sync::Arc;
+        let f: DnfFormula = "x0 & !x1 | x2".parse().unwrap();
+        let inst = to_mem_nfa(&f);
+        let dag = Arc::as_ptr(inst.prepared().dag());
+        let models = inst.enumerate().count() as u64;
+        assert_eq!(models, f.count_models_brute_force().to_u64().unwrap());
+        let mut rng = StdRng::seed_from_u64(7);
+        let routed = inst
+            .count_routed(&lsc_core::engine::RouterConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(routed.exact.map(|c| c.to_u64().unwrap()), Some(models));
+        assert_eq!(
+            Arc::as_ptr(inst.prepared().dag()),
+            dag,
+            "repeated queries reuse the compiled reduction"
+        );
     }
 
     #[test]

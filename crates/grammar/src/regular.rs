@@ -297,6 +297,12 @@ pub fn left_linear_to_nfa(g: &Cfg) -> Result<Nfa, NotLeftLinearError> {
 /// delay enumeration, Las Vegas sampling — and the exact Theorem 5 routines
 /// when the grammar, hence the automaton, is unambiguous).
 ///
+/// The returned instance is a prepared artifact: the conversion, the
+/// ambiguity classification, and the unrolled DAG are computed once and
+/// shared by every later counting/enumeration/sampling call, so hold the
+/// `MemNfa` across repeated queries on one grammar rather than re-converting
+/// per call.
+///
 /// # Errors
 /// [`NotRightLinearError`] if the grammar is not right-linear.
 pub fn to_mem_nfa(g: &Cfg, n: usize) -> Result<MemNfa, NotRightLinearError> {
@@ -467,6 +473,25 @@ mod tests {
         let inst = to_mem_nfa(&g, 9).unwrap();
         assert!(inst.is_unambiguous());
         assert_eq!(inst.count_exact().unwrap().to_u64(), Some(256));
+    }
+
+    #[test]
+    fn grammar_instance_serves_repeated_queries_from_one_artifact() {
+        use std::sync::Arc;
+        let g = nfa_to_right_linear(&blowup_nfa(4));
+        let inst = to_mem_nfa(&g, 9).unwrap();
+        let dag = Arc::as_ptr(inst.prepared().dag());
+        let count = inst.count_exact().unwrap();
+        let words = inst.enumerate_constant_delay().unwrap().count() as u64;
+        assert_eq!(words, count.to_u64().unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let w = inst.uniform_sampler().unwrap().sample(&mut rng).unwrap();
+        assert!(inst.check_witness(&w));
+        assert_eq!(
+            Arc::as_ptr(inst.prepared().dag()),
+            dag,
+            "COUNT, ENUM, and GEN share one converted grammar"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use lsc_arith::BigNat;
 use lsc_automata::regex::Regex;
 use lsc_automata::{Alphabet, Nfa, Symbol};
+use lsc_core::engine::{RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
 use lsc_core::MemNfa;
 use rand::Rng;
@@ -179,6 +180,22 @@ impl RpqInstance {
         self.instance.count_approx(params, rng)
     }
 
+    /// Routed path count: exact where exactness is affordable (deterministic
+    /// query automata make the product unambiguous; small products
+    /// determinize), FPRAS otherwise. The ambiguity probe and determinization
+    /// are cached on this instance, so a workload that re-counts the same
+    /// query — the standard RPQ serving pattern — re-decides nothing.
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events when the FPRAS route fires.
+    pub fn count_paths_routed<R: Rng + ?Sized>(
+        &self,
+        config: &RouterConfig,
+        rng: &mut R,
+    ) -> Result<RoutedCount, FprasError> {
+        self.instance.count_routed(config, rng)
+    }
+
     /// Enumerates all satisfying paths (polynomial delay).
     pub fn enumerate_paths(&self) -> impl Iterator<Item = RpqPath> + '_ {
         self.instance.enumerate().map(|w| self.decode(&w))
@@ -268,6 +285,24 @@ mod tests {
             .unwrap();
         let t = truth.to_f64();
         assert!((est.to_f64() - t).abs() / t < 0.2, "est {est}, truth {truth}");
+    }
+
+    #[test]
+    fn routed_counts_are_stable_across_repeats() {
+        use lsc_core::engine::RouterConfig;
+        // A fixed-length pattern gives a small determinizable product; the
+        // route is decided once and every repeat serves the same answer.
+        let inst = RpqInstance::new(diamond(), "abc*", 3, 0, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = RouterConfig::default();
+        let first = inst.count_paths_routed(&config, &mut rng).unwrap();
+        assert!(first.is_exact());
+        assert_eq!(first.exact.as_ref().unwrap().to_u64(), Some(2));
+        for _ in 0..4 {
+            let again = inst.count_paths_routed(&config, &mut rng).unwrap();
+            assert_eq!(again.route, first.route);
+            assert_eq!(again.exact, first.exact);
+        }
     }
 
     #[test]

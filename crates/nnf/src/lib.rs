@@ -47,6 +47,7 @@ mod circuit;
 pub mod compile;
 pub mod count;
 pub mod enumerate;
+pub mod prepared;
 pub mod queries;
 pub mod sample;
 pub mod transform;
@@ -55,5 +56,6 @@ mod varset;
 pub use circuit::{NnfBuilder, NnfCircuit, NnfNode, NodeId};
 pub use count::{count_models, CountTable, NotDecomposableError};
 pub use enumerate::ModelEnumerator;
+pub use prepared::PreparedCircuit;
 pub use sample::ModelSampler;
 pub use varset::VarSet;

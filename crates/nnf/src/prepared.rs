@@ -1,0 +1,129 @@
+//! The circuit-side analogue of the engine's prepared instance.
+//!
+//! The paper's structural analogy (crate docs: determinism : circuits ::
+//! unambiguity : automata) extends to the serving architecture. Where
+//! `lsc_core::engine::PreparedInstance` compiles an automaton instance once
+//! and answers `COUNT` / `ENUM` / `GEN` from the cached artifact, a
+//! [`PreparedCircuit`] does the same for a d-DNNF circuit: one
+//! decomposability check and one counting pass, shared by model counting and
+//! every sampler drawn afterwards. Repeated-query workloads (probabilistic
+//! inference over one compiled knowledge base) should hold one
+//! `PreparedCircuit` instead of re-running `count_models` /
+//! `ModelSampler::new` per request.
+
+use std::sync::Arc;
+
+use lsc_arith::BigNat;
+
+use crate::circuit::NnfCircuit;
+use crate::count::{CountTable, NotDecomposableError};
+use crate::enumerate::ModelEnumerator;
+use crate::sample::ModelSampler;
+
+/// A compiled d-DNNF query artifact: the circuit plus its count table,
+/// materialized once.
+pub struct PreparedCircuit {
+    circuit: NnfCircuit,
+    table: Arc<CountTable>,
+    total: BigNat,
+}
+
+impl PreparedCircuit {
+    /// Runs the preprocessing: the decomposability check and the counting
+    /// pass. Correct counts/uniform samples additionally require determinism,
+    /// the caller's obligation (see [`crate::checks::determinism_violation`]).
+    ///
+    /// # Errors
+    /// [`NotDecomposableError`] if some `And` shares variables.
+    pub fn new(circuit: NnfCircuit) -> Result<PreparedCircuit, NotDecomposableError> {
+        let table = Arc::new(CountTable::build(&circuit)?);
+        let total = table.models(&circuit);
+        Ok(PreparedCircuit { circuit, table, total })
+    }
+
+    /// The circuit.
+    pub fn circuit(&self) -> &NnfCircuit {
+        &self.circuit
+    }
+
+    /// The shared per-node count table.
+    pub fn table(&self) -> &Arc<CountTable> {
+        &self.table
+    }
+
+    /// `COUNT`: the model count, served from the cached table.
+    pub fn count(&self) -> &BigNat {
+        &self.total
+    }
+
+    /// True iff the circuit is unsatisfiable.
+    pub fn is_empty(&self) -> bool {
+        self.total.is_zero()
+    }
+
+    /// `GEN`: an exact uniform sampler sharing the cached table (no second
+    /// counting pass).
+    pub fn sampler(&self) -> ModelSampler<'_> {
+        ModelSampler::from_table(&self.circuit, self.table.clone())
+    }
+
+    /// `ENUM`: a model enumerator. Enumeration smooths the circuit first, so
+    /// it builds its own table over the smoothed form — the one per-problem
+    /// artifact that cannot share the raw table.
+    ///
+    /// # Errors
+    /// [`NotDecomposableError`] if smoothing exposes a shared-variable `And`.
+    pub fn enumerator(&self) -> Result<ModelEnumerator, NotDecomposableError> {
+        ModelEnumerator::new(&self.circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::NnfBuilder;
+    use crate::count::count_models_brute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_circuit() -> NnfCircuit {
+        let mut b = NnfBuilder::new(2);
+        let (x0, n0) = (b.lit(0, true), b.lit(0, false));
+        let (x1, n1) = (b.lit(1, true), b.lit(1, false));
+        let left = b.and(vec![x0, n1]);
+        let right = b.and(vec![n0, x1]);
+        let root = b.or(vec![left, right]);
+        b.build(root)
+    }
+
+    #[test]
+    fn one_counting_pass_serves_count_and_gen() {
+        let prepared = PreparedCircuit::new(xor_circuit()).unwrap();
+        assert_eq!(prepared.count().to_u64(), Some(2));
+        assert_eq!(
+            prepared.count().to_u64().unwrap(),
+            count_models_brute(prepared.circuit())
+        );
+        // The sampler reuses the exact same table allocation.
+        let sampler = prepared.sampler();
+        assert!(Arc::ptr_eq(prepared.table(), &prepared.sampler().table_arc()));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let m = sampler.sample(&mut rng).unwrap();
+            assert!(prepared.circuit().eval(&m));
+        }
+        // ENUM agrees with COUNT.
+        let models: Vec<_> = prepared.enumerator().unwrap().iter().collect();
+        assert_eq!(models.len() as u64, prepared.count().to_u64().unwrap());
+    }
+
+    #[test]
+    fn empty_circuit_is_prepared_too() {
+        let b = NnfBuilder::new(1);
+        let root = b.false_node();
+        let prepared = PreparedCircuit::new(b.build(root)).unwrap();
+        assert!(prepared.is_empty());
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(prepared.sampler().sample(&mut rng), None);
+    }
+}

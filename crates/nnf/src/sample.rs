@@ -10,6 +10,8 @@
 //! exact generator for MEM-UFA (§5.3.3), with determinism playing the role
 //! of unambiguity.
 
+use std::sync::Arc;
+
 use lsc_arith::BigNat;
 use rand::Rng;
 
@@ -19,7 +21,7 @@ use crate::count::{CountTable, NotDecomposableError};
 /// Exact uniform model sampler for a d-DNNF circuit.
 pub struct ModelSampler<'c> {
     circuit: &'c NnfCircuit,
-    table: CountTable,
+    table: Arc<CountTable>,
     total: BigNat,
 }
 
@@ -32,14 +34,28 @@ impl<'c> ModelSampler<'c> {
     /// # Errors
     /// [`NotDecomposableError`] if some `And` shares variables.
     pub fn new(circuit: &'c NnfCircuit) -> Result<ModelSampler<'c>, NotDecomposableError> {
-        let table = CountTable::build(circuit)?;
+        let table = Arc::new(CountTable::build(circuit)?);
+        Ok(Self::from_table(circuit, table))
+    }
+
+    /// A sampler over a pre-built (shared) count table — the prepared-circuit
+    /// warm path ([`crate::PreparedCircuit`]): one counting pass serves both
+    /// `COUNT` and `GEN`. `table` must be [`CountTable::build`] of `circuit`;
+    /// draws are distributed identically to [`ModelSampler::new`].
+    pub fn from_table(circuit: &'c NnfCircuit, table: Arc<CountTable>) -> ModelSampler<'c> {
         let total = table.models(circuit);
-        Ok(ModelSampler { circuit, table, total })
+        ModelSampler { circuit, table, total }
     }
 
     /// The number of models being sampled over.
     pub fn support(&self) -> &BigNat {
         &self.total
+    }
+
+    /// The shared count-table handle (one allocation across every sampler
+    /// drawn from a [`crate::PreparedCircuit`]).
+    pub fn table_arc(&self) -> Arc<CountTable> {
+        self.table.clone()
     }
 
     /// Draws one model uniformly; `None` if the circuit is unsatisfiable.

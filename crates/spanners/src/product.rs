@@ -3,6 +3,7 @@
 use lsc_arith::{BigFloat, BigNat};
 use lsc_automata::{Alphabet, Nfa, Symbol};
 use lsc_core::count::exact::NotUnambiguousError;
+use lsc_core::engine::{RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
 use lsc_core::MemNfa;
 use rand::Rng;
@@ -155,6 +156,22 @@ impl SpannerInstance {
         self.instance.count_approx(params, rng)
     }
 
+    /// Routed mapping count: exact for unambiguous (or small-product)
+    /// spanners, FPRAS otherwise. The classification and determinization
+    /// probe are cached on this instance — the information-extraction serving
+    /// pattern evaluates one spanner against many requests, and only the
+    /// first pays for the routing decision.
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events when the FPRAS route fires.
+    pub fn count_routed<R: Rng + ?Sized>(
+        &self,
+        config: &RouterConfig,
+        rng: &mut R,
+    ) -> Result<RoutedCount, FprasError> {
+        self.instance.count_routed(config, rng)
+    }
+
     /// Enumerates all mappings (polynomial delay; constant delay via
     /// [`MemNfa::enumerate_constant_delay`] when unambiguous).
     pub fn mappings(&self) -> impl Iterator<Item = Mapping> + '_ {
@@ -236,6 +253,27 @@ mod tests {
             assert!(!span.is_empty());
             assert!("aabaaab"[span.start..span.end].chars().all(|c| c == 'a'));
         }
+    }
+
+    #[test]
+    fn routed_counts_reuse_the_prepared_product() {
+        use std::sync::Arc;
+        let inst = SpannerInstance::new(block_spanner(&ab(), 'a'), "aabaaab");
+        let dag = Arc::as_ptr(inst.mem_nfa().prepared().dag());
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = RouterConfig::default();
+        let first = inst.count_routed(&config, &mut rng).unwrap();
+        assert!(first.is_exact(), "unambiguous block spanner routes exact");
+        for _ in 0..3 {
+            let again = inst.count_routed(&config, &mut rng).unwrap();
+            assert_eq!(again.exact, first.exact);
+            assert_eq!(again.route, first.route);
+        }
+        assert_eq!(
+            Arc::as_ptr(inst.mem_nfa().prepared().dag()),
+            dag,
+            "repeated routed counts share one compiled product"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use logspace_repro::automata::families;
 use logspace_repro::automata::ops::{ambiguity_degree, AmbiguityDegree};
-use logspace_repro::core::count::router::{count_routed, CountRoute, RouterConfig};
+use logspace_repro::core::engine::{count_routed, CountRoute, RouterConfig};
 use logspace_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

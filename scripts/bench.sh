@@ -71,3 +71,64 @@ with open(path, "w") as fh:
 print(f"\nBENCH_fpras.json: appended snapshot #{len(history)}"
       f" (speedup vs seed baseline: {speedup}x)")
 PY
+
+# --- Engine warm-vs-cold trajectory -----------------------------------------
+# Runs the prepared-instance engine benches and appends a snapshot to
+# BENCH_engine.json: the repeated-query speedup of the warm engine path over
+# cold per-call MemNfa, on both the UFA exact route and the FPRAS route
+# (8 queries per iteration; see crates/bench/benches/engine.rs).
+
+export LSC_CRITERION_DIR="${LSC_CRITERION_ENGINE_DIR:-$(pwd)/target/lsc-criterion-engine}"
+rm -rf "$LSC_CRITERION_DIR"
+
+cargo bench -p lsc-bench --bench engine -- "$@"
+
+python3 - <<'PY'
+import json, os, subprocess, time
+
+out_dir = os.environ["LSC_CRITERION_DIR"]
+results = []
+for root, _, files in os.walk(out_dir):
+    for f in sorted(files):
+        if f.endswith(".json"):
+            with open(os.path.join(root, f)) as fh:
+                results.append(json.load(fh))
+results.sort(key=lambda r: (r["group"], r["id"]))
+
+def mean_of(group, ident):
+    for r in results:
+        if r["group"] == group and r["id"] == ident:
+            return r["mean_ns"]
+    return None
+
+def speedup(group):
+    cold = mean_of(group, "cold-memnfa")
+    warm = mean_of(group, "warm-engine")
+    return round(cold / warm, 2) if cold and warm else None
+
+snapshot = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git_rev": subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True,
+    ).stdout.strip() or "unknown",
+    "workload": "8 repeated queries per iteration; blowup(10)@40 exact, contains-101@20 fpras",
+    "warm_vs_cold_exact_speedup": speedup("engine/e14-warm-vs-cold-exact"),
+    "warm_vs_cold_fpras_speedup": speedup("engine/e14-warm-vs-cold-fpras"),
+    "benchmarks": results,
+}
+
+path = "BENCH_engine.json"
+history = []
+if os.path.exists(path):
+    with open(path) as fh:
+        history = json.load(fh)
+history.append(snapshot)
+with open(path, "w") as fh:
+    json.dump(history, fh, indent=1)
+    fh.write("\n")
+
+print(f"\nBENCH_engine.json: appended snapshot #{len(history)}"
+      f" (warm vs cold: exact {snapshot['warm_vs_cold_exact_speedup']}x,"
+      f" fpras {snapshot['warm_vs_cold_fpras_speedup']}x)")
+PY

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the rot-prone extras: the quickstart example must
+# run, and the engine bench must at least execute (a smoke invocation with a
+# tiny sample budget — trajectory numbers come from scripts/bench.sh).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== example: quickstart =="
+cargo run --release --example quickstart
+
+echo "== bench smoke: engine warm-vs-cold =="
+LSC_CRITERION_SAMPLES=2 \
+LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci" \
+cargo bench -p lsc-bench --bench engine -- e14-warm-vs-cold-exact
+
+echo "== ci.sh: all green =="

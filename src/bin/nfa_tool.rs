@@ -8,19 +8,43 @@
 //! nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]
 //! nfa-tool classify  (--regex PAT | --file NFA.txt)
 //! nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]
+//! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]
 //! ```
 //!
 //! `--regex` patterns use the alphabet given by `--alphabet` (default `01`).
 //! NFA files use the format of `lsc_automata::io`. `classify` reports the
 //! Weber–Seidl ambiguity class; `route` runs the ambiguity-aware counting
 //! router and reports which algorithm produced the count.
+//!
+//! `batch` answers many queries through one prepared-instance engine
+//! ([`lsc_core::engine::Engine`]): repeated patterns hit the instance cache
+//! instead of recompiling. Queries are read from `--file` (or stdin), one per
+//! line:
+//!
+//! ```text
+//! count       PATTERN LENGTH
+//! count-exact PATTERN LENGTH
+//! enumerate   PATTERN LENGTH [LIMIT]   (LIMIT defaults to 1000; batch
+//!                                       answers are buffered, so use the
+//!                                       streaming `enumerate` subcommand
+//!                                       for full listings)
+//! sample      PATTERN LENGTH [COUNT]
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. Each answer is tagged `hit` or
+//! `miss` for its instance-cache outcome, and a final summary line reports
+//! the hit/miss totals — the compile-once, serve-many behavior end to end.
 
+use std::io::Read;
 use std::process::exit;
 
 use lsc_automata::ops::{ambiguity_degree, AmbiguityDegree};
 use lsc_automata::regex::Regex;
 use lsc_automata::{format_word, io, Alphabet, Nfa};
-use lsc_core::count::router::{count_routed, CountRoute, RouterConfig};
+use lsc_core::engine::{
+    count_routed, CountRoute, Engine, EngineConfig, QueryKind, QueryOutput, QueryRequest,
+    RouterConfig,
+};
 use lsc_core::fpras::FprasParams;
 use lsc_core::sample::GenOutcome;
 use lsc_core::MemNfa;
@@ -76,7 +100,9 @@ fn usage(msg: &str) -> ! {
            nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]\n  \
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
-           common: [--alphabet CHARS]  (default 01)"
+           nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]\n  \
+           common: [--alphabet CHARS]  (default 01)\n\
+           batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
     );
     exit(2)
 }
@@ -98,8 +124,113 @@ fn load_nfa(args: &Args) -> Nfa {
     }
 }
 
+/// The `batch` subcommand: many queries, one engine, cache hits end to end.
+fn run_batch(args: &Args) {
+    let alphabet_chars: Vec<char> = args.get("alphabet").unwrap_or("01").chars().collect();
+    let alphabet = Alphabet::from_chars(&alphabet_chars);
+    let text = match args.get("file") {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| usage(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+    let seed = args.get_usize("seed").unwrap_or(0xC0FFEE) as u64;
+    let config = EngineConfig {
+        threads: args.get_usize("threads").unwrap_or(1).max(1),
+        cache_bytes: args.get_usize("cache-mb").unwrap_or(256) << 20,
+        seed,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(config);
+    let mut requests: Vec<QueryRequest> = Vec::new();
+    let mut specs: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bad = |what: &str| -> ! {
+            usage(&format!("query line {}: {what}: {line:?}", lineno + 1))
+        };
+        let command = parts.next().unwrap_or_else(|| bad("missing command"));
+        let pattern = parts.next().unwrap_or_else(|| bad("missing pattern"));
+        let length: usize = parts
+            .next()
+            .unwrap_or_else(|| bad("missing length"))
+            .parse()
+            .unwrap_or_else(|_| bad("length must be a number"));
+        let extra: Option<usize> = parts
+            .next()
+            .map(|v| v.parse().unwrap_or_else(|_| bad("extra arg must be a number")));
+        let kind = match command {
+            "count" => QueryKind::Count,
+            "count-exact" => QueryKind::CountExact,
+            // The batch path buffers responses, so an absent LIMIT defaults
+            // to a bounded prefix rather than materializing the language
+            // (use the streaming `enumerate` subcommand for full listings).
+            "enumerate" => QueryKind::Enumerate { limit: extra.unwrap_or(1000) },
+            "sample" => QueryKind::Sample { count: extra.unwrap_or(1) },
+            _ => bad("unknown command"),
+        };
+        let nfa = match Regex::parse(pattern, &alphabet) {
+            Ok(r) => r.compile(),
+            Err(e) => bad(&e.to_string()),
+        };
+        requests.push(QueryRequest {
+            nfa,
+            length,
+            kind,
+            seed: seed.wrapping_add(requests.len() as u64),
+        });
+        specs.push(format!("{command} {pattern} @{length}"));
+    }
+    let responses = engine.query_batch(&requests);
+    for (i, (spec, response)) in specs.iter().zip(&responses).enumerate() {
+        let tag = if response.cache_hit { "hit " } else { "miss" };
+        match &response.output {
+            Ok(QueryOutput::Count(routed)) => {
+                let marker = if routed.is_exact() { "=" } else { "≈" };
+                println!("[{}] {spec} [{tag}]: {marker} {}", i + 1, routed.estimate);
+            }
+            Ok(QueryOutput::Exact(count)) => {
+                println!("[{}] {spec} [{tag}]: = {count}", i + 1);
+            }
+            Ok(QueryOutput::Words(words)) => {
+                let shown: Vec<String> =
+                    words.iter().map(|w| format_word(w, &alphabet)).collect();
+                println!(
+                    "[{}] {spec} [{tag}]: {} words: {}",
+                    i + 1,
+                    words.len(),
+                    shown.join(" ")
+                );
+            }
+            Err(e) => println!("[{}] {spec} [{tag}]: error: {e}", i + 1),
+        }
+    }
+    let stats = engine.stats();
+    println!(
+        "# cache: {} hits, {} misses, {} evictions; {} instances, ~{} KiB",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.bytes / 1024
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if args.command == "batch" {
+        run_batch(&args);
+        return;
+    }
     let nfa = load_nfa(&args);
     let alphabet = nfa.alphabet().clone();
     let mut rng = StdRng::seed_from_u64(args.get_usize("seed").unwrap_or(0xC0FFEE) as u64);

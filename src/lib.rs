@@ -28,13 +28,19 @@
 //! * [`automata`] — NFAs, regexes, the unrolled DAG (substrate).
 //! * [`transducer`] — NL-transducers and the Lemma 13 compilation.
 //! * [`core`] — the paper's algorithms: exact counting, the #NFA FPRAS,
-//!   constant/polynomial-delay enumeration, exact/Las-Vegas uniform sampling.
+//!   constant/polynomial-delay enumeration, exact/Las-Vegas uniform
+//!   sampling — plus the prepared-instance query engine
+//!   ([`core::engine`](lsc_core::engine)): compile an instance once, serve
+//!   `ENUM`/`COUNT`/`GEN` from a fingerprint-keyed, byte-capped LRU cache
+//!   with batched deterministic dispatch.
 //! * [`dnf`], [`graphdb`], [`bdd`], [`spanners`] — the §3/§4 applications.
 //! * [`grammar`] — context-free grammars: exact counting/sampling for the
 //!   unambiguous fragment, FPRAS routing for the regular fragment (the
 //!   \[GJK+97\] contrast the paper draws in §1).
 //! * [`nnf`] — d-DNNF knowledge compilation (the \[ABJM17\] contrast drawn
-//!   in §3): circuit-level counting, enumeration, and sampling.
+//!   in §3): circuit-level counting, enumeration, and sampling, with
+//!   [`nnf::PreparedCircuit`](lsc_nnf::PreparedCircuit) mirroring the
+//!   engine's compile-once design on circuits.
 //!
 //! ## Quickstart
 //!
@@ -54,13 +60,43 @@
 //! let truth = instance.count_oracle();
 //! assert!((estimate.to_f64() - truth.to_f64()).abs() / truth.to_f64() < 0.2);
 //!
-//! // ENUM: polynomial delay, no repetitions.
+//! // ENUM: polynomial delay, no repetitions. The instance caches its
+//! // compiled artifact, so this reuses the unrolling built above.
 //! assert_eq!(instance.enumerate().count() as u64, truth.to_u64().unwrap());
 //!
 //! // GEN: Las Vegas uniform generation.
 //! let generator = instance.las_vegas_generator(FprasParams::quick(), &mut rng).unwrap();
 //! let witness = generator.generate(&mut rng).witness().unwrap();
 //! assert!(instance.check_witness(&witness));
+//! ```
+//!
+//! ## Serving repeated traffic: the engine
+//!
+//! Production workloads ask the same instances over and over. An [`Engine`]
+//! caches prepared instances by structural fingerprint and answers batches —
+//! all three problems from one compiled artifact, bit-identical at any
+//! thread count:
+//!
+//! ```
+//! use logspace_repro::prelude::*;
+//!
+//! let alphabet = Alphabet::binary();
+//! let nfa = Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile();
+//! let engine = Engine::with_defaults();
+//! let requests: Vec<QueryRequest> = [
+//!     QueryKind::Count,
+//!     QueryKind::Enumerate { limit: 10 },
+//!     QueryKind::Sample { count: 3 },
+//! ]
+//! .into_iter()
+//! .enumerate()
+//! .map(|(i, kind)| QueryRequest { nfa: nfa.clone(), length: 12, kind, seed: i as u64 })
+//! .collect();
+//! let responses = engine.query_batch(&requests);
+//! assert!(responses.iter().all(|r| r.output.is_ok()));
+//! // One compilation served all three problems: the later requests hit.
+//! assert_eq!(engine.stats().misses, 1);
+//! assert_eq!(engine.stats().hits, 2);
 //! ```
 
 pub use lsc_arith as arith;
@@ -79,7 +115,10 @@ pub mod prelude {
     pub use lsc_arith::{BigFloat, BigNat};
     pub use lsc_automata::regex::Regex;
     pub use lsc_automata::{Alphabet, Nfa, Word};
+    pub use lsc_core::engine::{
+        Engine, EngineConfig, QueryKind, QueryOutput, QueryRequest, QueryResponse, RouterConfig,
+    };
     pub use lsc_core::fpras::FprasParams;
     pub use lsc_core::sample::GenOutcome;
-    pub use lsc_core::MemNfa;
+    pub use lsc_core::{MemNfa, PreparedInstance};
 }

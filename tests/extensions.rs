@@ -15,7 +15,7 @@ use logspace_repro::prelude::*;
 use lsc_automata::families::{blowup_nfa, random_nfa, random_ufa};
 use lsc_automata::ops::{accepting_runs_on_word, ambiguity_degree, is_unambiguous, AmbiguityDegree};
 use lsc_bdd::{obdd_to_ufa, BddManager};
-use lsc_core::count::router::{count_routed, RouterConfig};
+use lsc_core::engine::{count_routed, RouterConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
