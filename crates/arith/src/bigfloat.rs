@@ -138,7 +138,10 @@ impl BigFloat {
         if self.is_zero() || other.is_zero() {
             return Self::zero();
         }
-        Self::normalized(self.mantissa * other.mantissa, self.exponent + other.exponent)
+        Self::normalized(
+            self.mantissa * other.mantissa,
+            self.exponent + other.exponent,
+        )
     }
 
     /// Multiplication by a plain `f64` in `[0, ∞)`.
@@ -160,7 +163,10 @@ impl BigFloat {
         if self.is_zero() {
             return Self::zero();
         }
-        Self::normalized(self.mantissa / other.mantissa, self.exponent - other.exponent)
+        Self::normalized(
+            self.mantissa / other.mantissa,
+            self.exponent - other.exponent,
+        )
     }
 
     /// Total ordering (zero is the minimum; all values are nonnegative).
@@ -314,7 +320,10 @@ mod tests {
 
     #[test]
     fn from_bignat_small_and_large() {
-        assert!(close(BigFloat::from_bignat(&BigNat::from_u64(1000)).to_f64(), 1000.0));
+        assert!(close(
+            BigFloat::from_bignat(&BigNat::from_u64(1000)).to_f64(),
+            1000.0
+        ));
         let n = BigNat::pow_u64(7, 100); // 7^100 ~ 3.23e84
         let bf = BigFloat::from_bignat(&n);
         assert!(close(bf.log10(), 100.0 * 7f64.log10()));
@@ -345,7 +354,10 @@ mod tests {
         let b = BigFloat::from_f64(3.0);
         assert_eq!(a.partial_cmp_total(&b), Ordering::Less);
         assert_eq!(b.partial_cmp_total(&a), Ordering::Greater);
-        assert_eq!(BigFloat::zero().partial_cmp_total(&BigFloat::zero()), Ordering::Equal);
+        assert_eq!(
+            BigFloat::zero().partial_cmp_total(&BigFloat::zero()),
+            Ordering::Equal
+        );
         assert_eq!(BigFloat::zero().partial_cmp_total(&a), Ordering::Less);
     }
 

@@ -45,7 +45,9 @@ impl BigNat {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigNat { limbs: vec![lo, hi] };
+        let mut n = BigNat {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -372,8 +374,7 @@ impl Sub<&BigNat> for &BigNat {
     /// # Panics
     /// Panics on underflow; use [`BigNat::checked_sub`] to handle that case.
     fn sub(self, rhs: &BigNat) -> BigNat {
-        self.checked_sub(rhs)
-            .expect("BigNat subtraction underflow")
+        self.checked_sub(rhs).expect("BigNat subtraction underflow")
     }
 }
 
@@ -617,7 +618,11 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let xs = [BigNat::from_u64(1), BigNat::from_u64(2), BigNat::from_u64(3)];
+        let xs = [
+            BigNat::from_u64(1),
+            BigNat::from_u64(2),
+            BigNat::from_u64(3),
+        ];
         let s: BigNat = xs.iter().sum();
         assert_eq!(s, BigNat::from_u64(6));
     }

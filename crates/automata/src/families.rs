@@ -126,12 +126,7 @@ pub fn universal_nfa(alphabet: Alphabet) -> Nfa {
 /// A random unambiguous NFA, produced by generating random *deterministic*
 /// transition functions and pruning: a DFA is trivially unambiguous, and
 /// `partial` knocks out a fraction of transitions to vary the shape.
-pub fn random_ufa<R: Rng + ?Sized>(
-    m: usize,
-    alphabet: Alphabet,
-    partial: f64,
-    rng: &mut R,
-) -> Nfa {
+pub fn random_ufa<R: Rng + ?Sized>(m: usize, alphabet: Alphabet, partial: f64, rng: &mut R) -> Nfa {
     assert!(m >= 1);
     let mut b = Nfa::builder(alphabet.clone(), m);
     b.set_initial(0);

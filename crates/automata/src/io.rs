@@ -120,15 +120,22 @@ pub fn from_text(text: &str) -> Result<Nfa, NfaParseError> {
             );
         } else if let Some(rest) = line.strip_prefix("accepting:") {
             for tok in rest.split_whitespace() {
-                accepting.push(tok.parse().map_err(|_| err(lineno, "bad accepting state"))?);
+                accepting.push(
+                    tok.parse()
+                        .map_err(|_| err(lineno, "bad accepting state"))?,
+                );
             }
         } else {
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 3 {
                 return Err(err(lineno, "expected `from symbol to`"));
             }
-            let from: usize = parts[0].parse().map_err(|_| err(lineno, "bad source state"))?;
-            let to: usize = parts[2].parse().map_err(|_| err(lineno, "bad target state"))?;
+            let from: usize = parts[0]
+                .parse()
+                .map_err(|_| err(lineno, "bad source state"))?;
+            let to: usize = parts[2]
+                .parse()
+                .map_err(|_| err(lineno, "bad target state"))?;
             transitions.push((from, parts[1].to_string(), to, lineno));
         }
     }
@@ -142,7 +149,11 @@ pub fn from_text(text: &str) -> Result<Nfa, NfaParseError> {
             Ok(q)
         }
     };
-    b.set_initial(check(initial.ok_or_else(|| err(0, "missing `initial:` header"))?, 0, "initial state")?);
+    b.set_initial(check(
+        initial.ok_or_else(|| err(0, "missing `initial:` header"))?,
+        0,
+        "initial state",
+    )?);
     for q in accepting {
         b.set_accepting(check(q, 0, "accepting state")?);
     }
@@ -163,7 +174,11 @@ pub fn from_text(text: &str) -> Result<Nfa, NfaParseError> {
         if (sym as usize) >= alphabet.len() {
             return Err(err(lineno, &format!("symbol id {sym} out of range")));
         }
-        b.add_transition(check(from, lineno, "source state")?, sym, check(to, lineno, "target state")?);
+        b.add_transition(
+            check(from, lineno, "source state")?,
+            sym,
+            check(to, lineno, "target state")?,
+        );
     }
     Ok(b.build())
 }

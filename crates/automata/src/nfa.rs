@@ -247,7 +247,10 @@ impl Nfa {
         for a in 0..self.alphabet.len() {
             // Display names distinguish alphabets of equal width (anonymous
             // symbols hash as a sentinel).
-            mix(self.alphabet.char_of(a as Symbol).map_or(u64::MAX, u64::from));
+            mix(self
+                .alphabet
+                .char_of(a as Symbol)
+                .map_or(u64::MAX, u64::from));
         }
         mix(self.num_states() as u64);
         mix(self.initial as u64);
@@ -337,7 +340,10 @@ impl NfaBuilder {
             "symbol {symbol} outside alphabet of size {}",
             self.alphabet.len()
         );
-        assert!(to < self.transitions.len(), "target state {to} out of range");
+        assert!(
+            to < self.transitions.len(),
+            "target state {to} out of range"
+        );
         self.transitions[from].push((symbol, to));
         self
     }
@@ -478,7 +484,11 @@ mod tests {
         }
         assert_ne!(n.fingerprint(), b.build().fingerprint());
         let trimmed = n.trimmed();
-        assert_ne!(n.fingerprint(), trimmed.fingerprint(), "state count folded in");
+        assert_ne!(
+            n.fingerprint(),
+            trimmed.fingerprint(),
+            "state count folded in"
+        );
         // Alphabets of equal width but different characters differ.
         let a1 = Nfa::builder(Alphabet::binary(), 1).build();
         let a2 = Nfa::builder(Alphabet::from_chars(&['a', 'b']), 1).build();

@@ -84,7 +84,9 @@ pub fn ambiguity_degree(n: &Nfa) -> AmbiguityDegree {
     if ida.is_empty() {
         return AmbiguityDegree::Finite;
     }
-    AmbiguityDegree::Polynomial { degree: longest_chain(&t, &ida) }
+    AmbiguityDegree::Polynomial {
+        degree: longest_chain(&t, &ida),
+    }
 }
 
 /// The pair graph `N × N`: node `(p, q)` steps to `(p', q')` when both
@@ -128,7 +130,12 @@ impl PairGraph {
                 cyclic[scc[u]] = true;
             }
         }
-        PairGraph { m, scc, num_sccs, cyclic }
+        PairGraph {
+            m,
+            scc,
+            num_sccs,
+            cyclic,
+        }
     }
 
     /// EDA iff some SCC holds a diagonal and a non-diagonal node.
@@ -232,7 +239,11 @@ fn ida_pairs(t: &Nfa, pairs: &PairGraph) -> Vec<(StateId, StateId)> {
 }
 
 /// Breadth-first reachability in the on-the-fly triple product `N × N × N`.
-fn triple_reaches(t: &Nfa, from: (StateId, StateId, StateId), to: (StateId, StateId, StateId)) -> bool {
+fn triple_reaches(
+    t: &Nfa,
+    from: (StateId, StateId, StateId),
+    to: (StateId, StateId, StateId),
+) -> bool {
     let mut seen: HashSet<(StateId, StateId, StateId)> = HashSet::new();
     let mut frontier = vec![from];
     seen.insert(from);
@@ -337,7 +348,10 @@ pub fn accepting_runs_on_word(n: &Nfa, word: &[u32]) -> u64 {
         }
         cur = next;
     }
-    cur.into_iter().filter(|&(q, _)| n.is_accepting(q)).map(|(_, c)| c).sum()
+    cur.into_iter()
+        .filter(|&(q, _)| n.is_accepting(q))
+        .map(|(_, c)| c)
+        .sum()
 }
 
 #[cfg(test)]
@@ -420,7 +434,10 @@ mod tests {
     #[test]
     fn two_star_chain_is_linearly_ambiguous() {
         let n = star_chain(2);
-        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 1 });
+        assert_eq!(
+            ambiguity_degree(&n),
+            AmbiguityDegree::Polynomial { degree: 1 }
+        );
         // Ambiguity on a^n is exactly n (switch point among positions 1..n).
         assert_eq!(max_ambiguity(&n, 6), 6);
         assert_eq!(max_ambiguity(&n, 9), 9);
@@ -429,7 +446,10 @@ mod tests {
     #[test]
     fn three_star_chain_is_quadratically_ambiguous() {
         let n = star_chain(3);
-        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 2 });
+        assert_eq!(
+            ambiguity_degree(&n),
+            AmbiguityDegree::Polynomial { degree: 2 }
+        );
         // Ambiguity on a^n is C(n, 2).
         assert_eq!(max_ambiguity(&n, 6), 15);
         assert_eq!(max_ambiguity(&n, 8), 28);
@@ -438,7 +458,10 @@ mod tests {
     #[test]
     fn four_star_chain_is_cubically_ambiguous() {
         let n = star_chain(4);
-        assert_eq!(ambiguity_degree(&n), AmbiguityDegree::Polynomial { degree: 3 });
+        assert_eq!(
+            ambiguity_degree(&n),
+            AmbiguityDegree::Polynomial { degree: 3 }
+        );
         assert_eq!(max_ambiguity(&n, 6), 20); // C(6, 3)
     }
 
@@ -464,14 +487,20 @@ mod tests {
     fn ambiguity_gap_family_is_exponential() {
         // The family built to break the naive §6.1 estimator has runs-per-word
         // spread 2^Θ(n) — it must sit in the EDA class.
-        assert_eq!(ambiguity_degree(&ambiguity_gap_nfa(4)), AmbiguityDegree::Exponential);
+        assert_eq!(
+            ambiguity_degree(&ambiguity_gap_nfa(4)),
+            AmbiguityDegree::Exponential
+        );
     }
 
     #[test]
     fn blowup_family_is_unambiguous() {
         // The DFA-blowup family is a reverse-determinism gadget; each word
         // has one accepting run.
-        assert_eq!(ambiguity_degree(&blowup_nfa(5)), AmbiguityDegree::Unambiguous);
+        assert_eq!(
+            ambiguity_degree(&blowup_nfa(5)),
+            AmbiguityDegree::Unambiguous
+        );
     }
 
     #[test]

@@ -90,7 +90,9 @@ mod tests {
     fn blowup_family_is_exponential() {
         // (a|b)*a(a|b)^{k-1} needs ≥ 2^{k-1} DFA states.
         let ab = Alphabet::from_chars(&['a', 'b']);
-        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab).unwrap().compile();
+        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab)
+            .unwrap()
+            .compile();
         let d = determinize(&n);
         assert!(d.num_states() >= 16, "got {}", d.num_states());
     }
@@ -98,7 +100,9 @@ mod tests {
     #[test]
     fn capped_determinization_aborts_on_blowup() {
         let ab = Alphabet::from_chars(&['a', 'b']);
-        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab).unwrap().compile();
+        let n = Regex::parse("(a|b)*a(a|b)(a|b)(a|b)", &ab)
+            .unwrap()
+            .compile();
         assert!(determinize_capped(&n, 8).is_none());
         let d = determinize_capped(&n, 1 << 12).unwrap();
         assert!(d.num_states() >= 16);

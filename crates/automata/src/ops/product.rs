@@ -18,8 +18,8 @@ pub fn product(a: &Nfa, b: &Nfa) -> Nfa {
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut pairs: Vec<(StateId, StateId)> = Vec::new();
     let push = |index: &mut HashMap<(StateId, StateId), StateId>,
-                    pairs: &mut Vec<(StateId, StateId)>,
-                    p: (StateId, StateId)| {
+                pairs: &mut Vec<(StateId, StateId)>,
+                p: (StateId, StateId)| {
         *index.entry(p).or_insert_with(|| {
             pairs.push(p);
             pairs.len() - 1
@@ -68,7 +68,13 @@ mod tests {
         // (a|b)*a ∩ a(a|b)* = words starting and ending with a.
         let p = product(&nfa_of("(a|b)*a"), &nfa_of("a(a|b)*"));
         let ab = Alphabet::from_chars(&['a', 'b']);
-        for (w, expect) in [("a", true), ("aba", true), ("ab", false), ("ba", false), ("", false)] {
+        for (w, expect) in [
+            ("a", true),
+            ("aba", true),
+            ("ab", false),
+            ("ba", false),
+            ("", false),
+        ] {
             let word = crate::parse_word(w, &ab).unwrap();
             assert_eq!(p.accepts(&word), expect, "word {w}");
         }

@@ -47,7 +47,13 @@ mod tests {
         // L = a·b* ; reverse = b*·a
         let n = Regex::parse("ab*", &ab).unwrap().compile();
         let r = reverse(&n);
-        for (w, expect) in [("a", true), ("ba", true), ("bba", true), ("ab", false), ("", false)] {
+        for (w, expect) in [
+            ("a", true),
+            ("ba", true),
+            ("bba", true),
+            ("ab", false),
+            ("", false),
+        ] {
             let word = crate::parse_word(w, &ab).unwrap();
             assert_eq!(r.accepts(&word), expect, "word {w}");
         }

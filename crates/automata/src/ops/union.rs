@@ -58,7 +58,13 @@ mod tests {
         let x = Regex::parse("aa", &ab).unwrap().compile();
         let y = Regex::parse("b*", &ab).unwrap().compile();
         let u = union(&x, &y);
-        for (w, expect) in [("aa", true), ("", true), ("bbb", true), ("ab", false), ("a", false)] {
+        for (w, expect) in [
+            ("aa", true),
+            ("", true),
+            ("bbb", true),
+            ("ab", false),
+            ("a", false),
+        ] {
             let word = crate::parse_word(w, &ab).unwrap();
             assert_eq!(u.accepts(&word), expect, "word {w}");
         }

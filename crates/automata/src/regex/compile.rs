@@ -32,7 +32,11 @@ fn fragment(ast: &Regex, e: &mut EpsNfa, from: StateId, to: StateId) {
         Regex::Concat(parts) => {
             let mut cur = from;
             for (i, p) in parts.iter().enumerate() {
-                let next = if i + 1 == parts.len() { to } else { e.add_state() };
+                let next = if i + 1 == parts.len() {
+                    to
+                } else {
+                    e.add_state()
+                };
                 fragment(p, e, cur, next);
                 cur = next;
             }
@@ -129,7 +133,10 @@ mod tests {
         let reach = n.reachable();
         let coreach = n.coreachable();
         for q in 0..n.num_states() {
-            assert!(reach.contains(q) && coreach.contains(q), "state {q} not trim");
+            assert!(
+                reach.contains(q) && coreach.contains(q),
+                "state {q} not trim"
+            );
         }
     }
 }

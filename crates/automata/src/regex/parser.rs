@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -152,7 +156,10 @@ mod tests {
 
     #[test]
     fn literals_and_concat() {
-        assert_eq!(parse("ab", &ab()).unwrap(), Regex::Concat(vec![Regex::Literal(0), Regex::Literal(1)]));
+        assert_eq!(
+            parse("ab", &ab()).unwrap(),
+            Regex::Concat(vec![Regex::Literal(0), Regex::Literal(1)])
+        );
         assert_eq!(parse("a", &ab()).unwrap(), Regex::Literal(0));
         assert_eq!(parse("", &ab()).unwrap(), Regex::Epsilon);
     }
@@ -166,7 +173,10 @@ mod tests {
             r,
             Regex::Alt(vec![
                 Regex::Literal(0),
-                Regex::Concat(vec![Regex::Literal(1), Regex::Star(Box::new(Regex::Literal(2)))]),
+                Regex::Concat(vec![
+                    Regex::Literal(1),
+                    Regex::Star(Box::new(Regex::Literal(2)))
+                ]),
             ])
         );
     }

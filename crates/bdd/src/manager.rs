@@ -240,7 +240,11 @@ impl BddManager {
         let mut cur = f;
         while cur > TRUE {
             let n = self.nodes[cur];
-            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+            cur = if assignment >> n.var & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == TRUE
     }

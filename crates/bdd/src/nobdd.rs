@@ -1,8 +1,11 @@
 //! Nondeterministic OBDDs (nOBDDs, \[ACMS18\]) and their NFA reduction.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use lsc_automata::{Alphabet, EpsNfa, Nfa};
+use lsc_automata::{Alphabet, EpsNfa, Nfa, Word};
+use lsc_core::engine::domain_fingerprint;
+use lsc_core::Queryable;
 
 /// One node of an nOBDD.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -121,9 +124,9 @@ pub fn nobdd_to_nfa(d: &NObdd) -> Nfa {
     let mut ids: HashMap<(usize, usize), usize> = HashMap::new();
     let mut queue: Vec<(usize, usize)> = Vec::new();
     let intern = |key: (usize, usize),
-                      eps: &mut EpsNfa,
-                      queue: &mut Vec<(usize, usize)>,
-                      ids: &mut HashMap<(usize, usize), usize>| {
+                  eps: &mut EpsNfa,
+                  queue: &mut Vec<(usize, usize)>,
+                  ids: &mut HashMap<(usize, usize), usize>| {
         *ids.entry(key).or_insert_with(|| {
             queue.push(key);
             eps.add_state()
@@ -186,6 +189,47 @@ pub fn nobdd_to_mem_nfa(d: &NObdd) -> lsc_core::MemNfa {
     lsc_core::MemNfa::new(nobdd_to_nfa(d), d.num_vars())
 }
 
+/// An nOBDD is directly queryable: the generic engine entry points serve
+/// model counts (Corollary 10's FPRAS where the diagram is ambiguous),
+/// streaming model enumeration (pageable via resume tokens), and uniform
+/// model samples, decoded to assignment bitmasks (bit `i` = value of `x_i`).
+/// The reduction runs once per engine session, keyed by the diagram's
+/// structure — structurally equal diagrams share an instance.
+impl Queryable for NObdd {
+    /// A satisfying assignment as a bitmask: bit `i` is the value of `x_i`.
+    type Output = u128;
+
+    fn to_instance(&self) -> (Arc<Nfa>, usize) {
+        (Arc::new(nobdd_to_nfa(self)), self.num_vars())
+    }
+
+    fn decode(&self, word: &Word) -> u128 {
+        word.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))
+    }
+
+    fn domain_fingerprint(&self) -> u64 {
+        domain_fingerprint(
+            "eval-nobdd",
+            [self.num_vars as u64, self.root as u64]
+                .into_iter()
+                .chain(self.nodes.iter().flat_map(|node| {
+                    match node {
+                        NObddNode::Terminal(b) => vec![1, u64::from(*b)],
+                        NObddNode::Decision { var, lo, hi } => {
+                            vec![2, u64::from(*var), *lo as u64, *hi as u64]
+                        }
+                        NObddNode::Union(children) => std::iter::once(3)
+                            .chain(std::iter::once(children.len() as u64))
+                            .chain(children.iter().map(|&c| c as u64))
+                            .collect(),
+                    }
+                })),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,12 +243,24 @@ mod tests {
     /// branches — deliberately overlapping, hence ambiguous.
     fn union_of_vars() -> NObdd {
         let nodes = vec![
-            NObddNode::Terminal(false),       // 0
-            NObddNode::Terminal(true),        // 1
-            NObddNode::Decision { var: 0, lo: 0, hi: 1 }, // 2: x0
-            NObddNode::Decision { var: 1, lo: 0, hi: 1 }, // 3: x1
-            NObddNode::Decision { var: 2, lo: 0, hi: 1 }, // 4: x2
-            NObddNode::Union(vec![2, 3, 4]),  // 5: root
+            NObddNode::Terminal(false), // 0
+            NObddNode::Terminal(true),  // 1
+            NObddNode::Decision {
+                var: 0,
+                lo: 0,
+                hi: 1,
+            }, // 2: x0
+            NObddNode::Decision {
+                var: 1,
+                lo: 0,
+                hi: 1,
+            }, // 3: x1
+            NObddNode::Decision {
+                var: 2,
+                lo: 0,
+                hi: 1,
+            }, // 4: x2
+            NObddNode::Union(vec![2, 3, 4]), // 5: root
         ];
         NObdd::new(3, nodes, 5)
     }
@@ -271,12 +327,43 @@ mod tests {
     }
 
     #[test]
+    fn typed_engine_queries_return_models() {
+        use lsc_core::Engine;
+        let d = union_of_vars();
+        let engine = Engine::with_defaults();
+        let mut models: Vec<u128> = engine.enumerate(&d).collect();
+        models.sort_unstable();
+        let expected: Vec<u128> = (0..8).filter(|&a| d.eval(a)).collect();
+        assert_eq!(models, expected);
+        assert_eq!(engine.count(&d).unwrap().estimate.to_f64(), 7.0);
+        for a in engine.sample(&d, 9).unwrap().take(5) {
+            assert!(d.eval(a));
+        }
+        // Paging across a resume token stitches bit-identically.
+        let full: Vec<u128> = engine.enumerate(&d).collect();
+        let mut cursor = engine.enumerate(&d);
+        let first: Vec<u128> = cursor.by_ref().take(3).collect();
+        let rest: Vec<u128> = engine.resume(&d, &cursor.token()).unwrap().collect();
+        assert_eq!(first.into_iter().chain(rest).collect::<Vec<_>>(), full);
+        assert_eq!(engine.stats().misses, 1);
+        assert_eq!(engine.stats().domains, 1, "reduction ran once");
+    }
+
+    #[test]
     fn ordering_violation_panics() {
         let nodes = vec![
             NObddNode::Terminal(false),
             NObddNode::Terminal(true),
-            NObddNode::Decision { var: 1, lo: 0, hi: 1 },
-            NObddNode::Decision { var: 1, lo: 0, hi: 2 }, // 1 → 1 not increasing
+            NObddNode::Decision {
+                var: 1,
+                lo: 0,
+                hi: 1,
+            },
+            NObddNode::Decision {
+                var: 1,
+                lo: 0,
+                hi: 2,
+            }, // 1 → 1 not increasing
         ];
         let result = std::panic::catch_unwind(|| NObdd::new(2, nodes, 3));
         assert!(result.is_err());
@@ -288,7 +375,11 @@ mod tests {
         let nodes = vec![
             NObddNode::Terminal(false),
             NObddNode::Terminal(true),
-            NObddNode::Decision { var: 1, lo: 0, hi: 1 },
+            NObddNode::Decision {
+                var: 1,
+                lo: 0,
+                hi: 1,
+            },
         ];
         let d = NObdd::new(3, nodes, 2);
         assert_eq!(d.count_models_brute_force(), 4);

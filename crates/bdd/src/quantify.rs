@@ -105,7 +105,11 @@ mod tests {
         let x2 = m.var(2);
         let f = m.ite(x0, x1, x2);
         for a in 0..8u128 {
-            let expect = if a & 1 == 1 { a >> 1 & 1 == 1 } else { a >> 2 & 1 == 1 };
+            let expect = if a & 1 == 1 {
+                a >> 1 & 1 == 1
+            } else {
+                a >> 2 & 1 == 1
+            };
             assert_eq!(m.eval(f, a), expect, "assignment {a:03b}");
         }
     }

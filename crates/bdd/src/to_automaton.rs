@@ -143,7 +143,11 @@ mod tests {
             let truth = formula.count_models_brute_force();
             assert_eq!(m.count_models(f), truth, "native count, formula {formula}");
             let inst = MemNfa::new(obdd_to_ufa(&m, f), 8);
-            assert_eq!(inst.count_exact().unwrap(), truth, "UFA count, formula {formula}");
+            assert_eq!(
+                inst.count_exact().unwrap(),
+                truth,
+                "UFA count, formula {formula}"
+            );
             // Uniform sampling produces models.
             if !truth.is_zero() {
                 let sampler = inst.uniform_sampler().unwrap();

@@ -43,7 +43,10 @@ fn membership_cache(c: &mut Criterion) {
     let nfa = ambiguity_gap_nfa(4);
     for (name, params) in [
         ("cached", FprasParams::quick()),
-        ("recomputed", FprasParams::quick().with_recomputed_membership()),
+        (
+            "recomputed",
+            FprasParams::quick().with_recomputed_membership(),
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut rng = StdRng::seed_from_u64(3);

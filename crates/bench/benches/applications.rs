@@ -17,7 +17,10 @@ fn rpq(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("yotta5-count-fpras", n), |b| {
             let inst = RpqInstance::new(yottabyte_graph(5), "a*", n, 0, 0);
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| inst.count_paths_approx(FprasParams::quick(), &mut rng).unwrap());
+            b.iter(|| {
+                inst.count_paths_approx(FprasParams::quick(), &mut rng)
+                    .unwrap()
+            });
         });
     }
     group.finish();

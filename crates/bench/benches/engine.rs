@@ -40,13 +40,9 @@ fn engine_warm_vs_cold_exact(c: &mut Criterion) {
         });
     });
     group.bench_function(BenchmarkId::from_parameter("warm-engine"), |b| {
+        let nfa = std::sync::Arc::new(w.nfa.clone());
         let requests: Vec<QueryRequest> = (0..QUERIES)
-            .map(|i| QueryRequest {
-                nfa: w.nfa.clone(),
-                length: w.n,
-                kind: QueryKind::CountExact,
-                seed: i as u64,
-            })
+            .map(|i| QueryRequest::automaton(nfa.clone(), w.n, QueryKind::CountExact, i as u64))
             .collect();
         b.iter(|| {
             let engine = Engine::with_defaults();
@@ -73,21 +69,24 @@ fn engine_warm_vs_cold_fpras(c: &mut Criterion) {
             let mut acc = 0.0f64;
             for _ in 0..QUERIES {
                 let inst = MemNfa::new(w.nfa.clone(), w.n);
-                acc += inst.count_routed(&router, &mut rng).unwrap().estimate.to_f64();
+                acc += inst
+                    .count_routed(&router, &mut rng)
+                    .unwrap()
+                    .estimate
+                    .to_f64();
             }
             acc
         });
     });
     group.bench_function(BenchmarkId::from_parameter("warm-engine"), |b| {
+        let nfa = std::sync::Arc::new(w.nfa.clone());
         let requests: Vec<QueryRequest> = (0..QUERIES)
-            .map(|i| QueryRequest {
-                nfa: w.nfa.clone(),
-                length: w.n,
-                kind: QueryKind::Count,
-                seed: i as u64,
-            })
+            .map(|i| QueryRequest::automaton(nfa.clone(), w.n, QueryKind::Count, i as u64))
             .collect();
-        let config = EngineConfig { router, ..EngineConfig::default() };
+        let config = EngineConfig {
+            router,
+            ..EngineConfig::default()
+        };
         b.iter(|| {
             let engine = Engine::new(config);
             engine.query_batch(&requests)
@@ -102,21 +101,23 @@ fn engine_mixed_traffic(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/e14-mixed");
     group.sample_size(10);
     let w = workloads::engine_ufa_instance();
+    let nfa = std::sync::Arc::new(w.nfa.clone());
     let requests: Vec<QueryRequest> = (0..QUERIES)
-        .map(|i| QueryRequest {
-            nfa: w.nfa.clone(),
-            length: w.n,
-            kind: match i % 3 {
+        .map(|i| {
+            let kind = match i % 3 {
                 0 => QueryKind::CountExact,
                 1 => QueryKind::Enumerate { limit: 64 },
                 _ => QueryKind::Sample { count: 16 },
-            },
-            seed: i as u64,
+            };
+            QueryRequest::automaton(nfa.clone(), w.n, kind, i as u64)
         })
         .collect();
     for threads in [1usize, 4] {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            let config = EngineConfig { threads, ..EngineConfig::default() };
+            let config = EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            };
             b.iter(|| {
                 let engine = Engine::new(config);
                 engine.query_batch(&requests)

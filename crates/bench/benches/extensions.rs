@@ -69,7 +69,10 @@ fn bench_ambiguity_classify(c: &mut Criterion) {
 /// E11: the counting router end to end (classification + route + count).
 fn bench_router(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_router");
-    let config = RouterConfig { determinization_cap: 8, ..RouterConfig::default() };
+    let config = RouterConfig {
+        determinization_cap: 8,
+        ..RouterConfig::default()
+    };
     let cases: Vec<(&str, Nfa)> = vec![
         ("exact_route_blowup6", nfa_families::blowup_nfa(6)),
         ("dfa_route_chain4", star_chain(4)),
@@ -95,8 +98,12 @@ fn bench_nnf(c: &mut Criterion) {
     }
     group.bench_function("compile_parity32", |b| b.iter(|| from_obdd(&m, f)));
     let circuit = from_obdd(&m, f);
-    group.bench_function("count_parity32", |b| b.iter(|| count_models(&circuit).unwrap()));
-    group.bench_function("bdd_native_count_parity32", |b| b.iter(|| m.count_models(f)));
+    group.bench_function("count_parity32", |b| {
+        b.iter(|| count_models(&circuit).unwrap())
+    });
+    group.bench_function("bdd_native_count_parity32", |b| {
+        b.iter(|| m.count_models(f))
+    });
     // Enumeration throughput on a small cube.
     let mut m = BddManager::new(10);
     let mut f = m.var(0);

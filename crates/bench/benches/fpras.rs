@@ -54,7 +54,10 @@ fn fpras_opt_vs_baseline(c: &mut Criterion) {
     let w = workloads::speedup_instance();
     for (name, params) in [
         ("optimized", FprasParams::quick()),
-        ("no-weight-cache", FprasParams::quick().without_weight_cache()),
+        (
+            "no-weight-cache",
+            FprasParams::quick().without_weight_cache(),
+        ),
         ("baseline", FprasParams::quick().baseline()),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -43,7 +43,9 @@ fn main() {
             "all" => exp::run_all(),
             other => {
                 eprintln!("unknown experiment id {other:?}");
-                eprintln!("known: f1 e1 e2 e3 e4 e5 e6 e7 e8 e9[a-d] e10 e11 e12 e13 ablations all");
+                eprintln!(
+                    "known: f1 e1 e2 e3 e4 e5 e6 e7 e8 e9[a-d] e10 e11 e12 e13 ablations all"
+                );
                 std::process::exit(2);
             }
         }

@@ -70,14 +70,23 @@ fn run_b1() {
     }
     let df = (support - 1) as f64;
     let threshold = df + 3.0 * (2.0 * df).sqrt();
-    let mut table = Table::new(&["sampler (k=8, no exact handling)", "chi²", "threshold", "verdict"]);
+    let mut table = Table::new(&[
+        "sampler (k=8, no exact handling)",
+        "chi²",
+        "threshold",
+        "verdict",
+    ]);
     for (name, counts) in [("with rejection", &with), ("without rejection", &without)] {
         let stat = chi_square(counts, support, draws);
         table.row(&[
             name.into(),
             f3(stat),
             f3(threshold),
-            if stat < threshold { "uniform ✓".into() } else { "biased ✗".into() },
+            if stat < threshold {
+                "uniform ✓".into()
+            } else {
+                "biased ✗".into()
+            },
         ]);
     }
     table.print();
@@ -150,11 +159,7 @@ fn run_b3() {
             .collect();
         errs.sort_by(f64::total_cmp);
         let median = errs[trials / 2];
-        table.row(&[
-            k.to_string(),
-            f3(median),
-            f3(median * (k as f64).sqrt()),
-        ]);
+        table.row(&[k.to_string(), f3(median), f3(median * (k as f64).sqrt())]);
     }
     table.print();
     println!();
@@ -170,7 +175,10 @@ fn run_b4() {
     let mut table = Table::new(&["variant", "median rel err", "exact vertices", "time/run"]);
     for (name, params) in [
         ("with base case", FprasParams::quick()),
-        ("without (B4)", FprasParams::quick().without_exact_handling()),
+        (
+            "without (B4)",
+            FprasParams::quick().without_exact_handling(),
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(0xB4);
         let mut errs = Vec::new();
@@ -240,7 +248,10 @@ fn run_b6() {
     let mut table = Table::new(&["membership", "time/run", "estimate"]);
     for (name, params) in [
         ("cached reach sets (ours)", FprasParams::quick()),
-        ("recomputed per test (paper costing)", FprasParams::quick().with_recomputed_membership()),
+        (
+            "recomputed per test (paper costing)",
+            FprasParams::quick().with_recomputed_membership(),
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(0xB6);
         let start = Instant::now();
@@ -257,7 +268,11 @@ fn run_b8() {
     println!("## B8 — parallel per-layer sampling\n");
     let nfa = families::ambiguity_gap_nfa(5);
     let n = 14;
-    let mut table = Table::new(&["threads", "time/run", "estimate (identical by construction)"]);
+    let mut table = Table::new(&[
+        "threads",
+        "time/run",
+        "estimate (identical by construction)",
+    ]);
     let mut baseline = None;
     for threads in [1usize, 2, 4, 8] {
         let mut rng = StdRng::seed_from_u64(0xB8);
@@ -268,7 +283,10 @@ fn run_b8() {
         let est = state.estimate().to_f64();
         match baseline {
             None => baseline = Some(est),
-            Some(b) => assert_eq!(est, b, "per-vertex seeding must make results thread-count independent"),
+            Some(b) => assert_eq!(
+                est, b,
+                "per-vertex seeding must make results thread-count independent"
+            ),
         }
         table.row(&[threads.to_string(), dur(elapsed), f3(est)]);
     }
@@ -288,12 +306,22 @@ fn run_b8() {
 fn run_b9() {
     println!("## B9 — weight memo cache + linear union estimator vs seed hot path\n");
     let w = workloads::speedup_instance();
-    let mut table = Table::new(&["hot path", "time/run", "estimate (identical by construction)"]);
+    let mut table = Table::new(&[
+        "hot path",
+        "time/run",
+        "estimate (identical by construction)",
+    ]);
     let mut reference: Option<f64> = None;
     for (name, params) in [
         ("memoized + prefix mask (ours)", FprasParams::quick()),
-        ("no weight cache", FprasParams::quick().without_weight_cache()),
-        ("quadratic estimator", FprasParams::quick().with_quadratic_estimator()),
+        (
+            "no weight cache",
+            FprasParams::quick().without_weight_cache(),
+        ),
+        (
+            "quadratic estimator",
+            FprasParams::quick().with_quadratic_estimator(),
+        ),
         ("seed baseline (both off)", FprasParams::quick().baseline()),
     ] {
         let mut rng = StdRng::seed_from_u64(0xB9);
@@ -328,7 +356,11 @@ fn run_b7() {
         for _ in 0..200 {
             psi_chain_sample(&nfa, n, &mut rng).unwrap().unwrap();
         }
-        table.row(&["ψ-chain (paper §5.3.3)".into(), n.to_string(), dur(start.elapsed())]);
+        table.row(&[
+            "ψ-chain (paper §5.3.3)".into(),
+            n.to_string(),
+            dur(start.elapsed()),
+        ]);
     }
     table.print();
     println!();

@@ -53,8 +53,13 @@ pub fn run_e9a() {
         dur(elapsed),
     ]);
     table.print();
-    let paths = inst.sample_paths(2, FprasParams::quick(), &mut rng).unwrap();
-    println!("\nuniform sample paths exist at n=250: drew {} of length 250\n", paths.len());
+    let paths = inst
+        .sample_paths(2, FprasParams::quick(), &mut rng)
+        .unwrap();
+    println!(
+        "\nuniform sample paths exist at n=250: drew {} of length 250\n",
+        paths.len()
+    );
 }
 
 /// E9b — #DNF: generic FPRAS vs Karp–Luby vs brute force (§3, \[KL83\]).
@@ -127,10 +132,26 @@ pub fn run_e9c() {
     let nodes = vec![
         NObddNode::Terminal(false),
         NObddNode::Terminal(true),
-        NObddNode::Decision { var: 0, lo: 0, hi: 1 },
-        NObddNode::Decision { var: 1, lo: 0, hi: 1 },
-        NObddNode::Decision { var: 2, lo: 0, hi: 1 },
-        NObddNode::Decision { var: 3, lo: 0, hi: 1 },
+        NObddNode::Decision {
+            var: 0,
+            lo: 0,
+            hi: 1,
+        },
+        NObddNode::Decision {
+            var: 1,
+            lo: 0,
+            hi: 1,
+        },
+        NObddNode::Decision {
+            var: 2,
+            lo: 0,
+            hi: 1,
+        },
+        NObddNode::Decision {
+            var: 3,
+            lo: 0,
+            hi: 1,
+        },
         NObddNode::Union(vec![2, 3, 4, 5]),
     ];
     let nobdd = NObdd::new(4, nodes, 6);
@@ -138,7 +159,11 @@ pub fn run_e9c() {
     let est = ninst.count_approx(FprasParams::quick(), &mut rng).unwrap();
     table.row(&[
         "nOBDD (x0∨x1∨x2∨x3) FPRAS".into(),
-        format!("{} (truth {})", f3(est.to_f64()), nobdd.count_models_brute_force()),
+        format!(
+            "{} (truth {})",
+            f3(est.to_f64()),
+            nobdd.count_models_brute_force()
+        ),
     ]);
     table.print();
     println!();
@@ -149,7 +174,13 @@ pub fn run_e9d() {
     println!("## E9d — document spanners (Corollaries 6–7)\n");
     let mut rng = StdRng::seed_from_u64(0xE9D);
     let alphabet = lsc_automata::Alphabet::from_chars(&['a', 'b']);
-    let mut table = Table::new(&["document length", "mappings (exact)", "FPRAS", "time (exact)", "unambiguous"]);
+    let mut table = Table::new(&[
+        "document length",
+        "mappings (exact)",
+        "FPRAS",
+        "time (exact)",
+        "unambiguous",
+    ]);
     for reps in [1usize, 2, 4] {
         let doc: String = "aabaaabab".repeat(reps);
         let inst = SpannerInstance::new(block_spanner(&alphabet, 'a'), &doc);

@@ -34,9 +34,7 @@ pub fn run_e1() {
         FprasParams::theoretical_k(16, 7, 0.1)
     );
     let trials = 25;
-    let mut table = Table::new(&[
-        "family", "n", "k", "median rel err", "P[err ≤ 0.1]",
-    ]);
+    let mut table = Table::new(&["family", "n", "k", "median rel err", "P[err ≤ 0.1]"]);
     for w in workloads::accuracy_suite() {
         let truth = count_nfa_via_determinization(&w.nfa, w.n).to_f64();
         if truth == 0.0 {
@@ -144,7 +142,13 @@ pub fn run_e3() {
 pub fn run_e4() {
     println!("## E4 — constant-delay enumeration (Algorithm 1)\n");
     let budget = 20_000;
-    let mut table = Table::new(&["cycle states m", "n", "outputs", "max steps/output", "mean steps/output"]);
+    let mut table = Table::new(&[
+        "cycle states m",
+        "n",
+        "outputs",
+        "max steps/output",
+        "mean steps/output",
+    ]);
     // Vary m at fixed n: delay must stay flat. The deterministic m-cycle with
     // all states accepting keeps the language Σ^n at every m.
     for m in [2usize, 16, 256] {
@@ -201,7 +205,12 @@ pub fn run_e5() {
     println!("## E5 — polynomial-delay enumeration for MEM-NFA\n");
     let ab = Alphabet::binary();
     let nfa = Regex::parse("(0|1)*1(0|1)*", &ab).unwrap().compile();
-    let mut table = Table::new(&["n", "outputs (≤ 20000)", "max steps/output", "mean steps/output"]);
+    let mut table = Table::new(&[
+        "n",
+        "outputs (≤ 20000)",
+        "max steps/output",
+        "mean steps/output",
+    ]);
     for n in [8usize, 12, 16] {
         let mut e = PolyDelayEnumerator::new(&nfa, n);
         let mut max_d = 0u64;
@@ -243,7 +252,14 @@ pub fn run_e6() {
     let n = 7;
     let support = count_ufa(&nfa, n).unwrap().to_u64().unwrap() as usize;
     let mut rng = StdRng::seed_from_u64(0xE6);
-    let mut table = Table::new(&["sampler", "draws", "support", "chi²", "threshold", "verdict"]);
+    let mut table = Table::new(&[
+        "sampler",
+        "draws",
+        "support",
+        "chi²",
+        "threshold",
+        "verdict",
+    ]);
     // Table sampler.
     let sampler = TableSampler::new(&nfa, n).unwrap();
     let draws = 64_000;
@@ -281,7 +297,11 @@ pub fn run_e6() {
 }
 
 fn verdict(stat: f64, threshold: f64) -> String {
-    if stat < threshold { "uniform ✓".into() } else { "BIASED ✗".into() }
+    if stat < threshold {
+        "uniform ✓".into()
+    } else {
+        "BIASED ✗".into()
+    }
 }
 
 /// E7 — the PLVUG: per-attempt success rates and uniformity (Corollary 23).
@@ -289,7 +309,11 @@ pub fn run_e7() {
     println!("## E7 — Las Vegas uniform generation for MEM-NFA (Corollary 23)\n");
     let gap = families::ambiguity_gap_nfa(3);
     let mut table = Table::new(&["rejection constant", "success rate/attempt", "note"]);
-    for (label, c) in [("e⁻⁴ (paper)", (-4.0f64).exp()), ("e⁻² (default)", (-2.0f64).exp()), ("0.5", 0.5)] {
+    for (label, c) in [
+        ("e⁻⁴ (paper)", (-4.0f64).exp()),
+        ("e⁻² (default)", (-2.0f64).exp()),
+        ("0.5", 0.5),
+    ] {
         let mut params = FprasParams::quick();
         params.rejection_constant = c;
         let mut rng = StdRng::seed_from_u64(0xE7);
@@ -301,7 +325,11 @@ pub fn run_e7() {
         table.row(&[
             label.into(),
             format!("{:.3}", ok as f64 / trials as f64),
-            if c > 0.4 { "larger c ⇒ fewer rejections".into() } else { String::new() },
+            if c > 0.4 {
+                "larger c ⇒ fewer rejections".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     table.print();
@@ -311,7 +339,9 @@ pub fn run_e7() {
     let inst = MemNfa::new(w.nfa.clone(), w.n);
     let support = inst.count_oracle().to_u64().unwrap() as usize;
     let mut rng = StdRng::seed_from_u64(0xE7_77);
-    let g = inst.las_vegas_generator(FprasParams::quick(), &mut rng).unwrap();
+    let g = inst
+        .las_vegas_generator(FprasParams::quick(), &mut rng)
+        .unwrap();
     let draws = 30_000;
     let mut counts: HashMap<Word, usize> = HashMap::new();
     let mut fails = 0usize;
@@ -324,7 +354,14 @@ pub fn run_e7() {
     let (stat, thr) = chi_square(&counts, support, draws - fails);
     println!(
         "\nretried generator on {} (n={}): support {}, fails {}/{}, chi² {} vs threshold {} → {}\n",
-        w.name, w.n, support, fails, draws, f3(stat), f3(thr), verdict(stat, thr)
+        w.name,
+        w.n,
+        support,
+        fails,
+        draws,
+        f3(stat),
+        f3(thr),
+        verdict(stat, thr)
     );
 }
 
@@ -374,4 +411,3 @@ pub fn run_e8() {
          predecessor partitions are singletons.)\n"
     );
 }
-

@@ -99,8 +99,15 @@ pub fn run_e10() {
         let trees = DerivationTable::build(&Cnf::from_cfg(&g), n).derivations(n);
         let inst = to_mem_nfa(&g, n).expect("family is right-linear");
         let truth = inst.count_oracle().to_f64();
-        let est = inst.count_approx(FprasParams::quick(), &mut rng).unwrap().to_f64();
-        let err = if truth > 0.0 { (est - truth).abs() / truth } else { 0.0 };
+        let est = inst
+            .count_approx(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        let err = if truth > 0.0 {
+            (est - truth).abs() / truth
+        } else {
+            0.0
+        };
         table.row(&[
             format!("random(6)#{seed}"),
             n.to_string(),
@@ -116,7 +123,12 @@ pub fn run_e10() {
     // overcount and no FPRAS is known.
     let amb = Cnf::from_cfg(&cfg_families::ambiguous_arithmetic());
     let una = Cnf::from_cfg(&cfg_families::arithmetic_expressions());
-    let mut table = Table::new(&["n", "ambiguous-grammar trees", "words (via unambiguous twin)", "overcount ×"]);
+    let mut table = Table::new(&[
+        "n",
+        "ambiguous-grammar trees",
+        "words (via unambiguous twin)",
+        "overcount ×",
+    ]);
     for n in [5usize, 9, 13, 17] {
         let a = DerivationTable::build(&amb, n).derivations(n).to_f64();
         let u = DerivationTable::build(&una, n).derivations(n).to_f64();
@@ -154,7 +166,9 @@ pub fn run_e11() {
         ("gap-gadget(4)".into(), nfa_families::ambiguity_gap_nfa(4)),
         (
             "substring-101".into(),
-            lsc_automata::regex::Regex::parse("(0|1)*101(0|1)*", &ab).unwrap().compile(),
+            lsc_automata::regex::Regex::parse("(0|1)*101(0|1)*", &ab)
+                .unwrap()
+                .compile(),
         ),
         ("universal".into(), nfa_families::universal_nfa(ab.clone())),
     ];
@@ -166,7 +180,10 @@ pub fn run_e11() {
         "count",
         "exact?",
     ]);
-    let config = RouterConfig { determinization_cap: 8, ..RouterConfig::default() };
+    let config = RouterConfig {
+        determinization_cap: 8,
+        ..RouterConfig::default()
+    };
     for (name, nfa) in &gallery {
         let start = Instant::now();
         let degree = ambiguity_degree(nfa);
@@ -189,7 +206,11 @@ pub fn run_e11() {
             dur(classify_time),
             route,
             f3(routed.estimate.to_f64()),
-            if routed.is_exact() { "yes".into() } else { "≈".into() },
+            if routed.is_exact() {
+                "yes".into()
+            } else {
+                "≈".into()
+            },
         ]);
     }
     table.print();
@@ -356,7 +377,11 @@ pub fn run_e13() {
     table.row(&[
         "universal".into(),
         "8".into(),
-        s.histogram().iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+        s.histogram()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
         s.total().to_string(),
         "256".into(),
     ]);
@@ -366,7 +391,11 @@ pub fn run_e13() {
     table.row(&[
         "blowup(4)".into(),
         "10".into(),
-        s.histogram().iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" "),
+        s.histogram()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
         s.total().to_string(),
         flat.to_string(),
     ]);
@@ -389,7 +418,13 @@ pub fn run_e13() {
     );
 
     // Part 2: weighted model counting on random lineages, vs brute force.
-    let mut table = Table::new(&["lineage", "models", "WMC (probability)", "brute force", "|Δ|"]);
+    let mut table = Table::new(&[
+        "lineage",
+        "models",
+        "WMC (probability)",
+        "brute force",
+        "|Δ|",
+    ]);
     for seed in 0..3u64 {
         let mut frng = StdRng::seed_from_u64(seed);
         let vars = 8usize;

@@ -46,6 +46,10 @@ pub fn run_f1() {
         .map(|w| format_word(&w, &ab))
         .collect();
     println!("§5.3.1 enumeration order: {}", words.join(" → "));
-    assert_eq!(words, vec!["aaa", "aab", "bba"], "must match the paper's walkthrough");
+    assert_eq!(
+        words,
+        vec!["aaa", "aab", "bba"],
+        "must match the paper's walkthrough"
+    );
     println!();
 }

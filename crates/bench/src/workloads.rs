@@ -124,3 +124,15 @@ pub fn engine_fpras_instance() -> Workload {
         n: 20,
     }
 }
+
+/// The `BENCH_cursor.json` instance: ambiguous (poly-delay route) with
+/// ~2.4·10⁵ witnesses at length 18 — large enough that materializing the
+/// whole witness set dwarfs a cursor's first-witness latency, small enough
+/// that the full-materialization side of the bench still terminates.
+pub fn cursor_instance() -> Workload {
+    Workload {
+        name: "contains-101@18",
+        nfa: families::regex_family("contains-101").unwrap(),
+        n: 18,
+    }
+}

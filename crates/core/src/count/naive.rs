@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn empty_language_estimates_zero() {
         let ab = lsc_automata::Alphabet::binary();
-        let n = lsc_automata::regex::Regex::parse("00", &ab).unwrap().compile();
+        let n = lsc_automata::regex::Regex::parse("00", &ab)
+            .unwrap()
+            .compile();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(naive_estimate(&n, 5, 3, &mut rng).is_zero());
     }

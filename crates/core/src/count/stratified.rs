@@ -45,7 +45,11 @@ impl StratifiedCount {
     ///
     /// # Panics
     /// Panics if `marked` is outside the automaton's alphabet.
-    pub fn build(nfa: &Nfa, n: usize, marked: Symbol) -> Result<StratifiedCount, NotUnambiguousError> {
+    pub fn build(
+        nfa: &Nfa,
+        n: usize,
+        marked: Symbol,
+    ) -> Result<StratifiedCount, NotUnambiguousError> {
         assert!(
             (marked as usize) < nfa.alphabet().len(),
             "marked symbol {marked} outside alphabet"
@@ -58,7 +62,13 @@ impl StratifiedCount {
         // t = 0: one empty completion from accepting states, zero marks.
         table.push(
             (0..m)
-                .map(|q| vec![if nfa.is_accepting(q) { BigNat::one() } else { BigNat::zero() }])
+                .map(|q| {
+                    vec![if nfa.is_accepting(q) {
+                        BigNat::one()
+                    } else {
+                        BigNat::zero()
+                    }]
+                })
                 .collect(),
         );
         for t in 1..=n {
@@ -76,7 +86,12 @@ impl StratifiedCount {
             }
             table.push(layer);
         }
-        Ok(StratifiedCount { nfa: nfa.clone(), marked, n, table })
+        Ok(StratifiedCount {
+            nfa: nfa.clone(),
+            marked,
+            n,
+            table,
+        })
     }
 
     /// The witness length `n`.

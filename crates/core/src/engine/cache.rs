@@ -1,12 +1,25 @@
 //! The query engine: a fingerprint-keyed, byte-capped LRU cache of
-//! [`PreparedInstance`]s plus a batched request API.
+//! [`PreparedInstance`]s plus the session, cursor, and batch serving APIs.
 //!
 //! A production deployment sees the same automata over and over (the same
 //! RPQ against a slowly-changing graph, the same spanner over many
 //! documents, the same DNF reduction re-counted under different lengths).
-//! The engine makes the repeat traffic cheap: the first request on an
-//! instance pays the preprocessing, every later request — from any thread —
-//! serves from the cached artifact.
+//! The engine makes the repeat traffic cheap, in three layers:
+//!
+//! * **Sessions** — [`Engine::prepare`] turns any [`Queryable`] domain object
+//!   into a cheap [`InstanceHandle`]: the reduction runs once per distinct
+//!   domain fingerprint, the prepared artifact lives in the shared cache, and
+//!   the handle is a couple of words to clone. [`QueryRequest`]s take handles
+//!   (or `Arc`'d automata) — nothing on the request path deep-copies an
+//!   automaton.
+//! * **Typed queries** — [`Engine::count`], [`Engine::enumerate`],
+//!   [`Engine::sample`] are generic over [`Queryable`] and return domain
+//!   values: counts with provenance, streaming [`EnumCursor`]s (resumable via
+//!   [`ResumeToken`]s), and amortized [`GenStream`]s.
+//! * **Batch** — the original [`QueryRequest`] / [`QueryResponse`] API,
+//!   rebuilt on top of the cursor surface and kept as the thin compatibility
+//!   layer for callers that want many answers at once, with deterministic
+//!   multi-threaded dispatch.
 //!
 //! **Determinism.** Batch responses are bit-identical at any `threads`
 //! setting and across warm/cold caches:
@@ -32,7 +45,11 @@ use lsc_arith::BigNat;
 use lsc_automata::{Nfa, Word};
 
 use crate::count::exact::NotUnambiguousError;
+use crate::engine::cursor::{
+    EnumCursor, GenStream, InvalidTokenError, ResumeToken, WordCursor, WordGenStream,
+};
 use crate::engine::prepared::PreparedInstance;
+use crate::engine::queryable::Queryable;
 use crate::engine::router::{RoutedCount, RouterConfig};
 use crate::fpras::FprasError;
 
@@ -53,6 +70,11 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Las Vegas attempts per requested witness on the ambiguous `GEN` route.
     pub retries: usize,
+    /// Entry cap on the domain-session memo (each entry pins one reduced
+    /// automaton, which for document products scales with the document —
+    /// least-recently-used sessions are evicted past the cap and simply
+    /// re-run their reduction on the next `prepare`).
+    pub domain_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -63,23 +85,98 @@ impl Default for EngineConfig {
             threads: 1,
             seed: 0x10_65C0,
             retries: 256,
+            domain_entries: 1024,
         }
     }
+}
+
+/// A cheap, clonable reference to one prepared instance in the engine: the
+/// session half of the query API. Obtained from [`Engine::prepare`] (typed)
+/// or [`Engine::prepare_nfa`] (raw); holding one pins the artifact in memory
+/// (the cache may still evict its entry, but the handle keeps serving), and
+/// requests built on a handle skip instance resolution entirely.
+#[derive(Clone)]
+pub struct InstanceHandle {
+    inst: Arc<PreparedInstance>,
+    key: InstanceKey,
+    cache_hit: bool,
+}
+
+impl InstanceHandle {
+    /// The prepared artifact.
+    pub fn instance(&self) -> &Arc<PreparedInstance> {
+        &self.inst
+    }
+
+    /// The instance fingerprint (what resume tokens bind to).
+    pub fn fingerprint(&self) -> u64 {
+        self.inst.fingerprint()
+    }
+
+    /// The witness length `n`.
+    pub fn length(&self) -> usize {
+        self.inst.length()
+    }
+
+    /// Whether the instance was already cached when the handle was prepared
+    /// (the session-level analogue of [`QueryResponse::cache_hit`]).
+    pub fn was_cached(&self) -> bool {
+        self.cache_hit
+    }
+}
+
+/// What a [`QueryRequest`] runs against. Both forms are cheap to clone —
+/// the per-request deep copy of the automaton is gone by construction.
+#[derive(Clone)]
+pub enum QueryTarget {
+    /// An automaton and witness length, resolved through the instance cache
+    /// at batch time (first occurrence pays the preparation, later ones hit).
+    Automaton {
+        /// The automaton `N`, shared.
+        nfa: Arc<Nfa>,
+        /// The witness length `n`.
+        length: usize,
+    },
+    /// A pre-resolved session handle: no cache lookup cost beyond an LRU
+    /// touch, and a guaranteed hit unless the entry was evicted meanwhile.
+    Handle(InstanceHandle),
 }
 
 /// One query against one instance. `seed` feeds the randomized kinds
 /// (`Count` on the FPRAS route is seeded by the engine instead — see the
 /// module docs — so equal requests give equal answers regardless of order).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct QueryRequest {
-    /// The automaton `N`.
-    pub nfa: Nfa,
-    /// The witness length `n`.
-    pub length: usize,
+    /// The instance to query.
+    pub target: QueryTarget,
     /// Which of the paper's three problems to answer.
     pub kind: QueryKind,
     /// Request-owned randomness for `Sample`.
     pub seed: u64,
+}
+
+impl QueryRequest {
+    /// A request against `(nfa, length)`. Accepts `Nfa` or `Arc<Nfa>`; pass
+    /// the same `Arc` across requests to share one allocation batch-wide.
+    pub fn automaton(nfa: impl Into<Arc<Nfa>>, length: usize, kind: QueryKind, seed: u64) -> Self {
+        QueryRequest {
+            target: QueryTarget::Automaton {
+                nfa: nfa.into(),
+                length,
+            },
+            kind,
+            seed,
+        }
+    }
+
+    /// A request against a prepared session handle.
+    pub fn on(handle: &InstanceHandle, kind: QueryKind, seed: u64) -> Self {
+        QueryRequest {
+            target: QueryTarget::Handle(handle.clone()),
+            kind,
+            seed,
+        }
+    }
 }
 
 /// The problem to answer, in the paper's `COUNT` / `ENUM` / `GEN` taxonomy.
@@ -90,13 +187,15 @@ pub enum QueryKind {
     /// Exact `COUNT` (Theorem 5) — errors on ambiguous instances.
     CountExact,
     /// `ENUM`: constant delay on UFA instances, polynomial delay otherwise,
-    /// truncated to `limit` witnesses.
+    /// truncated to `limit` witnesses. Batch answers are buffered; use
+    /// [`Engine::enumerate`] / [`Engine::cursor`] for streaming and paging.
     Enumerate {
         /// Maximum number of witnesses to return.
         limit: usize,
     },
     /// `GEN`: `count` uniform witnesses (exact on UFA instances, Las Vegas
-    /// otherwise).
+    /// otherwise). Batch answers are buffered; use [`Engine::sample`] /
+    /// [`Engine::gen_stream`] for an amortized draw stream.
     Sample {
         /// Number of witnesses requested.
         count: usize,
@@ -140,15 +239,34 @@ impl From<FprasError> for QueryError {
     }
 }
 
+impl From<NotUnambiguousError> for QueryError {
+    fn from(NotUnambiguousError: NotUnambiguousError) -> Self {
+        QueryError::NotUnambiguous
+    }
+}
+
 /// One answered query.
+///
+/// **`cache_hit` semantics.** Resolution runs single-threaded in request
+/// order before the execution fan-out, and the flag records what the cache
+/// held *at that request's turn*. Consequences, all deterministic:
+///
+/// * within one batch, a duplicate of an earlier request reports a hit even
+///   if the batch as a whole arrived cold (the first occurrence inserted the
+///   instance);
+/// * a [`QueryTarget::Handle`] request reports a hit as long as its entry is
+///   still cached — normally always, since [`Engine::prepare`] inserted it;
+///   if the entry was evicted in between, the handle re-inserts its pinned
+///   instance and reports a miss (no recompilation happens either way);
+/// * hit/miss totals in [`EngineStats`] count resolutions, so `k` duplicate
+///   requests contribute `1` miss and `k − 1` hits regardless of thread
+///   count or arrival order.
 #[derive(Clone, Debug)]
 pub struct QueryResponse {
     /// The answer, or why there is none.
     pub output: Result<QueryOutput, QueryError>,
     /// Whether the instance was already cached when this request was
-    /// resolved. Resolution runs in request order, so within one batch a
-    /// duplicate of an earlier request reports a hit even if the batch as a
-    /// whole arrived cold.
+    /// resolved (see the type docs for the exact semantics).
     pub cache_hit: bool,
 }
 
@@ -165,6 +283,9 @@ pub struct EngineStats {
     pub entries: usize,
     /// Approximate bytes currently cached.
     pub bytes: usize,
+    /// Domain sessions memoized (distinct `Queryable` fingerprints whose
+    /// reduction has run).
+    pub domains: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -208,10 +329,51 @@ struct CacheInner {
     evictions: u64,
 }
 
+/// The domain-session memo behind [`Engine::prepare`]: an entry-capped LRU
+/// of reduction outputs.
+#[derive(Default)]
+struct DomainMemo {
+    entries: HashMap<u64, (Arc<Nfa>, usize, u64)>,
+    tick: u64,
+}
+
+impl DomainMemo {
+    /// Touches and returns a memoized reduction.
+    fn get(&mut self, domain: u64) -> Option<(Arc<Nfa>, usize)> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&domain).map(|(nfa, length, used)| {
+            *used = tick;
+            (nfa.clone(), *length)
+        })
+    }
+
+    /// Inserts a reduction, evicting least-recently-used sessions past the
+    /// cap (an evicted session just re-runs its reduction next time).
+    fn insert(&mut self, domain: u64, nfa: Arc<Nfa>, length: usize, cap: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(domain, (nfa, length, tick));
+        while self.entries.len() > cap.max(1) {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, _, used))| *used)
+            else {
+                break;
+            };
+            self.entries.remove(&victim);
+        }
+    }
+}
+
 /// The prepared-instance query engine. See the module docs.
 pub struct Engine {
     config: EngineConfig,
     inner: Mutex<CacheInner>,
+    /// Domain-session memo: `Queryable::domain_fingerprint` → the reduction's
+    /// output, so `prepare` re-runs no reduction for a known domain object.
+    /// Holds the automaton (which for document/graph products scales with
+    /// the data, hence the `config.domain_entries` LRU cap), never the
+    /// prepared tables — eviction of the instance cache stays effective.
+    domains: Mutex<DomainMemo>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -227,6 +389,7 @@ impl Engine {
                 tick: 0,
                 evictions: 0,
             }),
+            domains: Mutex::new(DomainMemo::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -251,19 +414,178 @@ impl Engine {
             evictions: inner.evictions,
             entries: inner.entries.len(),
             bytes: inner.total_bytes,
+            domains: self
+                .domains
+                .lock()
+                .expect("domain index poisoned")
+                .entries
+                .len(),
         }
     }
 
-    /// The prepared instance for `(nfa, length)`: served from the cache when
-    /// present, inserted (lazily, nothing materialized yet) otherwise.
-    /// Application crates can hold the returned `Arc` directly for their own
-    /// repeated-query paths.
-    pub fn prepared(&self, nfa: &Nfa, length: usize) -> Arc<PreparedInstance> {
+    // ---- sessions ----
+
+    /// Opens (or re-opens) a session on a domain object: runs the reduction
+    /// at most once per [`Queryable::domain_fingerprint`], resolves the
+    /// prepared instance through the shared cache, and returns the cheap
+    /// handle everything else is served from.
+    pub fn prepare<Q: Queryable + ?Sized>(&self, queryable: &Q) -> InstanceHandle {
+        let domain = queryable.domain_fingerprint();
+        let memoized = self
+            .domains
+            .lock()
+            .expect("domain index poisoned")
+            .get(domain);
+        let (nfa, length) = match memoized {
+            Some(pair) => pair,
+            None => {
+                let (nfa, length) = queryable.to_instance();
+                self.domains.lock().expect("domain index poisoned").insert(
+                    domain,
+                    nfa.clone(),
+                    length,
+                    self.config.domain_entries,
+                );
+                (nfa, length)
+            }
+        };
+        self.prepare_nfa(&nfa, length)
+    }
+
+    /// A session handle for a raw `(automaton, length)` instance — the
+    /// identity-domain variant of [`Engine::prepare`]: served from the cache
+    /// when present, inserted (lazily, nothing materialized yet) otherwise.
+    pub fn prepare_nfa(&self, nfa: &Arc<Nfa>, length: usize) -> InstanceHandle {
+        let resolved = self.lookup_or_insert(nfa, length);
+        InstanceHandle {
+            inst: resolved.inst,
+            key: resolved.key,
+            cache_hit: resolved.cache_hit,
+        }
+    }
+
+    /// The prepared instance for `(nfa, length)` — [`Engine::prepare_nfa`]
+    /// without the handle wrapper, for callers that only want the artifact.
+    pub fn prepared(&self, nfa: &Arc<Nfa>, length: usize) -> Arc<PreparedInstance> {
         self.lookup_or_insert(nfa, length).inst
     }
 
-    fn lookup_or_insert(&self, nfa: &Nfa, length: usize) -> Resolved {
-        let key = InstanceKey::of(nfa, length);
+    // ---- typed queries ----
+
+    /// Routed `COUNT` on a domain object: exact where exactness is
+    /// affordable, the cached FPRAS sketch otherwise, with provenance.
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events when the FPRAS route fires.
+    pub fn count<Q: Queryable + ?Sized>(&self, queryable: &Q) -> Result<RoutedCount, QueryError> {
+        let handle = self.prepare(queryable);
+        let seed = self.sketch_seed(&handle.inst);
+        Ok(handle.inst.count_routed_cached(&self.config.router, seed)?)
+    }
+
+    /// Exact `COUNT` on a domain object (Theorem 5, unambiguous reductions
+    /// only).
+    ///
+    /// # Errors
+    /// [`QueryError::NotUnambiguous`] on ambiguous instances.
+    pub fn count_exact<Q: Queryable + ?Sized>(&self, queryable: &Q) -> Result<BigNat, QueryError> {
+        Ok(self.prepare(queryable).inst.count_exact()?)
+    }
+
+    /// Streaming `ENUM` on a domain object: a typed cursor yielding decoded
+    /// witnesses lazily (constant delay on unambiguous instances, polynomial
+    /// otherwise), resumable across calls via [`EnumCursor::token`] and
+    /// [`Engine::resume`].
+    pub fn enumerate<'q, Q: Queryable + ?Sized>(&self, queryable: &'q Q) -> EnumCursor<'q, Q> {
+        let handle = self.prepare(queryable);
+        EnumCursor::new(queryable, WordCursor::fresh(handle.inst))
+    }
+
+    /// Reconstructs a typed cursor at a token's position; the continued
+    /// stream is bit-identical to the uninterrupted one.
+    ///
+    /// # Errors
+    /// [`InvalidTokenError`] if the token does not belong to this domain
+    /// object's instance or encodes an impossible position.
+    pub fn resume<'q, Q: Queryable + ?Sized>(
+        &self,
+        queryable: &'q Q,
+        token: &ResumeToken,
+    ) -> Result<EnumCursor<'q, Q>, InvalidTokenError> {
+        let handle = self.prepare(queryable);
+        Ok(EnumCursor::new(
+            queryable,
+            WordCursor::resume(handle.inst, token)?,
+        ))
+    }
+
+    /// `GEN` on a domain object: an amortized uniform draw stream yielding
+    /// decoded witnesses. Deterministic in `(instance, engine seed,
+    /// draw_seed)`.
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events from the (cached) sketch build on the
+    /// ambiguous route.
+    pub fn sample<'q, Q: Queryable + ?Sized>(
+        &self,
+        queryable: &'q Q,
+        draw_seed: u64,
+    ) -> Result<GenStream<'q, Q>, QueryError> {
+        let handle = self.prepare(queryable);
+        let stream = self.gen_stream(&handle, draw_seed)?;
+        Ok(GenStream::new(queryable, stream))
+    }
+
+    // ---- word-level sessions (handles in, raw words out) ----
+
+    /// A raw-word cursor over a session handle (the untyped sibling of
+    /// [`Engine::enumerate`], for tools that print words directly).
+    pub fn cursor(&self, handle: &InstanceHandle) -> WordCursor {
+        WordCursor::fresh(handle.inst.clone())
+    }
+
+    /// Reconstructs a raw-word cursor at a token's position.
+    ///
+    /// # Errors
+    /// [`InvalidTokenError`] if the token does not belong to the handle's
+    /// instance or encodes an impossible position.
+    pub fn resume_cursor(
+        &self,
+        handle: &InstanceHandle,
+        token: &ResumeToken,
+    ) -> Result<WordCursor, InvalidTokenError> {
+        WordCursor::resume(handle.inst.clone(), token)
+    }
+
+    /// A raw-word uniform draw stream over a session handle (the untyped
+    /// sibling of [`Engine::sample`]).
+    ///
+    /// # Errors
+    /// Propagates FPRAS failure events from the (cached) sketch build on the
+    /// ambiguous route.
+    pub fn gen_stream(
+        &self,
+        handle: &InstanceHandle,
+        draw_seed: u64,
+    ) -> Result<WordGenStream, QueryError> {
+        Ok(WordGenStream::new(
+            &handle.inst,
+            &self.config.router,
+            self.config.retries,
+            self.sketch_seed(&handle.inst),
+            draw_seed,
+        )?)
+    }
+
+    // ---- cache internals ----
+
+    /// Resolves `key` through the cache: on a hit, touches LRU state and
+    /// re-measures the entry; on a miss, inserts whatever `make` builds.
+    fn resolve_with(
+        &self,
+        key: InstanceKey,
+        make: impl FnOnce() -> Arc<PreparedInstance>,
+    ) -> Resolved {
         let mut inner = self.inner.lock().expect("engine cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -271,7 +593,7 @@ impl Engine {
             entry.last_used = tick;
             // Re-measure on every touch (cheap — per-table sizes are
             // memoized) so tables materialized through a directly-held
-            // `Arc` from [`Engine::prepared`] are accounted for too.
+            // `Arc` or `InstanceHandle` are accounted for too.
             let fresh = entry.inst.approx_bytes();
             let old = std::mem::replace(&mut entry.bytes, fresh);
             (entry.inst.clone(), fresh, old)
@@ -280,10 +602,14 @@ impl Engine {
             inner.total_bytes = (inner.total_bytes + fresh).saturating_sub(old);
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.evict_locked(&mut inner);
-            return Resolved { inst, cache_hit: true, key };
+            return Resolved {
+                inst,
+                cache_hit: true,
+                key,
+            };
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let inst = Arc::new(PreparedInstance::new(nfa.clone(), length));
+        let inst = make();
         let bytes = inst.approx_bytes();
         inner.total_bytes += bytes;
         inner.entries.insert(
@@ -295,7 +621,34 @@ impl Engine {
             },
         );
         self.evict_locked(&mut inner);
-        Resolved { inst, cache_hit: false, key }
+        Resolved {
+            inst,
+            cache_hit: false,
+            key,
+        }
+    }
+
+    fn lookup_or_insert(&self, nfa: &Arc<Nfa>, length: usize) -> Resolved {
+        let key = InstanceKey::of(nfa, length);
+        // A miss clones only the `Arc` — the automaton itself is never
+        // deep-copied on the request path.
+        self.resolve_with(key, || {
+            Arc::new(PreparedInstance::from_arc(nfa.clone(), length))
+        })
+    }
+
+    /// Resolution for handle-carrying requests: an LRU touch when the entry
+    /// survives, a re-insert of the pinned instance (reported as a miss, but
+    /// with zero recompilation) when it was evicted.
+    fn resolve_handle(&self, handle: &InstanceHandle) -> Resolved {
+        self.resolve_with(handle.key, || handle.inst.clone())
+    }
+
+    fn resolve_target(&self, target: &QueryTarget) -> Resolved {
+        match target {
+            QueryTarget::Automaton { nfa, length } => self.lookup_or_insert(nfa, *length),
+            QueryTarget::Handle(handle) => self.resolve_handle(handle),
+        }
     }
 
     /// Re-measures the given instances (their lazy tables may have grown
@@ -343,15 +696,16 @@ impl Engine {
     /// Engine-owned seed for an instance's cached FPRAS sketch: a pure
     /// function of the configuration and the fingerprint.
     fn sketch_seed(&self, inst: &PreparedInstance) -> u64 {
-        self.config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ inst.fingerprint()
+        self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ inst.fingerprint()
     }
 
+    /// One batch execution, rebuilt on the streaming surface: `Enumerate`
+    /// buffers a cursor page, `Sample` buffers a draw-stream prefix, so the
+    /// compatibility layer and the cursors can never disagree on content or
+    /// order.
     fn execute(
         &self,
-        inst: &PreparedInstance,
+        inst: &Arc<PreparedInstance>,
         kind: QueryKind,
         seed: u64,
     ) -> Result<QueryOutput, QueryError> {
@@ -359,28 +713,20 @@ impl Engine {
             QueryKind::Count => Ok(QueryOutput::Count(
                 inst.count_routed_cached(&self.config.router, self.sketch_seed(inst))?,
             )),
-            QueryKind::CountExact => inst
-                .count_exact()
-                .map(QueryOutput::Exact)
-                .map_err(|NotUnambiguousError| QueryError::NotUnambiguous),
-            QueryKind::Enumerate { limit } => {
-                let words: Vec<Word> = if inst.is_unambiguous() {
-                    inst.enumerate_constant_delay()
-                        .expect("checked unambiguous")
-                        .take(limit)
-                        .collect()
-                } else {
-                    inst.enumerate().take(limit).collect()
-                };
-                Ok(QueryOutput::Words(words))
+            QueryKind::CountExact => Ok(QueryOutput::Exact(inst.count_exact()?)),
+            QueryKind::Enumerate { limit } => Ok(QueryOutput::Words(
+                WordCursor::fresh(inst.clone()).take(limit).collect(),
+            )),
+            QueryKind::Sample { count } => {
+                let stream = WordGenStream::new(
+                    inst,
+                    &self.config.router,
+                    self.config.retries,
+                    self.sketch_seed(inst),
+                    seed,
+                )?;
+                Ok(QueryOutput::Words(stream.take(count).collect()))
             }
-            QueryKind::Sample { count } => Ok(QueryOutput::Words(inst.sample_witnesses(
-                count,
-                self.config.retries,
-                self.config.router.fpras,
-                self.sketch_seed(inst),
-                seed,
-            )?)),
         }
     }
 
@@ -402,7 +748,7 @@ impl Engine {
         // flags) deterministically.
         let resolved: Vec<Resolved> = requests
             .iter()
-            .map(|r| self.lookup_or_insert(&r.nfa, r.length))
+            .map(|r| self.resolve_target(&r.target))
             .collect();
         // Phase 2: execute, chunked across scoped threads.
         let threads = self.config.threads.clamp(1, requests.len());
@@ -440,7 +786,10 @@ impl Engine {
         outputs
             .into_iter()
             .zip(resolved)
-            .map(|(output, res)| QueryResponse { output, cache_hit: res.cache_hit })
+            .map(|(output, res)| QueryResponse {
+                output,
+                cache_hit: res.cache_hit,
+            })
             .collect()
     }
 }
@@ -453,11 +802,20 @@ mod tests {
     use lsc_automata::Alphabet;
 
     fn exact_count_request(k: usize, n: usize) -> QueryRequest {
-        QueryRequest {
-            nfa: blowup_nfa(k),
-            length: n,
-            kind: QueryKind::CountExact,
-            seed: 0,
+        QueryRequest::automaton(blowup_nfa(k), n, QueryKind::CountExact, 0)
+    }
+
+    fn target_nfa(r: &QueryRequest) -> Arc<Nfa> {
+        match &r.target {
+            QueryTarget::Automaton { nfa, .. } => nfa.clone(),
+            QueryTarget::Handle(h) => h.instance().nfa_arc().clone(),
+        }
+    }
+
+    fn target_length(r: &QueryRequest) -> usize {
+        match &r.target {
+            QueryTarget::Automaton { length, .. } => *length,
+            QueryTarget::Handle(h) => h.length(),
         }
     }
 
@@ -508,7 +866,7 @@ mod tests {
     fn byte_accounting_tracks_materialized_tables() {
         let engine = Engine::with_defaults();
         let r = exact_count_request(6, 20);
-        engine.prepared(&r.nfa, r.length); // lazy insert: base-size estimate
+        engine.prepared(&target_nfa(&r), target_length(&r)); // lazy insert
         let before = engine.stats().bytes;
         engine.query(&r); // materializes the DAG + completion table
         assert!(
@@ -524,10 +882,10 @@ mod tests {
         // touch must pick the growth up.
         let engine = Engine::with_defaults();
         let r = exact_count_request(6, 20);
-        let inst = engine.prepared(&r.nfa, r.length);
+        let inst = engine.prepared(&target_nfa(&r), target_length(&r));
         let before = engine.stats().bytes;
         let _ = inst.count_exact().unwrap();
-        let _ = engine.prepared(&r.nfa, r.length);
+        let _ = engine.prepared(&target_nfa(&r), target_length(&r));
         assert!(
             engine.stats().bytes > before,
             "hit-path re-measure must record tables built through the Arc"
@@ -536,34 +894,85 @@ mod tests {
 
     #[test]
     fn batch_marks_duplicate_instances_as_hits() {
+        // The regression pin for intra-batch duplicate semantics (see the
+        // `QueryResponse` docs): flags and stats follow resolution order.
         let engine = Engine::with_defaults();
         let reqs = vec![
             exact_count_request(4, 10),
             exact_count_request(5, 10),
             exact_count_request(4, 10), // same instance as #0
+            exact_count_request(4, 10), // and again
+            exact_count_request(5, 10), // same instance as #1
         ];
         let responses = engine.query_batch(&reqs);
         assert_eq!(
             responses.iter().map(|r| r.cache_hit).collect::<Vec<_>>(),
-            vec![false, false, true]
+            vec![false, false, true, true, true]
         );
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (3, 2, 2),
+            "k duplicates = 1 miss + (k-1) hits, per instance"
+        );
+    }
+
+    #[test]
+    fn handle_requests_skip_resolution_and_report_hits() {
+        let engine = Engine::with_defaults();
+        let nfa = Arc::new(blowup_nfa(4));
+        let handle = engine.prepare_nfa(&nfa, 10);
+        assert!(!handle.was_cached(), "first prepare is the miss");
+        assert!(engine.prepare_nfa(&nfa, 10).was_cached());
+        let reqs = vec![
+            QueryRequest::on(&handle, QueryKind::CountExact, 0),
+            QueryRequest::on(&handle, QueryKind::Enumerate { limit: 4 }, 0),
+        ];
+        let responses = engine.query_batch(&reqs);
+        assert!(
+            responses.iter().all(|r| r.cache_hit),
+            "handle requests are hits while the entry is cached"
+        );
+        // All resolutions point at the very Arc the handle pins.
+        assert!(Arc::ptr_eq(handle.instance(), &engine.prepared(&nfa, 10)));
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 1));
+    }
+
+    #[test]
+    fn evicted_handles_reinsert_without_recompiling() {
+        let config = EngineConfig {
+            cache_bytes: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config);
+        let a = Arc::new(blowup_nfa(4));
+        let handle = engine.prepare_nfa(&a, 10);
+        engine.query(&exact_count_request(5, 12)); // evicts a's entry
+        let response = engine.query(&QueryRequest::on(&handle, QueryKind::CountExact, 0));
+        assert!(
+            !response.cache_hit,
+            "an evicted handle reports a miss on re-insert"
+        );
+        // ...but the served instance is still the pinned artifact, not a
+        // recompilation.
+        assert!(Arc::ptr_eq(handle.instance(), &engine.prepared(&a, 10)));
     }
 
     #[test]
     fn all_three_problems_serve_from_one_instance() {
         let ab = Alphabet::binary();
-        let nfa = Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile();
+        let nfa = Arc::new(Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile());
         let engine = Engine::with_defaults();
-        let base = QueryRequest {
-            nfa: nfa.clone(),
-            length: 7,
-            kind: QueryKind::Count,
-            seed: 1,
-        };
         let reqs = vec![
-            base.clone(),
-            QueryRequest { kind: QueryKind::Enumerate { limit: usize::MAX }, ..base.clone() },
-            QueryRequest { kind: QueryKind::Sample { count: 5 }, seed: 2, ..base.clone() },
+            QueryRequest::automaton(nfa.clone(), 7, QueryKind::Count, 1),
+            QueryRequest::automaton(
+                nfa.clone(),
+                7,
+                QueryKind::Enumerate { limit: usize::MAX },
+                1,
+            ),
+            QueryRequest::automaton(nfa.clone(), 7, QueryKind::Sample { count: 5 }, 2),
         ];
         let responses = engine.query_batch(&reqs);
         let Ok(QueryOutput::Count(count)) = &responses[0].output else {
@@ -589,15 +998,66 @@ mod tests {
     #[test]
     fn exact_count_on_ambiguous_reports_error() {
         let engine = Engine::with_defaults();
-        let r = QueryRequest {
-            nfa: ambiguity_gap_nfa(3),
-            length: 8,
-            kind: QueryKind::CountExact,
-            seed: 0,
-        };
+        let r = QueryRequest::automaton(ambiguity_gap_nfa(3), 8, QueryKind::CountExact, 0);
         assert_eq!(
             engine.query(&r).output.unwrap_err(),
             QueryError::NotUnambiguous
         );
+    }
+
+    #[test]
+    fn typed_entry_points_reuse_one_domain_session() {
+        // The raw identity Queryable through the generic surface: count,
+        // cursor, and stream agree, and the domain index memoizes the
+        // (trivial) reduction.
+        let instance = (Arc::new(blowup_nfa(3)), 8usize);
+        let engine = Engine::with_defaults();
+        let count = engine.count_exact(&instance).unwrap().to_u64().unwrap();
+        let words: Vec<Word> = engine.enumerate(&instance).collect();
+        assert_eq!(words.len() as u64, count);
+        let samples: Vec<Word> = engine.sample(&instance, 3).unwrap().take(4).collect();
+        for w in &samples {
+            assert!(instance.0.accepts(w));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "one prepared instance for all entries");
+        assert_eq!(stats.domains, 1, "one memoized domain session");
+    }
+
+    #[test]
+    fn domain_memo_is_entry_capped() {
+        // The session memo pins reduced automata; past the cap it must evict
+        // (least-recently-used first) instead of growing without bound.
+        let config = EngineConfig {
+            domain_entries: 2,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(config);
+        let a = (Arc::new(blowup_nfa(3)), 6usize);
+        let b = (Arc::new(blowup_nfa(4)), 6usize);
+        let c = (Arc::new(blowup_nfa(5)), 6usize);
+        engine.prepare(&a);
+        engine.prepare(&b);
+        assert_eq!(engine.stats().domains, 2);
+        engine.prepare(&a); // touch: b is now the LRU session
+        engine.prepare(&c); // evicts b
+        assert_eq!(engine.stats().domains, 2, "cap holds");
+        // An evicted session is not an error — it just re-runs the
+        // reduction and re-enters the memo.
+        engine.prepare(&b);
+        assert_eq!(engine.stats().domains, 2);
+    }
+
+    #[test]
+    fn typed_cursor_resume_round_trips() {
+        let instance = (Arc::new(blowup_nfa(3)), 8usize);
+        let engine = Engine::with_defaults();
+        let all: Vec<Word> = engine.enumerate(&instance).collect();
+        let mut cursor = engine.enumerate(&instance);
+        let first: Vec<Word> = cursor.by_ref().take(3).collect();
+        let token = ResumeToken::parse(&cursor.token().encode()).unwrap();
+        let rest: Vec<Word> = engine.resume(&instance, &token).unwrap().collect();
+        let stitched: Vec<Word> = first.into_iter().chain(rest).collect();
+        assert_eq!(stitched, all);
     }
 }

@@ -1,5 +1,5 @@
-//! The prepared-instance query engine: compile once, serve `ENUM` / `COUNT` /
-//! `GEN` from a shared cached artifact.
+//! The unified query engine: typed domain sessions, streaming cursors, and
+//! the prepared-instance cache behind them.
 //!
 //! The paper routes every application through the complete problems
 //! `MEM-NFA` / `MEM-UFA` (Proposition 12), so one instance type funnels all
@@ -7,30 +7,55 @@
 //! unrolled DAG, the ambiguity classification, the counting tables, the
 //! FPRAS sketches) dominates the cost of actually answering. This module
 //! implements the preprocessing/serving split the enumeration-complexity
-//! literature takes as primitive:
+//! literature takes as primitive, end to end:
 //!
+//! * [`Queryable`] — the typed serving surface: every domain type (DNF
+//!   formulas, RPQ instances, spanners, regular grammars, nOBDDs, raw
+//!   automata) names its reduction, its witness decoding, and a stable
+//!   domain fingerprint, and the generic [`Engine`] entry points
+//!   ([`Engine::count`], [`Engine::enumerate`], [`Engine::sample`]) serve
+//!   all of them from one shared cache, returning domain values instead of
+//!   raw words.
+//! * [`InstanceHandle`] / [`QueryTarget`] — the session layer:
+//!   [`Engine::prepare`] resolves a domain object to a cheap handle once,
+//!   and requests carry handles or `Arc`'d automata — no per-request
+//!   automaton copies anywhere.
+//! * [`EnumCursor`] / [`WordCursor`] / [`ResumeToken`] — streaming,
+//!   resumable `ENUM`: witnesses are produced per `next()` call (preserving
+//!   the paper's delay guarantees), and a cursor's position serializes to a
+//!   compact token whose resumption is bit-identical to an uninterrupted
+//!   run.
+//! * [`GenStream`] / [`WordGenStream`] — amortized `GEN`: one stream keeps
+//!   the exact table sampler or FPRAS sketch (and its scratch state) alive
+//!   across draws.
 //! * [`PreparedInstance`] — the compile-once artifact: fingerprint, CSR
 //!   unrolled DAG, ambiguity classification, determinization probe, and the
 //!   lazily-materialized per-problem tables (exact DP counts, FPRAS sketch).
 //! * [`Engine`] — a fingerprint-keyed, byte-capped LRU cache of prepared
-//!   instances plus the batched [`QueryRequest`] / [`QueryResponse`] API,
-//!   with deterministic multi-threaded dispatch.
+//!   instances, the domain-session memo, and the batched [`QueryRequest`] /
+//!   [`QueryResponse`] compatibility API with deterministic multi-threaded
+//!   dispatch (rebuilt on top of the cursor surface).
 //! * [`count_routed`] and the route vocabulary ([`CountRoute`],
 //!   [`RouterConfig`], [`RoutedCount`]) — the ambiguity-aware counting
-//!   router, folded in from the former standalone `count::router` so routing
-//!   decisions are cached per instance rather than re-probed per request.
+//!   router, with routing decisions cached per instance.
 //!
 //! [`crate::MemNfa`] is a thin convenience wrapper over one private
 //! [`PreparedInstance`]; the engine is the same machinery with sharing
-//! across instances and requests.
+//! across instances, domains, and requests.
 
 mod cache;
+mod cursor;
 mod prepared;
+mod queryable;
 mod router;
 
 pub use cache::{
-    Engine, EngineConfig, EngineStats, QueryError, QueryKind, QueryOutput, QueryRequest,
-    QueryResponse,
+    Engine, EngineConfig, EngineStats, InstanceHandle, QueryError, QueryKind, QueryOutput,
+    QueryRequest, QueryResponse, QueryTarget,
+};
+pub use cursor::{
+    EnumCursor, GenStream, InvalidTokenError, ResumeToken, WordCursor, WordGenStream,
 };
 pub use prepared::PreparedInstance;
+pub use queryable::{domain_fingerprint, Queryable};
 pub use router::{count_routed, CountRoute, RoutedCount, RouterConfig};

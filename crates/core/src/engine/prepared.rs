@@ -98,11 +98,16 @@ impl PreparedInstance {
     /// on first use. This is what [`crate::MemNfa`] holds, so constructing a
     /// façade instance stays free.
     pub fn new(nfa: Nfa, length: usize) -> Self {
-        let fingerprint = nfa
-            .fingerprint()
-            .wrapping_add((length as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self::from_arc(Arc::new(nfa), length)
+    }
+
+    /// [`PreparedInstance::new`] over an already-shared automaton — the
+    /// engine's resolution path: a cache miss clones only the `Arc`, never
+    /// the transition table.
+    pub fn from_arc(nfa: Arc<Nfa>, length: usize) -> Self {
+        let fingerprint = Self::instance_fingerprint(&nfa, length);
         PreparedInstance {
-            nfa: Arc::new(nfa),
+            nfa,
             length,
             fingerprint,
             dag: OnceLock::new(),
@@ -146,6 +151,14 @@ impl PreparedInstance {
         self.fingerprint
     }
 
+    /// The fingerprint a [`PreparedInstance`] over `(nfa, length)` would
+    /// carry — computable without building one, so raw-instance `Queryable`
+    /// implementations and resume-token validation agree on the key.
+    pub fn instance_fingerprint(nfa: &Nfa, length: usize) -> u64 {
+        nfa.fingerprint()
+            .wrapping_add((length as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// The shared unrolled DAG (built on first access).
     pub fn dag(&self) -> &Arc<UnrolledDag> {
         self.dag
@@ -158,9 +171,7 @@ impl PreparedInstance {
         if let Some(&d) = self.degree.get() {
             return d == AmbiguityDegree::Unambiguous;
         }
-        *self
-            .unambiguous
-            .get_or_init(|| is_unambiguous(&self.nfa))
+        *self.unambiguous.get_or_init(|| is_unambiguous(&self.nfa))
     }
 
     /// The Weber–Seidl ambiguity classification (computed once).
@@ -211,9 +222,7 @@ impl PreparedInstance {
     ///
     /// # Errors
     /// [`NotUnambiguousError`] on ambiguous instances.
-    pub fn enumerate_constant_delay(
-        &self,
-    ) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
+    pub fn enumerate_constant_delay(&self) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
         if !self.is_unambiguous() {
             return Err(NotUnambiguousError);
         }
@@ -401,9 +410,7 @@ impl PreparedInstance {
     ) -> Result<Vec<Word>, FprasError> {
         let mut rng = StdRng::seed_from_u64(draw_seed);
         if self.is_unambiguous() {
-            let sampler = self
-                .uniform_sampler()
-                .expect("checked unambiguous");
+            let sampler = self.uniform_sampler().expect("checked unambiguous");
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
                 match sampler.sample(&mut rng) {

@@ -149,7 +149,10 @@ mod tests {
         // is close to the exact oracle.
         let n = ambiguity_gap_nfa(5);
         let len = 12;
-        let config = RouterConfig { determinization_cap: 2, ..RouterConfig::default() };
+        let config = RouterConfig {
+            determinization_cap: 2,
+            ..RouterConfig::default()
+        };
         let r = count_routed(&n, len, &config, &mut rng()).unwrap();
         assert_eq!(r.route, CountRoute::Fpras);
         assert_eq!(r.degree, Some(AmbiguityDegree::Exponential));
@@ -163,7 +166,10 @@ mod tests {
     fn cap_zero_disables_the_probe() {
         let ab = Alphabet::from_chars(&['a', 'b']);
         let n = Regex::parse("(a|b)*a(a|b)*", &ab).unwrap().compile();
-        let config = RouterConfig { determinization_cap: 0, ..RouterConfig::default() };
+        let config = RouterConfig {
+            determinization_cap: 0,
+            ..RouterConfig::default()
+        };
         let r = count_routed(&n, 8, &config, &mut rng()).unwrap();
         assert_eq!(r.route, CountRoute::Fpras);
     }
@@ -171,7 +177,10 @@ mod tests {
     #[test]
     fn classification_can_be_skipped() {
         let n = universal_nfa(Alphabet::binary());
-        let config = RouterConfig { classify_ambiguity: false, ..RouterConfig::default() };
+        let config = RouterConfig {
+            classify_ambiguity: false,
+            ..RouterConfig::default()
+        };
         let r = count_routed(&n, 16, &config, &mut rng()).unwrap();
         assert_eq!(r.route, CountRoute::ExactUnambiguous);
         assert_eq!(r.degree, None);
@@ -196,17 +205,25 @@ mod tests {
         let ab = Alphabet::from_chars(&['a', 'b']);
         let n = Regex::parse("(a|b)*a(a|b)*", &ab).unwrap().compile();
         let inst = PreparedInstance::new(n, 10);
-        let small = RouterConfig { determinization_cap: 1, ..RouterConfig::default() };
+        let small = RouterConfig {
+            determinization_cap: 1,
+            ..RouterConfig::default()
+        };
         let r1 = inst.count_routed(&small, &mut rng()).unwrap();
         assert_eq!(r1.route, CountRoute::Fpras);
-        let r2 = inst.count_routed(&RouterConfig::default(), &mut rng()).unwrap();
+        let r2 = inst
+            .count_routed(&RouterConfig::default(), &mut rng())
+            .unwrap();
         assert!(
             matches!(r2.route, CountRoute::ExactDeterminized { .. }),
             "default cap must still find the small DFA, got {:?}",
             r2.route
         );
         // And the successful probe keeps serving smaller-but-sufficient caps.
-        let mid = RouterConfig { determinization_cap: 16, ..RouterConfig::default() };
+        let mid = RouterConfig {
+            determinization_cap: 16,
+            ..RouterConfig::default()
+        };
         let r3 = inst.count_routed(&mid, &mut rng()).unwrap();
         assert_eq!(r3.route, r2.route);
         assert_eq!(r3.exact, r2.exact);

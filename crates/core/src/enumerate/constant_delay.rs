@@ -75,6 +75,59 @@ impl ConstantDelayEnumerator {
         }
     }
 
+    /// Rebuilds an enumerator mid-stream from a serialized decision list —
+    /// the engine's cursor-resume path (`lsc_core::engine::ResumeToken`).
+    ///
+    /// `decisions` must be exactly the decision list held after some word was
+    /// emitted (one `(vertex, edge index)` entry per *branching* vertex on
+    /// that word's path, in path order) — which is what
+    /// [`ConstantDelayEnumerator::decisions`] returns. The walk is replayed
+    /// once to validate the list; the returned enumerator then continues
+    /// bit-identically to an uninterrupted run: its next output is the word
+    /// *after* the one the decisions describe.
+    ///
+    /// Returns `None` if the list does not describe a complete start→accept
+    /// path of the DAG (wrong instance, corrupted token, or an empty
+    /// language).
+    pub fn resume(dag: Arc<UnrolledDag>, decisions: Vec<(NodeId, usize)>) -> Option<Self> {
+        let n = dag.word_length();
+        let mut cur = dag.start()?;
+        let mut ptr = 0;
+        for _ in 0..n {
+            let edges = dag.out_edges(cur);
+            let idx = if edges.len() == 1 {
+                0
+            } else {
+                let &(v, i) = decisions.get(ptr)?;
+                if v != cur || i >= edges.len() {
+                    return None;
+                }
+                ptr += 1;
+                i
+            };
+            cur = edges[idx].1;
+        }
+        if ptr != decisions.len() {
+            return None;
+        }
+        Some(ConstantDelayEnumerator {
+            dag,
+            decisions,
+            started: true,
+            done: false,
+            last_delay_steps: 0,
+        })
+    }
+
+    /// The current decision list: one `(vertex, edge index)` entry per
+    /// branching vertex on the most recently emitted word's path. Together
+    /// with the DAG this pinpoints the enumeration position — it is the
+    /// payload of the engine's resume tokens, fed back through
+    /// [`ConstantDelayEnumerator::resume`].
+    pub fn decisions(&self) -> &[(NodeId, usize)] {
+        &self.decisions
+    }
+
     /// Abstract steps spent on the most recent `next()` call. Experiment E4
     /// plots this against the automaton size to exhibit input-independence.
     pub fn last_delay_steps(&self) -> u64 {

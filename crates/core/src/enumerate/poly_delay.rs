@@ -55,6 +55,47 @@ impl PolyDelayEnumerator {
         }
     }
 
+    /// Rebuilds an enumerator mid-stream, positioned exactly after `last` —
+    /// the engine's cursor-resume path (`lsc_core::engine::ResumeToken`).
+    ///
+    /// The flashlight search's whole state after emitting a witness is a
+    /// function of that witness (the per-level viable state sets, and the
+    /// next-symbol pointers `last[t] + 1`), so the word alone is a complete,
+    /// compact resume position. The returned enumerator's next output is the
+    /// witness lexicographically after `last`, and the continued stream is
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Returns `None` if `last` is not a witness of this instance (wrong
+    /// length, wrong instance, or corrupted token).
+    pub fn resume_after(nfa: Arc<Nfa>, dag: Arc<UnrolledDag>, last: &[Symbol]) -> Option<Self> {
+        let n = dag.word_length();
+        if last.len() != n || dag.is_empty() {
+            return None;
+        }
+        let width = nfa.alphabet().len() as Symbol;
+        let mut e = Self::from_parts(nfa, dag);
+        let mut states = StateSet::new(e.nfa.num_states());
+        states.insert(e.nfa.initial());
+        let mut stack = Vec::with_capacity(n + 1);
+        for (t, &sym) in last.iter().enumerate() {
+            if sym >= width {
+                return None;
+            }
+            stack.push((states.clone(), sym + 1));
+            let next = e.viable_step(&states, sym, t + 1);
+            if next.is_empty() {
+                return None;
+            }
+            states = next;
+        }
+        stack.push((states, 0));
+        e.stack = stack;
+        e.prefix = last.to_vec();
+        e.started = true;
+        e.last_delay_steps = 0;
+        Some(e)
+    }
+
     /// Abstract steps spent on the most recent `next()` call.
     pub fn last_delay_steps(&self) -> u64 {
         self.last_delay_steps

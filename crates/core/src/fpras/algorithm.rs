@@ -47,7 +47,10 @@ impl std::fmt::Display for FprasError {
                 "FPRAS failure: retry budget exhausted sampling X(s^{layer}_{state})"
             ),
             FprasError::ZeroEstimate { layer, state } => {
-                write!(f, "FPRAS failure: R(s^{layer}_{state}) = 0 on a live vertex")
+                write!(
+                    f,
+                    "FPRAS failure: R(s^{layer}_{state}) = 0 on a live vertex"
+                )
             }
         }
     }
@@ -122,12 +125,7 @@ impl FprasState {
     /// `(exactly handled, sampled)` vertex counts — the base-case coverage
     /// statistic reported by the experiments.
     pub fn vertex_stats(&self) -> (usize, usize) {
-        let exact = self
-            .data
-            .iter()
-            .flatten()
-            .filter(|d| d.exact)
-            .count();
+        let exact = self.data.iter().flatten().filter(|d| d.exact).count();
         let sampled = self.data.iter().flatten().count() - exact;
         (exact, sampled)
     }
@@ -235,6 +233,55 @@ impl WitnessSampler<'_> {
             &mut self.scratch,
             state.dag.accepting(),
             state.dag.word_length(),
+            self.phi0,
+            rng,
+        )
+    }
+}
+
+/// The owning counterpart of [`WitnessSampler`]: shares the sketch behind an
+/// [`Arc`] instead of a borrow, so a long-lived draw stream (the engine's
+/// `GenStream`) can hold sampler and state together without a
+/// self-referential struct. Draws consume the rng stream identically to
+/// [`WitnessSampler::sample`] — for a fixed rng state the two produce the
+/// same words, bit for bit.
+pub struct SharedWitnessSampler {
+    state: Arc<FprasState>,
+    scratch: SamplerScratch,
+    phi0: BigFloat,
+}
+
+impl SharedWitnessSampler {
+    /// A sampler over a shared sketch, with the scratch (and weight memo
+    /// cache, per the state's params) kept alive across draws.
+    pub fn new(state: Arc<FprasState>) -> Self {
+        let (scratch, phi0) = {
+            let borrowed = state.witness_sampler();
+            (borrowed.scratch, borrowed.phi0)
+        };
+        SharedWitnessSampler {
+            state,
+            scratch,
+            phi0,
+        }
+    }
+
+    /// The shared sketch state.
+    pub fn state(&self) -> &Arc<FprasState> {
+        &self.state
+    }
+
+    /// One Las-Vegas attempt: `None` is a rejection (retry), not emptiness.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<Word> {
+        if self.state.dag.is_empty() {
+            return None;
+        }
+        let ctx = self.state.sample_ctx();
+        sample_once(
+            &ctx,
+            &mut self.scratch,
+            self.state.dag.accepting(),
+            self.state.dag.word_length(),
             self.phi0,
             rng,
         )
@@ -382,7 +429,10 @@ pub fn run_fpras_on<R: Rng + ?Sized>(
                     });
                 }
             });
-            results.into_iter().map(|r| r.expect("thread filled slot")).collect()
+            results
+                .into_iter()
+                .map(|r| r.expect("thread filled slot"))
+                .collect()
         };
         for (&v, result) in pending.iter().zip(results) {
             data[v] = Some(result?);
@@ -596,7 +646,11 @@ mod tests {
         let exact_log10 = lsc_arith::BigFloat::from_bignat(&exact).log10();
         assert!(exact_log10 > 308.0);
         let mut rng = StdRng::seed_from_u64(61);
-        let params = FprasParams { k: 1, rejection_constant: 0.5, ..FprasParams::quick() };
+        let params = FprasParams {
+            k: 1,
+            rejection_constant: 0.5,
+            ..FprasParams::quick()
+        };
         let est = approx_count(&u, n, params, &mut rng).unwrap();
         assert!(est.to_f64().is_infinite(), "past f64 range by design");
         assert!(
@@ -631,7 +685,9 @@ mod tests {
         // The paper states the FPRAS for Σ = {0,1}; our generalization
         // partitions predecessors per symbol. Exercise a ternary alphabet.
         let abc = Alphabet::from_chars(&['a', 'b', 'c']);
-        let nfa = Regex::parse("(a|b|c)*a(b|c)(a|b|c)", &abc).unwrap().compile();
+        let nfa = Regex::parse("(a|b|c)*a(b|c)(a|b|c)", &abc)
+            .unwrap()
+            .compile();
         let n = 9;
         let truth = count_nfa_via_determinization(&nfa, n).to_f64();
         let mut rng = StdRng::seed_from_u64(60);

@@ -27,5 +27,8 @@ mod params;
 pub(crate) mod sampler;
 mod sketch;
 
-pub use algorithm::{approx_count, run_fpras, run_fpras_on, FprasError, FprasState, WitnessSampler};
+pub use algorithm::{
+    approx_count, run_fpras, run_fpras_on, FprasError, FprasState, SharedWitnessSampler,
+    WitnessSampler,
+};
 pub use params::FprasParams;

@@ -162,7 +162,7 @@ impl WeightCache {
             .iter()
             .map(|(_, p)| 32 + p.len() * std::mem::size_of::<NodeId>())
             .sum();
-        96 + key.len() * std::mem::size_of::<NodeId>()
+        96 + std::mem::size_of_val(key)
             + partition_bytes
             + entry.probs.len() * std::mem::size_of::<f64>()
     }

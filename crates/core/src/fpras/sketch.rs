@@ -150,7 +150,13 @@ mod tests {
     /// default cached-reach-set coverage predicate.
     fn estimate_union(members: &[NodeId], data: &[Option<VertexData>], m: usize) -> BigFloat {
         let mut mask = StateSet::new(m);
-        estimate_union_with_mask(members, data, &mut mask, |v| v, |e, k| !e.reach.is_disjoint(k))
+        estimate_union_with_mask(
+            members,
+            data,
+            &mut mask,
+            |v| v,
+            |e, k| !e.reach.is_disjoint(k),
+        )
     }
 
     fn entry(word: Word, reach_states: &[usize], m: usize) -> SampleEntry {
@@ -199,7 +205,10 @@ mod tests {
         v1.r = BigFloat::from_u64(10);
         let data = vec![Some(v0), Some(v1)];
         let w = estimate_union(&[0, 1], &data, m);
-        assert!((w.to_f64() - 6.0).abs() < 1e-12, "1 + 10·(1/2) = 6, got {w}");
+        assert!(
+            (w.to_f64() - 6.0).abs() < 1e-12,
+            "1 + 10·(1/2) = 6, got {w}"
+        );
     }
 
     #[test]

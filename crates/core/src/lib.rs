@@ -40,5 +40,5 @@ pub mod sample;
 pub mod self_reduce;
 
 pub use count::exact::NotUnambiguousError;
-pub use engine::{Engine, PreparedInstance};
+pub use engine::{Engine, EnumCursor, GenStream, PreparedInstance, Queryable, ResumeToken};
 pub use mem_nfa::MemNfa;

@@ -156,9 +156,7 @@ impl MemNfa {
     ///
     /// # Errors
     /// [`NotUnambiguousError`] on ambiguous instances.
-    pub fn enumerate_constant_delay(
-        &self,
-    ) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
+    pub fn enumerate_constant_delay(&self) -> Result<ConstantDelayEnumerator, NotUnambiguousError> {
         self.prepared.enumerate_constant_delay()
     }
 

@@ -114,7 +114,11 @@ mod tests {
         let mut stats = SampleStats::new();
         for _ in 0..32_000 {
             // Value 0 drawn 4x as often as it should be.
-            let v = if rng.gen_bool(0.2) { 0 } else { rng.gen_range(0..32u32) };
+            let v = if rng.gen_bool(0.2) {
+                0
+            } else {
+                rng.gen_range(0..32u32)
+            };
             stats.record(vec![v]);
         }
         assert!(!stats.looks_uniform(32));

@@ -194,7 +194,9 @@ mod tests {
         let mut counts_table: HashMap<Word, usize> = HashMap::new();
         let mut counts_psi: HashMap<Word, usize> = HashMap::new();
         for _ in 0..draws {
-            *counts_table.entry(table.sample(&mut rng).unwrap()).or_default() += 1;
+            *counts_table
+                .entry(table.sample(&mut rng).unwrap())
+                .or_default() += 1;
             let w = psi_chain_sample(&n, len, &mut rng).unwrap().unwrap();
             assert!(n.accepts(&w), "ψ-chain emitted non-witness {w:?}");
             *counts_psi.entry(w).or_default() += 1;

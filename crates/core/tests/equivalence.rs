@@ -146,20 +146,16 @@ fn engine_config(threads: usize) -> EngineConfig {
 /// One COUNT + one ENUM + one GEN request per family, with fixed per-request
 /// seeds.
 fn engine_requests(nfa: &Nfa, n: usize) -> Vec<QueryRequest> {
+    let nfa = std::sync::Arc::new(nfa.clone());
     vec![
-        QueryRequest { nfa: nfa.clone(), length: n, kind: QueryKind::Count, seed: 0xC0 },
-        QueryRequest {
-            nfa: nfa.clone(),
-            length: n,
-            kind: QueryKind::Enumerate { limit: usize::MAX },
-            seed: 0xC1,
-        },
-        QueryRequest {
-            nfa: nfa.clone(),
-            length: n,
-            kind: QueryKind::Sample { count: 25 },
-            seed: 0xC2,
-        },
+        QueryRequest::automaton(nfa.clone(), n, QueryKind::Count, 0xC0),
+        QueryRequest::automaton(
+            nfa.clone(),
+            n,
+            QueryKind::Enumerate { limit: usize::MAX },
+            0xC1,
+        ),
+        QueryRequest::automaton(nfa, n, QueryKind::Sample { count: 25 }, 0xC2),
     ]
 }
 
@@ -224,12 +220,12 @@ fn engine_agrees_with_memnfa_toolbox() {
     for (name, nfa, n) in families() {
         let engine = Engine::new(engine_config(1));
         let inst = MemNfa::new(nfa.clone(), n);
-        let count = engine.query(&QueryRequest {
-            nfa: nfa.clone(),
-            length: n,
-            kind: QueryKind::Count,
-            seed: 1,
-        });
+        let count = engine.query(&QueryRequest::automaton(
+            nfa.clone(),
+            n,
+            QueryKind::Count,
+            1,
+        ));
         if let Ok(QueryOutput::Count(routed)) = &count.output {
             if let Some(exact) = &routed.exact {
                 assert_eq!(
@@ -241,12 +237,12 @@ fn engine_agrees_with_memnfa_toolbox() {
         } else {
             panic!("{name}: count failed");
         }
-        let enumerated = engine.query(&QueryRequest {
-            nfa: nfa.clone(),
-            length: n,
-            kind: QueryKind::Enumerate { limit: usize::MAX },
-            seed: 2,
-        });
+        let enumerated = engine.query(&QueryRequest::automaton(
+            nfa.clone(),
+            n,
+            QueryKind::Enumerate { limit: usize::MAX },
+            2,
+        ));
         let Ok(QueryOutput::Words(words)) = &enumerated.output else {
             panic!("{name}: enumeration failed");
         };
@@ -264,12 +260,8 @@ fn engine_agrees_with_memnfa_toolbox() {
 #[test]
 fn engine_witness_streams_reproduce_across_engines() {
     for (name, nfa, n) in families() {
-        let request = QueryRequest {
-            nfa: nfa.clone(),
-            length: n,
-            kind: QueryKind::Sample { count: 40 },
-            seed: 0xFEED,
-        };
+        let request =
+            QueryRequest::automaton(nfa.clone(), n, QueryKind::Sample { count: 40 }, 0xFEED);
         let a = Engine::new(engine_config(1)).query(&request);
         let engine = Engine::new(engine_config(2));
         // Warm the instance through other kinds first, then sample.

@@ -112,9 +112,7 @@ impl DnfFormula {
         let mut total = BigNat::zero();
         for t in &self.terms {
             if t.is_satisfiable() {
-                total.add_assign_ref(&BigNat::pow2(
-                    self.num_vars - t.num_literals() as usize,
-                ));
+                total.add_assign_ref(&BigNat::pow2(self.num_vars - t.num_literals() as usize));
             }
         }
         total

@@ -21,11 +21,7 @@ use crate::DnfFormula;
 /// Karp–Luby estimate of the model count from `trials` coverage samples.
 ///
 /// Returns zero iff the formula has no satisfiable term.
-pub fn karp_luby<R: Rng + ?Sized>(
-    formula: &DnfFormula,
-    trials: usize,
-    rng: &mut R,
-) -> BigFloat {
+pub fn karp_luby<R: Rng + ?Sized>(formula: &DnfFormula, trials: usize, rng: &mut R) -> BigFloat {
     assert!(trials > 0);
     let n = formula.num_vars();
     let weights: Vec<BigNat> = formula
@@ -127,6 +123,9 @@ mod tests {
         let truth = 2f64.powi(38) + 2f64.powi(38);
         let mut rng = StdRng::seed_from_u64(3);
         let est = karp_luby(&f, 20_000, &mut rng).to_f64();
-        assert!((est - truth).abs() / truth < 0.05, "est {est}, truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "est {est}, truth {truth}"
+        );
     }
 }

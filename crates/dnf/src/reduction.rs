@@ -1,7 +1,10 @@
 //! SAT-DNF → MEM-NFA, two ways: the direct automaton and the §3 transducer.
 
-use lsc_automata::{Alphabet, Nfa, Symbol};
-use lsc_core::MemNfa;
+use std::sync::Arc;
+
+use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use lsc_core::engine::domain_fingerprint;
+use lsc_core::{MemNfa, Queryable};
 use lsc_transducer::TransducerProgram;
 
 use crate::DnfFormula;
@@ -64,6 +67,40 @@ pub fn to_nfa(formula: &DnfFormula) -> Nfa {
 /// dedupes across formulas by fingerprint).
 pub fn to_mem_nfa(formula: &DnfFormula) -> MemNfa {
     MemNfa::new(to_nfa(formula), formula.num_vars())
+}
+
+/// A formula is directly queryable: `COUNT` is model counting, `ENUM`
+/// streams satisfying assignments, `GEN` draws them uniformly — all through
+/// the generic engine entry points, decoded back to assignment bitmasks
+/// (bit `i` = value of `x_i`). The reduction runs once per engine session
+/// (keyed by the formula's structure, so equal formulas share an instance).
+impl Queryable for DnfFormula {
+    /// A satisfying assignment as a bitmask: bit `i` is the value of `x_i`.
+    type Output = u128;
+
+    fn to_instance(&self) -> (Arc<Nfa>, usize) {
+        (Arc::new(to_nfa(self)), self.num_vars())
+    }
+
+    fn decode(&self, word: &Word) -> u128 {
+        word.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))
+    }
+
+    fn domain_fingerprint(&self) -> u64 {
+        domain_fingerprint(
+            "sat-dnf",
+            std::iter::once(self.num_vars() as u64).chain(self.terms().iter().flat_map(|t| {
+                [
+                    t.pos() as u64,
+                    (t.pos() >> 64) as u64,
+                    t.neg() as u64,
+                    (t.neg() >> 64) as u64,
+                ]
+            })),
+        )
+    }
 }
 
 /// The SAT-DNF NL-transducer exactly as §3 describes it: nondeterministically
@@ -221,6 +258,38 @@ mod tests {
             dag,
             "repeated queries reuse the compiled reduction"
         );
+    }
+
+    #[test]
+    fn typed_engine_queries_return_assignments() {
+        use lsc_core::Engine;
+        let f: DnfFormula = "x0 & !x1 | x2".parse().unwrap();
+        let engine = Engine::with_defaults();
+        // ENUM through the generic surface decodes straight to bitmasks.
+        let mut models: Vec<u128> = engine.enumerate(&f).collect();
+        models.sort_unstable();
+        let expected: Vec<u128> = (0..8).filter(|&a| f.eval(a)).collect();
+        assert_eq!(models, expected);
+        // COUNT agrees, and the second query reuses the session (no second
+        // reduction, no second prepared instance).
+        let routed = engine.count(&f).unwrap();
+        assert_eq!(
+            routed.exact.map(|c| c.to_u64().unwrap()),
+            Some(models.len() as u64)
+        );
+        assert_eq!(engine.stats().misses, 1);
+        assert_eq!(engine.stats().domains, 1);
+        // GEN draws decode to genuine models.
+        for a in engine.sample(&f, 5).unwrap().take(8) {
+            assert!(f.eval(a));
+        }
+        // Cursor paging with a resume token, typed end to end.
+        let mut cursor = engine.enumerate(&f);
+        let first: Vec<u128> = cursor.by_ref().take(2).collect();
+        let rest: Vec<u128> = engine.resume(&f, &cursor.token()).unwrap().collect();
+        let mut stitched: Vec<u128> = first.into_iter().chain(rest).collect();
+        stitched.sort_unstable();
+        assert_eq!(stitched, expected);
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl Cnf {
         // START: a fresh start symbol that appears on no right-hand side.
         let start = names.len();
         names.push("S₀".to_owned());
-        prods.push(Production { lhs: start, body: vec![GSym::N(g.start())] });
+        prods.push(Production {
+            lhs: start,
+            body: vec![GSym::N(g.start())],
+        });
 
         // TERM: in bodies of length ≥ 2, replace each terminal by a proxy
         // nonterminal (one shared proxy per symbol).
@@ -84,7 +87,10 @@ impl Cnf {
                     let nt = *proxy.entry(t).or_insert_with(|| {
                         let id = names.len();
                         names.push(format!("T_{t}"));
-                        extra.push(Production { lhs: id, body: vec![GSym::T(t)] });
+                        extra.push(Production {
+                            lhs: id,
+                            body: vec![GSym::T(t)],
+                        });
                         id
                     });
                     *s = GSym::N(nt);
@@ -107,10 +113,16 @@ impl Cnf {
             for i in 0..k - 2 {
                 let fresh = names.len();
                 names.push(format!("B_{lhs}_{i}"));
-                binned.push(Production { lhs, body: vec![p.body[i], GSym::N(fresh)] });
+                binned.push(Production {
+                    lhs,
+                    body: vec![p.body[i], GSym::N(fresh)],
+                });
                 lhs = fresh;
             }
-            binned.push(Production { lhs, body: vec![p.body[k - 2], p.body[k - 1]] });
+            binned.push(Production {
+                lhs,
+                body: vec![p.body[k - 2], p.body[k - 1]],
+            });
         }
         let mut prods = binned;
 
@@ -220,7 +232,14 @@ impl Cnf {
         for row in &mut bin_rules {
             row.sort_unstable();
         }
-        let cnf = Cnf { alphabet, names, start, term_rules, bin_rules, empty_in_language };
+        let cnf = Cnf {
+            alphabet,
+            names,
+            start,
+            term_rules,
+            bin_rules,
+            empty_in_language,
+        };
         cnf.trimmed()
     }
 
@@ -263,7 +282,9 @@ impl Cnf {
                 }
             }
         }
-        let keep: Vec<bool> = (0..num).map(|i| (gen[i] && reach[i]) || i == self.start).collect();
+        let keep: Vec<bool> = (0..num)
+            .map(|i| (gen[i] && reach[i]) || i == self.start)
+            .collect();
         let mut remap = vec![usize::MAX; num];
         let mut names = Vec::new();
         for (i, &k) in keep.iter().enumerate() {
@@ -279,8 +300,7 @@ impl Cnf {
                 continue;
             }
             term_rules[remap[i]] = self.term_rules[i].clone();
-            bin_rules[remap[i]] = self
-                .bin_rules[i]
+            bin_rules[remap[i]] = self.bin_rules[i]
                 .iter()
                 .filter(|&&(b, c)| keep[b] && gen[b] && keep[c] && gen[c])
                 .map(|&(b, c)| (remap[b], remap[c]))

@@ -66,7 +66,11 @@ impl DerivationTable {
             }
             counts.push(row);
         }
-        DerivationTable { cnf: cnf.clone(), n, counts }
+        DerivationTable {
+            cnf: cnf.clone(),
+            n,
+            counts,
+        }
     }
 
     /// The grammar the table was built from.
@@ -94,7 +98,11 @@ impl DerivationTable {
     /// up to a bound with [`crate::cyk::ambiguity_witness_up_to`]).
     pub fn derivations(&self, len: usize) -> BigNat {
         if len == 0 {
-            return if self.cnf.empty_in_language() { BigNat::one() } else { BigNat::zero() };
+            return if self.cnf.empty_in_language() {
+                BigNat::one()
+            } else {
+                BigNat::zero()
+            };
         }
         self.counts[len][self.cnf.start()].clone()
     }

@@ -24,7 +24,11 @@ pub fn cyk_accepts(cnf: &Cnf, word: &[Symbol]) -> bool {
 /// 1 for the empty word when ε is in the language).
 pub fn cyk_tree_count(cnf: &Cnf, word: &[Symbol]) -> BigNat {
     if word.is_empty() {
-        return if cnf.empty_in_language() { BigNat::one() } else { BigNat::zero() };
+        return if cnf.empty_in_language() {
+            BigNat::one()
+        } else {
+            BigNat::zero()
+        };
     }
     let n = word.len();
     let v = cnf.num_nonterminals();
@@ -128,10 +132,7 @@ mod tests {
         // x+x*x parses as (x+x)*x association or x+(x*x).
         let cnf = cnf_of("E -> E + E | E * E | ( E ) | x");
         let ab = cnf.alphabet().clone();
-        let w: Vec<Symbol> = "x+x*x"
-            .chars()
-            .map(|c| ab.symbol_of(c).unwrap())
-            .collect();
+        let w: Vec<Symbol> = "x+x*x".chars().map(|c| ab.symbol_of(c).unwrap()).collect();
         assert_eq!(cyk_tree_count(&cnf, &w).to_u64(), Some(2));
     }
 

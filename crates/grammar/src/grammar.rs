@@ -80,7 +80,13 @@ impl Cfg {
         for (i, p) in productions.iter().enumerate() {
             by_lhs[p.lhs].push(i);
         }
-        Cfg { alphabet, nonterminals, start, productions, by_lhs }
+        Cfg {
+            alphabet,
+            nonterminals,
+            start,
+            productions,
+            by_lhs,
+        }
     }
 
     /// The terminal alphabet.
@@ -240,12 +246,19 @@ impl Cfg {
             }
             let alternatives = rhs
                 .split('|')
-                .map(|alt| alt.split_whitespace().map(str::to_owned).collect::<Vec<_>>())
+                .map(|alt| {
+                    alt.split_whitespace()
+                        .map(str::to_owned)
+                        .collect::<Vec<_>>()
+                })
                 .collect::<Vec<_>>();
             rules.push((lhs.to_owned(), alternatives));
         }
         if rules.is_empty() {
-            return Err(ParseGrammarError { line: 0, kind: ParseGrammarErrorKind::NoRules });
+            return Err(ParseGrammarError {
+                line: 0,
+                kind: ParseGrammarErrorKind::NoRules,
+            });
         }
         // Pass 1: nonterminals are exactly the LHS names, in order of first
         // appearance.
@@ -374,7 +387,11 @@ impl fmt::Display for ParseGrammarError {
                 write!(f, "line {}: rule is missing '->'", self.line)
             }
             ParseGrammarErrorKind::BadLhs => {
-                write!(f, "line {}: left-hand side must be a single token", self.line)
+                write!(
+                    f,
+                    "line {}: left-hand side must be a single token",
+                    self.line
+                )
             }
             ParseGrammarErrorKind::NoRules => f.write_str("grammar has no rules"),
             ParseGrammarErrorKind::BadTerminal(t) => {
@@ -426,7 +443,10 @@ mod tests {
             Cfg::parse("S ( S )").unwrap_err().kind,
             ParseGrammarErrorKind::MissingArrow
         );
-        assert_eq!(Cfg::parse("").unwrap_err().kind, ParseGrammarErrorKind::NoRules);
+        assert_eq!(
+            Cfg::parse("").unwrap_err().kind,
+            ParseGrammarErrorKind::NoRules
+        );
         assert_eq!(
             Cfg::parse("S -> ab S").unwrap_err().kind,
             ParseGrammarErrorKind::BadTerminal("ab".into())

@@ -53,4 +53,5 @@ pub mod sample;
 pub use cnf::Cnf;
 pub use count::DerivationTable;
 pub use grammar::{Cfg, GSym, NonTerminalId, ParseGrammarError, ParseGrammarErrorKind, Production};
+pub use regular::RegularGrammar;
 pub use sample::TreeSampler;

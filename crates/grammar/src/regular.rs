@@ -14,8 +14,11 @@
 //! transfer* — an unambiguous right-linear grammar yields a UFA and keeps
 //! the exact Theorem 5 toolbox.
 
-use lsc_automata::{EpsNfa, Nfa, StateId, Symbol};
-use lsc_core::MemNfa;
+use std::sync::Arc;
+
+use lsc_automata::{EpsNfa, Nfa, StateId, Symbol, Word};
+use lsc_core::engine::{domain_fingerprint, PreparedInstance};
+use lsc_core::{MemNfa, Queryable};
 
 use crate::grammar::{Cfg, GSym, Production};
 
@@ -93,7 +96,11 @@ pub fn right_linear_to_nfa(g: &Cfg) -> Result<Nfa, NotRightLinearError> {
             continue;
         }
         for (i, &t) in terminals.iter().enumerate() {
-            let next = if i + 1 == terminals.len() { target } else { e.add_state() };
+            let next = if i + 1 == terminals.len() {
+                target
+            } else {
+                e.add_state()
+            };
             e.add_transition(cur, Some(t), next);
             cur = next;
         }
@@ -109,10 +116,16 @@ pub fn nfa_to_right_linear(n: &Nfa) -> Cfg {
     let mut productions = Vec::new();
     for q in 0..n.num_states() {
         for &(a, t) in n.transitions_from(q) {
-            productions.push(Production { lhs: q, body: vec![GSym::T(a), GSym::N(t)] });
+            productions.push(Production {
+                lhs: q,
+                body: vec![GSym::T(a), GSym::N(t)],
+            });
         }
         if n.is_accepting(q) {
-            productions.push(Production { lhs: q, body: Vec::new() });
+            productions.push(Production {
+                lhs: q,
+                body: Vec::new(),
+            });
         }
     }
     Cfg::new(n.alphabet().clone(), names, n.initial(), productions)
@@ -209,10 +222,13 @@ pub fn right_linear_derivations(
                 if i + k > n {
                     continue;
                 }
-                let matches = terminals.iter().zip(&word[i..i + k]).all(|(s, &w)| match *s {
-                    GSym::T(t) => t == w,
-                    GSym::N(_) => unreachable!("right-linearity checked above"),
-                });
+                let matches = terminals
+                    .iter()
+                    .zip(&word[i..i + k])
+                    .all(|(s, &w)| match *s {
+                        GSym::T(t) => t == w,
+                        GSym::N(_) => unreachable!("right-linearity checked above"),
+                    });
                 if !matches {
                     continue;
                 }
@@ -309,6 +325,68 @@ pub fn to_mem_nfa(g: &Cfg, n: usize) -> Result<MemNfa, NotRightLinearError> {
     Ok(MemNfa::new(right_linear_to_nfa(g)?, n))
 }
 
+/// A validated right-linear grammar at a fixed word length: the typed
+/// queryable for the regular fragment. Construction runs the NFA conversion
+/// once; the generic engine entry points then serve word counts (Theorem 22's
+/// FPRAS where the grammar is ambiguous, exact where it is not), streaming
+/// enumeration of the generated words (pageable via resume tokens), and
+/// uniform word samples — witnesses decode to the words themselves, over the
+/// grammar's own alphabet.
+pub struct RegularGrammar {
+    cfg: Cfg,
+    nfa: Arc<Nfa>,
+    length: usize,
+}
+
+impl RegularGrammar {
+    /// Validates and converts the grammar (once).
+    ///
+    /// # Errors
+    /// [`NotRightLinearError`] if some body has an interior nonterminal.
+    pub fn new(cfg: Cfg, length: usize) -> Result<Self, NotRightLinearError> {
+        let nfa = Arc::new(right_linear_to_nfa(&cfg)?);
+        Ok(RegularGrammar { cfg, nfa, length })
+    }
+
+    /// The grammar.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The converted automaton (one conversion, shared everywhere).
+    pub fn nfa(&self) -> &Arc<Nfa> {
+        &self.nfa
+    }
+
+    /// The word length `n`.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+}
+
+impl Queryable for RegularGrammar {
+    /// A generated word over the grammar's alphabet.
+    type Output = Word;
+
+    fn to_instance(&self) -> (Arc<Nfa>, usize) {
+        (self.nfa.clone(), self.length)
+    }
+
+    fn decode(&self, word: &Word) -> Word {
+        word.clone()
+    }
+
+    fn domain_fingerprint(&self) -> u64 {
+        domain_fingerprint(
+            "regular-grammar",
+            [PreparedInstance::instance_fingerprint(
+                &self.nfa,
+                self.length,
+            )],
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,7 +399,9 @@ mod tests {
 
     #[test]
     fn right_linearity_detection() {
-        assert!(is_right_linear(&Cfg::parse("S -> a S | b B | eps\nB -> b\n").unwrap()));
+        assert!(is_right_linear(
+            &Cfg::parse("S -> a S | b B | eps\nB -> b\n").unwrap()
+        ));
         assert!(is_right_linear(&Cfg::parse("S -> a a b S | a").unwrap()));
         assert!(!is_right_linear(&Cfg::parse("S -> ( S ) S | eps").unwrap()));
         assert!(!is_right_linear(&Cfg::parse("S -> S a").unwrap()));
@@ -377,11 +457,22 @@ mod tests {
             for len in 0..=6usize {
                 let mut word = vec![0 as Symbol; len];
                 loop {
-                    assert_eq!(n.accepts(&word), back.accepts(&word), "trial {trial} {word:?}");
-                    assert_eq!(n.accepts(&word), cyk_accepts(&cnf, &word), "trial {trial} {word:?}");
+                    assert_eq!(
+                        n.accepts(&word),
+                        back.accepts(&word),
+                        "trial {trial} {word:?}"
+                    );
+                    assert_eq!(
+                        n.accepts(&word),
+                        cyk_accepts(&cnf, &word),
+                        "trial {trial} {word:?}"
+                    );
                     let runs = accepting_runs_on_word(&n, &word);
                     assert_eq!(
-                        right_linear_derivations(&g, &word).unwrap().to_u64().unwrap(),
+                        right_linear_derivations(&g, &word)
+                            .unwrap()
+                            .to_u64()
+                            .unwrap(),
                         runs,
                         "trial {trial} raw multiplicity {word:?}"
                     );
@@ -461,8 +552,14 @@ mod tests {
     fn unit_chains_count_correctly() {
         // S → A → a gives exactly one derivation of "a"; S → a adds another.
         let g = Cfg::parse("S -> A | a\nA -> a\n").unwrap();
-        assert_eq!(right_linear_derivations(&g, &[0]).unwrap().to_u64(), Some(2));
-        assert_eq!(right_linear_derivations(&g, &[0, 0]).unwrap().to_u64(), Some(0));
+        assert_eq!(
+            right_linear_derivations(&g, &[0]).unwrap().to_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            right_linear_derivations(&g, &[0, 0]).unwrap().to_u64(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -495,6 +592,30 @@ mod tests {
     }
 
     #[test]
+    fn typed_engine_queries_serve_the_regular_fragment() {
+        use lsc_core::Engine;
+        let g = nfa_to_right_linear(&blowup_nfa(4));
+        let grammar = RegularGrammar::new(g, 9).unwrap();
+        let engine = Engine::with_defaults();
+        let count = engine.count(&grammar).unwrap();
+        assert_eq!(count.exact.as_ref().unwrap().to_u64(), Some(256));
+        // Page the enumeration across a resume token; the stitched stream
+        // matches one uninterrupted cursor.
+        let full: Vec<Word> = engine.enumerate(&grammar).collect();
+        assert_eq!(full.len(), 256);
+        let mut cursor = engine.enumerate(&grammar);
+        let first: Vec<Word> = cursor.by_ref().take(50).collect();
+        let rest: Vec<Word> = engine.resume(&grammar, &cursor.token()).unwrap().collect();
+        assert_eq!(first.into_iter().chain(rest).collect::<Vec<_>>(), full);
+        // Uniform draws are generated words.
+        let nfa = grammar.nfa().clone();
+        for w in engine.sample(&grammar, 17).unwrap().take(6) {
+            assert!(nfa.accepts(&w));
+        }
+        assert_eq!(engine.stats().misses, 1, "one session serves everything");
+    }
+
+    #[test]
     fn ambiguous_regular_grammar_gets_fpras() {
         // a*a*-style grammar: ambiguous but regular, so the paper's FPRAS
         // applies where exact tree-counting would overcount words.
@@ -508,7 +629,10 @@ mod tests {
         // in which nullable tail derived ε, so it reports 12 — both numbers
         // are overcounts of the single word, which is the point.
         let word = vec![0 as Symbol; 12];
-        assert_eq!(right_linear_derivations(&g, &word).unwrap().to_u64(), Some(13));
+        assert_eq!(
+            right_linear_derivations(&g, &word).unwrap().to_u64(),
+            Some(13)
+        );
         let cnf = Cnf::from_cfg(&g);
         let t = crate::count::DerivationTable::build(&cnf, 12);
         assert_eq!(t.derivations(12).to_u64(), Some(12));

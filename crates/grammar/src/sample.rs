@@ -34,8 +34,16 @@ impl<'t> TreeSampler<'t> {
     /// # Panics
     /// Panics if `len` exceeds the table's tabulated range.
     pub fn new(table: &'t DerivationTable, len: usize) -> TreeSampler<'t> {
-        assert!(len <= table.max_len(), "length {len} beyond table range {}", table.max_len());
-        TreeSampler { table, len, total: table.derivations(len) }
+        assert!(
+            len <= table.max_len(),
+            "length {len} beyond table range {}",
+            table.max_len()
+        );
+        TreeSampler {
+            table,
+            len,
+            total: table.derivations(len),
+        }
     }
 
     /// The number of trees being sampled over (`D[S][len]`).

@@ -1,11 +1,13 @@
 //! RPQ evaluation instances: the product construction and path decoding.
 
+use std::sync::Arc;
+
 use lsc_arith::BigNat;
 use lsc_automata::regex::Regex;
-use lsc_automata::{Alphabet, Nfa, Symbol};
-use lsc_core::engine::{RoutedCount, RouterConfig};
+use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use lsc_core::engine::{domain_fingerprint, RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
-use lsc_core::MemNfa;
+use lsc_core::{MemNfa, Queryable};
 use rand::Rng;
 
 use crate::{EdgeId, LabeledGraph, NodeId};
@@ -222,6 +224,31 @@ impl RpqInstance {
     }
 }
 
+/// An RPQ instance is directly queryable: the generic engine entry points
+/// serve path counts, streaming path enumeration (pageable via resume
+/// tokens), and uniform path samples, decoded to [`RpqPath`] values. The
+/// session is keyed by the already-built product automaton, so repeated
+/// queries on one instance — the standard RPQ serving pattern — share one
+/// prepared artifact engine-wide.
+impl Queryable for RpqInstance {
+    type Output = RpqPath;
+
+    fn to_instance(&self) -> (Arc<Nfa>, usize) {
+        (
+            self.instance.prepared().nfa_arc().clone(),
+            self.instance.length(),
+        )
+    }
+
+    fn decode(&self, word: &Word) -> RpqPath {
+        RpqInstance::decode(self, word)
+    }
+
+    fn domain_fingerprint(&self) -> u64 {
+        domain_fingerprint("eval-rpq", [self.instance.prepared().fingerprint()])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,7 +311,10 @@ mod tests {
             .count_paths_approx(FprasParams::quick(), &mut rng)
             .unwrap();
         let t = truth.to_f64();
-        assert!((est.to_f64() - t).abs() / t < 0.2, "est {est}, truth {truth}");
+        assert!(
+            (est.to_f64() - t).abs() / t < 0.2,
+            "est {est}, truth {truth}"
+        );
     }
 
     #[test]
@@ -320,6 +350,29 @@ mod tests {
             assert_eq!(p.edges.len(), 8);
             assert!(inst.graph().label_word(0, &p.edges).is_some());
         }
+    }
+
+    #[test]
+    fn typed_engine_queries_return_paths() {
+        use lsc_core::Engine;
+        let inst = RpqInstance::new(diamond(), "abc*", 3, 0, 3);
+        let engine = Engine::with_defaults();
+        let direct: Vec<RpqPath> = inst.enumerate_paths().collect();
+        let typed: Vec<RpqPath> = engine.enumerate(&inst).collect();
+        assert_eq!(typed, direct);
+        // Page across a resume token: the stitched stream is identical.
+        let mut cursor = engine.enumerate(&inst);
+        let first: Vec<RpqPath> = cursor.by_ref().take(1).collect();
+        let rest: Vec<RpqPath> = engine.resume(&inst, &cursor.token()).unwrap().collect();
+        assert_eq!(first.into_iter().chain(rest).collect::<Vec<_>>(), direct);
+        // COUNT and GEN off the same session.
+        let routed = engine.count(&inst).unwrap();
+        assert_eq!(routed.exact.map(|c| c.to_u64().unwrap()), Some(2));
+        for p in engine.sample(&inst, 11).unwrap().take(4) {
+            assert_eq!(p.nodes.first(), Some(&0));
+            assert_eq!(p.nodes.last(), Some(&3));
+        }
+        assert_eq!(engine.stats().misses, 1, "one session serves everything");
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn smoothness_violation(c: &NnfCircuit) -> Option<NodeId> {
     for id in c.ids() {
         if let NnfNode::Or(children) = c.node(id) {
             let gate_vars = c.vars(id);
-            if children.iter().any(|&ch| c.vars(ch).len() != gate_vars.len()) {
+            if children
+                .iter()
+                .any(|&ch| c.vars(ch).len() != gate_vars.len())
+            {
                 return Some(id);
             }
         }

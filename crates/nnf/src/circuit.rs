@@ -143,7 +143,10 @@ impl NnfBuilder {
     /// # Panics
     /// Panics if `var` is out of range.
     pub fn lit(&mut self, var: u32, positive: bool) -> NodeId {
-        assert!((var as usize) < self.num_vars, "variable {var} out of range");
+        assert!(
+            (var as usize) < self.num_vars,
+            "variable {var} out of range"
+        );
         let mut vs = VarSet::empty(self.num_vars);
         vs.insert(var);
         self.push(NnfNode::Lit { var, positive }, vs)

@@ -124,7 +124,11 @@ mod tests {
         let c = from_obdd(&m, f);
         for code in 0..64u128 {
             let assignment: Vec<bool> = (0..6).map(|i| code >> i & 1 == 1).collect();
-            assert_eq!(c.eval(&assignment), m.eval(f, code), "assignment {code:06b}");
+            assert_eq!(
+                c.eval(&assignment),
+                m.eval(f, code),
+                "assignment {code:06b}"
+            );
         }
     }
 
@@ -169,6 +173,10 @@ mod tests {
         // 4 models (odd parity).
         assert_eq!(count_models(&c).unwrap().to_u64(), Some(4));
         // Each BDD node contributes ≤ 5 circuit nodes (2 lits, 2 ands, 1 or).
-        assert!(c.num_nodes() <= 5 * m.size(f) + 2, "nodes = {}", c.num_nodes());
+        assert!(
+            c.num_nodes() <= 5 * m.size(f) + 2,
+            "nodes = {}",
+            c.num_nodes()
+        );
     }
 }

@@ -186,7 +186,10 @@ mod tests {
         let nx = b.lit(0, false);
         let bad = b.and(vec![x, nx]);
         let c = b.build(bad);
-        assert_eq!(count_models(&c).unwrap_err(), NotDecomposableError { node: bad });
+        assert_eq!(
+            count_models(&c).unwrap_err(),
+            NotDecomposableError { node: bad }
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl ModelEnumerator {
         let circuit = smoothed(c);
         let table = CountTable::build(&circuit)?;
         let total = table.models(&circuit);
-        Ok(ModelEnumerator { circuit, table, total })
+        Ok(ModelEnumerator {
+            circuit,
+            table,
+            total,
+        })
     }
 
     /// The number of models (exact for deterministic circuits).
@@ -83,9 +87,7 @@ impl ModelEnumerator {
         match self.circuit.node(id) {
             NnfNode::True => Box::new(std::iter::once(Vec::new())),
             NnfNode::False => Box::new(std::iter::empty()),
-            NnfNode::Lit { var, positive } => {
-                Box::new(std::iter::once(vec![(*var, *positive)]))
-            }
+            NnfNode::Lit { var, positive } => Box::new(std::iter::once(vec![(*var, *positive)])),
             NnfNode::Or(children) => Box::new(
                 children
                     .iter()
@@ -102,7 +104,8 @@ impl ModelEnumerator {
                     }
                     let prev = acc;
                     acc = Box::new(prev.flat_map(move |partial| {
-                        self.stream(ch).map(move |sub| merge_disjoint(&partial, &sub))
+                        self.stream(ch)
+                            .map(move |sub| merge_disjoint(&partial, &sub))
                     }));
                 }
                 acc

@@ -38,7 +38,11 @@ impl PreparedCircuit {
     pub fn new(circuit: NnfCircuit) -> Result<PreparedCircuit, NotDecomposableError> {
         let table = Arc::new(CountTable::build(&circuit)?);
         let total = table.models(&circuit);
-        Ok(PreparedCircuit { circuit, table, total })
+        Ok(PreparedCircuit {
+            circuit,
+            table,
+            total,
+        })
     }
 
     /// The circuit.
@@ -106,7 +110,10 @@ mod tests {
         );
         // The sampler reuses the exact same table allocation.
         let sampler = prepared.sampler();
-        assert!(Arc::ptr_eq(prepared.table(), &prepared.sampler().table_arc()));
+        assert!(Arc::ptr_eq(
+            prepared.table(),
+            &prepared.sampler().table_arc()
+        ));
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..20 {
             let m = sampler.sample(&mut rng).unwrap();

@@ -174,9 +174,7 @@ pub fn weighted_count(
 ///
 /// # Errors
 /// [`NotDecomposableError`] if some `And` shares variables.
-pub fn min_cardinality(
-    c: &NnfCircuit,
-) -> Result<Option<(usize, BigNat)>, NotDecomposableError> {
+pub fn min_cardinality(c: &NnfCircuit) -> Result<Option<(usize, BigNat)>, NotDecomposableError> {
     if let Some(node) = decomposability_violation(c) {
         return Err(NotDecomposableError { node });
     }
@@ -305,7 +303,11 @@ mod tests {
                 prob += w;
             }
         }
-        assert!((wmc.to_f64() - prob).abs() < 1e-12, "wmc {} vs {prob}", wmc.to_f64());
+        assert!(
+            (wmc.to_f64() - prob).abs() < 1e-12,
+            "wmc {} vs {prob}",
+            wmc.to_f64()
+        );
     }
 
     #[test]

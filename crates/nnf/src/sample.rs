@@ -44,7 +44,11 @@ impl<'c> ModelSampler<'c> {
     /// draws are distributed identically to [`ModelSampler::new`].
     pub fn from_table(circuit: &'c NnfCircuit, table: Arc<CountTable>) -> ModelSampler<'c> {
         let total = table.models(circuit);
-        ModelSampler { circuit, table, total }
+        ModelSampler {
+            circuit,
+            table,
+            total,
+        }
     }
 
     /// The number of models being sampled over.
@@ -177,7 +181,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         let mut stats = SampleStats::new();
         for _ in 0..2000 {
-            stats.record(s.sample(&mut rng).unwrap().iter().map(|&b| b as u32).collect());
+            stats.record(
+                s.sample(&mut rng)
+                    .unwrap()
+                    .iter()
+                    .map(|&b| b as u32)
+                    .collect(),
+            );
         }
         assert_eq!(stats.distinct(), 4);
         assert!(stats.looks_uniform(4), "chi² = {}", stats.chi_square(4));

@@ -99,7 +99,11 @@ mod tests {
         // Semantics agree pointwise.
         for code in 0..8u32 {
             let assignment: Vec<bool> = (0..3).map(|i| code >> i & 1 == 1).collect();
-            assert_eq!(c.eval(&assignment), s.eval(&assignment), "assignment {code:03b}");
+            assert_eq!(
+                c.eval(&assignment),
+                s.eval(&assignment),
+                "assignment {code:03b}"
+            );
         }
     }
 

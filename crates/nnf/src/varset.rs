@@ -9,7 +9,9 @@ pub struct VarSet {
 impl VarSet {
     /// The empty set with room for `capacity` variables.
     pub fn empty(capacity: usize) -> VarSet {
-        VarSet { blocks: vec![0; capacity.div_ceil(64)] }
+        VarSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+        }
     }
 
     /// Inserts `var`.
@@ -43,18 +45,26 @@ impl VarSet {
 
     /// True iff the sets share no variable.
     pub fn is_disjoint(&self, other: &VarSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// True iff `self ⊆ other`.
     pub fn is_subset(&self, other: &VarSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates the variables in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.blocks.iter().enumerate().flat_map(|(i, &b)| {
-            (0..64u32).filter(move |j| b & (1 << j) != 0).map(move |j| i as u32 * 64 + j)
+            (0..64u32)
+                .filter(move |j| b & (1 << j) != 0)
+                .map(move |j| i as u32 * 64 + j)
         })
     }
 

@@ -60,9 +60,7 @@ impl SpannerExpr {
         SpannerExpr::Seq(
             s.chars()
                 .map(|c| {
-                    SpannerExpr::Letter(
-                        alphabet.symbol_of(c).expect("literal char in alphabet"),
-                    )
+                    SpannerExpr::Letter(alphabet.symbol_of(c).expect("literal char in alphabet"))
                 })
                 .collect(),
         )
@@ -83,9 +81,7 @@ impl SpannerExpr {
             SpannerExpr::Star(inner) | SpannerExpr::Plus(inner) | SpannerExpr::Opt(inner) => {
                 inner.max_var()
             }
-            SpannerExpr::Capture(v, inner) => Some(
-                inner.max_var().map_or(*v, |i| i.max(*v)),
-            ),
+            SpannerExpr::Capture(v, inner) => Some(inner.max_var().map_or(*v, |i| i.max(*v))),
         }
     }
 
@@ -132,7 +128,11 @@ impl RawAutomaton {
                 }
                 let mut cur = from;
                 for (i, p) in parts.iter().enumerate() {
-                    let next = if i + 1 == parts.len() { to } else { self.fresh() };
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.fresh()
+                    };
                     self.fragment(p, cur, next);
                     cur = next;
                 }
@@ -289,7 +289,10 @@ mod tests {
     fn block_expr() -> SpannerExpr {
         SpannerExpr::Seq(vec![
             SpannerExpr::skip(),
-            SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::Capture(
+                0,
+                Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0)))),
+            ),
             SpannerExpr::skip(),
         ])
     }
@@ -311,9 +314,15 @@ mod tests {
         // x{a+} b y{a+}: two a-blocks separated by exactly one b.
         let expr = SpannerExpr::Seq(vec![
             SpannerExpr::skip(),
-            SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::Capture(
+                0,
+                Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0)))),
+            ),
             SpannerExpr::Letter(1),
-            SpannerExpr::Capture(1, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+            SpannerExpr::Capture(
+                1,
+                Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0)))),
+            ),
             SpannerExpr::skip(),
         ]);
         let eva = expr.compile(&ab());
@@ -324,7 +333,11 @@ mod tests {
         // x ∈ {[0,2), [1,2)}, y ∈ {[3,4), [3,5)} → 4 mappings.
         assert_eq!(mappings.len(), 4);
         for m in &mappings {
-            assert!(m.spans[0].end == 2 && m.spans[1].start == 3, "{}", m.display());
+            assert!(
+                m.spans[0].end == 2 && m.spans[1].start == 3,
+                "{}",
+                m.display()
+            );
         }
     }
 
@@ -339,10 +352,7 @@ mod tests {
         let inst = SpannerInstance::new(expr.compile(&ab()), "aba");
         let mut spans: Vec<Span> = inst.mappings().map(|m| m.spans[0]).collect();
         spans.sort();
-        assert_eq!(
-            spans,
-            (0..=3).map(|i| Span::new(i, i)).collect::<Vec<_>>()
-        );
+        assert_eq!(spans, (0..=3).map(|i| Span::new(i, i)).collect::<Vec<_>>());
     }
 
     #[test]

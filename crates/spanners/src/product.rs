@@ -1,11 +1,13 @@
 //! The document product: `EVAL-eVA → MEM-NFA`.
 
+use std::sync::Arc;
+
 use lsc_arith::{BigFloat, BigNat};
-use lsc_automata::{Alphabet, Nfa, Symbol};
+use lsc_automata::{Alphabet, Nfa, Symbol, Word};
 use lsc_core::count::exact::NotUnambiguousError;
-use lsc_core::engine::{RoutedCount, RouterConfig};
+use lsc_core::engine::{domain_fingerprint, RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
-use lsc_core::MemNfa;
+use lsc_core::{MemNfa, Queryable};
 use rand::Rng;
 
 use crate::{Eva, Mapping, MarkerSet, Span};
@@ -199,6 +201,32 @@ impl SpannerInstance {
     }
 }
 
+/// A spanner-over-document instance is directly queryable: the generic
+/// engine entry points serve mapping counts (Corollary 6/7), streaming
+/// mapping enumeration (pageable via resume tokens), and uniform mapping
+/// samples, decoded to [`Mapping`] values. The session is keyed by the
+/// already-built document product, so evaluating one spanner against many
+/// requests — the information-extraction serving pattern — shares one
+/// prepared artifact engine-wide.
+impl Queryable for SpannerInstance {
+    type Output = Mapping;
+
+    fn to_instance(&self) -> (Arc<Nfa>, usize) {
+        (
+            self.instance.prepared().nfa_arc().clone(),
+            self.instance.length(),
+        )
+    }
+
+    fn decode(&self, word: &Word) -> Mapping {
+        SpannerInstance::decode(self, word)
+    }
+
+    fn domain_fingerprint(&self) -> u64 {
+        domain_fingerprint("eval-eva", [self.instance.prepared().fingerprint()])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +302,32 @@ mod tests {
             dag,
             "repeated routed counts share one compiled product"
         );
+    }
+
+    #[test]
+    fn typed_engine_queries_return_mappings() {
+        use lsc_core::Engine;
+        let inst = SpannerInstance::new(block_spanner(&ab(), 'a'), "aaba");
+        let engine = Engine::with_defaults();
+        let direct: Vec<Mapping> = inst.mappings().collect();
+        // The unambiguous product streams constant-delay through the typed
+        // cursor; page it across a token boundary.
+        let mut cursor = engine.enumerate(&inst);
+        let first: Vec<Mapping> = cursor.by_ref().take(2).collect();
+        let rest: Vec<Mapping> = engine.resume(&inst, &cursor.token()).unwrap().collect();
+        let mut stitched: Vec<Mapping> = first.into_iter().chain(rest).collect();
+        let mut expected = direct.clone();
+        stitched.sort();
+        expected.sort();
+        assert_eq!(stitched, expected);
+        assert_eq!(
+            engine.count(&inst).unwrap().exact.unwrap().to_u64(),
+            Some(4)
+        );
+        for m in engine.sample(&inst, 3).unwrap().take(5) {
+            assert!(!m.spans[0].is_empty());
+        }
+        assert_eq!(engine.stats().misses, 1, "one session serves everything");
     }
 
     #[test]

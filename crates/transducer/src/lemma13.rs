@@ -136,10 +136,7 @@ mod tests {
             if pos == self.n {
                 return vec![];
             }
-            vec![
-                (Some(0), (pos + 1, parity)),
-                (Some(1), (pos + 1, !parity)),
-            ]
+            vec![(Some(0), (pos + 1, parity)), (Some(1), (pos + 1, !parity))]
         }
     }
 
@@ -147,7 +144,10 @@ mod tests {
     fn even_parity_configuration_nfa() {
         let program = EvenParity { n: 6 };
         let nfa = configuration_nfa(&program, 1000).unwrap();
-        assert!(lsc_automata::ops::is_unambiguous(&nfa), "UL-transducer → UFA");
+        assert!(
+            lsc_automata::ops::is_unambiguous(&nfa),
+            "UL-transducer → UFA"
+        );
         let count = lsc_core::count::exact::count_ufa(&nfa, 6).unwrap();
         assert_eq!(count.to_u64(), Some(32)); // half of 2^6
         assert!(nfa.accepts(&[0, 0, 1, 1, 0, 0]));

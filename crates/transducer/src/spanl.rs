@@ -68,7 +68,8 @@ impl SpanLFunction {
         // The unrolled DAG at a *wrong* length accepting anything would mean
         // mixed lengths; check one shorter and one longer slice cheaply.
         for probe in [output_length.saturating_sub(1), output_length + 1] {
-            if probe != output_length && !lsc_automata::unroll::UnrolledDag::build(&nfa, probe).is_empty()
+            if probe != output_length
+                && !lsc_automata::unroll::UnrolledDag::build(&nfa, probe).is_empty()
             {
                 return Err(SpanLError::MixedOutputLengths(output_length, probe));
             }
@@ -118,8 +119,14 @@ mod tests {
         let f = SpanLFunction::compile(&NfaMembership::new(&nfa, k), k, 100_000).unwrap();
         let truth = lsc_core::count::exact::count_nfa_via_determinization(&nfa, k).to_f64();
         let mut rng = StdRng::seed_from_u64(1);
-        let est = f.approximate(FprasParams::quick(), &mut rng).unwrap().to_f64();
-        assert!((est - truth).abs() / truth < 0.2, "est {est}, truth {truth}");
+        let est = f
+            .approximate(FprasParams::quick(), &mut rng)
+            .unwrap()
+            .to_f64();
+        assert!(
+            (est - truth).abs() / truth < 0.2,
+            "est {est}, truth {truth}"
+        );
     }
 
     #[test]

@@ -51,13 +51,22 @@ fn main() {
             b.build()
         }),
         ("ambiguity-gap gadget", families::ambiguity_gap_nfa(4)),
-        ("substring 101", Regex::parse("(0|1)*101(0|1)*", &ab).unwrap().compile()),
+        (
+            "substring 101",
+            Regex::parse("(0|1)*101(0|1)*", &ab).unwrap().compile(),
+        ),
     ];
 
-    println!("{:<28} {:<22} {:<24} count @ n=12", "automaton", "Weber–Seidl class", "route chosen");
+    println!(
+        "{:<28} {:<22} {:<24} count @ n=12",
+        "automaton", "Weber–Seidl class", "route chosen"
+    );
     // A tight cap keeps the probe cheap and lets instances with larger
     // subset constructions fall through to the FPRAS.
-    let config = RouterConfig { determinization_cap: 6, ..RouterConfig::default() };
+    let config = RouterConfig {
+        determinization_cap: 6,
+        ..RouterConfig::default()
+    };
     for (name, nfa) in &gallery {
         let degree = ambiguity_degree(nfa);
         let class = match degree {
@@ -75,7 +84,10 @@ fn main() {
             CountRoute::Fpras => "FPRAS (Thm 22)".to_owned(),
         };
         let marker = if routed.is_exact() { "=" } else { "≈" };
-        println!("{name:<28} {class:<22} {route:<24} {marker} {}", routed.estimate);
+        println!(
+            "{name:<28} {class:<22} {route:<24} {marker} {}",
+            routed.estimate
+        );
     }
 
     println!();

@@ -23,14 +23,17 @@ fn main() {
     let cnf = Cnf::from_cfg(&dyck);
     let table = DerivationTable::build(&cnf, 24);
     println!("|L_2k| for k = 0..8 (Catalan numbers):");
-    let counts: Vec<String> = (0..=8).map(|k| table.derivations(2 * k).to_string()).collect();
+    let counts: Vec<String> = (0..=8)
+        .map(|k| table.derivations(2 * k).to_string())
+        .collect();
     println!("  {}", counts.join(", "));
 
     let sampler = TreeSampler::new(&table, 20);
-    println!("three uniform Dyck words of length 20 (support {}):", sampler.support());
-    let render = |w: &[u32]| -> String {
-        w.iter().map(|&s| dyck.alphabet().name(s)).collect()
-    };
+    println!(
+        "three uniform Dyck words of length 20 (support {}):",
+        sampler.support()
+    );
+    let render = |w: &[u32]| -> String { w.iter().map(|&s| dyck.alphabet().name(s)).collect() };
     for _ in 0..3 {
         let w = sampler.sample(&mut rng).expect("support is nonempty");
         println!("  {}", render(&w));
@@ -39,7 +42,8 @@ fn main() {
     // ── Cell 2: ambiguous but regular ⇒ the paper's #NFA FPRAS applies.
     // a*a* as a right-linear grammar: every word a^n has n+1 derivations,
     // so derivation counting overcounts — but the NFA route counts words.
-    let regular = logspace_repro::grammar::Cfg::parse("S -> a S | a A | eps\nA -> a A | eps").unwrap();
+    let regular =
+        logspace_repro::grammar::Cfg::parse("S -> a S | a A | eps\nA -> a A | eps").unwrap();
     let n = 30;
     let derivations = DerivationTable::build(&Cnf::from_cfg(&regular), n).derivations(n);
     let inst = to_mem_nfa(&regular, n).expect("grammar is right-linear");
@@ -55,6 +59,12 @@ fn main() {
     let amb_t = DerivationTable::build(&Cnf::from_cfg(&amb), 9);
     let una_t = DerivationTable::build(&Cnf::from_cfg(&una), 9);
     println!("\nexpression grammars at length 9 (same language!):");
-    println!("  ambiguous grammar derivations:   {}", amb_t.derivations(9));
-    println!("  unambiguous grammar derivations: {} (= exact word count)", una_t.derivations(9));
+    println!(
+        "  ambiguous grammar derivations:   {}",
+        amb_t.derivations(9)
+    );
+    println!(
+        "  unambiguous grammar derivations: {} (= exact word count)",
+        una_t.derivations(9)
+    );
 }

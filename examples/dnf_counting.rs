@@ -44,9 +44,7 @@ fn report(formula: &DnfFormula, rng: &mut StdRng) {
     println!("formula over {n} variables: {formula}");
     let truth = formula.count_models_brute_force();
     let instance = MemNfa::new(to_nfa(formula), n);
-    let generic = instance
-        .count_approx(FprasParams::quick(), rng)
-        .unwrap();
+    let generic = instance.count_approx(FprasParams::quick(), rng).unwrap();
     let kl = karp_luby(formula, 100_000, rng);
     println!("  exact (brute force): {truth}");
     println!("  generic #NFA FPRAS:  {generic}");

@@ -47,7 +47,10 @@ fn main() {
     let mut wy = vec![w];
     wy.extend_from_slice(&y);
     println!("does N accept w∘y = 11000?        {}", n.accepts(&wy));
-    println!("does merged ψ accept y = 1000?    {}  ← over-acceptance (the erratum)", merged.accepts(&y));
+    println!(
+        "does merged ψ accept y = 1000?    {}  ← over-acceptance (the erratum)",
+        merged.accepts(&y)
+    );
     println!("does sound  ψ accept y = 1000?    {}", sound.accepts(&y));
 
     // Witness-set sizes tell the same story: the derivative's language at

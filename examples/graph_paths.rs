@@ -42,7 +42,10 @@ fn main() {
     let estimate = big
         .count_paths_approx(FprasParams::quick(), &mut rng)
         .unwrap();
-    println!("\npaths of length {long}: FPRAS ≈ {estimate} (≈ 10^{:.0})", estimate.log10());
+    println!(
+        "\npaths of length {long}: FPRAS ≈ {estimate} (≈ 10^{:.0})",
+        estimate.log10()
+    );
 
     // Uniform path samples at the moderate length.
     let samples = instance

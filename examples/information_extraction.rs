@@ -27,7 +27,9 @@ fn main() {
     );
 
     // COUNT — unambiguous, so Corollary 7 gives the exact count in P.
-    let exact = instance.count_exact().expect("block spanner is unambiguous");
+    let exact = instance
+        .count_exact()
+        .expect("block spanner is unambiguous");
     println!("exact mapping count: {exact}");
     let estimate = instance
         .count_approx(FprasParams::quick(), &mut rng)

@@ -40,10 +40,15 @@ fn main() {
     let bdd_count = m.count_models(f);
     let circuit = from_obdd(&m, f);
     let circuit_count = count_models(&circuit).expect("compiled circuits are decomposable");
-    println!("d-DNNF: {} nodes, deterministic: {}", circuit.num_nodes(),
-        matches!(determinism_violation(&circuit, 12), CheckOutcome::Holds));
+    println!(
+        "d-DNNF: {} nodes, deterministic: {}",
+        circuit.num_nodes(),
+        matches!(determinism_violation(&circuit, 12), CheckOutcome::Holds)
+    );
     let ufa_inst = MemNfa::new(obdd_to_ufa(&m, f), m.num_vars());
-    let ufa_count = ufa_inst.count_exact().expect("OBDD automata are unambiguous");
+    let ufa_count = ufa_inst
+        .count_exact()
+        .expect("OBDD automata are unambiguous");
     println!("COUNT: BDD = {bdd_count}, d-DNNF = {circuit_count}, UFA = {ufa_count}");
     assert_eq!(bdd_count, circuit_count);
     assert_eq!(bdd_count, ufa_count);

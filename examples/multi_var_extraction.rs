@@ -20,9 +20,15 @@ fn main() {
     // x{a+} b y{a+} with free context on both sides.
     let expr = SpannerExpr::Seq(vec![
         SpannerExpr::skip(),
-        SpannerExpr::Capture(0, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+        SpannerExpr::Capture(
+            0,
+            Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0)))),
+        ),
         SpannerExpr::Letter(1),
-        SpannerExpr::Capture(1, Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0))))),
+        SpannerExpr::Capture(
+            1,
+            Box::new(SpannerExpr::Plus(Box::new(SpannerExpr::Letter(0)))),
+        ),
         SpannerExpr::skip(),
     ]);
     let document = "aabaaabaa";
@@ -31,7 +37,10 @@ fn main() {
 
     let instance = SpannerInstance::new(expr.compile(&alphabet), document);
     let count = instance.count_exact().expect("unambiguous extraction");
-    println!("mappings: {count} (unambiguous: {})", instance.is_unambiguous());
+    println!(
+        "mappings: {count} (unambiguous: {})",
+        instance.is_unambiguous()
+    );
     for mapping in instance.mappings() {
         println!(
             "  {}   x = {:?}, y = {:?}",

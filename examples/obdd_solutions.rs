@@ -70,9 +70,21 @@ fn main() {
     let nodes = vec![
         NObddNode::Terminal(false),
         NObddNode::Terminal(true),
-        NObddNode::Decision { var: 0, lo: 0, hi: 1 },
-        NObddNode::Decision { var: 1, lo: 0, hi: 1 },
-        NObddNode::Decision { var: 2, lo: 0, hi: 1 },
+        NObddNode::Decision {
+            var: 0,
+            lo: 0,
+            hi: 1,
+        },
+        NObddNode::Decision {
+            var: 1,
+            lo: 0,
+            hi: 1,
+        },
+        NObddNode::Decision {
+            var: 2,
+            lo: 0,
+            hi: 1,
+        },
         NObddNode::Union(vec![2, 3, 4]),
     ];
     let nobdd = NObdd::new(3, nodes, 5);
@@ -80,7 +92,10 @@ fn main() {
     println!("\nnOBDD (x0 ∨ x1 ∨ x2 as an overlapping union):");
     println!("  unambiguous: {}", ninst.is_unambiguous());
     let est = ninst.count_approx(FprasParams::quick(), &mut rng).unwrap();
-    println!("  FPRAS count: {est} (truth: {})", nobdd.count_models_brute_force());
+    println!(
+        "  FPRAS count: {est} (truth: {})",
+        nobdd.count_models_brute_force()
+    );
     let gen = ninst
         .las_vegas_generator(FprasParams::quick(), &mut rng)
         .unwrap();

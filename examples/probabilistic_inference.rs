@@ -57,7 +57,11 @@ fn main() {
         f = m.or(f, t);
     }
     let circuit = from_obdd(&m, f);
-    println!("compiled: OBDD {} nodes → d-DNNF {} nodes", m.size(f), circuit.num_nodes());
+    println!(
+        "compiled: OBDD {} nodes → d-DNNF {} nodes",
+        m.size(f),
+        circuit.num_nodes()
+    );
 
     // Sanity: model counts agree at every stage.
     let models = count_models(&circuit).expect("compiled circuits are decomposable");
@@ -67,7 +71,9 @@ fn main() {
 
     // Inference: P(D reachable) by weighted model counting.
     let weights = LiteralWeights::probabilities(&probs);
-    let p = weighted_count(&circuit, &weights).expect("decomposable").to_f64();
+    let p = weighted_count(&circuit, &weights)
+        .expect("decomposable")
+        .to_f64();
     // Brute-force check over all 32 worlds.
     let mut brute = 0.0;
     for world in 0..32u128 {

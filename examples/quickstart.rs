@@ -1,64 +1,86 @@
-//! Quickstart: the three problems (ENUM / COUNT / GEN) on one regex language.
+//! Quickstart: the three problems (ENUM / COUNT / GEN) through the typed
+//! engine surface — one `Engine`, many domains, streaming cursors.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use logspace_repro::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lsc_dnf::DnfFormula;
+use std::sync::Arc;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2019);
+    let engine = Engine::with_defaults();
 
-    // The language: binary words containing the substring 101, at length 14.
+    // ---- The identity domain: a raw (automaton, length) instance ----------
+    // Binary words containing the substring 101, at length 14.
     let alphabet = Alphabet::binary();
-    let nfa = Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile();
-    let n = 14;
-    let instance = MemNfa::new(nfa, n);
-    println!("instance: words of length {n} matching (0|1)*101(0|1)*");
-    println!("automaton: {} states, unambiguous: {}", instance.nfa().num_states(), instance.is_unambiguous());
+    let nfa = Arc::new(
+        Regex::parse("(0|1)*101(0|1)*", &alphabet)
+            .unwrap()
+            .compile(),
+    );
+    let instance = (nfa.clone(), 14usize);
+    println!("instance: words of length 14 matching (0|1)*101(0|1)*");
+    println!("automaton: {} states", nfa.num_states());
 
-    // COUNT — the instance is ambiguous, so Theorem 5's exact counter refuses
-    // and Theorem 2's FPRAS steps in.
-    assert!(instance.count_exact().is_err());
-    let estimate = instance
-        .count_approx(FprasParams::with_accuracy(n, 0.05), &mut rng)
-        .expect("FPRAS failure events have vanishing probability");
-    let truth = instance.count_oracle(); // exponential-time oracle, fine at this size
-    println!("COUNT: FPRAS ≈ {estimate}, exact = {truth}");
+    // COUNT — the ambiguity-aware router decides: exact where affordable,
+    // the FPRAS otherwise, with provenance either way.
+    let count = engine.count(&instance).unwrap();
+    let marker = if count.is_exact() { "=" } else { "≈" };
+    println!(
+        "COUNT: {marker} {} (route: {:?})",
+        count.estimate, count.route
+    );
 
-    // ENUM — polynomial delay, no repetitions; print the first few.
-    let first: Vec<String> = instance
-        .enumerate()
+    // ENUM — a streaming cursor: the first page costs five delays, not a
+    // materialization. The cursor's position serializes to a resume token...
+    let mut cursor = engine.enumerate(&instance);
+    let page: Vec<String> = cursor
+        .by_ref()
         .take(5)
         .map(|w| lsc_automata::format_word(&w, &alphabet))
         .collect();
-    println!("ENUM (first 5 of {truth}): {first:?}");
-
-    // GEN — Las Vegas uniform generation (Corollary 23).
-    let generator = instance
-        .las_vegas_generator(FprasParams::quick(), &mut rng)
-        .unwrap();
-    print!("GEN (5 uniform samples):");
-    for _ in 0..5 {
-        let w = generator.generate(&mut rng).witness().expect("retries exhausted");
-        assert!(instance.check_witness(&w));
-        print!(" {}", lsc_automata::format_word(&w, &alphabet));
-    }
-    println!();
-
-    // The same toolbox on an unambiguous instance — everything exact.
-    let ufa = lsc_automata::families::blowup_nfa(6);
-    let exact_instance = MemNfa::new(ufa, 40);
-    let count = exact_instance.count_exact().unwrap();
-    println!("\nUFA instance ((0|1)*1(0|1)^5 at n=40): exact count = {count}");
-    let sampler = exact_instance.uniform_sampler().unwrap();
-    let w = sampler.sample(&mut rng).unwrap();
-    println!("exact uniform sample: {}", lsc_automata::format_word(&w, &alphabet));
-    let first_three: Vec<String> = exact_instance
-        .enumerate_constant_delay()
+    let token = cursor.token();
+    println!("ENUM page 1: {page:?}");
+    println!("  resume token: {token}");
+    // ...and a later call (any process holding the token) continues
+    // bit-identically where the page stopped.
+    let next: Vec<String> = engine
+        .resume(&instance, &token)
         .unwrap()
         .take(3)
         .map(|w| lsc_automata::format_word(&w, &alphabet))
         .collect();
-    println!("constant-delay enumeration, first 3: {first_three:?}");
+    println!("ENUM page 2: {next:?}");
+
+    // GEN — an amortized uniform draw stream: the FPRAS sketch is built once
+    // (and cached engine-wide), each draw after that is a table walk.
+    let samples: Vec<String> = engine
+        .sample(&instance, 2019)
+        .unwrap()
+        .take(5)
+        .map(|w| lsc_automata::format_word(&w, &alphabet))
+        .collect();
+    println!("GEN (5 uniform samples): {samples:?}");
+
+    // ---- A typed domain: SAT-DNF ------------------------------------------
+    // The same engine serves application types directly; witnesses decode to
+    // domain values (here: assignment bitmasks), not raw words.
+    let formula: DnfFormula = "x0 & !x1 | x2 & x3 | !x0 & !x3".parse().unwrap();
+    let models = engine.count(&formula).unwrap();
+    println!("\nSAT-DNF: {formula}");
+    println!("model count: = {}", models.estimate);
+    let assignments: Vec<u128> = engine.enumerate(&formula).take(4).collect();
+    for a in &assignments {
+        assert!(formula.eval(*a));
+    }
+    println!("first models (bitmasks): {assignments:?}");
+    let draws: Vec<u128> = engine.sample(&formula, 7).unwrap().take(3).collect();
+    println!("uniform models (bitmasks): {draws:?}");
+
+    // ---- Everything above shared one cache --------------------------------
+    let stats = engine.stats();
+    println!(
+        "\nengine: {} domain sessions, {} instances prepared, {} hits / {} misses",
+        stats.domains, stats.entries, stats.hits, stats.misses
+    );
 }

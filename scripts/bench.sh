@@ -132,3 +132,69 @@ print(f"\nBENCH_engine.json: appended snapshot #{len(history)}"
       f" (warm vs cold: exact {snapshot['warm_vs_cold_exact_speedup']}x,"
       f" fpras {snapshot['warm_vs_cold_fpras_speedup']}x)")
 PY
+
+# --- Cursor trajectory --------------------------------------------------------
+# Runs the streaming-cursor benches and appends a snapshot to
+# BENCH_cursor.json: first-witness latency vs full materialization (the
+# delay-preservation headline) and per-page throughput warm vs cold
+# (see crates/bench/benches/cursor.rs).
+
+export LSC_CRITERION_DIR="${LSC_CRITERION_CURSOR_DIR:-$(pwd)/target/lsc-criterion-cursor}"
+rm -rf "$LSC_CRITERION_DIR"
+
+cargo bench -p lsc-bench --bench cursor -- "$@"
+
+python3 - <<'PY'
+import json, os, subprocess, time
+
+out_dir = os.environ["LSC_CRITERION_DIR"]
+results = []
+for root, _, files in os.walk(out_dir):
+    for f in sorted(files):
+        if f.endswith(".json"):
+            with open(os.path.join(root, f)) as fh:
+                results.append(json.load(fh))
+results.sort(key=lambda r: (r["group"], r["id"]))
+
+def mean_of(group, ident):
+    for r in results:
+        if r["group"] == group and r["id"] == ident:
+            return r["mean_ns"]
+    return None
+
+def ratio(group, slow, fast):
+    a, b = mean_of(group, slow), mean_of(group, fast)
+    return round(a / b, 2) if a and b else None
+
+snapshot = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git_rev": subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True,
+    ).stdout.strip() or "unknown",
+    "workload": "contains-101@18 first-witness vs full; blowup(10)@40 page=256 warm vs cold",
+    "first_witness_ns": mean_of("cursor/e15-first-witness", "first-witness-cold"),
+    "full_materialization_ns": mean_of("cursor/e15-first-witness", "full-materialization"),
+    "first_witness_vs_full_speedup": ratio(
+        "cursor/e15-first-witness", "full-materialization", "first-witness-cold"
+    ),
+    "warm_vs_cold_page_speedup": ratio(
+        "cursor/e15-page-throughput", "cold-page", "warm-resume"
+    ),
+    "benchmarks": results,
+}
+
+path = "BENCH_cursor.json"
+history = []
+if os.path.exists(path):
+    with open(path) as fh:
+        history = json.load(fh)
+history.append(snapshot)
+with open(path, "w") as fh:
+    json.dump(history, fh, indent=1)
+    fh.write("\n")
+
+print(f"\nBENCH_cursor.json: appended snapshot #{len(history)}"
+      f" (first witness vs full: {snapshot['first_witness_vs_full_speedup']}x,"
+      f" warm vs cold page: {snapshot['warm_vs_cold_page_speedup']}x)")
+PY

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the rot-prone extras: the quickstart example must
-# run, and the engine bench must at least execute (a smoke invocation with a
-# tiny sample budget — trajectory numbers come from scripts/bench.sh).
+# Tier-1 verification plus the rot-prone extras: lints and formatting must be
+# clean, the quickstart example must run, and the engine + cursor benches
+# must at least execute (smoke invocations with a tiny sample budget —
+# trajectory numbers come from scripts/bench.sh).
 #
 # Usage: scripts/ci.sh
 
@@ -14,6 +15,12 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== lint: clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== lint: rustfmt =="
+cargo fmt --check
+
 echo "== example: quickstart =="
 cargo run --release --example quickstart
 
@@ -21,5 +28,10 @@ echo "== bench smoke: engine warm-vs-cold =="
 LSC_CRITERION_SAMPLES=2 \
 LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci" \
 cargo bench -p lsc-bench --bench engine -- e14-warm-vs-cold-exact
+
+echo "== bench smoke: cursor first-witness =="
+LSC_CRITERION_SAMPLES=2 \
+LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci-cursor" \
+cargo bench -p lsc-bench --bench cursor -- e15-first-witness
 
 echo "== ci.sh: all green =="

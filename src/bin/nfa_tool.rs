@@ -4,11 +4,13 @@
 //! ```text
 //! nfa-tool count     (--regex PAT | --file NFA.txt) --length N [--exact true | --delta D]
 //! nfa-tool enumerate (--regex PAT | --file NFA.txt) --length N [--limit K]
+//!                    [--page-size P] [--resume-token T]
 //! nfa-tool sample    (--regex PAT | --file NFA.txt) --length N [--count K] [--seed S]
 //! nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]
 //! nfa-tool classify  (--regex PAT | --file NFA.txt)
 //! nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]
 //! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]
+//!                    [--page-size P]
 //! ```
 //!
 //! `--regex` patterns use the alphabet given by `--alphabet` (default `01`).
@@ -16,38 +18,50 @@
 //! Weber–Seidl ambiguity class; `route` runs the ambiguity-aware counting
 //! router and reports which algorithm produced the count.
 //!
+//! `enumerate --page-size P` streams one page of `P` witnesses and prints a
+//! compact **resume token**; feeding it back via `--resume-token` continues
+//! the enumeration exactly where the previous page stopped (stitched pages
+//! are bit-identical to one uninterrupted run — see
+//! `lsc_core::engine::ResumeToken`). Tokens are bound to the instance: a
+//! token minted for one automaton/length is rejected by any other.
+//!
 //! `batch` answers many queries through one prepared-instance engine
-//! ([`lsc_core::engine::Engine`]): repeated patterns hit the instance cache
-//! instead of recompiling. Queries are read from `--file` (or stdin), one per
-//! line:
+//! ([`lsc_core::engine::Engine`]) using the session flow: each query line is
+//! resolved to an [`InstanceHandle`] first (repeated patterns hit the
+//! instance cache instead of recompiling), `count`/`sample` lines are
+//! answered through one handle-based `query_batch`, and `enumerate` lines
+//! stream through a cursor with per-page progress (page size `--page-size`,
+//! default 100) and a printed resume token per page. Queries are read from
+//! `--file` (or stdin), one per line:
 //!
 //! ```text
 //! count       PATTERN LENGTH
 //! count-exact PATTERN LENGTH
-//! enumerate   PATTERN LENGTH [LIMIT]   (LIMIT defaults to 1000; batch
-//!                                       answers are buffered, so use the
+//! enumerate   PATTERN LENGTH [LIMIT]   (LIMIT defaults to 1000; use the
 //!                                       streaming `enumerate` subcommand
 //!                                       for full listings)
 //! sample      PATTERN LENGTH [COUNT]
 //! ```
 //!
 //! Blank lines and `#` comments are skipped. Each answer is tagged `hit` or
-//! `miss` for its instance-cache outcome, and a final summary line reports
-//! the hit/miss totals — the compile-once, serve-many behavior end to end.
+//! `miss` for its session's instance-cache outcome at prepare time, and a
+//! final summary line reports the engine totals — the compile-once,
+//! serve-many behavior end to end.
 
 use std::io::Read;
 use std::process::exit;
+use std::sync::Arc;
 
 use lsc_automata::ops::{ambiguity_degree, AmbiguityDegree};
 use lsc_automata::regex::Regex;
 use lsc_automata::{format_word, io, Alphabet, Nfa};
 use lsc_core::engine::{
-    count_routed, CountRoute, Engine, EngineConfig, QueryKind, QueryOutput, QueryRequest,
-    RouterConfig,
+    count_routed, CountRoute, Engine, EngineConfig, InstanceHandle, QueryKind, QueryOutput,
+    QueryRequest, ResumeToken, RouterConfig, WordCursor,
 };
 use lsc_core::fpras::FprasParams;
 use lsc_core::sample::GenOutcome;
-use lsc_core::MemNfa;
+use lsc_core::{MemNfa, PreparedInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,8 +100,10 @@ impl Args {
     }
 
     fn get_usize(&self, key: &str) -> Option<usize> {
-        self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| usage(&format!("--{key} expects a number"))))
+        self.get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| usage(&format!("--{key} expects a number")))
+        })
     }
 }
 
@@ -95,12 +111,12 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage:\n  nfa-tool count     (--regex PAT | --file NFA.txt) --length N [--exact true | --delta D]\n  \
-           nfa-tool enumerate (--regex PAT | --file NFA.txt) --length N [--limit K]\n  \
+           nfa-tool enumerate (--regex PAT | --file NFA.txt) --length N [--limit K] [--page-size P] [--resume-token T]\n  \
            nfa-tool sample    (--regex PAT | --file NFA.txt) --length N [--count K] [--seed S]\n  \
            nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]\n  \
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
-           nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]\n  \
+           nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S] [--page-size P]\n  \
            common: [--alphabet CHARS]  (default 01)\n\
            batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
     );
@@ -124,7 +140,18 @@ fn load_nfa(args: &Args) -> Nfa {
     }
 }
 
-/// The `batch` subcommand: many queries, one engine, cache hits end to end.
+/// One parsed batch query line.
+struct BatchLine {
+    spec: String,
+    kind: QueryKind,
+    handle: InstanceHandle,
+    /// Whether the session hit the instance cache at prepare time.
+    prepared_warm: bool,
+    seed: u64,
+}
+
+/// The `batch` subcommand: many queries, one engine, session handles and
+/// cursors end to end.
 fn run_batch(args: &Args) {
     let alphabet_chars: Vec<char> = args.get("alphabet").unwrap_or("01").chars().collect();
     let alphabet = Alphabet::from_chars(&alphabet_chars);
@@ -140,6 +167,7 @@ fn run_batch(args: &Args) {
         }
     };
     let seed = args.get_usize("seed").unwrap_or(0xC0FFEE) as u64;
+    let page_size = args.get_usize("page-size").unwrap_or(100).max(1);
     let config = EngineConfig {
         threads: args.get_usize("threads").unwrap_or(1).max(1),
         cache_bytes: args.get_usize("cache-mb").unwrap_or(256) << 20,
@@ -147,17 +175,18 @@ fn run_batch(args: &Args) {
         ..EngineConfig::default()
     };
     let engine = Engine::new(config);
-    let mut requests: Vec<QueryRequest> = Vec::new();
-    let mut specs: Vec<String> = Vec::new();
+    // Phase 1 — the session flow: each line resolves to an instance handle
+    // (compiling its pattern at most once engine-wide), so the requests
+    // below carry handles, never automata.
+    let mut lines: Vec<BatchLine> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let bad = |what: &str| -> ! {
-            usage(&format!("query line {}: {what}: {line:?}", lineno + 1))
-        };
+        let bad =
+            |what: &str| -> ! { usage(&format!("query line {}: {what}: {line:?}", lineno + 1)) };
         let command = parts.next().unwrap_or_else(|| bad("missing command"));
         let pattern = parts.next().unwrap_or_else(|| bad("missing pattern"));
         let length: usize = parts
@@ -165,53 +194,115 @@ fn run_batch(args: &Args) {
             .unwrap_or_else(|| bad("missing length"))
             .parse()
             .unwrap_or_else(|_| bad("length must be a number"));
-        let extra: Option<usize> = parts
-            .next()
-            .map(|v| v.parse().unwrap_or_else(|_| bad("extra arg must be a number")));
+        let extra: Option<usize> = parts.next().map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| bad("extra arg must be a number"))
+        });
         let kind = match command {
             "count" => QueryKind::Count,
             "count-exact" => QueryKind::CountExact,
-            // The batch path buffers responses, so an absent LIMIT defaults
-            // to a bounded prefix rather than materializing the language
-            // (use the streaming `enumerate` subcommand for full listings).
-            "enumerate" => QueryKind::Enumerate { limit: extra.unwrap_or(1000) },
-            "sample" => QueryKind::Sample { count: extra.unwrap_or(1) },
+            // The batch path buffers pages, so an absent LIMIT defaults to a
+            // bounded prefix rather than materializing the language (use the
+            // streaming `enumerate` subcommand for full listings).
+            "enumerate" => QueryKind::Enumerate {
+                limit: extra.unwrap_or(1000),
+            },
+            "sample" => QueryKind::Sample {
+                count: extra.unwrap_or(1),
+            },
             _ => bad("unknown command"),
         };
         let nfa = match Regex::parse(pattern, &alphabet) {
-            Ok(r) => r.compile(),
+            Ok(r) => Arc::new(r.compile()),
             Err(e) => bad(&e.to_string()),
         };
-        requests.push(QueryRequest {
-            nfa,
-            length,
+        let handle = engine.prepare_nfa(&nfa, length);
+        lines.push(BatchLine {
+            spec: format!("{command} {pattern} @{length}"),
             kind,
-            seed: seed.wrapping_add(requests.len() as u64),
+            prepared_warm: handle.was_cached(),
+            handle,
+            seed: seed.wrapping_add(lines.len() as u64),
         });
-        specs.push(format!("{command} {pattern} @{length}"));
     }
-    let responses = engine.query_batch(&requests);
-    for (i, (spec, response)) in specs.iter().zip(&responses).enumerate() {
-        let tag = if response.cache_hit { "hit " } else { "miss" };
-        match &response.output {
-            Ok(QueryOutput::Count(routed)) => {
-                let marker = if routed.is_exact() { "=" } else { "≈" };
-                println!("[{}] {spec} [{tag}]: {marker} {}", i + 1, routed.estimate);
-            }
-            Ok(QueryOutput::Exact(count)) => {
-                println!("[{}] {spec} [{tag}]: = {count}", i + 1);
-            }
-            Ok(QueryOutput::Words(words)) => {
-                let shown: Vec<String> =
-                    words.iter().map(|w| format_word(w, &alphabet)).collect();
+    // Phase 2 — answer the buffered kinds through one handle-based batch.
+    let buffered: Vec<(usize, QueryRequest)> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !matches!(l.kind, QueryKind::Enumerate { .. }))
+        .map(|(i, l)| (i, QueryRequest::on(&l.handle, l.kind, l.seed)))
+        .collect();
+    let responses =
+        engine.query_batch(&buffered.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+    let mut answered: Vec<Option<&lsc_core::engine::QueryResponse>> = vec![None; lines.len()];
+    for ((i, _), response) in buffered.iter().zip(&responses) {
+        answered[*i] = Some(response);
+    }
+    // Phase 3 — print in line order; enumerate lines stream through a cursor
+    // with per-page progress and resume tokens.
+    for (i, line) in lines.iter().enumerate() {
+        let tag = if line.prepared_warm { "hit " } else { "miss" };
+        match (&line.kind, answered[i]) {
+            (QueryKind::Enumerate { limit }, _) => {
                 println!(
-                    "[{}] {spec} [{tag}]: {} words: {}",
+                    "[{}] {} [{tag}]: streaming up to {limit} witnesses in pages of {page_size}",
                     i + 1,
-                    words.len(),
-                    shown.join(" ")
+                    line.spec,
+                );
+                let mut cursor = engine.cursor(&line.handle);
+                let mut remaining = *limit;
+                let mut page = 0usize;
+                while remaining > 0 {
+                    let words: Vec<_> = cursor.by_ref().take(page_size.min(remaining)).collect();
+                    if words.is_empty() {
+                        break;
+                    }
+                    remaining -= words.len();
+                    page += 1;
+                    let shown: Vec<String> =
+                        words.iter().map(|w| format_word(w, &alphabet)).collect();
+                    println!("    page {page}: {}", shown.join(" "));
+                    if !cursor.is_done() {
+                        println!("      resume-token: {}", cursor.token());
+                    }
+                }
+                println!(
+                    "    {} witness(es){}",
+                    cursor.rank(),
+                    if cursor.is_done() {
+                        ", exhausted"
+                    } else {
+                        ", truncated"
+                    }
                 );
             }
-            Err(e) => println!("[{}] {spec} [{tag}]: error: {e}", i + 1),
+            (_, Some(response)) => match &response.output {
+                Ok(QueryOutput::Count(routed)) => {
+                    let marker = if routed.is_exact() { "=" } else { "≈" };
+                    println!(
+                        "[{}] {} [{tag}]: {marker} {}",
+                        i + 1,
+                        line.spec,
+                        routed.estimate
+                    );
+                }
+                Ok(QueryOutput::Exact(count)) => {
+                    println!("[{}] {} [{tag}]: = {count}", i + 1, line.spec);
+                }
+                Ok(QueryOutput::Words(words)) => {
+                    let shown: Vec<String> =
+                        words.iter().map(|w| format_word(w, &alphabet)).collect();
+                    println!(
+                        "[{}] {} [{tag}]: {} words: {}",
+                        i + 1,
+                        line.spec,
+                        words.len(),
+                        shown.join(" ")
+                    );
+                }
+                Err(e) => println!("[{}] {} [{tag}]: error: {e}", i + 1, line.spec),
+            },
+            _ => unreachable!("every non-enumerate line was batched"),
         }
     }
     let stats = engine.stats();
@@ -223,6 +314,46 @@ fn run_batch(args: &Args) {
         stats.entries,
         stats.bytes / 1024
     );
+}
+
+/// The `enumerate` subcommand: full streaming by default, paged streaming
+/// with resume tokens under `--page-size`.
+fn run_enumerate(args: &Args, nfa: Nfa, alphabet: &Alphabet) {
+    let n = args
+        .get_usize("length")
+        .unwrap_or_else(|| usage("--length required"));
+    let limit = args.get_usize("limit").unwrap_or(usize::MAX);
+    match args.get_usize("page-size") {
+        None => {
+            // Unpaged: stream every witness (up to --limit) to stdout.
+            let inst = MemNfa::new(nfa, n);
+            for w in inst.enumerate().take(limit) {
+                println!("{}", format_word(&w, alphabet));
+            }
+        }
+        Some(page_size) => {
+            let inst = Arc::new(PreparedInstance::new(nfa, n));
+            let mut cursor = match args.get("resume-token") {
+                None => WordCursor::fresh(inst),
+                Some(text) => {
+                    let token = ResumeToken::parse(text).unwrap_or_else(|e| usage(&e.to_string()));
+                    WordCursor::resume(inst, &token).unwrap_or_else(|e| usage(&e.to_string()))
+                }
+            };
+            for w in cursor.by_ref().take(page_size.min(limit)) {
+                println!("{}", format_word(&w, alphabet));
+            }
+            if cursor.is_done() {
+                eprintln!("# exhausted after {} witness(es)", cursor.rank());
+            } else {
+                eprintln!("# {} witness(es) so far; continue with:", cursor.rank());
+                eprintln!(
+                    "#   --page-size {page_size} --resume-token {}",
+                    cursor.token()
+                );
+            }
+        }
+    }
 }
 
 fn main() {
@@ -240,24 +371,35 @@ fn main() {
             let inst = MemNfa::new(nfa, args.get_usize("length").unwrap_or(0));
             println!("unambiguous: {}", inst.is_unambiguous());
             if inst.length() > 0 {
-                println!("witnesses exist at length {}: {}", inst.length(), inst.exists_witness());
+                println!(
+                    "witnesses exist at length {}: {}",
+                    inst.length(),
+                    inst.exists_witness()
+                );
             }
         }
         "count" => {
-            let n = args.get_usize("length").unwrap_or_else(|| usage("--length required"));
+            let n = args
+                .get_usize("length")
+                .unwrap_or_else(|| usage("--length required"));
             let inst = MemNfa::new(nfa, n);
             if args.get("exact").is_some() {
                 match inst.count_exact() {
                     Ok(c) => println!("{c}"),
                     Err(_) => {
-                        eprintln!("automaton is ambiguous; exact counting unavailable (use --delta)");
+                        eprintln!(
+                            "automaton is ambiguous; exact counting unavailable (use --delta)"
+                        );
                         exit(1);
                     }
                 }
             } else {
                 let delta: f64 = args
                     .get("delta")
-                    .map(|v| v.parse().unwrap_or_else(|_| usage("--delta expects a float")))
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--delta expects a float"))
+                    })
                     .unwrap_or(0.1);
                 let params = FprasParams::with_accuracy(n, delta);
                 match inst.count_approx(params, &mut rng) {
@@ -269,16 +411,11 @@ fn main() {
                 }
             }
         }
-        "enumerate" => {
-            let n = args.get_usize("length").unwrap_or_else(|| usage("--length required"));
-            let limit = args.get_usize("limit").unwrap_or(usize::MAX);
-            let inst = MemNfa::new(nfa, n);
-            for w in inst.enumerate().take(limit) {
-                println!("{}", format_word(&w, &alphabet));
-            }
-        }
+        "enumerate" => run_enumerate(&args, nfa, &alphabet),
         "sample" => {
-            let n = args.get_usize("length").unwrap_or_else(|| usage("--length required"));
+            let n = args
+                .get_usize("length")
+                .unwrap_or_else(|| usage("--length required"));
             let count = args.get_usize("count").unwrap_or(1);
             let inst = MemNfa::new(nfa, n);
             if inst.is_unambiguous() {
@@ -338,9 +475,14 @@ fn main() {
             println!("({note})");
         }
         "route" => {
-            let n = args.get_usize("length").unwrap_or_else(|| usage("--length required"));
+            let n = args
+                .get_usize("length")
+                .unwrap_or_else(|| usage("--length required"));
             let cap = args.get_usize("cap").unwrap_or(4096);
-            let config = RouterConfig { determinization_cap: cap, ..RouterConfig::default() };
+            let config = RouterConfig {
+                determinization_cap: cap,
+                ..RouterConfig::default()
+            };
             match count_routed(&nfa, n, &config, &mut rng) {
                 Ok(routed) => {
                     let route = match routed.route {

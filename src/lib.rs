@@ -29,10 +29,13 @@
 //! * [`transducer`] — NL-transducers and the Lemma 13 compilation.
 //! * [`core`] — the paper's algorithms: exact counting, the #NFA FPRAS,
 //!   constant/polynomial-delay enumeration, exact/Las-Vegas uniform
-//!   sampling — plus the prepared-instance query engine
-//!   ([`core::engine`](lsc_core::engine)): compile an instance once, serve
-//!   `ENUM`/`COUNT`/`GEN` from a fingerprint-keyed, byte-capped LRU cache
-//!   with batched deterministic dispatch.
+//!   sampling — plus the unified query engine
+//!   ([`core::engine`](lsc_core::engine)): the [`Queryable`](prelude::Queryable)
+//!   trait every domain implements, typed session handles, streaming
+//!   [`EnumCursor`](prelude::EnumCursor)s with serializable
+//!   [`ResumeToken`](prelude::ResumeToken)s, amortized
+//!   [`GenStream`](prelude::GenStream)s, and a fingerprint-keyed,
+//!   byte-capped LRU instance cache with batched deterministic dispatch.
 //! * [`dnf`], [`graphdb`], [`bdd`], [`spanners`] — the §3/§4 applications.
 //! * [`grammar`] — context-free grammars: exact counting/sampling for the
 //!   unambiguous fragment, FPRAS routing for the regular fragment (the
@@ -70,33 +73,50 @@
 //! assert!(instance.check_witness(&witness));
 //! ```
 //!
-//! ## Serving repeated traffic: the engine
+//! ## Serving repeated traffic: sessions, cursors, and batches
 //!
 //! Production workloads ask the same instances over and over. An [`Engine`]
-//! caches prepared instances by structural fingerprint and answers batches —
-//! all three problems from one compiled artifact, bit-identical at any
-//! thread count:
+//! caches prepared instances by structural fingerprint and serves every
+//! domain through one typed surface: [`Queryable`] names the reduction and
+//! the witness decoding, [`Engine::prepare`] opens a cheap session handle,
+//! and the generic entry points stream typed answers — including resumable
+//! enumeration cursors, whose [`ResumeToken`]s page `ENUM` across calls
+//! bit-identically:
 //!
 //! ```
 //! use logspace_repro::prelude::*;
+//! use std::sync::Arc;
 //!
 //! let alphabet = Alphabet::binary();
-//! let nfa = Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile();
+//! let nfa = Arc::new(Regex::parse("(0|1)*101(0|1)*", &alphabet).unwrap().compile());
 //! let engine = Engine::with_defaults();
-//! let requests: Vec<QueryRequest> = [
-//!     QueryKind::Count,
-//!     QueryKind::Enumerate { limit: 10 },
-//!     QueryKind::Sample { count: 3 },
-//! ]
-//! .into_iter()
-//! .enumerate()
-//! .map(|(i, kind)| QueryRequest { nfa: nfa.clone(), length: 12, kind, seed: i as u64 })
-//! .collect();
-//! let responses = engine.query_batch(&requests);
-//! assert!(responses.iter().all(|r| r.output.is_ok()));
-//! // One compilation served all three problems: the later requests hit.
+//!
+//! // The raw (automaton, length) pair is the identity Queryable; app types
+//! // (DnfFormula, RpqInstance, SpannerInstance, RegularGrammar, NObdd)
+//! // implement the same trait and decode to their own witness types.
+//! let instance = (nfa.clone(), 12usize);
+//!
+//! // COUNT with provenance, ENUM as a streaming cursor, GEN as a draw stream.
+//! let count = engine.count(&instance).unwrap();
+//! let mut cursor = engine.enumerate(&instance);
+//! let first_page: Vec<Word> = cursor.by_ref().take(10).collect();
+//! let token = cursor.token(); // serializable; resume later, bit-identically
+//! let rest: Vec<Word> = engine.resume(&instance, &token).unwrap().collect();
+//! assert_eq!(first_page.len() + rest.len(), count.exact.unwrap().to_u64().unwrap() as usize);
+//! let samples: Vec<Word> = engine.sample(&instance, 7).unwrap().take(3).collect();
+//! assert!(samples.iter().all(|w| nfa.accepts(w)));
+//!
+//! // The batch compatibility layer rides on the same cache: requests carry
+//! // handles or shared automata — never a per-request automaton copy.
+//! let handle = engine.prepare(&instance);
+//! let responses = engine.query_batch(&[
+//!     QueryRequest::on(&handle, QueryKind::Count, 0),
+//!     QueryRequest::on(&handle, QueryKind::Enumerate { limit: 10 }, 1),
+//!     QueryRequest::on(&handle, QueryKind::Sample { count: 3 }, 2),
+//! ]);
+//! assert!(responses.iter().all(|r| r.output.is_ok() && r.cache_hit));
+//! // One compilation served everything above.
 //! assert_eq!(engine.stats().misses, 1);
-//! assert_eq!(engine.stats().hits, 2);
 //! ```
 
 pub use lsc_arith as arith;
@@ -116,7 +136,9 @@ pub mod prelude {
     pub use lsc_automata::regex::Regex;
     pub use lsc_automata::{Alphabet, Nfa, Word};
     pub use lsc_core::engine::{
-        Engine, EngineConfig, QueryKind, QueryOutput, QueryRequest, QueryResponse, RouterConfig,
+        Engine, EngineConfig, EnumCursor, GenStream, InstanceHandle, QueryKind, QueryOutput,
+        QueryRequest, QueryResponse, QueryTarget, Queryable, ResumeToken, RouterConfig, WordCursor,
+        WordGenStream,
     };
     pub use lsc_core::fpras::FprasParams;
     pub use lsc_core::sample::GenOutcome;

@@ -13,7 +13,9 @@ use logspace_repro::nnf::compile::from_obdd;
 use logspace_repro::nnf::{count_models, ModelEnumerator, ModelSampler};
 use logspace_repro::prelude::*;
 use lsc_automata::families::{blowup_nfa, random_nfa, random_ufa};
-use lsc_automata::ops::{accepting_runs_on_word, ambiguity_degree, is_unambiguous, AmbiguityDegree};
+use lsc_automata::ops::{
+    accepting_runs_on_word, ambiguity_degree, is_unambiguous, AmbiguityDegree,
+};
 use lsc_bdd::{obdd_to_ufa, BddManager};
 use lsc_core::engine::{count_routed, RouterConfig};
 use proptest::prelude::*;
@@ -114,7 +116,11 @@ fn knowledge_compilation_triangle_closes_on_witness_sets() {
         }
         // Circuit side.
         let circuit = from_obdd(&m, f);
-        assert_eq!(determinism_violation(&circuit, 12), CheckOutcome::Holds, "trial {trial}");
+        assert_eq!(
+            determinism_violation(&circuit, 12),
+            CheckOutcome::Holds,
+            "trial {trial}"
+        );
         let enumerator = ModelEnumerator::new(&circuit).unwrap();
         let mut circuit_models: Vec<Word> = enumerator
             .iter()
@@ -196,7 +202,11 @@ fn min_cardinality_matches_enumerated_models() {
         for _ in 0..7 {
             let v = m.var(rng.gen_range(0..vars));
             let g = if rng.gen_bool(0.4) { m.not(v) } else { v };
-            f = if rng.gen_bool(0.5) { m.and(f, g) } else { m.or(f, g) };
+            f = if rng.gen_bool(0.5) {
+                m.and(f, g)
+            } else {
+                m.or(f, g)
+            };
         }
         let circuit = from_obdd(&m, f);
         let answer = min_cardinality(&circuit).expect("decomposable");
@@ -216,7 +226,11 @@ fn min_cardinality_matches_enumerated_models() {
         match (answer, best) {
             (None, None) => {}
             (Some((min, count)), Some((bmin, bcount))) => {
-                assert_eq!((min, count.to_u64().unwrap()), (bmin, bcount), "trial {trial}");
+                assert_eq!(
+                    (min, count.to_u64().unwrap()),
+                    (bmin, bcount),
+                    "trial {trial}"
+                );
             }
             (a, b) => panic!("trial {trial}: satisfiability disagreement {a:?} vs {b:?}"),
         }

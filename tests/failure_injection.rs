@@ -45,7 +45,10 @@ fn tiny_k_still_produces_an_estimate() {
     let est = state.estimate().to_f64();
     assert!(est > 0.0);
     // Loose sanity bound: within a factor of 4 even at k = 2.
-    assert!(est / truth < 4.0 && truth / est < 4.0, "est {est}, truth {truth}");
+    assert!(
+        est / truth < 4.0 && truth / est < 4.0,
+        "est {est}, truth {truth}"
+    );
 }
 
 /// Error types render readable messages (library-consumer surface).
@@ -86,7 +89,9 @@ fn degenerate_instances_are_total() {
             .unwrap()
             .is_zero());
         assert_eq!(inst.enumerate().count(), 0);
-        let gen = inst.las_vegas_generator(FprasParams::quick(), &mut rng).unwrap();
+        let gen = inst
+            .las_vegas_generator(FprasParams::quick(), &mut rng)
+            .unwrap();
         assert_eq!(gen.generate(&mut rng), GenOutcome::Empty);
     }
     // The ε witness at length 0.
@@ -94,7 +99,10 @@ fn degenerate_instances_are_total() {
     let inst = MemNfa::new(star, 0);
     assert!(inst.exists_witness());
     assert_eq!(inst.count_exact().unwrap().to_u64(), Some(1));
-    assert_eq!(inst.enumerate().collect::<Vec<_>>(), vec![Vec::<u32>::new()]);
+    assert_eq!(
+        inst.enumerate().collect::<Vec<_>>(),
+        vec![Vec::<u32>::new()]
+    );
     let sampler = inst.uniform_sampler().unwrap();
     assert_eq!(sampler.sample(&mut rng), Some(vec![]));
 }

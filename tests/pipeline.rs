@@ -15,9 +15,18 @@ fn fpras_tracks_oracle_across_families() {
     let mut cases: Vec<(String, lsc_automata::Nfa, usize)> = vec![
         ("blowup(5)".into(), families::blowup_nfa(5), 12),
         ("gap(3)".into(), families::ambiguity_gap_nfa(3), 10),
-        ("universal".into(), families::universal_nfa(Alphabet::binary()), 20),
+        (
+            "universal".into(),
+            families::universal_nfa(Alphabet::binary()),
+            20,
+        ),
     ];
-    for name in ["contains-101", "starts-ends-1", "parity-like", "blocks-of-1"] {
+    for name in [
+        "contains-101",
+        "starts-ends-1",
+        "parity-like",
+        "blocks-of-1",
+    ] {
         cases.push((name.into(), families::regex_family(name).unwrap(), 12));
     }
     for seed in 0..4u64 {
@@ -36,7 +45,10 @@ fn fpras_tracks_oracle_across_families() {
             assert_eq!(est, 0.0, "{name}: empty language must estimate 0");
         } else {
             let err = (est - truth).abs() / truth;
-            assert!(err < 0.2, "{name}: rel err {err:.3} (est {est}, truth {truth})");
+            assert!(
+                err < 0.2,
+                "{name}: rel err {err:.3} (est {est}, truth {truth})"
+            );
         }
     }
 }
@@ -75,7 +87,10 @@ fn transducer_pipeline_counts() {
         .count_approx(FprasParams::quick(), &mut rng)
         .unwrap()
         .to_f64();
-    assert!((est - truth).abs() / truth < 0.2, "est {est}, truth {truth}");
+    assert!(
+        (est - truth).abs() / truth < 0.2,
+        "est {est}, truth {truth}"
+    );
 }
 
 /// DNF: generic FPRAS, Karp–Luby, and brute force triangulate.

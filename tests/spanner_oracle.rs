@@ -2,9 +2,9 @@
 //! `.* x{R} .*`, the mapping set must be exactly the set of spans whose
 //! content matches `R` — computable independently with the automata crate.
 
+use logspace_repro::spanners::Span;
 use logspace_repro::spanners::{SpannerExpr, SpannerInstance};
 use lsc_automata::regex::Regex;
-use logspace_repro::spanners::Span;
 use lsc_automata::{parse_word, Alphabet};
 use proptest::prelude::*;
 

@@ -66,7 +66,10 @@ fn psi_chain_sampler_is_uniform() {
     }
     assert_eq!(counts.len(), support);
     let stat = chi_square(&counts, support, draws);
-    assert!(stat < chi_threshold((support - 1) as f64), "chi-square {stat}");
+    assert!(
+        stat < chi_threshold((support - 1) as f64),
+        "chi-square {stat}"
+    );
 }
 
 #[test]
@@ -117,7 +120,10 @@ fn plvug_single_attempt_failure_is_bounded() {
         .filter(|_| matches!(generator.generate_once(&mut rng), GenOutcome::Witness(_)))
         .count();
     let rate = ok as f64 / trials as f64;
-    assert!(rate > (-5.0f64).exp(), "success rate {rate} below the e⁻⁵ floor");
+    assert!(
+        rate > (-5.0f64).exp(),
+        "success rate {rate} below the e⁻⁵ floor"
+    );
 }
 
 #[test]

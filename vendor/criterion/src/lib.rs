@@ -78,7 +78,8 @@ impl Bencher {
         // Warm-up: a few unmeasured runs (also lets lazy statics settle).
         let warm_start = Instant::now();
         let mut warm_iters = 0u32;
-        while warm_iters < 3 || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1000)
         {
             black_box(f());
             warm_iters += 1;
@@ -157,10 +158,12 @@ fn escape(s: &str) -> String {
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
-            c
-        } else {
-            '_'
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
         })
         .collect()
 }
@@ -353,9 +356,7 @@ mod tests {
         };
         let mut group = c.benchmark_group("selftest");
         group.sample_size(5);
-        group.bench_function("spin", |b| {
-            b.iter(|| (0..1000u64).sum::<u64>())
-        });
+        group.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
         group.finish();
         let json = fs::read_to_string(dir.join("selftest").join("spin.json")).unwrap();
         assert!(json.contains("\"mean_ns\""), "json: {json}");

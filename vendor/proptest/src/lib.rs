@@ -319,7 +319,11 @@ pub mod test_runner {
 
     /// Runs the generate-and-check loop for one test. `run_case` generates
     /// inputs from the RNG and runs the body.
-    pub fn run(name: &str, config: &Config, mut run_case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    pub fn run(
+        name: &str,
+        config: &Config,
+        mut run_case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
         let base = std::env::var("PROPTEST_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -340,9 +344,7 @@ pub mod test_runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "proptest '{name}' failed at case {case} (PROPTEST_SEED={seed}): {msg}"
-                    );
+                    panic!("proptest '{name}' failed at case {case} (PROPTEST_SEED={seed}): {msg}");
                 }
             }
         }
@@ -354,12 +356,12 @@ pub use test_runner::Config as ProptestConfig;
 
 pub mod prelude {
     //! The glob import the tests use.
+    /// Re-export so `proptest::collection::vec` resolves under glob import too.
+    pub use crate::collection;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
         BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
     };
-    /// Re-export so `proptest::collection::vec` resolves under glob import too.
-    pub use crate::collection;
 }
 
 /// Uniform choice among strategies producing the same value type.
@@ -422,7 +424,11 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} != {}: both {:?} ({}:{})",
-                stringify!($left), stringify!($right), l, file!(), line!()
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
             )));
         }
     }};
@@ -433,9 +439,7 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return Err($crate::TestCaseError::Reject(
-                stringify!($cond).to_string(),
-            ));
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
         }
     };
 }
