@@ -104,6 +104,33 @@ impl BigNat {
         }
     }
 
+    /// Minimal little-endian byte encoding (empty for zero). The inverse of
+    /// [`BigNat::from_le_bytes`]; used by the engine's on-disk snapshots.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Reconstructs from a little-endian byte encoding (trailing zero bytes
+    /// are tolerated; the empty slice is zero).
+    pub fn from_le_bytes(bytes: &[u8]) -> BigNat {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        let mut n = BigNat { limbs };
+        n.normalize();
+        n
+    }
+
     /// `self + other`, in place.
     pub fn add_assign_ref(&mut self, other: &BigNat) {
         if self.limbs.len() < other.limbs.len() {
@@ -625,5 +652,27 @@ mod tests {
         ];
         let s: BigNat = xs.iter().sum();
         assert_eq!(s, BigNat::from_u64(6));
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        let cases = [
+            BigNat::zero(),
+            BigNat::one(),
+            BigNat::from_u64(0x0123_4567_89AB_CDEF),
+            BigNat::from_u128(u128::MAX),
+            BigNat::pow2(200),
+            BigNat::pow_u64(3, 100),
+        ];
+        for x in &cases {
+            let bytes = x.to_le_bytes();
+            assert_eq!(&BigNat::from_le_bytes(&bytes), x);
+            // Minimality: no trailing zero bytes.
+            assert_ne!(bytes.last(), Some(&0));
+            assert_eq!(bytes.len(), x.bit_len().div_ceil(8));
+        }
+        // Trailing zeros are tolerated on input.
+        assert_eq!(BigNat::from_le_bytes(&[5, 0, 0, 0]), BigNat::from_u64(5));
+        assert_eq!(BigNat::from_le_bytes(&[]), BigNat::zero());
     }
 }

@@ -1,0 +1,225 @@
+//! E18: the serving layer — wire-protocol request latency, multi-client
+//! throughput, and the snapshot warm-restart headline.
+//!
+//! Three questions, one group each:
+//!
+//! * `e18-request-latency` — what does the wire protocol cost per request
+//!   on a warm session? One persistent TCP connection, one
+//!   `count` / one fixed `enumerate` page per iteration: JSON parse +
+//!   pool round trip + engine serve + JSON encode + socket round trip.
+//! * `e18-throughput` — does concurrency help? `k` clients (fresh TCP
+//!   connections) each issue 8 warm `count` requests per iteration,
+//!   against the default 4-worker pool.
+//! * `e17-warm-restart` — the snapshot-store acceptance measurement:
+//!   server-start-to-first-answer on `blowup(10)@40`, cold (no snapshot
+//!   store: full compile — ambiguity product, unrolling, completion DP)
+//!   vs warm restart (populated store: load + checksum + eager DAG
+//!   rebuild, zero recompilation). `scripts/bench.sh` turns the two means
+//!   into the `BENCH_serve.json` `warm_restart_speedup`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_bench::workloads;
+use lsc_core::serve::{ServeConfig, Server};
+
+/// A blocking line-protocol round trip on an existing connection.
+fn rpc(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    writeln!(writer, "{line}").expect("send");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    assert!(
+        response.contains("\"ok\":true"),
+        "request failed: {response}"
+    );
+    response
+}
+
+fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    (BufReader::new(stream.try_clone().expect("clone")), stream)
+}
+
+/// Extracts a string field from a (known-good) response line without a
+/// full JSON parse — bench-side convenience only.
+fn field<'a>(response: &'a str, key: &str) -> &'a str {
+    let tag = format!("\"{key}\":\"");
+    let start = response.find(&tag).expect("field present") + tag.len();
+    let end = response[start..].find('"').expect("terminated") + start;
+    &response[start..end]
+}
+
+/// Per-request latency over one warm TCP connection.
+fn serve_request_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e18-request-latency");
+    group.sample_size(10);
+    let server = Server::new(ServeConfig::default()).unwrap();
+    let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let (mut reader, mut writer) = connect(handle.addr());
+    let w = workloads::engine_ufa_instance();
+    let text = lsc_automata::io::to_text(&w.nfa).replace('\n', "\\n");
+    let prepared = rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#, w.n),
+    );
+    let session = field(&prepared, "session").to_string();
+    // Warm every table once, and pin a start-of-stream token so each
+    // enumerate iteration does identical work.
+    let count_line = format!(r#"{{"op":"count","session":"{session}"}}"#);
+    rpc(&mut reader, &mut writer, &count_line);
+    let page = rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"enumerate","session":"{session}","page_size":1}}"#),
+    );
+    let _ = page;
+
+    group.bench_function(BenchmarkId::from_parameter("count-warm"), |b| {
+        b.iter(|| rpc(&mut reader, &mut writer, &count_line));
+    });
+    let page_line = format!(
+        r#"{{"op":"enumerate","session":"{session}","page_size":16,"resume":"enum1.{:016x}.0.s"}}"#,
+        u64::from_str_radix(field(&prepared, "fingerprint"), 16).unwrap()
+    );
+    group.bench_function(BenchmarkId::from_parameter("enumerate-page16-warm"), |b| {
+        b.iter(|| rpc(&mut reader, &mut writer, &page_line));
+    });
+    group.finish();
+    drop((reader, writer));
+    handle.shutdown();
+    server.shutdown();
+}
+
+/// Multi-client throughput: k connections × 8 warm counts per iteration.
+fn serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e18-throughput");
+    group.sample_size(10);
+    let server = Server::new(ServeConfig::default()).unwrap();
+    let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+    let w = workloads::engine_ufa_instance();
+    let text = Arc::new(lsc_automata::io::to_text(&w.nfa).replace('\n', "\\n"));
+    let prepare_line = Arc::new(format!(
+        r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#,
+        w.n
+    ));
+    // Compile once so every bench iteration measures warm serving.
+    {
+        let (mut reader, mut writer) = connect(addr);
+        let prepared = rpc(&mut reader, &mut writer, &prepare_line);
+        let session = field(&prepared, "session").to_string();
+        rpc(
+            &mut reader,
+            &mut writer,
+            &format!(r#"{{"op":"count","session":"{session}"}}"#),
+        );
+    }
+    for clients in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("clients", clients), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..clients {
+                        let prepare_line = prepare_line.clone();
+                        scope.spawn(move || {
+                            let (mut reader, mut writer) = connect(addr);
+                            let prepared = rpc(&mut reader, &mut writer, &prepare_line);
+                            let session = field(&prepared, "session").to_string();
+                            let count_line = format!(r#"{{"op":"count","session":"{session}"}}"#);
+                            for _ in 0..8 {
+                                rpc(&mut reader, &mut writer, &count_line);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+    handle.shutdown();
+    server.shutdown();
+}
+
+/// Warm-restart: server-start-to-first-answer, cold compile vs snapshot
+/// load. The instance is an 85-state four-motif automaton whose
+/// preprocessing — the Weber–Seidl classification the (default)
+/// provenance-rich router computes, plus the determinization probe and
+/// its exact count — dominates serving; all of it persists in the
+/// snapshot, so a warm restart replays none of it.
+fn serve_warm_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e17-warm-restart");
+    group.sample_size(10);
+    let motif = "10100110100101101001";
+    let pattern = format!("(0|1)*{}", vec![motif; 4].join("(0|1)*"));
+    let prepare_line = format!(r#"{{"op":"prepare","regex":"{pattern}","length":120}}"#);
+    let first_query = |server: &Server| {
+        let conn = server.open_conn();
+        let prepared = server.handle_line(conn, &prepare_line);
+        assert!(prepared.text.contains("\"ok\":true"));
+        let session = field(&prepared.text, "session").to_string();
+        let count = server.handle_line(conn, &format!(r#"{{"op":"count","session":"{session}"}}"#));
+        assert!(count.text.contains("\"ok\":true"));
+        count.text.len()
+    };
+    let small = |mut config: ServeConfig| {
+        config.workers = 1;
+        config.queue_depth = 8;
+        config
+    };
+
+    // Cold: no snapshot store — every server lifetime recompiles.
+    group.bench_function(BenchmarkId::from_parameter("cold-start-first-query"), |b| {
+        b.iter(|| {
+            let server = Server::new(small(ServeConfig::default())).unwrap();
+            let n = first_query(&server);
+            server.shutdown();
+            n
+        });
+    });
+
+    // Warm: populate a snapshot directory once, then measure restarts.
+    let dir = std::env::temp_dir().join(format!("lsc-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let config = ServeConfig {
+            snapshot_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(small(config)).unwrap();
+        first_query(&server);
+        assert!(server.stats().snapshots_saved >= 1);
+        server.shutdown();
+    }
+    group.bench_function(
+        BenchmarkId::from_parameter("warm-restart-first-query"),
+        |b| {
+            b.iter(|| {
+                let config = ServeConfig {
+                    snapshot_dir: Some(dir.clone()),
+                    ..ServeConfig::default()
+                };
+                let server = Server::new(small(config)).unwrap();
+                assert!(server.warm_report().loaded >= 1);
+                assert_eq!(server.engine().stats().misses, 0, "no recompilation");
+                let n = first_query(&server);
+                assert_eq!(server.engine().stats().misses, 0, "served as a cache hit");
+                server.shutdown();
+                n
+            });
+        },
+    );
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    serve_request_latency,
+    serve_throughput,
+    serve_warm_restart
+);
+criterion_main!(benches);

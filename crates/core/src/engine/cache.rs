@@ -365,6 +365,44 @@ impl DomainMemo {
 }
 
 /// The prepared-instance query engine. See the module docs.
+///
+/// The typical flow: build one engine for the process, [`Engine::prepare`]
+/// a domain object into a session handle (compiling at most once per
+/// distinct instance), then serve `COUNT` / `ENUM` / `GEN` from the shared
+/// artifact:
+///
+/// ```
+/// use std::sync::Arc;
+/// use lsc_automata::regex::Regex;
+/// use lsc_automata::{Alphabet, Word};
+/// use lsc_core::engine::Engine;
+///
+/// let engine = Engine::with_defaults();
+/// let ab = Alphabet::binary();
+/// let nfa = Arc::new(Regex::parse("(0|1)*101(0|1)*", &ab).unwrap().compile());
+/// let instance = (nfa, 10usize); // the identity Queryable
+///
+/// // COUNT with provenance (exact here: the router determinizes).
+/// let count = engine.count(&instance).unwrap();
+/// assert!(count.is_exact());
+///
+/// // ENUM as a streaming cursor, paged across calls via a resume token.
+/// let mut cursor = engine.enumerate(&instance);
+/// let page: Vec<Word> = cursor.by_ref().take(5).collect();
+/// let token = cursor.token();
+/// let rest: Vec<Word> = engine.resume(&instance, &token).unwrap().collect();
+/// assert_eq!(
+///     (page.len() + rest.len()) as u64,
+///     count.exact.clone().unwrap().to_u64().unwrap(),
+/// );
+///
+/// // GEN as an amortized uniform draw stream (deterministic in its seeds).
+/// let draws: Vec<Word> = engine.sample(&instance, 7).unwrap().take(3).collect();
+/// assert_eq!(draws.len(), 3);
+///
+/// // Everything above compiled the instance exactly once.
+/// assert_eq!(engine.stats().misses, 1);
+/// ```
 pub struct Engine {
     config: EngineConfig,
     inner: Mutex<CacheInner>,
@@ -468,6 +506,44 @@ impl Engine {
     /// without the handle wrapper, for callers that only want the artifact.
     pub fn prepared(&self, nfa: &Arc<Nfa>, length: usize) -> Arc<PreparedInstance> {
         self.lookup_or_insert(nfa, length).inst
+    }
+
+    /// Inserts an externally constructed instance into the cache — the
+    /// warm-restart hook behind [`crate::engine::SnapshotStore::warm`]. If
+    /// the key is already cached, the existing artifact wins (and is
+    /// returned); otherwise the given instance enters the LRU. Warm-loading
+    /// is not request traffic, so neither path touches the hit/miss
+    /// counters — the first *query* against a warmed instance reports a
+    /// clean cache hit.
+    pub fn insert_prepared(&self, inst: Arc<PreparedInstance>) -> InstanceHandle {
+        let key = InstanceKey::of(inst.nfa_arc(), inst.length());
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.last_used = tick;
+            return InstanceHandle {
+                inst: entry.inst.clone(),
+                key,
+                cache_hit: true,
+            };
+        }
+        let bytes = inst.approx_bytes();
+        inner.total_bytes += bytes;
+        inner.entries.insert(
+            key,
+            Entry {
+                inst: inst.clone(),
+                bytes,
+                last_used: tick,
+            },
+        );
+        self.evict_locked(&mut inner);
+        InstanceHandle {
+            inst,
+            key,
+            cache_hit: false,
+        }
     }
 
     // ---- typed queries ----

@@ -55,7 +55,18 @@ const TOKEN_PREFIX: &str = "enum1";
 /// `enum1.<fingerprint:016x>.<rank>.<mode><payload>` with mode `s`tart,
 /// `c`onstant-delay (payload: `vertex:edge` pairs, `-`-joined), `p`oly-delay
 /// (payload: witness symbols, `-`-joined), or `d`one — safe to log, pass on a
-/// command line, or hand to a client.
+/// command line, or hand to a client. (The full grammar is specified in
+/// `docs/ARCHITECTURE.md` §4.4.)
+///
+/// ```
+/// use lsc_core::engine::ResumeToken;
+///
+/// let token = ResumeToken::parse("enum1.00000000deadbeef.7.p1-0-1").unwrap();
+/// assert_eq!(token.fingerprint(), 0xdead_beef);
+/// assert_eq!(token.rank(), 7);
+/// assert_eq!(token.encode(), "enum1.00000000deadbeef.7.p1-0-1");
+/// assert!(ResumeToken::parse("enum2.not.a.token").is_err());
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeToken {
     fingerprint: u64,
@@ -362,9 +373,11 @@ impl Iterator for WordCursor {
 
 /// The typed enumeration cursor: a [`WordCursor`] composed with a
 /// [`Queryable`]'s witness decoder, yielding domain values lazily. Created by
-/// `Engine::enumerate` / `Engine::resume_cursor`; pages and tokens behave
-/// exactly as on the underlying [`WordCursor`] (tokens address raw-word
-/// positions, so word-level and typed cursors can even share them).
+/// `Engine::enumerate` (fresh) and `Engine::resume` (from a token); pages
+/// and tokens behave exactly as on the underlying [`WordCursor`] (tokens
+/// address raw-word positions, so word-level and typed cursors can even
+/// share them — `Engine::cursor` / `Engine::resume_cursor` are the
+/// word-level siblings).
 pub struct EnumCursor<'q, Q: Queryable + ?Sized> {
     source: &'q Q,
     words: WordCursor,

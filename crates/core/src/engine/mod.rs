@@ -48,6 +48,7 @@ mod cursor;
 mod prepared;
 mod queryable;
 mod router;
+mod snapshot;
 
 pub use cache::{
     Engine, EngineConfig, EngineStats, InstanceHandle, QueryError, QueryKind, QueryOutput,
@@ -59,3 +60,4 @@ pub use cursor::{
 pub use prepared::PreparedInstance;
 pub use queryable::{domain_fingerprint, Queryable};
 pub use router::{count_routed, CountRoute, RoutedCount, RouterConfig};
+pub use snapshot::{SnapshotError, SnapshotStore, WarmReport};

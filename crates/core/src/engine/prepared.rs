@@ -130,6 +130,64 @@ impl PreparedInstance {
         inst
     }
 
+    /// Reconstructs an instance from persisted snapshot parts (see
+    /// [`crate::engine::SnapshotStore`]): the classification and the
+    /// big-integer tables are pre-seeded instead of recomputed, and the CSR
+    /// DAG — a deterministic linear-time rebuild — is materialized eagerly so
+    /// no compile work is left for the serving path. Every pre-seeded value
+    /// is a pure function of `(nfa, length)`, so a restored instance answers
+    /// bit-identically to a freshly compiled one.
+    pub fn from_snapshot_parts(
+        nfa: Arc<Nfa>,
+        length: usize,
+        unambiguous: Option<bool>,
+        degree: Option<AmbiguityDegree>,
+        completions: Option<Vec<BigNat>>,
+        det_count: Option<BigNat>,
+    ) -> Self {
+        let inst = Self::from_arc(nfa, length);
+        if let Some(u) = unambiguous {
+            let _ = inst.unambiguous.set(u);
+        }
+        if let Some(d) = degree {
+            let _ = inst.degree.set(d);
+        }
+        if let Some(c) = completions {
+            let _ = inst.completions.set(Arc::new(c));
+        }
+        if let Some(c) = det_count {
+            let _ = inst.det_count.set(c);
+        }
+        inst.dag();
+        inst
+    }
+
+    /// The snapshot parts currently materialized on this instance —
+    /// `(unambiguous, degree, completion table, determinized count)`, each
+    /// `None` if never computed. This is the save half of the snapshot
+    /// round trip; [`PreparedInstance::from_snapshot_parts`] is the load
+    /// half.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(
+        &self,
+    ) -> (
+        Option<bool>,
+        Option<AmbiguityDegree>,
+        Option<&Arc<Vec<BigNat>>>,
+        Option<&BigNat>,
+    ) {
+        let unambiguous = match self.degree.get() {
+            Some(&d) => Some(d == AmbiguityDegree::Unambiguous),
+            None => self.unambiguous.get().copied(),
+        };
+        (
+            unambiguous,
+            self.degree.get().copied(),
+            self.completions.get(),
+            self.det_count.get(),
+        )
+    }
+
     /// The automaton `N`.
     pub fn nfa(&self) -> &Nfa {
         &self.nfa

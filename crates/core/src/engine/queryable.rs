@@ -40,6 +40,48 @@ use crate::MemNfa;
 /// `domain_fingerprint` must change whenever `to_instance` would (it may be —
 /// and usually is — coarser than object identity: two equal formulas share a
 /// fingerprint, which is exactly what lets the engine dedupe them).
+///
+/// Implementing the trait is all it takes to serve a new domain through the
+/// engine:
+///
+/// ```
+/// use std::sync::Arc;
+/// use lsc_automata::regex::Regex;
+/// use lsc_automata::{Alphabet, Nfa, Word};
+/// use lsc_core::engine::{domain_fingerprint, Engine, Queryable};
+///
+/// /// Length-`n` bit strings ending in `11`, decoded to their popcount.
+/// struct EndsIn11 {
+///     length: usize,
+/// }
+///
+/// impl Queryable for EndsIn11 {
+///     type Output = u32;
+///
+///     fn to_instance(&self) -> (Arc<Nfa>, usize) {
+///         let ab = Alphabet::binary();
+///         let nfa = Regex::parse("(0|1)*11", &ab).unwrap().compile();
+///         (Arc::new(nfa), self.length)
+///     }
+///
+///     fn decode(&self, word: &Word) -> u32 {
+///         word.iter().filter(|&&s| s == 1).count() as u32
+///     }
+///
+///     fn domain_fingerprint(&self) -> u64 {
+///         domain_fingerprint("ends-in-11", [self.length as u64])
+///     }
+/// }
+///
+/// let engine = Engine::with_defaults();
+/// let domain = EndsIn11 { length: 6 };
+/// let popcounts: Vec<u32> = engine.enumerate(&domain).collect();
+/// assert!(popcounts.iter().all(|&ones| ones >= 2));
+/// // The reduction ran once; repeat queries reuse the session.
+/// let again: Vec<u32> = engine.enumerate(&domain).collect();
+/// assert_eq!(popcounts, again);
+/// assert_eq!(engine.stats().domains, 1);
+/// ```
 pub trait Queryable {
     /// The domain's witness type: what a raw word decodes to.
     type Output;

@@ -1,0 +1,616 @@
+//! On-disk persistence of [`PreparedInstance`] artifacts.
+//!
+//! A serving process accumulates compiled instances in the engine's LRU
+//! cache; a restart used to throw that work away and recompile every
+//! instance on first touch. [`SnapshotStore`] closes the loop: the serving
+//! layer saves each instance's expensive-to-recompute parts to a
+//! fingerprint-keyed file, and a restarted engine warms its cache from the
+//! directory instead of recompiling ([`SnapshotStore::warm`]).
+//!
+//! **What is persisted.** The automaton (in the `lsc_automata::io` text
+//! format), the witness length, and whichever of the super-linear artifacts
+//! have been materialized: the ambiguity classification (a product
+//! construction), the Weber–Seidl degree, the completion-count table (the
+//! big-integer dynamic program), and the determinized word count. The CSR
+//! unrolled DAG is *not* persisted — it is a deterministic linear-time
+//! rebuild from `(N, n)` and is reconstructed eagerly at load time
+//! ([`PreparedInstance::from_snapshot_parts`]), so a restored instance
+//! leaves no compile work for the serving path. Every persisted value is a
+//! pure function of the instance, so warm answers are bit-identical to
+//! cold ones.
+//!
+//! **File format** (`<fingerprint:016x>.snap`, all integers little-endian;
+//! the normative spec lives in `docs/ARCHITECTURE.md` §5):
+//!
+//! ```text
+//! magic      8 bytes   "LSCSNAP1"
+//! version    u32       1
+//! fingerprint u64      PreparedInstance::fingerprint()
+//! payload_len u64
+//! checksum   u64       FNV-1a(64) over the payload bytes
+//! payload    ...       see `encode_payload`
+//! ```
+//!
+//! Loading verifies the magic, the version, the checksum, the payload
+//! framing, and that the decoded automaton/length reproduce the header
+//! fingerprint — a flipped byte anywhere in the file is rejected with
+//! [`SnapshotError::Corrupt`], never served. Writes go through a temp file
+//! plus an atomic rename, so a crash mid-save cannot leave a torn snapshot
+//! under the final name.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use lsc_arith::BigNat;
+use lsc_automata::io as nfa_io;
+use lsc_automata::ops::AmbiguityDegree;
+
+use crate::engine::cache::Engine;
+use crate::engine::prepared::PreparedInstance;
+
+const MAGIC: &[u8; 8] = b"LSCSNAP1";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// Why a snapshot failed to save or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a valid snapshot (bad magic, unknown
+    /// version, checksum mismatch, truncated or trailing payload, an
+    /// automaton that does not parse, or a fingerprint that does not match
+    /// the decoded instance).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice — the snapshot checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What [`SnapshotStore::warm`] did: how many snapshots entered the engine
+/// cache, and how many files were rejected as corrupt (rejected files are
+/// left in place for inspection, never served).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmReport {
+    /// Instances restored into the engine cache.
+    pub loaded: usize,
+    /// Snapshot files that failed validation.
+    pub rejected: usize,
+}
+
+/// A directory of fingerprint-keyed [`PreparedInstance`] snapshots.
+///
+/// The store is safe to share across threads: saves are atomic
+/// (temp-file-plus-rename) and idempotent (an unchanged artifact is not
+/// rewritten), and loads never trust file contents — everything is
+/// checksummed and re-validated against the decoded instance.
+///
+/// ```
+/// use std::sync::Arc;
+/// use lsc_automata::families::blowup_nfa;
+/// use lsc_core::engine::{Engine, PreparedInstance, SnapshotStore};
+///
+/// let dir = std::env::temp_dir().join("lsc-snapshot-doctest");
+/// let store = SnapshotStore::open(&dir).unwrap();
+///
+/// // First process: compile, query, persist.
+/// let inst = Arc::new(PreparedInstance::new(blowup_nfa(3), 8));
+/// let count = inst.count_exact().unwrap();
+/// store.save(&inst).unwrap();
+///
+/// // Restarted process: warm the cache from disk — no recompilation.
+/// let engine = Engine::with_defaults();
+/// let report = store.warm(&engine);
+/// assert!(report.loaded >= 1);
+/// let handle = engine.prepare_nfa(inst.nfa_arc(), 8);
+/// assert!(handle.was_cached());
+/// assert_eq!(handle.instance().count_exact().unwrap(), count);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub struct SnapshotStore {
+    dir: PathBuf,
+    /// Checksum of the last payload saved per fingerprint, so repeated saves
+    /// of an unchanged artifact skip the filesystem entirely.
+    saved: Mutex<HashMap<u64, u64>>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if necessary) a snapshot directory.
+    ///
+    /// # Errors
+    /// Propagates the directory-creation failure.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<SnapshotStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            saved: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The directory the store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a given instance fingerprint persists to.
+    pub fn path_for(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.snap"))
+    }
+
+    /// Persists an instance's current snapshot parts. Returns `true` if a
+    /// file was written, `false` if an identical snapshot was already on
+    /// disk (saving is cheap to call after every query — unchanged artifacts
+    /// are detected by checksum and skipped).
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn save(&self, inst: &PreparedInstance) -> Result<bool, SnapshotError> {
+        let payload = encode_payload(inst);
+        let checksum = fnv64(&payload);
+        let fingerprint = inst.fingerprint();
+        if self
+            .saved
+            .lock()
+            .expect("snapshot index poisoned")
+            .get(&fingerprint)
+            == Some(&checksum)
+        {
+            return Ok(false);
+        }
+        let record = |this: &Self| {
+            this.saved
+                .lock()
+                .expect("snapshot index poisoned")
+                .insert(fingerprint, checksum);
+        };
+        let path = self.path_for(fingerprint);
+        // An identical file from a previous process also counts as saved.
+        if let Ok(existing) = std::fs::read(&path) {
+            if existing.len() == HEADER_LEN + payload.len()
+                && existing[28..36] == checksum.to_le_bytes()
+            {
+                record(self);
+                return Ok(false);
+            }
+        }
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let tmp = self.dir.join(format!("{fingerprint:016x}.tmp"));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        // Only a durable file marks the checksum as saved — a failed write
+        // above must be retried by the next save, not remembered as done.
+        record(self);
+        Ok(true)
+    }
+
+    /// Loads and validates one snapshot file.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] if the file cannot be read,
+    /// [`SnapshotError::Corrupt`] if any validation step fails.
+    pub fn load(&self, path: &Path) -> Result<Arc<PreparedInstance>, SnapshotError> {
+        Ok(decode(&std::fs::read(path)?)?.0)
+    }
+
+    /// Loads the snapshot for one fingerprint, if present.
+    ///
+    /// # Errors
+    /// As [`SnapshotStore::load`]; a missing file is an [`SnapshotError::Io`].
+    pub fn load_fingerprint(
+        &self,
+        fingerprint: u64,
+    ) -> Result<Arc<PreparedInstance>, SnapshotError> {
+        self.load(&self.path_for(fingerprint))
+    }
+
+    /// Restores every valid snapshot in the directory into the engine's
+    /// instance cache ([`Engine::insert_prepared`]), so a restarted server
+    /// answers repeat traffic as cache hits instead of recompiling. Corrupt
+    /// files are counted and skipped — never served, never deleted.
+    pub fn warm(&self, engine: &Engine) -> WarmReport {
+        let mut report = WarmReport::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return report;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match std::fs::read(&path)
+                .map_err(SnapshotError::from)
+                .and_then(|bytes| decode(&bytes))
+            {
+                Ok((inst, checksum)) => {
+                    // Seed the save index with the on-disk checksum (already
+                    // verified by decode — no second read), so the serving
+                    // layer's post-query saves skip unchanged artifacts.
+                    self.saved
+                        .lock()
+                        .expect("snapshot index poisoned")
+                        .insert(inst.fingerprint(), checksum);
+                    engine.insert_prepared(inst);
+                    report.loaded += 1;
+                }
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+    }
+}
+
+// ---- payload codec ----
+
+/// Payload flag bits.
+const FLAG_UNAMBIGUOUS_KNOWN: u8 = 1 << 0;
+const FLAG_UNAMBIGUOUS_VALUE: u8 = 1 << 1;
+const FLAG_DEGREE: u8 = 1 << 2;
+const FLAG_COMPLETIONS: u8 = 1 << 3;
+const FLAG_DET_COUNT: u8 = 1 << 4;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Serializes the instance's persisted parts (see the module docs for the
+/// layout; all integers little-endian, byte strings `u64`-length-prefixed).
+fn encode_payload(inst: &PreparedInstance) -> Vec<u8> {
+    let (unambiguous, degree, completions, det_count) = inst.snapshot_parts();
+    let mut out = Vec::new();
+    put_u64(&mut out, inst.length() as u64);
+    put_bytes(&mut out, nfa_io::to_text(inst.nfa()).as_bytes());
+    let mut flags = 0u8;
+    if let Some(u) = unambiguous {
+        flags |= FLAG_UNAMBIGUOUS_KNOWN;
+        if u {
+            flags |= FLAG_UNAMBIGUOUS_VALUE;
+        }
+    }
+    if degree.is_some() {
+        flags |= FLAG_DEGREE;
+    }
+    if completions.is_some() {
+        flags |= FLAG_COMPLETIONS;
+    }
+    if det_count.is_some() {
+        flags |= FLAG_DET_COUNT;
+    }
+    out.push(flags);
+    if let Some(d) = degree {
+        let (tag, poly) = match d {
+            AmbiguityDegree::Unambiguous => (0u8, 0u64),
+            AmbiguityDegree::Finite => (1, 0),
+            AmbiguityDegree::Polynomial { degree } => (2, degree as u64),
+            AmbiguityDegree::Exponential => (3, 0),
+        };
+        out.push(tag);
+        put_u64(&mut out, poly);
+    }
+    if let Some(table) = completions {
+        put_u64(&mut out, table.len() as u64);
+        for entry in table.iter() {
+            put_bytes(&mut out, &entry.to_le_bytes());
+        }
+    }
+    if let Some(count) = det_count {
+        put_bytes(&mut out, &count.to_le_bytes());
+    }
+    out
+}
+
+/// A bounds-checked little-endian reader over the payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Corrupt("truncated payload".into()))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .ok()
+            .filter(|&n| n <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Corrupt("implausible length".into()))
+    }
+
+    fn bytes_field(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+}
+
+/// Decodes and fully validates one snapshot file's bytes, returning the
+/// instance and the verified payload checksum.
+fn decode(bytes: &[u8]) -> Result<(Arc<PreparedInstance>, u64), SnapshotError> {
+    let corrupt = |reason: &str| SnapshotError::Corrupt(reason.to_string());
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt("file shorter than header"));
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(corrupt("unknown snapshot version"));
+    }
+    let fingerprint = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[28..36].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(corrupt("payload length mismatch"));
+    }
+    if fnv64(payload) != checksum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut r = Reader {
+        bytes: payload,
+        at: 0,
+    };
+    let length = usize::try_from(r.u64()?).map_err(|_| corrupt("implausible length"))?;
+    let nfa_text =
+        std::str::from_utf8(r.bytes_field()?).map_err(|_| corrupt("automaton not UTF-8"))?;
+    let nfa = nfa_io::from_text(nfa_text)
+        .map_err(|e| SnapshotError::Corrupt(format!("automaton does not parse: {e}")))?;
+    let flags = r.u8()?;
+    let unambiguous =
+        (flags & FLAG_UNAMBIGUOUS_KNOWN != 0).then_some(flags & FLAG_UNAMBIGUOUS_VALUE != 0);
+    let degree = if flags & FLAG_DEGREE != 0 {
+        let tag = r.u8()?;
+        let poly = r.u64()?;
+        Some(match tag {
+            0 => AmbiguityDegree::Unambiguous,
+            1 => AmbiguityDegree::Finite,
+            2 => AmbiguityDegree::Polynomial {
+                degree: usize::try_from(poly).map_err(|_| corrupt("implausible degree"))?,
+            },
+            3 => AmbiguityDegree::Exponential,
+            _ => return Err(corrupt("unknown ambiguity tag")),
+        })
+    } else {
+        None
+    };
+    let completions = if flags & FLAG_COMPLETIONS != 0 {
+        let n = r.len()?;
+        let mut table = Vec::with_capacity(n);
+        for _ in 0..n {
+            table.push(BigNat::from_le_bytes(r.bytes_field()?));
+        }
+        Some(table)
+    } else {
+        None
+    };
+    let det_count = if flags & FLAG_DET_COUNT != 0 {
+        Some(BigNat::from_le_bytes(r.bytes_field()?))
+    } else {
+        None
+    };
+    if r.at != payload.len() {
+        return Err(corrupt("trailing bytes after payload"));
+    }
+    // Cross-checks: the decoded instance must reproduce the header
+    // fingerprint, and a persisted completion table must match the rebuilt
+    // DAG's shape (the table indexes DAG vertices).
+    let nfa = Arc::new(nfa);
+    if PreparedInstance::instance_fingerprint(&nfa, length) != fingerprint {
+        return Err(corrupt("fingerprint does not match decoded instance"));
+    }
+    if let Some(u) = unambiguous {
+        if let Some(d) = degree {
+            if (d == AmbiguityDegree::Unambiguous) != u {
+                return Err(corrupt("classification flags disagree"));
+            }
+        }
+    }
+    let inst = PreparedInstance::from_snapshot_parts(
+        nfa,
+        length,
+        unambiguous,
+        degree,
+        completions,
+        det_count,
+    );
+    if let (_, _, Some(table), _) = inst.snapshot_parts() {
+        if table.len() != inst.dag().num_nodes() {
+            return Err(corrupt("completion table does not fit the DAG"));
+        }
+    }
+    Ok((Arc::new(inst), checksum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsc_automata::families::blowup_nfa;
+    use lsc_automata::regex::Regex;
+    use lsc_automata::Alphabet;
+
+    fn temp_store(name: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!("lsc-snap-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    fn warmed_instance() -> Arc<PreparedInstance> {
+        let inst = Arc::new(PreparedInstance::new(blowup_nfa(3), 8));
+        inst.count_exact().unwrap(); // materialize classification + table
+        inst
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let store = temp_store("roundtrip");
+        let cold = warmed_instance();
+        assert!(store.save(&cold).unwrap());
+        let warm = store.load_fingerprint(cold.fingerprint()).unwrap();
+        assert_eq!(warm.fingerprint(), cold.fingerprint());
+        // Pre-seeded parts survive the trip...
+        let (unambiguous, _, completions, _) = warm.snapshot_parts();
+        assert_eq!(unambiguous, Some(true));
+        assert!(completions.is_some());
+        // ...and answers are bit-identical.
+        assert_eq!(warm.count_exact().unwrap(), cold.count_exact().unwrap());
+        let a: Vec<_> = cold.enumerate_constant_delay().unwrap().collect();
+        let b: Vec<_> = warm.enumerate_constant_delay().unwrap().collect();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn unchanged_artifacts_are_not_rewritten() {
+        let store = temp_store("idempotent");
+        let inst = warmed_instance();
+        assert!(store.save(&inst).unwrap(), "first save writes");
+        assert!(!store.save(&inst).unwrap(), "second save skips");
+        // A fresh store over the same directory also detects the file.
+        let other = SnapshotStore::open(store.dir()).unwrap();
+        assert!(!other.save(&inst).unwrap());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let store = temp_store("corrupt");
+        let inst = warmed_instance();
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let good = std::fs::read(&path).unwrap();
+        assert!(store.load(&path).is_ok());
+        // Flip one byte at a time across the whole file (stride keeps the
+        // test fast on big payloads; the header is covered exhaustively).
+        let stride = (good.len() / 64).max(1);
+        let positions =
+            (0..HEADER_LEN.min(good.len())).chain((HEADER_LEN..good.len()).step_by(stride));
+        for i in positions {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                store.load(&path).is_err(),
+                "byte {i} flipped but snapshot still loaded"
+            );
+        }
+        std::fs::write(&path, &good).unwrap();
+        assert!(store.load(&path).is_ok(), "restored file loads again");
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn truncation_and_foreign_files_are_rejected() {
+        let store = temp_store("truncate");
+        let inst = warmed_instance();
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let good = std::fs::read(&path).unwrap();
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(store.load(&path).is_err(), "truncated to {cut} bytes");
+        }
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        assert!(store.load(&path).is_err());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn warm_restores_valid_snapshots_and_skips_corrupt_ones() {
+        let store = temp_store("warm");
+        let a = warmed_instance();
+        let ab = Alphabet::binary();
+        let b = Arc::new(PreparedInstance::new(
+            Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile(),
+            7,
+        ));
+        b.is_unambiguous();
+        store.save(&a).unwrap();
+        store.save(&b).unwrap();
+        // Plant one corrupt file alongside.
+        std::fs::write(store.dir().join("deadbeefdeadbeef.snap"), b"garbage").unwrap();
+        let engine = Engine::with_defaults();
+        let report = store.warm(&engine);
+        assert_eq!(
+            report,
+            WarmReport {
+                loaded: 2,
+                rejected: 1
+            }
+        );
+        // Both instances now hit without any compile work or miss counted.
+        let stats = engine.stats();
+        assert_eq!((stats.misses, stats.entries), (0, 2));
+        assert!(engine.prepare_nfa(a.nfa_arc(), 8).was_cached());
+        assert!(engine.prepare_nfa(b.nfa_arc(), 7).was_cached());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn ambiguous_instances_round_trip_their_classification() {
+        let ab = Alphabet::binary();
+        let nfa = Regex::parse("(0|1)*11(0|1)*", &ab).unwrap().compile();
+        let cold = Arc::new(PreparedInstance::new(nfa, 7));
+        cold.ambiguity(); // materialize the Weber–Seidl degree
+        let store = temp_store("ambiguous");
+        store.save(&cold).unwrap();
+        let warm = store.load_fingerprint(cold.fingerprint()).unwrap();
+        assert_eq!(warm.snapshot_parts().1, Some(cold.ambiguity()));
+        assert!(!warm.is_unambiguous());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+}

@@ -166,7 +166,7 @@ impl FprasState {
         )
     }
 
-    /// A reusable witness sampler that keeps one [`SamplerScratch`] — and
+    /// A reusable witness sampler that keeps one `SamplerScratch` — and
     /// with it one weight memo cache — alive across draws. For workloads that
     /// draw many witnesses (the GEN query under load), this amortizes the
     /// per-level union estimates down to hash lookups after the first few

@@ -22,6 +22,13 @@
 //! naive Monte-Carlo estimator the paper dismisses in §6.1 is kept as a baseline
 //! in [`count::naive`].
 //!
+//! For network traffic, [`serve`] wraps the engine in a concurrent request
+//! server (`nfa_tool serve`): a versioned JSON-lines wire protocol over TCP
+//! or stdio, connection-scoped sessions with idle eviction, a bounded
+//! worker pool with admission control, and on-disk
+//! [`engine::SnapshotStore`] persistence so restarts warm the cache
+//! instead of recompiling.
+//!
 //! For repeated traffic, [`engine`] provides the compile-once serving layer:
 //! a [`PreparedInstance`] caches the unrolled DAG, the ambiguity
 //! classification, and the per-problem tables behind one artifact (a
@@ -38,6 +45,7 @@ pub mod fpras;
 mod mem_nfa;
 pub mod sample;
 pub mod self_reduce;
+pub mod serve;
 
 pub use count::exact::NotUnambiguousError;
 pub use engine::{Engine, EnumCursor, GenStream, PreparedInstance, Queryable, ResumeToken};

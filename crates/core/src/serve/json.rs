@@ -1,0 +1,475 @@
+//! A minimal JSON codec for the wire protocol.
+//!
+//! The container has no registry access, so rather than pulling in `serde`
+//! this module implements exactly the JSON subset the protocol needs: the
+//! six value kinds, UTF-8 strings with the standard escapes, and `f64`
+//! numbers. Object encoding preserves insertion order, so responses are
+//! byte-deterministic — the concurrency tests compare raw response lines
+//! across servers and thread counts.
+//!
+//! Integers ride on `f64`, which is exact up to `2^53`; anything bigger
+//! (witness counts, fingerprints) crosses the wire as a decimal or hex
+//! *string* by protocol design — see `docs/ARCHITECTURE.md` §4.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects keep their insertion order (encoding is
+/// deterministic); lookup is linear, which is fine at protocol-message
+/// sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers are exact up to `2^53`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value from any unsigned integer (exact up to `2^53`).
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// Member lookup on an object (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer
+    /// within the exact `f64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON (no whitespace), suitable for one
+    /// protocol line.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(out, "{}", *n as i64).expect("write to String");
+                } else {
+                    write!(out, "{n}").expect("write to String");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a line failed to parse as JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses one JSON value, requiring the whole input (modulo surrounding
+/// whitespace) to be consumed.
+///
+/// # Errors
+/// [`JsonParseError`] with the offending byte offset.
+pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing input after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            at: self.at,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if self.peek() == Some(b'\\') {
+                                    self.at += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000
+                                        + ((u32::from(unit) - 0xD800) << 10)
+                                        + (u32::from(low) - 0xDC00);
+                                    char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(u32::from(unit))
+                                    .ok_or_else(|| self.err("bad code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte structure is valid by construction).
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest).expect("input was a str");
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonParseError> {
+        let end = self.at + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.at..end])
+            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let unit = u16::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.at = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let cases = [
+            r#"null"#,
+            r#"true"#,
+            r#"false"#,
+            r#"0"#,
+            r#"-12"#,
+            r#"3.5"#,
+            r#""hello""#,
+            r#""esc \" \\ \n \t""#,
+            r#"[1,2,[3]]"#,
+            r#"{"a":1,"b":[true,null],"c":{"d":"e"}}"#,
+        ];
+        for text in cases {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.encode()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        assert_eq!(v.encode(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        // Control characters encode as escapes and round trip.
+        let s = Json::str("line\nbreak\u{01}");
+        assert_eq!(parse(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "nul",
+            r#""unterminated"#,
+            r#""\q""#,
+            r#""\ud800""#,
+            "1 2",
+            "--1",
+            "\"a\u{01}b\"",
+        ] {
+            assert!(parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("42").unwrap().as_usize(), Some(42));
+    }
+}

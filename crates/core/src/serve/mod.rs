@@ -1,0 +1,50 @@
+//! The concurrent serving layer: `nfa_tool serve` as a library.
+//!
+//! The paper's point is that `ENUM` / `COUNT` / `GEN` are cheap enough
+//! *per query* to serve interactively; this module is where that becomes a
+//! server. It stacks four pieces on top of the [`engine`](crate::engine):
+//!
+//! * [`json`] — a dependency-free JSON codec (the container vendors no
+//!   registry crates, so the protocol carries its own).
+//! * [`protocol`] — the versioned JSON-lines wire protocol: one request
+//!   object per line, one response per line, ops mapping 1:1 onto the
+//!   typed engine API (`prepare`, `count`, `count_exact`, `enumerate`
+//!   with resume-token round-trips, `sample`, plus `hello` / `close` /
+//!   `stats` / `bye`). The normative message reference lives in
+//!   `docs/ARCHITECTURE.md` §4.
+//! * [`SessionRegistry`] — connection-scoped sessions owning
+//!   [`InstanceHandle`](crate::engine::InstanceHandle)s and live cursors,
+//!   with idle-TTL eviction.
+//! * [`WorkerPool`] — a bounded queue with admission control (reject with
+//!   `retry_after_ms` when full) and per-request deadlines.
+//!
+//! [`Server`] assembles them around one shared [`Engine`](crate::engine::Engine)
+//! and optionally persists compiled instances through the engine's
+//! [`SnapshotStore`](crate::engine::SnapshotStore), so a restarted server
+//! warms its cache from disk instead of recompiling. Transports are
+//! TCP ([`Server::spawn_tcp`]) and stdio ([`Server::serve_stdio`]);
+//! [`Server::handle_line`] is the transport-free core.
+//!
+//! ```
+//! use lsc_core::serve::{Server, ServeConfig};
+//!
+//! let server = Server::new(ServeConfig::default()).unwrap();
+//! let conn = server.open_conn();
+//! let reply = server.handle_line(
+//!     conn,
+//!     r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":8}"#,
+//! );
+//! assert!(reply.text.contains(r#""ok":true"#));
+//! server.shutdown();
+//! ```
+
+pub mod json;
+mod pool;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use pool::{PoolStats, SubmitError, WorkerPool};
+pub use protocol::{ErrorCode, WireError, PROTOCOL_VERSION};
+pub use server::{Reply, ServeConfig, ServeStats, Server, TcpServerHandle};
+pub use session::SessionRegistry;

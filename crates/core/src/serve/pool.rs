@@ -1,0 +1,312 @@
+//! The bounded worker pool: admission control, deadlines, backpressure.
+//!
+//! Connection threads do no query work themselves — they parse nothing and
+//! execute nothing. Every request line becomes a job submitted here, and
+//! the pool's two knobs give the server its overload behavior:
+//!
+//! * **Admission control** — the queue is bounded. A submit against a full
+//!   queue is rejected *immediately* ([`SubmitError::Full`]), and the
+//!   server turns that into an `overloaded` response with a
+//!   `retry_after_ms` hint. Nothing is silently dropped and nothing blocks:
+//!   under overload the server sheds load at the door instead of growing
+//!   an unbounded backlog (the queue is the only buffer in the system).
+//! * **Deadlines** — every job records its enqueue time. A worker that
+//!   dequeues a job past its deadline runs the job's *expire* path (the
+//!   server answers `deadline-exceeded`) instead of its work: when the
+//!   server is behind, it spends its capacity on requests whose clients
+//!   are plausibly still waiting.
+//!
+//! Workers are plain OS threads popping from one mutex-guarded deque —
+//! at protocol-message granularity the lock is uncontended noise compared
+//! to query execution.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queued request: what to run, what to do instead if the deadline
+/// passed while queued.
+struct Job {
+    enqueued: Instant,
+    deadline: Duration,
+    work: Box<dyn FnOnce() + Send>,
+    expire: Box<dyn FnOnce() + Send>,
+}
+
+/// Why a submit was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after backing off.
+    Full,
+    /// The pool is shutting down; no further work is accepted.
+    Shutdown,
+}
+
+/// Pool counters, folded into the server's stats response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed to completion.
+    pub completed: u64,
+    /// Submits rejected by admission control.
+    pub rejected: u64,
+    /// Jobs that aged past their deadline in the queue.
+    pub expired: u64,
+    /// Jobs whose work panicked (contained; the worker survives).
+    pub panicked: u64,
+    /// Jobs currently queued (not yet picked up).
+    pub queued: usize,
+}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A fixed-size worker pool over a bounded job queue. See the module docs.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads and room for `capacity` queued jobs
+    /// (both clamped to at least 1).
+    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("lsc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submits a job. `work` runs on a worker thread; if the job instead
+    /// ages past `deadline` while queued, `expire` runs (on a worker
+    /// thread) and `work` never does.
+    ///
+    /// # Errors
+    /// [`SubmitError::Full`] when the queue is at capacity (the job was
+    /// not accepted — nothing will run), [`SubmitError::Shutdown`] after
+    /// [`WorkerPool::shutdown`].
+    pub fn submit(
+        &self,
+        deadline: Duration,
+        work: impl FnOnce() + Send + 'static,
+        expire: impl FnOnce() + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::Shutdown);
+        }
+        let mut queue = self.inner.queue.lock().expect("pool queue poisoned");
+        if queue.len() >= self.inner.capacity {
+            drop(queue);
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Full);
+        }
+        queue.push_back(Job {
+            enqueued: Instant::now(),
+            deadline,
+            work: Box::new(work),
+            expire: Box::new(expire),
+        });
+        drop(queue);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            expired: self.inner.expired.load(Ordering::Relaxed),
+            panicked: self.inner.panicked.load(Ordering::Relaxed),
+            queued: self.inner.queue.lock().expect("pool queue poisoned").len(),
+        }
+    }
+
+    /// Stops accepting work, drains the queue (queued jobs still run or
+    /// expire), and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("pool workers poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        // A panicking job must not take the worker down with it: the pool
+        // never respawns threads, so an unwinding `work` would silently
+        // shrink capacity until the server answers nothing but
+        // `overloaded`. Contain it (the submitter notices the dropped
+        // reply channel and answers `internal`).
+        if job.enqueued.elapsed() > job.deadline {
+            inner.expired.fetch_add(1, Ordering::Relaxed);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.expire));
+        } else {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.work));
+            if outcome.is_err() {
+                inner.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_stats_count() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.submit(
+                Duration::from_secs(10),
+                move || tx.send(i).unwrap(),
+                || panic!("should not expire"),
+            )
+            .unwrap();
+        }
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        pool.shutdown();
+        assert_eq!(pool.stats().completed, 8);
+        assert_eq!(pool.stats().queued, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        // One worker wedged on a slow job; capacity 1 queue.
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(
+            Duration::from_secs(10),
+            move || {
+                started_tx.send(()).unwrap();
+                block_rx.recv().unwrap();
+            },
+            || {},
+        )
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now busy
+        pool.submit(Duration::from_secs(10), || {}, || {}).unwrap(); // fills the queue
+        let refused = pool.submit(Duration::from_secs(10), || {}, || {});
+        assert_eq!(refused, Err(SubmitError::Full));
+        assert_eq!(pool.stats().rejected, 1);
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queued_jobs_past_deadline_expire() {
+        let pool = WorkerPool::new(1, 8);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(
+            Duration::from_secs(10),
+            move || {
+                started_tx.send(()).unwrap();
+                block_rx.recv().unwrap();
+            },
+            || {},
+        )
+        .unwrap();
+        started_rx.recv().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let expired_tx = tx.clone();
+        pool.submit(
+            Duration::from_millis(10),
+            move || tx.send("ran").unwrap(),
+            move || expired_tx.send("expired").unwrap(),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        block_tx.send(()).unwrap();
+        assert_eq!(rx.recv().unwrap(), "expired");
+        pool.shutdown();
+        assert_eq!(pool.stats().expired, 1);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        // One worker: if the panic escaped, the second job would never run.
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Duration::from_secs(10), || panic!("boom"), || {})
+            .unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Duration::from_secs(10), move || tx.send(()).unwrap(), || {})
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("worker survived the panic and ran the next job");
+        pool.shutdown();
+        assert_eq!(pool.stats().panicked, 1);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_drains() {
+        let pool = WorkerPool::new(1, 8);
+        pool.shutdown();
+        assert_eq!(
+            pool.submit(Duration::from_secs(1), || {}, || {}),
+            Err(SubmitError::Shutdown)
+        );
+        pool.shutdown(); // idempotent
+    }
+}

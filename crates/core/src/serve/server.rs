@@ -1,0 +1,981 @@
+//! The concurrent request server: transports, dispatch, and overload
+//! behavior.
+//!
+//! A [`Server`] owns one [`Engine`] (the shared prepared-instance cache),
+//! a [`SessionRegistry`], a bounded [`WorkerPool`], and — optionally — a
+//! [`SnapshotStore`] it warms the cache from at startup and persists
+//! compiled artifacts into as queries materialize them. Transports are
+//! thin: the TCP accept loop ([`Server::spawn_tcp`]) and the stdio loop
+//! ([`Server::serve_stdio`]) both read request lines, push them through
+//! the pool ([`Server::submit_and_wait`]), and write response lines;
+//! every byte of protocol behavior lives in [`Server::handle_line`], which
+//! is also the direct (transport-free) entry the tests and benches drive.
+//!
+//! **Concurrency model.** Responses on one connection come back in
+//! request order (the connection thread waits for each reply before
+//! reading the next line); connections proceed in parallel up to the
+//! pool's worker count; everything behind the pool — engine cache,
+//! session registry, snapshot store — is shared and thread-safe. Query
+//! answers are bit-identical to direct single-threaded [`Engine`] calls
+//! with the same configuration: the server adds routing and bookkeeping
+//! around the engine, never its own randomness.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use lsc_automata::regex::Regex;
+use lsc_automata::{format_word, io as nfa_io, Alphabet, Word};
+
+use crate::engine::{
+    CountRoute, Engine, EngineConfig, EngineStats, PreparedInstance, QueryError, QueryKind,
+    QueryOutput, QueryRequest, ResumeToken, SnapshotStore, WarmReport,
+};
+use crate::serve::json::Json;
+use crate::serve::pool::{PoolStats, SubmitError, WorkerPool};
+use crate::serve::protocol::{
+    error_response, ok_response, parse_request, Envelope, ErrorCode, InstanceSpec, Request,
+    WireError,
+};
+use crate::serve::session::{Session, SessionRegistry};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The engine configuration (cache cap, router, seed policy).
+    pub engine: EngineConfig,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded request-queue depth; submits beyond it are rejected with
+    /// `overloaded` + `retry_after_ms` (admission control).
+    pub queue_depth: usize,
+    /// Per-request deadline: a request still queued past this long is
+    /// answered `deadline-exceeded` instead of executed.
+    pub deadline: Duration,
+    /// The `retry_after_ms` hint sent with `overloaded` rejections.
+    pub retry_after: Duration,
+    /// Idle TTL for sessions; an untouched session is evicted and answers
+    /// `unknown-session` afterwards.
+    pub session_ttl: Duration,
+    /// Snapshot directory: warm the engine cache from it at startup,
+    /// persist compiled instances into it as queries run. `None` disables
+    /// persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Alphabet for `prepare` ops that send a regex without one.
+    pub default_alphabet: String,
+    /// Page size for `enumerate` ops that do not specify one.
+    pub default_page_size: usize,
+    /// Upper bound on wire-supplied `page_size` and sample `count` —
+    /// deadlines only cover queue time, so this is what stops one request
+    /// from pinning a worker (and buffering unbounded witnesses)
+    /// indefinitely. Requests beyond it are rejected `bad-request`.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            retry_after: Duration::from_millis(50),
+            session_ttl: Duration::from_secs(300),
+            snapshot_dir: None,
+            default_alphabet: "01".to_string(),
+            default_page_size: 100,
+            max_batch: 100_000,
+        }
+    }
+}
+
+/// A snapshot of every server-side counter, returned by [`Server::stats`]
+/// and serialized by the `stats` op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Requests answered (any outcome except pool rejection/expiry).
+    pub requests: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Open sessions.
+    pub sessions_open: usize,
+    /// Sessions evicted by the idle TTL.
+    pub sessions_evicted: u64,
+    /// Snapshots restored at startup.
+    pub snapshots_loaded: usize,
+    /// Snapshot files rejected as corrupt at startup.
+    pub snapshots_rejected: usize,
+    /// Snapshots written since startup.
+    pub snapshots_saved: u64,
+    /// Worker-pool counters (admission control and deadlines).
+    pub pool: PoolStats,
+    /// Engine cache counters.
+    pub engine: EngineStats,
+}
+
+/// One response line plus whether the connection should close after it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// The JSON response line (no trailing newline).
+    pub text: String,
+    /// True after a `bye` (or a shutdown refusal).
+    pub close: bool,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    engine: Engine,
+    sessions: SessionRegistry,
+    pool: WorkerPool,
+    snapshots: Option<SnapshotStore>,
+    /// Which snapshot parts have been persisted per fingerprint (a bitmask
+    /// of materialized artifacts), so the post-query save hook only
+    /// re-encodes when something new materialized.
+    snapshot_masks: Mutex<HashMap<u64, u8>>,
+    warm: WarmReport,
+    next_conn: AtomicU64,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    snapshots_saved: AtomicU64,
+}
+
+/// The serving façade over one engine. See the module docs; construction
+/// is [`Server::new`], transports are [`Server::spawn_tcp`] and
+/// [`Server::serve_stdio`], and [`Server::handle_line`] is the
+/// transport-free core.
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Builds a server: constructs the engine, opens the snapshot store
+    /// (if configured) and warms the cache from it, and spawns the worker
+    /// pool.
+    ///
+    /// # Errors
+    /// Propagates snapshot-directory creation failures.
+    pub fn new(config: ServeConfig) -> std::io::Result<Server> {
+        let engine = Engine::new(config.engine);
+        let snapshots = match &config.snapshot_dir {
+            Some(dir) => Some(SnapshotStore::open(dir)?),
+            None => None,
+        };
+        let warm = snapshots
+            .as_ref()
+            .map(|store| store.warm(&engine))
+            .unwrap_or_default();
+        let pool = WorkerPool::new(config.workers, config.queue_depth);
+        let sessions = SessionRegistry::new(config.session_ttl);
+        Ok(Server {
+            inner: Arc::new(ServerInner {
+                config,
+                engine,
+                sessions,
+                pool,
+                snapshots,
+                snapshot_masks: Mutex::new(HashMap::new()),
+                warm,
+                next_conn: AtomicU64::new(1),
+                connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                snapshots_saved: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The shared engine (the tests compare server responses against
+    /// direct calls on an identically configured engine).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// What the startup warm pass restored from the snapshot store.
+    pub fn warm_report(&self) -> WarmReport {
+        self.inner.warm
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Allocates a fresh connection id for a transport-free client (tests,
+    /// benches, the stdio loop).
+    pub fn open_conn(&self) -> u64 {
+        self.inner.connections.fetch_add(1, Ordering::Relaxed);
+        self.inner.next_conn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Drops every session a connection owns (the disconnect hook for
+    /// transport-free clients).
+    pub fn close_conn(&self, conn: u64) {
+        self.inner.sessions.drop_conn(conn);
+    }
+
+    /// Parses and executes one request line *directly* on the calling
+    /// thread — the transport-free core every transport funnels into.
+    /// Admission control and deadlines live in front of this (see
+    /// [`Server::submit_and_wait`]); bit-for-bit, the response is the same
+    /// either way.
+    pub fn handle_line(&self, conn: u64, line: &str) -> Reply {
+        self.inner.handle_line(conn, line)
+    }
+
+    /// Pushes one request line through the worker pool and waits for its
+    /// response: the path every real transport uses. Overload and
+    /// deadline outcomes surface here as `overloaded` (with
+    /// `retry_after_ms`) and `deadline-exceeded` responses.
+    pub fn submit_and_wait(&self, conn: u64, line: &str) -> Reply {
+        self.inner.submit_and_wait(conn, line)
+    }
+
+    /// Binds a TCP listener and spawns the accept loop. Each connection
+    /// gets its own reader thread; requests execute on the shared worker
+    /// pool. `addr` is standard `host:port` (port 0 picks a free port —
+    /// read it back from [`TcpServerHandle::addr`]).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn spawn_tcp(&self, addr: &str) -> std::io::Result<TcpServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let inner = self.inner.clone();
+        let stop_flag = stop.clone();
+        let accept = std::thread::Builder::new()
+            .name("lsc-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let inner = inner.clone();
+                    // Connection threads are detached: they exit at client
+                    // EOF / `bye`, and shutdown only needs to stop the
+                    // accept loop and the pool.
+                    let _ = std::thread::Builder::new()
+                        .name("lsc-serve-conn".to_string())
+                        .spawn(move || serve_connection(&inner, stream));
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServerHandle {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// Serves the stdio transport: one request line per stdin line, one
+    /// response line per stdout line, until EOF or `bye`. Requests flow
+    /// through the same pool as TCP traffic.
+    pub fn serve_stdio(&self) {
+        let conn = self.open_conn();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = self.submit_and_wait(conn, &line);
+            if writeln!(out, "{}", reply.text)
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                break;
+            }
+            if reply.close {
+                break;
+            }
+        }
+        self.close_conn(conn);
+    }
+
+    /// Stops the worker pool (drains queued requests first). Transports
+    /// should be shut down first ([`TcpServerHandle::shutdown`]).
+    pub fn shutdown(&self) {
+        self.inner.pool.shutdown();
+    }
+}
+
+/// A running TCP accept loop; dropping it (or calling
+/// [`TcpServerHandle::shutdown`]) stops accepting new connections.
+pub struct TcpServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// The bound address (use with `addr().port()` after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Existing connections keep
+    /// draining on their own threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
+    let conn = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+    inner.connections.fetch_add(1, Ordering::Relaxed);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = inner.submit_and_wait(conn, &line);
+        if writeln!(writer, "{}", reply.text)
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if reply.close {
+            break;
+        }
+    }
+    inner.sessions.drop_conn(conn);
+}
+
+impl ServerInner {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            sessions_open: self.sessions.len(),
+            sessions_evicted: self.sessions.evicted(),
+            snapshots_loaded: self.warm.loaded,
+            snapshots_rejected: self.warm.rejected,
+            snapshots_saved: self.snapshots_saved.load(Ordering::Relaxed),
+            pool: self.pool.stats(),
+            engine: self.engine.stats(),
+        }
+    }
+
+    fn submit_and_wait(self: &Arc<Self>, conn: u64, line: &str) -> Reply {
+        let (tx, rx) = mpsc::channel::<Reply>();
+        let work = {
+            let inner = self.clone();
+            let line = line.to_string();
+            let tx = tx.clone();
+            move || {
+                let _ = tx.send(inner.handle_line(conn, &line));
+            }
+        };
+        let expire = {
+            let line = line.to_string();
+            move || {
+                let id = parse_request(&line).ok().and_then(|e| e.id);
+                let error = WireError::new(
+                    ErrorCode::DeadlineExceeded,
+                    "request expired in queue before execution",
+                );
+                let _ = tx.send(Reply {
+                    text: error_response(id.as_ref(), &error),
+                    close: false,
+                });
+            }
+        };
+        match self.pool.submit(self.config.deadline, work, expire) {
+            Ok(()) => rx.recv().unwrap_or_else(|_| Reply {
+                text: error_response(
+                    None,
+                    &WireError::new(ErrorCode::Internal, "worker dropped the request"),
+                ),
+                close: true,
+            }),
+            Err(SubmitError::Full) => {
+                let id = parse_request(line).ok().and_then(|e| e.id);
+                let mut error = WireError::new(
+                    ErrorCode::Overloaded,
+                    "request queue is full; back off and retry",
+                );
+                error.retry_after_ms = Some(self.config.retry_after.as_millis() as u64);
+                Reply {
+                    text: error_response(id.as_ref(), &error),
+                    close: false,
+                }
+            }
+            Err(SubmitError::Shutdown) => Reply {
+                text: error_response(
+                    None,
+                    &WireError::new(ErrorCode::Internal, "server is shutting down"),
+                ),
+                close: true,
+            },
+        }
+    }
+
+    fn handle_line(&self, conn: u64, line: &str) -> Reply {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let envelope = match parse_request(line) {
+            Ok(envelope) => envelope,
+            Err(error) => {
+                return Reply {
+                    text: error_response(None, &error),
+                    close: false,
+                }
+            }
+        };
+        let Envelope { id, request } = envelope;
+        let close = matches!(request, Request::Bye);
+        let text = match self.dispatch(conn, request) {
+            Ok(fields) => ok_response(id.as_ref(), fields),
+            Err(error) => error_response(id.as_ref(), &error),
+        };
+        Reply { text, close }
+    }
+
+    fn dispatch(&self, conn: u64, request: Request) -> Result<Vec<(String, Json)>, WireError> {
+        match request {
+            Request::Hello => Ok(vec![
+                ("proto".to_string(), Json::num(1.0)),
+                ("server".to_string(), Json::str("nfa_tool serve")),
+            ]),
+            Request::Prepare { spec, length } => self.op_prepare(conn, &spec, length),
+            Request::Count { session } => self.with_session(conn, &session, |s, me| {
+                let response = me
+                    .engine
+                    .query(&QueryRequest::on(&s.handle, QueryKind::Count, 0));
+                let routed = match response.output.map_err(wire_query_error)? {
+                    QueryOutput::Count(routed) => routed,
+                    _ => unreachable!("Count returns Count"),
+                };
+                me.maybe_snapshot(s.handle.instance());
+                let route = match routed.route {
+                    CountRoute::ExactUnambiguous => "exact-unambiguous".to_string(),
+                    CountRoute::ExactDeterminized { dfa_states } => {
+                        format!("exact-determinized({dfa_states})")
+                    }
+                    CountRoute::Fpras => "fpras".to_string(),
+                };
+                let mut fields = vec![
+                    ("route".to_string(), Json::str(route)),
+                    ("exact".to_string(), Json::Bool(routed.is_exact())),
+                    (
+                        "estimate".to_string(),
+                        Json::str(routed.estimate.to_string()),
+                    ),
+                ];
+                if let Some(exact) = &routed.exact {
+                    fields.push(("count".to_string(), Json::str(exact.to_string())));
+                }
+                fields.push(("cache_hit".to_string(), Json::Bool(response.cache_hit)));
+                Ok(fields)
+            }),
+            Request::CountExact { session } => self.with_session(conn, &session, |s, me| {
+                let response =
+                    me.engine
+                        .query(&QueryRequest::on(&s.handle, QueryKind::CountExact, 0));
+                let count = match response.output.map_err(wire_query_error)? {
+                    QueryOutput::Exact(count) => count,
+                    _ => unreachable!("CountExact returns Exact"),
+                };
+                me.maybe_snapshot(s.handle.instance());
+                Ok(vec![
+                    ("count".to_string(), Json::str(count.to_string())),
+                    ("cache_hit".to_string(), Json::Bool(response.cache_hit)),
+                ])
+            }),
+            Request::Enumerate {
+                session,
+                page_size,
+                resume,
+            } => {
+                let page_size = page_size.unwrap_or(self.config.default_page_size);
+                self.check_batch_size("page_size", page_size)?;
+                self.with_session(conn, &session, |s, me| {
+                    let mut cursor = match &resume {
+                        Some(text) => {
+                            let token = ResumeToken::parse(text).map_err(|e| {
+                                WireError::new(ErrorCode::InvalidToken, e.to_string())
+                            })?;
+                            me.engine.resume_cursor(&s.handle, &token).map_err(|e| {
+                                WireError::new(ErrorCode::InvalidToken, e.to_string())
+                            })?
+                        }
+                        None => match s.cursor.take() {
+                            Some(cursor) => cursor,
+                            None => me.engine.cursor(&s.handle),
+                        },
+                    };
+                    let words: Vec<Word> = cursor.by_ref().take(page_size).collect();
+                    let fields = vec![
+                        ("words".to_string(), format_words(&words, &s.alphabet)),
+                        ("returned".to_string(), Json::num(words.len() as f64)),
+                        ("rank".to_string(), Json::num(cursor.rank() as f64)),
+                        ("done".to_string(), Json::Bool(cursor.is_done())),
+                        ("token".to_string(), Json::str(cursor.token().encode())),
+                    ];
+                    me.maybe_snapshot(s.handle.instance());
+                    s.cursor = Some(cursor);
+                    Ok(fields)
+                })
+            }
+            Request::Sample {
+                session,
+                count,
+                seed,
+            } => {
+                self.check_batch_size("count", count)?;
+                self.with_session(conn, &session, |s, me| {
+                    let response = me.engine.query(&QueryRequest::on(
+                        &s.handle,
+                        QueryKind::Sample { count },
+                        seed,
+                    ));
+                    let words = match response.output.map_err(wire_query_error)? {
+                        QueryOutput::Words(words) => words,
+                        _ => unreachable!("Sample returns Words"),
+                    };
+                    me.maybe_snapshot(s.handle.instance());
+                    Ok(vec![
+                        ("words".to_string(), format_words(&words, &s.alphabet)),
+                        ("returned".to_string(), Json::num(words.len() as f64)),
+                        ("cache_hit".to_string(), Json::Bool(response.cache_hit)),
+                    ])
+                })
+            }
+            Request::Close { session } => {
+                if self.sessions.close(conn, &session) {
+                    Ok(vec![("closed".to_string(), Json::str(session))])
+                } else {
+                    Err(WireError::new(
+                        ErrorCode::UnknownSession,
+                        format!("no session {session:?} on this connection"),
+                    ))
+                }
+            }
+            Request::Stats => {
+                let stats = self.stats();
+                Ok(vec![
+                    (
+                        "server".to_string(),
+                        Json::Obj(vec![
+                            ("requests".to_string(), Json::num(stats.requests as f64)),
+                            (
+                                "connections".to_string(),
+                                Json::num(stats.connections as f64),
+                            ),
+                            (
+                                "sessions_open".to_string(),
+                                Json::num(stats.sessions_open as f64),
+                            ),
+                            (
+                                "sessions_evicted".to_string(),
+                                Json::num(stats.sessions_evicted as f64),
+                            ),
+                            (
+                                "rejected".to_string(),
+                                Json::num(stats.pool.rejected as f64),
+                            ),
+                            ("expired".to_string(), Json::num(stats.pool.expired as f64)),
+                            (
+                                "panicked".to_string(),
+                                Json::num(stats.pool.panicked as f64),
+                            ),
+                            ("queued".to_string(), Json::num(stats.pool.queued as f64)),
+                            (
+                                "snapshots_loaded".to_string(),
+                                Json::num(stats.snapshots_loaded as f64),
+                            ),
+                            (
+                                "snapshots_saved".to_string(),
+                                Json::num(stats.snapshots_saved as f64),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "engine".to_string(),
+                        Json::Obj(vec![
+                            ("hits".to_string(), Json::num(stats.engine.hits as f64)),
+                            ("misses".to_string(), Json::num(stats.engine.misses as f64)),
+                            (
+                                "evictions".to_string(),
+                                Json::num(stats.engine.evictions as f64),
+                            ),
+                            (
+                                "entries".to_string(),
+                                Json::num(stats.engine.entries as f64),
+                            ),
+                            ("bytes".to_string(), Json::num(stats.engine.bytes as f64)),
+                            (
+                                "domains".to_string(),
+                                Json::num(stats.engine.domains as f64),
+                            ),
+                        ]),
+                    ),
+                ])
+            }
+            Request::Bye => Ok(vec![("bye".to_string(), Json::Bool(true))]),
+        }
+    }
+
+    fn op_prepare(
+        &self,
+        conn: u64,
+        spec: &InstanceSpec,
+        length: usize,
+    ) -> Result<Vec<(String, Json)>, WireError> {
+        let (nfa, alphabet) = match spec {
+            InstanceSpec::Regex { pattern, alphabet } => {
+                let chars: Vec<char> = alphabet
+                    .as_deref()
+                    .unwrap_or(&self.config.default_alphabet)
+                    .chars()
+                    .collect();
+                if chars.is_empty() {
+                    return Err(WireError::new(ErrorCode::BadRequest, "empty alphabet"));
+                }
+                let ab = Alphabet::from_chars(&chars);
+                let regex = Regex::parse(pattern, &ab)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                (Arc::new(regex.compile()), ab)
+            }
+            InstanceSpec::NfaText(text) => {
+                let nfa = nfa_io::from_text(text)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                let alphabet = nfa.alphabet().clone();
+                (Arc::new(nfa), alphabet)
+            }
+        };
+        let handle = self.engine.prepare_nfa(&nfa, length);
+        // The classification is needed to answer (and report) anything, so
+        // materialize it now — it is also the first artifact worth
+        // persisting.
+        let unambiguous = handle.instance().is_unambiguous();
+        self.maybe_snapshot(handle.instance());
+        let fields = vec![
+            (
+                "session".to_string(),
+                Json::str(self.sessions.open(conn, handle.clone(), alphabet)),
+            ),
+            (
+                "fingerprint".to_string(),
+                Json::str(format!("{:016x}", handle.fingerprint())),
+            ),
+            ("length".to_string(), Json::num(length as f64)),
+            ("states".to_string(), Json::num(nfa.num_states() as f64)),
+            ("unambiguous".to_string(), Json::Bool(unambiguous)),
+            ("cached".to_string(), Json::Bool(handle.was_cached())),
+        ];
+        Ok(fields)
+    }
+
+    /// Runs one request against a checked-out session, always returning
+    /// the session to the registry (success or failure).
+    fn with_session<T>(
+        &self,
+        conn: u64,
+        name: &str,
+        f: impl FnOnce(&mut Session, &Self) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut session = self.sessions.take(conn, name).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownSession,
+                format!("no session {name:?} on this connection (closed or idled out?)"),
+            )
+        })?;
+        let result = f(&mut session, self);
+        self.sessions.put_back(conn, name, session);
+        result
+    }
+
+    /// Post-query persistence hook: save a snapshot when (and only when) a
+    /// new artifact materialized on the instance since the last save.
+    fn maybe_snapshot(&self, inst: &Arc<PreparedInstance>) {
+        let Some(store) = &self.snapshots else { return };
+        let (unambiguous, degree, completions, det_count) = inst.snapshot_parts();
+        let mask = u8::from(unambiguous.is_some())
+            | (u8::from(degree.is_some()) << 1)
+            | (u8::from(completions.is_some()) << 2)
+            | (u8::from(det_count.is_some()) << 3);
+        {
+            let masks = self.snapshot_masks.lock().expect("snapshot masks poisoned");
+            if masks.get(&inst.fingerprint()) == Some(&mask) {
+                return;
+            }
+        }
+        // Persist outside the mask lock (encoding can be slow); record the
+        // mask only on success so failures retry on the next query. Only a
+        // save that actually wrote a file counts toward `snapshots_saved`
+        // ("snapshots written") — `Ok(false)` means an identical file was
+        // already on disk.
+        if let Ok(wrote) = store.save(inst) {
+            if wrote {
+                self.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+            }
+            self.snapshot_masks
+                .lock()
+                .expect("snapshot masks poisoned")
+                .insert(inst.fingerprint(), mask);
+        }
+    }
+
+    /// Enforces the `max_batch` cap on wire-supplied page/count sizes.
+    fn check_batch_size(&self, what: &str, requested: usize) -> Result<(), WireError> {
+        if requested > self.config.max_batch {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "\"{what}\" {requested} exceeds this server's limit of {}",
+                    self.config.max_batch
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn wire_query_error(error: QueryError) -> WireError {
+    match error {
+        QueryError::NotUnambiguous => WireError::new(
+            ErrorCode::NotUnambiguous,
+            "instance is ambiguous; exact counting requires MEM-UFA (use \"count\")",
+        ),
+        QueryError::Fpras(e) => WireError::new(ErrorCode::Fpras, e.to_string()),
+    }
+}
+
+fn format_words(words: &[Word], alphabet: &Alphabet) -> Json {
+    Json::Arr(
+        words
+            .iter()
+            .map(|w| Json::str(format_word(w, alphabet)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::json;
+
+    fn server() -> Server {
+        Server::new(ServeConfig::default()).unwrap()
+    }
+
+    fn ok(reply: &Reply) -> Json {
+        let value = json::parse(&reply.text).unwrap();
+        assert_eq!(
+            value.get("ok"),
+            Some(&Json::Bool(true)),
+            "expected ok: {}",
+            reply.text
+        );
+        value
+    }
+
+    #[test]
+    fn hello_prepare_count_enumerate_sample_round_trip() {
+        let server = server();
+        let conn = server.open_conn();
+        let hello = ok(&server.handle_line(conn, r#"{"op":"hello","proto":1}"#));
+        assert_eq!(hello.get("proto").and_then(Json::as_u64), Some(1));
+
+        let prepared = ok(&server.handle_line(
+            conn,
+            r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":6}"#,
+        ));
+        let session = prepared
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(prepared.get("cached"), Some(&Json::Bool(false)));
+
+        // The routed count answers on any instance; exact counting rejects
+        // this (ambiguous) one with its own error code.
+        let count =
+            ok(&server.handle_line(conn, &format!(r#"{{"op":"count","session":"{session}"}}"#)));
+        assert!(count.get("route").is_some());
+        let exact = server.handle_line(
+            conn,
+            &format!(r#"{{"op":"count_exact","session":"{session}"}}"#),
+        );
+        let exact = json::parse(&exact.text).unwrap();
+        assert_eq!(
+            exact.get("code").and_then(Json::as_str),
+            Some("not-unambiguous")
+        );
+
+        let page = ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":4}}"#),
+        ));
+        assert_eq!(page.get("returned").and_then(Json::as_u64), Some(4));
+        let token = page.get("token").unwrap().as_str().unwrap().to_string();
+        assert!(token.starts_with("enum1."));
+
+        let sample = ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"sample","session":"{session}","count":3,"seed":9}}"#),
+        ));
+        assert_eq!(sample.get("returned").and_then(Json::as_u64), Some(3));
+
+        let bye = server.handle_line(conn, r#"{"op":"bye"}"#);
+        assert!(bye.close);
+        server.close_conn(conn);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_sessions_and_foreign_connections_are_rejected() {
+        let server = server();
+        let conn = server.open_conn();
+        let reply = server.handle_line(conn, r#"{"op":"count","session":"s99"}"#);
+        let value = json::parse(&reply.text).unwrap();
+        assert_eq!(value.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("unknown-session")
+        );
+        // A session opened on one connection is invisible to another.
+        let prepared =
+            ok(&server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*1","length":4}"#));
+        let session = prepared.get("session").unwrap().as_str().unwrap();
+        let other = server.open_conn();
+        let reply =
+            server.handle_line(other, &format!(r#"{{"op":"count","session":"{session}"}}"#));
+        let value = json::parse(&reply.text).unwrap();
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("unknown-session")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_cursor_and_token_resume_agree() {
+        let server = server();
+        let conn = server.open_conn();
+        let prepared =
+            ok(&server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":5}"#));
+        let session = prepared
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        // Page twice through the live cursor.
+        let p1 = ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":3}}"#),
+        ));
+        let p2 = ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":3}}"#),
+        ));
+        // Re-walk the same pages by explicit token resumption.
+        let t1 = p1.get("token").unwrap().as_str().unwrap();
+        let r2 = ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":3,"resume":"{t1}"}}"#),
+        ));
+        assert_eq!(p2.get("words"), r2.get("words"));
+        assert_eq!(p2.get("rank"), r2.get("rank"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected_with_their_code() {
+        let server = server();
+        let conn = server.open_conn();
+        let prepared =
+            ok(&server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":5}"#));
+        let session = prepared
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let reply = server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","resume":"enum1.garbage"}}"#),
+        );
+        let value = json::parse(&reply.text).unwrap();
+        assert_eq!(
+            value.get("code").and_then(Json::as_str),
+            Some("invalid-token")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_pages_and_sample_counts_are_rejected() {
+        let config = ServeConfig {
+            max_batch: 10,
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config).unwrap();
+        let conn = server.open_conn();
+        let prepared =
+            ok(&server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":5}"#));
+        let session = prepared
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        for request in [
+            format!(r#"{{"op":"enumerate","session":"{session}","page_size":11}}"#),
+            format!(r#"{{"op":"sample","session":"{session}","count":11}}"#),
+        ] {
+            let reply = server.handle_line(conn, &request);
+            let value = json::parse(&reply.text).unwrap();
+            assert_eq!(
+                value.get("code").and_then(Json::as_str),
+                Some("bad-request"),
+                "{request} must hit the max_batch cap: {}",
+                reply.text
+            );
+        }
+        // At the cap is fine.
+        ok(&server.handle_line(
+            conn,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":10}}"#),
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_report_engine_and_server_counters() {
+        let server = server();
+        let conn = server.open_conn();
+        ok(&server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":5}"#));
+        let stats = ok(&server.handle_line(conn, r#"{"op":"stats"}"#));
+        let engine = stats.get("engine").unwrap();
+        assert_eq!(engine.get("entries").and_then(Json::as_u64), Some(1));
+        let srv = stats.get("server").unwrap();
+        assert_eq!(srv.get("sessions_open").and_then(Json::as_u64), Some(1));
+        server.shutdown();
+    }
+}

@@ -83,4 +83,12 @@ fn main() {
         "\nengine: {} domain sessions, {} instances prepared, {} hits / {} misses",
         stats.domains, stats.entries, stats.hits, stats.misses
     );
+
+    // ---- Next step: serve it over the wire --------------------------------
+    // The same engine serves concurrent network clients through
+    // `nfa_tool serve` — a JSON-lines protocol with sessions, paged
+    // resumable enumeration, and on-disk snapshots that survive restarts.
+    // See `examples/serve_client.rs` for the protocol end to end, and
+    // `docs/ARCHITECTURE.md` for the full message reference.
+    println!("\nnext: cargo run --release --example serve_client");
 }

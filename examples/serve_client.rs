@@ -1,0 +1,140 @@
+//! Serve-client quickstart: drive the `nfa_tool serve` wire protocol end
+//! to end over a real TCP socket.
+//!
+//! This example plays both sides so it runs self-contained in CI: it
+//! starts the server in-process on an ephemeral port (exactly what
+//! `nfa_tool serve --port 0` runs), then talks to it as any external
+//! client would — raw JSON lines over TCP, resume tokens crossing the
+//! wire as plain strings. Protocol reference: `docs/ARCHITECTURE.md` §4.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use logspace_repro::core::serve::{ServeConfig, Server};
+
+/// One request/response round trip, echoing the exchange like a protocol
+/// transcript.
+fn rpc(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    println!("C: {line}");
+    writeln!(writer, "{line}").expect("send request");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    let response = response.trim_end().to_string();
+    println!("S: {response}");
+    assert!(
+        response.contains(r#""ok":true"#),
+        "server rejected the request"
+    );
+    response
+}
+
+/// Minimal field extraction for the known-good responses this example
+/// makes (a real client would parse the JSON; see
+/// `lsc_core::serve::json`).
+fn field(response: &str, key: &str) -> String {
+    let tag = format!("\"{key}\":\"");
+    let start = response.find(&tag).expect("field present") + tag.len();
+    let end = response[start..].find('"').expect("terminated") + start;
+    response[start..end].to_string()
+}
+
+fn main() {
+    // The server half: what `nfa_tool serve --snapshot-dir ...` runs.
+    let snapshot_dir = std::env::temp_dir().join("lsc-serve-client-example");
+    let config = ServeConfig {
+        snapshot_dir: Some(snapshot_dir.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).expect("start server");
+    let mut tcp = server
+        .spawn_tcp("127.0.0.1:0")
+        .expect("bind ephemeral port");
+    println!("# server listening on {}\n", tcp.addr());
+
+    // The client half: a plain TCP socket speaking JSON lines.
+    let stream = TcpStream::connect(tcp.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    rpc(&mut reader, &mut writer, r#"{"op":"hello","proto":1}"#);
+
+    // Open a session on an instance: binary words of length 10 containing
+    // the substring 101.
+    let prepared = rpc(
+        &mut reader,
+        &mut writer,
+        r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":10}"#,
+    );
+    let session = field(&prepared, "session");
+
+    // COUNT (routed, with provenance) and exactness via the route.
+    rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"count","session":"{session}"}}"#),
+    );
+
+    // ENUM: page through the stream; the token crosses the wire and the
+    // second page is fetched by explicit resumption — any process holding
+    // the token could continue this enumeration.
+    let page1 = rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"enumerate","session":"{session}","page_size":5}}"#),
+    );
+    let token = field(&page1, "token");
+    rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"enumerate","session":"{session}","page_size":5,"resume":"{token}"}}"#),
+    );
+
+    // GEN: three uniform witnesses; equal seeds give equal witnesses.
+    rpc(
+        &mut reader,
+        &mut writer,
+        &format!(r#"{{"op":"sample","session":"{session}","count":3,"seed":2019}}"#),
+    );
+
+    // Stats show the compile-once behavior, then hang up politely.
+    rpc(&mut reader, &mut writer, r#"{"op":"stats"}"#);
+    rpc(&mut reader, &mut writer, r#"{"op":"bye"}"#);
+    drop((reader, writer));
+
+    // Restart demonstration: a second server over the same snapshot
+    // directory answers its first repeated prepare as a cache hit —
+    // nothing recompiles.
+    tcp.shutdown();
+    server.shutdown();
+    let server2 = Server::new(ServeConfig {
+        snapshot_dir: Some(snapshot_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("restart server");
+    println!(
+        "\n# restarted: {} snapshot(s) restored from {}",
+        server2.warm_report().loaded,
+        snapshot_dir.display()
+    );
+    let conn = server2.open_conn();
+    let reply = server2.handle_line(
+        conn,
+        r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":10}"#,
+    );
+    println!("S: {}", reply.text);
+    assert!(
+        reply.text.contains(r#""cached":true"#),
+        "warm restart must serve the repeated prepare from the snapshot"
+    );
+    assert_eq!(
+        server2.engine().stats().misses,
+        0,
+        "no recompilation after a warm restart"
+    );
+    println!("# first repeated prepare after restart: cache hit, zero misses");
+    server2.shutdown();
+    std::fs::remove_dir_all(&snapshot_dir).ok();
+}

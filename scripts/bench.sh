@@ -198,3 +198,76 @@ print(f"\nBENCH_cursor.json: appended snapshot #{len(history)}"
       f" (first witness vs full: {snapshot['first_witness_vs_full_speedup']}x,"
       f" warm vs cold page: {snapshot['warm_vs_cold_page_speedup']}x)")
 PY
+
+# --- Serving-layer trajectory -------------------------------------------------
+# Runs the `nfa_tool serve` benches and appends a snapshot to
+# BENCH_serve.json: per-request wire latency on a warm session, multi-client
+# throughput, and the snapshot-store warm-restart headline — server start to
+# first answer, full recompile vs snapshot load (see
+# crates/bench/benches/serve.rs).
+
+export LSC_CRITERION_DIR="${LSC_CRITERION_SERVE_DIR:-$(pwd)/target/lsc-criterion-serve}"
+rm -rf "$LSC_CRITERION_DIR"
+
+cargo bench -p lsc-bench --bench serve -- "$@"
+
+python3 - <<'PY'
+import json, os, subprocess, time
+
+out_dir = os.environ["LSC_CRITERION_DIR"]
+results = []
+for root, _, files in os.walk(out_dir):
+    for f in sorted(files):
+        if f.endswith(".json"):
+            with open(os.path.join(root, f)) as fh:
+                results.append(json.load(fh))
+results.sort(key=lambda r: (r["group"], r["id"]))
+
+def mean_of(group, ident):
+    for r in results:
+        if r["group"] == group and r["id"] == ident:
+            return r["mean_ns"]
+    return None
+
+def ratio(group, slow, fast):
+    a, b = mean_of(group, slow), mean_of(group, fast)
+    return round(a / b, 2) if a and b else None
+
+count_ns = mean_of("serve/e18-request-latency", "count-warm")
+snapshot = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "git_rev": subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True,
+    ).stdout.strip() or "unknown",
+    "workload": ("blowup(10)@40 warm count/page over TCP; 4-motif@120 "
+                 "warm-restart (classification + det-count persisted)"),
+    "request_latency_count_ns": count_ns,
+    "requests_per_sec_1_client": (
+        round(8 / (mean_of("serve/e18-throughput", "clients/1") / 1e9), 1)
+        if mean_of("serve/e18-throughput", "clients/1") else None
+    ),
+    "requests_per_sec_4_clients": (
+        round(32 / (mean_of("serve/e18-throughput", "clients/4") / 1e9), 1)
+        if mean_of("serve/e18-throughput", "clients/4") else None
+    ),
+    "warm_restart_speedup": ratio(
+        "serve/e17-warm-restart", "cold-start-first-query", "warm-restart-first-query"
+    ),
+    "benchmarks": results,
+}
+
+path = "BENCH_serve.json"
+history = []
+if os.path.exists(path):
+    with open(path) as fh:
+        history = json.load(fh)
+history.append(snapshot)
+with open(path, "w") as fh:
+    json.dump(history, fh, indent=1)
+    fh.write("\n")
+
+print(f"\nBENCH_serve.json: appended snapshot #{len(history)}"
+      f" (warm restart: {snapshot['warm_restart_speedup']}x,"
+      f" warm count rtt: {snapshot['request_latency_count_ns']} ns)")
+PY

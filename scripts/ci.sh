@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the rot-prone extras: lints and formatting must be
-# clean, the quickstart example must run, and the engine + cursor benches
-# must at least execute (smoke invocations with a tiny sample budget —
-# trajectory numbers come from scripts/bench.sh).
+# Tier-1 verification plus the rot-prone extras: lints, formatting, and the
+# rustdoc gate must be clean, the quickstart + serve_client examples must
+# run, and the engine + cursor + serve benches must at least execute (smoke
+# invocations with a tiny sample budget — trajectory numbers come from
+# scripts/bench.sh).
 #
 # Usage: scripts/ci.sh
 
@@ -21,8 +22,14 @@ cargo clippy --workspace -- -D warnings
 echo "== lint: rustfmt =="
 cargo fmt --check
 
+echo "== docs: rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== example: quickstart =="
 cargo run --release --example quickstart
+
+echo "== example: serve_client (wire protocol end to end) =="
+cargo run --release --example serve_client
 
 echo "== bench smoke: engine warm-vs-cold =="
 LSC_CRITERION_SAMPLES=2 \
@@ -33,5 +40,10 @@ echo "== bench smoke: cursor first-witness =="
 LSC_CRITERION_SAMPLES=2 \
 LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci-cursor" \
 cargo bench -p lsc-bench --bench cursor -- e15-first-witness
+
+echo "== bench smoke: serve warm-restart =="
+LSC_CRITERION_SAMPLES=2 \
+LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci-serve" \
+cargo bench -p lsc-bench --bench serve -- e17-warm-restart
 
 echo "== ci.sh: all green =="

@@ -11,6 +11,9 @@
 //! nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]
 //! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]
 //!                    [--page-size P]
+//! nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N]
+//!                    [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR]
+//!                    [--cache-mb M] [--seed S]
 //! ```
 //!
 //! `--regex` patterns use the alphabet given by `--alphabet` (default `01`).
@@ -47,6 +50,17 @@
 //! `miss` for its session's instance-cache outcome at prepare time, and a
 //! final summary line reports the engine totals — the compile-once,
 //! serve-many behavior end to end.
+//!
+//! `serve` runs the concurrent request server ([`lsc_core::serve`]): a
+//! versioned JSON-lines wire protocol (one request object per line — see
+//! `docs/ARCHITECTURE.md` §4 for the full reference) over TCP
+//! (`--port`, default 7411; port 0 picks a free port and prints it) or
+//! stdio (`--stdio true`). Requests execute on a bounded worker pool
+//! (`--workers`, `--queue`): a full queue answers `overloaded` with a
+//! retry hint, and a request queued past `--deadline-ms` answers
+//! `deadline-exceeded`. With `--snapshot-dir`, compiled instances persist
+//! to disk and a restarted server warms its cache from them instead of
+//! recompiling.
 
 use std::io::Read;
 use std::process::exit;
@@ -117,6 +131,7 @@ fn usage(msg: &str) -> ! {
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
            nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S] [--page-size P]\n  \
+           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S]\n  \
            common: [--alphabet CHARS]  (default 01)\n\
            batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
     );
@@ -356,10 +371,78 @@ fn run_enumerate(args: &Args, nfa: Nfa, alphabet: &Alphabet) {
     }
 }
 
+/// The `serve` subcommand: the concurrent JSON-lines request server.
+fn run_serve(args: &Args) {
+    use lsc_core::serve::{ServeConfig, Server};
+    use std::time::Duration;
+
+    let mut config = ServeConfig {
+        default_alphabet: args.get("alphabet").unwrap_or("01").to_string(),
+        ..ServeConfig::default()
+    };
+    if let Some(workers) = args.get_usize("workers") {
+        config.workers = workers.max(1);
+    }
+    if let Some(queue) = args.get_usize("queue") {
+        config.queue_depth = queue.max(1);
+    }
+    if let Some(ms) = args.get_usize("deadline-ms") {
+        config.deadline = Duration::from_millis(ms as u64);
+    }
+    if let Some(ms) = args.get_usize("session-ttl-ms") {
+        config.session_ttl = Duration::from_millis(ms as u64);
+    }
+    if let Some(mb) = args.get_usize("cache-mb") {
+        config.engine.cache_bytes = mb << 20;
+    }
+    if let Some(seed) = args.get_usize("seed") {
+        config.engine.seed = seed as u64;
+    }
+    if let Some(dir) = args.get("snapshot-dir") {
+        config.snapshot_dir = Some(dir.into());
+    }
+    let server =
+        Server::new(config).unwrap_or_else(|e| usage(&format!("cannot start server: {e}")));
+    let warm = server.warm_report();
+    if warm.loaded > 0 || warm.rejected > 0 {
+        eprintln!(
+            "# snapshots: {} restored, {} rejected",
+            warm.loaded, warm.rejected
+        );
+    }
+    let stdio = match args.get("stdio") {
+        None => false,
+        Some("true" | "1" | "yes") => true,
+        Some("false" | "0" | "no") => false,
+        Some(other) => usage(&format!("--stdio expects true or false, got {other:?}")),
+    };
+    if stdio {
+        eprintln!("# serving on stdio (one JSON request per line; \"bye\" or EOF ends)");
+        server.serve_stdio();
+        server.shutdown();
+        return;
+    }
+    let port = args.get_usize("port").unwrap_or(7411);
+    let handle = server
+        .spawn_tcp(&format!("127.0.0.1:{port}"))
+        .unwrap_or_else(|e| usage(&format!("cannot bind port {port}: {e}")));
+    println!("# listening on {}", handle.addr());
+    // Foreground until interrupted: the accept loop and the worker pool own
+    // all the work (the handle's Drop would stop the accept loop, so keep
+    // it alive by parking here).
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
     let args = Args::parse();
     if args.command == "batch" {
         run_batch(&args);
+        return;
+    }
+    if args.command == "serve" {
+        run_serve(&args);
         return;
     }
     let nfa = load_nfa(&args);

@@ -30,19 +30,23 @@
 //! * [`core`] — the paper's algorithms: exact counting, the #NFA FPRAS,
 //!   constant/polynomial-delay enumeration, exact/Las-Vegas uniform
 //!   sampling — plus the unified query engine
-//!   ([`core::engine`](lsc_core::engine)): the [`Queryable`](prelude::Queryable)
+//!   ([`core::engine`]): the [`Queryable`](prelude::Queryable)
 //!   trait every domain implements, typed session handles, streaming
 //!   [`EnumCursor`](prelude::EnumCursor)s with serializable
 //!   [`ResumeToken`](prelude::ResumeToken)s, amortized
 //!   [`GenStream`](prelude::GenStream)s, and a fingerprint-keyed,
-//!   byte-capped LRU instance cache with batched deterministic dispatch.
+//!   byte-capped LRU instance cache with batched deterministic dispatch —
+//!   and the concurrent serving layer ([`core::serve`]): `nfa_tool serve`,
+//!   a versioned JSON-lines wire protocol over TCP/stdio with
+//!   connection-scoped sessions, admission control, and on-disk
+//!   prepared-instance snapshots (see `docs/ARCHITECTURE.md`).
 //! * [`dnf`], [`graphdb`], [`bdd`], [`spanners`] — the §3/§4 applications.
 //! * [`grammar`] — context-free grammars: exact counting/sampling for the
 //!   unambiguous fragment, FPRAS routing for the regular fragment (the
 //!   \[GJK+97\] contrast the paper draws in §1).
 //! * [`nnf`] — d-DNNF knowledge compilation (the \[ABJM17\] contrast drawn
 //!   in §3): circuit-level counting, enumeration, and sampling, with
-//!   [`nnf::PreparedCircuit`](lsc_nnf::PreparedCircuit) mirroring the
+//!   [`nnf::PreparedCircuit`] mirroring the
 //!   engine's compile-once design on circuits.
 //!
 //! ## Quickstart
@@ -75,12 +79,14 @@
 //!
 //! ## Serving repeated traffic: sessions, cursors, and batches
 //!
-//! Production workloads ask the same instances over and over. An [`Engine`]
-//! caches prepared instances by structural fingerprint and serves every
-//! domain through one typed surface: [`Queryable`] names the reduction and
-//! the witness decoding, [`Engine::prepare`] opens a cheap session handle,
-//! and the generic entry points stream typed answers — including resumable
-//! enumeration cursors, whose [`ResumeToken`]s page `ENUM` across calls
+//! Production workloads ask the same instances over and over. An
+//! [`Engine`](prelude::Engine) caches prepared instances by structural
+//! fingerprint and serves every domain through one typed surface:
+//! [`Queryable`](prelude::Queryable) names the reduction and the witness
+//! decoding, [`Engine::prepare`](prelude::Engine::prepare) opens a cheap
+//! session handle, and the generic entry points stream typed answers —
+//! including resumable enumeration cursors, whose
+//! [`ResumeToken`](prelude::ResumeToken)s page `ENUM` across calls
 //! bit-identically:
 //!
 //! ```
@@ -118,6 +124,17 @@
 //! // One compilation served everything above.
 //! assert_eq!(engine.stats().misses, 1);
 //! ```
+//!
+//! ## Serving over the wire
+//!
+//! `nfa_tool serve` ([`core::serve`]) exposes the same engine to concurrent
+//! network clients: a versioned JSON-lines protocol (`prepare` → session,
+//! `count` / `count_exact` / paged `enumerate` with resume-token round
+//! trips / `sample`), a bounded worker pool with admission control, and an
+//! on-disk snapshot store so a restarted server warms its cache instead of
+//! recompiling. `examples/serve_client.rs` drives the protocol end to end
+//! over TCP; `docs/ARCHITECTURE.md` specifies every message and the
+//! snapshot format.
 
 pub use lsc_arith as arith;
 pub use lsc_automata as automata;
