@@ -22,6 +22,11 @@ pub struct Nfa {
     accepting: Vec<bool>,
     /// `transitions[q]` = sorted `(symbol, target)` pairs.
     transitions: Vec<Vec<(Symbol, StateId)>>,
+    /// Memoized [`Nfa::fingerprint`]. The automaton is immutable once
+    /// built, so the hash is computed at most once (clones inherit it);
+    /// this keeps fingerprint-routed cache resolution off the O(m) hash on
+    /// every warm touch.
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Nfa {
@@ -232,8 +237,13 @@ impl Nfa {
     ///
     /// The hash is stable across runs and platforms: it folds in only
     /// explicitly ordered `usize`/`u32` data, never addresses or hash-map
-    /// iteration order.
+    /// iteration order. It is memoized: the first call hashes, every later
+    /// call (and every clone) is an atomic load.
     pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
@@ -359,6 +369,7 @@ impl NfaBuilder {
             initial: self.initial,
             accepting: self.accepting,
             transitions: self.transitions,
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 }

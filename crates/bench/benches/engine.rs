@@ -11,9 +11,15 @@
 //! runs, not bit-equal numbers. (The bit-identity contract the equivalence
 //! suite pins is warm engine vs cold *engine* under one seed policy.)
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_automata::families::blowup_nfa;
+use lsc_automata::Nfa;
 use lsc_bench::workloads;
-use lsc_core::engine::{Engine, EngineConfig, QueryKind, QueryRequest, RouterConfig};
+use lsc_core::engine::{
+    Engine, EngineConfig, QueryKind, QueryRequest, RouterConfig, ShardedConfig, ShardedEngine,
+};
 use lsc_core::fpras::FprasParams;
 use lsc_core::MemNfa;
 use rand::rngs::StdRng;
@@ -127,10 +133,60 @@ fn engine_mixed_traffic(c: &mut Criterion) {
     group.finish();
 }
 
+/// E19: cache *resolution* under multi-core contention — the operation
+/// sharding exists for. 8 threads hammer warm session resolution
+/// (`prepare_nfa`: lookup + LRU touch + byte re-measure, all under the
+/// cache mutex) over 16 distinct cached instances. With 1 shard every
+/// touch serializes on one mutex; with 8 shards the consistent-hash map
+/// spreads the instances over independent mutexes. `scripts/bench.sh`
+/// turns the two means into the `BENCH_engine.json`
+/// `shard_resolution_speedup` and records the host's core count next to
+/// it: on a single-core host the two configurations are expected to tie
+/// (threads time-slice, so the mutex is never truly contended); the
+/// spread is a multicore measurement.
+fn engine_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/e19-shard-scaling");
+    group.sample_size(10);
+    const THREADS: usize = 8;
+    const TOUCHES: usize = 4000;
+    let instances: Vec<(Arc<Nfa>, usize)> = (0..16)
+        .map(|k| (Arc::new(blowup_nfa(3 + (k % 6))), 8 + (k % 5)))
+        .collect();
+    for shards in [1usize, 8] {
+        let engine = ShardedEngine::new(ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        });
+        for (nfa, n) in &instances {
+            engine.prepare_nfa(nfa, *n); // warm: iterations measure hits only
+        }
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for t in 0..THREADS {
+                        let engine = &engine;
+                        let instances = &instances;
+                        scope.spawn(move || {
+                            let mut acc = 0u64;
+                            for i in 0..TOUCHES {
+                                let (nfa, n) = &instances[(i * THREADS + t) % instances.len()];
+                                acc ^= engine.prepare_nfa(nfa, *n).fingerprint();
+                            }
+                            acc
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     engine_warm_vs_cold_exact,
     engine_warm_vs_cold_fpras,
-    engine_mixed_traffic
+    engine_mixed_traffic,
+    engine_shard_scaling
 );
 criterion_main!(benches);

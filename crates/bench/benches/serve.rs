@@ -204,9 +204,17 @@ fn serve_warm_restart(c: &mut Criterion) {
                 };
                 let server = Server::new(small(config)).unwrap();
                 assert!(server.warm_report().loaded >= 1);
-                assert_eq!(server.engine().stats().misses, 0, "no recompilation");
+                assert_eq!(
+                    server.engine().stats().aggregate.misses,
+                    0,
+                    "no recompilation"
+                );
                 let n = first_query(&server);
-                assert_eq!(server.engine().stats().misses, 0, "served as a cache hit");
+                assert_eq!(
+                    server.engine().stats().aggregate.misses,
+                    0,
+                    "served as a cache hit"
+                );
                 server.shutdown();
                 n
             });
@@ -216,10 +224,93 @@ fn serve_warm_restart(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// E19: aggregate serving throughput, 1 shard vs 8, under 8 concurrent
+/// clients. Each client owns a *distinct* warm instance (same automaton,
+/// different length ⇒ different fingerprint ⇒ different home shard), so
+/// with one shard every count serializes on one cache mutex while with 8
+/// shards resolution fans out across the fleet. 8 workers in the pool
+/// keep the executor from being the bottleneck either way. The engine
+/// byte budget is set high enough that neither layout evicts (the group
+/// measures resolution, not eviction policy — remember the configured cap
+/// is fleet-total, divided per shard). `scripts/bench.sh` turns the two
+/// means into the `BENCH_serve.json` `shard_scaling_speedup` and records
+/// the host's core count next to it: on a single-core host the two
+/// configurations are expected to tie (no real concurrency to win back);
+/// the spread is a multicore measurement.
+fn serve_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e19-shard-scaling");
+    group.sample_size(10);
+    const CLIENTS: usize = 8;
+    const COUNTS: usize = 8;
+    let w = workloads::engine_ufa_instance();
+    let text = Arc::new(lsc_automata::io::to_text(&w.nfa).replace('\n', "\\n"));
+    for shards in [1usize, 8] {
+        let mut config = ServeConfig {
+            shards,
+            workers: 8,
+            queue_depth: 256,
+            ..ServeConfig::default()
+        };
+        config.engine.cache_bytes = 2 << 30;
+        let server = Server::new(config).unwrap();
+        let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        // Compile all 8 instances once; iterations measure warm serving.
+        {
+            let (mut reader, mut writer) = connect(addr);
+            for client in 0..CLIENTS {
+                let prepared = rpc(
+                    &mut reader,
+                    &mut writer,
+                    &format!(
+                        r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#,
+                        w.n + client
+                    ),
+                );
+                let session = field(&prepared, "session").to_string();
+                rpc(
+                    &mut reader,
+                    &mut writer,
+                    &format!(r#"{{"op":"count","session":"{session}"}}"#),
+                );
+            }
+        }
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in 0..CLIENTS {
+                        let text = text.clone();
+                        scope.spawn(move || {
+                            let (mut reader, mut writer) = connect(addr);
+                            let prepared = rpc(
+                                &mut reader,
+                                &mut writer,
+                                &format!(
+                                    r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#,
+                                    w.n + client
+                                ),
+                            );
+                            let session = field(&prepared, "session").to_string();
+                            let count_line = format!(r#"{{"op":"count","session":"{session}"}}"#);
+                            for _ in 0..COUNTS {
+                                rpc(&mut reader, &mut writer, &count_line);
+                            }
+                        });
+                    }
+                });
+            });
+        });
+        handle.shutdown();
+        server.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_request_latency,
     serve_throughput,
-    serve_warm_restart
+    serve_warm_restart,
+    serve_shard_scaling
 );
 criterion_main!(benches);

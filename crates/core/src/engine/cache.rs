@@ -468,13 +468,23 @@ impl Engine {
     /// prepared instance through the shared cache, and returns the cheap
     /// handle everything else is served from.
     pub fn prepare<Q: Queryable + ?Sized>(&self, queryable: &Q) -> InstanceHandle {
+        let (nfa, length) = self.domain_instance(queryable);
+        self.prepare_nfa(&nfa, length)
+    }
+
+    /// The memoized reduction of a domain object — [`Engine::prepare`]
+    /// without the instance-cache resolution. The sharded resolver
+    /// ([`crate::engine::ShardedEngine`]) uses this to run the reduction on
+    /// the domain's home shard before routing the *instance* by its own
+    /// fingerprint.
+    pub fn domain_instance<Q: Queryable + ?Sized>(&self, queryable: &Q) -> (Arc<Nfa>, usize) {
         let domain = queryable.domain_fingerprint();
         let memoized = self
             .domains
             .lock()
             .expect("domain index poisoned")
             .get(domain);
-        let (nfa, length) = match memoized {
+        match memoized {
             Some(pair) => pair,
             None => {
                 let (nfa, length) = queryable.to_instance();
@@ -486,8 +496,7 @@ impl Engine {
                 );
                 (nfa, length)
             }
-        };
-        self.prepare_nfa(&nfa, length)
+        }
     }
 
     /// A session handle for a raw `(automaton, length)` instance — the
@@ -544,6 +553,45 @@ impl Engine {
             key,
             cache_hit: false,
         }
+    }
+
+    /// The instance fingerprints currently resident in the cache, sorted.
+    /// This is the sharding layer's (and the shard tests') introspection
+    /// hook: which instances live *here*.
+    pub fn resident_fingerprints(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("engine cache poisoned");
+        let mut fps: Vec<u64> = inner
+            .entries
+            .values()
+            .map(|e| e.inst.fingerprint())
+            .collect();
+        fps.sort_unstable();
+        fps
+    }
+
+    /// Removes and returns every cached instance whose fingerprint matches
+    /// the predicate, in fingerprint order. The byte accounting shrinks
+    /// accordingly; nothing counts as an eviction (the instances are being
+    /// *moved*, not dropped — this is the shard add/drain migration hook).
+    pub fn take_instances_where(
+        &self,
+        mut pred: impl FnMut(u64) -> bool,
+    ) -> Vec<Arc<PreparedInstance>> {
+        let mut inner = self.inner.lock().expect("engine cache poisoned");
+        let keys: Vec<InstanceKey> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| pred(e.inst.fingerprint()))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            let entry = inner.entries.remove(&key).expect("key just listed");
+            inner.total_bytes = inner.total_bytes.saturating_sub(entry.bytes);
+            out.push(entry.inst);
+        }
+        out.sort_by_key(|inst| inst.fingerprint());
+        out
     }
 
     // ---- typed queries ----

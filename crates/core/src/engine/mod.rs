@@ -35,6 +35,11 @@
 //!   instances, the domain-session memo, and the batched [`QueryRequest`] /
 //!   [`QueryResponse`] compatibility API with deterministic multi-threaded
 //!   dispatch (rebuilt on top of the cursor surface).
+//! * [`ShardedEngine`] / [`ShardMap`] — N independent engines behind a
+//!   consistent-hash shard map, so cache resolution scales with cores: every
+//!   instance fingerprint routes to exactly one shard, shards can be added
+//!   or drained with bounded key movement, and answers stay bit-identical
+//!   to the single-engine path.
 //! * [`count_routed`] and the route vocabulary ([`CountRoute`],
 //!   [`RouterConfig`], [`RoutedCount`]) — the ambiguity-aware counting
 //!   router, with routing decisions cached per instance.
@@ -48,6 +53,7 @@ mod cursor;
 mod prepared;
 mod queryable;
 mod router;
+mod shard;
 mod snapshot;
 
 pub use cache::{
@@ -60,4 +66,5 @@ pub use cursor::{
 pub use prepared::PreparedInstance;
 pub use queryable::{domain_fingerprint, Queryable};
 pub use router::{count_routed, CountRoute, RoutedCount, RouterConfig};
+pub use shard::{ShardMap, ShardedConfig, ShardedEngine, ShardedStats};
 pub use snapshot::{SnapshotError, SnapshotStore, WarmReport};

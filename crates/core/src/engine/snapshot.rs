@@ -240,6 +240,27 @@ impl SnapshotStore {
     /// answers repeat traffic as cache hits instead of recompiling. Corrupt
     /// files are counted and skipped — never served, never deleted.
     pub fn warm(&self, engine: &Engine) -> WarmReport {
+        self.warm_each(|inst| {
+            engine.insert_prepared(inst);
+        })
+    }
+
+    /// The shard-aware warm pass: like [`SnapshotStore::warm`], but each
+    /// restored instance enters its *home shard* of a
+    /// [`crate::engine::ShardedEngine`] ([`ShardedEngine::insert_prepared`]
+    /// routes by the instance fingerprint), so a restarted sharded server
+    /// holds every instance on exactly the shard its queries resolve to.
+    ///
+    /// [`ShardedEngine::insert_prepared`]: crate::engine::ShardedEngine::insert_prepared
+    pub fn warm_sharded(&self, engine: &crate::engine::ShardedEngine) -> WarmReport {
+        self.warm_each(|inst| {
+            engine.insert_prepared(inst);
+        })
+    }
+
+    /// Decodes, validates, and hands every snapshot in the directory to
+    /// `insert` — the cache-shape-agnostic core behind both warm passes.
+    fn warm_each(&self, mut insert: impl FnMut(Arc<PreparedInstance>)) -> WarmReport {
         let mut report = WarmReport::default();
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return report;
@@ -262,7 +283,7 @@ impl SnapshotStore {
                         .lock()
                         .expect("snapshot index poisoned")
                         .insert(inst.fingerprint(), checksum);
-                    engine.insert_prepared(inst);
+                    insert(inst);
                     report.loaded += 1;
                 }
                 Err(_) => report.rejected += 1,

@@ -18,10 +18,12 @@
 //! * [`WorkerPool`] — a bounded queue with admission control (reject with
 //!   `retry_after_ms` when full) and per-request deadlines.
 //!
-//! [`Server`] assembles them around one shared [`Engine`](crate::engine::Engine)
-//! and optionally persists compiled instances through the engine's
-//! [`SnapshotStore`](crate::engine::SnapshotStore), so a restarted server
-//! warms its cache from disk instead of recompiling. Transports are
+//! [`Server`] assembles them around one shared
+//! [`ShardedEngine`](crate::engine::ShardedEngine) — N independent
+//! instance caches behind a consistent-hash shard map, so cache resolution
+//! scales with cores — and optionally persists compiled instances through
+//! the engine's [`SnapshotStore`](crate::engine::SnapshotStore), so a
+//! restarted server warms every shard from disk instead of recompiling. Transports are
 //! TCP ([`Server::spawn_tcp`]) and stdio ([`Server::serve_stdio`]);
 //! [`Server::handle_line`] is the transport-free core.
 //!

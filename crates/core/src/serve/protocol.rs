@@ -14,7 +14,7 @@
 //! | `enumerate`   | `Engine::cursor` / `resume_cursor`  |
 //! | `sample`      | `QueryKind::Sample`                 |
 //! | `close`       | — (drops the session)               |
-//! | `stats`       | `Engine::stats` + server counters   |
+//! | `stats`       | `ShardedEngine::stats` (aggregate + per-shard) + server counters |
 //! | `bye`         | — (ends the connection)             |
 //!
 //! The full normative reference — every field, an example session

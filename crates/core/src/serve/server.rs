@@ -1,10 +1,12 @@
 //! The concurrent request server: transports, dispatch, and overload
 //! behavior.
 //!
-//! A [`Server`] owns one [`Engine`] (the shared prepared-instance cache),
-//! a [`SessionRegistry`], a bounded [`WorkerPool`], and — optionally — a
-//! [`SnapshotStore`] it warms the cache from at startup and persists
-//! compiled artifacts into as queries materialize them. Transports are
+//! A [`Server`] owns one [`ShardedEngine`] (N independent prepared-instance
+//! caches behind a consistent-hash shard map — see
+//! [`crate::engine::ShardedEngine`]), a [`SessionRegistry`], a bounded
+//! [`WorkerPool`], and — optionally — a [`SnapshotStore`] it warms the
+//! shard fleet from at startup and persists compiled artifacts into as
+//! queries materialize them. Transports are
 //! thin: the TCP accept loop ([`Server::spawn_tcp`]) and the stdio loop
 //! ([`Server::serve_stdio`]) both read request lines, push them through
 //! the pool ([`Server::submit_and_wait`]), and write response lines;
@@ -14,11 +16,12 @@
 //! **Concurrency model.** Responses on one connection come back in
 //! request order (the connection thread waits for each reply before
 //! reading the next line); connections proceed in parallel up to the
-//! pool's worker count; everything behind the pool — engine cache,
+//! pool's worker count; everything behind the pool — shard fleet,
 //! session registry, snapshot store — is shared and thread-safe. Query
-//! answers are bit-identical to direct single-threaded [`Engine`] calls
-//! with the same configuration: the server adds routing and bookkeeping
-//! around the engine, never its own randomness.
+//! answers are bit-identical to direct single-threaded
+//! [`Engine`](crate::engine::Engine) calls with the same configuration,
+//! at any shard count: the server adds routing and bookkeeping around the
+//! engines, never its own randomness.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -32,8 +35,8 @@ use lsc_automata::regex::Regex;
 use lsc_automata::{format_word, io as nfa_io, Alphabet, Word};
 
 use crate::engine::{
-    CountRoute, Engine, EngineConfig, EngineStats, PreparedInstance, QueryError, QueryKind,
-    QueryOutput, QueryRequest, ResumeToken, SnapshotStore, WarmReport,
+    CountRoute, EngineConfig, EngineStats, PreparedInstance, QueryError, QueryKind, QueryOutput,
+    QueryRequest, ResumeToken, ShardedConfig, ShardedEngine, SnapshotStore, WarmReport,
 };
 use crate::serve::json::Json;
 use crate::serve::pool::{PoolStats, SubmitError, WorkerPool};
@@ -46,8 +49,12 @@ use crate::serve::session::{Session, SessionRegistry};
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// The engine configuration (cache cap, router, seed policy).
+    /// The engine configuration (cache cap, router, seed policy). The byte
+    /// cap is the fleet-wide total — it is divided across shards.
     pub engine: EngineConfig,
+    /// Instance-cache shards (consistent-hash routed, so cache resolution
+    /// scales with cores); `0` means one per hardware thread.
+    pub shards: usize,
     /// Worker threads executing requests.
     pub workers: usize,
     /// Bounded request-queue depth; submits beyond it are rejected with
@@ -80,6 +87,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             engine: EngineConfig::default(),
+            shards: 0,
             workers: 4,
             queue_depth: 64,
             deadline: Duration::from_secs(30),
@@ -95,7 +103,7 @@ impl Default for ServeConfig {
 
 /// A snapshot of every server-side counter, returned by [`Server::stats`]
 /// and serialized by the `stats` op.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServeStats {
     /// Requests answered (any outcome except pool rejection/expiry).
     pub requests: u64,
@@ -113,8 +121,14 @@ pub struct ServeStats {
     pub snapshots_saved: u64,
     /// Worker-pool counters (admission control and deadlines).
     pub pool: PoolStats,
-    /// Engine cache counters.
+    /// Engine cache counters, aggregated over the shard fleet (including
+    /// the hit/miss/eviction history of any since-drained shards).
     pub engine: EngineStats,
+    /// Per-shard cache counters `(shard id, counters)` for the *live*
+    /// fleet; the per-field sums equal [`ServeStats::engine`] as long as
+    /// no shard has been drained (a drained shard's history stays in the
+    /// aggregate but no longer has a per-shard row).
+    pub shards: Vec<(usize, EngineStats)>,
 }
 
 /// One response line plus whether the connection should close after it.
@@ -128,7 +142,7 @@ pub struct Reply {
 
 struct ServerInner {
     config: ServeConfig,
-    engine: Engine,
+    engine: ShardedEngine,
     sessions: SessionRegistry,
     pool: WorkerPool,
     snapshots: Option<SnapshotStore>,
@@ -159,14 +173,18 @@ impl Server {
     /// # Errors
     /// Propagates snapshot-directory creation failures.
     pub fn new(config: ServeConfig) -> std::io::Result<Server> {
-        let engine = Engine::new(config.engine);
+        let engine = ShardedEngine::new(ShardedConfig {
+            engine: config.engine,
+            shards: config.shards,
+            ..ShardedConfig::default()
+        });
         let snapshots = match &config.snapshot_dir {
             Some(dir) => Some(SnapshotStore::open(dir)?),
             None => None,
         };
         let warm = snapshots
             .as_ref()
-            .map(|store| store.warm(&engine))
+            .map(|store| store.warm_sharded(&engine))
             .unwrap_or_default();
         let pool = WorkerPool::new(config.workers, config.queue_depth);
         let sessions = SessionRegistry::new(config.session_ttl);
@@ -187,9 +205,10 @@ impl Server {
         })
     }
 
-    /// The shared engine (the tests compare server responses against
-    /// direct calls on an identically configured engine).
-    pub fn engine(&self) -> &Engine {
+    /// The shared sharded engine (the tests compare server responses
+    /// against direct calls on an identically configured single engine, and
+    /// inspect shard residency).
+    pub fn engine(&self) -> &ShardedEngine {
         &self.inner.engine
     }
 
@@ -366,6 +385,7 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
 
 impl ServerInner {
     fn stats(&self) -> ServeStats {
+        let engine = self.engine.stats();
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
@@ -375,7 +395,8 @@ impl ServerInner {
             snapshots_rejected: self.warm.rejected,
             snapshots_saved: self.snapshots_saved.load(Ordering::Relaxed),
             pool: self.pool.stats(),
-            engine: self.engine.stats(),
+            engine: engine.aggregate,
+            shards: engine.per_shard,
         }
     }
 
@@ -612,25 +633,16 @@ impl ServerInner {
                             ),
                         ]),
                     ),
+                    ("engine".to_string(), engine_stats_json(&stats.engine, None)),
                     (
-                        "engine".to_string(),
-                        Json::Obj(vec![
-                            ("hits".to_string(), Json::num(stats.engine.hits as f64)),
-                            ("misses".to_string(), Json::num(stats.engine.misses as f64)),
-                            (
-                                "evictions".to_string(),
-                                Json::num(stats.engine.evictions as f64),
-                            ),
-                            (
-                                "entries".to_string(),
-                                Json::num(stats.engine.entries as f64),
-                            ),
-                            ("bytes".to_string(), Json::num(stats.engine.bytes as f64)),
-                            (
-                                "domains".to_string(),
-                                Json::num(stats.engine.domains as f64),
-                            ),
-                        ]),
+                        "shards".to_string(),
+                        Json::Arr(
+                            stats
+                                .shards
+                                .iter()
+                                .map(|(id, s)| engine_stats_json(s, Some(*id)))
+                                .collect(),
+                        ),
                     ),
                 ])
             }
@@ -752,6 +764,24 @@ impl ServerInner {
         }
         Ok(())
     }
+}
+
+/// Serializes one engine-stats block (the aggregate, or — with an id — one
+/// shard's counters) for the `stats` op.
+fn engine_stats_json(stats: &EngineStats, shard_id: Option<usize>) -> Json {
+    let mut fields = Vec::with_capacity(7);
+    if let Some(id) = shard_id {
+        fields.push(("id".to_string(), Json::num(id as f64)));
+    }
+    fields.extend([
+        ("hits".to_string(), Json::num(stats.hits as f64)),
+        ("misses".to_string(), Json::num(stats.misses as f64)),
+        ("evictions".to_string(), Json::num(stats.evictions as f64)),
+        ("entries".to_string(), Json::num(stats.entries as f64)),
+        ("bytes".to_string(), Json::num(stats.bytes as f64)),
+        ("domains".to_string(), Json::num(stats.domains as f64)),
+    ]);
+    Json::Obj(fields)
 }
 
 fn wire_query_error(error: QueryError) -> WireError {

@@ -266,8 +266,19 @@ fn concurrent_clients_match_single_threaded_engine_bit_for_bit() {
     }
 
     // The 4 duplicate clients hit the instances the first 4 prepared (in
-    // some order) — 4 distinct instances total, all still cached.
-    assert_eq!(server.engine().stats().entries, 4);
+    // some order) — 4 distinct instances total, all still cached, spread
+    // over the shard fleet with no instance resident twice.
+    let stats = server.engine().stats();
+    assert_eq!(stats.aggregate.entries, 4);
+    assert_eq!(
+        stats
+            .per_shard
+            .iter()
+            .map(|(_, s)| s.entries)
+            .sum::<usize>(),
+        4,
+        "per-shard entries must sum to the aggregate"
+    );
     handle.shutdown();
     server.shutdown();
 }
@@ -473,7 +484,7 @@ fn snapshot_restart_serves_first_repeat_query_as_cache_hit() {
     assert_eq!(field_str(&count, "estimate"), cold_count);
     assert_eq!(words_of(&page), cold_words);
     // No instance was ever compiled in this lifetime: zero cache misses.
-    assert_eq!(server.engine().stats().misses, 0);
+    assert_eq!(server.engine().stats().aggregate.misses, 0);
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -515,6 +526,136 @@ fn corrupted_snapshots_are_rejected_at_warm_time() {
     let prepared = server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":6}"#);
     let prepared = json::parse(&prepared.text).unwrap();
     assert_eq!(prepared.get("cached"), Some(&Json::Bool(false)));
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_verb_reports_per_shard_counters_that_sum_to_the_aggregate() {
+    // A fixed 4-shard fleet, traffic over real TCP: the wire `stats` verb
+    // must expose one block per shard, and the per-shard hit/miss/eviction/
+    // entry counters must sum to the aggregate `engine` block exactly.
+    let config = ServeConfig {
+        engine: test_engine_config(),
+        shards: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).unwrap();
+    let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr());
+    // Distinct instances spread over shards; repeats generate hits.
+    for (pattern, length) in WORKLOADS {
+        for _ in 0..2 {
+            let prepared = client.rpc_ok(&format!(
+                r#"{{"op":"prepare","regex":"{pattern}","length":{length}}}"#
+            ));
+            let session = field_str(&prepared, "session");
+            client.rpc_ok(&format!(r#"{{"op":"count","session":"{session}"}}"#));
+        }
+    }
+
+    let stats = client.rpc_ok(r#"{"op":"stats"}"#);
+    let engine = stats.get("engine").expect("aggregate engine block");
+    let shards = stats
+        .get("shards")
+        .and_then(Json::as_arr)
+        .expect("per-shard stats array");
+    assert_eq!(shards.len(), 4, "one stats block per shard");
+    for key in ["hits", "misses", "evictions", "entries"] {
+        let total: u64 = shards
+            .iter()
+            .map(|s| s.get(key).and_then(Json::as_u64).expect("counter present"))
+            .sum();
+        assert_eq!(
+            Some(total),
+            engine.get(key).and_then(Json::as_u64),
+            "per-shard {key} must sum to the aggregate"
+        );
+    }
+    // Shard ids are distinct and the traffic actually spread: with 8
+    // distinct (pattern, length) instances over 4 shards, at least two
+    // shards must hold entries (pigeonhole would allow one only if the
+    // ring were degenerate).
+    let ids: Vec<u64> = shards
+        .iter()
+        .map(|s| s.get("id").and_then(Json::as_u64).expect("shard id"))
+        .collect();
+    let mut distinct = ids.clone();
+    distinct.dedup();
+    assert_eq!(ids, distinct, "shard ids must be distinct and ordered");
+    let populated = shards
+        .iter()
+        .filter(|s| s.get("entries").and_then(Json::as_u64) != Some(0))
+        .count();
+    assert!(populated >= 2, "instances did not spread across shards");
+    // Mirror check against the in-process stats the wire serialized.
+    let direct = server.engine().stats();
+    assert_eq!(
+        direct.per_shard.iter().map(|(_, s)| s.hits).sum::<u64>(),
+        direct.aggregate.hits
+    );
+    handle.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restart_restores_instances_into_their_home_shards() {
+    // The shard-aware warm pass: snapshots persisted by one server must be
+    // restored by a restarted *sharded* server onto exactly the shard each
+    // fingerprint routes to — so the first repeated prepare is a hit with
+    // zero misses anywhere in the fleet.
+    let dir = std::env::temp_dir().join(format!("lsc-serve-shard-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = |shards| ServeConfig {
+        engine: test_engine_config(),
+        shards,
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // First lifetime (single shard): compile and persist all workloads.
+    let fingerprints: Vec<u64> = {
+        let server = Server::new(config(1)).unwrap();
+        let conn = server.open_conn();
+        let mut fps = Vec::new();
+        for (pattern, length) in WORKLOADS {
+            let prepared = server.handle_line(
+                conn,
+                &format!(r#"{{"op":"prepare","regex":"{pattern}","length":{length}}}"#),
+            );
+            let prepared = json::parse(&prepared.text).unwrap();
+            let session = field_str(&prepared, "session");
+            // Materialize (and persist) at least the classification+count.
+            server.handle_line(conn, &format!(r#"{{"op":"count","session":"{session}"}}"#));
+            fps.push(u64::from_str_radix(&field_str(&prepared, "fingerprint"), 16).unwrap());
+        }
+        assert!(server.stats().snapshots_saved >= WORKLOADS.len() as u64);
+        server.shutdown();
+        fps
+    };
+
+    // Second lifetime: a 4-shard fleet warms from the same directory.
+    let server = Server::new(config(4)).unwrap();
+    assert_eq!(server.warm_report().loaded, WORKLOADS.len());
+    let engine = server.engine();
+    for &fp in &fingerprints {
+        assert_eq!(
+            engine.resident_shards(fp),
+            vec![engine.shard_for_fingerprint(fp)],
+            "snapshot restored off its home shard"
+        );
+    }
+    // Repeat traffic is served warm: every prepare hits, no shard compiles.
+    let conn = server.open_conn();
+    for (pattern, length) in WORKLOADS {
+        let prepared = server.handle_line(
+            conn,
+            &format!(r#"{{"op":"prepare","regex":"{pattern}","length":{length}}}"#),
+        );
+        let prepared = json::parse(&prepared.text).unwrap();
+        assert_eq!(prepared.get("cached"), Some(&Json::Bool(true)));
+    }
+    assert_eq!(engine.stats().aggregate.misses, 0, "no shard recompiled");
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -130,7 +130,7 @@ fn main() {
         "warm restart must serve the repeated prepare from the snapshot"
     );
     assert_eq!(
-        server2.engine().stats().misses,
+        server2.engine().stats().aggregate.misses,
         0,
         "no recompilation after a warm restart"
     );

@@ -106,15 +106,25 @@ def speedup(group):
     warm = mean_of(group, "warm-engine")
     return round(cold / warm, 2) if cold and warm else None
 
+def ratio(group, slow, fast):
+    a, b = mean_of(group, slow), mean_of(group, fast)
+    return round(a / b, 2) if a and b else None
+
 snapshot = {
     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     "git_rev": subprocess.run(
         ["git", "rev-parse", "--short", "HEAD"],
         capture_output=True, text=True,
     ).stdout.strip() or "unknown",
-    "workload": "8 repeated queries per iteration; blowup(10)@40 exact, contains-101@20 fpras",
+    "workload": ("8 repeated queries per iteration; blowup(10)@40 exact, "
+                 "contains-101@20 fpras; shard scaling: 8 threads x 4000 warm "
+                 "resolutions over 16 instances, 1 vs 8 shards"),
+    "cpus": os.cpu_count(),
     "warm_vs_cold_exact_speedup": speedup("engine/e14-warm-vs-cold-exact"),
     "warm_vs_cold_fpras_speedup": speedup("engine/e14-warm-vs-cold-fpras"),
+    "shard_resolution_speedup": ratio(
+        "engine/e19-shard-scaling", "shards/1", "shards/8"
+    ),
     "benchmarks": results,
 }
 
@@ -130,7 +140,8 @@ with open(path, "w") as fh:
 
 print(f"\nBENCH_engine.json: appended snapshot #{len(history)}"
       f" (warm vs cold: exact {snapshot['warm_vs_cold_exact_speedup']}x,"
-      f" fpras {snapshot['warm_vs_cold_fpras_speedup']}x)")
+      f" fpras {snapshot['warm_vs_cold_fpras_speedup']}x;"
+      f" shard resolution {snapshot['shard_resolution_speedup']}x)")
 PY
 
 # --- Cursor trajectory --------------------------------------------------------
@@ -241,7 +252,11 @@ snapshot = {
         capture_output=True, text=True,
     ).stdout.strip() or "unknown",
     "workload": ("blowup(10)@40 warm count/page over TCP; 4-motif@120 "
-                 "warm-restart (classification + det-count persisted)"),
+                 "warm-restart (classification + det-count persisted); "
+                 "shard scaling: 8 TCP clients x 8 warm counts over 8 "
+                 "distinct instances, 1 vs 8 shards, 8 workers; "
+                 "shard speedups tie on single-core hosts by design"),
+    "cpus": os.cpu_count(),
     "request_latency_count_ns": count_ns,
     "requests_per_sec_1_client": (
         round(8 / (mean_of("serve/e18-throughput", "clients/1") / 1e9), 1)
@@ -253,6 +268,20 @@ snapshot = {
     ),
     "warm_restart_speedup": ratio(
         "serve/e17-warm-restart", "cold-start-first-query", "warm-restart-first-query"
+    ),
+    "shard_scaling_speedup": ratio(
+        "serve/e19-shard-scaling", "shards/1", "shards/8"
+    ),
+    # 72 requests per iteration: each of the 8 clients opens a fresh
+    # connection, sends 1 prepare + 8 counts — so this figure includes
+    # connection-setup cost.
+    "requests_per_sec_8_clients_1_shard": (
+        round(72 / (mean_of("serve/e19-shard-scaling", "shards/1") / 1e9), 1)
+        if mean_of("serve/e19-shard-scaling", "shards/1") else None
+    ),
+    "requests_per_sec_8_clients_8_shards": (
+        round(72 / (mean_of("serve/e19-shard-scaling", "shards/8") / 1e9), 1)
+        if mean_of("serve/e19-shard-scaling", "shards/8") else None
     ),
     "benchmarks": results,
 }
@@ -269,5 +298,6 @@ with open(path, "w") as fh:
 
 print(f"\nBENCH_serve.json: appended snapshot #{len(history)}"
       f" (warm restart: {snapshot['warm_restart_speedup']}x,"
-      f" warm count rtt: {snapshot['request_latency_count_ns']} ns)")
+      f" warm count rtt: {snapshot['request_latency_count_ns']} ns,"
+      f" shard scaling 8 clients: {snapshot['shard_scaling_speedup']}x)")
 PY

@@ -16,6 +16,14 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== shard stress: 2 threads (smoke) =="
+LSC_STRESS_OPS=64 LSC_STRESS_THREADS=2 \
+cargo test -q --release -p lsc-core --test shard_stress
+
+echo "== shard stress: 8 threads (smoke) =="
+LSC_STRESS_OPS=64 LSC_STRESS_THREADS=8 \
+cargo test -q --release -p lsc-core --test shard_stress
+
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

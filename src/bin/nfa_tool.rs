@@ -9,11 +9,11 @@
 //! nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]
 //! nfa-tool classify  (--regex PAT | --file NFA.txt)
 //! nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]
-//! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S]
-//!                    [--page-size P]
+//! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M]
+//!                    [--seed S] [--page-size P]
 //! nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N]
 //!                    [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR]
-//!                    [--cache-mb M] [--seed S]
+//!                    [--cache-mb M] [--seed S] [--shards S]
 //! ```
 //!
 //! `--regex` patterns use the alphabet given by `--alphabet` (default `01`).
@@ -28,8 +28,9 @@
 //! `lsc_core::engine::ResumeToken`). Tokens are bound to the instance: a
 //! token minted for one automaton/length is rejected by any other.
 //!
-//! `batch` answers many queries through one prepared-instance engine
-//! ([`lsc_core::engine::Engine`]) using the session flow: each query line is
+//! `batch` answers many queries through one sharded prepared-instance
+//! engine ([`lsc_core::engine::ShardedEngine`]; `--shards`, default one
+//! per core) using the session flow: each query line is
 //! resolved to an [`InstanceHandle`] first (repeated patterns hit the
 //! instance cache instead of recompiling), `count`/`sample` lines are
 //! answered through one handle-based `query_batch`, and `enumerate` lines
@@ -70,8 +71,8 @@ use lsc_automata::ops::{ambiguity_degree, AmbiguityDegree};
 use lsc_automata::regex::Regex;
 use lsc_automata::{format_word, io, Alphabet, Nfa};
 use lsc_core::engine::{
-    count_routed, CountRoute, Engine, EngineConfig, InstanceHandle, QueryKind, QueryOutput,
-    QueryRequest, ResumeToken, RouterConfig, WordCursor,
+    count_routed, CountRoute, EngineConfig, InstanceHandle, QueryKind, QueryOutput, QueryRequest,
+    ResumeToken, RouterConfig, ShardedConfig, ShardedEngine, WordCursor,
 };
 use lsc_core::fpras::FprasParams;
 use lsc_core::sample::GenOutcome;
@@ -130,8 +131,8 @@ fn usage(msg: &str) -> ! {
            nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]\n  \
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
-           nfa-tool batch     [--file QUERIES.txt] [--threads T] [--cache-mb M] [--seed S] [--page-size P]\n  \
-           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S]\n  \
+           nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M] [--seed S] [--page-size P]\n  \
+           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]\n  \
            common: [--alphabet CHARS]  (default 01)\n\
            batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
     );
@@ -189,7 +190,13 @@ fn run_batch(args: &Args) {
         seed,
         ..EngineConfig::default()
     };
-    let engine = Engine::new(config);
+    // Answers are bit-identical at any shard count; sharding only spreads
+    // cache resolution across independent LRUs (default: one per core).
+    let engine = ShardedEngine::new(ShardedConfig {
+        engine: config,
+        shards: args.get_usize("shards").unwrap_or(0),
+        ..ShardedConfig::default()
+    });
     // Phase 1 — the session flow: each line resolves to an instance handle
     // (compiling its pattern at most once engine-wide), so the requests
     // below carry handles, never automata.
@@ -322,12 +329,13 @@ fn run_batch(args: &Args) {
     }
     let stats = engine.stats();
     println!(
-        "# cache: {} hits, {} misses, {} evictions; {} instances, ~{} KiB",
-        stats.hits,
-        stats.misses,
-        stats.evictions,
-        stats.entries,
-        stats.bytes / 1024
+        "# cache: {} hits, {} misses, {} evictions; {} instances, ~{} KiB across {} shard(s)",
+        stats.aggregate.hits,
+        stats.aggregate.misses,
+        stats.aggregate.evictions,
+        stats.aggregate.entries,
+        stats.aggregate.bytes / 1024,
+        stats.per_shard.len(),
     );
 }
 
@@ -397,6 +405,9 @@ fn run_serve(args: &Args) {
     }
     if let Some(seed) = args.get_usize("seed") {
         config.engine.seed = seed as u64;
+    }
+    if let Some(shards) = args.get_usize("shards") {
+        config.shards = shards;
     }
     if let Some(dir) = args.get("snapshot-dir") {
         config.snapshot_dir = Some(dir.into());
