@@ -748,7 +748,7 @@ mod tests {
     #[test]
     fn virtual_nodes_spread_keys_over_every_shard() {
         let map = ShardMap::new(8, 64);
-        let mut seen = vec![0usize; 8];
+        let mut seen = [0usize; 8];
         for fp in 0..4000u64 {
             seen[map.shard_for(fp)] += 1;
         }

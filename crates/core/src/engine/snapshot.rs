@@ -37,8 +37,27 @@
 //! [`SnapshotError::Corrupt`], never served. Writes go through a temp file
 //! plus an atomic rename, so a crash mid-save cannot leave a torn snapshot
 //! under the final name.
+//!
+//! **Crash safety.** A publish is durable, not just atomic: the temp file
+//! is `fsync`ed before the rename and the directory is `fsync`ed after it,
+//! so a machine crash cannot reorder the rename ahead of the data. Opening
+//! a store sweeps the debris earlier crashes can leave: stale `*.tmp`
+//! files (a writer died mid-save) are deleted, and `*.snap` files that
+//! fail validation are *quarantined* — renamed to `*.snap.quarantined`, out
+//! of the serving path but on disk for inspection — instead of crashing
+//! the startup or being served. The sweep's findings are reported in
+//! [`SweepReport`] (surfaced by the server's `health`/`stats` verbs). The
+//! net recovery contract: after a crash at *any* write boundary, a
+//! restarted store serves exactly the prefix of fully published snapshots,
+//! and a corrupted file costs one re-preparation, never a wrong answer.
+//!
+//! For tests, every save consults an optional
+//! [`FaultPlan`](crate::serve::faults::FaultPlan): planned disk errors
+//! fail the save cleanly and planned torn writes crash it mid-temp-file —
+//! exactly the debris the sweep is specified against.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -48,6 +67,7 @@ use lsc_automata::ops::AmbiguityDegree;
 
 use crate::engine::cache::Engine;
 use crate::engine::prepared::PreparedInstance;
+use crate::serve::faults::{Fault, FaultPlan, FaultSite};
 
 const MAGIC: &[u8; 8] = b"LSCSNAP1";
 const VERSION: u32 = 1;
@@ -103,6 +123,18 @@ pub struct WarmReport {
     pub rejected: usize,
 }
 
+/// What the crash-recovery sweep at [`SnapshotStore::open`] found: debris
+/// from interrupted writers (stale temp files, deleted) and snapshots that
+/// failed validation (quarantined as `*.snap.quarantined`, never served).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Stale `*.tmp` files deleted (a writer crashed mid-save).
+    pub tmp_removed: usize,
+    /// Corrupt or truncated `*.snap` files renamed out of the serving
+    /// path (`*.snap.quarantined`).
+    pub quarantined: usize,
+}
+
 /// A directory of fingerprint-keyed [`PreparedInstance`] snapshots.
 ///
 /// The store is safe to share across threads: saves are atomic
@@ -137,25 +169,55 @@ pub struct SnapshotStore {
     /// Checksum of the last payload saved per fingerprint, so repeated saves
     /// of an unchanged artifact skip the filesystem entirely.
     saved: Mutex<HashMap<u64, u64>>,
+    /// What the crash-recovery sweep found at open time.
+    sweep: SweepReport,
+    /// Planned fault injection for saves (`None` in production — a single
+    /// branch, no other cost).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SnapshotStore {
-    /// Opens (creating if necessary) a snapshot directory.
+    /// Opens (creating if necessary) a snapshot directory and runs the
+    /// crash-recovery sweep: stale `*.tmp` files are deleted and corrupt
+    /// `*.snap` files are quarantined ([`SnapshotStore::sweep_report`]).
     ///
     /// # Errors
-    /// Propagates the directory-creation failure.
+    /// Propagates the directory-creation failure (the sweep itself is
+    /// best-effort: an unreadable entry is skipped, not fatal).
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<SnapshotStore> {
+        SnapshotStore::open_with_faults(dir, None)
+    }
+
+    /// [`SnapshotStore::open`] with a fault plan: planned
+    /// [`Fault::DiskError`]s fail saves cleanly and planned
+    /// [`Fault::TornWrite`]s crash them mid-temp-file. Production callers
+    /// pass `None` (what `open` does).
+    ///
+    /// # Errors
+    /// As [`SnapshotStore::open`].
+    pub fn open_with_faults(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<SnapshotStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let sweep = sweep_debris(&dir);
         Ok(SnapshotStore {
             dir,
             saved: Mutex::new(HashMap::new()),
+            sweep,
+            faults,
         })
     }
 
     /// The directory the store persists into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// What the open-time crash-recovery sweep found.
+    pub fn sweep_report(&self) -> SweepReport {
+        self.sweep
     }
 
     /// The file a given instance fingerprint persists to.
@@ -207,12 +269,52 @@ impl SnapshotStore {
         bytes.extend_from_slice(&checksum.to_le_bytes());
         bytes.extend_from_slice(&payload);
         let tmp = self.dir.join(format!("{fingerprint:016x}.tmp"));
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &path)?;
+        self.publish(&tmp, &path, &bytes)?;
         // Only a durable file marks the checksum as saved — a failed write
         // above must be retried by the next save, not remembered as done.
         record(self);
         Ok(true)
+    }
+
+    /// The durable publish: write `bytes` to `tmp`, `fsync` the file,
+    /// rename over `path`, `fsync` the directory — with planned faults
+    /// injected ahead of (disk error) or inside (torn write) the temp
+    /// write. A torn write deliberately leaves the partial `tmp` behind:
+    /// that is the debris the open-time sweep is specified against.
+    fn publish(&self, tmp: &Path, path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if let Some(plan) = &self.faults {
+            if let Some(planned) = plan.decide(FaultSite::SnapshotWrite) {
+                match planned.fault {
+                    Fault::DiskError => {
+                        return Err(SnapshotError::Io(std::io::Error::other(
+                            "injected: snapshot disk write error",
+                        )));
+                    }
+                    Fault::TornWrite => {
+                        // Crash mid-temp-file: a strict prefix lands on
+                        // disk under the `.tmp` name, the rename never
+                        // happens.
+                        let keep = (planned.aux as usize) % bytes.len().max(1);
+                        let mut file = std::fs::File::create(tmp)?;
+                        file.write_all(&bytes[..keep])?;
+                        let _ = file.sync_all();
+                        return Err(SnapshotError::Io(std::io::Error::other(
+                            "injected: snapshot writer crashed mid-file",
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut file = std::fs::File::create(tmp)?;
+        file.write_all(bytes)?;
+        // Data must be durable before the rename can expose it, and the
+        // rename must be durable before the save is reported done.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(tmp, path)?;
+        fsync_dir(&self.dir)?;
+        Ok(())
     }
 
     /// Loads and validates one snapshot file.
@@ -291,6 +393,45 @@ impl SnapshotStore {
         }
         report
     }
+}
+
+/// `fsync` a directory so a just-completed rename inside it is durable.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// The open-time crash-recovery sweep: delete stale `*.tmp` files and
+/// rename invalid `*.snap` files to `*.snap.quarantined`. Best-effort —
+/// an entry that cannot be read or renamed is left alone (warm passes
+/// still refuse to serve it).
+fn sweep_debris(dir: &Path) -> SweepReport {
+    let mut report = SweepReport::default();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return report;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("tmp") if std::fs::remove_file(&path).is_ok() => {
+                report.tmp_removed += 1;
+            }
+            Some("snap") => {
+                let valid = std::fs::read(&path)
+                    .map_err(SnapshotError::from)
+                    .and_then(|bytes| decode(&bytes))
+                    .is_ok();
+                if !valid {
+                    let mut quarantine = path.clone().into_os_string();
+                    quarantine.push(".quarantined");
+                    if std::fs::rename(&path, &quarantine).is_ok() {
+                        report.quarantined += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report
 }
 
 // ---- payload codec ----

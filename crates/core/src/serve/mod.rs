@@ -17,6 +17,12 @@
 //!   with idle-TTL eviction.
 //! * [`WorkerPool`] — a bounded queue with admission control (reject with
 //!   `retry_after_ms` when full) and per-request deadlines.
+//! * [`faults`] — seeded deterministic fault injection ([`FaultPlan`])
+//!   threaded through the connection streams, the snapshot store, and the
+//!   worker jobs; `None` (the production configuration) is a passthrough.
+//! * [`client`] — the reconnecting client: exponential backoff with
+//!   seeded jitter, `retry_after_ms` honored, idle-safe verbs replayed,
+//!   cursors resumed from their last token across resets and restarts.
 //!
 //! [`Server`] assembles them around one shared
 //! [`ShardedEngine`](crate::engine::ShardedEngine) — N independent
@@ -40,12 +46,16 @@
 //! server.shutdown();
 //! ```
 
+pub mod client;
+pub mod faults;
 pub mod json;
 mod pool;
 pub mod protocol;
 mod server;
 mod session;
 
+pub use client::{Client, ClientConfig, ClientError, ClientStats};
+pub use faults::{Fault, FaultConfig, FaultPlan, FaultSite, FaultStats, FaultyStream};
 pub use pool::{PoolStats, SubmitError, WorkerPool};
 pub use protocol::{ErrorCode, WireError, PROTOCOL_VERSION};
 pub use server::{Reply, ServeConfig, ServeStats, Server, TcpServerHandle};

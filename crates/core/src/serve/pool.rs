@@ -138,6 +138,20 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// The bounded queue's capacity (what admission control rejects
+    /// beyond) — with [`PoolStats::queued`], the backlog fraction the
+    /// `health` verb and the adaptive `retry_after_ms` hint are computed
+    /// from.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Jobs currently queued (not yet picked up) — a cheaper read than
+    /// assembling full [`PoolStats`] for per-rejection hint computation.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().expect("pool queue poisoned").len()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {

@@ -15,6 +15,7 @@
 //! | `sample`      | `QueryKind::Sample`                 |
 //! | `close`       | — (drops the session)               |
 //! | `stats`       | `ShardedEngine::stats` (aggregate + per-shard) + server counters |
+//! | `health`      | — (liveness/degradation probe: shard count, pool depth, snapshot-store status) |
 //! | `bye`         | — (ends the connection)             |
 //!
 //! The full normative reference — every field, an example session
@@ -164,6 +165,10 @@ pub enum Request {
     },
     /// Engine + server counters.
     Stats,
+    /// Liveness and degradation probe: shard count, worker-pool depth,
+    /// snapshot-store status, and the fault counters — cheap enough for a
+    /// load balancer to poll (no engine work, no session required).
+    Health,
     /// End the connection after the response.
     Bye,
 }
@@ -285,6 +290,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, WireError> {
                 session: session(&value)?,
             },
             "stats" => Request::Stats,
+            "health" => Request::Health,
             "bye" => Request::Bye,
             other => return Err(WireError::bad(format!("unknown op {other:?}"))),
         };
@@ -376,6 +382,7 @@ mod tests {
                 },
             ),
             (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"health"}"#, Request::Health),
             (r#"{"op":"bye"}"#, Request::Bye),
         ];
         for (line, expected) in cases {

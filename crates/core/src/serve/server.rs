@@ -36,8 +36,10 @@ use lsc_automata::{format_word, io as nfa_io, Alphabet, Word};
 
 use crate::engine::{
     CountRoute, EngineConfig, EngineStats, PreparedInstance, QueryError, QueryKind, QueryOutput,
-    QueryRequest, ResumeToken, ShardedConfig, ShardedEngine, SnapshotStore, WarmReport,
+    QueryRequest, ResumeToken, ShardedConfig, ShardedEngine, SnapshotStore, SweepReport,
+    WarmReport,
 };
+use crate::serve::faults::{Fault, FaultPlan, FaultSite, FaultyStream};
 use crate::serve::json::Json;
 use crate::serve::pool::{PoolStats, SubmitError, WorkerPool};
 use crate::serve::protocol::{
@@ -81,6 +83,21 @@ pub struct ServeConfig {
     /// from pinning a worker (and buffering unbounded witnesses)
     /// indefinitely. Requests beyond it are rejected `bad-request`.
     pub max_batch: usize,
+    /// Read timeout on accepted sockets: a peer silent for this long is
+    /// reaped (connection closed, sessions dropped at disconnect) instead
+    /// of pinning a connection thread forever. `None` waits indefinitely
+    /// (the pre-hardening behavior). Resume tokens survive the reap — a
+    /// reaped client reconnects and continues its cursors.
+    pub read_timeout: Option<Duration>,
+    /// Write timeout on accepted sockets: a peer that stops draining its
+    /// socket (slow-loris reads) fails the write and is reaped, instead
+    /// of blocking a connection thread on a full kernel buffer.
+    pub write_timeout: Option<Duration>,
+    /// Deterministic fault injection ([`FaultPlan`]) threaded through the
+    /// connection streams, the snapshot store, and the worker jobs.
+    /// `None` — the production configuration — compiles to passthrough
+    /// I/O (one pointer-null branch per operation).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +114,9 @@ impl Default for ServeConfig {
             default_alphabet: "01".to_string(),
             default_page_size: 100,
             max_batch: 100_000,
+            read_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            faults: None,
         }
     }
 }
@@ -119,6 +139,19 @@ pub struct ServeStats {
     pub snapshots_rejected: usize,
     /// Snapshots written since startup.
     pub snapshots_saved: u64,
+    /// Corrupt snapshot files quarantined by the startup sweep
+    /// (`*.snap.quarantined` — out of the serving path, kept on disk).
+    pub snapshots_quarantined: usize,
+    /// Stale snapshot temp files reaped by the startup sweep (debris of
+    /// writers that crashed mid-save).
+    pub snapshot_tmp_swept: usize,
+    /// Connections that ended on an I/O error (peer reset, torn frame,
+    /// socket timeout) rather than a clean EOF/`bye` — each one is a
+    /// fault the server absorbed without affecting any other connection.
+    pub resets_survived: u64,
+    /// `overloaded` rejections issued with a `retry_after_ms` hint (the
+    /// server-side view of the client retry contract).
+    pub retries: u64,
     /// Worker-pool counters (admission control and deadlines).
     pub pool: PoolStats,
     /// Engine cache counters, aggregated over the shard fleet (including
@@ -151,10 +184,13 @@ struct ServerInner {
     /// re-encodes when something new materialized.
     snapshot_masks: Mutex<HashMap<u64, u8>>,
     warm: WarmReport,
+    sweep: SweepReport,
     next_conn: AtomicU64,
     connections: AtomicU64,
     requests: AtomicU64,
     snapshots_saved: AtomicU64,
+    resets_survived: AtomicU64,
+    retries_hinted: AtomicU64,
 }
 
 /// The serving façade over one engine. See the module docs; construction
@@ -179,9 +215,13 @@ impl Server {
             ..ShardedConfig::default()
         });
         let snapshots = match &config.snapshot_dir {
-            Some(dir) => Some(SnapshotStore::open(dir)?),
+            Some(dir) => Some(SnapshotStore::open_with_faults(dir, config.faults.clone())?),
             None => None,
         };
+        let sweep = snapshots
+            .as_ref()
+            .map(|store| store.sweep_report())
+            .unwrap_or_default();
         let warm = snapshots
             .as_ref()
             .map(|store| store.warm_sharded(&engine))
@@ -197,10 +237,13 @@ impl Server {
                 snapshots,
                 snapshot_masks: Mutex::new(HashMap::new()),
                 warm,
+                sweep,
                 next_conn: AtomicU64::new(1),
                 connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 snapshots_saved: AtomicU64::new(0),
+                resets_survived: AtomicU64::new(0),
+                retries_hinted: AtomicU64::new(0),
             }),
         })
     }
@@ -359,13 +402,29 @@ impl Drop for TcpServerHandle {
 fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
     let conn = inner.next_conn.fetch_add(1, Ordering::Relaxed);
     inner.connections.fetch_add(1, Ordering::Relaxed);
+    // Socket timeouts: a silent or non-draining peer fails its next I/O
+    // call and the connection is reaped like any other dirty exit instead
+    // of pinning this thread forever. (Setting them is best-effort — a
+    // socket racing into error here just dies on the first read below.)
+    let _ = stream.set_read_timeout(inner.config.read_timeout);
+    let _ = stream.set_write_timeout(inner.config.write_timeout);
+    // One full frame per write: Nagle + delayed ACK would otherwise stall
+    // small request/response lines for tens of milliseconds.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
+        inner.resets_survived.fetch_add(1, Ordering::Relaxed);
+        inner.sessions.drop_conn(conn);
         return;
     };
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let plan = inner.config.faults.clone();
+    let reader = BufReader::new(FaultyStream::new(read_half, plan.clone()));
+    let mut writer = BufWriter::new(FaultyStream::new(stream, plan));
+    let mut dirty = false;
     for line in reader.lines() {
-        let Ok(line) = line else { break };
+        let Ok(line) = line else {
+            dirty = true;
+            break;
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -374,11 +433,17 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
             .and_then(|()| writer.flush())
             .is_err()
         {
+            dirty = true;
             break;
         }
         if reply.close {
             break;
         }
+    }
+    if dirty {
+        // An I/O error (peer reset, injected fault, socket timeout) ended
+        // this connection; every other connection is unaffected.
+        inner.resets_survived.fetch_add(1, Ordering::Relaxed);
     }
     inner.sessions.drop_conn(conn);
 }
@@ -394,6 +459,10 @@ impl ServerInner {
             snapshots_loaded: self.warm.loaded,
             snapshots_rejected: self.warm.rejected,
             snapshots_saved: self.snapshots_saved.load(Ordering::Relaxed),
+            snapshots_quarantined: self.sweep.quarantined,
+            snapshot_tmp_swept: self.sweep.tmp_removed,
+            resets_survived: self.resets_survived.load(Ordering::Relaxed),
+            retries: self.retries_hinted.load(Ordering::Relaxed),
             pool: self.pool.stats(),
             engine: engine.aggregate,
             shards: engine.per_shard,
@@ -407,6 +476,16 @@ impl ServerInner {
             let line = line.to_string();
             let tx = tx.clone();
             move || {
+                if let Some(plan) = &inner.config.faults {
+                    if let Some(planned) = plan.decide(FaultSite::Job) {
+                        if planned.fault == Fault::Panic {
+                            // Contained by the pool's catch_unwind; the
+                            // submitter sees the dropped reply channel and
+                            // answers `internal` (close: true).
+                            panic!("injected: queued job panic");
+                        }
+                    }
+                }
                 let _ = tx.send(inner.handle_line(conn, &line));
             }
         };
@@ -438,7 +517,8 @@ impl ServerInner {
                     ErrorCode::Overloaded,
                     "request queue is full; back off and retry",
                 );
-                error.retry_after_ms = Some(self.config.retry_after.as_millis() as u64);
+                error.retry_after_ms = Some(self.retry_after_ms());
+                self.retries_hinted.fetch_add(1, Ordering::Relaxed);
                 Reply {
                     text: error_response(id.as_ref(), &error),
                     close: false,
@@ -452,6 +532,18 @@ impl ServerInner {
                 close: true,
             },
         }
+    }
+
+    /// The `retry_after_ms` hint, scaled to the current backlog: the
+    /// configured base times `1 + queued/workers` (roughly "how many
+    /// queue generations stand between you and a worker"), capped at
+    /// 32× the base so a pathological backlog never tells clients to
+    /// sleep unboundedly.
+    fn retry_after_ms(&self) -> u64 {
+        let base = (self.config.retry_after.as_millis() as u64).max(1);
+        let workers = self.config.workers.max(1) as u64;
+        let generations = 1 + self.pool.queued() as u64 / workers;
+        base.saturating_mul(generations).min(base * 32)
     }
 
     fn handle_line(&self, conn: u64, line: &str) -> Reply {
@@ -631,6 +723,19 @@ impl ServerInner {
                                 "snapshots_saved".to_string(),
                                 Json::num(stats.snapshots_saved as f64),
                             ),
+                            (
+                                "snapshots_quarantined".to_string(),
+                                Json::num(stats.snapshots_quarantined as f64),
+                            ),
+                            (
+                                "snapshot_tmp_swept".to_string(),
+                                Json::num(stats.snapshot_tmp_swept as f64),
+                            ),
+                            (
+                                "resets_survived".to_string(),
+                                Json::num(stats.resets_survived as f64),
+                            ),
+                            ("retries".to_string(), Json::num(stats.retries as f64)),
                         ]),
                     ),
                     ("engine".to_string(), engine_stats_json(&stats.engine, None)),
@@ -643,6 +748,28 @@ impl ServerInner {
                                 .map(|(id, s)| engine_stats_json(s, Some(*id)))
                                 .collect(),
                         ),
+                    ),
+                ])
+            }
+            Request::Health => {
+                let queued = self.pool.queued();
+                let capacity = self.pool.capacity();
+                let status = if queued >= capacity {
+                    "saturated"
+                } else {
+                    "ok"
+                };
+                Ok(vec![
+                    ("status".to_string(), Json::str(status)),
+                    ("queued".to_string(), Json::num(queued as f64)),
+                    ("queue_capacity".to_string(), Json::num(capacity as f64)),
+                    (
+                        "sessions_open".to_string(),
+                        Json::num(self.sessions.len() as f64),
+                    ),
+                    (
+                        "retry_after_ms".to_string(),
+                        Json::num(self.retry_after_ms() as f64),
                     ),
                 ])
             }

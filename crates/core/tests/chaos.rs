@@ -1,0 +1,422 @@
+//! Kill-the-server chaos suite: the serving layer plus the reconnecting
+//! client under deterministic fault injection and whole-server restarts.
+//!
+//! The contract under test lifts `shard_stress.rs` one layer up the
+//! stack: a seeded fleet of [`Client`]s runs seeded logs of mixed
+//! `COUNT` / `COUNT-exact` / paged `ENUM` / `GEN` ops over real TCP
+//! against a server wrapped in [`FaultConfig::chaos`] — short reads,
+//! partial writes, mid-frame resets, slow I/O, queued-job panics,
+//! snapshot disk errors and torn snapshot writes — while the harness
+//! **kills the entire server** (accept loop and worker pool) at ~1/3 and
+//! ~2/3 of total progress and warm-restarts it on the *same port* over
+//! the *same snapshot directory*. Every client's canonicalized outputs
+//! must be **bit-identical** to a fault-free serial replay of its own op
+//! log against an identically configured server.
+//!
+//! Why per-client serial replay is the right reference: clients are
+//! fully independent at the protocol level (sessions are
+//! connection-scoped and every answer is a pure function of the engine
+//! configuration and the request — the pin `serve.rs` establishes), and
+//! within one client, pages of an alias's enumeration are sequential by
+//! construction, so each client's output vector is a pure function of
+//! its own op log. Faults, restarts, evictions (the byte cap forces
+//! constant recompiles), snapshot warm-ups, and scheduling may change
+//! *how* an answer is produced — never the bytes.
+//!
+//! Sizing knobs for CI smoke runs (`scripts/ci.sh`): `LSC_CHAOS_OPS`
+//! (ops per client, default 24), `LSC_CHAOS_CLIENTS` (fleet size,
+//! default 4), `LSC_CHAOS_SEEDS` (comma-separated master seeds, default
+//! two), `LSC_CHAOS_KILLS` (kill/restart cycles per run, default 2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lsc_core::engine::{EngineConfig, RouterConfig};
+use lsc_core::fpras::FprasParams;
+use lsc_core::serve::json::Json;
+use lsc_core::serve::protocol::InstanceSpec;
+use lsc_core::serve::{
+    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, ServeConfig, Server,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---- configuration ----
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn master_seeds() -> Vec<u64> {
+    match std::env::var("LSC_CHAOS_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|v| {
+                let v = v.trim();
+                match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .collect(),
+        Err(_) => vec![0x00C0_FFEE, 0x0BAD_C0DE],
+    }
+}
+
+/// The engine configuration both executions share: FPRAS forced where
+/// determinization would win, quick sketch parameters, a fixed engine
+/// seed, and a byte cap small enough that instances are constantly
+/// evicted and recompiled mid-run (recovery must not depend on cache
+/// residency).
+fn chaos_engine_config() -> EngineConfig {
+    EngineConfig {
+        router: RouterConfig {
+            determinization_cap: 0,
+            fpras: FprasParams::quick(),
+            ..RouterConfig::default()
+        },
+        cache_bytes: 1,
+        seed: 0x57E5_5BEEF,
+        ..EngineConfig::default()
+    }
+}
+
+fn serve_config(
+    snapshot_dir: Option<std::path::PathBuf>,
+    faults: Option<Arc<FaultPlan>>,
+) -> ServeConfig {
+    ServeConfig {
+        engine: chaos_engine_config(),
+        workers: 4,
+        queue_depth: 64,
+        retry_after: Duration::from_millis(2),
+        snapshot_dir,
+        faults,
+        ..ServeConfig::default()
+    }
+}
+
+fn client_config(master_seed: u64, client: usize) -> ClientConfig {
+    ClientConfig {
+        seed: master_seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        max_attempts: 12,
+        backoff_base: Duration::from_millis(4),
+        backoff_cap: Duration::from_millis(250),
+        io_timeout: Some(Duration::from_secs(10)),
+    }
+}
+
+/// The instance zoo: two unambiguous routes, two ambiguous (FPRAS under
+/// cap 0; `count_exact` on these answers `not-unambiguous`, which is
+/// part of the replayed surface).
+const WORKLOADS: [(&str, usize); 4] = [
+    ("(0|1)*101(0|1)*", 9),
+    ("(0|1)*11", 8),
+    ("0*1(0|1)*0", 8),
+    ("(0|1)*00(0|1)*", 7),
+];
+
+/// Each client drives two aliases (dealt from the zoo by client index).
+const ALIASES_PER_CLIENT: usize = 2;
+
+// ---- the op log ----
+
+#[derive(Clone, Copy, Debug)]
+enum ChaosOp {
+    Count {
+        alias: usize,
+    },
+    CountExact {
+        alias: usize,
+    },
+    Page {
+        alias: usize,
+        size: usize,
+    },
+    Sample {
+        alias: usize,
+        count: usize,
+        seed: u64,
+    },
+}
+
+/// One client's seeded op log. Pages need no cross-op bookkeeping: the
+/// client's cursor (and its resume-token replay) makes page `k`'s content
+/// a pure function of the pages before it in this same log.
+fn op_log(master_seed: u64, client: usize, ops: usize) -> Vec<ChaosOp> {
+    let mut rng = StdRng::seed_from_u64(master_seed ^ 0xD1CE ^ ((client as u64) << 17));
+    (0..ops)
+        .map(|slot| {
+            let alias = rng.gen_range(0..ALIASES_PER_CLIENT);
+            match rng.gen_range(0..6u32) {
+                0 | 1 => ChaosOp::Count { alias },
+                2 => ChaosOp::CountExact { alias },
+                3 | 4 => ChaosOp::Page {
+                    alias,
+                    size: 1 + rng.gen_range(0..5usize),
+                },
+                _ => ChaosOp::Sample {
+                    alias,
+                    count: 1 + rng.gen_range(0..4usize),
+                    seed: (slot as u64).wrapping_mul(7919).wrapping_add(client as u64),
+                },
+            }
+        })
+        .collect()
+}
+
+// ---- execution ----
+
+fn alias_name(alias: usize) -> String {
+    format!("w{alias}")
+}
+
+fn workload_for(client: usize, alias: usize) -> (&'static str, usize) {
+    WORKLOADS[(client + alias) % WORKLOADS.len()]
+}
+
+fn prepare_aliases(client: &mut Client, who: usize) {
+    for alias in 0..ALIASES_PER_CLIENT {
+        let (pattern, length) = workload_for(who, alias);
+        client
+            .prepare(
+                alias_name(alias),
+                InstanceSpec::Regex {
+                    pattern: pattern.to_string(),
+                    alphabet: None,
+                },
+                length,
+            )
+            .expect("prepare rides the retry machinery");
+    }
+}
+
+fn words_of(value: &Json) -> String {
+    value
+        .get("words")
+        .and_then(Json::as_arr)
+        .expect("words array")
+        .iter()
+        .map(|w| w.as_str().expect("word string"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Executes one op to its canonical output string — what the bit-identity
+/// assertion compares. Deterministic server errors (`not-unambiguous` on
+/// the ambiguous instances) are part of the canonical surface; transient
+/// failures never reach this code (the client absorbs them) and anything
+/// that exhausts the retry budget fails the test loudly.
+fn run_op(client: &mut Client, op: &ChaosOp) -> String {
+    let canonical = |result: Result<Json, ClientError>, render: fn(&Json) -> String| match result {
+        Ok(value) => render(&value),
+        Err(ClientError::Server { code, .. }) => format!("err={code}"),
+        Err(e) => panic!("retry machinery gave up: {e}"),
+    };
+    match *op {
+        ChaosOp::Count { alias } => canonical(client.count(&alias_name(alias)), |v| {
+            format!(
+                "count route={} exact={} estimate={} count={:?}",
+                v.get("route").and_then(Json::as_str).expect("route"),
+                v.get("exact") == Some(&Json::Bool(true)),
+                v.get("estimate").and_then(Json::as_str).expect("estimate"),
+                v.get("count").and_then(Json::as_str),
+            )
+        }),
+        ChaosOp::CountExact { alias } => canonical(client.count_exact(&alias_name(alias)), |v| {
+            format!(
+                "exact {}",
+                v.get("count").and_then(Json::as_str).expect("count")
+            )
+        }),
+        ChaosOp::Page { alias, size } => {
+            canonical(client.enumerate_page(&alias_name(alias), Some(size)), |v| {
+                format!(
+                    "page rank={} done={} [{}]",
+                    v.get("rank").and_then(Json::as_u64).expect("rank"),
+                    v.get("done") == Some(&Json::Bool(true)),
+                    words_of(v)
+                )
+            })
+        }
+        ChaosOp::Sample { alias, count, seed } => {
+            canonical(client.sample(&alias_name(alias), count, seed), |v| {
+                format!("gen [{}]", words_of(v))
+            })
+        }
+    }
+}
+
+/// One client's full run: prepare its aliases, execute its log, bump the
+/// shared progress counter after every op (the kill scheduler watches it).
+fn run_client(
+    addr: &str,
+    config: ClientConfig,
+    who: usize,
+    log: &[ChaosOp],
+    progress: &AtomicUsize,
+) -> (Vec<String>, lsc_core::serve::ClientStats) {
+    let mut client = Client::new(addr, config);
+    prepare_aliases(&mut client, who);
+    let outputs = log
+        .iter()
+        .map(|op| {
+            let out = run_op(&mut client, op);
+            progress.fetch_add(1, Ordering::SeqCst);
+            out
+        })
+        .collect();
+    let stats = client.stats();
+    client.bye();
+    (outputs, stats)
+}
+
+/// The fault-free serial reference: each client's log replayed alone, in
+/// order, against a fresh fault-free server with the same engine
+/// configuration.
+fn serial_reference(master_seed: u64, clients: usize, ops: usize) -> Vec<Vec<String>> {
+    let server = Server::new(serve_config(None, None)).unwrap();
+    let mut tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let addr = tcp.addr().to_string();
+    let progress = AtomicUsize::new(0);
+    let expected = (0..clients)
+        .map(|c| {
+            let log = op_log(master_seed, c, ops);
+            run_client(&addr, client_config(master_seed, c), c, &log, &progress).0
+        })
+        .collect();
+    tcp.shutdown();
+    server.shutdown();
+    expected
+}
+
+/// One chaos round at one master seed: concurrent faulted fleet with
+/// kill/restart cycles, compared against the fault-free serial replay.
+fn chaos_round(master_seed: u64, clients: usize, ops: usize, kills: usize) {
+    let expected = serial_reference(master_seed, clients, ops);
+
+    let dir =
+        std::env::temp_dir().join(format!("lsc-chaos-{master_seed:x}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let plan = FaultPlan::new(FaultConfig::chaos(master_seed));
+    let config = || serve_config(Some(dir.clone()), Some(plan.clone()));
+
+    let server = Server::new(config()).unwrap();
+    let tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let addr = tcp.addr().to_string();
+    let mut incumbent = Some((server, tcp));
+
+    let logs: Vec<Vec<ChaosOp>> = (0..clients).map(|c| op_log(master_seed, c, ops)).collect();
+    let total = clients * ops;
+    let progress = AtomicUsize::new(0);
+
+    let results: Vec<(Vec<String>, lsc_core::serve::ClientStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let log = &logs[c];
+                let progress = &progress;
+                let config = client_config(master_seed, c);
+                scope.spawn(move || run_client(&addr, config, c, log, progress))
+            })
+            .collect();
+
+        // The killer: at each scheduled progress point, tear the whole
+        // server down — accept loop, worker pool, live connections' pool
+        // access — then warm-restart it on the same port over the same
+        // snapshot directory. Clients must stitch across the gap on
+        // their own.
+        let deadline = Instant::now() + Duration::from_secs(300);
+        for k in 1..=kills {
+            let point = (total * k) / (kills + 1);
+            while progress.load(Ordering::SeqCst) < point && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let (server, mut tcp) = incumbent.take().expect("a server is always running");
+            tcp.shutdown();
+            server.shutdown();
+            drop(tcp);
+            drop(server);
+            let server = Server::new(config()).unwrap();
+            let tcp = {
+                let mut attempts = 0;
+                loop {
+                    match server.spawn_tcp(&addr) {
+                        Ok(tcp) => break tcp,
+                        Err(e) => {
+                            attempts += 1;
+                            assert!(attempts < 1000, "could not rebind {addr}: {e}");
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            };
+            incumbent = Some((server, tcp));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let (server, mut tcp) = incumbent.take().expect("final server");
+    tcp.shutdown();
+    server.shutdown();
+
+    // The headline pin: every client's stream is bit-identical to its
+    // fault-free serial replay.
+    for (c, ((got, _), want)) in results.iter().zip(&expected).enumerate() {
+        for (slot, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(
+                g, w,
+                "seed {master_seed:#x}: client {c} op {slot} ({:?}) drifted",
+                logs[c][slot]
+            );
+        }
+        assert_eq!(got.len(), want.len(), "client {c} dropped ops");
+    }
+    // The chaos actually bit, and the kills actually forced recovery.
+    let faults = plan.stats();
+    assert!(
+        faults.total() > 0,
+        "seed {master_seed:#x}: the fault plan never fired: {faults:?}"
+    );
+    let reconnects: u64 = results.iter().map(|(_, s)| s.reconnects).sum();
+    assert!(
+        reconnects >= 1,
+        "seed {master_seed:#x}: two server kills forced no reconnect"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- the suite ----
+
+/// The headline chaos pin, across every configured master seed.
+#[test]
+fn faulted_fleet_with_kill_restarts_matches_fault_free_serial_replay() {
+    let ops = env_usize("LSC_CHAOS_OPS", 24);
+    let clients = env_usize("LSC_CHAOS_CLIENTS", 4);
+    let kills = env_usize("LSC_CHAOS_KILLS", 2);
+    for seed in master_seeds() {
+        chaos_round(seed, clients, ops, kills);
+    }
+}
+
+/// Harness sanity: op logs are pure functions of (seed, client) and two
+/// clients never share one (their enumeration cursors are independent,
+/// but distinct logs keep the suite from degenerating into one shape).
+#[test]
+fn op_logs_are_deterministic_and_distinct_per_client() {
+    let a = op_log(7, 0, 40);
+    let b = op_log(7, 0, 40);
+    assert_eq!(
+        a.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+        b.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+    );
+    let c = op_log(7, 1, 40);
+    assert_ne!(
+        a.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+        c.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+    );
+}

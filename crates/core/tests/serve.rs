@@ -490,7 +490,7 @@ fn snapshot_restart_serves_first_repeat_query_as_cache_hit() {
 }
 
 #[test]
-fn corrupted_snapshots_are_rejected_at_warm_time() {
+fn corrupted_snapshots_are_quarantined_at_startup() {
     let dir = std::env::temp_dir().join(format!("lsc-serve-corrupt-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let config = || ServeConfig {
@@ -519,8 +519,16 @@ fn corrupted_snapshots_are_rejected_at_warm_time() {
     std::fs::write(&file, &bytes).unwrap();
 
     let server = Server::new(config()).unwrap();
+    // The open-time sweep quarantines the file before the warm pass ever
+    // sees it: nothing loads, nothing is even offered to the warm pass,
+    // and the corrupt bytes are renamed out of the serving path but kept
+    // on disk for inspection.
     assert_eq!(server.warm_report().loaded, 0);
-    assert_eq!(server.warm_report().rejected, 1);
+    assert_eq!(server.warm_report().rejected, 0);
+    assert_eq!(server.stats().snapshots_quarantined, 1);
+    assert!(!file.exists(), "corrupt snapshot left in the serving path");
+    let quarantined = std::path::PathBuf::from(format!("{}.quarantined", file.display()));
+    assert!(quarantined.exists(), "quarantined copy kept for inspection");
     // The instance recompiles (a miss) rather than serving corrupt data.
     let conn = server.open_conn();
     let prepared = server.handle_line(conn, r#"{"op":"prepare","regex":"(0|1)*11","length":6}"#);
@@ -658,6 +666,123 @@ fn snapshot_restart_restores_instances_into_their_home_shards() {
     assert_eq!(engine.stats().aggregate.misses, 0, "no shard recompiled");
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// [`Server::handle_line`] with an `ok: true` assertion — the direct
+/// (transport-free, out-of-band) path `health` probes ride.
+fn ok_line(server: &Server, conn: u64, line: &str) -> Json {
+    let reply = server.handle_line(conn, line);
+    let value = json::parse(&reply.text).expect("reply is JSON");
+    assert_eq!(
+        value.get("ok"),
+        Some(&Json::Bool(true)),
+        "request {line:?} failed: {}",
+        reply.text
+    );
+    value
+}
+
+#[test]
+fn health_answers_out_of_band_and_scales_the_retry_hint_with_backlog() {
+    let config = ServeConfig {
+        engine: test_engine_config(),
+        workers: 1,
+        queue_depth: 6,
+        retry_after: Duration::from_millis(7),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).unwrap();
+    let conn = server.open_conn();
+
+    // Idle: healthy, empty queue, the hint is exactly the configured base.
+    let idle = ok_line(&server, conn, r#"{"op":"health"}"#);
+    assert_eq!(idle.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(idle.get("queued").and_then(Json::as_u64), Some(0));
+    assert_eq!(idle.get("queue_capacity").and_then(Json::as_u64), Some(6));
+    assert_eq!(idle.get("retry_after_ms").and_then(Json::as_u64), Some(7));
+
+    // Pile slow enumerations onto the single worker. While the backlog
+    // stands, the adaptive hint must rise above the base (one extra queue
+    // generation per `queued/workers`) without ever exceeding the 32x cap
+    // — and `health` itself must keep answering without queueing (it runs
+    // on the probing thread, never a worker).
+    std::thread::scope(|scope| {
+        for _ in 0..7 {
+            scope.spawn(|| {
+                let conn = server.open_conn();
+                let prepared = ok_line(
+                    &server,
+                    conn,
+                    r#"{"op":"prepare","regex":"(0|1)*","length":17}"#,
+                );
+                let session = field_str(&prepared, "session");
+                // A big page over a big language: real worker time each.
+                // Overload rejections here are fine — only the standing
+                // backlog matters to this test.
+                let _ = server.submit_and_wait(
+                    conn,
+                    &format!(r#"{{"op":"enumerate","session":"{session}","page_size":100000}}"#),
+                );
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let mut scaled = None;
+        while scaled.is_none() && std::time::Instant::now() < deadline {
+            let health = ok_line(&server, conn, r#"{"op":"health"}"#);
+            let hint = health
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .expect("health carries the hint");
+            assert!((7..=7 * 32).contains(&hint), "hint {hint} out of range");
+            if hint > 7 {
+                scaled = Some(health);
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let health = scaled.expect("the retry hint never scaled with the backlog");
+        assert!(
+            health.get("queued").and_then(Json::as_u64).unwrap() >= 1,
+            "a scaled hint implies a non-empty queue: {}",
+            health.encode()
+        );
+    });
+    server.shutdown();
+}
+
+#[test]
+fn silent_peers_are_reaped_by_the_read_timeout() {
+    let config = ServeConfig {
+        engine: test_engine_config(),
+        read_timeout: Some(Duration::from_millis(40)),
+        ..ServeConfig::default()
+    };
+    let server = Server::new(config).unwrap();
+    let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+
+    // Connect and say nothing. The server must hang up on its own: our
+    // blocked read resolves to EOF (or a reset) instead of the connection
+    // pinning a server thread forever.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("client-side guard timeout");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let read = reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(read, 0, "the server must close a silent connection");
+
+    // The reap is a survived fault, visible in the counters.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().resets_survived == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(server.stats().resets_survived >= 1, "reap not counted");
+    // One dead peer poisons nothing: a fresh connection works.
+    let mut client = Client::connect(handle.addr());
+    client.rpc_ok(r#"{"op":"hello","proto":1}"#);
+    handle.shutdown();
+    server.shutdown();
 }
 
 #[test]

@@ -7,12 +7,19 @@
 //! client would — raw JSON lines over TCP, resume tokens crossing the
 //! wire as plain strings. Protocol reference: `docs/ARCHITECTURE.md` §4.
 //!
+//! The final act uses the reconnecting [`Client`] instead of raw JSON:
+//! the server is killed mid-enumeration and restarted on the same port,
+//! and the client stitches the remaining pages without the caller seeing
+//! a single error — reconnect, re-prepare, resume by token.
+//!
 //! Run with: `cargo run --release --example serve_client`
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use logspace_repro::core::serve::{ServeConfig, Server};
+use logspace_repro::core::serve::json::Json;
+use logspace_repro::core::serve::protocol::InstanceSpec;
+use logspace_repro::core::serve::{Client, ClientConfig, ServeConfig, Server};
 
 /// One request/response round trip, echoing the exchange like a protocol
 /// transcript.
@@ -135,6 +142,67 @@ fn main() {
         "no recompilation after a warm restart"
     );
     println!("# first repeated prepare after restart: cache hit, zero misses");
+
+    // Final act: the reconnecting client across a kill/restart. Serve on a
+    // fresh ephemeral port, enumerate one page, kill the server entirely,
+    // restart it on the same port, and keep paging: the client reconnects
+    // with backoff, re-prepares from its spec registry, and resumes from
+    // the last token — no error ever reaches this code.
+    let mut tcp2 = server2.spawn_tcp("127.0.0.1:0").expect("bind");
+    let port = tcp2.addr().port();
+    let mut client = Client::new(format!("127.0.0.1:{port}"), ClientConfig::default());
+    client
+        .prepare(
+            "demo",
+            InstanceSpec::Regex {
+                pattern: "(0|1)*101(0|1)*".to_string(),
+                alphabet: None,
+            },
+            10,
+        )
+        .expect("prepare through the client");
+    let mut witnesses = 0usize;
+    let page = client
+        .enumerate_page("demo", Some(5))
+        .expect("first page before the kill");
+    if let Some(Json::Arr(words)) = page.get("words") {
+        witnesses += words.len();
+    }
+    println!("\n# killing the server mid-enumeration ...");
+    tcp2.shutdown();
     server2.shutdown();
+    drop(tcp2);
+    drop(server2);
+    let server3 = Server::new(ServeConfig {
+        snapshot_dir: Some(snapshot_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("restart server");
+    let _tcp3 = server3
+        .spawn_tcp(&format!("127.0.0.1:{port}"))
+        .expect("rebind the same port");
+    loop {
+        let page = client
+            .enumerate_page("demo", Some(5))
+            .expect("pages continue across the restart");
+        if let Some(Json::Arr(words)) = page.get("words") {
+            witnesses += words.len();
+        }
+        if page.get("done") == Some(&Json::Bool(true)) {
+            break;
+        }
+    }
+    let stats = client.stats();
+    println!(
+        "# enumeration finished across the restart: {witnesses} witnesses, \
+         {} reconnect(s), {} re-prepare(s)",
+        stats.reconnects, stats.re_prepares
+    );
+    assert!(
+        stats.reconnects >= 1,
+        "the kill must have forced a reconnect"
+    );
+    client.bye();
+    server3.shutdown();
     std::fs::remove_dir_all(&snapshot_dir).ok();
 }

@@ -24,6 +24,13 @@ echo "== shard stress: 8 threads (smoke) =="
 LSC_STRESS_OPS=64 LSC_STRESS_THREADS=8 \
 cargo test -q --release -p lsc-core --test shard_stress
 
+echo "== chaos smoke: 2 seeds, kill + warm-restart mid-run =="
+LSC_CHAOS_OPS=16 LSC_CHAOS_CLIENTS=3 LSC_CHAOS_SEEDS=0xC0FFEE,0xBADC0DE \
+cargo test -q --release -p lsc-core --test chaos
+
+echo "== crash safety: every-byte crash points + corruption matrix =="
+cargo test -q --release -p lsc-core --test crash_safety
+
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 

@@ -12,8 +12,12 @@
 //! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M]
 //!                    [--seed S] [--page-size P]
 //! nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N]
-//!                    [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR]
-//!                    [--cache-mb M] [--seed S] [--shards S]
+//!                    [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T]
+//!                    [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]
+//! nfa-tool query     --addr HOST:PORT (--regex PAT | --file NFA.txt) --length N
+//!                    [--op count|count-exact|enumerate|sample] [--page-size P]
+//!                    [--limit K] [--count K] [--seed S] [--resume-token T]
+//!                    [--retries R]
 //! ```
 //!
 //! `--regex` patterns use the alphabet given by `--alphabet` (default `01`).
@@ -61,7 +65,18 @@
 //! retry hint, and a request queued past `--deadline-ms` answers
 //! `deadline-exceeded`. With `--snapshot-dir`, compiled instances persist
 //! to disk and a restarted server warms its cache from them instead of
-//! recompiling.
+//! recompiling. `--io-timeout-ms` bounds how long a silent or
+//! non-draining peer can pin a connection thread (0 disables the
+//! timeouts).
+//!
+//! `query` is the wire client ([`lsc_core::serve::Client`]): it prepares
+//! the instance on a running server and runs one op against it,
+//! transparently absorbing resets, overload pushback, torn frames, idle
+//! evictions, and even a server restart — reconnecting with seeded
+//! exponential backoff, re-preparing from its spec, and resuming
+//! enumeration from the last received resume token. `--retries` bounds
+//! the attempts per request; recovery counters print to stderr when
+//! anything was absorbed.
 
 use std::io::Read;
 use std::process::exit;
@@ -132,7 +147,8 @@ fn usage(msg: &str) -> ! {
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
            nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M] [--seed S] [--page-size P]\n  \
-           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]\n  \
+           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]\n  \
+           nfa-tool query     --addr HOST:PORT (--regex PAT | --file NFA.txt) --length N [--op count|count-exact|enumerate|sample] [--page-size P] [--limit K] [--count K] [--seed S] [--resume-token T] [--retries R]\n  \
            common: [--alphabet CHARS]  (default 01)\n\
            batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
     );
@@ -400,6 +416,11 @@ fn run_serve(args: &Args) {
     if let Some(ms) = args.get_usize("session-ttl-ms") {
         config.session_ttl = Duration::from_millis(ms as u64);
     }
+    if let Some(ms) = args.get_usize("io-timeout-ms") {
+        let timeout = (ms > 0).then(|| Duration::from_millis(ms as u64));
+        config.read_timeout = timeout;
+        config.write_timeout = timeout;
+    }
     if let Some(mb) = args.get_usize("cache-mb") {
         config.engine.cache_bytes = mb << 20;
     }
@@ -446,6 +467,123 @@ fn run_serve(args: &Args) {
     }
 }
 
+/// The `query` subcommand: one op against a running server, through the
+/// reconnecting client (retries, backoff, session re-prepare, and cursor
+/// resumption all transparent).
+fn run_query(args: &Args) {
+    use lsc_core::serve::json::Json;
+    use lsc_core::serve::protocol::InstanceSpec;
+    use lsc_core::serve::{Client, ClientConfig, ClientError};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7411").to_string();
+    let length = args
+        .get_usize("length")
+        .unwrap_or_else(|| usage("--length required"));
+    let spec = match (args.get("regex"), args.get("file")) {
+        (Some(pattern), None) => InstanceSpec::Regex {
+            pattern: pattern.to_string(),
+            alphabet: args.get("alphabet").map(str::to_string),
+        },
+        (None, Some(path)) => InstanceSpec::NfaText(
+            std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}"))),
+        ),
+        _ => usage("provide exactly one of --regex or --file"),
+    };
+    let seed = args.get_usize("seed").unwrap_or(0xC0FFEE) as u64;
+    let mut client = Client::new(
+        addr,
+        ClientConfig {
+            seed,
+            max_attempts: args.get_usize("retries").unwrap_or(10).max(1),
+            ..ClientConfig::default()
+        },
+    );
+    let fail = |e: ClientError| -> ! {
+        eprintln!("query failed: {e}");
+        exit(1)
+    };
+    client
+        .prepare("query", spec, length)
+        .unwrap_or_else(|e| fail(e));
+    if let Some(token) = args.get("resume-token") {
+        client
+            .resume_from("query", token)
+            .unwrap_or_else(|e| fail(e));
+    }
+    match args.get("op").unwrap_or("count") {
+        "count" => {
+            let value = client.count("query").unwrap_or_else(|e| fail(e));
+            let marker = if value.get("exact") == Some(&Json::Bool(true)) {
+                "="
+            } else {
+                "≈"
+            };
+            let estimate = value
+                .get("estimate")
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            let route = value.get("route").and_then(Json::as_str).unwrap_or("?");
+            println!("{marker} {estimate}");
+            println!("route: {route}");
+        }
+        "count-exact" => {
+            let value = client.count_exact("query").unwrap_or_else(|e| fail(e));
+            let count = value
+                .get("count")
+                .and_then(Json::as_str)
+                .unwrap_or_default();
+            println!("{count}");
+        }
+        "enumerate" => {
+            let page_size = args.get_usize("page-size").unwrap_or(100).max(1);
+            let mut remaining = args.get_usize("limit").unwrap_or(usize::MAX);
+            let mut done = false;
+            while remaining > 0 && !done {
+                let page = client
+                    .enumerate_page("query", Some(page_size.min(remaining)))
+                    .unwrap_or_else(|e| fail(e));
+                if let Some(Json::Arr(words)) = page.get("words") {
+                    remaining = remaining.saturating_sub(words.len());
+                    for word in words {
+                        if let Some(word) = word.as_str() {
+                            println!("{word}");
+                        }
+                    }
+                }
+                done = page.get("done") == Some(&Json::Bool(true));
+            }
+            if done {
+                eprintln!("# exhausted");
+            } else if let Some(token) = client.last_token("query") {
+                eprintln!("# truncated; continue with: --resume-token {token}");
+            }
+        }
+        "sample" => {
+            let count = args.get_usize("count").unwrap_or(1);
+            let value = client
+                .sample("query", count, seed)
+                .unwrap_or_else(|e| fail(e));
+            if let Some(Json::Arr(words)) = value.get("words") {
+                for word in words {
+                    if let Some(word) = word.as_str() {
+                        println!("{word}");
+                    }
+                }
+            }
+        }
+        other => usage(&format!("unknown --op {other:?}")),
+    }
+    let stats = client.stats();
+    if stats.reconnects > 0 || stats.retries > 0 {
+        eprintln!(
+            "# recovered: {} reconnect(s), {} retried attempt(s), {} re-prepare(s), {} torn frame(s)",
+            stats.reconnects, stats.retries, stats.re_prepares, stats.torn_frames
+        );
+    }
+    client.bye();
+}
+
 fn main() {
     let args = Args::parse();
     if args.command == "batch" {
@@ -454,6 +592,10 @@ fn main() {
     }
     if args.command == "serve" {
         run_serve(&args);
+        return;
+    }
+    if args.command == "query" {
+        run_query(&args);
         return;
     }
     let nfa = load_nfa(&args);
