@@ -39,6 +39,27 @@ impl BigFloat {
         self.mantissa == 0.0
     }
 
+    /// The raw `(mantissa bits, exponent)` pair — the exact in-memory
+    /// representation, for serialization. Round-trips bit-identically
+    /// through [`BigFloat::from_raw_parts`].
+    pub fn to_raw_parts(&self) -> (u64, i64) {
+        (self.mantissa.to_bits(), self.exponent)
+    }
+
+    /// Rebuilds a value from [`BigFloat::to_raw_parts`] output. Returns
+    /// `None` unless the bits encode a valid state — exactly zero, or a
+    /// finite mantissa in `[1, 2)` — so a corrupted serialization can never
+    /// smuggle an invariant-breaking value (NaN, negative, unnormalized)
+    /// into arithmetic.
+    pub fn from_raw_parts(mantissa_bits: u64, exponent: i64) -> Option<Self> {
+        let mantissa = f64::from_bits(mantissa_bits);
+        if mantissa_bits == 0 {
+            return (exponent == 0).then(Self::zero);
+        }
+        (mantissa.is_finite() && (1.0..2.0).contains(&mantissa))
+            .then_some(BigFloat { mantissa, exponent })
+    }
+
     fn normalized(mantissa: f64, exponent: i64) -> Self {
         if mantissa == 0.0 {
             return Self::zero();
@@ -359,6 +380,31 @@ mod tests {
             Ordering::Equal
         );
         assert_eq!(BigFloat::zero().partial_cmp_total(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_identically() {
+        for v in [
+            BigFloat::zero(),
+            BigFloat::one(),
+            BigFloat::from_f64(0.3),
+            BigFloat::from_f64(1e300).mul(BigFloat::from_f64(1e300)),
+            BigFloat::one().div(BigFloat::from_bignat(&BigNat::pow_u64(10, 500))),
+        ] {
+            let (m, e) = v.to_raw_parts();
+            let back = BigFloat::from_raw_parts(m, e).unwrap();
+            assert_eq!(back.to_raw_parts(), (m, e));
+            assert_eq!(back.partial_cmp_total(&v), Ordering::Equal);
+        }
+        // Invalid bit patterns are refused, not normalized away.
+        assert!(BigFloat::from_raw_parts(f64::NAN.to_bits(), 0).is_none());
+        assert!(BigFloat::from_raw_parts(0.5f64.to_bits(), 3).is_none());
+        assert!(BigFloat::from_raw_parts(2.0f64.to_bits(), 3).is_none());
+        assert!(BigFloat::from_raw_parts((-1.5f64).to_bits(), 3).is_none());
+        assert!(
+            BigFloat::from_raw_parts(0, 7).is_none(),
+            "nonzero exp on zero"
+        );
     }
 
     #[test]

@@ -133,17 +133,42 @@ impl BigNat {
 
     /// `self + other`, in place.
     pub fn add_assign_ref(&mut self, other: &BigNat) {
-        if self.limbs.len() < other.limbs.len() {
-            self.limbs.resize(other.limbs.len(), 0);
+        self.add_assign_limbs(&other.limbs);
+    }
+
+    /// Sets the value to zero, keeping the limb buffer's capacity — the reset
+    /// companion of the accumulate-in-place APIs, so a reused accumulator
+    /// stops reallocating once it has grown to the working width.
+    pub fn set_zero(&mut self) {
+        self.limbs.clear();
+    }
+
+    /// Adds a little-endian limb slice in place (trailing zero limbs are
+    /// tolerated). One capacity reservation up front covers both the widening
+    /// resize and a possible final carry limb, so the carry push below can
+    /// never trigger a second allocation.
+    fn add_assign_limbs(&mut self, mut other: &[u64]) {
+        while let Some((&0, rest)) = other.split_last() {
+            other = rest;
+        }
+        if other.is_empty() {
+            return;
+        }
+        let needed = self.limbs.len().max(other.len()) + 1;
+        if self.limbs.capacity() < needed {
+            self.limbs.reserve(needed - self.limbs.len());
+        }
+        if self.limbs.len() < other.len() {
+            self.limbs.resize(other.len(), 0);
         }
         let mut carry = 0u64;
         for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let b = other.get(i).copied().unwrap_or(0);
             let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             *limb = s2;
             carry = (c1 as u64) + (c2 as u64);
-            if carry == 0 && i >= other.limbs.len() {
+            if carry == 0 && i >= other.len() {
                 break;
             }
         }
@@ -166,6 +191,46 @@ impl BigNat {
         if carry != 0 {
             self.limbs.push(carry);
         }
+    }
+
+    /// Adds a `u128` in place.
+    pub fn add_assign_u128(&mut self, v: u128) {
+        let (lo, hi) = (v as u64, (v >> 64) as u64);
+        if hi == 0 {
+            self.add_assign_u64(lo);
+        } else {
+            self.add_assign_limbs(&[lo, hi]);
+        }
+    }
+
+    /// Fused multiply-add: `self += a · b`, with the product formed in
+    /// `scratch` — zero allocation once `scratch` has grown to the working
+    /// width. The dominant counting-table case, both factors fitting one
+    /// limb, takes a `u128` fast path that never touches `scratch` at all.
+    ///
+    /// The product accumulation is the same schoolbook loop as
+    /// [`BigNat::mul_ref`], so results are identical to
+    /// `self.add_assign_ref(&a.mul_ref(b))` on every input.
+    pub fn mul_add_assign_with_scratch(&mut self, a: &BigNat, b: &BigNat, scratch: &mut Vec<u64>) {
+        if a.is_zero() || b.is_zero() {
+            return;
+        }
+        if a.limbs.len() == 1 && b.limbs.len() == 1 {
+            self.add_assign_u128(a.limbs[0] as u128 * b.limbs[0] as u128);
+            return;
+        }
+        scratch.clear();
+        scratch.resize(a.limbs.len() + b.limbs.len(), 0);
+        for (i, &x) in a.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &y) in b.limbs.iter().enumerate() {
+                let cur = scratch[i + j] as u128 + (x as u128) * (y as u128) + carry as u128;
+                scratch[i + j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            scratch[i + b.limbs.len()] = carry;
+        }
+        self.add_assign_limbs(scratch);
     }
 
     /// `self - other`, returning `None` on underflow.

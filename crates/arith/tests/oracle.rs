@@ -119,4 +119,58 @@ proptest! {
         let x = BigNat::uniform_below(&a, &mut rng);
         prop_assert!(x < a);
     }
+
+    #[test]
+    fn mul_add_assign_matches_schoolbook(
+        (acc0, oacc) in pair(), (a, oa) in pair(), (b, ob) in pair()
+    ) {
+        // The scratch FMA must agree with the schoolbook reference
+        // `acc + a·b` on arbitrary operands — covering the u64×u64 fast
+        // path, the general path, and zero factors alike.
+        let mut acc = acc0.clone();
+        let mut scratch = Vec::new();
+        acc.mul_add_assign_with_scratch(&a, &b, &mut scratch);
+        let reference = &acc0 + &a.mul_ref(&b);
+        prop_assert_eq!(&acc, &reference);
+        prop_assert_eq!(to_oracle(&acc), oacc + oa * ob);
+        // A dirtied scratch must not perturb a second accumulation.
+        acc.mul_add_assign_with_scratch(&b, &a, &mut scratch);
+        prop_assert_eq!(&acc, &(&reference + &b.mul_ref(&a)));
+    }
+
+    #[test]
+    fn mul_add_fast_path_matches_general((acc0, _) in pair(), x in any::<u64>(), y in any::<u64>()) {
+        // Single-limb factors take the u128 fast path; widening one factor
+        // past a limb forces the general path on the same product value
+        // scaled — both must match their schoolbook references exactly.
+        let mut fast = acc0.clone();
+        fast.mul_add_assign_with_scratch(&BigNat::from_u64(x), &BigNat::from_u64(y), &mut Vec::new());
+        prop_assert_eq!(&fast, &(&acc0 + &BigNat::from_u64(x).mul_ref(&BigNat::from_u64(y))));
+        let wide = BigNat::from_u64(x).shl_bits(64);
+        let mut general = acc0.clone();
+        general.mul_add_assign_with_scratch(&wide, &BigNat::from_u64(y), &mut Vec::new());
+        prop_assert_eq!(&general, &(&acc0 + &wide.mul_ref(&BigNat::from_u64(y))));
+    }
+
+    #[test]
+    fn add_assign_u128_matches_oracle((a, oa) in pair(), lo in any::<u64>(), hi in any::<u64>()) {
+        let v = (hi as u128) << 64 | lo as u128;
+        let mut sum = a.clone();
+        sum.add_assign_u128(v);
+        let ov = (BigUint::from(hi) << 64u32) + BigUint::from(lo);
+        prop_assert_eq!(to_oracle(&sum), oa + ov);
+    }
+
+    #[test]
+    fn set_zero_then_accumulate_matches_fresh((a, _) in pair(), (b, ob) in pair()) {
+        // The reused-accumulator pattern the completion DP relies on:
+        // set_zero + add_assign_ref must be indistinguishable from a fresh
+        // BigNat, regardless of what the buffer previously held.
+        let mut acc = a.clone();
+        acc.set_zero();
+        prop_assert!(acc.is_zero());
+        acc.add_assign_ref(&b);
+        prop_assert_eq!(&acc, &b);
+        prop_assert_eq!(to_oracle(&acc), ob);
+    }
 }

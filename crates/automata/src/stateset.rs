@@ -81,6 +81,23 @@ impl StateSet {
         self.bits.iter().zip(&other.bits).all(|(a, b)| a & b == 0)
     }
 
+    /// The packed 64-bit word at index `wi` (states `64·wi .. 64·wi+63`).
+    ///
+    /// Word-level access is the contract the FPRAS union kernel builds on:
+    /// two sets of equal capacity have aligned words, so "do these sets
+    /// intersect within word `wi`" is a single `&`.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u64 {
+        self.bits[wi]
+    }
+
+    /// All packed words, little-endian in state order (`capacity/64` rounded
+    /// up of them).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Iterates over present states in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.bits.iter().enumerate().flat_map(|(wi, &w)| {

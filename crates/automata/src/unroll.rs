@@ -257,13 +257,36 @@ impl UnrolledDag {
         for &v in &self.accepting {
             counts[v] = BigNat::one();
         }
+        // One wide accumulator reused across every node: the per-node sum
+        // runs limb-batched in a buffer that stops reallocating once it has
+        // grown to the table's working width, instead of rebuilding a fresh
+        // `BigNat` per node. Nodes whose successor counts all fit one limb —
+        // every layer until the table outgrows u64 — take a checked-add fast
+        // path that touches no limb vector at all.
+        let mut acc = BigNat::zero();
         for t in (0..self.n).rev() {
             for &v in &self.layers[t] {
-                let mut acc = BigNat::zero();
-                for &(_, succ) in self.out_edges(v) {
-                    acc.add_assign_ref(&counts[succ]);
+                let outs = self.out_edges(v);
+                let mut small = Some(0u64);
+                for &(_, succ) in outs {
+                    small = match (small, counts[succ].to_u64()) {
+                        (Some(s), Some(c)) => s.checked_add(c),
+                        _ => None,
+                    };
+                    if small.is_none() {
+                        break;
+                    }
                 }
-                counts[v] = acc;
+                counts[v] = match small {
+                    Some(s) => BigNat::from_u64(s),
+                    None => {
+                        acc.set_zero();
+                        for &(_, succ) in outs {
+                            acc.add_assign_ref(&counts[succ]);
+                        }
+                        acc.clone()
+                    }
+                };
             }
         }
         counts
@@ -276,15 +299,20 @@ impl UnrolledDag {
         if let Some(s) = self.start {
             counts[s] = BigNat::one();
         }
+        // `counts[v]` and `counts[succ]` alias the same vector, so the source
+        // is staged through a scratch value — cloned once per node into a
+        // buffer that keeps its capacity, not once per out-edge.
+        let mut src = BigNat::zero();
         for t in 0..self.n {
             for &v in &self.layers[t] {
                 if counts[v].is_zero() {
                     continue;
                 }
+                src.set_zero();
+                src.add_assign_ref(&counts[v]);
                 for i in self.out_off[v]..self.out_off[v + 1] {
                     let succ = self.out_flat[i].1;
-                    let c = counts[v].clone();
-                    counts[succ].add_assign_ref(&c);
+                    counts[succ].add_assign_ref(&src);
                 }
             }
         }

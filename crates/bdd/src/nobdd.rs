@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use lsc_automata::{Alphabet, EpsNfa, Nfa, Word};
+use lsc_automata::{Alphabet, EpsNfa, Nfa, Symbol};
 use lsc_core::engine::domain_fingerprint;
 use lsc_core::Queryable;
 
@@ -203,7 +203,7 @@ impl Queryable for NObdd {
         (Arc::new(nobdd_to_nfa(self)), self.num_vars())
     }
 
-    fn decode(&self, word: &Word) -> u128 {
+    fn decode(&self, word: &[Symbol]) -> u128 {
         word.iter()
             .enumerate()
             .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))

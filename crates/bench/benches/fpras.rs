@@ -1,10 +1,19 @@
 //! E1/E2 timing: the #NFA FPRAS across families and sizes.
+//! E21/E22: the union-estimator and completion-DP kernel micro-benches
+//! behind the `BENCH_fpras.json` kernel speedup figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsc_arith::{BigFloat, BigNat};
+use lsc_automata::families::blowup_nfa;
+use lsc_automata::unroll::{NodeId, UnrolledDag};
+use lsc_automata::{StateSet, Word};
 use lsc_bench::workloads;
-use lsc_core::fpras::{approx_count, FprasParams};
+use lsc_core::fpras::{
+    approx_count, estimate_union_packed, estimate_union_quadratic, estimate_union_with_mask,
+    FprasParams, MaskArena, SampleEntry, VertexData,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn fpras_accuracy_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("fpras/e1-families");
@@ -68,11 +77,130 @@ fn fpras_opt_vs_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+/// E21: the union-estimator kernels head to head on one synthetic layer
+/// shaped like a busy FPRAS round — `M` member vertices over an `S`-state
+/// automaton, `k` cached samples each, sparse random reach sets. Three
+/// variants of the same §6.4 estimator: the packed word-level kernel
+/// (production), the scalar per-sample prefix-mask walk it replaced, and
+/// the seed's quadratic scan. All three produce bit-identical `BigFloat`s
+/// (asserted here; the randomized suite lives in `tests/properties.rs`) —
+/// only the membership-test shape differs, which is exactly what this
+/// measures.
+fn fpras_union_kernel(c: &mut Criterion) {
+    const STATES: usize = 192;
+    const MEMBERS: usize = 48;
+    const K: usize = 512;
+    let mut rng = StdRng::seed_from_u64(21);
+    let members: Vec<NodeId> = (0..MEMBERS).collect();
+    let state_of = |v: NodeId| v * (STATES / MEMBERS) % STATES;
+    let data: Vec<Option<VertexData>> = (0..MEMBERS)
+        .map(|_| {
+            let samples = (0..K)
+                .map(|_| {
+                    let mut reach = StateSet::new(STATES);
+                    for _ in 0..4 {
+                        reach.insert(rng.gen_range(0..STATES));
+                    }
+                    SampleEntry {
+                        word: Word::new(),
+                        reach,
+                    }
+                })
+                .collect();
+            Some(VertexData {
+                exact: false,
+                r: BigFloat::from_f64(rng.gen_range(1.0..100.0)),
+                samples,
+            })
+        })
+        .collect();
+
+    let packed = {
+        let mut arena = MaskArena::new(STATES);
+        estimate_union_packed(&members, &data, &mut arena, state_of)
+    };
+    let walk = {
+        let mut arena = MaskArena::new(STATES);
+        estimate_union_with_mask(&members, &data, &mut arena, state_of, |e, a| {
+            a.intersects(&e.reach)
+        })
+    };
+    let quadratic = estimate_union_quadratic(&members, &data, state_of, |e, q| e.reach.contains(q));
+    assert_eq!(packed.to_raw_parts(), walk.to_raw_parts());
+    assert_eq!(packed.to_raw_parts(), quadratic.to_raw_parts());
+
+    let mut group = c.benchmark_group("fpras/e21-union-kernel");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("packed"), |b| {
+        let mut arena = MaskArena::new(STATES);
+        b.iter(|| estimate_union_packed(&members, &data, &mut arena, state_of));
+    });
+    group.bench_function(BenchmarkId::from_parameter("scalar-walk"), |b| {
+        let mut arena = MaskArena::new(STATES);
+        b.iter(|| {
+            estimate_union_with_mask(&members, &data, &mut arena, state_of, |e, a| {
+                a.intersects(&e.reach)
+            })
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("quadratic"), |b| {
+        b.iter(|| estimate_union_quadratic(&members, &data, state_of, |e, q| e.reach.contains(q)));
+    });
+    group.finish();
+}
+
+/// The pre-optimization completion DP: a fresh `BigNat` allocated per edge
+/// (`acc = &acc + &counts[succ]`) — the seed idiom `completion_counts`
+/// replaced with one reused limb accumulator plus a u64 fast path.
+fn completion_counts_per_edge_alloc(dag: &UnrolledDag) -> Vec<BigNat> {
+    let mut counts = vec![BigNat::zero(); dag.num_nodes()];
+    for &v in dag.accepting() {
+        counts[v] = BigNat::one();
+    }
+    for t in (0..dag.word_length()).rev() {
+        for &v in dag.layer(t) {
+            let mut acc = BigNat::zero();
+            for &(_, succ) in dag.out_edges(v) {
+                acc = &acc + &counts[succ];
+            }
+            counts[v] = acc;
+        }
+    }
+    counts
+}
+
+/// E22: the limb-batched completion DP against the per-edge-allocation
+/// baseline, at two count widths: `blowup(10)@40` stays inside the u64
+/// fast path, `blowup(10)@120` pushes every upper layer into multi-limb
+/// accumulation.
+fn fpras_completion_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpras/e22-completion-dp");
+    group.sample_size(10);
+    for n in [40usize, 120] {
+        let nfa = blowup_nfa(10);
+        let dag = UnrolledDag::build(&nfa, n);
+        assert_eq!(
+            dag.completion_counts(),
+            completion_counts_per_edge_alloc(&dag),
+            "kernel and baseline must agree at n={n}"
+        );
+        group.bench_function(BenchmarkId::new("limb-batched", n), |b| {
+            b.iter(|| dag.completion_counts());
+        });
+        group.bench_function(BenchmarkId::new("per-edge-alloc", n), |b| {
+            b.iter(|| completion_counts_per_edge_alloc(&dag));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fpras_accuracy_suite,
     fpras_scaling_n,
     fpras_scaling_m,
-    fpras_opt_vs_baseline
+    fpras_opt_vs_baseline,
+    fpras_union_kernel,
+    fpras_completion_dp
 );
 criterion_main!(benches);

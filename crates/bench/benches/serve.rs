@@ -23,6 +23,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsc_bench::workloads;
+use lsc_core::engine::RouterConfig;
+use lsc_core::fpras::FprasParams;
 use lsc_core::serve::{ServeConfig, Server};
 
 /// A blocking line-protocol round trip on an existing connection.
@@ -306,11 +308,94 @@ fn serve_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// E23: sketch persistence — server start to first *approximate* count on an
+/// ambiguous instance routed to the FPRAS (determinization disabled, so
+/// Algorithm 5 is the dominant cold cost). Cold: no snapshot store — every
+/// server lifetime rebuilds the sketch. Warm: a populated store whose v2
+/// snapshot carries the sketch behind its `(params, seed)` key — load +
+/// checksum + reach-set recompute, no sketch rebuild. `scripts/bench.sh`
+/// turns the two means into the `BENCH_serve.json`
+/// `sketch_persistence_speedup`.
+fn serve_sketch_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e23-sketch-persistence");
+    group.sample_size(10);
+    let prepare_line = r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":24}"#;
+    let fpras_config = || {
+        let mut config = ServeConfig::default();
+        config.workers = 1;
+        config.queue_depth = 8;
+        config.engine.router = RouterConfig {
+            determinization_cap: 0,
+            classify_ambiguity: false,
+            fpras: FprasParams {
+                k: 512,
+                ..FprasParams::quick()
+            },
+        };
+        config
+    };
+    let first_count = |server: &Server| {
+        let conn = server.open_conn();
+        let prepared = server.handle_line(conn, prepare_line);
+        assert!(prepared.text.contains("\"ok\":true"));
+        let session = field(&prepared.text, "session").to_string();
+        let count = server.handle_line(conn, &format!(r#"{{"op":"count","session":"{session}"}}"#));
+        assert!(count.text.contains("\"ok\":true"));
+        assert!(count.text.contains("fpras"), "must take the FPRAS route");
+        count.text.len()
+    };
+
+    group.bench_function(BenchmarkId::from_parameter("cold-start-first-count"), |b| {
+        b.iter(|| {
+            let server = Server::new(fpras_config()).unwrap();
+            let n = first_count(&server);
+            server.shutdown();
+            n
+        });
+    });
+
+    // Populate the store once: the prepare persists the instance, the count
+    // materializes the sketch, and the post-count save re-persists it as a
+    // v2 snapshot with the sketch section.
+    let dir = std::env::temp_dir().join(format!("lsc-bench-sketch-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut config = fpras_config();
+        config.snapshot_dir = Some(dir.clone());
+        let server = Server::new(config).unwrap();
+        first_count(&server);
+        assert!(server.stats().snapshots_saved >= 1);
+        server.shutdown();
+    }
+    group.bench_function(
+        BenchmarkId::from_parameter("warm-restart-first-count"),
+        |b| {
+            b.iter(|| {
+                let mut config = fpras_config();
+                config.snapshot_dir = Some(dir.clone());
+                let server = Server::new(config).unwrap();
+                assert!(server.warm_report().loaded >= 1);
+                let n = first_count(&server);
+                assert_eq!(
+                    server.engine().stats().aggregate.misses,
+                    0,
+                    "served from the restored instance"
+                );
+                server.shutdown();
+                n
+            });
+        },
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_request_latency,
     serve_throughput,
     serve_warm_restart,
-    serve_shard_scaling
+    serve_shard_scaling,
+    serve_sketch_persistence
 );
 criterion_main!(benches);

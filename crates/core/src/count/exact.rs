@@ -33,11 +33,14 @@ pub fn count_runs(nfa: &Nfa, n: usize) -> BigNat {
     count_runs_on(&dag)
 }
 
-/// [`count_runs`] on a pre-built DAG.
+/// [`count_runs`] on a pre-built DAG. The completion table runs limb-batched
+/// (one reused wide accumulator plus a u64 fast path — see
+/// [`UnrolledDag::completion_counts`]); the start entry is moved out of the
+/// table rather than cloned.
 pub fn count_runs_on(dag: &UnrolledDag) -> BigNat {
     match dag.start() {
         None => BigNat::zero(),
-        Some(s) => dag.completion_counts()[s].clone(),
+        Some(s) => dag.completion_counts().swap_remove(s),
     }
 }
 

@@ -34,7 +34,7 @@
 use std::sync::Arc;
 
 use lsc_automata::unroll::NodeId;
-use lsc_automata::Word;
+use lsc_automata::{Symbol, Word};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -232,6 +232,21 @@ enum CursorIter {
     Done,
 }
 
+/// Where the cursor stands, without the position payload: both enumerators
+/// keep their full position live (the decision list, the prefix word), so the
+/// cursor only needs to remember *which kind* of position it is at and can
+/// borrow the payload lazily when a token is actually minted. This is what
+/// keeps the per-word hot path free of position snapshots.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PageMark {
+    /// Nothing yielded yet.
+    Start,
+    /// At least one word yielded; the enumerator holds the position.
+    Word,
+    /// The stream ended.
+    Done,
+}
+
 /// A lazy, resumable witness stream over one prepared instance.
 ///
 /// `WordCursor` is an [`Iterator`] over raw witness [`Word`]s that (a) does
@@ -244,7 +259,7 @@ pub struct WordCursor {
     inst: Arc<PreparedInstance>,
     iter: CursorIter,
     rank: u64,
-    pos: CursorPos,
+    mark: PageMark,
 }
 
 impl WordCursor {
@@ -261,7 +276,7 @@ impl WordCursor {
             inst,
             iter,
             rank: 0,
-            pos: CursorPos::Start,
+            mark: PageMark::Start,
         }
     }
 
@@ -308,11 +323,18 @@ impl WordCursor {
                 CursorIter::Poly(e)
             }
         };
+        // The resumed enumerators hold the token's position as their own live
+        // state (decision list, prefix word), so the cursor records only the
+        // position kind; a re-minted token reads the payload back from them.
+        let mark = match &iter {
+            CursorIter::Done => PageMark::Done,
+            CursorIter::Constant(_) | CursorIter::Poly(_) => PageMark::Word,
+        };
         Ok(WordCursor {
             inst,
             iter,
             rank: token.rank,
-            pos: token.pos.clone(),
+            mark,
         })
     }
 
@@ -334,11 +356,49 @@ impl WordCursor {
     /// The current position as a serializable token: hand it out after a
     /// page, feed it to [`WordCursor::resume`] (or
     /// `Engine::resume`) to continue exactly where this cursor stands.
+    ///
+    /// The position payload is materialized here, from the enumerator's live
+    /// state — one snapshot per token minted, not one per word yielded.
     pub fn token(&self) -> ResumeToken {
+        let pos = match (self.mark, &self.iter) {
+            (PageMark::Start, _) => CursorPos::Start,
+            (PageMark::Done, _) => CursorPos::Done,
+            (PageMark::Word, CursorIter::Constant(e)) => {
+                CursorPos::Constant(e.decisions().to_vec())
+            }
+            (PageMark::Word, CursorIter::Poly(e)) => CursorPos::Poly(e.current_word().to_vec()),
+            (PageMark::Word, CursorIter::Done) => unreachable!("done cursors are marked done"),
+        };
         ResumeToken {
             fingerprint: self.inst.fingerprint(),
             rank: self.rank,
-            pos: self.pos.clone(),
+            pos,
+        }
+    }
+
+    /// Lending form of `next()`: advances the stream and returns the next
+    /// witness as a borrow of the enumerator's reused buffer, valid until the
+    /// next `advance`/`next` call. A page served through this path performs
+    /// no per-word allocation beyond the enumerators' own amortized-constant
+    /// bookkeeping — the serving layer formats each word straight off the
+    /// borrow (and `tests/alloc_guard.rs` pins a per-page budget on it).
+    pub fn advance(&mut self) -> Option<&[Symbol]> {
+        let yielded = match &mut self.iter {
+            CursorIter::Constant(e) => e.advance().is_some(),
+            CursorIter::Poly(e) => e.advance().is_some(),
+            CursorIter::Done => false,
+        };
+        if !yielded {
+            self.iter = CursorIter::Done;
+            self.mark = PageMark::Done;
+            return None;
+        }
+        self.rank += 1;
+        self.mark = PageMark::Word;
+        match &self.iter {
+            CursorIter::Constant(e) => Some(e.current_word()),
+            CursorIter::Poly(e) => Some(e.current_word()),
+            CursorIter::Done => unreachable!("a done cursor cannot have yielded"),
         }
     }
 }
@@ -347,27 +407,7 @@ impl Iterator for WordCursor {
     type Item = Word;
 
     fn next(&mut self) -> Option<Word> {
-        let word = match &mut self.iter {
-            CursorIter::Constant(e) => e.next(),
-            CursorIter::Poly(e) => e.next(),
-            CursorIter::Done => None,
-        };
-        match word {
-            Some(word) => {
-                self.rank += 1;
-                self.pos = match &self.iter {
-                    CursorIter::Constant(e) => CursorPos::Constant(e.decisions().to_vec()),
-                    CursorIter::Poly(_) => CursorPos::Poly(word.clone()),
-                    CursorIter::Done => unreachable!("done cursors yield nothing"),
-                };
-                Some(word)
-            }
-            None => {
-                self.iter = CursorIter::Done;
-                self.pos = CursorPos::Done;
-                None
-            }
-        }
+        self.advance().map(<[Symbol]>::to_vec)
     }
 }
 
@@ -415,7 +455,9 @@ impl<Q: Queryable + ?Sized> Iterator for EnumCursor<'_, Q> {
     type Item = Q::Output;
 
     fn next(&mut self) -> Option<Q::Output> {
-        self.words.next().map(|w| self.source.decode(&w))
+        // Decode straight off the lent slice: no intermediate Word per item.
+        let source = self.source;
+        self.words.advance().map(|w| source.decode(w))
     }
 }
 

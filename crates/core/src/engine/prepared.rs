@@ -188,6 +188,29 @@ impl PreparedInstance {
         )
     }
 
+    /// The cached FPRAS sketch's persistable parts — the build seed and the
+    /// successfully built state — or `None` when nothing (or only a failed
+    /// build) is cached. The save half of sketch persistence;
+    /// [`PreparedInstance::seed_sketch`] is the load half. The rest of the
+    /// caching key travels with the state itself ([`FprasState::params`]).
+    pub fn sketch_snapshot(&self) -> Option<(u64, &Arc<FprasState>)> {
+        match self.sketch.get() {
+            Some(((seed, ..), Ok(state))) => Some((*seed, state)),
+            _ => None,
+        }
+    }
+
+    /// Pre-seeds the sketch cache from persisted parts (the snapshot load
+    /// path): a later [`PreparedInstance::fpras_sketch`] call with the same
+    /// `(params, seed)` is served the restored state — bit-identical to the
+    /// cold build it was saved from — while any other `(params, seed)`
+    /// still gets a fresh uncached build, exactly as with a live-built
+    /// cache entry. A no-op if a sketch is already cached.
+    pub fn seed_sketch(&self, seed: u64, state: Arc<FprasState>) {
+        let key = sketch_key(state.params(), seed);
+        let _ = self.sketch.set((key, Ok(state)));
+    }
+
     /// The automaton `N`.
     pub fn nfa(&self) -> &Nfa {
         &self.nfa

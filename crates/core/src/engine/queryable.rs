@@ -28,7 +28,7 @@
 
 use std::sync::Arc;
 
-use lsc_automata::{Nfa, Word};
+use lsc_automata::{Nfa, Symbol, Word};
 
 use crate::engine::PreparedInstance;
 use crate::MemNfa;
@@ -64,7 +64,7 @@ use crate::MemNfa;
 ///         (Arc::new(nfa), self.length)
 ///     }
 ///
-///     fn decode(&self, word: &Word) -> u32 {
+///     fn decode(&self, word: &[lsc_automata::Symbol]) -> u32 {
 ///         word.iter().filter(|&&s| s == 1).count() as u32
 ///     }
 ///
@@ -93,8 +93,10 @@ pub trait Queryable {
     /// domain object, not once per query.
     fn to_instance(&self) -> (Arc<Nfa>, usize);
 
-    /// Decodes one witness word into the domain value it encodes.
-    fn decode(&self, word: &Word) -> Self::Output;
+    /// Decodes one witness word into the domain value it encodes. Takes a
+    /// slice so streaming callers (cursor pages) can decode straight off a
+    /// borrowed buffer without materializing a `Word` per witness.
+    fn decode(&self, word: &[Symbol]) -> Self::Output;
 
     /// A stable 64-bit name for this instance: equal domain objects must
     /// agree, distinct ones should (with overwhelming probability) differ —
@@ -140,8 +142,8 @@ impl Queryable for (Arc<Nfa>, usize) {
         (self.0.clone(), self.1)
     }
 
-    fn decode(&self, word: &Word) -> Word {
-        word.clone()
+    fn decode(&self, word: &[Symbol]) -> Word {
+        word.to_vec()
     }
 
     fn domain_fingerprint(&self) -> u64 {
@@ -162,8 +164,8 @@ impl Queryable for MemNfa {
         (self.prepared().nfa_arc().clone(), self.length())
     }
 
-    fn decode(&self, word: &Word) -> Word {
-        word.clone()
+    fn decode(&self, word: &[Symbol]) -> Word {
+        word.to_vec()
     }
 
     fn domain_fingerprint(&self) -> u64 {

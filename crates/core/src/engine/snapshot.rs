@@ -11,20 +11,24 @@
 //! format), the witness length, and whichever of the super-linear artifacts
 //! have been materialized: the ambiguity classification (a product
 //! construction), the Weber–Seidl degree, the completion-count table (the
-//! big-integer dynamic program), and the determinized word count. The CSR
+//! big-integer dynamic program), the determinized word count, and — since
+//! format version 2 — the cached FPRAS sketch behind its explicit
+//! `(params, seed)` caching key, so a warm restart serves approximate
+//! counts and Las-Vegas samples without re-running Algorithm 5. The CSR
 //! unrolled DAG is *not* persisted — it is a deterministic linear-time
 //! rebuild from `(N, n)` and is reconstructed eagerly at load time
-//! ([`PreparedInstance::from_snapshot_parts`]), so a restored instance
-//! leaves no compile work for the serving path. Every persisted value is a
-//! pure function of the instance, so warm answers are bit-identical to
-//! cold ones.
+//! ([`PreparedInstance::from_snapshot_parts`]) — and neither are the
+//! sketch samples' reach sets, which are the same kind of deterministic
+//! rebuild (`reach_of(N, w)` per persisted sample word). Every persisted
+//! value is a pure function of the instance (plus, for the sketch, its
+//! explicit build seed), so warm answers are bit-identical to cold ones.
 //!
 //! **File format** (`<fingerprint:016x>.snap`, all integers little-endian;
 //! the normative spec lives in `docs/ARCHITECTURE.md` §5):
 //!
 //! ```text
 //! magic      8 bytes   "LSCSNAP1"
-//! version    u32       1
+//! version    u32       2 (files with version 1 — no sketch section — still load)
 //! fingerprint u64      PreparedInstance::fingerprint()
 //! payload_len u64
 //! checksum   u64       FNV-1a(64) over the payload bytes
@@ -61,16 +65,21 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use lsc_arith::BigNat;
+use lsc_arith::{BigFloat, BigNat};
 use lsc_automata::io as nfa_io;
 use lsc_automata::ops::AmbiguityDegree;
+use lsc_automata::{Nfa, Word};
 
 use crate::engine::cache::Engine;
 use crate::engine::prepared::PreparedInstance;
+use crate::fpras::{reach_of, FprasParams, FprasState, SampleEntry, VertexData};
 use crate::serve::faults::{Fault, FaultPlan, FaultSite};
 
 const MAGIC: &[u8; 8] = b"LSCSNAP1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// The oldest format version `decode` still accepts: a v1 file is a v2 file
+/// that can never carry a sketch section.
+const MIN_VERSION: u32 = 1;
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 
 /// Why a snapshot failed to save or load.
@@ -442,6 +451,8 @@ const FLAG_UNAMBIGUOUS_VALUE: u8 = 1 << 1;
 const FLAG_DEGREE: u8 = 1 << 2;
 const FLAG_COMPLETIONS: u8 = 1 << 3;
 const FLAG_DET_COUNT: u8 = 1 << 4;
+/// Version-2 section: the cached FPRAS sketch plus its `(params, seed)` key.
+const FLAG_SKETCH: u8 = 1 << 5;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -456,6 +467,7 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 /// layout; all integers little-endian, byte strings `u64`-length-prefixed).
 fn encode_payload(inst: &PreparedInstance) -> Vec<u8> {
     let (unambiguous, degree, completions, det_count) = inst.snapshot_parts();
+    let sketch = inst.sketch_snapshot();
     let mut out = Vec::new();
     put_u64(&mut out, inst.length() as u64);
     put_bytes(&mut out, nfa_io::to_text(inst.nfa()).as_bytes());
@@ -474,6 +486,9 @@ fn encode_payload(inst: &PreparedInstance) -> Vec<u8> {
     }
     if det_count.is_some() {
         flags |= FLAG_DET_COUNT;
+    }
+    if sketch.is_some() {
+        flags |= FLAG_SKETCH;
     }
     out.push(flags);
     if let Some(d) = degree {
@@ -495,7 +510,57 @@ fn encode_payload(inst: &PreparedInstance) -> Vec<u8> {
     if let Some(count) = det_count {
         put_bytes(&mut out, &count.to_le_bytes());
     }
+    if let Some((seed, state)) = sketch {
+        encode_sketch(&mut out, seed, state);
+    }
     out
+}
+
+fn put_bigfloat(out: &mut Vec<u8>, v: BigFloat) {
+    let (mantissa_bits, exponent) = v.to_raw_parts();
+    put_u64(out, mantissa_bits);
+    put_u64(out, exponent as u64);
+}
+
+/// The v2 sketch section: the `(params, seed)` caching key, the final
+/// estimate, and the per-vertex table (exact flag, estimate `R(s)`, sample
+/// words). Sample *reach sets* are deliberately not persisted —
+/// `reach_of(N, w)` is a deterministic linear-time rebuild, recomputed at
+/// load time just like the DAG itself — which keeps the section linear in
+/// the sample words rather than quadratic in the automaton.
+fn encode_sketch(out: &mut Vec<u8>, seed: u64, state: &FprasState) {
+    let p = state.params();
+    put_u64(out, seed);
+    put_u64(out, p.k as u64);
+    put_u64(out, p.attempts as u64);
+    put_u64(out, p.rejection_constant.to_bits());
+    out.push(
+        u8::from(p.exact_handling)
+            | (u8::from(p.recompute_membership) << 1)
+            | (u8::from(p.weight_cache) << 2)
+            | (u8::from(p.quadratic_estimator) << 3),
+    );
+    put_u64(out, p.threads as u64);
+    put_bigfloat(out, state.estimate());
+    let data = state.vertex_data();
+    put_u64(out, data.len() as u64);
+    for entry in data {
+        match entry {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                out.push(u8::from(v.exact));
+                put_bigfloat(out, v.r);
+                put_u64(out, v.samples.len() as u64);
+                for s in &v.samples {
+                    put_u64(out, s.word.len() as u64);
+                    for &sym in &s.word {
+                        out.extend_from_slice(&sym.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A bounds-checked little-endian reader over the payload.
@@ -537,6 +602,96 @@ impl<'a> Reader<'a> {
         let n = self.len()?;
         self.take(n)
     }
+
+    fn bigfloat(&mut self) -> Result<BigFloat, SnapshotError> {
+        let mantissa_bits = self.u64()?;
+        let exponent = self.u64()? as i64;
+        BigFloat::from_raw_parts(mantissa_bits, exponent)
+            .ok_or_else(|| SnapshotError::Corrupt("invalid extended float".into()))
+    }
+}
+
+/// Decoded-but-not-yet-attached sketch section: everything except the
+/// `Arc<Nfa>`/`Arc<UnrolledDag>` backbone, which the caller grafts on once
+/// the instance (and its eagerly rebuilt DAG) exists.
+type SketchParts = (u64, FprasParams, BigFloat, Vec<Option<VertexData>>);
+
+/// Parses and validates the v2 sketch section, recomputing each persisted
+/// sample's reach set from the automaton (the counterpart of
+/// `encode_sketch` not persisting them).
+fn decode_sketch(
+    r: &mut Reader<'_>,
+    nfa: &Nfa,
+    length: usize,
+) -> Result<SketchParts, SnapshotError> {
+    let corrupt = |reason: &str| SnapshotError::Corrupt(reason.to_string());
+    let seed = r.u64()?;
+    let k = usize::try_from(r.u64()?).map_err(|_| corrupt("implausible sketch k"))?;
+    let attempts = usize::try_from(r.u64()?).map_err(|_| corrupt("implausible sketch attempts"))?;
+    let rejection_constant = f64::from_bits(r.u64()?);
+    if !rejection_constant.is_finite() || rejection_constant <= 0.0 {
+        return Err(corrupt("invalid sketch rejection constant"));
+    }
+    let param_flags = r.u8()?;
+    if param_flags & !0b1111 != 0 {
+        return Err(corrupt("unknown sketch parameter flags"));
+    }
+    let threads = usize::try_from(r.u64()?).map_err(|_| corrupt("implausible sketch threads"))?;
+    if threads == 0 {
+        return Err(corrupt("sketch thread count must be positive"));
+    }
+    let params = FprasParams {
+        k,
+        attempts,
+        rejection_constant,
+        exact_handling: param_flags & 1 != 0,
+        recompute_membership: param_flags & 2 != 0,
+        threads,
+        weight_cache: param_flags & 4 != 0,
+        quadratic_estimator: param_flags & 8 != 0,
+    };
+    let final_r = r.bigfloat()?;
+    let num_vertices = r.len()?;
+    let alphabet_size = nfa.alphabet().len() as u32;
+    let mut data = Vec::with_capacity(num_vertices);
+    for _ in 0..num_vertices {
+        match r.u8()? {
+            0 => data.push(None),
+            1 => {
+                let exact = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(corrupt("invalid sketch exact flag")),
+                };
+                let estimate = r.bigfloat()?;
+                let num_samples = r.len()?;
+                let mut samples = Vec::with_capacity(num_samples);
+                for _ in 0..num_samples {
+                    let word_len = r.len()?;
+                    if word_len > length {
+                        return Err(corrupt("sketch sample longer than the witness length"));
+                    }
+                    let mut word = Word::with_capacity(word_len);
+                    for chunk in r.take(word_len * 4)?.chunks_exact(4) {
+                        let sym = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                        if sym >= alphabet_size {
+                            return Err(corrupt("sketch sample symbol outside the alphabet"));
+                        }
+                        word.push(sym);
+                    }
+                    let reach = reach_of(nfa, &word);
+                    samples.push(SampleEntry { word, reach });
+                }
+                data.push(Some(VertexData {
+                    exact,
+                    r: estimate,
+                    samples,
+                }));
+            }
+            _ => return Err(corrupt("invalid sketch vertex tag")),
+        }
+    }
+    Ok((seed, params, final_r, data))
 }
 
 /// Decodes and fully validates one snapshot file's bytes, returning the
@@ -550,7 +705,7 @@ fn decode(bytes: &[u8]) -> Result<(Arc<PreparedInstance>, u64), SnapshotError> {
         return Err(corrupt("bad magic"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(corrupt("unknown snapshot version"));
     }
     let fingerprint = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
@@ -605,6 +760,14 @@ fn decode(bytes: &[u8]) -> Result<(Arc<PreparedInstance>, u64), SnapshotError> {
     } else {
         None
     };
+    let sketch = if flags & FLAG_SKETCH != 0 {
+        if version < 2 {
+            return Err(corrupt("version-1 snapshot carries a sketch section"));
+        }
+        Some(decode_sketch(&mut r, &nfa, length)?)
+    } else {
+        None
+    };
     if r.at != payload.len() {
         return Err(corrupt("trailing bytes after payload"));
     }
@@ -634,6 +797,23 @@ fn decode(bytes: &[u8]) -> Result<(Arc<PreparedInstance>, u64), SnapshotError> {
         if table.len() != inst.dag().num_nodes() {
             return Err(corrupt("completion table does not fit the DAG"));
         }
+    }
+    if let Some((seed, params, final_r, data)) = sketch {
+        // The sketch table indexes DAG vertices, exactly like the
+        // completion table; graft the shared automaton/DAG backbone onto
+        // the decoded parts and pre-seed the instance's sketch cache under
+        // its persisted `(params, seed)` key.
+        if data.len() != inst.dag().num_nodes() {
+            return Err(corrupt("sketch table does not fit the DAG"));
+        }
+        let state = FprasState::from_parts(
+            inst.nfa_arc().clone(),
+            inst.dag().clone(),
+            params,
+            data,
+            final_r,
+        );
+        inst.seed_sketch(seed, Arc::new(state));
     }
     Ok((Arc::new(inst), checksum))
 }
@@ -673,6 +853,109 @@ mod tests {
         let a: Vec<_> = cold.enumerate_constant_delay().unwrap().collect();
         let b: Vec<_> = warm.enumerate_constant_delay().unwrap().collect();
         assert_eq!(a, b);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn sketch_round_trips_and_serves_bit_identical_answers() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let store = temp_store("sketch-roundtrip");
+        let cold = warmed_instance();
+        // k = 4 forces sampled (not just exactly-handled) vertices, so the
+        // round trip covers persisted sample words and recomputed reach sets.
+        let mut params = FprasParams::quick();
+        params.k = 4;
+        let seed = 0xABCD;
+        let cold_state = cold.fpras_sketch(params, seed).unwrap();
+        assert!(
+            cold_state.vertex_stats().1 > 0,
+            "test instance must have sampled vertices"
+        );
+        assert!(store.save(&cold).unwrap());
+
+        let warm = store.load_fingerprint(cold.fingerprint()).unwrap();
+        // The sketch came back pre-seeded under its persisted key: a query
+        // with the same (params, seed) is served the restored state...
+        let (warm_seed, _) = warm.sketch_snapshot().expect("sketch persisted");
+        assert_eq!(warm_seed, seed);
+        let warm_state = warm.fpras_sketch(params, seed).unwrap();
+        assert!(Arc::ptr_eq(&warm_state, warm.sketch_snapshot().unwrap().1));
+        // ...with a bit-identical estimate and vertex table,
+        assert_eq!(
+            warm_state.estimate().to_raw_parts(),
+            cold_state.estimate().to_raw_parts()
+        );
+        assert_eq!(warm_state.vertex_stats(), cold_state.vertex_stats());
+        // and bit-identical Las-Vegas draws (same sketch data, same rng).
+        let draws = |state: &FprasState| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut sampler = state.witness_sampler();
+            (0..8).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(&warm_state), draws(&cold_state));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn version_1_snapshots_without_sketch_still_load() {
+        let store = temp_store("v1-compat");
+        let inst = warmed_instance(); // no sketch cached → v1-shaped payload
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[8..12], VERSION.to_le_bytes());
+        // Exactly what a version-1 writer produced: same payload bytes, old
+        // header version (the checksum covers only the payload).
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let warm = store.load(&path).unwrap();
+        assert_eq!(warm.count_exact().unwrap(), inst.count_exact().unwrap());
+        assert!(warm.sketch_snapshot().is_none());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn version_1_files_cannot_carry_a_sketch_section() {
+        let store = temp_store("v1-sketch");
+        let inst = warmed_instance();
+        inst.fpras_sketch(FprasParams::quick(), 1).unwrap();
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(&path), Err(SnapshotError::Corrupt(_))));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_sketch_sections_are_rejected_and_quarantined() {
+        let store = temp_store("sketch-corrupt");
+        let inst = warmed_instance();
+        let state = inst.fpras_sketch(FprasParams::quick(), 5).unwrap();
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let good = std::fs::read(&path).unwrap();
+        // Replace the persisted estimate with NaN bits and *re-seal the
+        // checksum* — modeling a buggy writer rather than bit rot, so the
+        // semantic float validation (not the checksum) must catch it.
+        let needle = state.estimate().to_raw_parts().0.to_le_bytes();
+        let pos = good
+            .windows(8)
+            .position(|w| w == needle)
+            .expect("estimate bits present in the sketch section");
+        let mut bad = good.clone();
+        bad[pos..pos + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let checksum = fnv64(&bad[HEADER_LEN..]);
+        bad[28..36].copy_from_slice(&checksum.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(store.load(&path), Err(SnapshotError::Corrupt(_))));
+        // The open-time sweep quarantines it instead of serving it.
+        let reopened = SnapshotStore::open(store.dir()).unwrap();
+        assert_eq!(reopened.sweep_report().quarantined, 1);
+        assert!(!path.exists());
         std::fs::remove_dir_all(store.dir()).ok();
     }
 

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use lsc_automata::ops::is_unambiguous;
 use lsc_automata::unroll::{NodeId, UnrolledDag};
-use lsc_automata::{Nfa, Word};
+use lsc_automata::{Nfa, Symbol, Word};
 
 use crate::count::exact::NotUnambiguousError;
 
@@ -32,6 +32,10 @@ pub struct ConstantDelayEnumerator {
     dag: Arc<UnrolledDag>,
     /// `(vertex, edge index)` for each branching vertex on the current path.
     decisions: Vec<(NodeId, usize)>,
+    /// The most recently emitted word, rebuilt in place by each replay so the
+    /// borrowing [`ConstantDelayEnumerator::advance`] path allocates nothing
+    /// per output once the buffer has reached the word length.
+    word_buf: Word,
     started: bool,
     done: bool,
     /// Abstract RAM steps spent producing the most recent output (for the
@@ -69,6 +73,7 @@ impl ConstantDelayEnumerator {
         ConstantDelayEnumerator {
             dag,
             decisions: Vec::new(),
+            word_buf: Word::new(),
             started: false,
             done: false,
             last_delay_steps: 0,
@@ -113,6 +118,7 @@ impl ConstantDelayEnumerator {
         Some(ConstantDelayEnumerator {
             dag,
             decisions,
+            word_buf: Word::new(),
             started: true,
             done: false,
             last_delay_steps: 0,
@@ -141,9 +147,11 @@ impl ConstantDelayEnumerator {
 
     /// Replays the stored decisions from the start vertex, extending with
     /// minimal edges (recording fresh decisions) once they are exhausted.
-    fn replay(&mut self) -> Word {
+    /// Writes the word into the reused `word_buf`.
+    fn replay(&mut self) {
         let n = self.dag.word_length();
-        let mut word = Vec::with_capacity(n);
+        self.word_buf.clear();
+        self.word_buf.reserve(n);
         let mut cur = self.dag.start().expect("nonempty dag");
         let mut ptr = 0;
         for _ in 0..n {
@@ -163,18 +171,19 @@ impl ConstantDelayEnumerator {
                 0
             };
             let (symbol, next) = edges[idx];
-            word.push(symbol);
+            self.word_buf.push(symbol);
             cur = next;
             self.last_delay_steps += 1;
         }
-        word
     }
-}
 
-impl Iterator for ConstantDelayEnumerator {
-    type Item = Word;
-
-    fn next(&mut self) -> Option<Word> {
+    /// Lending form of `next()`: advances to the next word and returns it as
+    /// a borrow of the enumerator's reused buffer. After warm-up this
+    /// allocates nothing per output, which is what lets cursor pages stream
+    /// witnesses without a per-word `Word` materialization (the `Iterator`
+    /// impl is `advance().map(<[Symbol]>::to_vec)`). The borrow is valid
+    /// until the next `advance`/`next` call.
+    pub fn advance(&mut self) -> Option<&[Symbol]> {
         self.last_delay_steps = 0;
         if self.done {
             return None;
@@ -185,7 +194,8 @@ impl Iterator for ConstantDelayEnumerator {
                 self.done = true;
                 return None;
             }
-            return Some(self.replay());
+            self.replay();
+            return Some(&self.word_buf);
         }
         // Retire exhausted decisions (paper step 7), then advance the last one.
         loop {
@@ -204,7 +214,24 @@ impl Iterator for ConstantDelayEnumerator {
                 }
             }
         }
-        Some(self.replay())
+        self.replay();
+        Some(&self.word_buf)
+    }
+
+    /// The most recently emitted word (the buffer [`advance`] lends out).
+    /// Meaningful only after a successful `advance`/`next`.
+    ///
+    /// [`advance`]: ConstantDelayEnumerator::advance
+    pub fn current_word(&self) -> &[Symbol] {
+        &self.word_buf
+    }
+}
+
+impl Iterator for ConstantDelayEnumerator {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        self.advance().map(<[Symbol]>::to_vec)
     }
 }
 

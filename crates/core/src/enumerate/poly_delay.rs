@@ -116,9 +116,50 @@ impl PolyDelayEnumerator {
         next
     }
 
+    /// The most recently emitted witness (the search's own `prefix` state —
+    /// [`PolyDelayEnumerator::advance`] lends exactly this buffer).
+    /// Meaningful only after a successful `advance`/`next`.
+    pub fn current_word(&self) -> &[Symbol] {
+        &self.prefix
+    }
+
+    /// Lending form of `next()`: advances to the next witness and returns it
+    /// as a borrow of the search's live `prefix`. The flashlight search
+    /// already maintains the emitted word in place, so this simply skips the
+    /// defensive clone the `Iterator` impl adds on top. The borrow is valid
+    /// until the next `advance`/`next` call.
+    pub fn advance(&mut self) -> Option<&[Symbol]> {
+        self.last_delay_steps = 0;
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.dag.is_empty() {
+                self.done = true;
+                return None;
+            }
+            let mut init = StateSet::new(self.nfa.num_states());
+            init.insert(self.nfa.initial());
+            self.stack.push((init, 0));
+            self.descend();
+            return Some(&self.prefix);
+        }
+        // Pop the completed witness level, then backtrack and descend.
+        self.stack.pop();
+        self.prefix.pop();
+        if !self.backtrack() {
+            self.done = true;
+            return None;
+        }
+        self.descend();
+        Some(&self.prefix)
+    }
+
     /// Descends greedily (smallest viable symbol first) until the prefix has
-    /// full length, then emits it. Precondition: top of stack is viable.
-    fn descend(&mut self) -> Word {
+    /// full length. The witness is left in `self.prefix`. Precondition: top
+    /// of stack is viable.
+    fn descend(&mut self) {
         let n = self.dag.word_length();
         while self.prefix.len() < n {
             let t = self.prefix.len();
@@ -145,7 +186,6 @@ impl PolyDelayEnumerator {
                 break;
             }
         }
-        self.prefix.clone()
     }
 
     /// Backtracks to the deepest level with an untried viable symbol; returns
@@ -183,29 +223,7 @@ impl Iterator for PolyDelayEnumerator {
     type Item = Word;
 
     fn next(&mut self) -> Option<Word> {
-        self.last_delay_steps = 0;
-        if self.done {
-            return None;
-        }
-        if !self.started {
-            self.started = true;
-            if self.dag.is_empty() {
-                self.done = true;
-                return None;
-            }
-            let mut init = StateSet::new(self.nfa.num_states());
-            init.insert(self.nfa.initial());
-            self.stack.push((init, 0));
-            return Some(self.descend());
-        }
-        // Pop the completed witness level, then backtrack and descend.
-        self.stack.pop();
-        self.prefix.pop();
-        if !self.backtrack() {
-            self.done = true;
-            return None;
-        }
-        Some(self.descend())
+        self.advance().map(<[Symbol]>::to_vec)
     }
 }
 

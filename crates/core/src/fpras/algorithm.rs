@@ -122,6 +122,36 @@ impl FprasState {
         })
     }
 
+    /// The per-vertex sketch table, indexed by DAG node id (`None` = vertex
+    /// pruned or never materialized). The snapshot codec serializes this;
+    /// [`FprasState::from_parts`] is the load half.
+    pub fn vertex_data(&self) -> &[Option<VertexData>] {
+        &self.data
+    }
+
+    /// Reassembles a state from persisted parts (the snapshot load path).
+    /// The caller is responsible for `data`/`final_r` having been produced
+    /// by a real run over the same `(nfa, dag, params)` — the snapshot
+    /// layer guards this with its payload checksum plus structural
+    /// cross-checks, so a restored sketch answers bit-identically to the
+    /// build it was saved from.
+    pub fn from_parts(
+        nfa: Arc<Nfa>,
+        dag: Arc<UnrolledDag>,
+        params: FprasParams,
+        data: Vec<Option<VertexData>>,
+        final_r: BigFloat,
+    ) -> Self {
+        FprasState {
+            nfa,
+            dag,
+            params,
+            data,
+            final_r,
+            bytes: std::sync::OnceLock::new(),
+        }
+    }
+
     /// `(exactly handled, sampled)` vertex counts — the base-case coverage
     /// statistic reported by the experiments.
     pub fn vertex_stats(&self) -> (usize, usize) {

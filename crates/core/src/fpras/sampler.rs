@@ -29,13 +29,14 @@
 
 use lsc_arith::BigFloat;
 use lsc_automata::unroll::{NodeId, UnrolledDag};
-use lsc_automata::{Nfa, StateSet, Symbol, Word};
+use lsc_automata::{Nfa, Symbol, Word};
 use rand::Rng;
 use std::collections::HashMap;
 
 use super::params::FprasParams;
 use super::sketch::{
-    estimate_union_quadratic, estimate_union_with_mask, reach_of, SampleEntry, VertexData,
+    estimate_union_packed, estimate_union_quadratic, estimate_union_with_mask, reach_of, MaskArena,
+    SampleEntry, VertexData,
 };
 
 /// Read-only view of the sketches the sampler consults.
@@ -88,20 +89,11 @@ impl SampleCtx<'_> {
         }
     }
 
-    /// `x ∈ U(s')` for *some* earlier member whose state is in `mask` —
-    /// cached or recomputed (B6). Used by the linear estimator path.
-    pub(crate) fn covered(&self, entry: &SampleEntry, mask: &StateSet) -> bool {
-        if self.recompute_membership {
-            !reach_of(self.nfa, &entry.word).is_disjoint(mask)
-        } else {
-            !entry.reach.is_disjoint(mask)
-        }
-    }
-
-    /// `W̃` over `members`, dispatching between the linear prefix-mask
-    /// estimator and the quadratic baseline (B9). Both produce bit-identical
-    /// values; only the membership-test count differs.
-    pub(crate) fn estimate(&self, members: &[NodeId], mask: &mut StateSet) -> BigFloat {
+    /// `W̃` over `members`, dispatching between the word-level packed kernel
+    /// (default), the scalar prefix-mask walk with recomputed reach sets
+    /// (ablation B6), and the quadratic baseline (B9). All three produce
+    /// bit-identical values; only the membership-test cost differs.
+    pub(crate) fn estimate(&self, members: &[NodeId], arena: &mut MaskArena) -> BigFloat {
         if self.quadratic_estimator {
             estimate_union_quadratic(
                 members,
@@ -109,14 +101,16 @@ impl SampleCtx<'_> {
                 |v| self.state_of(v),
                 |e, q| self.member_of(e, q),
             )
-        } else {
+        } else if self.recompute_membership {
             estimate_union_with_mask(
                 members,
                 self.data,
-                mask,
+                arena,
                 |v| self.state_of(v),
-                |e, m| self.covered(e, m),
+                |e, a| a.intersects(&reach_of(self.nfa, &e.word)),
             )
+        } else {
+            estimate_union_packed(members, self.data, arena, |v| self.state_of(v))
         }
     }
 }
@@ -174,8 +168,9 @@ pub(crate) struct SamplerScratch {
     /// Current member set `T` (double-buffered with `next_members`).
     members: Vec<NodeId>,
     next_members: Vec<NodeId>,
-    /// Prefix mask for the linear union estimator.
-    mask: StateSet,
+    /// Prefix-mask arena for the linear union estimator (nonzero-word index
+    /// included, so the packed kernel scans only live words).
+    arena: MaskArena,
     /// Per-symbol predecessor buckets, indexed by symbol; `touched` lists the
     /// nonempty ones (ascending after sort). Pre-sized from the alphabet so
     /// grouping is O(edges), replacing the seed's `binary_search` +
@@ -192,7 +187,7 @@ impl SamplerScratch {
         SamplerScratch {
             members: Vec::new(),
             next_members: Vec::new(),
-            mask: StateSet::new(num_states),
+            arena: MaskArena::new(num_states),
             buckets: vec![Vec::new(); alphabet_size],
             touched: Vec::new(),
             weights: Vec::new(),
@@ -207,9 +202,9 @@ impl SamplerScratch {
         SamplerScratch::new(ctx.nfa.num_states(), ctx.dag.alphabet_size())
     }
 
-    /// `W̃` over `members` using this scratch's mask.
+    /// `W̃` over `members` using this scratch's mask arena.
     pub(crate) fn estimate(&mut self, ctx: &SampleCtx<'_>, members: &[NodeId]) -> BigFloat {
-        ctx.estimate(members, &mut self.mask)
+        ctx.estimate(members, &mut self.arena)
     }
 }
 
@@ -251,14 +246,14 @@ fn level_probs(
     ctx: &SampleCtx<'_>,
     buckets: &[Vec<NodeId>],
     touched: &[Symbol],
-    mask: &mut StateSet,
+    arena: &mut MaskArena,
     weights: &mut Vec<BigFloat>,
     probs: &mut Vec<f64>,
 ) -> bool {
     weights.clear();
     let mut total = BigFloat::zero();
     for &a in touched {
-        let w = ctx.estimate(&buckets[a as usize], mask);
+        let w = ctx.estimate(&buckets[a as usize], arena);
         total = total.add(w);
         weights.push(w);
     }
@@ -333,7 +328,7 @@ fn sample_inner<R: Rng + ?Sized>(
     let SamplerScratch {
         members,
         next_members,
-        mask,
+        arena,
         buckets,
         touched,
         weights,
@@ -382,7 +377,7 @@ fn sample_inner<R: Rng + ?Sized>(
             }
             // Miss (or cache disabled): compute the level in scratch.
             group_predecessors(ctx, members, buckets, touched);
-            let live = level_probs(ctx, buckets, touched, mask, weights, probs);
+            let live = level_probs(ctx, buckets, touched, arena, weights, probs);
             if ctx.weight_cache && cache.approx_bytes < WeightCache::MAX_BYTES {
                 // Dead levels store empty partition/prob vectors: `probs`
                 // still holds the previous level's values when `level_probs`

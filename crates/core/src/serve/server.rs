@@ -639,10 +639,20 @@ impl ServerInner {
                             None => me.engine.cursor(&s.handle),
                         },
                     };
-                    let words: Vec<Word> = cursor.by_ref().take(page_size).collect();
+                    // Stream the page straight off the cursor's lent buffer:
+                    // each witness is formatted at the protocol boundary
+                    // without materializing an owned `Word` per row.
+                    let mut words = Vec::new();
+                    while words.len() < page_size {
+                        match cursor.advance() {
+                            Some(w) => words.push(Json::str(format_word(w, &s.alphabet))),
+                            None => break,
+                        }
+                    }
+                    let returned = words.len();
                     let fields = vec![
-                        ("words".to_string(), format_words(&words, &s.alphabet)),
-                        ("returned".to_string(), Json::num(words.len() as f64)),
+                        ("words".to_string(), Json::Arr(words)),
+                        ("returned".to_string(), Json::num(returned as f64)),
                         ("rank".to_string(), Json::num(cursor.rank() as f64)),
                         ("done".to_string(), Json::Bool(cursor.is_done())),
                         ("token".to_string(), Json::str(cursor.token().encode())),
@@ -855,7 +865,8 @@ impl ServerInner {
         let mask = u8::from(unambiguous.is_some())
             | (u8::from(degree.is_some()) << 1)
             | (u8::from(completions.is_some()) << 2)
-            | (u8::from(det_count.is_some()) << 3);
+            | (u8::from(det_count.is_some()) << 3)
+            | (u8::from(inst.sketch_snapshot().is_some()) << 4);
         {
             let masks = self.snapshot_masks.lock().expect("snapshot masks poisoned");
             if masks.get(&inst.fingerprint()) == Some(&mask) {

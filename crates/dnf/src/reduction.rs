@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use lsc_automata::{Alphabet, Nfa, Symbol};
 use lsc_core::engine::domain_fingerprint;
 use lsc_core::{MemNfa, Queryable};
 use lsc_transducer::TransducerProgram;
@@ -82,7 +82,7 @@ impl Queryable for DnfFormula {
         (Arc::new(to_nfa(self)), self.num_vars())
     }
 
-    fn decode(&self, word: &Word) -> u128 {
+    fn decode(&self, word: &[Symbol]) -> u128 {
         word.iter()
             .enumerate()
             .fold(0u128, |acc, (i, &b)| acc | ((b as u128) << i))

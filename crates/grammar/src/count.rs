@@ -45,6 +45,10 @@ impl DerivationTable {
             }
             counts.push(row);
         }
+        // Convolution products accumulate through the fused multiply-add, so
+        // the inner loop forms each `D[B][i]·D[C][ℓ-i]` in one reused scratch
+        // buffer instead of allocating a product per (rule, split).
+        let mut scratch = Vec::new();
         for len in 2..=n {
             let mut row = vec![BigNat::zero(); v];
             for (nt, slot) in row.iter_mut().enumerate() {
@@ -59,7 +63,7 @@ impl DerivationTable {
                         if right.is_zero() {
                             continue;
                         }
-                        acc.add_assign_ref(&left.mul_ref(right));
+                        acc.mul_add_assign_with_scratch(left, right, &mut scratch);
                     }
                 }
                 *slot = acc;

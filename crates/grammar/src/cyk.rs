@@ -43,6 +43,7 @@ pub fn cyk_tree_count(cnf: &Cnf, word: &[Symbol]) -> BigNat {
         }
     }
     chart.push(base);
+    let mut scratch = Vec::new();
     for len in 2..=n {
         let mut row = vec![vec![BigNat::zero(); v]; n - len + 1];
         for (i, cell) in row.iter_mut().enumerate() {
@@ -58,7 +59,7 @@ pub fn cyk_tree_count(cnf: &Cnf, word: &[Symbol]) -> BigNat {
                         if right.is_zero() {
                             continue;
                         }
-                        acc.add_assign_ref(&left.mul_ref(right));
+                        acc.mul_add_assign_with_scratch(left, right, &mut scratch);
                     }
                 }
                 *slot = acc;

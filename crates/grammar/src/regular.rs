@@ -372,8 +372,8 @@ impl Queryable for RegularGrammar {
         (self.nfa.clone(), self.length)
     }
 
-    fn decode(&self, word: &Word) -> Word {
-        word.clone()
+    fn decode(&self, word: &[Symbol]) -> Word {
+        word.to_vec()
     }
 
     fn domain_fingerprint(&self) -> u64 {

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use lsc_arith::BigNat;
 use lsc_automata::regex::Regex;
-use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use lsc_automata::{Alphabet, Nfa, Symbol};
 use lsc_core::engine::{domain_fingerprint, RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
 use lsc_core::{MemNfa, Queryable};
@@ -240,7 +240,7 @@ impl Queryable for RpqInstance {
         )
     }
 
-    fn decode(&self, word: &Word) -> RpqPath {
+    fn decode(&self, word: &[Symbol]) -> RpqPath {
         RpqInstance::decode(self, word)
     }
 

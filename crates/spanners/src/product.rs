@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use lsc_arith::{BigFloat, BigNat};
-use lsc_automata::{Alphabet, Nfa, Symbol, Word};
+use lsc_automata::{Alphabet, Nfa, Symbol};
 use lsc_core::count::exact::NotUnambiguousError;
 use lsc_core::engine::{domain_fingerprint, RoutedCount, RouterConfig};
 use lsc_core::fpras::{FprasError, FprasParams};
@@ -218,7 +218,7 @@ impl Queryable for SpannerInstance {
         )
     }
 
-    fn decode(&self, word: &Word) -> Mapping {
+    fn decode(&self, word: &[Symbol]) -> Mapping {
         SpannerInstance::decode(self, word)
     }
 

@@ -41,6 +41,17 @@ baseline = mean_of("fpras/e3-opt-vs-baseline", "baseline")
 optimized = mean_of("fpras/e3-opt-vs-baseline", "optimized")
 speedup = round(baseline / optimized, 2) if baseline and optimized else None
 
+def ratio(group, slow, fast):
+    a, b = mean_of(group, slow), mean_of(group, fast)
+    return round(a / b, 2) if a and b else None
+
+# E21/E22 kernel headlines: the packed union kernel vs the scalar walk it
+# replaced (and the seed's quadratic scan), and the limb-batched completion
+# DP vs the per-edge-allocation baseline at the multi-limb width.
+union_kernel_speedup = ratio("fpras/e21-union-kernel", "scalar-walk", "packed")
+union_kernel_speedup_vs_quadratic = ratio("fpras/e21-union-kernel", "quadratic", "packed")
+completion_dp_speedup = ratio("fpras/e22-completion-dp", "per-edge-alloc/120", "limb-batched/120")
+
 rev = "unknown"
 try:
     rev = subprocess.run(
@@ -55,6 +66,9 @@ snapshot = {
     "git_rev": rev,
     "instance": "contains-101@24 (k=64, FprasParams::quick)",
     "speedup_vs_seed_baseline": speedup,
+    "union_kernel_speedup_vs_walk": union_kernel_speedup,
+    "union_kernel_speedup_vs_quadratic": union_kernel_speedup_vs_quadratic,
+    "completion_dp_speedup": completion_dp_speedup,
     "benchmarks": results,
 }
 
@@ -69,7 +83,9 @@ with open(path, "w") as fh:
     fh.write("\n")
 
 print(f"\nBENCH_fpras.json: appended snapshot #{len(history)}"
-      f" (speedup vs seed baseline: {speedup}x)")
+      f" (speedup vs seed baseline: {speedup}x;"
+      f" union kernel vs walk: {union_kernel_speedup}x;"
+      f" completion DP: {completion_dp_speedup}x)")
 PY
 
 # --- Engine warm-vs-cold trajectory -----------------------------------------
@@ -269,6 +285,11 @@ snapshot = {
     "warm_restart_speedup": ratio(
         "serve/e17-warm-restart", "cold-start-first-query", "warm-restart-first-query"
     ),
+    # E23: cold-restart first approximate count (full sketch rebuild) vs a
+    # warm restart off a v2 snapshot that carries the persisted sketch.
+    "sketch_persistence_speedup": ratio(
+        "serve/e23-sketch-persistence", "cold-start-first-count", "warm-restart-first-count"
+    ),
     "shard_scaling_speedup": ratio(
         "serve/e19-shard-scaling", "shards/1", "shards/8"
     ),
@@ -298,6 +319,7 @@ with open(path, "w") as fh:
 
 print(f"\nBENCH_serve.json: appended snapshot #{len(history)}"
       f" (warm restart: {snapshot['warm_restart_speedup']}x,"
+      f" sketch persistence: {snapshot['sketch_persistence_speedup']}x,"
       f" warm count rtt: {snapshot['request_latency_count_ns']} ns,"
       f" shard scaling 8 clients: {snapshot['shard_scaling_speedup']}x)")
 PY

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Perf regression gate: re-runs the E21–E23 kernel micro-benches with a small
+# sample budget and fails if any benchmark's mean_ns regresses more than 25%
+# against the latest committed snapshot in BENCH_fpras.json / BENCH_serve.json.
+#
+# Usage: scripts/bench_check.sh
+#
+# The gate covers the kernels this trajectory pins: the packed union
+# estimator (E21), the limb-batched completion DP (E22), and the
+# sketch-persistence warm restart (E23). Trajectory snapshots come from
+# scripts/bench.sh; this script never writes the JSON files.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export LSC_CRITERION_SAMPLES="${LSC_CRITERION_SAMPLES:-5}"
+
+FPRAS_DIR="$(pwd)/target/lsc-bench-check-fpras"
+rm -rf "$FPRAS_DIR"
+LSC_CRITERION_DIR="$FPRAS_DIR" cargo bench -p lsc-bench --bench fpras -- e21-union-kernel
+LSC_CRITERION_DIR="$FPRAS_DIR" cargo bench -p lsc-bench --bench fpras -- e22-completion-dp
+
+SERVE_DIR="$(pwd)/target/lsc-bench-check-serve"
+rm -rf "$SERVE_DIR"
+LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e23-sketch-persistence
+
+FPRAS_DIR="$FPRAS_DIR" SERVE_DIR="$SERVE_DIR" python3 - <<'PY'
+import json, os, sys
+
+TOLERANCE = 1.25  # fail on >25% mean_ns regression
+GROUPS = ("e21-union-kernel", "e22-completion-dp", "e23-sketch-persistence")
+
+def fresh_results(out_dir):
+    results = {}
+    for root, _, files in os.walk(out_dir):
+        for f in sorted(files):
+            if f.endswith(".json"):
+                with open(os.path.join(root, f)) as fh:
+                    r = json.load(fh)
+                results[(r["group"], r["id"])] = r["mean_ns"]
+    return results
+
+def committed(path):
+    with open(path) as fh:
+        history = json.load(fh)
+    return {(r["group"], r["id"]): r["mean_ns"] for r in history[-1]["benchmarks"]}
+
+fresh = fresh_results(os.environ["FPRAS_DIR"])
+fresh.update(fresh_results(os.environ["SERVE_DIR"]))
+
+reference = committed("BENCH_fpras.json")
+reference.update(committed("BENCH_serve.json"))
+
+checked, failures, missing = 0, [], []
+for (group, ident), mean in sorted(fresh.items()):
+    if not any(g in group for g in GROUPS):
+        continue
+    ref = reference.get((group, ident))
+    if ref is None:
+        missing.append(f"{group}/{ident}")
+        continue
+    checked += 1
+    ratio = mean / ref
+    status = "FAIL" if ratio > TOLERANCE else "ok"
+    print(f"  {status:4} {group}/{ident}: {mean:12.0f} ns vs {ref:12.0f} ns committed ({ratio:.2f}x)")
+    if ratio > TOLERANCE:
+        failures.append(f"{group}/{ident} regressed {ratio:.2f}x")
+
+if missing:
+    print("note: no committed reference for: " + ", ".join(missing)
+          + " (run scripts/bench.sh to record one)")
+if not checked:
+    sys.exit("bench_check: no E21-E23 reference entries in the committed BENCH_*.json")
+if failures:
+    sys.exit("bench_check: perf regression gate failed:\n  " + "\n  ".join(failures))
+print(f"bench_check: {checked} kernel benchmarks within {TOLERANCE:.2f}x of committed means")
+PY

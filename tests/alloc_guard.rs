@@ -50,6 +50,56 @@ fn allocated_during<T>(f: impl FnOnce() -> T) -> (usize, T) {
 }
 
 #[test]
+fn cursor_pages_have_a_constant_allocation_budget() {
+    use lsc_automata::families::universal_nfa;
+
+    // A constant-delay instance with far more witnesses than the page needs:
+    // Σ^20 over the binary alphabet. The enumerator's whole position (decision
+    // list + word buffer) lives in reused storage, so a warm page served
+    // through the lending `advance()` path must allocate essentially nothing
+    // per word — no per-word `Word`, and no per-word position snapshot (the
+    // regression this pins: `next()` used to clone the decision list into the
+    // resume position on every single word).
+    const PAGE: usize = 512;
+    let nfa = Arc::new(universal_nfa(Alphabet::binary()));
+    let engine = Engine::with_defaults();
+    let handle = engine.prepare(&(nfa, 20usize));
+    let mut cursor = engine.cursor(&handle);
+
+    // Warm-up: the first words pay for the DAG walk buffers growing to the
+    // word length (one-time, allowed to allocate).
+    for _ in 0..64 {
+        assert!(cursor.advance().is_some());
+    }
+
+    let (page_bytes, yielded) = allocated_during(|| {
+        let mut yielded = 0;
+        for _ in 0..PAGE {
+            if cursor.advance().is_some() {
+                yielded += 1;
+            }
+        }
+        yielded
+    });
+    assert_eq!(yielded, PAGE);
+    assert!(
+        page_bytes < PAGE * 8,
+        "a warm {PAGE}-word page allocated {page_bytes} bytes — the per-word \
+         position snapshot (or a per-word Word materialization) is back"
+    );
+
+    // Minting a resume token materializes the position once — the cost moved
+    // from every word to every token, and a token stays cheap in absolute
+    // terms (a decision list of at most word-length entries).
+    let (token_bytes, token) = allocated_during(|| cursor.token());
+    assert!(token.rank() >= PAGE as u64);
+    assert!(
+        token_bytes < 4096,
+        "one resume token allocated {token_bytes} bytes"
+    );
+}
+
+#[test]
 fn warm_batches_never_copy_the_automaton() {
     const QUERIES: usize = 8;
     // A deliberately large automaton: the transition table alone is hundreds

@@ -4,6 +4,7 @@
 use logspace_repro::prelude::*;
 use lsc_automata::families::{random_nfa, random_ufa};
 use lsc_automata::ops::{determinize, is_unambiguous};
+use lsc_core::fpras::run_fpras;
 use lsc_core::self_reduce::psi;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -51,6 +52,38 @@ proptest! {
             prop_assert_eq!(est, 0.0);
         } else {
             prop_assert!((est - truth).abs() / truth < 0.25, "est {} truth {}", est, truth);
+        }
+    }
+
+    /// The packed word-level union kernel is a pure representation change:
+    /// on random NFAs its estimates are bit-identical to the seed's
+    /// quadratic membership-scan oracle, at every sampling thread count.
+    /// (The fixed-family sweep lives in `crates/core/tests/equivalence.rs`;
+    /// this is the randomized counterpart.)
+    #[test]
+    fn packed_union_kernel_matches_quadratic_oracle(seed in 0u64..100, n in 2usize..9) {
+        let nfa = nfa_from_seed(seed, 6, 0.3);
+        let mut params = FprasParams::quick();
+        // A small per-vertex budget forces sampled (not exactly-handled)
+        // vertices, so the union estimator actually runs.
+        params.k = 16;
+        let oracle = {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            run_fpras(&nfa, n, params.with_quadratic_estimator(), &mut rng)
+                .unwrap()
+                .estimate()
+        };
+        for threads in [1usize, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            let est = run_fpras(&nfa, n, params.with_threads(threads), &mut rng)
+                .unwrap()
+                .estimate();
+            prop_assert_eq!(
+                est.to_raw_parts(),
+                oracle.to_raw_parts(),
+                "threads={}: {} != {}",
+                threads, est, oracle
+            );
         }
     }
 
