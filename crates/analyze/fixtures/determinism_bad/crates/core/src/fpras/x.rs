@@ -1,0 +1,42 @@
+//! Bad fixture: inside a determinism-sensitive path (`fpras`), this file
+//! iterates hash maps (field access, for-loop, and a local binding), reads
+//! the clock, and uses ambient randomness. lsc-analyze must report
+//! `nondeterministic-iteration`, `time-dependence`, and
+//! `unseeded-randomness`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Memo {
+    entries: HashMap<u64, u64>,
+}
+
+impl Memo {
+    pub fn sum(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    pub fn walk(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.entries.iter() {
+            acc += *v;
+        }
+        acc
+    }
+
+    pub fn stamp(&self) -> u64 {
+        let t = Instant::now();
+        t.elapsed().as_nanos() as u64
+    }
+}
+
+pub fn local_map() -> u64 {
+    let mut local: HashMap<u64, u64> = HashMap::new();
+    local.insert(1, 2);
+    local.values().sum()
+}
+
+pub fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

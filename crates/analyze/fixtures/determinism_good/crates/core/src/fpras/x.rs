@@ -1,0 +1,32 @@
+//! Good fixture: ordered containers where order matters, and a documented
+//! suppression where hash iteration feeds a sorted collection. lsc-analyze
+//! must stay silent (the suppression is used, so it is not flagged as
+//! unused either).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Memo {
+    entries: BTreeMap<u64, u64>,
+    index: HashMap<u64, u64>,
+}
+
+impl Memo {
+    pub fn sum(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    pub fn sorted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .index
+            // lsc-analyze: allow(nondeterministic-iteration) reason="collected into a vector that is sorted before return"
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    pub fn lookup(&self, k: u64) -> Option<u64> {
+        self.index.get(&k).copied()
+    }
+}

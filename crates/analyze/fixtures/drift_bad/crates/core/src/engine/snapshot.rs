@@ -1,0 +1,8 @@
+//! Fixture snapshot module, deliberately drifted from the §5.2 layout:
+//! bit 5 is undocumented, doc bit 6 has no const, and FLAG_DUP reuses
+//! bit 1.
+
+pub const FLAG_UNAMBIGUOUS_KNOWN: u8 = 1 << 0;
+pub const FLAG_UNAMBIGUOUS_VALUE: u8 = 1 << 1;
+pub const FLAG_SKETCH: u8 = 1 << 5;
+pub const FLAG_DUP: u8 = 1 << 1;

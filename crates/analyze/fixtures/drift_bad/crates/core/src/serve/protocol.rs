@@ -1,0 +1,25 @@
+//! Fixture protocol module, deliberately drifted from the §4 doc:
+//! `bye` and `internal` exist only here; `ping` and `mystery-code`
+//! exist only in the doc.
+
+pub enum ErrorCode {
+    BadRequest,
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+pub fn parse_request(op: &str) -> u32 {
+    match op {
+        "hello" => 1,
+        "bye" => 2,
+        _ => 0,
+    }
+}

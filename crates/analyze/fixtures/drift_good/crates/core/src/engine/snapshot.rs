@@ -1,0 +1,4 @@
+//! Fixture snapshot module, in sync with the §5.2 layout.
+
+pub const FLAG_UNAMBIGUOUS_KNOWN: u8 = 1 << 0;
+pub const FLAG_UNAMBIGUOUS_VALUE: u8 = 1 << 1;

@@ -1,0 +1,13 @@
+//! Bad fixture: filesystem and socket operations under the serve tree that
+//! never consult a fault site. lsc-analyze must report `unrouted-io` for
+//! both functions.
+
+use std::path::Path;
+
+pub fn persist(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn connect(addr: &str) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr)
+}

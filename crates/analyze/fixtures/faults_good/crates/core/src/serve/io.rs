@@ -1,0 +1,27 @@
+//! Good fixture: the write path consults a fault plan before touching the
+//! filesystem, and the one deliberate exception carries a documented
+//! suppression. lsc-analyze must stay silent.
+
+use std::path::Path;
+
+pub struct FaultPlan {
+    pub armed: bool,
+}
+
+impl FaultPlan {
+    pub fn decide(&self) -> bool {
+        self.armed
+    }
+}
+
+pub fn persist(plan: &FaultPlan, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if plan.decide() {
+        return Err(std::io::Error::other("injected fault"));
+    }
+    std::fs::write(path, bytes)
+}
+
+pub fn connect(addr: &str) -> std::io::Result<std::net::TcpStream> {
+    // lsc-analyze: allow(unrouted-io) reason="client-side socket; chaos coverage comes from the server-side FaultyStream via reconnects"
+    std::net::TcpStream::connect(addr)
+}

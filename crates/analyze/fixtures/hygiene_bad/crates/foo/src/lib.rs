@@ -1,0 +1,6 @@
+//! Bad fixture: a crate root without `#![forbid(unsafe_code)]` and an
+//! `#[allow]` with no explanatory comment. lsc-analyze must report
+//! `missing-forbid-unsafe` and `allow-without-reason`.
+
+#[allow(dead_code)]
+fn unused() {}

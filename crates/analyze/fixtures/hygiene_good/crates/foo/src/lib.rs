@@ -1,0 +1,8 @@
+//! Good fixture: the crate root forbids unsafe code and the surviving
+//! `#[allow]` carries a reason comment. lsc-analyze must stay silent.
+
+#![forbid(unsafe_code)]
+
+// this function is the fixture's whole point: a reasoned allow
+#[allow(dead_code)]
+fn unused() {}

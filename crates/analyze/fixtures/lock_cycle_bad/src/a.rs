@@ -1,0 +1,30 @@
+//! Bad fixture: two methods acquire `a` and `b` in opposite orders, one of
+//! them transitively through a helper call — the lock graph has an a <-> b
+//! cycle and lsc-analyze must report `lock-order` on both edges.
+
+use std::sync::Mutex;
+
+pub struct State {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl State {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        // edge b -> a arrives transitively: locks_a() is called with b held.
+        let x = self.locks_a();
+        *gb + x
+    }
+
+    fn locks_a(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        *ga
+    }
+}

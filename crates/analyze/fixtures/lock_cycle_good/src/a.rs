@@ -1,0 +1,35 @@
+//! Good fixture: every path acquires `a` strictly before `b`, and the helper
+//! is only ever called with nothing held — the lock graph is acyclic and
+//! lsc-analyze must stay silent.
+
+use std::sync::Mutex;
+
+pub struct State {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl State {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn also_forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *gb - *ga
+    }
+
+    pub fn helper_unheld(&self) -> u32 {
+        let x = self.locks_a();
+        let gb = self.b.lock().unwrap();
+        x + *gb
+    }
+
+    fn locks_a(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        *ga
+    }
+}

@@ -1,0 +1,25 @@
+//! Bad fixture: blocking filesystem I/O performed while a mutex guard is
+//! live — once directly, once through a same-impl helper call — and
+//! lsc-analyze must report `lock-across-io` for both.
+
+use std::sync::Mutex;
+
+pub struct Log {
+    state: Mutex<u32>,
+}
+
+impl Log {
+    pub fn direct(&self) {
+        let _g = self.state.lock().unwrap();
+        let _ = std::fs::write("/tmp/fixture", b"direct");
+    }
+
+    pub fn transitive(&self) {
+        let _g = self.state.lock().unwrap();
+        self.flush();
+    }
+
+    fn flush(&self) {
+        let _ = std::fs::write("/tmp/fixture", b"flush");
+    }
+}

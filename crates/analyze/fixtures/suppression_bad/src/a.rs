@@ -1,0 +1,10 @@
+//! Bad fixture for the suppression grammar itself: one marker comment is
+//! malformed (no reason string) and one well-formed suppression matches no
+//! finding. lsc-analyze must report `bad-suppression` and
+//! `unused-suppression`.
+
+// lsc-analyze: allow(nondeterministic-iteration)
+pub fn malformed() {}
+
+// lsc-analyze: allow(unrouted-io) reason="there is no I/O here at all"
+pub fn unused_marker() {}

@@ -1,0 +1,554 @@
+//! Spec-drift lints: wire verbs and error codes vs ARCHITECTURE.md §4,
+//! snapshot flag bits vs the §5.2 byte layout, and bench IDs referenced
+//! in docs vs the committed BENCH_*.json trajectory files.
+//!
+//! Each check runs only when its inputs exist, so fixture trees exercise
+//! one check at a time and repos without a serve layer stay quiet.
+
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::scan::{match_brace, FileModel};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+pub const WIRE_DRIFT: &str = "wire-verb-drift";
+pub const FLAG_DRIFT: &str = "snapshot-flag-drift";
+pub const BENCH_DRIFT: &str = "bench-id-drift";
+
+pub struct DriftInput<'a> {
+    pub root: &'a Path,
+    /// Workspace-relative path of the architecture doc.
+    pub arch_rel: &'a str,
+    /// Docs scanned for bench-ID references.
+    pub bench_docs: &'a [String],
+    pub protocol: Option<&'a FileModel>,
+    pub snapshot: Option<&'a FileModel>,
+}
+
+pub fn drift_lints(inp: &DriftInput, out: &mut Vec<Finding>) {
+    let arch = std::fs::read_to_string(inp.root.join(inp.arch_rel)).ok();
+    if let (Some(arch), Some(proto)) = (arch.as_deref(), inp.protocol) {
+        wire_verbs(arch, inp.arch_rel, proto, out);
+        error_codes(arch, inp.arch_rel, proto, out);
+    }
+    if let (Some(arch), Some(snap)) = (arch.as_deref(), inp.snapshot) {
+        snapshot_flags(arch, inp.arch_rel, snap, out);
+    }
+    bench_ids(inp, out);
+}
+
+// ---------------------------------------------------------------------------
+// §4 wire verbs
+
+/// Bold-code op headers (`**\`hello\`**`) within the §4 region.
+fn doc_ops(arch: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_s4 = false;
+    for (i, line) in arch.lines().enumerate() {
+        if line.starts_with("## ") {
+            in_s4 = line.contains("§4");
+        }
+        if !in_s4 {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(p) = rest.find("**`") {
+            let tail = &rest[p + 3..];
+            if let Some(q) = tail.find("`**") {
+                let name = &tail[..q];
+                if !name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+                    out.push((name.to_string(), i as u32 + 1));
+                }
+                rest = &tail[q + 3..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// String arms of the `match op { ... }` inside `parse_request`, depth 1.
+fn code_ops(proto: &FileModel) -> Option<(Vec<String>, u32)> {
+    let f = proto.functions.iter().find(|f| f.name == "parse_request")?;
+    let (s, e) = f.body;
+    let toks = &proto.tokens;
+    let mut open = None;
+    for j in s..e.saturating_sub(2) {
+        if matches!(&toks[j].tok, Tok::Ident(k) if k == "match")
+            && matches!(&toks[j + 1].tok, Tok::Ident(k) if k == "op")
+            && matches!(&toks[j + 2].tok, Tok::Punct('{'))
+        {
+            open = Some(j + 2);
+            break;
+        }
+    }
+    let open = open?;
+    let close = match_brace(toks, open)?;
+    let line = toks[open].line;
+    let mut ops = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < close {
+        match &toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Str(s) if depth == 1 => {
+                let arm = matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('=')))
+                    && matches!(toks.get(j + 2).map(|t| &t.tok), Some(Tok::Punct('>')));
+                let alt = matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('|')));
+                if arm || alt {
+                    ops.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((ops, line))
+}
+
+fn wire_verbs(arch: &str, arch_rel: &str, proto: &FileModel, out: &mut Vec<Finding>) {
+    let doc = doc_ops(arch);
+    let Some((code, match_line)) = code_ops(proto) else {
+        return;
+    };
+    if doc.is_empty() {
+        return;
+    }
+    let doc_set: BTreeSet<&str> = doc.iter().map(|(n, _)| n.as_str()).collect();
+    let code_set: BTreeSet<&str> = code.iter().map(|s| s.as_str()).collect();
+    for (name, line) in &doc {
+        if !code_set.contains(name.as_str()) {
+            out.push(Finding::new(
+                WIRE_DRIFT,
+                arch_rel,
+                *line,
+                format!("op `{name}` documented in §4 but not handled by parse_request"),
+            ));
+        }
+    }
+    for name in &code_set {
+        if !doc_set.contains(name) {
+            out.push(Finding::new(
+                WIRE_DRIFT,
+                &proto.rel,
+                match_line,
+                format!("op `{name}` handled by parse_request but not documented in §4"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4 error codes
+
+/// Rows of the markdown table whose header cell is `code`.
+fn doc_error_codes(arch: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for (i, line) in arch.lines().enumerate() {
+        let t = line.trim();
+        if !in_table {
+            if t.starts_with('|') && t[1..].trim_start().starts_with("code") {
+                in_table = true;
+            }
+            continue;
+        }
+        if !t.starts_with('|') {
+            break;
+        }
+        // First cell, backticked: | `bad-request` | ...
+        let cell = t[1..].split('|').next().unwrap_or("").trim();
+        if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            out.push((name.to_string(), i as u32 + 1));
+        }
+    }
+    out
+}
+
+/// All string literals in `ErrorCode::as_str`.
+fn code_error_codes(proto: &FileModel) -> Option<(Vec<String>, u32)> {
+    let f = proto
+        .functions
+        .iter()
+        .find(|f| f.name == "as_str" && f.impl_type.as_deref() == Some("ErrorCode"))?;
+    let (s, e) = f.body;
+    let codes: Vec<String> = proto.tokens[s..e]
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    Some((codes, f.line))
+}
+
+fn error_codes(arch: &str, arch_rel: &str, proto: &FileModel, out: &mut Vec<Finding>) {
+    let doc = doc_error_codes(arch);
+    let Some((code, fn_line)) = code_error_codes(proto) else {
+        return;
+    };
+    if doc.is_empty() {
+        return;
+    }
+    let doc_set: BTreeSet<&str> = doc.iter().map(|(n, _)| n.as_str()).collect();
+    let code_set: BTreeSet<&str> = code.iter().map(|s| s.as_str()).collect();
+    for (name, line) in &doc {
+        if !code_set.contains(name.as_str()) {
+            out.push(Finding::new(
+                WIRE_DRIFT,
+                arch_rel,
+                *line,
+                format!("error code `{name}` documented in §4 but absent from ErrorCode::as_str"),
+            ));
+        }
+    }
+    for name in &code_set {
+        if !doc_set.contains(name) {
+            out.push(Finding::new(
+                WIRE_DRIFT,
+                &proto.rel,
+                fn_line,
+                format!("error code `{name}` in ErrorCode::as_str but absent from the §4 table"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.2 snapshot flags
+
+/// The first `flags: bit N` block (excluding the separate `param flags`
+/// block), taking only the first `bit N` per line.
+fn doc_flag_bits(arch: &str) -> Vec<(u32, u32)> {
+    let lines: Vec<&str> = arch.lines().collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.contains("flags: bit") && !line.contains("param flags") {
+            let mut j = i;
+            loop {
+                let l = lines[j];
+                if let Some(p) = l.find("bit ") {
+                    let digits: String = l[p + 4..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect();
+                    if let Ok(n) = digits.parse::<u32>() {
+                        out.push((n, j as u32 + 1));
+                    }
+                }
+                j += 1;
+                if j >= lines.len() || !lines[j].trim_start().starts_with("bit ") {
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// `const FLAG_*: u8 = 1 << N;` declarations.
+fn code_flag_bits(snap: &FileModel) -> Vec<(String, u32, u32)> {
+    let toks = &snap.tokens;
+    let mut out = Vec::new();
+    for (j, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if !name.starts_with("FLAG_") {
+            continue;
+        }
+        // Look ahead for `1 << N` within the declaration.
+        let lim = (j + 10).min(toks.len().saturating_sub(2));
+        for k in j..lim {
+            if matches!(&toks[k].tok, Tok::Num(n) if n == "1")
+                && matches!(&toks[k + 1].tok, Tok::Punct('<'))
+                && matches!(&toks[k + 2].tok, Tok::Punct('<'))
+            {
+                if let Some(Tok::Num(n)) = toks.get(k + 3).map(|t| &t.tok) {
+                    if let Ok(bit) = n.parse::<u32>() {
+                        if out.iter().all(|(f, _, _): &(String, u32, u32)| f != name) {
+                            out.push((name.clone(), bit, t.line));
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn snapshot_flags(arch: &str, arch_rel: &str, snap: &FileModel, out: &mut Vec<Finding>) {
+    let doc = doc_flag_bits(arch);
+    let code = code_flag_bits(snap);
+    if doc.is_empty() || code.is_empty() {
+        return;
+    }
+    let doc_set: BTreeSet<u32> = doc.iter().map(|(b, _)| *b).collect();
+    let code_set: BTreeSet<u32> = code.iter().map(|(_, b, _)| *b).collect();
+    for (bit, line) in &doc {
+        if !code_set.contains(bit) {
+            out.push(Finding::new(
+                FLAG_DRIFT,
+                arch_rel,
+                *line,
+                format!("§5.2 documents snapshot flag bit {bit} but no FLAG_* const defines it"),
+            ));
+        }
+    }
+    for (name, bit, line) in &code {
+        if !doc_set.contains(bit) {
+            out.push(Finding::new(
+                FLAG_DRIFT,
+                &snap.rel,
+                *line,
+                format!("{name} = 1 << {bit} is not documented in the §5.2 byte layout"),
+            ));
+        }
+    }
+    // Duplicate bit assignments in code are drift even if the doc agrees.
+    let mut seen = BTreeSet::new();
+    for (name, bit, line) in &code {
+        if !seen.insert(*bit) {
+            out.push(Finding::new(
+                FLAG_DRIFT,
+                &snap.rel,
+                *line,
+                format!("{name} reuses flag bit {bit}"),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench IDs
+
+fn bench_groups_in_json(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut rest = text;
+    while let Some(p) = rest.find("\"group\"") {
+        rest = &rest[p + 7..];
+        let Some(q) = rest.find('"') else { break };
+        let val = &rest[q + 1..];
+        let Some(end) = val.find('"') else { break };
+        let group = &val[..end];
+        rest = &val[end + 1..];
+        // fpras/e21-union-kernel -> e21
+        let seg = group.rsplit('/').next().unwrap_or(group);
+        let digits: String = seg
+            .strip_prefix('e')
+            .map(|r| r.chars().take_while(|c| c.is_ascii_digit()).collect())
+            .unwrap_or_default();
+        if !digits.is_empty() {
+            out.insert(format!("e{digits}"));
+        }
+    }
+    out
+}
+
+/// `E<nn>` mentions in a doc line, word-boundary delimited.
+fn bench_ids_in_line(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == 'E'
+            && (i == 0 || !chars[i - 1].is_alphanumeric())
+            && i + 1 < chars.len()
+            && chars[i + 1].is_ascii_digit()
+        {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j >= chars.len() || !chars[j].is_alphanumeric() {
+                let digits: String = chars[i + 1..j].iter().collect();
+                out.push(format!("e{digits}"));
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn bench_files_in_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(p) = rest.find("BENCH_") {
+        let tail = &rest[p..];
+        let name: String = tail
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+            .collect();
+        if name.ends_with(".json") {
+            out.push(name.clone());
+        }
+        rest = &rest[p + 6..];
+    }
+    out
+}
+
+fn bench_ids(inp: &DriftInput, out: &mut Vec<Finding>) {
+    // Committed trajectory files and their group IDs.
+    let mut committed: Vec<(String, BTreeSet<String>)> = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(inp.root) {
+        let mut names: Vec<String> = rd
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for n in names {
+            if let Ok(text) = std::fs::read_to_string(inp.root.join(&n)) {
+                committed.push((n, bench_groups_in_json(&text)));
+            }
+        }
+    }
+    let mut mentioned: BTreeSet<String> = BTreeSet::new();
+    let mut any_doc = false;
+    for doc in inp.bench_docs {
+        let Ok(text) = std::fs::read_to_string(inp.root.join(doc)) else {
+            continue;
+        };
+        any_doc = true;
+        for (i, line) in text.lines().enumerate() {
+            let ids = bench_ids_in_line(line);
+            mentioned.extend(ids.iter().cloned());
+            // Forward: a same-line (BENCH file, E id) pair claims the file
+            // contains that group.
+            for file in bench_files_in_line(line) {
+                for id in &ids {
+                    match committed.iter().find(|(n, _)| *n == file) {
+                        None => out.push(Finding::new(
+                            BENCH_DRIFT,
+                            doc,
+                            i as u32 + 1,
+                            format!("doc references {file} ({id}) but the file is not committed"),
+                        )),
+                        Some((_, groups)) if !groups.contains(id) => {
+                            out.push(Finding::new(
+                                BENCH_DRIFT,
+                                doc,
+                                i as u32 + 1,
+                                format!(
+                                    "doc pairs {id} with {file}, which has no such bench group"
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    if !any_doc {
+        return;
+    }
+    // Reverse: every committed group must be discussed somewhere in docs.
+    for (file, groups) in &committed {
+        for g in groups {
+            if !mentioned.contains(g) {
+                out.push(Finding::new(
+                    BENCH_DRIFT,
+                    file,
+                    1,
+                    format!(
+                        "committed bench group {g} in {file} is never referenced by README/DESIGN/ARCHITECTURE"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engagement tests against the real tree: each parser must latch onto the
+// actual docs and sources, otherwise a format tweak could silently turn
+// every drift lint into a no-op (empty doc side => check skipped).
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{scan_bodies, scan_decls, FieldTable};
+
+    fn repo_file(rel: &str) -> String {
+        let p = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(rel);
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    }
+
+    fn model(rel: &str) -> FileModel {
+        let src = repo_file(rel);
+        let mut m = scan_decls(rel, &src);
+        let table = FieldTable::build(std::slice::from_ref(&m));
+        scan_bodies(&mut m, &table);
+        m
+    }
+
+    #[test]
+    fn real_arch_doc_ops_parse() {
+        let arch = repo_file("docs/ARCHITECTURE.md");
+        let ops = doc_ops(&arch);
+        let names: Vec<&str> = ops.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"hello"), "ops parsed: {names:?}");
+        assert!(ops.len() >= 5, "ops parsed: {names:?}");
+    }
+
+    #[test]
+    fn real_arch_error_table_parses() {
+        let arch = repo_file("docs/ARCHITECTURE.md");
+        let codes = doc_error_codes(&arch);
+        let names: Vec<&str> = codes.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"bad-request"), "codes parsed: {names:?}");
+    }
+
+    #[test]
+    fn real_arch_flag_block_parses() {
+        let arch = repo_file("docs/ARCHITECTURE.md");
+        let bits: Vec<u32> = doc_flag_bits(&arch).iter().map(|(b, _)| *b).collect();
+        assert!(bits.contains(&0), "flag bits parsed: {bits:?}");
+        assert!(bits.len() >= 2, "flag bits parsed: {bits:?}");
+    }
+
+    #[test]
+    fn real_protocol_sources_parse() {
+        let proto = model("crates/core/src/serve/protocol.rs");
+        let (ops, _) = code_ops(&proto).expect("parse_request match not found");
+        assert!(ops.iter().any(|o| o == "hello"), "code ops: {ops:?}");
+        let (codes, _) = code_error_codes(&proto).expect("ErrorCode::as_str not found");
+        assert!(
+            codes.iter().any(|c| c == "bad-request"),
+            "code error codes: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn real_snapshot_flags_parse() {
+        let snap = model("crates/core/src/engine/snapshot.rs");
+        let flags = code_flag_bits(&snap);
+        assert!(
+            flags.iter().any(|(_, b, _)| *b == 0),
+            "snapshot flags parsed: {flags:?}"
+        );
+        assert!(flags.len() >= 2, "snapshot flags parsed: {flags:?}");
+    }
+
+    #[test]
+    fn real_bench_files_have_groups() {
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut any = false;
+        for entry in std::fs::read_dir(&root).unwrap().flatten() {
+            let name = entry.file_name().into_string().unwrap_or_default();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                let groups = bench_groups_in_json(&std::fs::read_to_string(entry.path()).unwrap());
+                assert!(!groups.is_empty(), "{name} has no parsable bench groups");
+                any = true;
+            }
+        }
+        assert!(any, "no committed BENCH_*.json files found");
+    }
+}

@@ -1,0 +1,395 @@
+//! A minimal Rust lexer: just enough token structure for item/expr
+//! scanning. Produces identifiers, numeric/string/char literals, and
+//! single-character punctuation, each tagged with a 1-based line number,
+//! plus the `//` line comments (the suppression and reason grammar lives
+//! in comments, so they are first-class output rather than discarded).
+//!
+//! Deliberately not handled: multi-character operators (`->`, `::`, `>>`
+//! arrive as single punct tokens and the scanner matches sequences),
+//! token spans/columns, and macro expansion. The scanner layer is written
+//! against exactly this shape.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`self`, `fn`, `Mutex`, ...).
+    Ident(String),
+    /// Numeric literal, raw text (`0`, `1_000`, `0x5EAD_0001`, `1.5e3`).
+    Num(String),
+    /// String literal (regular, raw, byte): the *content*, escapes left
+    /// as written. Wire-verb literals like `"hello"` contain no escapes,
+    /// which is all the drift lints need.
+    Str(String),
+    /// Char or byte-char literal (content not needed by any lint).
+    Char,
+    /// Lifetime (`'a`) — distinguished from `Char` so `'a` never eats code.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A `//` line comment: text after the `//`, with its line. Doc comments
+/// (`///`, `//!`) are included; consumers that need plain comments filter
+/// on the leading character of `text`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Helper closures can't borrow `line` mutably alongside the loop, so
+    // the loop body is written out longhand.
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, possibly nested. Discarded (suppressions
+                // must be line comments).
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (content, j, nl) = scan_string(&b, i + 1);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Alnum + underscore covers hex/bin/suffixes; one `.` for
+                // floats when followed by a digit (so `1..n` and `x.0`
+                // stay punctuated).
+                while j < b.len() {
+                    let d = b[j];
+                    let float_dot = d == '.' && j + 1 < b.len() && b[j + 1].is_ascii_digit();
+                    if d.is_alphanumeric() || d == '_' || float_dot {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // Raw/byte string prefixes: r" r#" b" br#" ...
+                if let Some((content, j, nl)) = scan_prefixed_string(&b, i) {
+                    out.tokens.push(Token {
+                        tok: Tok::Str(content),
+                        line,
+                    });
+                    line += nl;
+                    i = j;
+                    continue;
+                }
+                if c == 'b' && i + 1 < b.len() && b[i + 1] == '\'' {
+                    // Byte char b'x'
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a regular string body starting just after the opening quote.
+/// Returns (content, index after closing quote, newlines consumed).
+fn scan_string(b: &[char], start: usize) -> (String, usize, u32) {
+    let mut j = start;
+    let mut nl = 0u32;
+    let mut content = String::new();
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' && j + 1 < b.len() {
+            content.push(b[j]);
+            content.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                nl += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            nl += 1;
+        }
+        content.push(b[j]);
+        j += 1;
+    }
+    (content, (j + 1).min(b.len()), nl)
+}
+
+/// Recognize `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` (and `rb`) at
+/// position `i` (which holds an alphabetic char). Returns
+/// (content, next index, newlines) or None if this is a plain identifier.
+fn scan_prefixed_string(b: &[char], i: usize) -> Option<(String, usize, u32)> {
+    let mut j = i;
+    let mut raw = false;
+    // Consume at most two prefix letters drawn from {r, b}.
+    for _ in 0..2 {
+        if j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+            if b[j] == 'r' {
+                raw = true;
+            }
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if j == i {
+        return None;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while j < b.len() && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= b.len() || b[j] != '"' {
+        return None;
+    }
+    if hashes > 0 && !raw {
+        return None;
+    }
+    j += 1; // past opening quote
+    let mut content = String::new();
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == '"' && !raw {
+            return Some((content, j + 1, nl));
+        }
+        if b[j] == '"' && raw {
+            // Need `hashes` trailing #s.
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((content, j + 1 + hashes, nl));
+            }
+        }
+        if b[j] == '\\' && !raw && j + 1 < b.len() {
+            content.push(b[j]);
+            content.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                nl += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            nl += 1;
+        }
+        content.push(b[j]);
+        j += 1;
+    }
+    Some((content, j, nl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let l = lex("let x = self.a.lock().unwrap();");
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Ident("lock".into())));
+        assert!(l.tokens.iter().any(|t| t.tok == Tok::Punct('.')));
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let l = lex(r##"let s = "hello"; let r = r#"{"op":"bye"}"#;"##);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs[0], "hello");
+        assert!(strs[1].contains("\"op\""));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        assert_eq!(
+            idents("fn f<'a>(x: &'a str) {}"),
+            vec!["fn", "f", "x", "str"]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        let l = lex("let c = 'x'; let n = '\\n';");
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let l = lex("a\n// lsc-analyze: allow(x) reason=\"y\"\nb");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("lsc-analyze"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers() {
+        let l = lex("1 << 5; 0x5EAD_0001; 1.5");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1", "5", "0x5EAD_0001", "1.5"]);
+    }
+
+    #[test]
+    fn line_numbers_through_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nfn f() {}");
+        let f = l
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("fn".into()))
+            .unwrap();
+        assert_eq!(f.line, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! lsc-analyze: a workspace invariant checker.
+//!
+//! Deny-by-default lints over the whole source tree, run as a CI gate
+//! (`scripts/analyze.sh`). A lightweight lexer + item/expr scanner (no
+//! rustc plugin, std-only) extracts a per-file model; lints check:
+//!
+//! * **lock-order / lock-across-io** — lock-acquisition graph cycles and
+//!   blocking I/O performed while a `Mutex`/`RwLock` guard is held;
+//! * **determinism** — hash-ordered iteration, clock reads, and
+//!   non-seeded randomness in the modules that feed bit-identical replay;
+//! * **unrouted-io** — filesystem/socket calls under the serve layer that
+//!   do not flow through a `serve::faults` site;
+//! * **spec-drift** — wire verbs / error codes vs ARCHITECTURE.md §4,
+//!   snapshot flag bits vs §5.2, bench IDs in docs vs BENCH_*.json;
+//! * **hygiene** — `#![forbid(unsafe_code)]` in every crate root and
+//!   reasons on `#[allow(...)]` attributes.
+//!
+//! Findings are suppressed per line with a comment of the form
+//! `lsc-analyze: allow(<lint>) reason="<why>"` (after `//`, on the
+//! finding line or the line above); the reason is mandatory. See
+//! DESIGN.md §11 for the catalog and the false-positive policy.
+
+#![forbid(unsafe_code)]
+
+pub mod drift;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scan;
+
+use report::{Finding, Report};
+use scan::{FieldTable, FileModel};
+use std::path::{Path, PathBuf};
+
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Scan-set and lint-target configuration. `Config::for_root` encodes the
+/// repository defaults; fixture tests point it at miniature trees with
+/// the same layout, so the fixtures exercise the production rules.
+pub struct Config {
+    pub root: PathBuf,
+    /// Directories (relative to root) to scan for .rs files.
+    pub scan_dirs: Vec<String>,
+    /// Relative path prefixes excluded from the scan.
+    pub exclude_prefixes: Vec<String>,
+    /// Modules that must replay bit-identically.
+    pub determinism_prefixes: Vec<String>,
+    /// Modules whose I/O must flow through serve::faults.
+    pub fault_prefixes: Vec<String>,
+    /// Architecture doc for the drift lints.
+    pub arch_rel: String,
+    /// Docs scanned for bench-ID references.
+    pub bench_docs: Vec<String>,
+    /// Wire-protocol and snapshot sources for the drift lints.
+    pub protocol_rel: String,
+    pub snapshot_rel: String,
+}
+
+impl Config {
+    pub fn for_root(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            scan_dirs: vec![
+                "src".into(),
+                "crates".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            exclude_prefixes: vec![
+                "vendor/".into(),
+                "target/".into(),
+                "crates/analyze/fixtures/".into(),
+            ],
+            determinism_prefixes: vec![
+                "crates/core/src/fpras/".into(),
+                "crates/core/src/enumerate/".into(),
+                "crates/core/src/count/".into(),
+                "crates/core/src/engine/".into(),
+                "crates/core/src/serve/protocol.rs".into(),
+            ],
+            fault_prefixes: vec![
+                "crates/core/src/serve/".into(),
+                "crates/core/src/engine/snapshot.rs".into(),
+            ],
+            arch_rel: "docs/ARCHITECTURE.md".into(),
+            bench_docs: vec![
+                "README.md".into(),
+                "DESIGN.md".into(),
+                "docs/ARCHITECTURE.md".into(),
+            ],
+            protocol_rel: "crates/core/src/serve/protocol.rs".into(),
+            snapshot_rel: "crates/core/src/engine/snapshot.rs".into(),
+        }
+    }
+}
+
+fn collect_rs_files(cfg: &Config) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for dir in &cfg.scan_dirs {
+        let base = cfg.root.join(dir);
+        if base.is_dir() {
+            walk(&base, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&p, out);
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Run every lint over the configured tree and fold in suppressions.
+pub fn run(cfg: &Config) -> Report {
+    let mut models: Vec<FileModel> = Vec::new();
+    for path in collect_rs_files(cfg) {
+        let rel = rel_path(&cfg.root, &path);
+        if cfg
+            .exclude_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        models.push(scan::scan_decls(&rel, &src));
+    }
+    let table = FieldTable::build(&models);
+    for m in &mut models {
+        scan::scan_bodies(m, &table);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    lints::lock_lints(&models, &mut findings);
+    lints::determinism_lint(&models, &cfg.determinism_prefixes, &mut findings);
+    lints::fault_lint(&models, &cfg.fault_prefixes, &mut findings);
+    lints::hygiene_lints(&models, &mut findings);
+    drift::drift_lints(
+        &drift::DriftInput {
+            root: &cfg.root,
+            arch_rel: &cfg.arch_rel,
+            bench_docs: &cfg.bench_docs,
+            protocol: models.iter().find(|m| m.rel == cfg.protocol_rel),
+            snapshot: models.iter().find(|m| m.rel == cfg.snapshot_rel),
+        },
+        &mut findings,
+    );
+
+    // Suppression pass: a finding is dropped when the same file carries a
+    // well-formed suppression for its lint on the finding line or the
+    // line directly above. Suppressions that never match become findings
+    // themselves, as do malformed suppression comments.
+    let mut used: Vec<(String, u32)> = Vec::new(); // (file, suppression line)
+    let mut kept: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let hit = models
+            .iter()
+            .find(|m| m.rel == f.file)
+            .and_then(|m| {
+                m.suppressions
+                    .iter()
+                    .find(|s| s.lint == f.lint && (s.line == f.line || s.line + 1 == f.line))
+            })
+            .map(|s| s.line);
+        match hit {
+            Some(line) => {
+                suppressed += 1;
+                used.push((f.file.clone(), line));
+            }
+            None => kept.push(f),
+        }
+    }
+    for m in &models {
+        for b in &m.bad_suppressions {
+            kept.push(Finding::new(
+                BAD_SUPPRESSION,
+                &m.rel,
+                b.line,
+                "malformed suppression comment; expected allow(<lint>) reason=\"<why>\" with a non-empty reason",
+            ));
+        }
+        for s in &m.suppressions {
+            if !used.iter().any(|(f, l)| *f == m.rel && *l == s.line) {
+                kept.push(Finding::new(
+                    UNUSED_SUPPRESSION,
+                    &m.rel,
+                    s.line,
+                    format!(
+                        "suppression for `{}` matches no finding; remove it or fix the anchor line",
+                        s.lint
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut report = Report {
+        findings: kept,
+        suppressed,
+        files_scanned: models.len(),
+    };
+    report.sort();
+    report
+}

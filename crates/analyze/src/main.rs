@@ -1,0 +1,55 @@
+//! CLI for the workspace invariant checker.
+//!
+//! Usage: `lsc-analyze [--root DIR] [--json PATH|-]`
+//!
+//! Prints findings as text, optionally emits the machine-readable JSON
+//! report, and exits nonzero when any unsuppressed finding remains.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = v,
+                None => return usage(),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: lsc-analyze [--root DIR] [--json PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let cfg = lsc_analyze::Config::for_root(&root);
+    let report = lsc_analyze::run(&cfg);
+    print!("{}", report.render_text());
+    if let Some(path) = json {
+        let body = report.to_json();
+        if path == "-" {
+            println!("{body}");
+        } else if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("lsc-analyze: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lsc-analyze [--root DIR] [--json PATH|-]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,106 @@
+//! Findings and the machine-readable report.
+
+/// One lint finding, anchored at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(lint: &str, file: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+        self.findings.dedup();
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.lint, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "lsc-analyze: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(&f.lint),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"suppressed\":{},\"files_scanned\":{}}}",
+            self.suppressed, self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let mut r = Report::default();
+        r.findings
+            .push(Finding::new("x", "a.rs", 1, "say \"hi\"\nplease"));
+        let j = r.to_json();
+        assert!(j.contains("say \\\"hi\\\"\\nplease"));
+    }
+}

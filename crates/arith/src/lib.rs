@@ -18,6 +18,8 @@
 //! dependency); the library itself has no third-party runtime dependencies besides
 //! `rand`.
 
+#![forbid(unsafe_code)]
+
 mod bigfloat;
 mod bignat;
 mod random;

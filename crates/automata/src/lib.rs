@@ -15,6 +15,8 @@
 //! * workload families used throughout the test and benchmark suites
 //!   ([`families`]).
 
+#![forbid(unsafe_code)]
+
 mod alphabet;
 mod dfa;
 mod eps;

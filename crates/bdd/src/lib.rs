@@ -19,6 +19,8 @@
 //! * [`NObdd`] / [`nobdd_to_nfa`] — nondeterministic OBDDs with ⊔-nodes and
 //!   their (generally ambiguous) NFA reduction.
 
+#![forbid(unsafe_code)]
+
 mod manager;
 mod nobdd;
 mod quantify;

@@ -6,6 +6,8 @@
 //! reported in EXPERIMENTS.md; `cargo run -p lsc-bench --release --bin
 //! experiments` regenerates all of them.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;
 pub mod workloads;

@@ -288,7 +288,7 @@ pub struct EngineStats {
     pub domains: usize,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct InstanceKey {
     fingerprint: u64,
     states: usize,
@@ -355,7 +355,11 @@ impl DomainMemo {
         let tick = self.tick;
         self.entries.insert(domain, (nfa, length, tick));
         while self.entries.len() > cap.max(1) {
-            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, _, used))| *used)
+            let Some((&victim, _)) = self
+                .entries
+                // lsc-analyze: allow(nondeterministic-iteration) reason="victim choice keyed on (unique monotonic tick, domain id); min is order-independent"
+                .iter()
+                .min_by_key(|(&domain, (_, _, used))| (*used, domain))
             else {
                 break;
             };
@@ -562,6 +566,7 @@ impl Engine {
         let inner = self.inner.lock().expect("engine cache poisoned");
         let mut fps: Vec<u64> = inner
             .entries
+            // lsc-analyze: allow(nondeterministic-iteration) reason="collected set is sorted before return; iteration order cannot leak"
             .values()
             .map(|e| e.inst.fingerprint())
             .collect();
@@ -578,12 +583,14 @@ impl Engine {
         mut pred: impl FnMut(u64) -> bool,
     ) -> Vec<Arc<PreparedInstance>> {
         let mut inner = self.inner.lock().expect("engine cache poisoned");
-        let keys: Vec<InstanceKey> = inner
+        let mut keys: Vec<InstanceKey> = inner
             .entries
+            // lsc-analyze: allow(nondeterministic-iteration) reason="matched keys are sorted below and the output is sorted by fingerprint"
             .iter()
             .filter(|(_, e)| pred(e.inst.fingerprint()))
             .map(|(k, _)| *k)
             .collect();
+        keys.sort_unstable();
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
             let entry = inner.entries.remove(&key).expect("key just listed");
@@ -799,15 +806,17 @@ impl Engine {
         while inner.total_bytes > self.config.cache_bytes && inner.entries.len() > 1 {
             let newest = inner
                 .entries
+                // lsc-analyze: allow(nondeterministic-iteration) reason="max over unique monotonic last_used ticks; order-independent"
                 .values()
                 .map(|e| e.last_used)
                 .max()
                 .expect("nonempty");
             let Some((&victim, _)) = inner
                 .entries
+                // lsc-analyze: allow(nondeterministic-iteration) reason="victim choice keyed on (unique monotonic tick, instance key); min is order-independent"
                 .iter()
                 .filter(|(_, e)| e.last_used != newest)
-                .min_by_key(|(_, e)| e.last_used)
+                .min_by_key(|(&k, e)| (e.last_used, k))
             else {
                 break;
             };

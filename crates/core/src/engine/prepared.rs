@@ -167,6 +167,8 @@ impl PreparedInstance {
     /// `None` if never computed. This is the save half of the snapshot
     /// round trip; [`PreparedInstance::from_snapshot_parts`] is the load
     /// half.
+    // the tuple mirrors the four optional snapshot payload sections one-to-one;
+    // a named struct would just restate the §5.2 layout in a second place
     #[allow(clippy::type_complexity)]
     pub fn snapshot_parts(
         &self,

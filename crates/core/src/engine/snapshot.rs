@@ -262,6 +262,7 @@ impl SnapshotStore {
         };
         let path = self.path_for(fingerprint);
         // An identical file from a previous process also counts as saved.
+        // lsc-analyze: allow(unrouted-io) reason="pre-publish dedup read; the write path below decides SnapshotWrite faults, and a failed read just re-publishes"
         if let Ok(existing) = std::fs::read(&path) {
             if existing.len() == HEADER_LEN + payload.len()
                 && existing[28..36] == checksum.to_le_bytes()
@@ -332,6 +333,7 @@ impl SnapshotStore {
     /// [`SnapshotError::Io`] if the file cannot be read,
     /// [`SnapshotError::Corrupt`] if any validation step fails.
     pub fn load(&self, path: &Path) -> Result<Arc<PreparedInstance>, SnapshotError> {
+        // lsc-analyze: allow(unrouted-io) reason="read-side recovery path; pinned by the crash-safety corruption matrix rather than the write-side fault plan"
         Ok(decode(&std::fs::read(path)?)?.0)
     }
 
@@ -373,6 +375,7 @@ impl SnapshotStore {
     /// `insert` — the cache-shape-agnostic core behind both warm passes.
     fn warm_each(&self, mut insert: impl FnMut(Arc<PreparedInstance>)) -> WarmReport {
         let mut report = WarmReport::default();
+        // lsc-analyze: allow(unrouted-io) reason="read-side warm pass; pinned by the crash-safety corruption matrix rather than the write-side fault plan"
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return report;
         };
@@ -382,6 +385,7 @@ impl SnapshotStore {
             .collect();
         paths.sort();
         for path in paths {
+            // lsc-analyze: allow(unrouted-io) reason="read-side warm pass; pinned by the crash-safety corruption matrix rather than the write-side fault plan"
             match std::fs::read(&path)
                 .map_err(SnapshotError::from)
                 .and_then(|bytes| decode(&bytes))
@@ -406,6 +410,7 @@ impl SnapshotStore {
 
 /// `fsync` a directory so a just-completed rename inside it is durable.
 fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    // lsc-analyze: allow(unrouted-io) reason="called only from publish, downstream of the SnapshotWrite fault decision"
     std::fs::File::open(dir)?.sync_all()
 }
 
@@ -415,16 +420,19 @@ fn fsync_dir(dir: &Path) -> std::io::Result<()> {
 /// still refuse to serve it).
 fn sweep_debris(dir: &Path) -> SweepReport {
     let mut report = SweepReport::default();
+    // lsc-analyze: allow(unrouted-io) reason="open-time debris sweep; driven through every byte-boundary crash point by the crash-safety suite"
     let Ok(entries) = std::fs::read_dir(dir) else {
         return report;
     };
     for entry in entries.filter_map(Result::ok) {
         let path = entry.path();
         match path.extension().and_then(|e| e.to_str()) {
+            // lsc-analyze: allow(unrouted-io) reason="open-time debris sweep; driven through every byte-boundary crash point by the crash-safety suite"
             Some("tmp") if std::fs::remove_file(&path).is_ok() => {
                 report.tmp_removed += 1;
             }
             Some("snap") => {
+                // lsc-analyze: allow(unrouted-io) reason="open-time debris sweep; driven through every byte-boundary crash point by the crash-safety suite"
                 let valid = std::fs::read(&path)
                     .map_err(SnapshotError::from)
                     .and_then(|bytes| decode(&bytes))
@@ -432,6 +440,7 @@ fn sweep_debris(dir: &Path) -> SweepReport {
                 if !valid {
                     let mut quarantine = path.clone().into_os_string();
                     quarantine.push(".quarantined");
+                    // lsc-analyze: allow(unrouted-io) reason="open-time debris sweep; driven through every byte-boundary crash point by the crash-safety suite"
                     if std::fs::rename(&path, &quarantine).is_ok() {
                         report.quarantined += 1;
                     }

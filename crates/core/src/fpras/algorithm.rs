@@ -489,6 +489,8 @@ pub fn run_fpras_on<R: Rng + ?Sized>(
 /// One vertex of step 5: estimate `R(v)` and draw the `k` samples of `X(v)`,
 /// reading only strictly earlier layers of `data`. `scratch` (with its
 /// weight cache) is owned by the calling worker and reused across vertices.
+// hot-path DP kernel: params and scratch buffers are passed by slot to stay
+// allocation-free per vertex; bundling them into a struct adds an indirection
 #[allow(clippy::too_many_arguments)]
 fn build_vertex(
     dag: &UnrolledDag,

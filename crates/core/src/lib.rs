@@ -38,6 +38,8 @@
 //! counting router lives there too ([`engine::count_routed`]), with routing
 //! decisions cached per instance.
 
+#![forbid(unsafe_code)]
+
 pub mod count;
 pub mod engine;
 pub mod enumerate;

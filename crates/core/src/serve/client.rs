@@ -516,6 +516,7 @@ impl Client {
     /// One connect attempt (handshake included). Any failure leaves the
     /// client disconnected.
     fn try_connect(&mut self) -> Result<(), String> {
+        // lsc-analyze: allow(unrouted-io) reason="client-side socket: chaos injects faults at the server's FaultyStream and exercises this path via reconnects"
         let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
         let _ = stream.set_read_timeout(self.config.io_timeout);
         let _ = stream.set_write_timeout(self.config.io_timeout);

@@ -65,6 +65,16 @@ pub enum FaultSite {
 }
 
 impl FaultSite {
+    /// Every fault site in the stack, in stats-index order. Tests iterate
+    /// this instead of hand-listing variants so a new site cannot ship
+    /// without chaos coverage.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::StreamRead,
+        FaultSite::StreamWrite,
+        FaultSite::SnapshotWrite,
+        FaultSite::Job,
+    ];
+
     fn salt(self) -> u64 {
         match self {
             FaultSite::StreamRead => 0x5EAD_0001,
@@ -436,12 +446,7 @@ mod tests {
         let b = FaultPlan::new(FaultConfig::chaos(42));
         let c = FaultPlan::new(FaultConfig::chaos(43));
         let mut diverged = false;
-        for site in [
-            FaultSite::StreamRead,
-            FaultSite::StreamWrite,
-            FaultSite::SnapshotWrite,
-            FaultSite::Job,
-        ] {
+        for site in FaultSite::ALL {
             for index in 0..2048 {
                 assert_eq!(a.decision_at(site, index), b.decision_at(site, index));
                 if a.decision_at(site, index) != c.decision_at(site, index) {
@@ -474,6 +479,21 @@ mod tests {
             snap_faults > 128,
             "snapshot faults must fire: {snap_faults}"
         );
+    }
+
+    #[test]
+    fn every_site_is_triggerable_under_chaos() {
+        // Enumerate ALL (not a hand-picked subset): each site's decision
+        // stream must actually fire under the standard chaos mix, and the
+        // indices must be distinct so no site aliases another's stream.
+        let plan = FaultPlan::new(FaultConfig::chaos(11));
+        let mut indices = std::collections::BTreeSet::new();
+        for site in FaultSite::ALL {
+            assert!(indices.insert(site.index()), "{site:?} reuses an index");
+            let fired = (0..4096).any(|i| plan.decision_at(site, i).is_some());
+            assert!(fired, "{site:?} never fires under FaultConfig::chaos");
+        }
+        assert_eq!(indices.len(), FaultSite::ALL.len());
     }
 
     #[test]

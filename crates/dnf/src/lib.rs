@@ -16,6 +16,8 @@
 //! * [`karp_luby`] — the classical \[KL83\] FPRAS for #DNF, the independent
 //!   baseline experiment E9b compares our generic #NFA FPRAS against.
 
+#![forbid(unsafe_code)]
+
 mod exact;
 mod formula;
 mod karp_luby;

@@ -42,6 +42,8 @@
 //! assert!(lsc_grammar::cyk::cyk_accepts(&cnf, &word));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cnf;
 pub mod count;
 pub mod cyk;

@@ -12,6 +12,8 @@
 //! a word over the edge alphabet *is* a path, and `W(x) = L_n(N_x)` on the
 //! nose. Everything else is [`lsc_core::MemNfa`] machinery.
 
+#![forbid(unsafe_code)]
+
 mod graph;
 mod pairs;
 mod rpq;

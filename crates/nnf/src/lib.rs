@@ -42,6 +42,8 @@
 //! assert!(circuit.eval(&model));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checks;
 mod circuit;
 pub mod compile;

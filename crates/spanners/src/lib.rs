@@ -20,6 +20,8 @@
 //!   count/enumerate/sample pipelines;
 //! * [`Span`], [`Mapping`], [`Marker`] — the data model.
 
+#![forbid(unsafe_code)]
+
 mod eva;
 mod expr;
 mod product;

@@ -25,6 +25,8 @@
 //! Downstream crates add more machines (`lsc-dnf` implements the SAT-DNF
 //! transducer of §3).
 
+#![forbid(unsafe_code)]
+
 mod lemma13;
 pub mod programs;
 mod spanl;

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Static invariant gate: runs lsc-analyze over the workspace and fails on
+# any unsuppressed finding (lock-order cycles, locks held across blocking
+# I/O, nondeterminism in replay-sensitive modules, unrouted fault-site
+# I/O, spec drift against docs/ARCHITECTURE.md, and hygiene checks).
+#
+# Usage: scripts/analyze.sh [--json PATH]
+#
+# Suppressions live next to the code as
+#   // lsc-analyze: allow(<lint>) reason="<why>"
+# on the finding line or the line above; see DESIGN.md §11.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release -p lsc-analyze -- --root . "$@"

@@ -3,7 +3,12 @@
 # sample budget and fails if any benchmark's mean_ns regresses more than 25%
 # against the latest committed snapshot in BENCH_fpras.json / BENCH_serve.json.
 #
-# Usage: scripts/bench_check.sh
+# Usage: scripts/bench_check.sh [--skip-missing]
+#
+# A fresh benchmark with no committed reference is an error by default —
+# a partial bench run must fail loudly rather than silently shrink the
+# gate. Pass --skip-missing to tolerate missing references (useful while
+# a new kernel's first snapshot is still being recorded).
 #
 # The gate covers the kernels this trajectory pins: the packed union
 # estimator (E21), the limb-batched completion DP (E22), and the
@@ -12,6 +17,14 @@
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SKIP_MISSING=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-missing) SKIP_MISSING=1 ;;
+    *) echo "bench_check: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 export LSC_CRITERION_SAMPLES="${LSC_CRITERION_SAMPLES:-5}"
 
@@ -24,7 +37,7 @@ SERVE_DIR="$(pwd)/target/lsc-bench-check-serve"
 rm -rf "$SERVE_DIR"
 LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e23-sketch-persistence
 
-FPRAS_DIR="$FPRAS_DIR" SERVE_DIR="$SERVE_DIR" python3 - <<'PY'
+FPRAS_DIR="$FPRAS_DIR" SERVE_DIR="$SERVE_DIR" SKIP_MISSING="$SKIP_MISSING" python3 - <<'PY'
 import json, os, sys
 
 TOLERANCE = 1.25  # fail on >25% mean_ns regression
@@ -67,8 +80,13 @@ for (group, ident), mean in sorted(fresh.items()):
         failures.append(f"{group}/{ident} regressed {ratio:.2f}x")
 
 if missing:
-    print("note: no committed reference for: " + ", ".join(missing)
-          + " (run scripts/bench.sh to record one)")
+    if os.environ.get("SKIP_MISSING") == "1":
+        print("note: no committed reference for: " + ", ".join(missing)
+              + " (run scripts/bench.sh to record one)")
+    else:
+        sys.exit("bench_check: no committed reference for: " + ", ".join(missing)
+                 + "\n  run scripts/bench.sh to record one, or pass --skip-missing"
+                 + " to tolerate a partial reference set")
 if not checked:
     sys.exit("bench_check: no E21-E23 reference entries in the committed BENCH_*.json")
 if failures:

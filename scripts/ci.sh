@@ -37,6 +37,9 @@ cargo clippy --workspace -- -D warnings
 echo "== lint: rustfmt =="
 cargo fmt --check
 
+echo "== lint: lsc-analyze (workspace invariants) =="
+scripts/analyze.sh
+
 echo "== docs: rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -78,6 +78,8 @@
 //! the attempts per request; recovery counters print to stderr when
 //! anything was absorbed.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read;
 use std::process::exit;
 use std::sync::Arc;

@@ -136,6 +136,8 @@
 //! over TCP; `docs/ARCHITECTURE.md` specifies every message and the
 //! snapshot format.
 
+#![forbid(unsafe_code)]
+
 pub use lsc_arith as arith;
 pub use lsc_automata as automata;
 pub use lsc_bdd as bdd;
