@@ -16,6 +16,10 @@
 //!   vs warm restart (populated store: load + checksum + eager DAG
 //!   rebuild, zero recompilation). `scripts/bench.sh` turns the two means
 //!   into the `BENCH_serve.json` `warm_restart_speedup`.
+//! * `e20-connection-scaling` — what do standing connections cost? Warm
+//!   `count` RTT on one hot connection while a 512-connection idle herd
+//!   sits on the server, threaded transport vs the readiness event loop
+//!   (`ServeConfig::transport`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -25,7 +29,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsc_bench::workloads;
 use lsc_core::engine::RouterConfig;
 use lsc_core::fpras::FprasParams;
-use lsc_core::serve::{ServeConfig, Server};
+use lsc_core::serve::{ServeConfig, Server, Transport};
 
 /// A blocking line-protocol round trip on an existing connection.
 fn rpc(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
@@ -390,12 +394,71 @@ fn serve_sketch_persistence(c: &mut Criterion) {
     group.finish();
 }
 
+/// E20: connection scaling — the cost of *standing* connections. A herd
+/// of mostly-idle connections (default 512; `LSC_BENCH_IDLE_CONNS`
+/// overrides — 10k is realistic on a tuned host, see `DESIGN.md`) sits on
+/// the server while one hot connection runs warm `count` round trips.
+/// One benchmark id per transport: the threaded transport pays a parked
+/// reader thread per idle connection, the event loop a registered-but-
+/// silent epoll entry; the gate (`scripts/bench_check.sh`) holds the
+/// event loop's warm-count RTT within 25% of its committed mean, and the
+/// snapshot records the event-loop/threaded ratio.
+fn serve_connection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/e20-connection-scaling");
+    group.sample_size(10);
+    let idle: usize = std::env::var("LSC_BENCH_IDLE_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let mut transports = vec![("threaded", Transport::Threaded)];
+    if Transport::event_loop_supported() {
+        transports.push(("event-loop", Transport::EventLoop));
+    }
+    for (name, transport) in transports {
+        let server = Server::new(ServeConfig {
+            transport,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+        // The herd: each connection says hello once, then goes silent.
+        let herd: Vec<_> = (0..idle)
+            .map(|_| {
+                let (mut reader, mut writer) = connect(addr);
+                rpc(&mut reader, &mut writer, r#"{"op":"hello","proto":1}"#);
+                (reader, writer)
+            })
+            .collect();
+        let (mut reader, mut writer) = connect(addr);
+        let w = workloads::engine_ufa_instance();
+        let text = lsc_automata::io::to_text(&w.nfa).replace('\n', "\\n");
+        let prepared = rpc(
+            &mut reader,
+            &mut writer,
+            &format!(r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#, w.n),
+        );
+        let session = field(&prepared, "session").to_string();
+        let count_line = format!(r#"{{"op":"count","session":"{session}"}}"#);
+        rpc(&mut reader, &mut writer, &count_line); // warm the route
+        group.bench_function(BenchmarkId::new(name, format!("idle{idle}")), |b| {
+            b.iter(|| rpc(&mut reader, &mut writer, &count_line));
+        });
+        drop((reader, writer));
+        drop(herd);
+        handle.shutdown();
+        server.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_request_latency,
     serve_throughput,
     serve_warm_restart,
     serve_shard_scaling,
-    serve_sketch_persistence
+    serve_sketch_persistence,
+    serve_connection_scaling
 );
 criterion_main!(benches);

@@ -136,6 +136,8 @@ pub struct ClientStats {
     pub torn_frames: u64,
     /// `retry_after_ms` hints honored (slept) from `overloaded` answers.
     pub hints_honored: u64,
+    /// Pipelined batches sent via [`Client::pipeline_raw`].
+    pub pipelined_batches: u64,
 }
 
 /// The pure backoff schedule: `min(cap, base · 2^attempt · jitter)` with
@@ -350,6 +352,77 @@ impl Client {
             }
         }
         Ok(value)
+    }
+
+    /// Sends every request line as **one pipelined batch** — a single
+    /// buffered write, usually one syscall — then reads exactly one
+    /// response per line, in request order (the transports guarantee
+    /// order per connection; see `docs/ARCHITECTURE.md` §4).
+    ///
+    /// Pipelining trades the per-request replay contract for round-trip
+    /// elimination, so this mode is deliberately raw: lines are sent
+    /// verbatim (no session aliasing), error responses (`ok: false`) are
+    /// returned as values for the caller to inspect, and any transport
+    /// failure mid-batch drops the connection and surfaces immediately —
+    /// the retry machinery cannot know which requests of a half-answered
+    /// batch executed.
+    ///
+    /// # Errors
+    /// [`ClientError::Exhausted`] (single attempt) on connect failure,
+    /// a mid-batch transport failure, or a torn response frame.
+    pub fn pipeline_raw(&mut self, lines: &[impl AsRef<str>]) -> Result<Vec<Json>, ClientError> {
+        let fail = |last: String| ClientError::Exhausted { attempts: 1, last };
+        if self.conn.is_none() {
+            self.try_connect().map_err(fail)?;
+        }
+        let mut batch = String::new();
+        for line in lines {
+            batch.push_str(line.as_ref());
+            batch.push('\n');
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        if let Err(e) = conn
+            .writer
+            .write_all(batch.as_bytes())
+            .and_then(|()| conn.writer.flush())
+        {
+            self.drop_conn();
+            return Err(fail(format!("pipelined write: {e}")));
+        }
+        self.stats.pipelined_batches += 1;
+        let mut responses = Vec::with_capacity(lines.len());
+        for index in 0..lines.len() {
+            let conn = self.conn.as_mut().expect("still connected");
+            let mut response = String::new();
+            match conn.reader.read_line(&mut response) {
+                Err(e) => {
+                    self.drop_conn();
+                    return Err(fail(format!("pipelined read {index}: {e}")));
+                }
+                Ok(0) => {
+                    self.drop_conn();
+                    return Err(fail(format!(
+                        "connection closed after {index} of {} pipelined responses",
+                        lines.len()
+                    )));
+                }
+                Ok(_) => {}
+            }
+            if !response.ends_with('\n') {
+                self.stats.torn_frames += 1;
+                self.drop_conn();
+                return Err(fail(format!("pipelined response {index}: torn frame")));
+            }
+            match json::parse(response.trim_end()) {
+                Ok(value) => responses.push(value),
+                Err(e) => {
+                    self.stats.torn_frames += 1;
+                    self.drop_conn();
+                    return Err(fail(format!("pipelined response {index}: {e}")));
+                }
+            }
+        }
+        Ok(responses)
     }
 
     /// The server's `health` probe.
@@ -747,6 +820,29 @@ mod tests {
         assert!(client.stats().reconnects >= 1);
         assert_ne!(first.get("words"), second.get("words"));
         assert_eq!(second.get("rank").and_then(Json::as_u64), Some(4));
+        client.bye();
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipeline_raw_answers_each_line_in_request_order() {
+        let (server, handle) = spawn();
+        let mut client = Client::new(handle.addr().to_string(), quick_config());
+        let responses = client
+            .pipeline_raw(&[
+                r#"{"op":"prepare","regex":"(0|1)*11","length":5}"#,
+                r#"{"op":"count","session":"s1"}"#,
+                r#"{"op":"nonsense"}"#,
+                r#"{"op":"health"}"#,
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 4);
+        assert!(responses[0].get("session").is_some(), "prepare first");
+        assert!(responses[1].get("estimate").is_some(), "count second");
+        // Raw mode returns error responses as values, in position.
+        assert_eq!(responses[2].get("ok"), Some(&Json::Bool(false)));
+        assert!(responses[3].get("queued").is_some(), "health last");
+        assert_eq!(client.stats().pipelined_batches, 1);
         client.bye();
         server.shutdown();
     }

@@ -54,25 +54,34 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 /// from its own decision stream (own salt, own operation counter).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultSite {
-    /// A connection-stream read.
+    /// A connection-stream read (blocking, thread-per-connection transport).
     StreamRead,
-    /// A connection-stream write.
+    /// A connection-stream write (blocking transport).
     StreamWrite,
     /// A snapshot-store save.
     SnapshotWrite,
     /// A queued worker job about to execute.
     Job,
+    /// A nonblocking read driven by a readiness event (event-loop
+    /// transport). Its own decision stream, so the two transports draw
+    /// the same fault *mix* without aliasing each other's schedules.
+    EventRead,
+    /// A nonblocking write driven by a readiness event (event-loop
+    /// transport).
+    EventWrite,
 }
 
 impl FaultSite {
     /// Every fault site in the stack, in stats-index order. Tests iterate
     /// this instead of hand-listing variants so a new site cannot ship
     /// without chaos coverage.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::StreamRead,
         FaultSite::StreamWrite,
         FaultSite::SnapshotWrite,
         FaultSite::Job,
+        FaultSite::EventRead,
+        FaultSite::EventWrite,
     ];
 
     fn salt(self) -> u64 {
@@ -81,6 +90,8 @@ impl FaultSite {
             FaultSite::StreamWrite => 0x5EAD_0002,
             FaultSite::SnapshotWrite => 0x5EAD_0003,
             FaultSite::Job => 0x5EAD_0004,
+            FaultSite::EventRead => 0x5EAD_0005,
+            FaultSite::EventWrite => 0x5EAD_0006,
         }
     }
 
@@ -90,6 +101,8 @@ impl FaultSite {
             FaultSite::StreamWrite => 1,
             FaultSite::SnapshotWrite => 2,
             FaultSite::Job => 3,
+            FaultSite::EventRead => 4,
+            FaultSite::EventWrite => 5,
         }
     }
 }
@@ -233,7 +246,7 @@ impl FaultStats {
 pub struct FaultPlan {
     config: FaultConfig,
     /// One operation counter per site (indexed by [`FaultSite::index`]).
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 6],
     short_reads: AtomicU64,
     partial_writes: AtomicU64,
     resets: AtomicU64,
@@ -249,6 +262,8 @@ impl FaultPlan {
         Arc::new(FaultPlan {
             config,
             counters: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
@@ -288,10 +303,13 @@ impl FaultPlan {
                 .then_some(PlannedFault { fault, aux })
         };
         match site {
-            FaultSite::StreamRead => hit(c.reset_per_1024, Fault::Reset)
+            // Readiness-driven reads/writes draw from the same rate knobs as
+            // the blocking stream sites (the chaos mix applies to any
+            // transport) but on their own salted streams.
+            FaultSite::StreamRead | FaultSite::EventRead => hit(c.reset_per_1024, Fault::Reset)
                 .or_else(|| hit(c.short_read_per_1024, Fault::ShortRead))
                 .or_else(|| hit(c.slow_io_per_1024, Fault::SlowIo)),
-            FaultSite::StreamWrite => hit(c.reset_per_1024, Fault::Reset)
+            FaultSite::StreamWrite | FaultSite::EventWrite => hit(c.reset_per_1024, Fault::Reset)
                 .or_else(|| hit(c.partial_write_per_1024, Fault::PartialWrite))
                 .or_else(|| hit(c.slow_io_per_1024, Fault::SlowIo)),
             FaultSite::SnapshotWrite => hit(c.disk_error_per_1024, Fault::DiskError)
@@ -350,12 +368,33 @@ fn reset_error() -> io::Error {
 pub struct FaultyStream<S> {
     inner: S,
     plan: Option<Arc<FaultPlan>>,
+    read_site: FaultSite,
+    write_site: FaultSite,
 }
 
 impl<S> FaultyStream<S> {
-    /// Wraps `inner` under `plan` (`None` disables injection entirely).
+    /// Wraps `inner` under `plan` (`None` disables injection entirely),
+    /// drawing from the blocking-transport sites
+    /// ([`FaultSite::StreamRead`] / [`FaultSite::StreamWrite`]).
     pub fn new(inner: S, plan: Option<Arc<FaultPlan>>) -> FaultyStream<S> {
-        FaultyStream { inner, plan }
+        FaultyStream::with_sites(inner, plan, FaultSite::StreamRead, FaultSite::StreamWrite)
+    }
+
+    /// Wraps `inner` drawing decisions from explicit sites — how the
+    /// event-loop transport routes its nonblocking socket I/O through
+    /// [`FaultSite::EventRead`] / [`FaultSite::EventWrite`].
+    pub fn with_sites(
+        inner: S,
+        plan: Option<Arc<FaultPlan>>,
+        read_site: FaultSite,
+        write_site: FaultSite,
+    ) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            plan,
+            read_site,
+            write_site,
+        }
     }
 
     /// The wrapped stream.
@@ -369,7 +408,7 @@ impl<S: Read> Read for FaultyStream<S> {
         let Some(plan) = &self.plan else {
             return self.inner.read(buf);
         };
-        match plan.decide(FaultSite::StreamRead) {
+        match plan.decide(self.read_site) {
             Some(PlannedFault {
                 fault: Fault::Reset,
                 ..
@@ -400,7 +439,7 @@ impl<S: Write> Write for FaultyStream<S> {
         let Some(plan) = &self.plan else {
             return self.inner.write(buf);
         };
-        match plan.decide(FaultSite::StreamWrite) {
+        match plan.decide(self.write_site) {
             Some(PlannedFault {
                 fault: Fault::Reset,
                 ..
@@ -494,6 +533,38 @@ mod tests {
             assert!(fired, "{site:?} never fires under FaultConfig::chaos");
         }
         assert_eq!(indices.len(), FaultSite::ALL.len());
+    }
+
+    #[test]
+    fn event_sites_share_rates_but_not_schedules() {
+        // The readiness sites fire under the standard chaos mix (same rate
+        // knobs as the blocking stream sites)...
+        let plan = FaultPlan::new(FaultConfig::chaos(5));
+        let stream: Vec<_> = (0..512)
+            .map(|i| plan.decision_at(FaultSite::StreamRead, i))
+            .collect();
+        let event: Vec<_> = (0..512)
+            .map(|i| plan.decision_at(FaultSite::EventRead, i))
+            .collect();
+        assert!(event.iter().any(Option::is_some));
+        // ...but on their own salted decision streams.
+        assert_ne!(stream, event, "sites must not alias one another");
+
+        // A FaultyStream routed at the event sites records its injections.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 9,
+            reset_per_1024: 1024,
+            ..FaultConfig::default()
+        });
+        let mut s = FaultyStream::with_sites(
+            std::io::Cursor::new(b"data".to_vec()),
+            Some(plan.clone()),
+            FaultSite::EventRead,
+            FaultSite::EventWrite,
+        );
+        assert!(s.read(&mut [0u8; 4]).is_err());
+        assert!(s.write(b"0123456789").is_err());
+        assert_eq!(plan.stats().resets, 2);
     }
 
     #[test]

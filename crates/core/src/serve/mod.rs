@@ -30,8 +30,11 @@
 //! scales with cores — and optionally persists compiled instances through
 //! the engine's [`SnapshotStore`](crate::engine::SnapshotStore), so a
 //! restarted server warms every shard from disk instead of recompiling. Transports are
-//! TCP ([`Server::spawn_tcp`]) and stdio ([`Server::serve_stdio`]);
-//! [`Server::handle_line`] is the transport-free core.
+//! TCP ([`Server::spawn_tcp`]) — thread-per-connection by default, or the
+//! readiness-based pipelining event loop via
+//! [`ServeConfig::transport`](ServeConfig) — and stdio
+//! ([`Server::serve_stdio`]); [`Server::handle_line`] is the
+//! transport-free core.
 //!
 //! ```
 //! use lsc_core::serve::{Server, ServeConfig};
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod client;
+mod event_loop;
 pub mod faults;
 pub mod json;
 mod pool;
@@ -58,5 +62,5 @@ pub use client::{Client, ClientConfig, ClientError, ClientStats};
 pub use faults::{Fault, FaultConfig, FaultPlan, FaultSite, FaultStats, FaultyStream};
 pub use pool::{PoolStats, SubmitError, WorkerPool};
 pub use protocol::{ErrorCode, WireError, PROTOCOL_VERSION};
-pub use server::{Reply, ServeConfig, ServeStats, Server, TcpServerHandle};
+pub use server::{Reply, ServeConfig, ServeStats, Server, TcpServerHandle, Transport};
 pub use session::SessionRegistry;

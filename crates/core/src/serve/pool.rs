@@ -52,8 +52,12 @@ pub struct PoolStats {
     pub rejected: u64,
     /// Jobs that aged past their deadline in the queue.
     pub expired: u64,
-    /// Jobs whose work panicked (contained; the worker survives).
+    /// Jobs whose work panicked (the worker unwinds and is respawned).
     pub panicked: u64,
+    /// Replacement worker threads spawned after a panic unwound a worker —
+    /// equal to [`PoolStats::panicked`] unless a respawn itself failed or
+    /// the panic raced shutdown.
+    pub respawned: u64,
     /// Jobs currently queued (not yet picked up).
     pub queued: usize,
 }
@@ -67,12 +71,16 @@ struct PoolInner {
     rejected: AtomicU64,
     expired: AtomicU64,
     panicked: AtomicU64,
+    respawned: AtomicU64,
+    /// Live worker handles. Inside `PoolInner` (not the `WorkerPool`
+    /// façade) because the respawn guard registers replacement threads
+    /// from *within* a dying worker.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A fixed-size worker pool over a bounded job queue. See the module docs.
 pub struct WorkerPool {
     inner: Arc<PoolInner>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -88,20 +96,18 @@ impl WorkerPool {
             rejected: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
         });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("lsc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|i| spawn_worker(&inner, i).expect("spawn worker thread"))
             .collect();
-        WorkerPool {
-            inner,
-            workers: Mutex::new(handles),
-        }
+        inner
+            .workers
+            .lock()
+            .expect("pool workers poisoned")
+            .extend(handles);
+        WorkerPool { inner }
     }
 
     /// Submits a job. `work` runs on a worker thread; if the job instead
@@ -159,23 +165,32 @@ impl WorkerPool {
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             expired: self.inner.expired.load(Ordering::Relaxed),
             panicked: self.inner.panicked.load(Ordering::Relaxed),
+            respawned: self.inner.respawned.load(Ordering::Relaxed),
             queued: self.inner.queue.lock().expect("pool queue poisoned").len(),
         }
     }
 
     /// Stops accepting work, drains the queue (queued jobs still run or
-    /// expire), and joins the workers. Idempotent.
+    /// expire), and joins the workers. Idempotent. Loops until the worker
+    /// registry is empty: a panic racing shutdown may register one last
+    /// replacement thread, which the next pass joins.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        self.inner.available.notify_all();
-        let handles: Vec<_> = self
-            .workers
-            .lock()
-            .expect("pool workers poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
-            let _ = handle.join();
+        loop {
+            self.inner.available.notify_all();
+            let handles: Vec<_> = self
+                .inner
+                .workers
+                .lock()
+                .expect("pool workers poisoned")
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -183,6 +198,68 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Spawns one worker thread wearing a [`RespawnGuard`].
+fn spawn_worker(
+    inner: &Arc<PoolInner>,
+    index: usize,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let inner = inner.clone();
+    std::thread::Builder::new()
+        .name(format!("lsc-serve-worker-{index}"))
+        .spawn(move || {
+            let guard = RespawnGuard {
+                inner: inner.clone(),
+                index,
+                armed: true,
+            };
+            worker_loop(&inner);
+            guard.disarm();
+        })
+}
+
+/// Armed for the lifetime of a worker thread. A clean exit (shutdown)
+/// disarms it; a *panicking job* unwinds straight through `worker_loop`
+/// and reaches this guard's `Drop` mid-unwind, which records the panic
+/// and spawns a replacement worker. Without it an unwinding job would
+/// silently shrink pool capacity until the server answers nothing but
+/// `overloaded` — the submitter still gets its `internal` response
+/// because the job's closures drop (and their completion slots fire)
+/// during the unwind.
+struct RespawnGuard {
+    inner: Arc<PoolInner>,
+    index: usize,
+    armed: bool,
+}
+
+impl RespawnGuard {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.inner.panicked.fetch_add(1, Ordering::Relaxed);
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            // Shutdown joins (and would re-join) the registry; a
+            // replacement would only be torn down again.
+            return;
+        }
+        // Everything is best-effort: this runs during an unwind, where a
+        // second panic (a failed spawn, a poisoned registry) would abort
+        // the process.
+        if let Ok(handle) = spawn_worker(&self.inner, self.index) {
+            self.inner.respawned.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut workers) = self.inner.workers.lock() {
+                workers.push(handle);
+            }
+        }
     }
 }
 
@@ -200,19 +277,16 @@ fn worker_loop(inner: &PoolInner) {
                 queue = inner.available.wait(queue).expect("pool queue poisoned");
             }
         };
-        // A panicking job must not take the worker down with it: the pool
-        // never respawns threads, so an unwinding `work` would silently
-        // shrink capacity until the server answers nothing but
-        // `overloaded`. Contain it (the submitter notices the dropped
-        // reply channel and answers `internal`).
+        // Jobs run outside the queue lock, and *without* a catch_unwind:
+        // a panicking job unwinds this thread and the RespawnGuard brings
+        // a replacement up, so a panic can neither poison shared state it
+        // half-mutated (nothing here is half-mutated — the lock is
+        // released) nor shrink capacity.
         if job.enqueued.elapsed() > job.deadline {
             inner.expired.fetch_add(1, Ordering::Relaxed);
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.expire));
+            (job.expire)();
         } else {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.work));
-            if outcome.is_err() {
-                inner.panicked.fetch_add(1, Ordering::Relaxed);
-            }
+            (job.work)();
             inner.completed.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -299,8 +373,9 @@ mod tests {
     }
 
     #[test]
-    fn panicking_jobs_do_not_kill_workers() {
-        // One worker: if the panic escaped, the second job would never run.
+    fn panicking_jobs_do_not_kill_the_pool() {
+        // One worker: if the unwound thread were not replaced, the second
+        // job would never run.
         let pool = WorkerPool::new(1, 8);
         pool.submit(Duration::from_secs(10), || panic!("boom"), || {})
             .unwrap();
@@ -308,9 +383,44 @@ mod tests {
         pool.submit(Duration::from_secs(10), move || tx.send(()).unwrap(), || {})
             .unwrap();
         rx.recv_timeout(Duration::from_secs(5))
-            .expect("worker survived the panic and ran the next job");
+            .expect("replacement worker ran the next job");
         pool.shutdown();
         assert_eq!(pool.stats().panicked, 1);
+        assert_eq!(pool.stats().respawned, 1);
+    }
+
+    #[test]
+    fn every_unwound_worker_is_respawned() {
+        // More panics than workers: without respawn the pool would be dead
+        // after two, and the final burst could never complete.
+        let pool = WorkerPool::new(2, 32);
+        for _ in 0..5 {
+            pool.submit(Duration::from_secs(10), || panic!("boom"), || {})
+                .unwrap();
+        }
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Duration::from_secs(10), move || tx.send(i).unwrap(), || {})
+                .unwrap();
+        }
+        let mut got: Vec<i32> = (0..8)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        // The eighth send proves capacity survived, but the fifth unwind
+        // may still be mid-flight — and a respawn racing `shutdown` is
+        // (correctly) skipped — so let the counters settle before
+        // shutting down and asserting on a quiescent pool.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().respawned < 5 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        pool.shutdown();
+        assert_eq!(pool.stats().panicked, 5);
+        assert_eq!(pool.stats().respawned, 5);
+        assert_eq!(pool.stats().completed, 8);
     }
 
     #[test]

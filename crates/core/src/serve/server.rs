@@ -48,6 +48,44 @@ use crate::serve::protocol::{
 };
 use crate::serve::session::{Session, SessionRegistry};
 
+/// Which accept-path implementation [`Server::spawn_tcp`] drives. Both
+/// transports funnel every request line through the same worker pool and
+/// [`Server::handle_line`] core, so responses are bit-identical between
+/// them (pinned by `tests/transport_conformance.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Transport {
+    /// One blocking reader thread per accepted connection (the default):
+    /// simple, portable, and fine up to a few hundred connections.
+    #[default]
+    Threaded,
+    /// One readiness-driven event loop (epoll via `lsc-reactor`) owning
+    /// every accepted socket: nonblocking reads parse pipelined request
+    /// batches, responses write-coalesce in request order, and tens of
+    /// thousands of mostly-idle connections cost buffers instead of
+    /// threads. Linux-only; probe with
+    /// [`Transport::event_loop_supported`].
+    EventLoop,
+}
+
+impl Transport {
+    /// Whether the event-loop transport has a working poller backend on
+    /// this host (Linux epoll). When false, `spawn_tcp` under
+    /// [`Transport::EventLoop`] fails with `Unsupported` — callers fall
+    /// back to [`Transport::Threaded`] or skip.
+    pub fn event_loop_supported() -> bool {
+        lsc_reactor::supported()
+    }
+
+    /// The CLI/config spelling (`"threaded"` / `"event-loop"`).
+    pub fn parse(text: &str) -> Option<Transport> {
+        match text {
+            "threaded" => Some(Transport::Threaded),
+            "event-loop" | "event_loop" => Some(Transport::EventLoop),
+            _ => None,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -98,6 +136,9 @@ pub struct ServeConfig {
     /// `None` — the production configuration — compiles to passthrough
     /// I/O (one pointer-null branch per operation).
     pub faults: Option<Arc<FaultPlan>>,
+    /// Which TCP accept-path implementation `spawn_tcp` uses. The stdio
+    /// transport and the transport-free test entry points are unaffected.
+    pub transport: Transport,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +158,7 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(300)),
             write_timeout: Some(Duration::from_secs(30)),
             faults: None,
+            transport: Transport::default(),
         }
     }
 }
@@ -173,7 +215,7 @@ pub struct Reply {
     pub close: bool,
 }
 
-struct ServerInner {
+pub(crate) struct ServerInner {
     config: ServeConfig,
     engine: ShardedEngine,
     sessions: SessionRegistry,
@@ -268,8 +310,7 @@ impl Server {
     /// Allocates a fresh connection id for a transport-free client (tests,
     /// benches, the stdio loop).
     pub fn open_conn(&self) -> u64 {
-        self.inner.connections.fetch_add(1, Ordering::Relaxed);
-        self.inner.next_conn.fetch_add(1, Ordering::Relaxed)
+        self.inner.begin_conn()
     }
 
     /// Drops every session a connection owns (the disconnect hook for
@@ -295,14 +336,25 @@ impl Server {
         self.inner.submit_and_wait(conn, line)
     }
 
-    /// Binds a TCP listener and spawns the accept loop. Each connection
-    /// gets its own reader thread; requests execute on the shared worker
-    /// pool. `addr` is standard `host:port` (port 0 picks a free port —
-    /// read it back from [`TcpServerHandle::addr`]).
+    /// Binds a TCP listener and spawns the configured transport
+    /// ([`ServeConfig::transport`]): a thread-per-connection accept loop,
+    /// or the readiness-based event loop. `addr` is standard `host:port`
+    /// (port 0 picks a free port — read it back from
+    /// [`TcpServerHandle::addr`]).
     ///
     /// # Errors
-    /// Propagates the bind failure.
+    /// Propagates the bind failure; [`Transport::EventLoop`] on a host
+    /// without epoll fails with [`std::io::ErrorKind::Unsupported`].
     pub fn spawn_tcp(&self, addr: &str) -> std::io::Result<TcpServerHandle> {
+        match self.inner.config.transport {
+            Transport::Threaded => self.spawn_tcp_threaded(addr),
+            Transport::EventLoop => super::event_loop::spawn(self.inner.clone(), addr),
+        }
+    }
+
+    /// The thread-per-connection transport: each accepted socket gets its
+    /// own blocking reader thread; requests execute on the shared pool.
+    fn spawn_tcp_threaded(&self, addr: &str) -> std::io::Result<TcpServerHandle> {
         // lsc-analyze: allow(unrouted-io) reason="one-time listener setup before any session exists; faults inject at the per-connection FaultyStream"
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -331,6 +383,7 @@ impl Server {
         Ok(TcpServerHandle {
             addr: local,
             stop,
+            waker: None,
             accept: Some(accept),
         })
     }
@@ -369,27 +422,53 @@ impl Server {
     }
 }
 
-/// A running TCP accept loop; dropping it (or calling
+/// A running TCP transport; dropping it (or calling
 /// [`TcpServerHandle::shutdown`]) stops accepting new connections.
 pub struct TcpServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Present on the event-loop transport: shutdown wakes the poller
+    /// instead of self-connecting to unblock a blocking accept.
+    waker: Option<Arc<lsc_reactor::Waker>>,
     accept: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpServerHandle {
+    /// Assembles the handle for the event-loop transport (the threaded
+    /// transport builds its own inside `spawn_tcp_threaded`).
+    pub(crate) fn for_event_loop(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        waker: Arc<lsc_reactor::Waker>,
+        thread: std::thread::JoinHandle<()>,
+    ) -> TcpServerHandle {
+        TcpServerHandle {
+            addr,
+            stop,
+            waker: Some(waker),
+            accept: Some(thread),
+        }
+    }
+
     /// The bound address (use with `addr().port()` after binding port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops the accept loop and joins it. Existing connections keep
-    /// draining on their own threads.
+    /// Stops the transport and joins its thread. Threaded: existing
+    /// connections keep draining on their own threads. Event loop: open
+    /// connections are closed (their sessions drop; resume tokens keep
+    /// working across a reconnect, as always).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept call.
-        // lsc-analyze: allow(unrouted-io) reason="wake-the-acceptor self-connect during shutdown; not a data path"
-        let _ = TcpStream::connect(self.addr);
+        match &self.waker {
+            // The event loop is parked in epoll_wait; the wake pipe pulls
+            // it out without touching any socket.
+            Some(waker) => waker.wake(),
+            // Unblock the blocking accept call.
+            // lsc-analyze: allow(unrouted-io) reason="wake-the-acceptor self-connect during shutdown; not a data path"
+            None => drop(TcpStream::connect(self.addr)),
+        }
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
@@ -403,8 +482,7 @@ impl Drop for TcpServerHandle {
 }
 
 fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
-    let conn = inner.next_conn.fetch_add(1, Ordering::Relaxed);
-    inner.connections.fetch_add(1, Ordering::Relaxed);
+    let conn = inner.begin_conn();
     // Socket timeouts: a silent or non-draining peer fails its next I/O
     // call and the connection is reaped like any other dirty exit instead
     // of pinning this thread forever. (Setting them is best-effort — a
@@ -451,7 +529,178 @@ fn serve_connection(inner: &Arc<ServerInner>, stream: TcpStream) {
     inner.sessions.drop_conn(conn);
 }
 
+/// Exactly-once completion slot for an asynchronously submitted request.
+///
+/// Whichever of the job's paths runs first — `work` with the real reply,
+/// `expire` with `deadline-exceeded` — takes the callback and fires it;
+/// the other finds the slot empty. If *neither* ran (the job panicked
+/// before completing, or the pool dropped it), the slot's own `Drop` —
+/// which runs once both closures are gone — delivers a typed `internal`
+/// reply, so an event-loop connection can never hang on a lost job. This
+/// is the nonblocking mirror of the reply-channel `RecvError` fallback in
+/// [`ServerInner::submit_and_wait`].
+struct DoneSlot {
+    done: Mutex<Option<DoneCallback>>,
+}
+
+/// The event loop's reply hand-off, boxed once at submission.
+type DoneCallback = Box<dyn FnOnce(Reply) + Send>;
+
+impl DoneSlot {
+    fn new(done: DoneCallback) -> Arc<DoneSlot> {
+        Arc::new(DoneSlot {
+            done: Mutex::new(Some(done)),
+        })
+    }
+
+    fn fire(&self, reply: Reply) {
+        // Take the callback *outside* the lock scope before invoking it:
+        // the callback touches the event loop's completion queue.
+        let cb = { self.done.lock().ok().and_then(|mut slot| slot.take()) };
+        if let Some(cb) = cb {
+            cb(reply);
+        }
+    }
+
+    /// Empties the slot without firing — the admission-refusal path, where
+    /// the caller delivers the refusal reply itself and the `Drop`
+    /// fallback must stay quiet.
+    fn defuse(&self) {
+        let _cb = self.done.lock().ok().and_then(|mut slot| slot.take());
+    }
+}
+
+impl Drop for DoneSlot {
+    fn drop(&mut self) {
+        let cb = self.done.get_mut().ok().and_then(Option::take);
+        if let Some(cb) = cb {
+            cb(Reply {
+                text: error_response(
+                    None,
+                    &WireError::new(ErrorCode::Internal, "worker dropped the request"),
+                ),
+                close: true,
+            });
+        }
+    }
+}
+
 impl ServerInner {
+    /// Allocates a fresh connection id and counts the connection.
+    pub(crate) fn begin_conn(&self) -> u64 {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.next_conn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Disconnect hook: drops every session the connection owns.
+    pub(crate) fn end_conn(&self, conn: u64) {
+        self.sessions.drop_conn(conn);
+    }
+
+    /// Counts a connection that ended on an I/O error rather than a clean
+    /// EOF/`bye`.
+    pub(crate) fn note_reset(&self) {
+        self.resets_survived.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The fault plan connection streams must consult.
+    pub(crate) fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.config.faults.clone()
+    }
+
+    /// The configured idle-peer reap timeout.
+    pub(crate) fn read_timeout(&self) -> Option<Duration> {
+        self.config.read_timeout
+    }
+
+    /// Submits one request line for asynchronous execution: the
+    /// event-loop twin of [`ServerInner::submit_and_wait`]. `done` fires
+    /// exactly once, on a worker thread, with the reply (real, expired,
+    /// or — via [`DoneSlot`] — `internal` if the job was lost). `waited`
+    /// is how long the line already sat parsed in the connection's
+    /// pipeline buffer; it comes off the queue deadline so a pipelined
+    /// request's total patience matches a sequentially submitted one's.
+    ///
+    /// # Errors
+    /// An admission-control refusal returns the reply the caller must
+    /// deliver itself, in order (`overloaded` + retry hint, or the
+    /// shutdown `internal`); `done` will never fire for it.
+    pub(crate) fn submit_async(
+        self: &Arc<Self>,
+        conn: u64,
+        line: String,
+        waited: Duration,
+        done: DoneCallback,
+    ) -> Result<(), Reply> {
+        let slot = DoneSlot::new(done);
+        let work = {
+            let inner = self.clone();
+            let slot = slot.clone();
+            let line = line.clone();
+            move || {
+                if let Some(plan) = &inner.config.faults {
+                    if let Some(planned) = plan.decide(FaultSite::Job) {
+                        if planned.fault == Fault::Panic {
+                            // The worker unwinds (and is respawned); the
+                            // DoneSlot drops with it and answers
+                            // `internal` (close: true).
+                            panic!("injected: queued job panic");
+                        }
+                    }
+                }
+                let reply = inner.handle_line(conn, &line);
+                slot.fire(reply);
+            }
+        };
+        let expire = {
+            let slot = slot.clone();
+            let line = line.clone();
+            move || {
+                let id = parse_request(&line).ok().and_then(|e| e.id);
+                let error = WireError::new(
+                    ErrorCode::DeadlineExceeded,
+                    "request expired in queue before execution",
+                );
+                slot.fire(Reply {
+                    text: error_response(id.as_ref(), &error),
+                    close: false,
+                });
+            }
+        };
+        let deadline = self.config.deadline.saturating_sub(waited);
+        match self.pool.submit(deadline, work, expire) {
+            Ok(()) => Ok(()),
+            Err(refusal) => {
+                // The job never entered the queue: the refusal reply below
+                // is the only answer, so the slot's Drop fallback must not
+                // add an `internal` on top of it.
+                slot.defuse();
+                Err(match refusal {
+                    SubmitError::Full => {
+                        let id = parse_request(&line).ok().and_then(|e| e.id);
+                        let mut error = WireError::new(
+                            ErrorCode::Overloaded,
+                            "request queue is full; back off and retry",
+                        );
+                        error.retry_after_ms = Some(self.retry_after_ms());
+                        self.retries_hinted.fetch_add(1, Ordering::Relaxed);
+                        Reply {
+                            text: error_response(id.as_ref(), &error),
+                            close: false,
+                        }
+                    }
+                    SubmitError::Shutdown => Reply {
+                        text: error_response(
+                            None,
+                            &WireError::new(ErrorCode::Internal, "server is shutting down"),
+                        ),
+                        close: true,
+                    },
+                })
+            }
+        }
+    }
+
     fn stats(&self) -> ServeStats {
         let engine = self.engine.stats();
         ServeStats {
@@ -482,9 +731,9 @@ impl ServerInner {
                 if let Some(plan) = &inner.config.faults {
                     if let Some(planned) = plan.decide(FaultSite::Job) {
                         if planned.fault == Fault::Panic {
-                            // Contained by the pool's catch_unwind; the
-                            // submitter sees the dropped reply channel and
-                            // answers `internal` (close: true).
+                            // The worker unwinds (and the pool respawns
+                            // it); the submitter sees the dropped reply
+                            // channel and answers `internal` (close: true).
                             panic!("injected: queued job panic");
                         }
                     }

@@ -23,6 +23,13 @@
 //! constant recompiles), snapshot warm-ups, and scheduling may change
 //! *how* an answer is produced — never the bytes.
 //!
+//! The whole suite is parameterized over `ServeConfig::transport`: every
+//! seed and kill schedule runs under both the threaded transport and the
+//! readiness-based event loop (where the chaos mix flows through the
+//! `EventRead` / `EventWrite` fault sites — partial reads, partial
+//! writes, and mid-frame resets on the nonblocking paths), each compared
+//! against the same fault-free serial replay.
+//!
 //! Sizing knobs for CI smoke runs (`scripts/ci.sh`): `LSC_CHAOS_OPS`
 //! (ops per client, default 24), `LSC_CHAOS_CLIENTS` (fleet size,
 //! default 4), `LSC_CHAOS_SEEDS` (comma-separated master seeds, default
@@ -37,7 +44,7 @@ use lsc_core::fpras::FprasParams;
 use lsc_core::serve::json::Json;
 use lsc_core::serve::protocol::InstanceSpec;
 use lsc_core::serve::{
-    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, ServeConfig, Server,
+    Client, ClientConfig, ClientError, FaultConfig, FaultPlan, ServeConfig, Server, Transport,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +95,7 @@ fn chaos_engine_config() -> EngineConfig {
 fn serve_config(
     snapshot_dir: Option<std::path::PathBuf>,
     faults: Option<Arc<FaultPlan>>,
+    transport: Transport,
 ) -> ServeConfig {
     ServeConfig {
         engine: chaos_engine_config(),
@@ -96,8 +104,25 @@ fn serve_config(
         retry_after: Duration::from_millis(2),
         snapshot_dir,
         faults,
+        transport,
         ..ServeConfig::default()
     }
+}
+
+/// Every transport the host supports: the whole suite runs once per
+/// transport under the *same* seeds and kill schedule, against the same
+/// fault-free serial reference. Under [`Transport::EventLoop`] the chaos
+/// mix routes through the readiness fault sites
+/// (`FaultSite::EventRead` / `FaultSite::EventWrite`), so partial reads,
+/// partial writes, and mid-frame resets exercise the nonblocking paths.
+fn transports() -> Vec<Transport> {
+    let mut all = vec![Transport::Threaded];
+    if Transport::event_loop_supported() {
+        all.push(Transport::EventLoop);
+    } else {
+        eprintln!("skipping Transport::EventLoop: no epoll on this host");
+    }
+    all
 }
 
 fn client_config(master_seed: u64, client: usize) -> ClientConfig {
@@ -276,10 +301,13 @@ fn run_client(
 }
 
 /// The fault-free serial reference: each client's log replayed alone, in
-/// order, against a fresh fault-free server with the same engine
-/// configuration.
+/// order, against a fresh fault-free *threaded* server with the same
+/// engine configuration. One reference serves every transport — that is
+/// the conformance contract (`tests/transport_conformance.rs`) doing
+/// load-bearing work: a transport that drifted from the threaded wire
+/// behavior would fail here under chaos too.
 fn serial_reference(master_seed: u64, clients: usize, ops: usize) -> Vec<Vec<String>> {
-    let server = Server::new(serve_config(None, None)).unwrap();
+    let server = Server::new(serve_config(None, None, Transport::Threaded)).unwrap();
     let mut tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
     let addr = tcp.addr().to_string();
     let progress = AtomicUsize::new(0);
@@ -294,16 +322,24 @@ fn serial_reference(master_seed: u64, clients: usize, ops: usize) -> Vec<Vec<Str
     expected
 }
 
-/// One chaos round at one master seed: concurrent faulted fleet with
-/// kill/restart cycles, compared against the fault-free serial replay.
-fn chaos_round(master_seed: u64, clients: usize, ops: usize, kills: usize) {
-    let expected = serial_reference(master_seed, clients, ops);
-
-    let dir =
-        std::env::temp_dir().join(format!("lsc-chaos-{master_seed:x}-{}", std::process::id()));
+/// One chaos round at one master seed and one transport: concurrent
+/// faulted fleet with kill/restart cycles, compared against the
+/// fault-free serial replay.
+fn chaos_round(
+    master_seed: u64,
+    clients: usize,
+    ops: usize,
+    kills: usize,
+    transport: Transport,
+    expected: &[Vec<String>],
+) {
+    let dir = std::env::temp_dir().join(format!(
+        "lsc-chaos-{master_seed:x}-{transport:?}-{}",
+        std::process::id()
+    ));
     std::fs::remove_dir_all(&dir).ok();
     let plan = FaultPlan::new(FaultConfig::chaos(master_seed));
-    let config = || serve_config(Some(dir.clone()), Some(plan.clone()));
+    let config = || serve_config(Some(dir.clone()), Some(plan.clone()), transport);
 
     let server = Server::new(config()).unwrap();
     let tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
@@ -366,40 +402,52 @@ fn chaos_round(master_seed: u64, clients: usize, ops: usize, kills: usize) {
 
     // The headline pin: every client's stream is bit-identical to its
     // fault-free serial replay.
-    for (c, ((got, _), want)) in results.iter().zip(&expected).enumerate() {
+    for (c, ((got, _), want)) in results.iter().zip(expected).enumerate() {
         for (slot, (g, w)) in got.iter().zip(want).enumerate() {
             assert_eq!(
                 g, w,
-                "seed {master_seed:#x}: client {c} op {slot} ({:?}) drifted",
+                "seed {master_seed:#x} {transport:?}: client {c} op {slot} ({:?}) drifted",
                 logs[c][slot]
             );
         }
-        assert_eq!(got.len(), want.len(), "client {c} dropped ops");
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{transport:?}: client {c} dropped ops"
+        );
     }
     // The chaos actually bit, and the kills actually forced recovery.
+    // (Under the event loop, connection I/O draws from the EventRead /
+    // EventWrite decision streams — a fired plan there means the
+    // readiness paths, not the blocking ones, absorbed the faults.)
     let faults = plan.stats();
     assert!(
         faults.total() > 0,
-        "seed {master_seed:#x}: the fault plan never fired: {faults:?}"
+        "seed {master_seed:#x} {transport:?}: the fault plan never fired: {faults:?}"
     );
     let reconnects: u64 = results.iter().map(|(_, s)| s.reconnects).sum();
     assert!(
         reconnects >= 1,
-        "seed {master_seed:#x}: two server kills forced no reconnect"
+        "seed {master_seed:#x} {transport:?}: two server kills forced no reconnect"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
 
 // ---- the suite ----
 
-/// The headline chaos pin, across every configured master seed.
+/// The headline chaos pin, across every configured master seed and every
+/// supported transport — one fault-free serial reference per seed, reused
+/// by all transports (computing it is the expensive half of a round).
 #[test]
 fn faulted_fleet_with_kill_restarts_matches_fault_free_serial_replay() {
     let ops = env_usize("LSC_CHAOS_OPS", 24);
     let clients = env_usize("LSC_CHAOS_CLIENTS", 4);
     let kills = env_usize("LSC_CHAOS_KILLS", 2);
     for seed in master_seeds() {
-        chaos_round(seed, clients, ops, kills);
+        let expected = serial_reference(seed, clients, ops);
+        for transport in transports() {
+            chaos_round(seed, clients, ops, kills, transport, &expected);
+        }
     }
 }
 

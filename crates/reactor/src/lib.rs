@@ -1,0 +1,493 @@
+// lsc-analyze: allow(missing-forbid-unsafe) reason="this crate is the one place raw epoll/pipe FFI lives; every consumer keeps #![forbid(unsafe_code)] and sees only the safe Poller/Waker API below"
+//! A thin readiness poller over raw `epoll` — the vendored, `std`-only
+//! stand-in for the sliver of `mio` the serve event loop needs.
+//!
+//! The API is deliberately tiny and `mio`-shaped: a [`Poller`] you
+//! [`register`](Poller::register) file descriptors with under a caller-chosen
+//! [`Token`] and an [`Interest`] (readable / writable), a blocking-with-timeout
+//! [`wait`](Poller::wait) that fills a caller-owned `Vec<Event>`, and a
+//! [`Waker`] (a non-blocking pipe) that lets *other threads* — the worker pool
+//! finishing a request — pull the loop out of `epoll_wait` without touching a
+//! socket.
+//!
+//! **Level-triggered.** Registration uses epoll's default level-triggered
+//! mode: an event keeps firing while the condition holds, so the loop may
+//! read/write *up to* `WouldBlock` without the starvation hazards of
+//! edge-triggered wakeups. Writable interest is meant to be enabled only
+//! while a connection is backpressured and dropped once its buffer drains.
+//!
+//! **Portability.** The real implementation is `#[cfg(target_os = "linux")]`.
+//! Elsewhere every constructor returns [`std::io::ErrorKind::Unsupported`]
+//! and [`supported()`] is `false`, so callers can probe at runtime and fall
+//! back to a thread-per-connection transport (the serve layer's `threaded`
+//! default) instead of failing at compile time.
+//!
+//! **Safety.** All `unsafe` is private to this crate and confined to the
+//! syscall shims: every pointer handed to the kernel is derived from a live
+//! Rust reference with the length passed alongside it, and every returned fd
+//! is owned by a type whose `Drop` closes it exactly once.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_docs)]
+
+/// A caller-chosen identifier attached to a registration and echoed back on
+/// every [`Event`] for that file descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness conditions a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer closed).
+    pub readable: bool,
+    /// Wake when the fd is writable again.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — a connection with a backpressured write buffer.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Writable only — a draining connection that must not accept more input.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: Token,
+    /// The fd is readable (data, a pending accept, or EOF).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd errored (`EPOLLHUP`/`EPOLLERR`/`EPOLLRDHUP`);
+    /// a final read will surface the EOF or error.
+    pub closed: bool,
+}
+
+/// True when this host has a working poller backend (Linux epoll). Callers
+/// on other platforms should fall back to a blocking transport.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw syscall surface: `epoll_create1` / `epoll_ctl` / `epoll_wait`,
+    //! `pipe2`, and byte-sized `read`/`write` for the waker pipe. Nothing
+    //! here escapes the crate.
+
+    use super::{Event, Interest, Token};
+    use std::io;
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const O_CLOEXEC: i32 = 0o2000000;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    /// The kernel's `struct epoll_event`. x86 ABIs pack it; others use
+    /// natural alignment — mirroring glibc's definition exactly.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An epoll instance. See the crate docs for the registration model.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates an epoll instance (`CLOEXEC`).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: no pointers; the returned fd (checked below) is owned
+            // by the Poller and closed exactly once in Drop.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut event = event;
+            let ptr = event
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live stack value
+            // that outlives the call; the kernel copies it synchronously.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+            Ok(())
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut mask = EPOLLRDHUP;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            mask
+        }
+
+        /// Subscribes `fd` under `token`. One registration per fd; use
+        /// [`Poller::reregister`] to change interest.
+        pub fn register(
+            &self,
+            fd: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let event = EpollEvent {
+                events: Self::mask(interest),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), Some(event))
+        }
+
+        /// Replaces an existing registration's interest (and token).
+        pub fn reregister(
+            &self,
+            fd: &impl AsRawFd,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let event = EpollEvent {
+                events: Self::mask(interest),
+                data: token.0 as u64,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), Some(event))
+        }
+
+        /// Drops a registration. Closing the fd also drops it implicitly;
+        /// this exists for fds that outlive their interest.
+        pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), None)
+        }
+
+        /// Blocks until at least one registered fd is ready or `timeout`
+        /// elapses (`None` waits indefinitely), then replaces `events`'s
+        /// contents with the ready set. A timeout leaves `events` empty.
+        /// `EINTR` is retried internally.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            const CAPACITY: usize = 1024;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a nonzero timeout never busy-spins at 0ms.
+                Some(t) => t
+                    .as_millis()
+                    .max(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+            };
+            events.clear();
+            let n = loop {
+                // SAFETY: `raw` is a live array of CAPACITY elements and the
+                // kernel writes at most `maxevents` entries into it.
+                let ret =
+                    unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms) };
+                if ret >= 0 {
+                    break ret as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for e in raw.iter().take(n) {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = e.events;
+                let data = e.data;
+                events.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: epfd is owned by this Poller and not closed elsewhere.
+            let _ = unsafe { close(self.epfd) };
+        }
+    }
+
+    /// A cross-thread wakeup channel: a non-blocking `CLOEXEC` pipe whose
+    /// read end is registered with the poller. [`Waker::wake`] is safe to
+    /// call from any thread, any number of times; wakeups coalesce.
+    #[derive(Debug)]
+    pub struct Waker {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Waker {
+        /// Creates the pipe pair.
+        pub fn new() -> io::Result<Waker> {
+            let mut fds = [0i32; 2];
+            // SAFETY: `fds` is a live 2-element array, exactly what pipe2
+            // writes into; both returned fds are owned here.
+            cvt(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) })?;
+            Ok(Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        /// Makes the next (or current) [`Poller::wait`] return. Best-effort:
+        /// a full pipe means a wakeup is already pending, which is enough.
+        pub fn wake(&self) {
+            let byte = 1u8;
+            // SAFETY: one byte from a live local; EAGAIN/EPIPE are ignored
+            // deliberately (pending wakeup / loop already gone).
+            let _ = unsafe { write(self.write_fd, &byte, 1) };
+        }
+
+        /// Consumes every pending wakeup byte (call after the poller
+        /// reports this waker's token readable, before sleeping again).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: reads into a live local buffer of the stated size.
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl AsRawFd for Waker {
+        fn as_raw_fd(&self) -> RawFd {
+            self.read_fd
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: both fds are owned by this Waker, closed exactly once.
+            unsafe {
+                let _ = close(self.read_fd);
+                let _ = close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Stub backend: constructors fail with `Unsupported` so callers fall
+    //! back to a blocking transport at runtime.
+
+    use super::{Event, Interest, Token};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "lsc-reactor: no poller backend on this platform (epoll is Linux-only)",
+        )
+    }
+
+    /// Unsupported-platform stand-in for the epoll poller.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        /// Always fails with [`io::ErrorKind::Unsupported`].
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no `Poller` can be constructed); fails uniformly.
+        pub fn register<T>(&self, _fd: &T, _token: Token, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable; fails uniformly.
+        pub fn reregister<T>(&self, _fd: &T, _token: Token, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable; fails uniformly.
+        pub fn deregister<T>(&self, _fd: &T) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable; fails uniformly.
+        pub fn wait(&self, _events: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    /// Unsupported-platform stand-in for the wake pipe.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        /// Always fails with [`io::ErrorKind::Unsupported`].
+        pub fn new() -> io::Result<Waker> {
+            Err(unsupported())
+        }
+
+        /// No-op.
+        pub fn wake(&self) {}
+
+        /// No-op.
+        pub fn drain(&self) {}
+    }
+}
+
+pub use sys::{Poller, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn timeout_returns_empty() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn waker_wakes_from_another_thread_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new().unwrap());
+        poller
+            .register(&*waker, Token(7), Interest::READABLE)
+            .unwrap();
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                remote.wake();
+            }
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "wakeups coalesce to one event");
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readable);
+        t.join().unwrap();
+        waker.drain();
+        // Drained: the next wait times out quietly.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn listener_and_stream_readiness_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(&listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .register(&server_side, Token(2), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(2) && e.readable));
+
+        // Interest swap: writable fires immediately on an idle socket.
+        poller
+            .reregister(&server_side, Token(2), Interest::BOTH)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == Token(2) && e.writable));
+
+        // Peer close surfaces as readable/closed.
+        drop(client);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == Token(2)).unwrap();
+        assert!(ev.readable || ev.closed);
+        let mut buf = [0u8; 16];
+        let mut s = &server_side;
+        assert_eq!(s.read(&mut buf).unwrap(), 4);
+        assert_eq!(s.read(&mut buf).unwrap(), 0, "EOF after peer close");
+
+        poller.deregister(&server_side).unwrap();
+    }
+
+    #[test]
+    fn supported_reports_linux() {
+        assert!(supported());
+    }
+}

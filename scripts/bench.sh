@@ -304,6 +304,18 @@ snapshot = {
         round(72 / (mean_of("serve/e19-shard-scaling", "shards/8") / 1e9), 1)
         if mean_of("serve/e19-shard-scaling", "shards/8") else None
     ),
+    # E20: warm count RTT with 512 mostly-idle standing connections, per
+    # transport. The ratio is event-loop over threaded (1.0 = parity;
+    # the acceptance bound is <= 1.25). Absent on hosts without epoll.
+    "scaling_rtt_threaded_ns": mean_of(
+        "serve/e20-connection-scaling", "threaded/idle512"
+    ),
+    "scaling_rtt_event_loop_ns": mean_of(
+        "serve/e20-connection-scaling", "event-loop/idle512"
+    ),
+    "scaling_event_loop_vs_threaded": ratio(
+        "serve/e20-connection-scaling", "event-loop/idle512", "threaded/idle512"
+    ),
     "benchmarks": results,
 }
 
@@ -321,5 +333,6 @@ print(f"\nBENCH_serve.json: appended snapshot #{len(history)}"
       f" (warm restart: {snapshot['warm_restart_speedup']}x,"
       f" sketch persistence: {snapshot['sketch_persistence_speedup']}x,"
       f" warm count rtt: {snapshot['request_latency_count_ns']} ns,"
-      f" shard scaling 8 clients: {snapshot['shard_scaling_speedup']}x)")
+      f" shard scaling 8 clients: {snapshot['shard_scaling_speedup']}x,"
+      f" 512-idle-conn rtt event-loop/threaded: {snapshot['scaling_event_loop_vs_threaded']}x)")
 PY

@@ -11,9 +11,16 @@
 # a new kernel's first snapshot is still being recorded).
 #
 # The gate covers the kernels this trajectory pins: the packed union
-# estimator (E21), the limb-batched completion DP (E22), and the
-# sketch-persistence warm restart (E23). Trajectory snapshots come from
+# estimator (E21), the limb-batched completion DP (E22), the
+# sketch-persistence warm restart (E23), and the transport
+# connection-scaling RTT (E20: warm count under a 512-conn idle herd,
+# threaded and event-loop). Trajectory snapshots come from
 # scripts/bench.sh; this script never writes the JSON files.
+#
+# Hosts without epoll produce no event-loop E20 measurement; the gate
+# checks only what the host ran, so the missing id is not an error there
+# (and a reference recorded on such a host needs --skip-missing on the
+# first Linux run).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,12 +43,14 @@ LSC_CRITERION_DIR="$FPRAS_DIR" cargo bench -p lsc-bench --bench fpras -- e22-com
 SERVE_DIR="$(pwd)/target/lsc-bench-check-serve"
 rm -rf "$SERVE_DIR"
 LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e23-sketch-persistence
+LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e20-connection-scaling
 
 FPRAS_DIR="$FPRAS_DIR" SERVE_DIR="$SERVE_DIR" SKIP_MISSING="$SKIP_MISSING" python3 - <<'PY'
 import json, os, sys
 
 TOLERANCE = 1.25  # fail on >25% mean_ns regression
-GROUPS = ("e21-union-kernel", "e22-completion-dp", "e23-sketch-persistence")
+GROUPS = ("e21-union-kernel", "e22-completion-dp", "e23-sketch-persistence",
+          "e20-connection-scaling")
 
 def fresh_results(out_dir):
     results = {}
@@ -88,7 +97,7 @@ if missing:
                  + "\n  run scripts/bench.sh to record one, or pass --skip-missing"
                  + " to tolerate a partial reference set")
 if not checked:
-    sys.exit("bench_check: no E21-E23 reference entries in the committed BENCH_*.json")
+    sys.exit("bench_check: no E20-E23 reference entries in the committed BENCH_*.json")
 if failures:
     sys.exit("bench_check: perf regression gate failed:\n  " + "\n  ".join(failures))
 print(f"bench_check: {checked} kernel benchmarks within {TOLERANCE:.2f}x of committed means")

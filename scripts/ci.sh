@@ -24,9 +24,13 @@ echo "== shard stress: 8 threads (smoke) =="
 LSC_STRESS_OPS=64 LSC_STRESS_THREADS=8 \
 cargo test -q --release -p lsc-core --test shard_stress
 
-echo "== chaos smoke: 2 seeds, kill + warm-restart mid-run =="
+echo "== chaos smoke: 2 seeds, kill + warm-restart mid-run, both transports =="
 LSC_CHAOS_OPS=16 LSC_CHAOS_CLIENTS=3 LSC_CHAOS_SEEDS=0xC0FFEE,0xBADC0DE \
 cargo test -q --release -p lsc-core --test chaos
+
+echo "== transport conformance: threaded vs event loop, 512-conn scaling smoke =="
+LSC_SCALE_CONNS=512 \
+cargo test -q --release -p lsc-core --test transport_conformance
 
 echo "== crash safety: every-byte crash points + corruption matrix =="
 cargo test -q --release -p lsc-core --test crash_safety
@@ -64,7 +68,7 @@ LSC_CRITERION_SAMPLES=2 \
 LSC_CRITERION_DIR="$(pwd)/target/lsc-criterion-ci-serve" \
 cargo bench -p lsc-bench --bench serve -- e17-warm-restart
 
-echo "== bench gate: E21-E23 kernel regression check =="
+echo "== bench gate: E20-E23 kernel + transport regression check =="
 scripts/bench_check.sh
 
 echo "== ci.sh: all green =="

@@ -14,6 +14,7 @@
 //! nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N]
 //!                    [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T]
 //!                    [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]
+//!                    [--transport threaded|event-loop]
 //! nfa-tool query     --addr HOST:PORT (--regex PAT | --file NFA.txt) --length N
 //!                    [--op count|count-exact|enumerate|sample] [--page-size P]
 //!                    [--limit K] [--count K] [--seed S] [--resume-token T]
@@ -149,7 +150,7 @@ fn usage(msg: &str) -> ! {
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
            nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M] [--seed S] [--page-size P]\n  \
-           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S]\n  \
+           nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S] [--transport threaded|event-loop]\n  \
            nfa-tool query     --addr HOST:PORT (--regex PAT | --file NFA.txt) --length N [--op count|count-exact|enumerate|sample] [--page-size P] [--limit K] [--count K] [--seed S] [--resume-token T] [--retries R]\n  \
            common: [--alphabet CHARS]  (default 01)\n\
            batch query lines: (count|count-exact|enumerate|sample) PATTERN LENGTH [LIMIT|COUNT]"
@@ -435,6 +436,20 @@ fn run_serve(args: &Args) {
     if let Some(dir) = args.get("snapshot-dir") {
         config.snapshot_dir = Some(dir.into());
     }
+    if let Some(text) = args.get("transport") {
+        let transport = lsc_core::serve::Transport::parse(text).unwrap_or_else(|| {
+            usage(&format!(
+                "--transport expects threaded or event-loop, got {text:?}"
+            ))
+        });
+        if transport == lsc_core::serve::Transport::EventLoop
+            && !lsc_core::serve::Transport::event_loop_supported()
+        {
+            usage("--transport event-loop needs epoll (Linux); use threaded on this host");
+        }
+        config.transport = transport;
+    }
+    let transport = config.transport;
     let server =
         Server::new(config).unwrap_or_else(|e| usage(&format!("cannot start server: {e}")));
     let warm = server.warm_report();
@@ -460,7 +475,14 @@ fn run_serve(args: &Args) {
     let handle = server
         .spawn_tcp(&format!("127.0.0.1:{port}"))
         .unwrap_or_else(|e| usage(&format!("cannot bind port {port}: {e}")));
-    println!("# listening on {}", handle.addr());
+    println!(
+        "# listening on {} ({} transport)",
+        handle.addr(),
+        match transport {
+            lsc_core::serve::Transport::Threaded => "threaded",
+            lsc_core::serve::Transport::EventLoop => "event-loop",
+        }
+    );
     // Foreground until interrupted: the accept loop and the worker pool own
     // all the work (the handle's Drop would stop the accept loop, so keep
     // it alive by parking here).
