@@ -20,6 +20,10 @@
 //!   `count` RTT on one hot connection while a 512-connection idle herd
 //!   sits on the server, threaded transport vs the readiness event loop
 //!   (`ServeConfig::transport`).
+//! * `e24-route-overhead` — what does the cluster front-end cost? Warm
+//!   `count` RTT direct vs via `nfa_tool route`, and the
+//!   failover-resume headline: the same prepare/page/page cycle with
+//!   and without the home backend killed between the pages.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -160,7 +164,7 @@ fn serve_warm_restart(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve/e17-warm-restart");
     group.sample_size(10);
     let motif = "10100110100101101001";
-    let pattern = format!("(0|1)*{}", vec![motif; 4].join("(0|1)*"));
+    let pattern = format!("(0|1)*{}", [motif; 4].join("(0|1)*"));
     let prepare_line = format!(r#"{{"op":"prepare","regex":"{pattern}","length":120}}"#);
     let first_query = |server: &Server| {
         let conn = server.open_conn();
@@ -325,9 +329,11 @@ fn serve_sketch_persistence(c: &mut Criterion) {
     group.sample_size(10);
     let prepare_line = r#"{"op":"prepare","regex":"(0|1)*101(0|1)*","length":24}"#;
     let fpras_config = || {
-        let mut config = ServeConfig::default();
-        config.workers = 1;
-        config.queue_depth = 8;
+        let mut config = ServeConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        };
         config.engine.router = RouterConfig {
             determinization_cap: 0,
             classify_ambiguity: false,
@@ -452,6 +458,135 @@ fn serve_connection_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// E24: the cluster front-end's toll. Two questions:
+///
+/// * `count-warm/*` — what does one routing hop cost? Warm `count` RTT
+///   against a backend directly vs through [`Router`] (same wire
+///   protocol; the router adds one JSON re-parse and one forwarded RPC
+///   over its persistent backend connection).
+/// * `failover/*` — what does losing the home backend cost a live
+///   cursor? Both ids run the same full cycle — start two backends and
+///   a router, prepare, take one page, take a second page, tear down —
+///   but `kill-resume-cycle` kills the session's home backend between
+///   the pages, so the second page pays death detection (the router's
+///   fast-fail retry budget), ring shrink, re-prepare on the survivor,
+///   and cursor resume from the last acknowledged token. The
+///   failover-resume latency is the *difference* between the two cycle
+///   means; `scripts/bench.sh` records it in `BENCH_serve.json` as
+///   `failover_resume_ms`.
+fn serve_route_overhead(c: &mut Criterion) {
+    use lsc_core::engine::{PreparedInstance, ShardMap};
+    use lsc_core::serve::{BackendSpec, ClientConfig, RouteConfig, Router};
+    use std::time::Duration;
+
+    let mut group = c.benchmark_group("serve/e24-route-overhead");
+    group.sample_size(10);
+    let small = |mut config: ServeConfig| {
+        config.workers = 1;
+        config.queue_depth = 8;
+        config
+    };
+    // Fast-fail forwarding: a dead backend should cost milliseconds to
+    // detect, not the client-default retry budget.
+    let route_config = |backends: Vec<BackendSpec>| RouteConfig {
+        backends,
+        client: ClientConfig {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            io_timeout: Some(Duration::from_secs(2)),
+            ..ClientConfig::default()
+        },
+        ..RouteConfig::default()
+    };
+
+    // Part 1 — warm count RTT, direct vs via the router.
+    let w = workloads::engine_ufa_instance();
+    let text = lsc_automata::io::to_text(&w.nfa).replace('\n', "\\n");
+    let prepare_line = format!(r#"{{"op":"prepare","nfa_text":"{text}","length":{}}}"#, w.n);
+    let server = Server::new(small(ServeConfig::default())).unwrap();
+    let mut backend = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let router = Router::new(route_config(vec![BackendSpec::new(
+        backend.addr().to_string(),
+    )]))
+    .unwrap();
+    let mut front = router.spawn_tcp("127.0.0.1:0").unwrap();
+    for (name, addr) in [("direct", backend.addr()), ("via-router", front.addr())] {
+        let (mut reader, mut writer) = connect(addr);
+        let prepared = rpc(&mut reader, &mut writer, &prepare_line);
+        let session = field(&prepared, "session").to_string();
+        let count_line = format!(r#"{{"op":"count","session":"{session}"}}"#);
+        // Eight RPCs per iteration: a single warm RTT is ~20µs, small
+        // enough that one scheduler preemption swamps a 5-sample mean
+        // and trips the bench_check gate. The hop *ratio* is unchanged.
+        rpc(&mut reader, &mut writer, &count_line); // warm the route
+        group.bench_function(BenchmarkId::new("count-warm", name), |b| {
+            b.iter(|| {
+                for _ in 0..8 {
+                    rpc(&mut reader, &mut writer, &count_line);
+                }
+            });
+        });
+    }
+    front.shutdown();
+    backend.shutdown();
+    server.shutdown();
+
+    // Part 2 — the failover cycle, with and without the kill. The home
+    // backend is computed the way the router computes it (`ShardMap`
+    // over two shards with the default replica count), so the kill
+    // always hits the node actually holding the cursor.
+    let pattern = "(0|1)*11";
+    let length = 12usize;
+    let alphabet = lsc_automata::Alphabet::from_chars(&['0', '1']);
+    let nfa = lsc_automata::regex::Regex::parse(pattern, &alphabet)
+        .unwrap()
+        .compile();
+    let fingerprint = PreparedInstance::instance_fingerprint(&nfa, length);
+    let home = ShardMap::new(2, RouteConfig::default().ring_replicas).shard_for(fingerprint);
+    let prepare_line = format!(r#"{{"op":"prepare","regex":"{pattern}","length":{length}}}"#);
+    for (name, kill) in [("fault-free-cycle", false), ("kill-resume-cycle", true)] {
+        group.bench_function(BenchmarkId::new("failover", name), |b| {
+            b.iter(|| {
+                let mut nodes: Vec<Option<(Server, _)>> = (0..2)
+                    .map(|_| {
+                        let server = Server::new(small(ServeConfig::default())).unwrap();
+                        let tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
+                        Some((server, tcp))
+                    })
+                    .collect();
+                let specs = nodes
+                    .iter()
+                    .map(|n| BackendSpec::new(n.as_ref().unwrap().1.addr().to_string()))
+                    .collect();
+                let router = Router::new(route_config(specs)).unwrap();
+                let mut front = router.spawn_tcp("127.0.0.1:0").unwrap();
+                let (mut reader, mut writer) = connect(front.addr());
+                let prepared = rpc(&mut reader, &mut writer, &prepare_line);
+                let session = field(&prepared, "session").to_string();
+                let page_line =
+                    format!(r#"{{"op":"enumerate","session":"{session}","page_size":8}}"#);
+                rpc(&mut reader, &mut writer, &page_line);
+                if kill {
+                    let (server, mut tcp) = nodes[home].take().unwrap();
+                    tcp.shutdown();
+                    server.shutdown();
+                }
+                let resumed = rpc(&mut reader, &mut writer, &page_line);
+                assert!(resumed.contains("\"rank\":16"), "cursor lost: {resumed}");
+                drop((reader, writer));
+                front.shutdown();
+                for node in nodes.into_iter().flatten() {
+                    let (server, mut tcp) = node;
+                    tcp.shutdown();
+                    server.shutdown();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     serve_request_latency,
@@ -459,6 +594,7 @@ criterion_group!(
     serve_warm_restart,
     serve_shard_scaling,
     serve_sketch_persistence,
-    serve_connection_scaling
+    serve_connection_scaling,
+    serve_route_overhead
 );
 criterion_main!(benches);

@@ -47,8 +47,10 @@
 //! so a machine crash cannot reorder the rename ahead of the data. Opening
 //! a store sweeps the debris earlier crashes can leave: stale `*.tmp`
 //! files (a writer died mid-save) are deleted, and `*.snap` files that
-//! fail validation are *quarantined* — renamed to `*.snap.quarantined`, out
-//! of the serving path but on disk for inspection — instead of crashing
+//! fail validation are *quarantined* — renamed to the first free
+//! `*.snap.quarantined.N`, out of the serving path but on disk for
+//! inspection (numbered, so repeated corruptions of one fingerprint keep
+//! every artifact) — instead of crashing
 //! the startup or being served. The sweep's findings are reported in
 //! [`SweepReport`] (surfaced by the server's `health`/`stats` verbs). The
 //! net recovery contract: after a crash at *any* write boundary, a
@@ -134,13 +136,14 @@ pub struct WarmReport {
 
 /// What the crash-recovery sweep at [`SnapshotStore::open`] found: debris
 /// from interrupted writers (stale temp files, deleted) and snapshots that
-/// failed validation (quarantined as `*.snap.quarantined`, never served).
+/// failed validation (quarantined as `*.snap.quarantined.N`, never served).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SweepReport {
     /// Stale `*.tmp` files deleted (a writer crashed mid-save).
     pub tmp_removed: usize,
     /// Corrupt or truncated `*.snap` files renamed out of the serving
-    /// path (`*.snap.quarantined`).
+    /// path (`*.snap.quarantined.N` — numbered so repeated corruptions of
+    /// one fingerprint never overwrite an earlier artifact).
     pub quarantined: usize,
 }
 
@@ -348,6 +351,52 @@ impl SnapshotStore {
         self.load(&self.path_for(fingerprint))
     }
 
+    /// Reads the raw, fully validated bytes of one fingerprint's snapshot
+    /// — the replication unit a cluster router ships to another node's
+    /// store via [`SnapshotStore::import_bytes`]. The bytes are decoded
+    /// end-to-end before they are handed out, so a corrupt file is
+    /// rejected here rather than shipped.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] when the file is missing or unreadable,
+    /// [`SnapshotError::Corrupt`] when it fails validation or its header
+    /// names a different fingerprint than the caller asked for.
+    pub fn export_fingerprint(&self, fingerprint: u64) -> Result<Vec<u8>, SnapshotError> {
+        // lsc-analyze: allow(unrouted-io) reason="read-side export; the shipping caller decides SnapshotShip faults before invoking this, and a failed read surfaces as a failed ship"
+        let bytes = std::fs::read(self.path_for(fingerprint))?;
+        let (inst, _) = decode(&bytes)?;
+        if inst.fingerprint() != fingerprint {
+            return Err(SnapshotError::Corrupt(
+                "exported file's header names a different fingerprint".to_string(),
+            ));
+        }
+        Ok(bytes)
+    }
+
+    /// Validates shipped snapshot bytes and publishes them into this store
+    /// under their own fingerprint — the same durable temp-file + rename +
+    /// directory-fsync path as [`SnapshotStore::save`] (and the same
+    /// [`crate::serve::faults::FaultSite::SnapshotWrite`] fault decisions),
+    /// so a crash mid-import leaves sweepable debris, never a torn
+    /// artifact. The store's save index is seeded so a later identical
+    /// save is skipped. Returns the imported fingerprint.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Corrupt`] when the bytes fail validation (nothing
+    /// is written), [`SnapshotError::Io`] on publish failure.
+    pub fn import_bytes(&self, bytes: &[u8]) -> Result<u64, SnapshotError> {
+        let (inst, checksum) = decode(bytes)?;
+        let fingerprint = inst.fingerprint();
+        let path = self.path_for(fingerprint);
+        let tmp = self.dir.join(format!("{fingerprint:016x}.tmp"));
+        self.publish(&tmp, &path, bytes)?;
+        self.saved
+            .lock()
+            .expect("snapshot index poisoned")
+            .insert(fingerprint, checksum);
+        Ok(fingerprint)
+    }
+
     /// Restores every valid snapshot in the directory into the engine's
     /// instance cache ([`Engine::insert_prepared`]), so a restarted server
     /// answers repeat traffic as cache hits instead of recompiling. Corrupt
@@ -415,7 +464,7 @@ fn fsync_dir(dir: &Path) -> std::io::Result<()> {
 }
 
 /// The open-time crash-recovery sweep: delete stale `*.tmp` files and
-/// rename invalid `*.snap` files to `*.snap.quarantined`. Best-effort —
+/// rename invalid `*.snap` files to `*.snap.quarantined.N`. Best-effort —
 /// an entry that cannot be read or renamed is left alone (warm passes
 /// still refuse to serve it).
 fn sweep_debris(dir: &Path) -> SweepReport {
@@ -438,10 +487,11 @@ fn sweep_debris(dir: &Path) -> SweepReport {
                     .and_then(|bytes| decode(&bytes))
                     .is_ok();
                 if !valid {
-                    let mut quarantine = path.clone().into_os_string();
-                    quarantine.push(".quarantined");
+                    // Numbered suffix: a second corruption of the same
+                    // fingerprint must land beside the first artifact, not
+                    // overwrite it.
                     // lsc-analyze: allow(unrouted-io) reason="open-time debris sweep; driven through every byte-boundary crash point by the crash-safety suite"
-                    if std::fs::rename(&path, &quarantine).is_ok() {
+                    if std::fs::rename(&path, quarantine_path(&path)).is_ok() {
                         report.quarantined += 1;
                     }
                 }
@@ -450,6 +500,22 @@ fn sweep_debris(dir: &Path) -> SweepReport {
         }
     }
     report
+}
+
+/// The first free `<name>.snap.quarantined.N` (N from 1) beside `path`.
+/// Each corruption of the same fingerprint gets its own numbered artifact;
+/// a fixed suffix would silently overwrite the previous one.
+fn quarantine_path(path: &Path) -> PathBuf {
+    let base = path.as_os_str().to_os_string();
+    for n in 1u64.. {
+        let mut candidate = base.clone();
+        candidate.push(format!(".quarantined.{n}"));
+        let candidate = PathBuf::from(candidate);
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("u64 quarantine numbers cannot be exhausted")
 }
 
 // ---- payload codec ----
@@ -966,6 +1032,77 @@ mod tests {
         assert_eq!(reopened.sweep_report().quarantined, 1);
         assert!(!path.exists());
         std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn repeated_corruptions_quarantine_under_distinct_numbered_names() {
+        let store = temp_store("double-corrupt");
+        let inst = warmed_instance();
+        store.save(&inst).unwrap();
+        let path = store.path_for(inst.fingerprint());
+        let good = std::fs::read(&path).unwrap();
+
+        // First corruption: flip a payload byte, reopen, sweep quarantines.
+        let mut bad = good.clone();
+        bad[HEADER_LEN] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let reopened = SnapshotStore::open(store.dir()).unwrap();
+        assert_eq!(reopened.sweep_report().quarantined, 1);
+        assert!(!path.exists());
+        let first = PathBuf::from(format!("{}.quarantined.1", path.display()));
+        assert!(first.exists(), "first artifact at .quarantined.1");
+
+        // Second corruption of the *same fingerprint*, differently broken.
+        let mut worse = good.clone();
+        worse[HEADER_LEN + 1] ^= 0xFF;
+        std::fs::write(&path, &worse).unwrap();
+        let reopened = SnapshotStore::open(store.dir()).unwrap();
+        assert_eq!(reopened.sweep_report().quarantined, 1, "this sweep's count");
+        let second = PathBuf::from(format!("{}.quarantined.2", path.display()));
+        assert!(
+            first.exists() && second.exists(),
+            "both corrupt artifacts kept on disk under distinct names"
+        );
+        assert_eq!(std::fs::read(&first).unwrap(), bad, "first artifact intact");
+        assert_eq!(std::fs::read(&second).unwrap(), worse);
+        // Quarantined files are out of the serving path: a warm pass over
+        // the directory sees neither.
+        let engine = Engine::with_defaults();
+        assert_eq!(reopened.warm(&engine), WarmReport::default());
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn export_import_ships_a_snapshot_between_stores() {
+        let src = temp_store("ship-src");
+        let dst = temp_store("ship-dst");
+        let inst = warmed_instance();
+        src.save(&inst).unwrap();
+        let bytes = src.export_fingerprint(inst.fingerprint()).unwrap();
+        assert_eq!(dst.import_bytes(&bytes).unwrap(), inst.fingerprint());
+        // The shipped snapshot serves bit-identical answers from the
+        // destination store...
+        let warm = dst.load_fingerprint(inst.fingerprint()).unwrap();
+        assert_eq!(warm.count_exact().unwrap(), inst.count_exact().unwrap());
+        // ...and seeded the save index: an identical save is a no-op.
+        assert!(!dst.save(&inst).unwrap());
+        // Corrupt bytes are rejected without writing anything.
+        let other = temp_store("ship-reject");
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN] ^= 0xFF;
+        assert!(matches!(
+            other.import_bytes(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        assert!(!other.path_for(inst.fingerprint()).exists());
+        // Exporting a missing fingerprint is an I/O error, not a panic.
+        assert!(matches!(
+            other.export_fingerprint(0xDEAD),
+            Err(SnapshotError::Io(_))
+        ));
+        for store in [src, dst, other] {
+            std::fs::remove_dir_all(store.dir()).ok();
+        }
     }
 
     #[test]

@@ -163,6 +163,11 @@ struct SessionEntry {
     session: Option<String>,
     /// The last resume token received for this session's cursor.
     token: Option<String>,
+    /// The full response of the most recent server-side `prepare` —
+    /// fingerprint, states, unambiguous, cached — so a proxying caller
+    /// (the cluster router) can forward the backend's prepare fields
+    /// without a second round trip.
+    prepared: Option<Json>,
 }
 
 /// One live connection: a buffered reader over a cloned read half plus
@@ -219,6 +224,21 @@ impl Client {
         self.sessions.get(alias)?.token.as_deref()
     }
 
+    /// The full response of the most recent server-side `prepare` for
+    /// `alias` (fingerprint, length, states, unambiguous, cached), if one
+    /// has happened on the current connection's lifetime. The cluster
+    /// router forwards these fields to its own caller verbatim.
+    pub fn last_prepare(&self, alias: &str) -> Option<&Json> {
+        self.sessions.get(alias)?.prepared.as_ref()
+    }
+
+    /// Drops the client-side record for `alias` (the server session, if
+    /// any, idles out by TTL). A later call with the same alias starts
+    /// from a fresh `prepare`.
+    pub fn forget(&mut self, alias: &str) {
+        self.sessions.remove(alias);
+    }
+
     /// Seeds `alias`'s cursor position from a token saved elsewhere: the
     /// next [`Client::enumerate_page`] resumes there.
     pub fn resume_from(
@@ -255,6 +275,7 @@ impl Client {
                 length,
                 session: None,
                 token: None,
+                prepared: None,
             },
         );
         // The generic session machinery re-prepares on demand; driving it
@@ -582,6 +603,7 @@ impl Client {
         self.stats.re_prepares += 1;
         if let Some(entry) = self.sessions.get_mut(alias) {
             entry.session = Some(session.clone());
+            entry.prepared = Some(value);
         }
         Ok(session)
     }
@@ -716,7 +738,7 @@ fn prepare_line(spec: &InstanceSpec, length: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::serve::{ServeConfig, Server};
+    use crate::serve::{FaultConfig, FaultPlan, ServeConfig, Server};
 
     fn spawn() -> (Server, crate::serve::TcpServerHandle) {
         let server = Server::new(ServeConfig::default()).unwrap();
@@ -821,6 +843,86 @@ mod tests {
         assert_ne!(first.get("words"), second.get("words"));
         assert_eq!(second.get("rank").and_then(Json::as_u64), Some(4));
         client.bye();
+        server.shutdown();
+    }
+
+    #[test]
+    fn replay_mid_pagination_resumes_from_the_last_acknowledged_token() {
+        // The resume-after-`unknown-session` audit, pinned end to end: a
+        // paged enumerate under injected stream faults *and* aggressive
+        // session eviction must assemble exactly the fault-free page
+        // sequence — never a duplicated first page (replaying the
+        // original `enumerate` instead of the last acked token), never a
+        // skipped page (trusting a server-side cursor that advanced on a
+        // torn reply). Every retried page is sent with an explicit
+        // `resume` token captured *before* the attempt.
+        let spec = || InstanceSpec::Regex {
+            pattern: "(0|1)*11".to_string(),
+            alphabet: None,
+        };
+        let paginate = |client: &mut Client, pause_every: Option<usize>| {
+            client.prepare("job", spec(), 8).unwrap();
+            let mut words = Vec::new();
+            let mut pages = 0usize;
+            loop {
+                let page = client.enumerate_page("job", Some(2)).unwrap();
+                if let Some(Json::Arr(items)) = page.get("words") {
+                    words.extend(items.iter().filter_map(|w| w.as_str().map(str::to_string)));
+                }
+                pages += 1;
+                if page.get("done") == Some(&Json::Bool(true)) {
+                    break;
+                }
+                if pause_every.is_some_and(|n| pages.is_multiple_of(n)) {
+                    // Outlive the server's session TTL mid-pagination so
+                    // the next page replays through `unknown-session`.
+                    std::thread::sleep(Duration::from_millis(220));
+                }
+            }
+            client.bye();
+            words
+        };
+
+        // Fault-free single-server reference.
+        let (server, handle) = spawn();
+        let mut client = Client::new(handle.addr().to_string(), quick_config());
+        let expected = paginate(&mut client, None);
+        assert!(expected.len() > 16, "workload too small to paginate");
+        server.shutdown();
+
+        // The same pagination under chaos-rate stream faults plus a
+        // session TTL shorter than the mid-run pauses.
+        let plan = FaultPlan::new(FaultConfig {
+            disk_error_per_1024: 0, // no snapshots in this test
+            torn_write_per_1024: 0,
+            ..FaultConfig::chaos(0x7E57_0003)
+        });
+        let config = ServeConfig {
+            session_ttl: Duration::from_millis(150),
+            faults: Some(plan.clone()),
+            ..ServeConfig::default()
+        };
+        let server = Server::new(config).unwrap();
+        let handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+        let mut client = Client::new(
+            handle.addr().to_string(),
+            ClientConfig {
+                max_attempts: 64,
+                ..quick_config()
+            },
+        );
+        let got = paginate(&mut client, Some(6));
+        assert_eq!(expected, got, "pages duplicated or skipped under replay");
+        let stats = client.stats();
+        assert!(
+            stats.re_prepares >= 3,
+            "the eviction path never fired (re_prepares={})",
+            stats.re_prepares
+        );
+        assert!(
+            plan.stats().total() > 0,
+            "no faults fired; the run was not actually under injection"
+        );
         server.shutdown();
     }
 

@@ -436,7 +436,13 @@ impl EventLoop {
                     self.close_conn(token, true);
                     return;
                 }
-                Ok(n) => conn.woff += n,
+                Ok(n) => {
+                    conn.woff += n;
+                    // A partial write is peer progress: a slow reader
+                    // draining a large response must not look idle to
+                    // `sweep_idle` while it is still consuming bytes.
+                    conn.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 // Peer reset or an injected EventWrite fault (a mid-frame
@@ -487,7 +493,14 @@ impl EventLoop {
         let dead: Vec<usize> = self
             .conns
             .iter()
-            .filter(|(_, conn)| !conn.inflight && conn.last_activity.elapsed() > timeout)
+            .filter(|(_, conn)| {
+                // Pipelined lines not yet submitted count as activity the
+                // server owes, and partial writes bump `last_activity`, so
+                // a slow reader draining a backpressured `wbuf` is never
+                // reaped mid-drain — only a peer making *no* progress for
+                // a full timeout window is.
+                !conn.inflight && conn.pending.is_empty() && conn.last_activity.elapsed() > timeout
+            })
             .map(|(&token, _)| token)
             .collect();
         for token in dead {

@@ -69,19 +69,28 @@ pub enum FaultSite {
     /// A nonblocking write driven by a readiness event (event-loop
     /// transport).
     EventWrite,
+    /// A router front connection or a router→backend forward (cluster
+    /// router). Its own decision stream so router chaos does not alias
+    /// the backends' stream schedules.
+    RouterForward,
+    /// A snapshot export/import shipped between stores by the router on
+    /// topology change.
+    SnapshotShip,
 }
 
 impl FaultSite {
     /// Every fault site in the stack, in stats-index order. Tests iterate
     /// this instead of hand-listing variants so a new site cannot ship
     /// without chaos coverage.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::StreamRead,
         FaultSite::StreamWrite,
         FaultSite::SnapshotWrite,
         FaultSite::Job,
         FaultSite::EventRead,
         FaultSite::EventWrite,
+        FaultSite::RouterForward,
+        FaultSite::SnapshotShip,
     ];
 
     fn salt(self) -> u64 {
@@ -92,6 +101,8 @@ impl FaultSite {
             FaultSite::Job => 0x5EAD_0004,
             FaultSite::EventRead => 0x5EAD_0005,
             FaultSite::EventWrite => 0x5EAD_0006,
+            FaultSite::RouterForward => 0x5EAD_0007,
+            FaultSite::SnapshotShip => 0x5EAD_0008,
         }
     }
 
@@ -103,6 +114,8 @@ impl FaultSite {
             FaultSite::Job => 3,
             FaultSite::EventRead => 4,
             FaultSite::EventWrite => 5,
+            FaultSite::RouterForward => 6,
+            FaultSite::SnapshotShip => 7,
         }
     }
 }
@@ -246,7 +259,7 @@ impl FaultStats {
 pub struct FaultPlan {
     config: FaultConfig,
     /// One operation counter per site (indexed by [`FaultSite::index`]).
-    counters: [AtomicU64; 6],
+    counters: [AtomicU64; 8],
     short_reads: AtomicU64,
     partial_writes: AtomicU64,
     resets: AtomicU64,
@@ -262,6 +275,8 @@ impl FaultPlan {
         Arc::new(FaultPlan {
             config,
             counters: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
                 AtomicU64::new(0),
@@ -312,8 +327,17 @@ impl FaultPlan {
             FaultSite::StreamWrite | FaultSite::EventWrite => hit(c.reset_per_1024, Fault::Reset)
                 .or_else(|| hit(c.partial_write_per_1024, Fault::PartialWrite))
                 .or_else(|| hit(c.slow_io_per_1024, Fault::SlowIo)),
-            FaultSite::SnapshotWrite => hit(c.disk_error_per_1024, Fault::DiskError)
-                .or_else(|| hit(c.torn_write_per_1024, Fault::TornWrite)),
+            // Router front/forward traffic is duplex behind one site; the
+            // reset band covers both directions and the read-only /
+            // write-only bands are applied by whichever half draws them.
+            FaultSite::RouterForward => hit(c.reset_per_1024, Fault::Reset)
+                .or_else(|| hit(c.short_read_per_1024, Fault::ShortRead))
+                .or_else(|| hit(c.partial_write_per_1024, Fault::PartialWrite))
+                .or_else(|| hit(c.slow_io_per_1024, Fault::SlowIo)),
+            FaultSite::SnapshotWrite | FaultSite::SnapshotShip => {
+                hit(c.disk_error_per_1024, Fault::DiskError)
+                    .or_else(|| hit(c.torn_write_per_1024, Fault::TornWrite))
+            }
             FaultSite::Job => hit(c.job_panic_per_1024, Fault::Panic),
         }
     }

@@ -23,6 +23,11 @@
 //! * [`client`] — the reconnecting client: exponential backoff with
 //!   seeded jitter, `retry_after_ms` honored, idle-safe verbs replayed,
 //!   cursors resumed from their last token across resets and restarts.
+//! * [`router`] — the cluster front-end (`nfa_tool route`): the same
+//!   wire protocol, forwarded by instance fingerprint over a
+//!   [`ShardMap`](crate::engine::ShardMap) ring of backend `serve`
+//!   nodes, with snapshot shipping on topology change and
+//!   failover-with-cursor-survival on backend death.
 //!
 //! [`Server`] assembles them around one shared
 //! [`ShardedEngine`](crate::engine::ShardedEngine) — N independent
@@ -55,6 +60,7 @@ pub mod faults;
 pub mod json;
 mod pool;
 pub mod protocol;
+pub mod router;
 mod server;
 mod session;
 
@@ -62,5 +68,6 @@ pub use client::{Client, ClientConfig, ClientError, ClientStats};
 pub use faults::{Fault, FaultConfig, FaultPlan, FaultSite, FaultStats, FaultyStream};
 pub use pool::{PoolStats, SubmitError, WorkerPool};
 pub use protocol::{ErrorCode, WireError, PROTOCOL_VERSION};
+pub use router::{BackendSpec, RouteConfig, RouteStats, Router};
 pub use server::{Reply, ServeConfig, ServeStats, Server, TcpServerHandle, Transport};
 pub use session::SessionRegistry;

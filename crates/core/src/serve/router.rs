@@ -1,0 +1,1095 @@
+//! The cluster router: the shard ring over the network.
+//!
+//! [`Router`] is a front-end that speaks the serve layer's JSON-lines
+//! wire protocol *unmodified* and forwards every session-scoped request
+//! to one of N backend `nfa_tool serve` nodes. Placement is the same
+//! consistent-hash ring the in-process [`ShardedEngine`] uses — a
+//! [`ShardMap`] keyed by **instance fingerprint**, computed locally from
+//! the `prepare` spec — so a fingerprint's home node is a pure function
+//! of the ring membership, and adding or removing a node moves only the
+//! bounded set of fingerprints the ring reassigns.
+//!
+//! Three properties make failover-with-cursor-survival work by
+//! construction rather than by protocol extension:
+//!
+//! * **Sessions are re-preparable.** Each backend is driven through one
+//!   multiplexed reconnecting [`Client`], which keeps the `(spec,
+//!   length)` registry needed to re-`prepare` any alias after a reset,
+//!   restart, or idle eviction.
+//! * **Resume tokens are self-contained** (`enum1.<fp>.…`): the last
+//!   *acknowledged* token for a cursor replays bit-identically on any
+//!   node that has (or re-prepares) the instance, so a mid-stream
+//!   `enumerate` survives its home node dying.
+//! * **Snapshots are the replication unit.** On `prepare` the router
+//!   ships the checksummed `<fp>.snap` artifact from the home node's
+//!   snapshot store to the ring replica
+//!   ([`SnapshotStore::export_fingerprint`] →
+//!   [`SnapshotStore::import_bytes`]); on [`Router::add_backend`] it
+//!   ships every fingerprint whose home the new ring assigns to the
+//!   joining node. A node started (or restarted) *after* the ship warms
+//!   the instance from disk instead of recompiling.
+//!
+//! Failure routing: front-connection I/O draws from
+//! [`FaultSite::RouterForward`], snapshot shipping from
+//! [`FaultSite::SnapshotShip`]; backend sockets keep their own sites
+//! inside [`Client`]. When a backend exhausts its retry budget the
+//! router marks it dead, removes it from the ring, re-resolves the
+//! fingerprint, re-prepares on the survivor, seeds the cursor from the
+//! last acknowledged token, and replays the request — the caller sees
+//! one slow page, not an error. Aggregation verbs (`stats`, `health`)
+//! fan out to every live backend and merge counter-wise (documented in
+//! `docs/ARCHITECTURE.md` §8).
+//!
+//! [`ShardedEngine`]: crate::engine::ShardedEngine
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lsc_automata::regex::Regex;
+use lsc_automata::{io as nfa_io, Alphabet};
+
+use crate::engine::{PreparedInstance, ShardMap, SnapshotStore};
+use crate::serve::client::{Client, ClientConfig, ClientError};
+use crate::serve::faults::{FaultPlan, FaultSite, FaultyStream};
+use crate::serve::json::Json;
+use crate::serve::protocol::{
+    error_response, ok_response, parse_request, ErrorCode, InstanceSpec, Request, WireError,
+};
+use crate::serve::server::TcpServerHandle;
+
+/// One backend node: where it listens and, if it persists snapshots,
+/// where — the directory the router ships replication artifacts into
+/// and out of. It must be the same directory the backend's own
+/// `ServeConfig::snapshot_dir` names, reachable from the router process
+/// (same host or shared filesystem).
+#[derive(Clone, Debug)]
+pub struct BackendSpec {
+    /// `host:port` of the backend's `nfa_tool serve` listener.
+    pub addr: String,
+    /// The backend's snapshot directory, if it runs with one.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl BackendSpec {
+    /// A backend with no snapshot store (shipping to/from it is a no-op).
+    pub fn new(addr: impl Into<String>) -> BackendSpec {
+        BackendSpec {
+            addr: addr.into(),
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Router configuration. `Default` is a zero-backend stub — a usable
+/// router needs at least one [`BackendSpec`].
+#[derive(Clone, Debug)]
+pub struct RouteConfig {
+    /// The backend fleet, index-identified: backend `i` is ring shard `i`.
+    pub backends: Vec<BackendSpec>,
+    /// Per-backend reconnecting-client tuning (retry budget, backoff).
+    pub client: ClientConfig,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub ring_replicas: usize,
+    /// Alphabet for `prepare` regexes that don't name one — must match
+    /// the backends' `default_alphabet` or local fingerprints diverge
+    /// from backend fingerprints.
+    pub default_alphabet: String,
+    /// Idle front-connection reap timeout (mirrors `ServeConfig`).
+    pub read_timeout: Option<Duration>,
+    /// Front-connection write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Deterministic fault injection for front connections
+    /// ([`FaultSite::RouterForward`]) and snapshot shipping
+    /// ([`FaultSite::SnapshotShip`]). `None` is a passthrough.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for RouteConfig {
+    fn default() -> RouteConfig {
+        RouteConfig {
+            backends: Vec::new(),
+            client: ClientConfig::default(),
+            ring_replicas: 64,
+            default_alphabet: "01".to_string(),
+            read_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            faults: None,
+        }
+    }
+}
+
+/// Router counters (a point-in-time snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Requests forwarded to a backend (aggregation verbs count once).
+    pub forwarded: u64,
+    /// Sessions migrated to a surviving backend after their home died.
+    pub failovers: u64,
+    /// Backends declared dead and removed from the ring.
+    pub backends_lost: u64,
+    /// Snapshot artifacts shipped between backend stores.
+    pub snapshots_shipped: u64,
+    /// Ships that failed (missing artifact, injected fault, I/O error).
+    /// Non-fatal: the receiving node recompiles instead of warming.
+    pub ship_failures: u64,
+}
+
+/// One routed session: everything needed to re-home it.
+#[derive(Clone, Debug)]
+struct Route {
+    spec: InstanceSpec,
+    length: usize,
+    fingerprint: u64,
+    /// The backend currently holding this alias (its client owns the
+    /// last acknowledged resume token).
+    backend: usize,
+}
+
+struct Backend {
+    client: Mutex<Client>,
+    store: Option<SnapshotStore>,
+    alive: AtomicBool,
+}
+
+struct RouterInner {
+    config: RouteConfig,
+    backends: Mutex<Vec<Arc<Backend>>>,
+    ring: Mutex<ShardMap>,
+    routes: Mutex<HashMap<String, Route>>,
+    next_session: AtomicU64,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    backends_lost: AtomicU64,
+    snapshots_shipped: AtomicU64,
+    ship_failures: AtomicU64,
+}
+
+/// The cluster front-end. See the module docs for the routing and
+/// failover contract; `docs/ARCHITECTURE.md` §8 is the operator view.
+pub struct Router {
+    inner: Arc<RouterInner>,
+}
+
+impl Router {
+    /// Builds a router over `config.backends` (ring shard `i` =
+    /// backend `i`). Opens each named snapshot directory; no backend
+    /// connection is made until the first forwarded request.
+    ///
+    /// # Errors
+    /// `InvalidInput` with no backends; snapshot-directory failures
+    /// propagate.
+    pub fn new(config: RouteConfig) -> std::io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let backends = config
+            .backends
+            .iter()
+            .map(|spec| backend_for(spec, &config.client))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let ring = ShardMap::new(backends.len(), config.ring_replicas);
+        Ok(Router {
+            inner: Arc::new(RouterInner {
+                backends: Mutex::new(backends),
+                ring: Mutex::new(ring),
+                routes: Mutex::new(HashMap::new()),
+                next_session: AtomicU64::new(0),
+                forwarded: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                backends_lost: AtomicU64::new(0),
+                snapshots_shipped: AtomicU64::new(0),
+                ship_failures: AtomicU64::new(0),
+                config,
+            }),
+        })
+    }
+
+    /// Router counters so far.
+    pub fn stats(&self) -> RouteStats {
+        let inner = &self.inner;
+        RouteStats {
+            forwarded: inner.forwarded.load(Ordering::Relaxed),
+            failovers: inner.failovers.load(Ordering::Relaxed),
+            backends_lost: inner.backends_lost.load(Ordering::Relaxed),
+            snapshots_shipped: inner.snapshots_shipped.load(Ordering::Relaxed),
+            ship_failures: inner.ship_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Joins a backend to the ring and ships every known fingerprint the
+    /// new ring homes on it (so a node started *after* this call warms
+    /// those instances from disk). Returns the new backend's index.
+    ///
+    /// # Errors
+    /// Snapshot-directory failures propagate; the ring is unchanged.
+    pub fn add_backend(&self, spec: BackendSpec) -> std::io::Result<usize> {
+        let backend = backend_for(&spec, &self.inner.config.client)?;
+        let mut backends = self.inner.backends.lock().expect("backends poisoned");
+        let id = backends.len();
+        backends.push(backend);
+        drop(backends);
+        self.inner.ring.lock().expect("ring poisoned").add_shard(id);
+        // Re-home shipped artifacts: each distinct fingerprint whose home
+        // the grown ring moved onto the joiner gets its snapshot shipped
+        // from wherever it currently lives.
+        let moved: Vec<(u64, usize)> = {
+            let ring = self.inner.ring.lock().expect("ring poisoned");
+            let routes = self.inner.routes.lock().expect("routes poisoned");
+            let mut seen = HashSet::new();
+            routes
+                .values()
+                .filter(|route| seen.insert(route.fingerprint))
+                .filter(|route| ring.shard_for(route.fingerprint) == id)
+                .map(|route| (route.fingerprint, route.backend))
+                .collect()
+        };
+        for (fingerprint, from) in moved {
+            self.inner.ship(fingerprint, from, id);
+        }
+        Ok(id)
+    }
+
+    /// Removes a backend from the ring (existing sessions re-home on
+    /// their next request). Returns `false` for the last live backend —
+    /// the ring refuses to become empty.
+    pub fn remove_backend(&self, id: usize) -> bool {
+        self.inner.retire_backend(id)
+    }
+
+    /// Serves the wire protocol on `addr`, thread-per-connection (the
+    /// router's work per request is one forwarded RPC, so a blocking
+    /// thread per front connection is the right shape). Returns a handle
+    /// whose `shutdown` stops the accept loop.
+    ///
+    /// # Errors
+    /// Propagates `bind` failures.
+    pub fn spawn_tcp(&self, addr: &str) -> std::io::Result<TcpServerHandle> {
+        // lsc-analyze: allow(unrouted-io) reason="one-time listener setup; per-connection streams below wrap in FaultyStream at the RouterForward site"
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let inner = self.inner.clone();
+        let stop_flag = stop.clone();
+        let accept = std::thread::Builder::new()
+            .name("lsc-route-accept".to_string())
+            .spawn(move || {
+                // lsc-analyze: allow(unrouted-io) reason="accept loop hands every stream to serve_connection, which wraps it in FaultyStream at the RouterForward site"
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let inner = inner.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("lsc-route-conn".to_string())
+                        .spawn(move || serve_connection(&inner, stream));
+                }
+            })
+            .expect("spawn route accept thread");
+        Ok(TcpServerHandle::threaded(local, stop, accept))
+    }
+}
+
+fn backend_for(spec: &BackendSpec, client: &ClientConfig) -> std::io::Result<Arc<Backend>> {
+    let store = match &spec.snapshot_dir {
+        Some(dir) => Some(SnapshotStore::open(dir)?),
+        None => None,
+    };
+    Ok(Arc::new(Backend {
+        client: Mutex::new(Client::new(spec.addr.clone(), client.clone())),
+        store,
+        alive: AtomicBool::new(true),
+    }))
+}
+
+/// One front connection: parse each line, dispatch, write one response
+/// line — `serve_connection` for the router. Sessions created here are
+/// dropped when the connection ends.
+fn serve_connection(inner: &Arc<RouterInner>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(inner.config.read_timeout);
+    let _ = stream.set_write_timeout(inner.config.write_timeout);
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let plan = inner.config.faults.clone();
+    let reader = BufReader::new(FaultyStream::with_sites(
+        read_half,
+        plan.clone(),
+        FaultSite::RouterForward,
+        FaultSite::RouterForward,
+    ));
+    let mut writer = BufWriter::new(FaultyStream::with_sites(
+        stream,
+        plan,
+        FaultSite::RouterForward,
+        FaultSite::RouterForward,
+    ));
+    let mut local: Vec<String> = Vec::new();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (text, close) = inner.handle_line(&mut local, &line);
+        if writeln!(writer, "{text}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+    for alias in local {
+        inner.drop_route(&alias);
+    }
+}
+
+impl RouterInner {
+    /// Transport-free dispatch: one request line in, one response line
+    /// out plus the close-after flag. `local` accumulates the aliases
+    /// this connection created (front sessions are connection-scoped,
+    /// like the server's).
+    fn handle_line(&self, local: &mut Vec<String>, line: &str) -> (String, bool) {
+        let (id, request) = match parse_request(line) {
+            Ok(envelope) => (envelope.id, envelope.request),
+            Err(error) => return (error_response(None, &error), false),
+        };
+        let close = matches!(request, Request::Bye);
+        let text = match self.dispatch(local, request) {
+            Ok(fields) => ok_response(id.as_ref(), fields),
+            Err(error) => error_response(id.as_ref(), &error),
+        };
+        (text, close)
+    }
+
+    fn dispatch(
+        &self,
+        local: &mut Vec<String>,
+        request: Request,
+    ) -> Result<Vec<(String, Json)>, WireError> {
+        match request {
+            Request::Hello => Ok(vec![
+                ("proto".to_string(), Json::num(1.0)),
+                ("server".to_string(), Json::str("nfa_tool route")),
+            ]),
+            Request::Prepare { spec, length } => self.op_prepare(local, spec, length),
+            Request::Count { session } => {
+                self.forward(&session, |client, alias| client.count(alias))
+            }
+            Request::CountExact { session } => {
+                self.forward(&session, |client, alias| client.count_exact(alias))
+            }
+            Request::Sample {
+                session,
+                count,
+                seed,
+            } => self.forward(&session, move |client, alias| {
+                client.sample(alias, count, seed)
+            }),
+            Request::Enumerate {
+                session,
+                page_size,
+                resume,
+            } => self.forward(&session, move |client, alias| {
+                if let Some(token) = &resume {
+                    client.resume_from(alias, token.clone())?;
+                }
+                client.enumerate_page(alias, page_size)
+            }),
+            Request::Close { session } => {
+                if self.drop_route(&session) {
+                    local.retain(|alias| alias != &session);
+                    Ok(vec![("closed".to_string(), Json::str(session))])
+                } else {
+                    Err(WireError::new(
+                        ErrorCode::UnknownSession,
+                        format!("no session {session:?} on this connection"),
+                    ))
+                }
+            }
+            Request::Stats => self.op_stats(),
+            Request::Health => self.op_health(),
+            Request::Bye => Ok(vec![("bye".to_string(), Json::Bool(true))]),
+        }
+    }
+
+    /// `prepare`: fingerprint the spec locally, route it on the ring,
+    /// prepare on the home backend, ship the snapshot to the ring
+    /// replica, and answer with the *backend's* prepare fields under the
+    /// router-issued session name.
+    fn op_prepare(
+        &self,
+        local: &mut Vec<String>,
+        spec: InstanceSpec,
+        length: usize,
+    ) -> Result<Vec<(String, Json)>, WireError> {
+        let fingerprint = self.fingerprint_of(&spec, length)?;
+        let alias = format!("r{}", self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+        let to_prepare = spec.clone();
+        self.routes.lock().expect("routes poisoned").insert(
+            alias.clone(),
+            Route {
+                spec,
+                length,
+                fingerprint,
+                backend: self.home_of(fingerprint)?.0,
+            },
+        );
+        // `forward`'s migration path re-prepares on its own when the home
+        // moved mid-call; the closure covers the first-landing case.
+        let prepared = self.forward(&alias, move |client, alias| {
+            if client.last_prepare(alias).is_none() {
+                client.prepare(alias, to_prepare.clone(), length)?;
+            }
+            client
+                .last_prepare(alias)
+                .cloned()
+                .ok_or_else(|| ClientError::Usage("prepare response not cached".to_string()))
+        });
+        let fields = match prepared {
+            Ok(fields) => fields,
+            Err(error) => {
+                // No session without a backend prepare.
+                self.drop_route(&alias);
+                return Err(error);
+            }
+        };
+        local.push(alias.clone());
+        // Replicate the artifact ahead of need: the ring minus the home
+        // names the node a failover would land on.
+        if let Ok((home, _)) = self.home_of(fingerprint) {
+            if let Some(replica) = self.replica_of(fingerprint, home) {
+                self.ship(fingerprint, home, replica);
+            }
+        }
+        Ok(fields
+            .into_iter()
+            .map(|(key, value)| {
+                if key == "session" {
+                    (key, Json::str(alias.clone()))
+                } else {
+                    (key, value)
+                }
+            })
+            .collect())
+    }
+
+    /// Runs `op` against the session's home backend, following the ring
+    /// through failovers: a backend that exhausts the client's retry
+    /// budget is retired, the fingerprint re-resolves, the session is
+    /// re-prepared on the survivor with its cursor seeded from the last
+    /// acknowledged token, and `op` replays.
+    fn forward<F>(&self, session: &str, op: F) -> Result<Vec<(String, Json)>, WireError>
+    where
+        F: Fn(&mut Client, &str) -> Result<Json, ClientError>,
+    {
+        loop {
+            let route = self
+                .routes
+                .lock()
+                .expect("routes poisoned")
+                .get(session)
+                .cloned()
+                .ok_or_else(|| {
+                    WireError::new(
+                        ErrorCode::UnknownSession,
+                        format!("no session {session:?} on this connection"),
+                    )
+                })?;
+            let (home, backend) = self.home_of(route.fingerprint)?;
+            if home != route.backend {
+                // The ring moved this session (its home died or the
+                // topology changed): carry the last acknowledged token
+                // across, re-prepare, resume.
+                let token = {
+                    let backends = self.backends.lock().expect("backends poisoned");
+                    let previous = backends[route.backend].clone();
+                    drop(backends);
+                    let client = previous.client.lock().expect("client poisoned");
+                    client.last_token(session).map(str::to_string)
+                };
+                let mut client = backend.client.lock().expect("client poisoned");
+                match client.prepare(session, route.spec.clone(), route.length) {
+                    Ok(_) => {}
+                    Err(ClientError::Exhausted { .. }) => {
+                        drop(client);
+                        self.retire_or_fail(home)?;
+                        continue;
+                    }
+                    Err(error) => return Err(wire_client_error(error)),
+                }
+                if let Some(token) = token {
+                    let _ = client.resume_from(session, token);
+                }
+                drop(client);
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                if let Some(route) = self
+                    .routes
+                    .lock()
+                    .expect("routes poisoned")
+                    .get_mut(session)
+                {
+                    route.backend = home;
+                }
+            }
+            let mut client = backend.client.lock().expect("client poisoned");
+            match op(&mut client, session) {
+                Ok(response) => {
+                    drop(client);
+                    self.forwarded.fetch_add(1, Ordering::Relaxed);
+                    let Json::Obj(fields) = response else {
+                        return Err(WireError::new(
+                            ErrorCode::Internal,
+                            "backend response was not an object",
+                        ));
+                    };
+                    return Ok(fields
+                        .into_iter()
+                        .filter(|(key, _)| key != "ok" && key != "id")
+                        .collect());
+                }
+                Err(ClientError::Exhausted { .. }) => {
+                    drop(client);
+                    self.retire_or_fail(home)?;
+                }
+                Err(error) => return Err(wire_client_error(error)),
+            }
+        }
+    }
+
+    /// The ring's current home for `fingerprint`, as `(index, backend)`.
+    fn home_of(&self, fingerprint: u64) -> Result<(usize, Arc<Backend>), WireError> {
+        let ring = self.ring.lock().expect("ring poisoned");
+        if ring.is_empty() {
+            return Err(no_backends());
+        }
+        let home = ring.shard_for(fingerprint);
+        drop(ring);
+        let backends = self.backends.lock().expect("backends poisoned");
+        Ok((home, backends[home].clone()))
+    }
+
+    /// The node a failover of `fingerprint` would land on: the ring
+    /// without its current home.
+    fn replica_of(&self, fingerprint: u64, home: usize) -> Option<usize> {
+        let mut ring = self.ring.lock().expect("ring poisoned").clone();
+        ring.remove_shard(home).then(|| ring.shard_for(fingerprint))
+    }
+
+    /// Declares backend `id` dead and drops it from the ring; errors
+    /// instead if it is the last one (nothing left to fail over to).
+    fn retire_or_fail(&self, id: usize) -> Result<(), WireError> {
+        if self.retire_backend(id) {
+            Ok(())
+        } else {
+            Err(no_backends())
+        }
+    }
+
+    fn retire_backend(&self, id: usize) -> bool {
+        let backend = {
+            let backends = self.backends.lock().expect("backends poisoned");
+            backends.get(id).cloned()
+        };
+        let Some(backend) = backend else { return false };
+        let removed = self.ring.lock().expect("ring poisoned").remove_shard(id);
+        if removed && backend.alive.swap(false, Ordering::AcqRel) {
+            self.backends_lost.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    fn drop_route(&self, alias: &str) -> bool {
+        let route = self.routes.lock().expect("routes poisoned").remove(alias);
+        let Some(route) = route else { return false };
+        // Release the alias on its backend's client (no I/O; the backend
+        // session idles out by its own TTL).
+        let backends = self.backends.lock().expect("backends poisoned");
+        if let Some(backend) = backends.get(route.backend).cloned() {
+            drop(backends);
+            backend
+                .client
+                .lock()
+                .expect("client poisoned")
+                .forget(alias);
+        }
+        true
+    }
+
+    /// Ships `<fingerprint>.snap` from one backend's store to another's,
+    /// best-effort: a failure (no store, missing artifact, injected
+    /// [`FaultSite::SnapshotShip`] fault, I/O error) is counted and the
+    /// receiving node recompiles instead of warming.
+    fn ship(&self, fingerprint: u64, from: usize, to: usize) {
+        let (src, dst) = {
+            let backends = self.backends.lock().expect("backends poisoned");
+            (backends.get(from).cloned(), backends.get(to).cloned())
+        };
+        let (Some(src), Some(dst)) = (src, dst) else {
+            return;
+        };
+        let (Some(src), Some(dst)) = (&src.store, &dst.store) else {
+            return;
+        };
+        if let Some(plan) = &self.config.faults {
+            if plan.decide(FaultSite::SnapshotShip).is_some() {
+                self.ship_failures.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        match src
+            .export_fingerprint(fingerprint)
+            .and_then(|bytes| dst.import_bytes(&bytes))
+        {
+            Ok(_) => {
+                self.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.ship_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The instance fingerprint `prepare` would compute on any backend:
+    /// compile the spec locally (mirroring the server's spec handling,
+    /// including the default alphabet) and hash it. Placement must be a
+    /// pure function of the spec or the ring and the backends disagree.
+    fn fingerprint_of(&self, spec: &InstanceSpec, length: usize) -> Result<u64, WireError> {
+        let nfa = match spec {
+            InstanceSpec::Regex { pattern, alphabet } => {
+                let chars: Vec<char> = alphabet
+                    .as_deref()
+                    .unwrap_or(&self.config.default_alphabet)
+                    .chars()
+                    .collect();
+                if chars.is_empty() {
+                    return Err(WireError::new(ErrorCode::BadRequest, "empty alphabet"));
+                }
+                let ab = Alphabet::from_chars(&chars);
+                let regex = Regex::parse(pattern, &ab)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                regex.compile()
+            }
+            InstanceSpec::NfaText(text) => nfa_io::from_text(text)
+                .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?,
+        };
+        Ok(PreparedInstance::instance_fingerprint(&nfa, length))
+    }
+
+    /// `stats` over the cluster: per-field sums of every live backend's
+    /// `server` and `engine` sections, one `shards` row per backend
+    /// (`id` = backend index, engine totals as that node reports them),
+    /// plus a `router` section with the ring counters. A backend that
+    /// fails the fan-out is retired exactly as on the request path.
+    fn op_stats(&self) -> Result<Vec<(String, Json)>, WireError> {
+        let mut server_totals: Vec<(String, Json)> = Vec::new();
+        let mut engine_totals: Vec<(String, Json)> = Vec::new();
+        let mut shards: Vec<Json> = Vec::new();
+        for (id, response) in self.fan_out(|client| client.server_stats())? {
+            sum_fields(&mut server_totals, response.get("server"));
+            sum_fields(&mut engine_totals, response.get("engine"));
+            let mut row = vec![("id".to_string(), Json::num(id as f64))];
+            sum_fields(&mut row, response.get("engine"));
+            shards.push(Json::Obj(row));
+        }
+        let stats = self.router_stats_json();
+        Ok(vec![
+            ("server".to_string(), Json::Obj(server_totals)),
+            ("engine".to_string(), Json::Obj(engine_totals)),
+            ("shards".to_string(), Json::Arr(shards)),
+            ("router".to_string(), stats),
+        ])
+    }
+
+    /// `health` over the cluster: `ok` only if every live backend reports
+    /// `ok`; `queued` / `queue_capacity` / `sessions_open` sum;
+    /// `retry_after_ms` is the fleet maximum (the safe wait).
+    fn op_health(&self) -> Result<Vec<(String, Json)>, WireError> {
+        let mut status = "ok";
+        let mut queued = 0.0;
+        let mut capacity = 0.0;
+        let mut sessions = 0.0;
+        let mut retry_after: f64 = 0.0;
+        for (_, response) in self.fan_out(|client| client.health())? {
+            if response.get("status").and_then(Json::as_str) != Some("ok") {
+                status = "saturated";
+            }
+            let num = |key: &str| match response.get(key) {
+                Some(Json::Num(n)) => *n,
+                _ => 0.0,
+            };
+            queued += num("queued");
+            capacity += num("queue_capacity");
+            sessions += num("sessions_open");
+            retry_after = retry_after.max(num("retry_after_ms"));
+        }
+        Ok(vec![
+            ("status".to_string(), Json::str(status)),
+            ("queued".to_string(), Json::num(queued)),
+            ("queue_capacity".to_string(), Json::num(capacity)),
+            ("sessions_open".to_string(), Json::num(sessions)),
+            ("retry_after_ms".to_string(), Json::num(retry_after)),
+        ])
+    }
+
+    /// Runs `op` once per live backend, retiring any that exhaust their
+    /// retry budget; errors only when none are left.
+    fn fan_out<F>(&self, op: F) -> Result<Vec<(usize, Json)>, WireError>
+    where
+        F: Fn(&mut Client) -> Result<Json, ClientError>,
+    {
+        let candidates: Vec<(usize, Arc<Backend>)> = {
+            let ring = self.ring.lock().expect("ring poisoned");
+            let backends = self.backends.lock().expect("backends poisoned");
+            ring.shard_ids()
+                .iter()
+                .filter_map(|&id| backends.get(id).map(|b| (id, b.clone())))
+                .collect()
+        };
+        let mut results = Vec::new();
+        for (id, backend) in candidates {
+            let mut client = backend.client.lock().expect("client poisoned");
+            match op(&mut client) {
+                Ok(response) => results.push((id, response)),
+                Err(ClientError::Exhausted { .. }) => {
+                    drop(client);
+                    self.retire_or_fail(id)?;
+                }
+                Err(error) => return Err(wire_client_error(error)),
+            }
+        }
+        if results.is_empty() {
+            return Err(no_backends());
+        }
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        Ok(results)
+    }
+
+    fn router_stats_json(&self) -> Json {
+        let backends_alive = self.ring.lock().expect("ring poisoned").len();
+        let stat = |counter: &AtomicU64| Json::num(counter.load(Ordering::Relaxed) as f64);
+        Json::Obj(vec![
+            (
+                "backends_alive".to_string(),
+                Json::num(backends_alive as f64),
+            ),
+            (
+                "backends_total".to_string(),
+                Json::num(self.backends.lock().expect("backends poisoned").len() as f64),
+            ),
+            ("forwarded".to_string(), stat(&self.forwarded)),
+            ("failovers".to_string(), stat(&self.failovers)),
+            ("backends_lost".to_string(), stat(&self.backends_lost)),
+            (
+                "snapshots_shipped".to_string(),
+                stat(&self.snapshots_shipped),
+            ),
+            ("ship_failures".to_string(), stat(&self.ship_failures)),
+        ])
+    }
+}
+
+/// Sums `obj`'s numeric fields into `acc` key-wise (non-numeric fields
+/// are kept from the first backend that reports them).
+fn sum_fields(acc: &mut Vec<(String, Json)>, obj: Option<&Json>) {
+    let Some(Json::Obj(fields)) = obj else { return };
+    for (key, value) in fields {
+        match acc.iter_mut().find(|(existing, _)| existing == key) {
+            Some((_, total)) => {
+                if let (Json::Num(a), Json::Num(b)) = (&*total, value) {
+                    *total = Json::Num(a + b);
+                }
+            }
+            None => acc.push((key.clone(), value.clone())),
+        }
+    }
+}
+
+fn no_backends() -> WireError {
+    WireError::new(ErrorCode::Internal, "no live backends in the ring")
+}
+
+/// Maps a non-retryable client failure onto the wire error the backend
+/// (or the client stack) produced. `Exhausted` never reaches here — the
+/// forward loop converts it into a failover.
+fn wire_client_error(error: ClientError) -> WireError {
+    match error {
+        ClientError::Server { code, message } => WireError::new(code_from_str(&code), message),
+        other => WireError::new(ErrorCode::Internal, other.to_string()),
+    }
+}
+
+fn code_from_str(code: &str) -> ErrorCode {
+    match code {
+        "bad-request" => ErrorCode::BadRequest,
+        "unknown-session" => ErrorCode::UnknownSession,
+        "not-unambiguous" => ErrorCode::NotUnambiguous,
+        "invalid-token" => ErrorCode::InvalidToken,
+        "fpras-failure" => ErrorCode::Fpras,
+        "overloaded" => ErrorCode::Overloaded,
+        "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+        _ => ErrorCode::Internal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, RouterConfig};
+    use crate::serve::{ServeConfig, Server};
+
+    /// Deterministic engine config shared by every node (and the
+    /// single-node references): FPRAS forced, fixed seed.
+    fn engine_config() -> EngineConfig {
+        EngineConfig {
+            router: RouterConfig {
+                determinization_cap: 0,
+                fpras: crate::fpras::FprasParams::quick(),
+                ..RouterConfig::default()
+            },
+            seed: 0xBEEF,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn backend() -> (Server, TcpServerHandle) {
+        let server = Server::new(ServeConfig {
+            engine: engine_config(),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+        (server, handle)
+    }
+
+    fn quick_client() -> ClientConfig {
+        ClientConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            ..ClientConfig::default()
+        }
+    }
+
+    fn cluster(n: usize) -> (Vec<(Server, TcpServerHandle)>, Router, TcpServerHandle) {
+        let nodes: Vec<_> = (0..n).map(|_| backend()).collect();
+        let router = Router::new(RouteConfig {
+            backends: nodes
+                .iter()
+                .map(|(_, h)| BackendSpec::new(h.addr().to_string()))
+                .collect(),
+            client: quick_client(),
+            ..RouteConfig::default()
+        })
+        .unwrap();
+        let front = router.spawn_tcp("127.0.0.1:0").unwrap();
+        (nodes, router, front)
+    }
+
+    const SPECS: [(&str, usize); 4] = [
+        ("(0|1)*11", 7),
+        ("(0|1)*101(0|1)*", 8),
+        ("1(0|1)*0", 6),
+        ("(0|1)*", 5),
+    ];
+
+    fn spec(pattern: &str) -> InstanceSpec {
+        InstanceSpec::Regex {
+            pattern: pattern.to_string(),
+            alphabet: None,
+        }
+    }
+
+    /// Answers collected through any endpoint speaking the protocol:
+    /// count + the full paged enumeration per spec, as canonical strings.
+    fn collect(client: &mut Client) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, (pattern, length)) in SPECS.iter().enumerate() {
+            let alias = format!("w{i}");
+            client.prepare(&alias, spec(pattern), *length).unwrap();
+            let count = client.count(&alias).unwrap();
+            out.push(format!(
+                "count {} = {}",
+                pattern,
+                count.get("estimate").and_then(Json::as_str).unwrap()
+            ));
+            loop {
+                let page = client.enumerate_page(&alias, Some(3)).unwrap();
+                if let Some(Json::Arr(words)) = page.get("words") {
+                    for word in words {
+                        out.push(format!("word {}", word.as_str().unwrap()));
+                    }
+                }
+                if page.get("done") == Some(&Json::Bool(true)) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn routed_answers_are_bit_identical_to_a_single_direct_node() {
+        let (reference, direct_handle) = backend();
+        let mut direct = Client::new(direct_handle.addr().to_string(), quick_client());
+        let expected = collect(&mut direct);
+        direct.bye();
+        reference.shutdown();
+
+        let (nodes, router, front) = cluster(3);
+        let mut routed = Client::new(front.addr().to_string(), quick_client());
+        assert_eq!(expected, collect(&mut routed));
+        // The ring actually spread the four fingerprints around (the
+        // cluster is doing routing, not proxying to one node).
+        let placed: HashSet<usize> = SPECS
+            .iter()
+            .map(|(pattern, length)| {
+                router
+                    .inner
+                    .home_of(
+                        router
+                            .inner
+                            .fingerprint_of(&spec(pattern), *length)
+                            .unwrap(),
+                    )
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        assert!(placed.len() > 1, "all specs landed on one backend");
+        assert!(router.stats().forwarded > 0);
+        routed.bye();
+        drop(front);
+        for (server, handle) in nodes {
+            drop(handle);
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn stats_and_health_aggregate_across_the_fleet() {
+        let (nodes, _router, front) = cluster(2);
+        let mut client = Client::new(front.addr().to_string(), quick_client());
+        client.prepare("s", spec("(0|1)*11"), 6).unwrap();
+        client.count("s").unwrap();
+        let stats = client.server_stats().unwrap();
+        // Sessions live on exactly one backend; requests summed over both.
+        assert_eq!(
+            stats
+                .get("server")
+                .and_then(|s| s.get("sessions_open"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let shards = stats.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards.len(), 2, "one shards row per backend");
+        let router_section = stats.get("router").unwrap();
+        assert_eq!(
+            router_section.get("backends_alive").and_then(Json::as_u64),
+            Some(2)
+        );
+        let health = client.health().unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        // Two backends x queue_depth 64.
+        assert_eq!(
+            health.get("queue_capacity").and_then(Json::as_u64),
+            Some(128)
+        );
+        client.bye();
+        drop(front);
+        for (server, handle) in nodes {
+            drop(handle);
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn killing_the_home_node_fails_over_and_resumes_the_cursor() {
+        let (mut nodes, router, front) = cluster(2);
+        let mut client = Client::new(front.addr().to_string(), quick_client());
+
+        // Fault-free reference pages, from a throwaway single node.
+        let (reference, ref_handle) = backend();
+        let mut direct = Client::new(ref_handle.addr().to_string(), quick_client());
+        direct.prepare("ref", spec("(0|1)*11"), 7).unwrap();
+        let mut expected = Vec::new();
+        loop {
+            let page = direct.enumerate_page("ref", Some(2)).unwrap();
+            expected.push(page.encode());
+            if page.get("done") == Some(&Json::Bool(true)) {
+                break;
+            }
+        }
+        direct.bye();
+        reference.shutdown();
+
+        client.prepare("job", spec("(0|1)*11"), 7).unwrap();
+        let fingerprint = router.inner.fingerprint_of(&spec("(0|1)*11"), 7).unwrap();
+        let mut pages = Vec::new();
+        pages.push(client.enumerate_page("job", Some(2)).unwrap().encode());
+        pages.push(client.enumerate_page("job", Some(2)).unwrap().encode());
+
+        // Kill the session's home mid-stream.
+        let home = router.inner.home_of(fingerprint).unwrap().0;
+        let (server, mut handle) = nodes.remove(home);
+        handle.shutdown();
+        server.shutdown();
+        drop(handle);
+        drop(server);
+
+        loop {
+            let page = client.enumerate_page("job", Some(2)).unwrap();
+            pages.push(page.encode());
+            if page.get("done") == Some(&Json::Bool(true)) {
+                break;
+            }
+        }
+        assert_eq!(expected, pages, "resumed pages diverged after failover");
+        assert!(router.stats().failovers >= 1);
+        assert!(router.stats().backends_lost == 1);
+        client.bye();
+        drop(front);
+        for (server, handle) in nodes {
+            drop(handle);
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn close_drops_the_front_session() {
+        let (nodes, _router, front) = cluster(2);
+        let mut client = Client::new(front.addr().to_string(), quick_client());
+        let prepared = client.prepare("s", spec("(0|1)*1"), 4).unwrap();
+        let session = prepared
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let closed = client
+            .pipeline_raw(&[format!(r#"{{"op":"close","session":"{session}"}}"#)])
+            .unwrap();
+        assert!(closed[0].encode().contains("\"closed\""));
+        let again = client
+            .pipeline_raw(&[format!(r#"{{"op":"close","session":"{session}"}}"#)])
+            .unwrap();
+        assert!(
+            again[0].encode().contains("unknown-session"),
+            "double close must be unknown-session: {}",
+            again[0].encode()
+        );
+        client.bye();
+        drop(front);
+        for (server, handle) in nodes {
+            drop(handle);
+            server.shutdown();
+        }
+    }
+}

@@ -182,7 +182,8 @@ pub struct ServeStats {
     /// Snapshots written since startup.
     pub snapshots_saved: u64,
     /// Corrupt snapshot files quarantined by the startup sweep
-    /// (`*.snap.quarantined` — out of the serving path, kept on disk).
+    /// (`*.snap.quarantined.N` — out of the serving path, kept on disk,
+    /// numbered so repeated corruptions keep every artifact).
     pub snapshots_quarantined: usize,
     /// Stale snapshot temp files reaped by the startup sweep (debris of
     /// writers that crashed mid-save).
@@ -447,6 +448,23 @@ impl TcpServerHandle {
             stop,
             waker: Some(waker),
             accept: Some(thread),
+        }
+    }
+
+    /// Assembles the handle for a thread-per-connection accept loop (the
+    /// server's own threaded transport and the cluster router both use
+    /// this shape: a stop flag checked per accept, unblocked by a
+    /// self-connect).
+    pub(crate) fn threaded(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        accept: std::thread::JoinHandle<()>,
+    ) -> TcpServerHandle {
+        TcpServerHandle {
+            addr,
+            stop,
+            waker: None,
+            accept: Some(accept),
         }
     }
 

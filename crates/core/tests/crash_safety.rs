@@ -5,7 +5,7 @@
 //! at *any* byte boundary of a snapshot write leaves a store that, once
 //! reopened, serves **exactly the prefix of fully published snapshots** —
 //! interrupted temp files are swept, torn or corrupted `*.snap` files are
-//! quarantined (renamed `*.snap.quarantined`, kept for inspection, never
+//! quarantined (renamed `*.snap.quarantined.N`, kept for inspection, never
 //! served), and the affected instance costs one re-preparation, never a
 //! wrong answer. The crash-point test below does not sample: it plants
 //! the debris of a crash after *every* prefix length of a snapshot file,
@@ -40,9 +40,11 @@ fn instance(chains: usize, length: usize) -> Arc<PreparedInstance> {
     inst
 }
 
-/// The quarantine name the sweep renames a given snapshot to.
+/// The quarantine name the sweep renames a given snapshot to. Numbers
+/// start at the first free `N`; every check here deletes the artifact
+/// before the next corruption, so the sweep always lands on `.1`.
 fn quarantine_path(snap: &std::path::Path) -> PathBuf {
-    PathBuf::from(format!("{}.quarantined", snap.display()))
+    PathBuf::from(format!("{}.quarantined.1", snap.display()))
 }
 
 /// The headline pin: crash debris at **every byte boundary** of a

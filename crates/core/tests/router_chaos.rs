@@ -1,0 +1,489 @@
+//! Kill-a-node chaos for the cluster front-end: a seeded client fleet
+//! against a 3-backend ring behind [`Router`], with one backend killed
+//! and one added mid-run, under deterministic fault injection on the
+//! router's front connections and snapshot shipping.
+//!
+//! The contract under test lifts `chaos.rs` one layer out: where that
+//! suite kills and restarts a single server, this one keeps the fleet's
+//! *topology* in motion. Each client speaks the ordinary wire protocol
+//! to the router (never to a backend) while the harness, at ~1/3 of
+//! total progress, **kills the home backend of the first workload**
+//! (accept loop, worker pool, every live session on it) without telling
+//! the router — death must be *detected* (retry budget exhausted),
+//! the ring shrunk, and every affected session re-homed with its cursor
+//! resumed from the last acknowledged token. At ~2/3 progress a fourth
+//! backend **joins**: [`Router::add_backend`] ships the snapshots the
+//! grown ring re-homes onto it *before* its server process starts, so
+//! the joiner warms from disk, and live sessions whose fingerprint now
+//! homes there migrate on their next request.
+//!
+//! The reference is the same as `chaos.rs`: every client's
+//! canonicalized outputs must be **bit-identical** to a fault-free
+//! serial replay of its own op log against a single direct
+//! `nfa_tool serve` node with the same engine configuration — routing,
+//! failover, migration, shipping, and injected front-connection faults
+//! may change *how* an answer is produced, never the bytes.
+//!
+//! Sizing knobs for CI smoke runs (`scripts/ci.sh`):
+//! `LSC_ROUTER_CHAOS_OPS` (ops per client, default 18),
+//! `LSC_ROUTER_CHAOS_CLIENTS` (fleet size, default 4),
+//! `LSC_ROUTER_CHAOS_SEEDS` (comma-separated master seeds, default one).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use lsc_automata::regex::Regex;
+use lsc_automata::Alphabet;
+use lsc_core::engine::{EngineConfig, PreparedInstance, RouterConfig, ShardMap};
+use lsc_core::fpras::FprasParams;
+use lsc_core::serve::json::Json;
+use lsc_core::serve::protocol::InstanceSpec;
+use lsc_core::serve::{
+    BackendSpec, Client, ClientConfig, ClientError, FaultConfig, FaultPlan, RouteConfig, Router,
+    ServeConfig, Server,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---- configuration ----
+
+const BACKENDS: usize = 3;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn master_seeds() -> Vec<u64> {
+    match std::env::var("LSC_ROUTER_CHAOS_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|v| {
+                let v = v.trim();
+                match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .collect(),
+        Err(_) => vec![0x00C1_05E7],
+    }
+}
+
+/// The engine configuration every backend and the serial reference
+/// share: FPRAS forced where determinization would win, quick sketch
+/// parameters, a fixed engine seed — answers are a pure function of
+/// this and the request, whichever node produces them.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        router: RouterConfig {
+            determinization_cap: 0,
+            fpras: FprasParams::quick(),
+            ..RouterConfig::default()
+        },
+        seed: 0x57E5_5BEEF,
+        ..EngineConfig::default()
+    }
+}
+
+fn backend_config(snapshot_dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        engine: engine_config(),
+        workers: 2,
+        queue_depth: 64,
+        retry_after: Duration::from_millis(2),
+        snapshot_dir,
+        ..ServeConfig::default()
+    }
+}
+
+fn client_config(master_seed: u64, client: usize) -> ClientConfig {
+    ClientConfig {
+        seed: master_seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        max_attempts: 12,
+        backoff_base: Duration::from_millis(4),
+        backoff_cap: Duration::from_millis(250),
+        io_timeout: Some(Duration::from_secs(10)),
+    }
+}
+
+/// The instance zoo: two unambiguous routes, two ambiguous (FPRAS under
+/// cap 0; `count_exact` on these answers `not-unambiguous`, which is
+/// part of the replayed surface).
+const WORKLOADS: [(&str, usize); 4] = [
+    ("(0|1)*101(0|1)*", 9),
+    ("(0|1)*11", 8),
+    ("0*1(0|1)*0", 8),
+    ("(0|1)*00(0|1)*", 7),
+];
+
+const ALIASES_PER_CLIENT: usize = 2;
+
+/// The ring shard a workload's fingerprint homes on, replicated exactly
+/// as the router computes it (`ShardMap` over `BACKENDS` shards with
+/// the default replica count) — so the harness can kill the one backend
+/// guaranteed to hold live sessions.
+fn home_of(pattern: &str, length: usize) -> usize {
+    let alphabet = Alphabet::from_chars(&['0', '1']);
+    let nfa = Regex::parse(pattern, &alphabet)
+        .expect("workload regex")
+        .compile();
+    let fingerprint = PreparedInstance::instance_fingerprint(&nfa, length);
+    ShardMap::new(BACKENDS, RouteConfig::default().ring_replicas).shard_for(fingerprint)
+}
+
+// ---- the op log ----
+
+#[derive(Clone, Copy, Debug)]
+enum ChaosOp {
+    Count {
+        alias: usize,
+    },
+    CountExact {
+        alias: usize,
+    },
+    Page {
+        alias: usize,
+        size: usize,
+    },
+    Sample {
+        alias: usize,
+        count: usize,
+        seed: u64,
+    },
+}
+
+/// One client's seeded op log — same shape as `chaos.rs`: pages need no
+/// cross-op bookkeeping because the client's cursor makes page `k` a
+/// pure function of the pages before it in this same log.
+fn op_log(master_seed: u64, client: usize, ops: usize) -> Vec<ChaosOp> {
+    let mut rng = StdRng::seed_from_u64(master_seed ^ 0x0D0_EE7 ^ ((client as u64) << 17));
+    (0..ops)
+        .map(|slot| {
+            let alias = rng.gen_range(0..ALIASES_PER_CLIENT);
+            match rng.gen_range(0..6u32) {
+                0 | 1 => ChaosOp::Count { alias },
+                2 => ChaosOp::CountExact { alias },
+                3 | 4 => ChaosOp::Page {
+                    alias,
+                    size: 1 + rng.gen_range(0..5usize),
+                },
+                _ => ChaosOp::Sample {
+                    alias,
+                    count: 1 + rng.gen_range(0..4usize),
+                    seed: (slot as u64).wrapping_mul(7919).wrapping_add(client as u64),
+                },
+            }
+        })
+        .collect()
+}
+
+// ---- execution ----
+
+fn alias_name(alias: usize) -> String {
+    format!("w{alias}")
+}
+
+fn workload_for(client: usize, alias: usize) -> (&'static str, usize) {
+    WORKLOADS[(client + alias) % WORKLOADS.len()]
+}
+
+fn prepare_aliases(client: &mut Client, who: usize) {
+    for alias in 0..ALIASES_PER_CLIENT {
+        let (pattern, length) = workload_for(who, alias);
+        client
+            .prepare(
+                alias_name(alias),
+                InstanceSpec::Regex {
+                    pattern: pattern.to_string(),
+                    alphabet: None,
+                },
+                length,
+            )
+            .expect("prepare rides the retry machinery");
+    }
+}
+
+fn words_of(value: &Json) -> String {
+    value
+        .get("words")
+        .and_then(Json::as_arr)
+        .expect("words array")
+        .iter()
+        .map(|w| w.as_str().expect("word string"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Executes one op to its canonical output string — what the
+/// bit-identity assertion compares (the same rendering as `chaos.rs`).
+fn run_op(client: &mut Client, op: &ChaosOp) -> String {
+    let canonical = |result: Result<Json, ClientError>, render: fn(&Json) -> String| match result {
+        Ok(value) => render(&value),
+        Err(ClientError::Server { code, .. }) => format!("err={code}"),
+        Err(e) => panic!("retry machinery gave up: {e}"),
+    };
+    match *op {
+        ChaosOp::Count { alias } => canonical(client.count(&alias_name(alias)), |v| {
+            format!(
+                "count route={} exact={} estimate={} count={:?}",
+                v.get("route").and_then(Json::as_str).expect("route"),
+                v.get("exact") == Some(&Json::Bool(true)),
+                v.get("estimate").and_then(Json::as_str).expect("estimate"),
+                v.get("count").and_then(Json::as_str),
+            )
+        }),
+        ChaosOp::CountExact { alias } => canonical(client.count_exact(&alias_name(alias)), |v| {
+            format!(
+                "exact {}",
+                v.get("count").and_then(Json::as_str).expect("count")
+            )
+        }),
+        ChaosOp::Page { alias, size } => {
+            canonical(client.enumerate_page(&alias_name(alias), Some(size)), |v| {
+                format!(
+                    "page rank={} done={} [{}]",
+                    v.get("rank").and_then(Json::as_u64).expect("rank"),
+                    v.get("done") == Some(&Json::Bool(true)),
+                    words_of(v)
+                )
+            })
+        }
+        ChaosOp::Sample { alias, count, seed } => {
+            canonical(client.sample(&alias_name(alias), count, seed), |v| {
+                format!("gen [{}]", words_of(v))
+            })
+        }
+    }
+}
+
+/// One client's full run against `addr` (the router in the chaos round,
+/// a direct node in the reference).
+fn run_client(
+    addr: &str,
+    config: ClientConfig,
+    who: usize,
+    log: &[ChaosOp],
+    progress: &AtomicUsize,
+) -> Vec<String> {
+    let mut client = Client::new(addr, config);
+    prepare_aliases(&mut client, who);
+    let outputs = log
+        .iter()
+        .map(|op| {
+            let out = run_op(&mut client, op);
+            progress.fetch_add(1, Ordering::SeqCst);
+            out
+        })
+        .collect();
+    client.bye();
+    outputs
+}
+
+/// The fault-free single-node serial reference: each client's log
+/// replayed alone, in order, against one direct fault-free server with
+/// the same engine configuration — no router anywhere.
+fn serial_reference(master_seed: u64, clients: usize, ops: usize) -> Vec<Vec<String>> {
+    let server = Server::new(backend_config(None)).unwrap();
+    let mut tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
+    let addr = tcp.addr().to_string();
+    let progress = AtomicUsize::new(0);
+    let expected = (0..clients)
+        .map(|c| {
+            let log = op_log(master_seed, c, ops);
+            run_client(&addr, client_config(master_seed, c), c, &log, &progress)
+        })
+        .collect();
+    tcp.shutdown();
+    server.shutdown();
+    expected
+}
+
+/// One chaos round at one master seed: the routed fleet with a kill and
+/// a join mid-run, compared against the fault-free single-node replay.
+fn chaos_round(master_seed: u64, clients: usize, ops: usize, expected: &[Vec<String>]) {
+    let root = std::env::temp_dir().join(format!(
+        "lsc-router-chaos-{master_seed:x}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&root).ok();
+
+    // Three backends, each with its own snapshot directory (the router
+    // ships compiled instances between them).
+    let mut nodes: Vec<Option<(Server, lsc_core::serve::TcpServerHandle)>> = Vec::new();
+    let mut specs = Vec::new();
+    for b in 0..BACKENDS {
+        let dir = root.join(format!("b{b}"));
+        let server = Server::new(backend_config(Some(dir.clone()))).unwrap();
+        let tcp = server.spawn_tcp("127.0.0.1:0").unwrap();
+        specs.push(BackendSpec {
+            addr: tcp.addr().to_string(),
+            snapshot_dir: Some(dir),
+        });
+        nodes.push(Some((server, tcp)));
+    }
+
+    // Front-connection and shipping faults live at the router; the
+    // backends themselves run clean (chaos.rs owns the faulted-server
+    // surface) so that every recovery observed here is the *router's*.
+    let plan = FaultPlan::new(FaultConfig::chaos(master_seed));
+    let router = Router::new(RouteConfig {
+        backends: specs,
+        client: ClientConfig {
+            seed: master_seed,
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            io_timeout: Some(Duration::from_secs(5)),
+        },
+        faults: Some(plan.clone()),
+        ..RouteConfig::default()
+    })
+    .unwrap();
+    let mut front = router.spawn_tcp("127.0.0.1:0").unwrap();
+    let addr = front.addr().to_string();
+
+    let logs: Vec<Vec<ChaosOp>> = (0..clients).map(|c| op_log(master_seed, c, ops)).collect();
+    let total = clients * ops;
+    let progress = AtomicUsize::new(0);
+    // The backend guaranteed to hold live sessions: the home of the
+    // first workload (client 0's alias 0 pages on it all run long).
+    let victim = home_of(WORKLOADS[0].0, WORKLOADS[0].1);
+
+    let results: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let log = &logs[c];
+                let progress = &progress;
+                let config = client_config(master_seed, c);
+                scope.spawn(move || run_client(&addr, config, c, log, progress))
+            })
+            .collect();
+
+        let wait_for = |point: usize| {
+            let deadline = Instant::now() + Duration::from_secs(300);
+            while progress.load(Ordering::SeqCst) < point && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        // ~1/3: kill the victim backend outright — no `remove_backend`
+        // courtesy call. The router must *detect* the death, shrink the
+        // ring, and re-home every session the victim held, resuming
+        // cursors from their last acknowledged tokens.
+        wait_for(total / 3);
+        let (server, mut tcp) = nodes[victim].take().expect("victim still running");
+        tcp.shutdown();
+        server.shutdown();
+
+        // ~2/3: grow the ring. The joiner's address is reserved first,
+        // `add_backend` ships the snapshots the grown ring re-homes onto
+        // it, and only *then* does its server start — warming from the
+        // shipped artifacts rather than recompiling.
+        wait_for(2 * total / 3);
+        let joiner_dir = root.join("b3");
+        let joiner_addr = {
+            let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        router
+            .add_backend(BackendSpec {
+                addr: joiner_addr.clone(),
+                snapshot_dir: Some(joiner_dir.clone()),
+            })
+            .unwrap();
+        let joiner = Server::new(backend_config(Some(joiner_dir))).unwrap();
+        let tcp = {
+            let mut attempts = 0;
+            loop {
+                match joiner.spawn_tcp(&joiner_addr) {
+                    Ok(tcp) => break tcp,
+                    Err(e) => {
+                        attempts += 1;
+                        assert!(attempts < 1000, "could not bind joiner {joiner_addr}: {e}");
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        };
+        nodes.push(Some((joiner, tcp)));
+
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The headline pin: every client's stream is bit-identical to its
+    // fault-free single-node serial replay.
+    for (c, (got, want)) in results.iter().zip(expected).enumerate() {
+        for (slot, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(
+                g, w,
+                "seed {master_seed:#x}: client {c} op {slot} ({:?}) drifted",
+                logs[c][slot]
+            );
+        }
+        assert_eq!(got.len(), want.len(), "client {c} dropped ops");
+    }
+
+    // The topology changes actually happened and actually bit.
+    let stats = router.stats();
+    assert_eq!(
+        stats.backends_lost, 1,
+        "seed {master_seed:#x}: the killed backend was never declared dead: {stats:?}"
+    );
+    assert!(
+        stats.failovers >= 1,
+        "seed {master_seed:#x}: no session ever migrated off the dead backend: {stats:?}"
+    );
+    assert!(
+        stats.snapshots_shipped >= 1,
+        "seed {master_seed:#x}: no snapshot was ever shipped: {stats:?}"
+    );
+    let faults = plan.stats();
+    assert!(
+        faults.total() > 0,
+        "seed {master_seed:#x}: the fault plan never fired: {faults:?}"
+    );
+
+    front.shutdown();
+    for node in nodes.into_iter().flatten() {
+        let (server, mut tcp) = node;
+        tcp.shutdown();
+        server.shutdown();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ---- the suite ----
+
+/// The headline routed-chaos pin, across every configured master seed —
+/// one fault-free single-node serial reference per seed.
+#[test]
+fn routed_fleet_survives_kill_and_join_bit_identically() {
+    let ops = env_usize("LSC_ROUTER_CHAOS_OPS", 18);
+    let clients = env_usize("LSC_ROUTER_CHAOS_CLIENTS", 4);
+    for seed in master_seeds() {
+        let expected = serial_reference(seed, clients, ops);
+        chaos_round(seed, clients, ops, &expected);
+    }
+}
+
+/// Harness sanity: the victim pick is the router's own ring arithmetic
+/// (the test and `Router` must agree on who homes the first workload),
+/// and op logs are deterministic per (seed, client).
+#[test]
+fn victim_selection_and_op_logs_are_deterministic() {
+    let victim = home_of(WORKLOADS[0].0, WORKLOADS[0].1);
+    assert!(victim < BACKENDS);
+    assert_eq!(victim, home_of(WORKLOADS[0].0, WORKLOADS[0].1));
+    let a = op_log(7, 0, 40);
+    let b = op_log(7, 0, 40);
+    assert_eq!(
+        a.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+        b.iter().map(|op| format!("{op:?}")).collect::<Vec<_>>(),
+    );
+}

@@ -527,7 +527,7 @@ fn corrupted_snapshots_are_quarantined_at_startup() {
     assert_eq!(server.warm_report().rejected, 0);
     assert_eq!(server.stats().snapshots_quarantined, 1);
     assert!(!file.exists(), "corrupt snapshot left in the serving path");
-    let quarantined = std::path::PathBuf::from(format!("{}.quarantined", file.display()));
+    let quarantined = std::path::PathBuf::from(format!("{}.quarantined.1", file.display()));
     assert!(quarantined.exists(), "quarantined copy kept for inspection");
     // The instance recompiles (a miss) rather than serving corrupt data.
     let conn = server.open_conn();

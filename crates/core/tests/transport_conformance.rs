@@ -503,6 +503,107 @@ fn injected_job_panics_respawn_workers_and_the_pool_keeps_serving() {
     }
 }
 
+#[test]
+fn slow_reader_draining_a_backpressured_response_is_not_reaped() {
+    // The sweep_idle regression pin: a reader draining a response much
+    // larger than the socket buffers, pausing between chunks, keeps the
+    // server's write buffer backpressured for several read-timeout
+    // windows while the connection holds no inflight job. The old event
+    // loop saw that as idle (`last_activity` only bumped on reads and
+    // completions) and reaped the connection mid-drain, truncating the
+    // frame; partial writes now count as peer progress. The threaded
+    // transport blocks in `write` for the same window, so both
+    // transports must deliver the complete newline-terminated frame.
+    for transport in transports() {
+        let config = ServeConfig {
+            read_timeout: Some(Duration::from_millis(400)),
+            max_batch: 2_000_000,
+            ..serve_config(transport)
+        };
+        let server = Server::new(config).unwrap();
+        let mut handle = server.spawn_tcp("127.0.0.1:0").unwrap();
+
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::with_capacity(256 << 10, stream);
+        let send = |writer: &mut TcpStream, line: &str| {
+            writer.write_all(line.as_bytes()).expect("send");
+            writer.write_all(b"\n").expect("send newline");
+            writer.flush().expect("flush");
+        };
+        let recv_line = |reader: &mut BufReader<TcpStream>| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read response");
+            line
+        };
+        send(
+            &mut writer,
+            r#"{"op":"prepare","regex":"(0|1)*","length":20}"#,
+        );
+        let session = str_field(&recv_line(&mut reader), "session");
+
+        // One ~23 MiB page (2^20 binary words): far past loopback socket
+        // buffering, so the server stays backpressured while we drain.
+        send(
+            &mut writer,
+            &format!(r#"{{"op":"enumerate","session":"{session}","page_size":1048576}}"#),
+        );
+        let started = Instant::now();
+        let mut response: Vec<u8> = Vec::new();
+        loop {
+            let chunk = reader.fill_buf().expect("mid-drain read");
+            assert!(
+                !chunk.is_empty(),
+                "{transport:?}: server closed the connection mid-drain \
+                 after {:?} ({} bytes received)",
+                started.elapsed(),
+                response.len()
+            );
+            let upto = chunk
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(chunk.len(), |i| i + 1);
+            response.extend_from_slice(&chunk[..upto]);
+            reader.consume(upto);
+            if response.ends_with(b"\n") {
+                break;
+            }
+            // The slow reader: every pause is shorter than the server's
+            // read timeout, but the full drain spans several of them.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(
+            started.elapsed() > Duration::from_millis(800),
+            "drain finished too fast to span a 400ms timeout window — \
+             grow the page so the pin still bites"
+        );
+        assert!(
+            response.len() > 20 << 20,
+            "unexpectedly small page: {} bytes",
+            response.len()
+        );
+        assert!(response.starts_with(b"{\"ok\":true"));
+
+        // Only the event loop keeps the connection for a next request:
+        // the threaded transport's socket read timeout has been ticking
+        // since its blocking write returned, which is documented
+        // idle-peer reaping, not the mid-drain bug.
+        if transport == Transport::EventLoop {
+            send(&mut writer, r#"{"op":"health"}"#);
+            let health = recv_line(&mut reader);
+            assert!(
+                health.contains("\"ok\":true"),
+                "{transport:?}: connection dead right after a slow drain: {health}"
+            );
+        }
+        handle.shutdown();
+        server.shutdown();
+    }
+}
+
 /// Env-tunable knob with a default (smoke runs stay small; CI and real
 /// hosts scale up: `LSC_SCALE_CONNS=512 cargo test`, 10k documented in
 /// DESIGN.md).

@@ -316,6 +316,28 @@ snapshot = {
     "scaling_event_loop_vs_threaded": ratio(
         "serve/e20-connection-scaling", "event-loop/idle512", "threaded/idle512"
     ),
+    # E24: the cluster front-end. Warm count RTT direct vs via the
+    # router (the toll of one routing hop), and the failover-resume
+    # headline: the kill-resume cycle minus the fault-free cycle is what
+    # losing the home backend costs a live cursor (death detection +
+    # ring shrink + re-prepare on the survivor + token resume). The
+    # count-warm ids measure an 8-RPC batch per iteration (noise
+    # amortization); divide by 8 for the per-RTT figure.
+    "route_rtt_direct_ns": (mean_of(
+        "serve/e24-route-overhead", "count-warm/direct"
+    ) or 0) / 8 or None,
+    "route_rtt_via_router_ns": (mean_of(
+        "serve/e24-route-overhead", "count-warm/via-router"
+    ) or 0) / 8 or None,
+    "route_overhead_ratio": ratio(
+        "serve/e24-route-overhead", "count-warm/via-router", "count-warm/direct"
+    ),
+    "failover_resume_ms": (
+        round((mean_of("serve/e24-route-overhead", "failover/kill-resume-cycle")
+               - mean_of("serve/e24-route-overhead", "failover/fault-free-cycle")) / 1e6, 2)
+        if mean_of("serve/e24-route-overhead", "failover/kill-resume-cycle")
+        and mean_of("serve/e24-route-overhead", "failover/fault-free-cycle") else None
+    ),
     "benchmarks": results,
 }
 
@@ -334,5 +356,7 @@ print(f"\nBENCH_serve.json: appended snapshot #{len(history)}"
       f" sketch persistence: {snapshot['sketch_persistence_speedup']}x,"
       f" warm count rtt: {snapshot['request_latency_count_ns']} ns,"
       f" shard scaling 8 clients: {snapshot['shard_scaling_speedup']}x,"
-      f" 512-idle-conn rtt event-loop/threaded: {snapshot['scaling_event_loop_vs_threaded']}x)")
+      f" 512-idle-conn rtt event-loop/threaded: {snapshot['scaling_event_loop_vs_threaded']}x,"
+      f" route hop: {snapshot['route_overhead_ratio']}x,"
+      f" failover resume: {snapshot['failover_resume_ms']} ms)")
 PY

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf regression gate: re-runs the E21–E23 kernel micro-benches with a small
 # sample budget and fails if any benchmark's mean_ns regresses more than 25%
-# against the latest committed snapshot in BENCH_fpras.json / BENCH_serve.json.
+# against the latest committed snapshot in BENCH_fpras.json / BENCH_serve.json
+# (socket-RTT groups get a wider limit — see WIDE below).
 #
 # Usage: scripts/bench_check.sh [--skip-missing]
 #
@@ -12,9 +13,11 @@
 #
 # The gate covers the kernels this trajectory pins: the packed union
 # estimator (E21), the limb-batched completion DP (E22), the
-# sketch-persistence warm restart (E23), and the transport
+# sketch-persistence warm restart (E23), the transport
 # connection-scaling RTT (E20: warm count under a 512-conn idle herd,
-# threaded and event-loop). Trajectory snapshots come from
+# threaded and event-loop), and the cluster front-end (E24: warm count
+# RTT direct vs via the router, plus the failover cycle with and
+# without a mid-stream backend kill). Trajectory snapshots come from
 # scripts/bench.sh; this script never writes the JSON files.
 #
 # Hosts without epoll produce no event-loop E20 measurement; the gate
@@ -44,13 +47,19 @@ SERVE_DIR="$(pwd)/target/lsc-bench-check-serve"
 rm -rf "$SERVE_DIR"
 LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e23-sketch-persistence
 LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e20-connection-scaling
+LSC_CRITERION_DIR="$SERVE_DIR" cargo bench -p lsc-bench --bench serve -- e24-route-overhead
 
 FPRAS_DIR="$FPRAS_DIR" SERVE_DIR="$SERVE_DIR" SKIP_MISSING="$SKIP_MISSING" python3 - <<'PY'
 import json, os, sys
 
 TOLERANCE = 1.25  # fail on >25% mean_ns regression
 GROUPS = ("e21-union-kernel", "e22-completion-dp", "e23-sketch-persistence",
-          "e20-connection-scaling")
+          "e20-connection-scaling", "e24-route-overhead")
+# Socket-RTT benches on a shared single-core host are scheduler-dominated
+# (wakeup latency swings 1.5x run to run); a 25% gate on them flaps. The
+# wide tolerance still catches real regressions — an extra round trip or
+# a stray backoff sleep in the forwarding path is far beyond 2x.
+WIDE = {"e24-route-overhead": 2.0}
 
 def fresh_results(out_dir):
     results = {}
@@ -83,10 +92,11 @@ for (group, ident), mean in sorted(fresh.items()):
         continue
     checked += 1
     ratio = mean / ref
-    status = "FAIL" if ratio > TOLERANCE else "ok"
-    print(f"  {status:4} {group}/{ident}: {mean:12.0f} ns vs {ref:12.0f} ns committed ({ratio:.2f}x)")
-    if ratio > TOLERANCE:
-        failures.append(f"{group}/{ident} regressed {ratio:.2f}x")
+    limit = next((t for g, t in WIDE.items() if g in group), TOLERANCE)
+    status = "FAIL" if ratio > limit else "ok"
+    print(f"  {status:4} {group}/{ident}: {mean:12.0f} ns vs {ref:12.0f} ns committed ({ratio:.2f}x, limit {limit:.2f}x)")
+    if ratio > limit:
+        failures.append(f"{group}/{ident} regressed {ratio:.2f}x (limit {limit:.2f}x)")
 
 if missing:
     if os.environ.get("SKIP_MISSING") == "1":
@@ -100,5 +110,6 @@ if not checked:
     sys.exit("bench_check: no E20-E23 reference entries in the committed BENCH_*.json")
 if failures:
     sys.exit("bench_check: perf regression gate failed:\n  " + "\n  ".join(failures))
-print(f"bench_check: {checked} kernel benchmarks within {TOLERANCE:.2f}x of committed means")
+print(f"bench_check: {checked} kernel benchmarks within their limits "
+      f"({TOLERANCE:.2f}x, wide groups per WIDE) of committed means")
 PY

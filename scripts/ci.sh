@@ -28,6 +28,48 @@ echo "== chaos smoke: 2 seeds, kill + warm-restart mid-run, both transports =="
 LSC_CHAOS_OPS=16 LSC_CHAOS_CLIENTS=3 LSC_CHAOS_SEEDS=0xC0FFEE,0xBADC0DE \
 cargo test -q --release -p lsc-core --test chaos
 
+echo "== router chaos smoke: kill + join on a 3-backend ring =="
+LSC_ROUTER_CHAOS_OPS=12 LSC_ROUTER_CHAOS_CLIENTS=3 \
+cargo test -q --release -p lsc-core --test router_chaos
+
+echo "== router e2e smoke: nfa_tool route over two nfa_tool serve nodes =="
+ROUTE_DIR="$(mktemp -d)"
+trap 'rm -rf "$ROUTE_DIR"' EXIT
+mkdir -p "$ROUTE_DIR/snap1" "$ROUTE_DIR/snap2"
+./target/release/nfa_tool serve --port 17611 --snapshot-dir "$ROUTE_DIR/snap1" &
+B1=$!
+./target/release/nfa_tool serve --port 17612 --snapshot-dir "$ROUTE_DIR/snap2" &
+B2=$!
+sleep 1
+./target/release/nfa_tool route --listen 127.0.0.1:17610 \
+  --backends 127.0.0.1:17611,127.0.0.1:17612 \
+  --snapshot-dirs "$ROUTE_DIR/snap1,$ROUTE_DIR/snap2" &
+ROUTE=$!
+sleep 1
+# The reconnecting client speaks to the router exactly as it would to a
+# single node: count-exact of "ends in 11" at length 6 is 16.
+QUERY_OUT="$(./target/release/nfa_tool query --addr 127.0.0.1:17610 \
+  --regex '(0|1)*11' --length 6 --op count-exact)"
+test "$QUERY_OUT" = "16"
+# Raw wire pass: prepare, then count-exact on the returned front session.
+exec 9<>/dev/tcp/127.0.0.1/17610
+printf '{"op":"prepare","regex":"(0|1)*11","length":6}\n' >&9
+IFS= read -r PREP <&9
+echo "$PREP" | grep -q '"ok":true'
+SESSION="$(printf '%s' "$PREP" | grep -o '"session":"[^"]*"' | cut -d'"' -f4)"
+printf '{"op":"count_exact","session":"%s"}\n{"op":"bye"}\n' "$SESSION" >&9
+IFS= read -r COUNT <&9
+exec 9<&-
+echo "$COUNT" | grep -q '"count":"16"'
+# Snapshot shipping: the prepare's artifact must exist in both stores
+# (home and replica).
+test -n "$(ls "$ROUTE_DIR/snap1")" && test -n "$(ls "$ROUTE_DIR/snap2")"
+kill "$ROUTE" "$B1" "$B2" 2>/dev/null || true
+wait "$ROUTE" "$B1" "$B2" 2>/dev/null || true
+rm -rf "$ROUTE_DIR"
+trap - EXIT
+echo "router e2e smoke: ok"
+
 echo "== transport conformance: threaded vs event loop, 512-conn scaling smoke =="
 LSC_SCALE_CONNS=512 \
 cargo test -q --release -p lsc-core --test transport_conformance

@@ -9,6 +9,8 @@
 //! nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]
 //! nfa-tool classify  (--regex PAT | --file NFA.txt)
 //! nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]
+//! nfa-tool route     --backends HOST:P1,HOST:P2[,...] [--listen HOST:PORT]
+//!                    [--snapshot-dirs D1,D2[,...]] [--retries R]
 //! nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M]
 //!                    [--seed S] [--page-size P]
 //! nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N]
@@ -25,6 +27,17 @@
 //! NFA files use the format of `lsc_automata::io`. `classify` reports the
 //! Weber–Seidl ambiguity class; `route` runs the ambiguity-aware counting
 //! router and reports which algorithm produced the count.
+//!
+//! `route --backends` is the **cluster front-end**
+//! ([`lsc_core::serve::Router`]): it listens on `--listen` (default
+//! `127.0.0.1:7410`) speaking the same JSON-lines protocol as `serve`,
+//! and forwards each session to its home backend by instance fingerprint
+//! over a consistent-hash ring. `--snapshot-dirs` (comma-aligned with
+//! `--backends`, empty slots allowed) names each backend's snapshot
+//! directory so topology changes ship compiled instances instead of
+//! recompiling; on backend death the router re-homes live sessions and
+//! resumes their cursors from the last acknowledged token. See
+//! `docs/ARCHITECTURE.md` §8.
 //!
 //! `enumerate --page-size P` streams one page of `P` witnesses and prints a
 //! compact **resume token**; feeding it back via `--resume-token` continues
@@ -149,6 +162,7 @@ fn usage(msg: &str) -> ! {
            nfa-tool info      (--regex PAT | --file NFA.txt) [--length N]\n  \
            nfa-tool classify  (--regex PAT | --file NFA.txt)\n  \
            nfa-tool route     (--regex PAT | --file NFA.txt) --length N [--cap C]\n  \
+           nfa-tool route     --backends HOST:P1,HOST:P2[,...] [--listen HOST:PORT] [--snapshot-dirs D1,D2[,...]] [--retries R]\n  \
            nfa-tool batch     [--file QUERIES.txt] [--threads T] [--shards S] [--cache-mb M] [--seed S] [--page-size P]\n  \
            nfa-tool serve     [--port P | --stdio true] [--workers W] [--queue N] [--deadline-ms D] [--session-ttl-ms T] [--io-timeout-ms T] [--snapshot-dir DIR] [--cache-mb M] [--seed S] [--shards S] [--transport threaded|event-loop]\n  \
            nfa-tool query     --addr HOST:PORT (--regex PAT | --file NFA.txt) --length N [--op count|count-exact|enumerate|sample] [--page-size P] [--limit K] [--count K] [--seed S] [--resume-token T] [--retries R]\n  \
@@ -491,6 +505,74 @@ fn run_serve(args: &Args) {
     }
 }
 
+/// The `route` subcommand's cluster form ([`lsc_core::serve::Router`]):
+/// a front-end speaking the same JSON-lines wire protocol as `serve`,
+/// forwarding each session to its home backend by instance fingerprint
+/// over a consistent-hash ring, with snapshot shipping on topology
+/// change and failover-with-cursor-survival on backend death. Selected
+/// by `--backends`; without it, `route` remains the local
+/// ambiguity-aware counting router.
+fn run_route_cluster(args: &Args) {
+    use lsc_core::serve::{BackendSpec, ClientConfig, RouteConfig, Router};
+
+    let fleet = args
+        .get("backends")
+        .unwrap_or_else(|| usage("route --listen needs --backends HOST:P1,HOST:P2[,...]"));
+    let mut backends: Vec<BackendSpec> = fleet
+        .split(',')
+        .map(str::trim)
+        .filter(|part| !part.is_empty())
+        .map(BackendSpec::new)
+        .collect();
+    if backends.is_empty() {
+        usage("--backends expects a comma-separated HOST:PORT list");
+    }
+    if let Some(dirs) = args.get("snapshot-dirs") {
+        let dirs: Vec<&str> = dirs.split(',').collect();
+        if dirs.len() != backends.len() {
+            usage(&format!(
+                "--snapshot-dirs names {} directories for {} backends \
+                 (comma-aligned with --backends; leave a slot empty to skip it)",
+                dirs.len(),
+                backends.len()
+            ));
+        }
+        for (backend, dir) in backends.iter_mut().zip(dirs) {
+            let dir = dir.trim();
+            if !dir.is_empty() {
+                backend.snapshot_dir = Some(dir.into());
+            }
+        }
+    }
+    let backend_count = backends.len();
+    let mut config = RouteConfig {
+        backends,
+        default_alphabet: args.get("alphabet").unwrap_or("01").to_string(),
+        ..RouteConfig::default()
+    };
+    if let Some(retries) = args.get_usize("retries") {
+        config.client = ClientConfig {
+            max_attempts: retries.max(1),
+            ..config.client
+        };
+    }
+    let router =
+        Router::new(config).unwrap_or_else(|e| usage(&format!("cannot start router: {e}")));
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7410");
+    let handle = router
+        .spawn_tcp(listen)
+        .unwrap_or_else(|e| usage(&format!("cannot bind {listen}: {e}")));
+    println!(
+        "# routing on {} over {backend_count} backend(s)",
+        handle.addr()
+    );
+    // Foreground until interrupted, exactly like `serve`: the accept loop
+    // owns the work and the handle's Drop would stop it.
+    loop {
+        std::thread::park();
+    }
+}
+
 /// The `query` subcommand: one op against a running server, through the
 /// reconnecting client (retries, backoff, session re-prepare, and cursor
 /// resumption all transparent).
@@ -620,6 +702,12 @@ fn main() {
     }
     if args.command == "query" {
         run_query(&args);
+        return;
+    }
+    // `route` with a backend fleet is the cluster front-end; without one
+    // it stays the local ambiguity-aware counting router below.
+    if args.command == "route" && (args.get("backends").is_some() || args.get("listen").is_some()) {
+        run_route_cluster(&args);
         return;
     }
     let nfa = load_nfa(&args);
